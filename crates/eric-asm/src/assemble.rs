@@ -1,0 +1,1083 @@
+//! Two-pass assembly: expansion, layout, and encoding.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::image::{Image, InstBoundary, ParcelKind};
+use crate::parser::{parse, DirArg, Line, Operand, Stmt};
+use eric_isa::encode::encode;
+use eric_isa::inst::Inst;
+use eric_isa::op::Op;
+use eric_isa::{csr, rvc};
+use std::collections::HashMap;
+
+/// Assembler configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AsmOptions {
+    /// Load address of `.text`.
+    pub text_base: u64,
+    /// Load address of `.data`.
+    pub data_base: u64,
+    /// Emit RVC compressed instructions where possible.
+    pub compress: bool,
+}
+
+impl Default for AsmOptions {
+    /// Matches the simulator's memory map: text at `0x8000_0000`, data
+    /// one MiB above it, no compression (like the paper's RV64GC builds,
+    /// compression is opt-in per build).
+    fn default() -> Self {
+        AsmOptions {
+            text_base: 0x8000_0000,
+            data_base: 0x8010_0000,
+            compress: false,
+        }
+    }
+}
+
+impl AsmOptions {
+    /// The default layout with RVC compression enabled.
+    pub fn compressed() -> Self {
+        AsmOptions { compress: true, ..AsmOptions::default() }
+    }
+}
+
+/// How an instruction's immediate refers to a symbol.
+#[derive(Clone, Debug, PartialEq)]
+enum Target {
+    /// Immediate is final.
+    None,
+    /// PC-relative branch/jal displacement to a label.
+    Rel(String),
+    /// Absolute `%hi(sym)` (for `lui`).
+    AbsHi(String),
+    /// Absolute `%lo(sym)` (for `addi`/loads/stores).
+    AbsLo(String),
+}
+
+/// A text-section entry after pseudo-expansion.
+#[derive(Clone, Debug)]
+enum Entry {
+    /// One machine instruction, possibly awaiting a symbol.
+    One { inst: Inst, target: Target, line: usize },
+    /// `la rd, sym` — fused `auipc`+`addi` pair (8 bytes).
+    La { rd: u8, sym: String, line: usize },
+    /// `call sym` — fused `auipc ra`+`jalr ra` pair (8 bytes).
+    Call { sym: String, line: usize },
+}
+
+/// Assemble a source text into a loadable [`Image`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: lexical/syntactic
+/// problems, unknown mnemonics, bad operand shapes, duplicate or
+/// undefined labels, and out-of-range immediates all carry the 1-based
+/// source line.
+pub fn assemble(src: &str, options: &AsmOptions) -> Result<Image, AsmError> {
+    let lines = parse(src)?;
+    let mut ctx = Assembler::new(*options);
+    for line in &lines {
+        ctx.consume(line)?;
+    }
+    ctx.finish()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    Text,
+    Data,
+}
+
+struct Assembler {
+    options: AsmOptions,
+    section: Section,
+    entries: Vec<Entry>,
+    data: Vec<u8>,
+    symbols: HashMap<String, u64>,
+    /// Labels seen in `.text` before layout: (name, entry index).
+    text_labels: Vec<(String, usize, usize)>,
+}
+
+impl Assembler {
+    fn new(options: AsmOptions) -> Self {
+        Assembler {
+            options,
+            section: Section::Text,
+            entries: Vec::new(),
+            data: Vec::new(),
+            symbols: HashMap::new(),
+            text_labels: Vec::new(),
+        }
+    }
+
+    fn consume(&mut self, line: &Line) -> Result<(), AsmError> {
+        for label in &line.labels {
+            match self.section {
+                Section::Text => {
+                    if self.text_labels.iter().any(|(n, _, _)| n == label)
+                        || self.symbols.contains_key(label)
+                    {
+                        return Err(AsmError::new(
+                            line.number,
+                            AsmErrorKind::DuplicateLabel(label.clone()),
+                        ));
+                    }
+                    self.text_labels
+                        .push((label.clone(), self.entries.len(), line.number));
+                }
+                Section::Data => {
+                    let addr = self.options.data_base + self.data.len() as u64;
+                    if self.symbols.insert(label.clone(), addr).is_some()
+                        || self.text_labels.iter().any(|(n, _, _)| n == label)
+                    {
+                        return Err(AsmError::new(
+                            line.number,
+                            AsmErrorKind::DuplicateLabel(label.clone()),
+                        ));
+                    }
+                }
+            }
+        }
+        match &line.stmt {
+            None => Ok(()),
+            Some(Stmt::Label(_)) => Ok(()),
+            Some(Stmt::Directive { name, args }) => self.directive(name, args, line.number),
+            Some(Stmt::Inst { mnemonic, operands }) => {
+                if self.section != Section::Text {
+                    return Err(AsmError::new(
+                        line.number,
+                        AsmErrorKind::WrongSection(format!(
+                            "instruction `{mnemonic}` in .data section"
+                        )),
+                    ));
+                }
+                expand(mnemonic, operands, line.number, &mut self.entries)
+            }
+        }
+    }
+
+    fn directive(&mut self, name: &str, args: &[DirArg], line: usize) -> Result<(), AsmError> {
+        let bad = |msg: &str| AsmError::new(line, AsmErrorKind::BadDirective(msg.into()));
+        match name {
+            "text" => {
+                self.section = Section::Text;
+                Ok(())
+            }
+            "data" => {
+                self.section = Section::Data;
+                Ok(())
+            }
+            "global" | "globl" | "type" | "size" | "section" | "option" | "attribute"
+            | "file" | "p2align" => Ok(()), // accepted and ignored
+            "byte" | "half" | "word" | "dword" | "quad" => {
+                if self.section != Section::Data {
+                    return Err(bad(&format!(".{name} outside .data")));
+                }
+                let width = match name {
+                    "byte" => 1,
+                    "half" => 2,
+                    "word" => 4,
+                    _ => 8,
+                };
+                for a in args {
+                    let DirArg::Int(v) = a else {
+                        return Err(bad(&format!(".{name} takes integer arguments")));
+                    };
+                    self.data.extend_from_slice(&v.to_le_bytes()[..width]);
+                }
+                Ok(())
+            }
+            "asciz" | "string" => {
+                if self.section != Section::Data {
+                    return Err(bad(&format!(".{name} outside .data")));
+                }
+                for a in args {
+                    let DirArg::Str(s) = a else {
+                        return Err(bad(&format!(".{name} takes string arguments")));
+                    };
+                    self.data.extend_from_slice(s.as_bytes());
+                    self.data.push(0);
+                }
+                Ok(())
+            }
+            "ascii" => {
+                if self.section != Section::Data {
+                    return Err(bad(".ascii outside .data"));
+                }
+                for a in args {
+                    let DirArg::Str(s) = a else {
+                        return Err(bad(".ascii takes string arguments"));
+                    };
+                    self.data.extend_from_slice(s.as_bytes());
+                }
+                Ok(())
+            }
+            "zero" | "space" => {
+                if self.section != Section::Data {
+                    return Err(bad(&format!(".{name} outside .data")));
+                }
+                let [DirArg::Int(n)] = args else {
+                    return Err(bad(&format!(".{name} takes one integer argument")));
+                };
+                if *n < 0 || *n > (64 << 20) {
+                    return Err(bad(&format!(".{name} size {n} out of range")));
+                }
+                self.data.resize(self.data.len() + *n as usize, 0);
+                Ok(())
+            }
+            "align" | "balign" => {
+                let [DirArg::Int(n)] = args else {
+                    return Err(bad(&format!(".{name} takes one integer argument")));
+                };
+                // .align is a power of two; .balign is a byte count.
+                let bytes = if name == "align" {
+                    if !(0..=12).contains(n) {
+                        return Err(bad(".align power must be 0..=12"));
+                    }
+                    1usize << n
+                } else {
+                    if *n <= 0 || (*n & (*n - 1)) != 0 {
+                        return Err(bad(".balign requires a positive power of two"));
+                    }
+                    *n as usize
+                };
+                match self.section {
+                    Section::Data => {
+                        while self.data.len() % bytes != 0 {
+                            self.data.push(0);
+                        }
+                        Ok(())
+                    }
+                    // Text alignment beyond parcel alignment is not
+                    // needed by the emitted subset; accept and ignore.
+                    Section::Text => Ok(()),
+                }
+            }
+            other => Err(AsmError::new(
+                line,
+                AsmErrorKind::UnknownMnemonic(format!(".{other}")),
+            )),
+        }
+    }
+
+    fn finish(mut self) -> Result<Image, AsmError> {
+        // ---- Pass 1: size every entry, place text labels. ----
+        let sizes: Vec<u32> = self
+            .entries
+            .iter()
+            .map(|e| match e {
+                Entry::La { .. } | Entry::Call { .. } => 8,
+                Entry::One { inst, target, .. } => {
+                    if self.options.compress
+                        && *target == Target::None
+                        && rvc::compress(inst).is_some()
+                    {
+                        2
+                    } else {
+                        4
+                    }
+                }
+            })
+            .collect();
+        let mut offsets = Vec::with_capacity(self.entries.len() + 1);
+        let mut at = 0u32;
+        for s in &sizes {
+            offsets.push(at);
+            at += s;
+        }
+        offsets.push(at); // one-past-the-end for trailing labels
+        let text_size = at;
+
+        for (name, entry_idx, line) in &self.text_labels {
+            let addr = self.options.text_base + offsets[*entry_idx] as u64;
+            if self.symbols.insert(name.clone(), addr).is_some() {
+                return Err(AsmError::new(
+                    *line,
+                    AsmErrorKind::DuplicateLabel(name.clone()),
+                ));
+            }
+        }
+
+        // ---- Pass 2: encode. ----
+        let mut text = Vec::with_capacity(text_size as usize);
+        let mut boundaries = Vec::with_capacity(self.entries.len());
+        for (idx, entry) in self.entries.iter().enumerate() {
+            let pc = self.options.text_base + offsets[idx] as u64;
+            match entry {
+                Entry::One { inst, target, line } => {
+                    let mut resolved = *inst;
+                    match target {
+                        Target::None => {}
+                        Target::Rel(sym) => {
+                            let addr = self.lookup(sym, *line)?;
+                            resolved.imm = addr.wrapping_sub(pc) as i64;
+                        }
+                        Target::AbsHi(sym) => {
+                            let addr = self.lookup(sym, *line)? as i64;
+                            resolved.imm = (addr + 0x800) & !0xFFF;
+                        }
+                        Target::AbsLo(sym) => {
+                            let addr = self.lookup(sym, *line)? as i64;
+                            resolved.imm = addr - ((addr + 0x800) & !0xFFF);
+                        }
+                    }
+                    let size = sizes[idx];
+                    if size == 2 {
+                        let parcel = rvc::compress(&resolved).expect("sized as compressible");
+                        boundaries.push(InstBoundary {
+                            offset: offsets[idx],
+                            kind: ParcelKind::Compressed,
+                        });
+                        text.extend_from_slice(&parcel.to_le_bytes());
+                    } else {
+                        let word = encode(&resolved).map_err(|e| {
+                            AsmError::new(*line, AsmErrorKind::BadImmediate(e.to_string()))
+                        })?;
+                        boundaries.push(InstBoundary {
+                            offset: offsets[idx],
+                            kind: ParcelKind::Full,
+                        });
+                        text.extend_from_slice(&word.to_le_bytes());
+                    }
+                }
+                Entry::La { rd, sym, line } => {
+                    let addr = self.lookup(sym, *line)?;
+                    let delta = addr.wrapping_sub(pc) as i64;
+                    self.emit_pcrel_pair(
+                        &mut text,
+                        &mut boundaries,
+                        offsets[idx],
+                        *rd,
+                        delta,
+                        Op::Addi,
+                        *rd,
+                        *line,
+                    )?;
+                }
+                Entry::Call { sym, line } => {
+                    let addr = self.lookup(sym, *line)?;
+                    let delta = addr.wrapping_sub(pc) as i64;
+                    self.emit_pcrel_pair(
+                        &mut text,
+                        &mut boundaries,
+                        offsets[idx],
+                        1, // ra
+                        delta,
+                        Op::Jalr,
+                        1,
+                        *line,
+                    )?;
+                }
+            }
+        }
+
+        let entry = self
+            .symbols
+            .get("main")
+            .or_else(|| self.symbols.get("_start"))
+            .copied()
+            .unwrap_or(self.options.text_base);
+
+        if self.options.text_base + text.len() as u64 > self.options.data_base
+            && !self.data.is_empty()
+        {
+            return Err(AsmError::new(
+                0,
+                AsmErrorKind::BadDirective(format!(
+                    "text section ({} bytes) overlaps data base {:#x}",
+                    text.len(),
+                    self.options.data_base
+                )),
+            ));
+        }
+
+        Ok(Image {
+            text,
+            data: std::mem::take(&mut self.data),
+            text_base: self.options.text_base,
+            data_base: self.options.data_base,
+            entry,
+            symbols: std::mem::take(&mut self.symbols),
+            boundaries,
+        })
+    }
+
+    /// Emit `auipc rd, hi` + `op2 rd2, lo(rd)` for a PC-relative pair.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_pcrel_pair(
+        &self,
+        text: &mut Vec<u8>,
+        boundaries: &mut Vec<InstBoundary>,
+        offset: u32,
+        rd: u8,
+        delta: i64,
+        second_op: Op,
+        rd2: u8,
+        line: usize,
+    ) -> Result<(), AsmError> {
+        let hi = (delta + 0x800) & !0xFFF;
+        let lo = delta - hi;
+        if hi > i32::MAX as i64 || hi < i32::MIN as i64 {
+            return Err(AsmError::new(
+                line,
+                AsmErrorKind::BadImmediate(format!("pc-relative offset {delta} out of range")),
+            ));
+        }
+        let auipc = Inst {
+            op: Op::Auipc,
+            rd,
+            rs1: 0,
+            rs2: 0,
+            rs3: 0,
+            imm: hi,
+            rm: 0,
+            len: 4,
+        };
+        let second = Inst {
+            op: second_op,
+            rd: rd2,
+            rs1: rd,
+            rs2: 0,
+            rs3: 0,
+            imm: lo,
+            rm: 0,
+            len: 4,
+        };
+        for (i, inst) in [auipc, second].iter().enumerate() {
+            let word = encode(inst)
+                .map_err(|e| AsmError::new(line, AsmErrorKind::BadImmediate(e.to_string())))?;
+            boundaries.push(InstBoundary {
+                offset: offset + 4 * i as u32,
+                kind: ParcelKind::Full,
+            });
+            text.extend_from_slice(&word.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, sym: &str, line: usize) -> Result<u64, AsmError> {
+        self.symbols
+            .get(sym)
+            .copied()
+            .ok_or_else(|| AsmError::new(line, AsmErrorKind::UndefinedSymbol(sym.to_string())))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pseudo-instruction expansion
+// ---------------------------------------------------------------------
+
+fn expand(
+    mnemonic: &str,
+    ops: &[Operand],
+    line: usize,
+    out: &mut Vec<Entry>,
+) -> Result<(), AsmError> {
+    let bad = |msg: &str| {
+        AsmError::new(
+            line,
+            AsmErrorKind::BadOperands(format!("{mnemonic}: {msg}")),
+        )
+    };
+    let one = |inst: Inst| Entry::One { inst, target: Target::None, line };
+
+    // Operand helpers.
+    let reg = |i: usize| -> Result<u8, AsmError> {
+        match ops.get(i) {
+            Some(Operand::Reg(r)) => Ok(r.num()),
+            _ => Err(bad(&format!("operand {} must be an integer register", i + 1))),
+        }
+    };
+    let freg = |i: usize| -> Result<u8, AsmError> {
+        match ops.get(i) {
+            Some(Operand::FReg(r)) => Ok(r.num()),
+            _ => Err(bad(&format!("operand {} must be an fp register", i + 1))),
+        }
+    };
+    let imm = |i: usize| -> Result<i64, AsmError> {
+        match ops.get(i) {
+            Some(Operand::Imm(v)) => Ok(*v),
+            _ => Err(bad(&format!("operand {} must be an immediate", i + 1))),
+        }
+    };
+    let mem = |i: usize| -> Result<(i64, u8), AsmError> {
+        match ops.get(i) {
+            Some(Operand::Mem { offset, base }) => Ok((*offset, base.num())),
+            _ => Err(bad(&format!("operand {} must be `offset(base)`", i + 1))),
+        }
+    };
+    let target = |i: usize| -> Result<(i64, Target), AsmError> {
+        match ops.get(i) {
+            Some(Operand::Imm(v)) => Ok((*v, Target::None)),
+            Some(Operand::Sym(s)) => Ok((0, Target::Rel(s.clone()))),
+            _ => Err(bad(&format!("operand {} must be a label or offset", i + 1))),
+        }
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(bad(&format!("expected {n} operands, found {}", ops.len())))
+        }
+    };
+    let mk = |op: Op, rd: u8, rs1: u8, rs2: u8, imm: i64| Inst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        rs3: 0,
+        imm,
+        rm: 0,
+        len: 4,
+    };
+
+    // Real instruction mnemonics first.
+    if let Some(op) = Op::from_mnemonic(mnemonic) {
+        match op {
+            Op::Lui | Op::Auipc => {
+                want(2)?;
+                let rd = reg(0)?;
+                match ops.get(1) {
+                    Some(Operand::Imm(v)) => {
+                        // `lui rd, imm20`: the operand is the page number.
+                        let value = (*v as i64) << 12;
+                        let value = ((value << 20) >> 20).max(i32::MIN as i64); // sign-fold 32-bit
+                        out.push(one(mk(op, rd, 0, 0, value)));
+                    }
+                    Some(Operand::HiSym(s)) => out.push(Entry::One {
+                        inst: mk(op, rd, 0, 0, 0),
+                        target: Target::AbsHi(s.clone()),
+                        line,
+                    }),
+                    _ => return Err(bad("expected immediate or %hi(symbol)")),
+                }
+            }
+            Op::Jal => {
+                // `jal target` or `jal rd, target`
+                let (rd, ti) = if ops.len() == 1 { (1u8, 0) } else { (reg(0)?, 1) };
+                let (off, tgt) = target(ti)?;
+                out.push(Entry::One { inst: mk(op, rd, 0, 0, off), target: tgt, line });
+            }
+            Op::Jalr => match ops.len() {
+                1 => {
+                    let rs1 = reg(0)?;
+                    out.push(one(mk(op, 1, rs1, 0, 0)));
+                }
+                2 => {
+                    let rd = reg(0)?;
+                    let (off, base) = mem(1)?;
+                    out.push(one(mk(op, rd, base, 0, off)));
+                }
+                3 => {
+                    let rd = reg(0)?;
+                    let rs1 = reg(1)?;
+                    let off = imm(2)?;
+                    out.push(one(mk(op, rd, rs1, 0, off)));
+                }
+                _ => return Err(bad("expected `jalr rs`, `jalr rd, off(rs)`, or `jalr rd, rs, off`")),
+            },
+            _ if op.is_branch() => {
+                want(3)?;
+                let rs1 = reg(0)?;
+                let rs2 = reg(1)?;
+                let (off, tgt) = target(2)?;
+                out.push(Entry::One { inst: mk(op, 0, rs1, rs2, off), target: tgt, line });
+            }
+            _ if op.is_load() => {
+                want(2)?;
+                let rd = if op.rd_is_fp() { freg(0)? } else { reg(0)? };
+                match ops.get(1) {
+                    Some(Operand::Mem { offset, base }) => {
+                        out.push(one(mk(op, rd, base.num(), 0, *offset)));
+                    }
+                    Some(Operand::LoSym(_)) => return Err(bad("use `off(base)` with %lo via addi")),
+                    _ => return Err(bad("expected `offset(base)`")),
+                }
+            }
+            _ if op.is_store() => {
+                want(2)?;
+                let rs2 = if op.rs2_is_fp() { freg(0)? } else { reg(0)? };
+                let (off, base) = mem(1)?;
+                out.push(one(mk(op, 0, base, rs2, off)));
+            }
+            _ if op.is_amo() => {
+                if matches!(op, Op::LrW | Op::LrD) {
+                    want(2)?;
+                    let rd = reg(0)?;
+                    let (off, base) = mem(1)?;
+                    if off != 0 {
+                        return Err(bad("atomic address must have zero offset"));
+                    }
+                    out.push(one(mk(op, rd, base, 0, 0)));
+                } else {
+                    want(3)?;
+                    let rd = reg(0)?;
+                    let rs2 = reg(1)?;
+                    let (off, base) = mem(2)?;
+                    if off != 0 {
+                        return Err(bad("atomic address must have zero offset"));
+                    }
+                    out.push(one(mk(op, rd, base, rs2, 0)));
+                }
+            }
+            _ if op.is_csr() => {
+                want(3)?;
+                let rd = reg(0)?;
+                let csr_num = match ops.get(1) {
+                    Some(Operand::Sym(s)) => csr::parse(s)
+                        .ok_or_else(|| bad(&format!("unknown CSR `{s}`")))?,
+                    Some(Operand::Imm(v)) if (0..4096).contains(v) => *v as u16,
+                    _ => return Err(bad("operand 2 must be a CSR name or number")),
+                };
+                let src = match op {
+                    Op::Csrrwi | Op::Csrrsi | Op::Csrrci => {
+                        let z = imm(2)?;
+                        if !(0..32).contains(&z) {
+                            return Err(bad("zimm must be 0..32"));
+                        }
+                        z as u8
+                    }
+                    _ => reg(2)?,
+                };
+                out.push(one(mk(op, rd, src, 0, csr_num as i64)));
+            }
+            Op::Ecall | Op::Ebreak => {
+                want(0)?;
+                out.push(one(mk(op, 0, 0, 0, 0)));
+            }
+            Op::Fence | Op::FenceI => {
+                // Accept bare `fence`.
+                out.push(one(mk(op, 0, 0, 0, if op == Op::Fence { 0x0FF } else { 0 })));
+            }
+            _ => {
+                // Remaining register-register / register-immediate forms.
+                match op.format() {
+                    eric_isa::op::Format::R => {
+                        // FP single-source ops take 2 operands.
+                        let single_src = matches!(
+                            op,
+                            Op::FsqrtS | Op::FsqrtD | Op::FclassS | Op::FclassD
+                                | Op::FmvXW | Op::FmvWX | Op::FmvXD | Op::FmvDX
+                                | Op::FcvtWS | Op::FcvtWuS | Op::FcvtLS | Op::FcvtLuS
+                                | Op::FcvtSW | Op::FcvtSWu | Op::FcvtSL | Op::FcvtSLu
+                                | Op::FcvtWD | Op::FcvtWuD | Op::FcvtLD | Op::FcvtLuD
+                                | Op::FcvtDW | Op::FcvtDWu | Op::FcvtDL | Op::FcvtDLu
+                                | Op::FcvtSD | Op::FcvtDS
+                        );
+                        if single_src {
+                            want(2)?;
+                            let rd = if op.rd_is_fp() { freg(0)? } else { reg(0)? };
+                            let rs1 = if op.rs1_is_fp() { freg(1)? } else { reg(1)? };
+                            out.push(one(mk(op, rd, rs1, 0, 0)));
+                        } else {
+                            want(3)?;
+                            let rd = if op.rd_is_fp() { freg(0)? } else { reg(0)? };
+                            let rs1 = if op.rs1_is_fp() { freg(1)? } else { reg(1)? };
+                            let rs2 = if op.rs2_is_fp() { freg(2)? } else { reg(2)? };
+                            out.push(one(mk(op, rd, rs1, rs2, 0)));
+                        }
+                    }
+                    eric_isa::op::Format::R4 => {
+                        want(4)?;
+                        let mut inst = mk(op, freg(0)?, freg(1)?, freg(2)?, 0);
+                        inst.rs3 = freg(3)?;
+                        out.push(one(inst));
+                    }
+                    _ => {
+                        // I-format ALU.
+                        want(3)?;
+                        let rd = reg(0)?;
+                        let rs1 = reg(1)?;
+                        match ops.get(2) {
+                            Some(Operand::Imm(v)) => out.push(one(mk(op, rd, rs1, 0, *v))),
+                            Some(Operand::LoSym(s)) if op == Op::Addi => {
+                                out.push(Entry::One {
+                                    inst: mk(op, rd, rs1, 0, 0),
+                                    target: Target::AbsLo(s.clone()),
+                                    line,
+                                });
+                            }
+                            _ => return Err(bad("operand 3 must be an immediate")),
+                        }
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Pseudo-instructions.
+    match mnemonic {
+        "nop" => {
+            want(0)?;
+            out.push(one(mk(Op::Addi, 0, 0, 0, 0)));
+        }
+        "li" => {
+            want(2)?;
+            let rd = reg(0)?;
+            let value = imm(1)?;
+            for inst in load_imm(rd, value) {
+                out.push(one(inst));
+            }
+        }
+        "la" => {
+            want(2)?;
+            let rd = reg(0)?;
+            let Some(Operand::Sym(sym)) = ops.get(1) else {
+                return Err(bad("operand 2 must be a symbol"));
+            };
+            out.push(Entry::La { rd, sym: clone_sym(sym), line });
+        }
+        "call" => {
+            want(1)?;
+            let Some(Operand::Sym(sym)) = ops.first() else {
+                return Err(bad("operand must be a symbol"));
+            };
+            out.push(Entry::Call { sym: clone_sym(sym), line });
+        }
+        "ret" => {
+            want(0)?;
+            out.push(one(mk(Op::Jalr, 0, 1, 0, 0)));
+        }
+        "j" => {
+            want(1)?;
+            let (off, tgt) = target(0)?;
+            out.push(Entry::One { inst: mk(Op::Jal, 0, 0, 0, off), target: tgt, line });
+        }
+        "jr" => {
+            want(1)?;
+            out.push(one(mk(Op::Jalr, 0, reg(0)?, 0, 0)));
+        }
+        "mv" => {
+            want(2)?;
+            out.push(one(mk(Op::Addi, reg(0)?, reg(1)?, 0, 0)));
+        }
+        "not" => {
+            want(2)?;
+            out.push(one(mk(Op::Xori, reg(0)?, reg(1)?, 0, -1)));
+        }
+        "neg" => {
+            want(2)?;
+            out.push(one(mk(Op::Sub, reg(0)?, 0, reg(1)?, 0)));
+        }
+        "negw" => {
+            want(2)?;
+            out.push(one(mk(Op::Subw, reg(0)?, 0, reg(1)?, 0)));
+        }
+        "sext.w" => {
+            want(2)?;
+            out.push(one(mk(Op::Addiw, reg(0)?, reg(1)?, 0, 0)));
+        }
+        "seqz" => {
+            want(2)?;
+            out.push(one(mk(Op::Sltiu, reg(0)?, reg(1)?, 0, 1)));
+        }
+        "snez" => {
+            want(2)?;
+            out.push(one(mk(Op::Sltu, reg(0)?, 0, reg(1)?, 0)));
+        }
+        "sltz" => {
+            want(2)?;
+            out.push(one(mk(Op::Slt, reg(0)?, reg(1)?, 0, 0)));
+        }
+        "sgtz" => {
+            want(2)?;
+            out.push(one(mk(Op::Slt, reg(0)?, 0, reg(1)?, 0)));
+        }
+        "beqz" | "bnez" | "blez" | "bgez" | "bltz" | "bgtz" => {
+            want(2)?;
+            let rs = reg(0)?;
+            let (off, tgt) = target(1)?;
+            let inst = match mnemonic {
+                "beqz" => mk(Op::Beq, 0, rs, 0, off),
+                "bnez" => mk(Op::Bne, 0, rs, 0, off),
+                "blez" => mk(Op::Bge, 0, 0, rs, off),
+                "bgez" => mk(Op::Bge, 0, rs, 0, off),
+                "bltz" => mk(Op::Blt, 0, rs, 0, off),
+                _ => mk(Op::Blt, 0, 0, rs, off),
+            };
+            out.push(Entry::One { inst, target: tgt, line });
+        }
+        "bgt" | "ble" | "bgtu" | "bleu" => {
+            want(3)?;
+            let rs1 = reg(0)?;
+            let rs2 = reg(1)?;
+            let (off, tgt) = target(2)?;
+            // Swap operands: bgt a,b == blt b,a.
+            let inst = match mnemonic {
+                "bgt" => mk(Op::Blt, 0, rs2, rs1, off),
+                "ble" => mk(Op::Bge, 0, rs2, rs1, off),
+                "bgtu" => mk(Op::Bltu, 0, rs2, rs1, off),
+                _ => mk(Op::Bgeu, 0, rs2, rs1, off),
+            };
+            out.push(Entry::One { inst, target: tgt, line });
+        }
+        "csrr" => {
+            want(2)?;
+            let rd = reg(0)?;
+            let Some(Operand::Sym(s)) = ops.get(1) else {
+                return Err(bad("operand 2 must be a CSR name"));
+            };
+            let c = csr::parse(s).ok_or_else(|| bad(&format!("unknown CSR `{s}`")))?;
+            out.push(one(mk(Op::Csrrs, rd, 0, 0, c as i64)));
+        }
+        "rdcycle" => {
+            want(1)?;
+            out.push(one(mk(Op::Csrrs, reg(0)?, 0, 0, csr::CYCLE as i64)));
+        }
+        "rdinstret" => {
+            want(1)?;
+            out.push(one(mk(Op::Csrrs, reg(0)?, 0, 0, csr::INSTRET as i64)));
+        }
+        "fmv.s" | "fmv.d" => {
+            want(2)?;
+            let op = if mnemonic == "fmv.s" { Op::FsgnjS } else { Op::FsgnjD };
+            let (rd, rs) = (freg(0)?, freg(1)?);
+            out.push(one(mk(op, rd, rs, rs, 0)));
+        }
+        "fneg.s" | "fneg.d" => {
+            want(2)?;
+            let op = if mnemonic == "fneg.s" { Op::FsgnjnS } else { Op::FsgnjnD };
+            let (rd, rs) = (freg(0)?, freg(1)?);
+            out.push(one(mk(op, rd, rs, rs, 0)));
+        }
+        "fabs.s" | "fabs.d" => {
+            want(2)?;
+            let op = if mnemonic == "fabs.s" { Op::FsgnjxS } else { Op::FsgnjxD };
+            let (rd, rs) = (freg(0)?, freg(1)?);
+            out.push(one(mk(op, rd, rs, rs, 0)));
+        }
+        other => {
+            return Err(AsmError::new(
+                line,
+                AsmErrorKind::UnknownMnemonic(other.to_string()),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn clone_sym(s: &str) -> String {
+    s.to_string()
+}
+
+/// Expand `li rd, value` into a minimal instruction sequence.
+fn load_imm(rd: u8, value: i64) -> Vec<Inst> {
+    let mk = |op: Op, rd: u8, rs1: u8, imm: i64| Inst {
+        op,
+        rd,
+        rs1,
+        rs2: 0,
+        rs3: 0,
+        imm,
+        rm: 0,
+        len: 4,
+    };
+    if (-2048..=2047).contains(&value) {
+        return vec![mk(Op::Addi, rd, 0, value)];
+    }
+    if (i32::MIN as i64..=i32::MAX as i64).contains(&value) {
+        let hi = (value.wrapping_add(0x800)) & !0xFFF;
+        let lo = value - hi;
+        // `hi` may be 2^31 exactly when value is near i32::MAX; lui can
+        // encode it as the sign-folded page.
+        let hi_folded = if hi == 1 << 31 { -(1i64 << 31) } else { hi };
+        let mut seq = vec![mk(Op::Lui, rd, 0, hi_folded)];
+        if lo != 0 {
+            seq.push(mk(Op::Addiw, rd, rd, lo));
+        }
+        return seq;
+    }
+    // 64-bit: build the upper part recursively, shift, add the low 12.
+    let lo = (value << 52) >> 52;
+    let upper = value.wrapping_sub(lo) >> 12;
+    let mut seq = load_imm(rd, upper);
+    seq.push(mk(Op::Slli, rd, rd, 12));
+    if lo != 0 {
+        seq.push(mk(Op::Addi, rd, rd, lo));
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eric_isa::decode::decode_parcel;
+
+    fn asm(src: &str) -> Image {
+        assemble(src, &AsmOptions::default()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Disassemble an image's text and return the instruction list.
+    fn disasm(img: &Image) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut at = 0usize;
+        while at < img.text.len() {
+            let inst = decode_parcel(&img.text[at..]).expect("valid code");
+            out.push(inst.to_string());
+            at += inst.len as usize;
+        }
+        out
+    }
+
+    #[test]
+    fn minimal_program() {
+        let img = asm(".text\nmain:\n  addi a0, zero, 7\n  ecall\n");
+        assert_eq!(disasm(&img), vec!["addi a0, zero, 7", "ecall"]);
+        assert_eq!(img.entry, img.text_base);
+        assert_eq!(img.symbol("main"), Some(img.text_base));
+    }
+
+    #[test]
+    fn backward_branch_offset() {
+        let img = asm("loop:\n  addi a0, a0, -1\n  bnez a0, loop\n");
+        let d = disasm(&img);
+        assert_eq!(d[1], "bne a0, zero, -4");
+    }
+
+    #[test]
+    fn forward_branch_offset() {
+        let img = asm("  beqz a0, done\n  nop\ndone:\n  ecall\n");
+        assert_eq!(disasm(&img)[0], "beq a0, zero, 8");
+    }
+
+    #[test]
+    fn li_small_medium_large() {
+        let img = asm("li a0, 42");
+        assert_eq!(disasm(&img), vec!["addi a0, zero, 42"]);
+
+        let img = asm("li a0, 0x12345678");
+        assert_eq!(disasm(&img), vec!["lui a0, 0x12345", "addiw a0, a0, 1656"]);
+
+        // A full 64-bit constant must load exactly (checked in the
+        // simulator tests); here just confirm it assembles to > 2 insts.
+        let img = asm("li a0, 0x123456789ABCDEF0");
+        assert!(img.instruction_count() > 2);
+    }
+
+    #[test]
+    fn la_resolves_to_data_symbol() {
+        let img = asm(".data\nbuf: .word 1, 2, 3\n.text\nmain:\n  la a0, buf\n  ld a1, 0(a0)\n");
+        let d = disasm(&img);
+        assert!(d[0].starts_with("auipc a0"), "{d:?}");
+        assert!(d[1].starts_with("addi a0, a0"), "{d:?}");
+        assert_eq!(img.symbol("buf"), Some(img.data_base));
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let img = asm("main:\n  call f\n  ecall\nf:\n  ret\n");
+        let d = disasm(&img);
+        assert!(d[0].starts_with("auipc ra"));
+        assert!(d[1].starts_with("jalr ra"));
+        assert_eq!(d[3], "jalr zero, 0(ra)");
+    }
+
+    #[test]
+    fn data_directives_layout() {
+        let img = asm(
+            ".data\na: .byte 1, 2\n.align 2\nb: .word 0x11223344\nc: .dword -1\ns: .asciz \"hi\"\nz: .zero 4\n",
+        );
+        assert_eq!(img.symbol("a"), Some(img.data_base));
+        assert_eq!(img.symbol("b"), Some(img.data_base + 4)); // aligned
+        assert_eq!(img.symbol("c"), Some(img.data_base + 8));
+        assert_eq!(img.symbol("s"), Some(img.data_base + 16));
+        assert_eq!(img.symbol("z"), Some(img.data_base + 19));
+        assert_eq!(&img.data[0..2], &[1, 2]);
+        assert_eq!(&img.data[4..8], &0x11223344u32.to_le_bytes());
+        assert_eq!(&img.data[16..19], b"hi\0");
+        assert_eq!(img.data.len(), 23);
+    }
+
+    #[test]
+    fn compression_shrinks_text_and_keeps_boundaries() {
+        let src = "main:\n  li a0, 5\n  addi a0, a0, 1\n  add a0, a0, a1\n  ecall\n";
+        let plain = assemble(src, &AsmOptions::default()).unwrap();
+        let compressed = assemble(src, &AsmOptions::compressed()).unwrap();
+        assert!(compressed.text.len() < plain.text.len());
+        assert!(compressed.has_compressed());
+        assert_eq!(compressed.instruction_count(), plain.instruction_count());
+        // Both must disassemble cleanly end to end.
+        disasm(&plain);
+        disasm(&compressed);
+    }
+
+    #[test]
+    fn compressed_branch_targets_still_resolve() {
+        let src = "main:\n  li t0, 10\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\n  ecall\n";
+        let img = assemble(src, &AsmOptions::compressed()).unwrap();
+        let d = disasm(&img);
+        // c.addi is 2 bytes, so the branch offset is -2.
+        assert!(d.iter().any(|s| s == "bne t0, zero, -2"), "{d:?}");
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("x:\nx:\n nop\n", &AsmOptions::default()).unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let err = assemble("beqz a0, nowhere\n", &AsmOptions::default()).unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedSymbol(_)));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let err = assemble("frobnicate a0\n", &AsmOptions::default()).unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn instruction_in_data_rejected() {
+        let err = assemble(".data\naddi a0, a0, 1\n", &AsmOptions::default()).unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::WrongSection(_)));
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        // 2000 nops ≈ 8 KB > ±4 KiB branch range.
+        let mut src = String::from("start:\n");
+        for _ in 0..2000 {
+            src.push_str("  nop\n");
+        }
+        src.push_str("  beqz a0, start\n");
+        let err = assemble(&src, &AsmOptions::default()).unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadImmediate(_)));
+    }
+
+    #[test]
+    fn csr_instructions() {
+        let img = asm("rdcycle a0\ncsrr a1, instret\n");
+        let d = disasm(&img);
+        assert_eq!(d[0], "csrrs a0, cycle, zero");
+        assert_eq!(d[1], "csrrs a1, instret, zero");
+    }
+
+    #[test]
+    fn amo_and_fp_assemble() {
+        let img = asm(
+            "amoadd.w a0, a1, (a2)\nlr.d t0, (a0)\nsc.d t1, t0, (a0)\nfadd.d fa0, fa1, fa2\nfcvt.d.l fa0, a0\nfld fa1, 8(sp)\nfsd fa1, 16(sp)\n",
+        );
+        let d = disasm(&img);
+        assert_eq!(d[0], "amoadd.w a0, a1, (a2)");
+        assert_eq!(d[3], "fadd.d fa0, fa1, fa2");
+        assert_eq!(d[5], "fld fa1, 8(sp)");
+    }
+
+    #[test]
+    fn entry_prefers_main() {
+        let img = asm("_start:\n nop\nmain:\n nop\n");
+        assert_eq!(img.entry, img.symbol("main").unwrap());
+    }
+
+    #[test]
+    fn pseudo_branches() {
+        let img = asm("x:\nble a0, a1, x\nbgt a0, a1, x\nbgez a0, x\n");
+        let d = disasm(&img);
+        assert_eq!(d[0], "bge a1, a0, 0");
+        assert_eq!(d[1], "blt a1, a0, -4");
+        assert_eq!(d[2], "bge a0, zero, -8");
+    }
+}

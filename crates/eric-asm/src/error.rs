@@ -1,0 +1,79 @@
+//! Assembler error reporting.
+
+use std::error::Error;
+use std::fmt;
+
+/// An assembly error, carrying the 1-based source line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text (0 = no specific line).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The specific failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// A token could not be lexed.
+    BadToken(String),
+    /// Unknown instruction mnemonic or directive.
+    UnknownMnemonic(String),
+    /// Operand list does not match the mnemonic.
+    BadOperands(String),
+    /// A referenced label was never defined.
+    UndefinedSymbol(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// Immediate out of range / misaligned for the instruction.
+    BadImmediate(String),
+    /// Directive used incorrectly.
+    BadDirective(String),
+    /// Instruction encountered outside `.text`, or data outside `.data`.
+    WrongSection(String),
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, kind: AsmErrorKind) -> Self {
+        AsmError { line, kind }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use AsmErrorKind::*;
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            BadToken(t) => write!(f, "unrecognized token `{t}`"),
+            UnknownMnemonic(m) => write!(f, "unknown mnemonic or directive `{m}`"),
+            BadOperands(m) => write!(f, "bad operands: {m}"),
+            UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            DuplicateLabel(s) => write!(f, "label `{s}` defined more than once"),
+            BadImmediate(m) => write!(f, "bad immediate: {m}"),
+            BadDirective(m) => write!(f, "bad directive: {m}"),
+            WrongSection(m) => write!(f, "wrong section: {m}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(42, AsmErrorKind::UndefinedSymbol("loop".into()));
+        assert_eq!(e.to_string(), "line 42: undefined symbol `loop`");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = AsmError::new(0, AsmErrorKind::BadDirective("x".into()));
+        assert_eq!(e.to_string(), "bad directive: x");
+    }
+}

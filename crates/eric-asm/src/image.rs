@@ -1,0 +1,108 @@
+//! The assembler's output: a loadable program image.
+
+use std::collections::HashMap;
+
+/// Size class of one instruction parcel in the text section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParcelKind {
+    /// A 16-bit compressed instruction.
+    Compressed,
+    /// A 32-bit instruction.
+    Full,
+}
+
+impl ParcelKind {
+    /// Instruction length in bytes.
+    pub fn len(self) -> usize {
+        match self {
+            ParcelKind::Compressed => 2,
+            ParcelKind::Full => 4,
+        }
+    }
+}
+
+/// Location of one instruction in the text section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InstBoundary {
+    /// Byte offset from the start of `.text`.
+    pub offset: u32,
+    /// Parcel size class.
+    pub kind: ParcelKind,
+}
+
+/// A fully assembled, loadable program image.
+///
+/// This is what ERIC's packaging pipeline consumes: `text` is what gets
+/// signed and encrypted, `boundaries` feeds per-instruction encryption
+/// maps, and `symbols` lets tools name addresses.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Image {
+    /// Machine code of the `.text` section.
+    pub text: Vec<u8>,
+    /// Initialized contents of the `.data` section.
+    pub data: Vec<u8>,
+    /// Load address of `.text`.
+    pub text_base: u64,
+    /// Load address of `.data`.
+    pub data_base: u64,
+    /// Entry point (the `main` or `_start` symbol, else `text_base`).
+    pub entry: u64,
+    /// All labels with their absolute addresses.
+    pub symbols: HashMap<String, u64>,
+    /// Every instruction's offset and size, in text order.
+    pub boundaries: Vec<InstBoundary>,
+}
+
+impl Image {
+    /// Total loadable bytes (text + data).
+    pub fn loadable_len(&self) -> usize {
+        self.text.len() + self.data.len()
+    }
+
+    /// Number of instructions in the text section.
+    pub fn instruction_count(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Number of 16-bit parcels the text section occupies (the unit of
+    /// the paper's encryption-map accounting: 1 map bit per parcel).
+    pub fn parcel_count(&self) -> usize {
+        self.text.len() / 2
+    }
+
+    /// Address of a symbol, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// `true` if any instruction is compressed.
+    pub fn has_compressed(&self) -> bool {
+        self.boundaries
+            .iter()
+            .any(|b| b.kind == ParcelKind::Compressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parcel_math() {
+        assert_eq!(ParcelKind::Compressed.len(), 2);
+        assert_eq!(ParcelKind::Full.len(), 4);
+        let img = Image {
+            text: vec![0; 12],
+            boundaries: vec![
+                InstBoundary { offset: 0, kind: ParcelKind::Full },
+                InstBoundary { offset: 4, kind: ParcelKind::Compressed },
+                InstBoundary { offset: 6, kind: ParcelKind::Full },
+                InstBoundary { offset: 10, kind: ParcelKind::Compressed },
+            ],
+            ..Image::default()
+        };
+        assert_eq!(img.parcel_count(), 6);
+        assert_eq!(img.instruction_count(), 4);
+        assert!(img.has_compressed());
+    }
+}

@@ -1,0 +1,273 @@
+//! Line-oriented tokenizer for RISC-V assembly.
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// One token of a source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier: mnemonic, register name, label reference, directive
+    /// (with leading `.` preserved), or `%hi`/`%lo` modifier name.
+    Ident(String),
+    /// Integer literal (decimal, `0x`, `0b`, negative, or `'c'`).
+    Int(i64),
+    /// String literal (for `.asciz` / `.string`).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:` (label definition)
+    Colon,
+    /// `%` (immediate modifier sigil)
+    Percent,
+}
+
+/// Tokenize one line (comments `#` and `//` are stripped).
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with [`AsmErrorKind::BadToken`] for characters
+/// that cannot start a token and for malformed literals.
+pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, AsmError> {
+    let mut tokens = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let err = |i: usize, msg: &str| {
+        AsmError::new(
+            line_no,
+            AsmErrorKind::BadToken(format!("{msg} at column {}", i + 1)),
+        )
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => break,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '"' => {
+                let (s, consumed) = lex_string(&line[i..]).ok_or_else(|| {
+                    err(i, "unterminated or malformed string literal")
+                })?;
+                tokens.push(Token::Str(s));
+                i += consumed;
+            }
+            '\'' => {
+                // Character literal: 'a' or '\n'.
+                let rest = &line[i + 1..];
+                let (value, consumed) = lex_char(rest).ok_or_else(|| {
+                    err(i, "malformed character literal")
+                })?;
+                tokens.push(Token::Int(value));
+                i += 1 + consumed;
+            }
+            '-' | '0'..='9' => {
+                let (value, consumed) =
+                    lex_int(&line[i..]).ok_or_else(|| err(i, "malformed integer literal"))?;
+                tokens.push(Token::Int(value));
+                i += consumed;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(line[start..i].to_string()));
+            }
+            other => return Err(err(i, &format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(s: &str) -> Option<(String, usize)> {
+    debug_assert!(s.starts_with('"'));
+    let mut out = String::new();
+    let mut chars = s.char_indices().skip(1);
+    while let Some((idx, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, idx + 1)),
+            '\\' => {
+                let (_, esc) = chars.next()?;
+                out.push(unescape(esc)?);
+            }
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn lex_char(rest: &str) -> Option<(i64, usize)> {
+    let mut chars = rest.chars();
+    let first = chars.next()?;
+    if first == '\\' {
+        let esc = chars.next()?;
+        let close = chars.next()?;
+        (close == '\'').then_some((unescape(esc)? as i64, 3))
+    } else {
+        let close = chars.next()?;
+        (close == '\'').then_some((first as i64, 2))
+    }
+}
+
+fn unescape(c: char) -> Option<char> {
+    Some(match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        '\\' => '\\',
+        '"' => '"',
+        '\'' => '\'',
+        _ => return None,
+    })
+}
+
+fn lex_int(s: &str) -> Option<(i64, usize)> {
+    let negative = s.starts_with('-');
+    let body = if negative { &s[1..] } else { s };
+    let (digits, radix, prefix_len) = if let Some(hex) = body.strip_prefix("0x") {
+        (hex, 16, 2)
+    } else if let Some(hex) = body.strip_prefix("0X") {
+        (hex, 16, 2)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        (bin, 2, 2)
+    } else {
+        (body, 10, 0)
+    };
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    // Parse via u64 to accept the full 64-bit pattern space (e.g.
+    // 0xFFFFFFFFFFFFFFFF), then reinterpret.
+    let magnitude = u64::from_str_radix(&digits[..end], radix).ok()?;
+    let value = if negative {
+        (magnitude as i64).wrapping_neg()
+    } else {
+        magnitude as i64
+    };
+    let consumed = (if negative { 1 } else { 0 }) + prefix_len + end;
+    Some((value, consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(line: &str) -> Vec<Token> {
+        tokenize(line, 1).expect("tokenizes")
+    }
+
+    #[test]
+    fn basic_instruction() {
+        assert_eq!(
+            toks("addi a0, a0, 1"),
+            vec![
+                Token::Ident("addi".into()),
+                Token::Ident("a0".into()),
+                Token::Comma,
+                Token::Ident("a0".into()),
+                Token::Comma,
+                Token::Int(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn memory_operand() {
+        assert_eq!(
+            toks("lw a0, -8(sp)"),
+            vec![
+                Token::Ident("lw".into()),
+                Token::Ident("a0".into()),
+                Token::Comma,
+                Token::Int(-8),
+                Token::LParen,
+                Token::Ident("sp".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn label_and_comments() {
+        assert_eq!(
+            toks("loop:  # the loop head"),
+            vec![Token::Ident("loop".into()), Token::Colon]
+        );
+        assert_eq!(toks("// whole line comment"), vec![]);
+        assert_eq!(toks("   "), vec![]);
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(toks("0x10"), vec![Token::Int(16)]);
+        assert_eq!(toks("0b101"), vec![Token::Int(5)]);
+        assert_eq!(toks("-42"), vec![Token::Int(-42)]);
+        assert_eq!(toks("0xFFFFFFFFFFFFFFFF"), vec![Token::Int(-1)]);
+        assert_eq!(toks("'A'"), vec![Token::Int(65)]);
+        assert_eq!(toks("'\\n'"), vec![Token::Int(10)]);
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            toks(r#".asciz "hi\n""#),
+            vec![Token::Ident(".asciz".into()), Token::Str("hi\n".into())]
+        );
+    }
+
+    #[test]
+    fn percent_modifier() {
+        assert_eq!(
+            toks("lui a0, %hi(buf)"),
+            vec![
+                Token::Ident("lui".into()),
+                Token::Ident("a0".into()),
+                Token::Comma,
+                Token::Percent,
+                Token::Ident("hi".into()),
+                Token::LParen,
+                Token::Ident("buf".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_tokens_error() {
+        assert!(tokenize("addi a0, a0, @", 3).is_err());
+        assert!(tokenize("\"unterminated", 1).is_err());
+        let e = tokenize("addi a0, a0, @", 7).unwrap_err();
+        assert_eq!(e.line, 7);
+    }
+}

@@ -1,0 +1,283 @@
+//! Parse token streams into statements.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::lexer::{tokenize, Token};
+use eric_isa::reg::{FReg, Reg};
+
+/// An instruction operand as written in the source.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    /// Integer register.
+    Reg(Reg),
+    /// Floating-point register.
+    FReg(FReg),
+    /// Integer literal.
+    Imm(i64),
+    /// Bare symbol reference (branch/jump target, `la` source, CSR name).
+    Sym(String),
+    /// `%hi(symbol)`.
+    HiSym(String),
+    /// `%lo(symbol)`.
+    LoSym(String),
+    /// `offset(base)` memory operand; offset may be 0 when omitted.
+    Mem {
+        /// Byte offset (literal only).
+        offset: i64,
+        /// Base register.
+        base: Reg,
+    },
+}
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `name:` — a label definition.
+    Label(String),
+    /// `.directive args...`
+    Directive {
+        /// Directive name, without the leading dot.
+        name: String,
+        /// Raw argument tokens for the directive handler.
+        args: Vec<DirArg>,
+    },
+    /// `mnemonic operands...`
+    Inst {
+        /// The mnemonic as written.
+        mnemonic: String,
+        /// Parsed operands.
+        operands: Vec<Operand>,
+    },
+}
+
+/// A directive argument.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DirArg {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Identifier (e.g. a symbol).
+    Ident(String),
+}
+
+/// One parsed source line: zero or more labels and at most one
+/// statement.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Line {
+    /// Labels defined on this line.
+    pub labels: Vec<String>,
+    /// The statement, if any.
+    pub stmt: Option<Stmt>,
+    /// 1-based source line number.
+    pub number: usize,
+}
+
+/// Parse a full source text into lines.
+///
+/// # Errors
+///
+/// Propagates lexer errors and reports malformed statements with their
+/// line numbers.
+pub fn parse(src: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let number = idx + 1;
+        let tokens = tokenize(raw, number)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        out.push(parse_line(&tokens, number)?);
+    }
+    Ok(out)
+}
+
+fn parse_line(tokens: &[Token], number: usize) -> Result<Line, AsmError> {
+    let mut line = Line { number, ..Line::default() };
+    let mut rest = tokens;
+    // Leading `ident:` pairs are labels.
+    while let [Token::Ident(name), Token::Colon, tail @ ..] = rest {
+        line.labels.push(name.clone());
+        rest = tail;
+    }
+    if rest.is_empty() {
+        return Ok(line);
+    }
+    let Token::Ident(head) = &rest[0] else {
+        return Err(AsmError::new(
+            number,
+            AsmErrorKind::BadOperands("statement must start with a mnemonic".into()),
+        ));
+    };
+    if let Some(directive) = head.strip_prefix('.') {
+        line.stmt = Some(Stmt::Directive {
+            name: directive.to_string(),
+            args: parse_dir_args(&rest[1..], number)?,
+        });
+    } else {
+        line.stmt = Some(Stmt::Inst {
+            mnemonic: head.clone(),
+            operands: parse_operands(&rest[1..], number)?,
+        });
+    }
+    Ok(line)
+}
+
+fn parse_dir_args(tokens: &[Token], number: usize) -> Result<Vec<DirArg>, AsmError> {
+    let mut args = Vec::new();
+    for t in tokens {
+        match t {
+            Token::Int(v) => args.push(DirArg::Int(*v)),
+            Token::Str(s) => args.push(DirArg::Str(s.clone())),
+            Token::Ident(s) => args.push(DirArg::Ident(s.clone())),
+            Token::Comma => {}
+            other => {
+                return Err(AsmError::new(
+                    number,
+                    AsmErrorKind::BadDirective(format!("unexpected token {other:?}")),
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn parse_operands(tokens: &[Token], number: usize) -> Result<Vec<Operand>, AsmError> {
+    let mut ops = Vec::new();
+    let mut i = 0;
+    let bad = |msg: &str| AsmError::new(number, AsmErrorKind::BadOperands(msg.into()));
+    while i < tokens.len() {
+        match &tokens[i] {
+            Token::Comma => i += 1,
+            Token::Percent => {
+                // %hi(sym) / %lo(sym)
+                let [Token::Ident(kind), Token::LParen, Token::Ident(sym), Token::RParen, ..] =
+                    &tokens[i + 1..]
+                else {
+                    return Err(bad("expected %hi(symbol) or %lo(symbol)"));
+                };
+                match kind.as_str() {
+                    "hi" => ops.push(Operand::HiSym(sym.clone())),
+                    "lo" => ops.push(Operand::LoSym(sym.clone())),
+                    other => return Err(bad(&format!("unknown modifier %{other}"))),
+                }
+                i += 5;
+            }
+            Token::Int(v) => {
+                // Either a plain immediate or `imm(reg)`.
+                if let Some(Token::LParen) = tokens.get(i + 1) {
+                    let [Token::Ident(base), Token::RParen, ..] = &tokens[i + 2..] else {
+                        return Err(bad("expected `offset(register)`"));
+                    };
+                    let base = Reg::parse(base)
+                        .ok_or_else(|| bad(&format!("unknown base register `{base}`")))?;
+                    ops.push(Operand::Mem { offset: *v, base });
+                    i += 4;
+                } else {
+                    ops.push(Operand::Imm(*v));
+                    i += 1;
+                }
+            }
+            Token::LParen => {
+                // `(reg)` with omitted zero offset.
+                let [Token::Ident(base), Token::RParen, ..] = &tokens[i + 1..] else {
+                    return Err(bad("expected `(register)`"));
+                };
+                let base = Reg::parse(base)
+                    .ok_or_else(|| bad(&format!("unknown base register `{base}`")))?;
+                ops.push(Operand::Mem { offset: 0, base });
+                i += 3;
+            }
+            Token::Ident(name) => {
+                if let Some(r) = Reg::parse(name) {
+                    ops.push(Operand::Reg(r));
+                } else if let Some(f) = FReg::parse(name) {
+                    ops.push(Operand::FReg(f));
+                } else {
+                    ops.push(Operand::Sym(name.clone()));
+                }
+                i += 1;
+            }
+            other => return Err(bad(&format!("unexpected token {other:?}"))),
+        }
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Line {
+        let lines = parse(src).expect("parses");
+        assert_eq!(lines.len(), 1);
+        lines.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn labels_and_instruction() {
+        let l = one("start: main: addi a0, a0, 1");
+        assert_eq!(l.labels, vec!["start", "main"]);
+        let Some(Stmt::Inst { mnemonic, operands }) = l.stmt else {
+            panic!("expected instruction");
+        };
+        assert_eq!(mnemonic, "addi");
+        assert_eq!(operands.len(), 3);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let l = one("lw a0, 8(sp)");
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        assert_eq!(
+            operands[1],
+            Operand::Mem { offset: 8, base: Reg::SP }
+        );
+        let l = one("lr.w a0, (a1)");
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        assert_eq!(operands[1], Operand::Mem { offset: 0, base: Reg::A1 });
+    }
+
+    #[test]
+    fn symbols_and_modifiers() {
+        let l = one("bne a0, zero, loop");
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        assert_eq!(operands[2], Operand::Sym("loop".into()));
+
+        let l = one("lui a0, %hi(buffer)");
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        assert_eq!(operands[1], Operand::HiSym("buffer".into()));
+    }
+
+    #[test]
+    fn directives() {
+        let l = one(".word 1, 2, 3");
+        let Some(Stmt::Directive { name, args }) = l.stmt else { panic!() };
+        assert_eq!(name, "word");
+        assert_eq!(args, vec![DirArg::Int(1), DirArg::Int(2), DirArg::Int(3)]);
+
+        let l = one(r#".asciz "hello""#);
+        let Some(Stmt::Directive { name, args }) = l.stmt else { panic!() };
+        assert_eq!(name, "asciz");
+        assert_eq!(args, vec![DirArg::Str("hello".into())]);
+    }
+
+    #[test]
+    fn fp_registers() {
+        let l = one("fadd.s fa0, fa1, fa2");
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        assert!(matches!(operands[0], Operand::FReg(_)));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skipped() {
+        let lines = parse("\n# comment\n  \naddi a0, a0, 1\n").expect("parses");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].number, 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("nop\nnop\n???").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! Ablation — multi-lane parallel decryption (paper future work §VI).
+
+use eric_bench::ablation_parallel_decrypt;
+use eric_bench::output::{banner, write_json};
+
+fn main() {
+    banner("Ablation: parallel decryption lanes (4 MiB payload)");
+    let rows = ablation_parallel_decrypt();
+    println!("{:<8} {:>16} {:>14}", "lanes", "modeled cycles", "host wall (us)");
+    for r in &rows {
+        println!("{:<8} {:>16} {:>14.0}", r.lanes, r.modeled_cycles, r.wall_us);
+    }
+    println!("\nnote: the SHA-256 signature chain does not parallelize, so the");
+    println!("modeled cycles floor at the hash rate — the scalability limit the");
+    println!("paper's future-work section targets.");
+    write_json("ablation_parallel_decrypt", &rows);
+}

@@ -1,0 +1,27 @@
+//! Ablation — partial-encryption fraction sweep: size vs. hiding vs.
+//! execution overhead (the design space behind the paper's partial
+//! mode).
+
+use eric_bench::ablation_partial_sweep;
+use eric_bench::output::{banner, write_json};
+use eric_workloads::by_name;
+
+fn main() {
+    let workload = by_name("crc32").expect("crc32 workload");
+    banner(&format!(
+        "Ablation: partial-encryption fraction sweep ({})",
+        workload.name
+    ));
+    let rows = ablation_partial_sweep(&workload);
+    println!(
+        "{:<10} {:>10} {:>14} {:>16}",
+        "fraction", "size +%", "decode ratio", "exec overhead %"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>+9.2}% {:>14.3} {:>+15.2}%",
+            r.fraction, r.size_pct, r.decode_ratio, r.exec_overhead_pct
+        );
+    }
+    write_json("ablation_partial_sweep", &rows);
+}

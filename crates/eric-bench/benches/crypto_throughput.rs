@@ -1,0 +1,47 @@
+//! Criterion microbenchmarks of the crypto primitives (cipher-choice
+//! ablation: the paper's pluggable encryption function).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eric_crypto::cipher::CipherKind;
+use eric_crypto::sha256::Sha256;
+
+fn bench_ciphers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keystream_ciphers");
+    for size in [4 * 1024usize, 64 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        for kind in [CipherKind::Xor, CipherKind::ShaCtr] {
+            let cipher = kind.instantiate(&[7u8; 32]);
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), size),
+                &size,
+                |b, &size| {
+                    let mut buf = vec![0xA5u8; size];
+                    b.iter(|| {
+                        cipher.apply(0, &mut buf);
+                        std::hint::black_box(&buf);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [4 * 1024usize, 64 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let data = vec![0x3Cu8; size];
+        group.bench_with_input(BenchmarkId::new("digest", size), &size, |b, _| {
+            b.iter(|| {
+                let mut h = Sha256::new();
+                h.update(&data);
+                std::hint::black_box(h.finalize());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ciphers, bench_sha256);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 5 — program package size growth over the plain binary.
+//!
+//! Paper: full encryption adds only the 256-bit signature; partial
+//! encryption adds 1 map bit per 16-bit parcel; worst growth 3.73 %,
+//! average 1.59 %.
+
+use eric_bench::fig5_package_size;
+use eric_bench::output::{banner, write_json};
+
+fn main() {
+    banner("Figure 5: Program Package Size (normalized to plain binary)");
+    let f = fig5_package_size();
+    println!(
+        "{:<14} {:>10} {:>12} {:>8} {:>12} {:>9}",
+        "workload", "plain B", "full pkg B", "full %", "partial B", "partial %"
+    );
+    for r in &f.rows {
+        println!(
+            "{:<14} {:>10} {:>12} {:>+7.2}% {:>12} {:>+8.2}%",
+            r.name, r.plain_bytes, r.full_bytes, r.full_pct, r.partial_bytes, r.partial_pct
+        );
+    }
+    println!(
+        "\naverage growth {:+.2}% (paper 1.59%), max {:+.2}% (paper 3.73%)",
+        f.average_pct, f.max_pct
+    );
+    write_json("fig5_package_size", &f);
+}

@@ -1,0 +1,34 @@
+//! Figure 6 — compile-time comparison, normalized to the plain
+//! compiler.
+//!
+//! Paper: encryption + signing raises compile time by 15.22 % on
+//! average, 33.20 % worst case, measured against the unmodified Clang
+//! driver. Here the baseline is the plain assembler and the treatment
+//! adds SHA-256 signing, keystream encryption, and packaging.
+
+use eric_bench::fig6_compile_time;
+use eric_bench::output::{banner, write_json};
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(101);
+    banner("Figure 6: Compile Time (normalized to plain compilation)");
+    let f = fig6_compile_time(iters);
+    println!(
+        "{:<14} {:>14} {:>14} {:>10}",
+        "workload", "baseline (us)", "with ERIC (us)", "overhead"
+    );
+    for r in &f.rows {
+        println!(
+            "{:<14} {:>14.1} {:>14.1} {:>+9.2}%",
+            r.name, r.baseline_us, r.secure_us, r.overhead_pct
+        );
+    }
+    println!(
+        "\naverage overhead {:+.2}% (paper 15.22%), max {:+.2}% (paper 33.20%)",
+        f.average_pct, f.max_pct
+    );
+    write_json("fig6_compile_time", &f);
+}

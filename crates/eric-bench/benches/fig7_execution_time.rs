@@ -1,0 +1,30 @@
+//! Figure 7 — end-to-end execution time, normalized to the unencrypted
+//! baseline.
+//!
+//! Paper: ERIC slows end-to-end execution by at most 7.05 % and 4.13 %
+//! on average; overhead is proportional to the program's static size
+//! because the HDE processes the image once at load time while the
+//! execution itself is unchanged.
+
+use eric_bench::fig7_execution_time;
+use eric_bench::output::{banner, write_json};
+
+fn main() {
+    banner("Figure 7: Execution Time (normalized to unencrypted execution)");
+    let f = fig7_execution_time();
+    println!(
+        "{:<14} {:>9} {:>12} {:>13} {:>13} {:>9}",
+        "workload", "payload B", "instructions", "plain cyc", "secure cyc", "overhead"
+    );
+    for r in &f.rows {
+        println!(
+            "{:<14} {:>9} {:>12} {:>13} {:>13} {:>+8.2}%",
+            r.name, r.payload_bytes, r.instructions, r.plain_cycles, r.secure_cycles, r.overhead_pct
+        );
+    }
+    println!(
+        "\naverage overhead {:+.2}% (paper 4.13%), max {:+.2}% (paper 7.05%)",
+        f.average_pct, f.max_pct
+    );
+    write_json("fig7_execution_time", &f);
+}

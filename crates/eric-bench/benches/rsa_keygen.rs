@@ -1,0 +1,16 @@
+//! Extension — RSA key generation and PUF-based-key wrapping (paper
+//! future work §VI: "We also aim to bring RSA-based key generation and
+//! usage to ERIC").
+
+use eric_bench::output::{banner, write_json};
+use eric_bench::rsa_keygen;
+
+fn main() {
+    banner("Extension: RSA keygen + 32-byte key wrap (from-scratch bignum)");
+    let rows = rsa_keygen();
+    println!("{:<8} {:>14} {:>18}", "bits", "keygen (ms)", "wrap+unwrap (us)");
+    for r in &rows {
+        println!("{:<8} {:>14.1} {:>18.1}", r.bits, r.keygen_ms, r.wrap_us);
+    }
+    write_json("rsa_keygen", &rows);
+}

@@ -1,0 +1,21 @@
+//! Static-analysis resistance — quantifies the §I obfuscation claim:
+//! intercepted packages expose only ciphertext.
+
+use eric_bench::output::{banner, write_json};
+use eric_bench::static_analysis_resistance;
+
+fn main() {
+    banner("Static-Analysis Resistance (plain vs. fully-encrypted text)");
+    let rows = static_analysis_resistance();
+    println!(
+        "{:<14} {:>11} {:>12} {:>11} {:>12} {:>12}",
+        "workload", "entropy", "entropy(enc)", "decode", "decode(enc)", "opcode-shift"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>11.3} {:>12.3} {:>11.3} {:>12.3} {:>12.3}",
+            r.name, r.plain_entropy, r.cipher_entropy, r.plain_decode, r.cipher_decode, r.opcode_shift
+        );
+    }
+    write_json("static_analysis", &rows);
+}

@@ -1,0 +1,31 @@
+//! Table II — FPGA area results.
+//!
+//! Paper: Rocket 33 894 LUTs / 19 093 FFs; +HDE = 34 811 / 19 854
+//! (+2.63 % / +3.83 %).
+
+use eric_bench::output::{banner, write_json};
+use eric_bench::table2_fpga_area;
+
+fn main() {
+    banner("Table II: Area Results of FPGA Implementation (structural estimate)");
+    let t = table2_fpga_area();
+    println!(
+        "{:<18} {:>12} {:>18} {:>10}",
+        "", "Rocket Chip", "Rocket Chip + HDE", "Change(%)"
+    );
+    println!(
+        "{:<18} {:>12} {:>18} {:>+9.2}%",
+        "Total Slice LUTs", t.rocket_luts, t.with_hde_luts, t.lut_change_pct
+    );
+    println!(
+        "{:<18} {:>12} {:>18} {:>+9.2}%",
+        "Total Flip-Flops", t.rocket_ffs, t.with_hde_ffs, t.ff_change_pct
+    );
+    println!("{:<18} {:>12} {:>18} {:>10}", "Frequency(MHz)", 25, 25, "-");
+    println!("\npaper reference: +2.63% LUTs, +3.83% FFs");
+    println!("\nHDE hierarchy:");
+    for (depth, name, luts, ffs) in &t.hde_hierarchy {
+        println!("{:indent$}{name:<28} {luts:>6} LUTs {ffs:>6} FFs", "", indent = depth * 2);
+    }
+    write_json("table2_fpga_area", &t);
+}

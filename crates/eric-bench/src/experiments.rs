@@ -1,0 +1,549 @@
+//! Experiment implementations, one per paper table/figure + ablations.
+
+use eric_core::{Device, EncryptionConfig, SoftwareSource};
+use eric_crypto::cipher::CipherKind;
+use eric_hde::parallel::parallel_cycles;
+use eric_hde::timing::HdeTimingConfig;
+use eric_puf::device::PufDeviceConfig;
+use eric_puf::metrics::{measure_quality, PufQualityReport, QualityCampaign};
+use eric_workloads::{all, Workload};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Instruction budget for figure runs.
+const FUEL: u64 = 2_000_000_000;
+
+// ---------------------------------------------------------------------
+// Figure 5 — program package size
+// ---------------------------------------------------------------------
+
+/// One Figure 5 row: package-size growth per workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5Row {
+    /// Workload name.
+    pub name: String,
+    /// Plain program size (text + data), bytes.
+    pub plain_bytes: usize,
+    /// Fully-encrypted package size, bytes (paper accounting).
+    pub full_bytes: usize,
+    /// Growth of the full-encryption package, percent.
+    pub full_pct: f64,
+    /// Partially-encrypted package size, bytes (adds 1 bit/parcel map).
+    pub partial_bytes: usize,
+    /// Growth of the partial-encryption package, percent.
+    pub partial_pct: f64,
+}
+
+/// Figure 5 report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5Report {
+    /// Per-workload rows.
+    pub rows: Vec<Fig5Row>,
+    /// Mean growth over both configurations (paper: 1.59 %).
+    pub average_pct: f64,
+    /// Worst growth (paper: 3.73 %).
+    pub max_pct: f64,
+}
+
+/// Regenerate Figure 5.
+pub fn fig5_package_size() -> Fig5Report {
+    let source = SoftwareSource::new("bench");
+    let mut device = Device::with_seed(1, "bench-dev");
+    let cred = device.enroll();
+    let mut rows = Vec::new();
+    for w in all() {
+        let asm = (w.source)(w.default_scale);
+        let full = source.build(&asm, &cred, &EncryptionConfig::full()).unwrap();
+        let partial = source
+            .build(&asm, &cred, &EncryptionConfig::partial(0.5, 1))
+            .unwrap();
+        let fr = full.size_report();
+        let pr = partial.size_report();
+        rows.push(Fig5Row {
+            name: w.name.to_string(),
+            plain_bytes: fr.plain_bytes,
+            full_bytes: fr.package_bytes(),
+            full_pct: fr.increase_pct(),
+            partial_bytes: pr.package_bytes(),
+            partial_pct: pr.increase_pct(),
+        });
+    }
+    let growths: Vec<f64> = rows
+        .iter()
+        .flat_map(|r| [r.full_pct, r.partial_pct])
+        .collect();
+    let average_pct = growths.iter().sum::<f64>() / growths.len() as f64;
+    let max_pct = growths.iter().fold(0.0f64, |a, &b| a.max(b));
+    Fig5Report { rows, average_pct, max_pct }
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — compile time
+// ---------------------------------------------------------------------
+
+/// One Figure 6 row: normalized compile time per workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig6Row {
+    /// Workload name.
+    pub name: String,
+    /// Median plain compile time, microseconds.
+    pub baseline_us: f64,
+    /// Median compile+sign+encrypt+package time, microseconds.
+    pub secure_us: f64,
+    /// Overhead percent (the Figure 6 y-axis).
+    pub overhead_pct: f64,
+}
+
+/// Figure 6 report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig6Report {
+    /// Per-workload rows.
+    pub rows: Vec<Fig6Row>,
+    /// Mean overhead (paper: 15.22 %).
+    pub average_pct: f64,
+    /// Worst overhead (paper: 33.20 %).
+    pub max_pct: f64,
+}
+
+fn median_time<F: FnMut()>(iters: u32, mut f: F) -> Duration {
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Regenerate Figure 6 with `iters` timing samples per point.
+pub fn fig6_compile_time(iters: u32) -> Fig6Report {
+    let source = SoftwareSource::new("bench");
+    let mut device = Device::with_seed(2, "bench-dev");
+    let cred = device.enroll();
+    let mut rows = Vec::new();
+    for w in all() {
+        let asm = (w.source)(w.default_scale);
+        let baseline = median_time(iters, || {
+            std::hint::black_box(source.compile(&asm, false).unwrap());
+        });
+        let secure = median_time(iters, || {
+            std::hint::black_box(
+                source.build(&asm, &cred, &EncryptionConfig::full()).unwrap(),
+            );
+        });
+        let overhead_pct = 100.0 * (secure.as_secs_f64() - baseline.as_secs_f64())
+            / baseline.as_secs_f64();
+        rows.push(Fig6Row {
+            name: w.name.to_string(),
+            baseline_us: baseline.as_secs_f64() * 1e6,
+            secure_us: secure.as_secs_f64() * 1e6,
+            overhead_pct,
+        });
+    }
+    let average_pct = rows.iter().map(|r| r.overhead_pct).sum::<f64>() / rows.len() as f64;
+    let max_pct = rows.iter().fold(0.0f64, |a, r| a.max(r.overhead_pct));
+    Fig6Report { rows, average_pct, max_pct }
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — execution time
+// ---------------------------------------------------------------------
+
+/// One Figure 7 row: end-to-end execution overhead per workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig7Row {
+    /// Workload name.
+    pub name: String,
+    /// Payload size (text + data), bytes.
+    pub payload_bytes: usize,
+    /// Baseline: plain load + execution cycles.
+    pub plain_cycles: u64,
+    /// ERIC: HDE decrypt/hash/validate + load + execution cycles.
+    pub secure_cycles: u64,
+    /// Overhead percent (the Figure 7 y-axis).
+    pub overhead_pct: f64,
+    /// Dynamic instruction count (identical in both runs).
+    pub instructions: u64,
+}
+
+/// Figure 7 report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig7Report {
+    /// Per-workload rows.
+    pub rows: Vec<Fig7Row>,
+    /// Mean overhead (paper: 4.13 %).
+    pub average_pct: f64,
+    /// Worst overhead (paper: 7.05 %).
+    pub max_pct: f64,
+}
+
+/// Regenerate Figure 7.
+pub fn fig7_execution_time() -> Fig7Report {
+    let source = SoftwareSource::new("bench");
+    let mut device = Device::with_seed(3, "bench-dev");
+    device.set_fuel(FUEL);
+    let cred = device.enroll();
+    let mut rows = Vec::new();
+    for w in all() {
+        let asm = (w.source)(w.default_scale);
+        let image = source.compile(&asm, false).unwrap();
+        let plain = device.run_plain(&image).unwrap();
+        let pkg = source.build(&asm, &cred, &EncryptionConfig::full()).unwrap();
+        let secure = device.install_and_run(&pkg).unwrap();
+        assert_eq!(
+            plain.exit_code,
+            (w.golden)(w.default_scale),
+            "{} diverged from golden model",
+            w.name
+        );
+        assert_eq!(plain.exit_code, secure.exit_code, "{}", w.name);
+        let plain_total = plain.total_cycles();
+        let secure_total = secure.total_cycles();
+        rows.push(Fig7Row {
+            name: w.name.to_string(),
+            payload_bytes: image.text.len() + image.data.len(),
+            plain_cycles: plain_total,
+            secure_cycles: secure_total,
+            overhead_pct: 100.0 * (secure_total as f64 - plain_total as f64)
+                / plain_total as f64,
+            instructions: plain.run.instructions,
+        });
+    }
+    let average_pct = rows.iter().map(|r| r.overhead_pct).sum::<f64>() / rows.len() as f64;
+    let max_pct = rows.iter().fold(0.0f64, |a, r| a.max(r.overhead_pct));
+    Fig7Report { rows, average_pct, max_pct }
+}
+
+// ---------------------------------------------------------------------
+// Table I / Table II
+// ---------------------------------------------------------------------
+
+/// Table I parameters as reproduced by this implementation.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1 {
+    /// `(parameter, value)` rows, in the paper's order.
+    pub rows: Vec<(String, String)>,
+}
+
+/// Regenerate Table I from live configuration objects.
+pub fn table1_environment() -> Table1 {
+    let soc = eric_sim::soc::SocConfig::default();
+    let puf = PufDeviceConfig::paper();
+    let hde = HdeTimingConfig::default();
+    let rows = vec![
+        ("Platform".into(), "eric-sim RV64GC SoC simulator (substitutes Xilinx Zedboard)".into()),
+        ("PUF Type".into(), "Arbiter PUF (additive linear delay model)".into()),
+        (
+            "PUF Parameters".into(),
+            format!("{}x {}-bit challenge 1-bit response", puf.instances, puf.arbiter.stages),
+        ),
+        ("Signature Function".into(), "SHA-256".into()),
+        ("Encryption Function".into(), "XOR Cipher".into()),
+        ("SoC".into(), "Rocket-like in-order 6-stage timing model".into()),
+        ("Test Frequency".into(), format!("{} MHz (modeled)", soc.frequency_mhz)),
+        ("Target ISA".into(), "RV64GC".into()),
+        (
+            "L1 Data Cache".into(),
+            format!(
+                "{}KiB, {}-way, Set-associative",
+                soc.dcache.size / 1024,
+                soc.dcache.ways
+            ),
+        ),
+        (
+            "L1 Instruction Cache".into(),
+            format!(
+                "{}KiB, {}-way, Set-associative",
+                soc.icache.size / 1024,
+                soc.icache.ways
+            ),
+        ),
+        ("Register File".into(), "31 Entries, 64-bit".into()),
+        (
+            "HDE Datapath".into(),
+            format!(
+                "{} B/cycle decrypt, {} cycles/SHA block",
+                hde.decrypt_bytes_per_cycle, hde.sha_block_cycles
+            ),
+        ),
+    ];
+    Table1 { rows }
+}
+
+/// Table II report (LUT/FF totals and overheads).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Report {
+    /// Baseline LUTs (paper: 33 894).
+    pub rocket_luts: u64,
+    /// Baseline FFs (paper: 19 093).
+    pub rocket_ffs: u64,
+    /// With the HDE attached (paper: 34 811 / 19 854).
+    pub with_hde_luts: u64,
+    /// With the HDE attached.
+    pub with_hde_ffs: u64,
+    /// LUT overhead percent (paper: +2.63 %).
+    pub lut_change_pct: f64,
+    /// FF overhead percent (paper: +3.83 %).
+    pub ff_change_pct: f64,
+    /// HDE unit-by-unit breakdown `(depth, name, luts, ffs)`.
+    pub hde_hierarchy: Vec<(usize, String, u64, u64)>,
+}
+
+/// Regenerate Table II from the structural resource models.
+pub fn table2_fpga_area() -> Table2Report {
+    let t = eric_rtl::table2();
+    let hde_hierarchy = eric_rtl::hde::hde()
+        .report()
+        .into_iter()
+        .map(|(d, n, r)| (d, n, r.luts, r.ffs))
+        .collect();
+    Table2Report {
+        rocket_luts: t.rocket.luts,
+        rocket_ffs: t.rocket.ffs,
+        with_hde_luts: t.with_hde.luts,
+        with_hde_ffs: t.with_hde.ffs,
+        lut_change_pct: t.lut_change_pct(),
+        ff_change_pct: t.ff_change_pct(),
+        hde_hierarchy,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supporting experiments and ablations
+// ---------------------------------------------------------------------
+
+/// PUF quality campaign (justifies the PUF simulation substitution).
+pub fn puf_quality() -> PufQualityReport {
+    measure_quality(
+        PufDeviceConfig::paper(),
+        QualityCampaign { devices: 64, challenges: 64, rereads: 11, seed: 0xE41C },
+    )
+}
+
+/// One static-analysis-resistance row.
+#[derive(Clone, Debug, Serialize)]
+pub struct ObfuscationRow {
+    /// Workload name.
+    pub name: String,
+    /// Plaintext entropy (bits/byte).
+    pub plain_entropy: f64,
+    /// Ciphertext entropy (bits/byte).
+    pub cipher_entropy: f64,
+    /// Plaintext linear-sweep decode ratio.
+    pub plain_decode: f64,
+    /// Ciphertext linear-sweep decode ratio.
+    pub cipher_decode: f64,
+    /// Opcode histogram total-variation distance.
+    pub opcode_shift: f64,
+}
+
+/// Static-analysis resistance across the suite.
+pub fn static_analysis_resistance() -> Vec<ObfuscationRow> {
+    let source = SoftwareSource::new("bench");
+    let mut device = Device::with_seed(4, "bench-dev");
+    let cred = device.enroll();
+    all()
+        .iter()
+        .map(|w| {
+            let asm = (w.source)(w.default_scale);
+            let image = source.compile(&asm, false).unwrap();
+            let pkg = source.build(&asm, &cred, &EncryptionConfig::full()).unwrap();
+            let enc_text = &pkg.payload[..pkg.text_len as usize];
+            let r = eric_core::analysis::compare(&image.text, enc_text);
+            ObfuscationRow {
+                name: w.name.to_string(),
+                plain_entropy: r.plain_entropy,
+                cipher_entropy: r.cipher_entropy,
+                plain_decode: r.plain_decode_ratio,
+                cipher_decode: r.cipher_decode_ratio,
+                opcode_shift: r.opcode_shift,
+            }
+        })
+        .collect()
+}
+
+/// One partial-encryption-sweep row.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepRow {
+    /// Fraction of instructions encrypted.
+    pub fraction: f64,
+    /// Package growth percent.
+    pub size_pct: f64,
+    /// Ciphertext decode ratio (lower = better hidden).
+    pub decode_ratio: f64,
+    /// End-to-end overhead percent.
+    pub exec_overhead_pct: f64,
+}
+
+/// Ablation: sweep the partial-encryption fraction on one workload.
+pub fn ablation_partial_sweep(workload: &Workload) -> Vec<SweepRow> {
+    let source = SoftwareSource::new("bench");
+    let mut device = Device::with_seed(5, "bench-dev");
+    device.set_fuel(FUEL);
+    let cred = device.enroll();
+    let asm = (workload.source)(workload.default_scale);
+    let image = source.compile(&asm, false).unwrap();
+    let plain = device.run_plain(&image).unwrap();
+    [0.1, 0.25, 0.5, 0.75, 1.0]
+        .into_iter()
+        .map(|fraction| {
+            let pkg = source
+                .build(&asm, &cred, &EncryptionConfig::partial(fraction, 99))
+                .unwrap();
+            let secure = device.install_and_run(&pkg).unwrap();
+            assert_eq!(secure.exit_code, plain.exit_code);
+            let enc_text = &pkg.payload[..pkg.text_len as usize];
+            SweepRow {
+                fraction,
+                size_pct: pkg.size_report().increase_pct(),
+                decode_ratio: eric_core::analysis::valid_decode_ratio(enc_text),
+                exec_overhead_pct: 100.0
+                    * (secure.total_cycles() as f64 - plain.total_cycles() as f64)
+                    / plain.total_cycles() as f64,
+            }
+        })
+        .collect()
+}
+
+/// One parallel-decryption row.
+#[derive(Clone, Debug, Serialize)]
+pub struct ParallelRow {
+    /// Decryption lanes.
+    pub lanes: usize,
+    /// Modeled HDE cycles at this lane count.
+    pub modeled_cycles: u64,
+    /// Measured wall time decrypting 4 MiB on host threads, micros.
+    pub wall_us: f64,
+}
+
+/// Ablation: multi-lane decryption (paper future work).
+pub fn ablation_parallel_decrypt() -> Vec<ParallelRow> {
+    use eric_crypto::cipher::ShaCtrCipher;
+    use eric_hde::parallel::decrypt_parallel;
+    let timing = HdeTimingConfig::default();
+    let bytes = 4 << 20;
+    let cipher = ShaCtrCipher::new(b"parallel bench key");
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|lanes| {
+            let mut buf = vec![0xA5u8; bytes];
+            let t = Instant::now();
+            decrypt_parallel(&mut buf, &cipher, lanes);
+            let wall = t.elapsed();
+            std::hint::black_box(&buf);
+            ParallelRow {
+                lanes,
+                modeled_cycles: parallel_cycles(&timing, bytes, lanes),
+                wall_us: wall.as_secs_f64() * 1e6,
+            }
+        })
+        .collect()
+}
+
+/// One cipher-throughput row.
+#[derive(Clone, Debug, Serialize)]
+pub struct CipherRow {
+    /// Cipher name.
+    pub cipher: String,
+    /// Megabytes per second over a 1 MiB buffer.
+    pub mib_per_s: f64,
+}
+
+/// Ablation: software throughput of the bundled ciphers + SHA-256.
+pub fn crypto_throughput() -> Vec<CipherRow> {
+    let mut rows = Vec::new();
+    let buf_len = 1 << 20;
+    for kind in [CipherKind::Xor, CipherKind::ShaCtr] {
+        let cipher = kind.instantiate(&[7u8; 32]);
+        let mut buf = vec![0u8; buf_len];
+        let t = Instant::now();
+        cipher.apply(0, &mut buf);
+        let dt = t.elapsed().as_secs_f64();
+        std::hint::black_box(&buf);
+        rows.push(CipherRow {
+            cipher: kind.to_string(),
+            mib_per_s: 1.0 / dt.max(f64::EPSILON),
+        });
+    }
+    let buf = vec![0u8; buf_len];
+    let t = Instant::now();
+    std::hint::black_box(eric_crypto::sha256::sha256(&buf));
+    let dt = t.elapsed().as_secs_f64();
+    rows.push(CipherRow { cipher: "sha-256".into(), mib_per_s: 1.0 / dt.max(f64::EPSILON) });
+    rows
+}
+
+/// RSA keygen + wrap timing (paper future work §VI).
+#[derive(Clone, Debug, Serialize)]
+pub struct RsaRow {
+    /// Modulus size in bits.
+    pub bits: usize,
+    /// Key generation wall time, milliseconds.
+    pub keygen_ms: f64,
+    /// Wrap+unwrap round trip of a 32-byte PUF-based key, microseconds.
+    pub wrap_us: f64,
+}
+
+/// Run the RSA extension experiment.
+pub fn rsa_keygen() -> Vec<RsaRow> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x45A);
+    [512usize, 1024]
+        .into_iter()
+        .map(|bits| {
+            let t = Instant::now();
+            let kp = eric_crypto::rsa::generate_keypair(bits, &mut rng).unwrap();
+            let keygen_ms = t.elapsed().as_secs_f64() * 1e3;
+            let secret = [0x5Au8; 32];
+            let t = Instant::now();
+            let wrapped = kp.public.wrap(&secret, &mut rng).unwrap();
+            let unwrapped = kp.private.unwrap(&wrapped).unwrap();
+            let wrap_us = t.elapsed().as_secs_f64() * 1e6;
+            assert_eq!(unwrapped, secret);
+            RsaRow { bits, keygen_ms, wrap_us }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_paper_rows() {
+        let t = table1_environment();
+        assert!(t.rows.iter().any(|(k, _)| k == "PUF Type"));
+        assert!(t.rows.iter().any(|(_, v)| v.contains("RV64GC")));
+    }
+
+    #[test]
+    fn table2_matches_paper_shape() {
+        let t = table2_fpga_area();
+        assert_eq!(t.rocket_luts, 33_894);
+        assert_eq!(t.rocket_ffs, 19_093);
+        assert!(t.lut_change_pct > 1.0 && t.lut_change_pct < 5.0);
+        assert!(t.ff_change_pct > t.lut_change_pct);
+    }
+
+    #[test]
+    fn fig5_shape_matches_paper() {
+        let f = fig5_package_size();
+        assert_eq!(f.rows.len(), 10);
+        // Paper: avg 1.59 %, max 3.73 %. Same regime: small single-digit
+        // growth, partial > full for every workload.
+        assert!(f.average_pct > 0.0 && f.average_pct < 10.0, "{}", f.average_pct);
+        assert!(f.max_pct < 15.0, "{}", f.max_pct);
+        for r in &f.rows {
+            assert!(r.partial_bytes > r.full_bytes, "{}: map must add size", r.name);
+        }
+    }
+
+    #[test]
+    fn crypto_rows_present() {
+        let rows = crypto_throughput();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.mib_per_s > 0.0));
+    }
+}

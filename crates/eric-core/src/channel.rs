@@ -1,0 +1,174 @@
+//! The untrusted transport channel (paper step 4 + threat model §II-C).
+//!
+//! "We assume that the executable (program binaries) is transmitted
+//! over an untrusted network. Malicious parties can retrieve the
+//! executable to violate IP rights, make modifications to the
+//! executable and send the modified version to the destination
+//! hardware." The channel model serializes a package to wire bytes,
+//! lets an [`Attacker`] act on them, and re-parses at the far end —
+//! exactly what a network adversary can do.
+
+use crate::error::EricError;
+use crate::package::Package;
+
+/// Adversarial actions on in-flight packages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Attacker {
+    /// Faithful delivery (also models soft-error-free storage).
+    Passive,
+    /// Flip one bit (models both tampering and soft errors in
+    /// transit/storage — threat (iv)).
+    BitFlip {
+        /// Byte index into the wire image.
+        byte: usize,
+        /// Bit index 0–7.
+        bit: u8,
+    },
+    /// Truncate the wire image to `keep` bytes.
+    Truncate {
+        /// Bytes to keep.
+        keep: usize,
+    },
+    /// Replace the encrypted payload bytes with attacker-chosen bytes
+    /// of the same length (threat (ii): unknown-origin code).
+    SubstitutePayload {
+        /// The replacement bytes (repeated/truncated to fit).
+        filler: u8,
+    },
+}
+
+/// A point-to-point untrusted channel.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    attacker: Attacker,
+}
+
+impl Channel {
+    /// A clean channel.
+    pub fn trusted_free() -> Self {
+        Channel { attacker: Attacker::Passive }
+    }
+
+    /// A channel with an active attacker.
+    pub fn with_attacker(attacker: Attacker) -> Self {
+        Channel { attacker }
+    }
+
+    /// What an eavesdropper sees: the raw wire bytes. Static-analysis
+    /// resistance metrics run over this view.
+    pub fn eavesdrop(&self, package: &Package) -> Vec<u8> {
+        package.to_wire()
+    }
+
+    /// Transmit a package through the channel, applying the attacker's
+    /// action, and re-parse it at the receiver.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Package`] when the mutation breaks the framing
+    /// itself (detected before the HDE even runs).
+    pub fn transmit(&self, package: &Package) -> Result<Package, EricError> {
+        let mut wire = package.to_wire();
+        match &self.attacker {
+            Attacker::Passive => {}
+            Attacker::BitFlip { byte, bit } => {
+                if let Some(b) = wire.get_mut(*byte) {
+                    *b ^= 1 << (bit % 8);
+                }
+            }
+            Attacker::Truncate { keep } => {
+                wire.truncate(*keep);
+            }
+            Attacker::SubstitutePayload { filler } => {
+                // Payload occupies the wire tail.
+                let payload_len = package.payload.len();
+                let start = wire.len() - payload_len;
+                for b in &mut wire[start..] {
+                    *b = *filler;
+                }
+            }
+        }
+        Package::from_wire(&wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncryptionConfig;
+    use crate::device::Device;
+    use crate::source::SoftwareSource;
+
+    const PROGRAM: &str = "main:\n li a0, 7\n li a7, 93\n ecall\n";
+
+    fn setup() -> (Device, Package) {
+        let mut device = Device::with_seed(10, "node");
+        let cred = device.enroll();
+        let source = SoftwareSource::new("vendor");
+        let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+        (device, pkg)
+    }
+
+    #[test]
+    fn passive_channel_preserves_packages() {
+        let (mut device, pkg) = setup();
+        let received = Channel::trusted_free().transmit(&pkg).unwrap();
+        assert_eq!(received, pkg);
+        assert_eq!(device.install_and_run(&received).unwrap().exit_code, 7);
+    }
+
+    #[test]
+    fn bit_flips_are_rejected_by_device_or_framing() {
+        let (mut device, pkg) = setup();
+        let wire_len = pkg.to_wire().len();
+        let mut rejected = 0usize;
+        let mut total = 0usize;
+        // Sweep a sample of positions across the whole wire image.
+        for byte in (0..wire_len).step_by(7) {
+            total += 1;
+            let ch = Channel::with_attacker(Attacker::BitFlip { byte, bit: (byte % 8) as u8 });
+            match ch.transmit(&pkg) {
+                Err(_) => rejected += 1, // framing caught it
+                Ok(received) => {
+                    if device.install_and_run(&received).is_err() {
+                        rejected += 1; // HDE caught it
+                    }
+                }
+            }
+        }
+        assert_eq!(rejected, total, "some bit flips went undetected");
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let (_, pkg) = setup();
+        let ch = Channel::with_attacker(Attacker::Truncate { keep: 40 });
+        assert!(ch.transmit(&pkg).is_err());
+    }
+
+    #[test]
+    fn payload_substitution_rejected_by_hde() {
+        let (mut device, pkg) = setup();
+        let ch = Channel::with_attacker(Attacker::SubstitutePayload { filler: 0x00 });
+        let received = ch.transmit(&pkg).unwrap();
+        assert!(matches!(
+            device.install_and_run(&received),
+            Err(EricError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn eavesdropper_sees_only_ciphertext() {
+        let (_, pkg) = setup();
+        let source = SoftwareSource::new("vendor");
+        let image = source.compile(PROGRAM, false).unwrap();
+        let wire = Channel::trusted_free().eavesdrop(&pkg);
+        // The plaintext text section must not appear anywhere in the
+        // wire image.
+        assert!(
+            !wire.windows(image.text.len()).any(|w| w == &image.text[..]),
+            "plaintext visible on the wire"
+        );
+    }
+}

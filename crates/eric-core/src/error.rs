@@ -1,0 +1,86 @@
+//! Framework-level error type.
+
+use eric_asm::AsmError;
+use eric_hde::HdeError;
+use eric_sim::soc::RunError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure along the compile → package → transmit → decrypt →
+/// validate → execute pipeline.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum EricError {
+    /// Compilation (assembly) failed.
+    Compile(AsmError),
+    /// Package serialization/deserialization failed.
+    Package(String),
+    /// The HDE rejected the package (tamper / wrong device / wrong key).
+    Rejected(HdeError),
+    /// The program failed at runtime on the SoC.
+    Runtime(RunError),
+    /// Configuration is invalid (e.g. field-level encryption on a
+    /// compressed build).
+    Config(String),
+}
+
+impl fmt::Display for EricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EricError::Compile(e) => write!(f, "compile error: {e}"),
+            EricError::Package(m) => write!(f, "package error: {m}"),
+            EricError::Rejected(e) => write!(f, "package rejected: {e}"),
+            EricError::Runtime(e) => write!(f, "runtime error: {e}"),
+            EricError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl Error for EricError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EricError::Compile(e) => Some(e),
+            EricError::Rejected(e) => Some(e),
+            EricError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AsmError> for EricError {
+    fn from(e: AsmError) -> Self {
+        EricError::Compile(e)
+    }
+}
+
+impl From<HdeError> for EricError {
+    fn from(e: HdeError) -> Self {
+        EricError::Rejected(e)
+    }
+}
+
+impl From<RunError> for EricError {
+    fn from(e: RunError) -> Self {
+        EricError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = EricError::Package("bad magic".into());
+        assert_eq!(e.to_string(), "package error: bad magic");
+        let e = EricError::Config("x".into());
+        assert!(e.to_string().starts_with("configuration error"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = EricError::Rejected(HdeError::Malformed("m".into()));
+        assert!(e.source().is_some());
+        assert!(EricError::Package("p".into()).source().is_none());
+    }
+}

@@ -1,0 +1,343 @@
+//! The encrypted program package wire format.
+//!
+//! A package is what leaves the software source: encrypted payload,
+//! encrypted signature, the encryption map (when partial), and the
+//! cleartext metadata the device needs to decrypt and load it. The
+//! metadata is covered by the signature (as additional authenticated
+//! data), so tampering with load addresses or the entry point is
+//! detected exactly like payload tampering.
+//!
+//! Figure 5 counts package growth as: +256 signature bits always, plus
+//! 1 map bit per 16-bit parcel under partial encryption —
+//! [`SizeReport`] reproduces that accounting, and also reports the real
+//! wire size including headers.
+
+use crate::error::EricError;
+use bytes::{Buf, BufMut};
+use eric_crypto::cipher::CipherKind;
+use eric_hde::map::{CoverageMap, ParcelBitmap};
+use eric_hde::FieldPolicy;
+use std::fmt;
+
+/// Wire magic: "ERIC" + format version 1.
+const MAGIC: &[u8; 5] = b"ERIC1";
+
+/// An encrypted, signed program package.
+#[derive(Clone, PartialEq)]
+pub struct Package {
+    /// Cipher the payload/signature are encrypted with.
+    pub cipher: CipherKind,
+    /// Field-level policy, when field-level encryption was used.
+    pub policy: Option<FieldPolicy>,
+    /// Key epoch the package targets.
+    pub epoch: u64,
+    /// Per-package keystream nonce.
+    pub nonce: u64,
+    /// PUF challenge identifying the key (public).
+    pub challenge: Vec<u8>,
+    /// Load address of the text section.
+    pub text_base: u64,
+    /// Load address of the data section.
+    pub data_base: u64,
+    /// Entry point.
+    pub entry: u64,
+    /// Text length in bytes (prefix of the payload).
+    pub text_len: u32,
+    /// Encryption coverage map.
+    pub map: CoverageMap,
+    /// The 256-bit signature, encrypted.
+    pub encrypted_signature: [u8; 32],
+    /// Encrypted payload: text ‖ data.
+    pub payload: Vec<u8>,
+}
+
+impl fmt::Debug for Package {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Package {{ {} bytes payload ({} text), cipher: {}, map: {:?}, epoch: {}, nonce: {} }}",
+            self.payload.len(),
+            self.text_len,
+            self.cipher,
+            self.map,
+            self.epoch,
+            self.nonce
+        )
+    }
+}
+
+impl Package {
+    /// The canonical additional-authenticated-data encoding of the
+    /// cleartext metadata. Both the packager (when signing) and the
+    /// HDE (when validating) hash exactly these bytes before the
+    /// payload.
+    pub fn aad(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.challenge.len());
+        out.extend_from_slice(MAGIC);
+        out.push(self.cipher.wire_id());
+        out.push(self.policy.map_or(0xFF, FieldPolicy::wire_id));
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.text_base.to_le_bytes());
+        out.extend_from_slice(&self.data_base.to_le_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&self.text_len.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.challenge.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.challenge);
+        out
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(128 + self.payload.len() + self.map.wire_len());
+        buf.put_slice(MAGIC);
+        buf.put_u8(self.cipher.wire_id());
+        buf.put_u8(self.policy.map_or(0xFF, FieldPolicy::wire_id));
+        buf.put_u64_le(self.epoch);
+        buf.put_u64_le(self.nonce);
+        buf.put_u64_le(self.text_base);
+        buf.put_u64_le(self.data_base);
+        buf.put_u64_le(self.entry);
+        buf.put_u32_le(self.text_len);
+        buf.put_u32_le(self.payload.len() as u32);
+        buf.put_u16_le(self.challenge.len() as u16);
+        buf.put_slice(&self.challenge);
+        match &self.map {
+            CoverageMap::Full => buf.put_u8(0),
+            CoverageMap::Partial(bm) => {
+                buf.put_u8(1);
+                buf.put_u8(bm.granularity() as u8);
+                buf.put_u32_le(bm.parcels() as u32);
+                buf.put_slice(bm.to_bytes());
+            }
+        }
+        buf.put_slice(&self.encrypted_signature);
+        buf.put_slice(&self.payload);
+        buf
+    }
+
+    /// Deserialize from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EricError::Package`] for bad magic, unknown cipher or
+    /// policy identifiers, or truncated input.
+    pub fn from_wire(mut wire: &[u8]) -> Result<Package, EricError> {
+        let err = |m: &str| EricError::Package(m.to_string());
+        let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), EricError> {
+            if buf.remaining() < n {
+                Err(EricError::Package(format!("truncated at {what}")))
+            } else {
+                Ok(())
+            }
+        };
+        need(&wire, 5, "magic")?;
+        let mut magic = [0u8; 5];
+        wire.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(err("bad magic"));
+        }
+        need(&wire, 1 + 1 + 8 * 5 + 4 + 4 + 2, "header")?;
+        let cipher = CipherKind::from_wire_id(wire.get_u8()).ok_or_else(|| err("unknown cipher"))?;
+        let policy_id = wire.get_u8();
+        let policy = if policy_id == 0xFF {
+            None
+        } else {
+            Some(FieldPolicy::from_wire_id(policy_id).ok_or_else(|| err("unknown policy"))?)
+        };
+        let epoch = wire.get_u64_le();
+        let nonce = wire.get_u64_le();
+        let text_base = wire.get_u64_le();
+        let data_base = wire.get_u64_le();
+        let entry = wire.get_u64_le();
+        let text_len = wire.get_u32_le();
+        let payload_len = wire.get_u32_le() as usize;
+        let challenge_len = wire.get_u16_le() as usize;
+        need(&wire, challenge_len, "challenge")?;
+        let challenge = wire.copy_to_bytes(challenge_len).to_vec();
+        need(&wire, 1, "map tag")?;
+        let map = match wire.get_u8() {
+            0 => CoverageMap::Full,
+            1 => {
+                need(&wire, 5, "map header")?;
+                let granularity = wire.get_u8() as u32;
+                if granularity != 2 && granularity != 4 {
+                    return Err(err("bad map granularity"));
+                }
+                let parcels = wire.get_u32_le() as usize;
+                let map_bytes = parcels.div_ceil(8);
+                need(&wire, map_bytes, "map bits")?;
+                let bits = wire.copy_to_bytes(map_bytes).to_vec();
+                CoverageMap::Partial(ParcelBitmap::from_bytes_with_granularity(
+                    &bits,
+                    parcels,
+                    granularity,
+                ))
+            }
+            _ => return Err(err("unknown map tag")),
+        };
+        need(&wire, 32, "signature")?;
+        let mut encrypted_signature = [0u8; 32];
+        wire.copy_to_slice(&mut encrypted_signature);
+        need(&wire, payload_len, "payload")?;
+        let payload = wire.copy_to_bytes(payload_len).to_vec();
+        if text_len as usize > payload.len() {
+            return Err(err("text length exceeds payload"));
+        }
+        Ok(Package {
+            cipher,
+            policy,
+            epoch,
+            nonce,
+            challenge,
+            text_base,
+            data_base,
+            entry,
+            text_len,
+            map,
+            encrypted_signature,
+            payload,
+        })
+    }
+
+    /// Figure 5's size accounting for this package.
+    pub fn size_report(&self) -> SizeReport {
+        SizeReport {
+            plain_bytes: self.payload.len(),
+            signature_bits: 256,
+            map_bits: match &self.map {
+                CoverageMap::Full => 0,
+                CoverageMap::Partial(bm) => bm.parcels(),
+            },
+            wire_bytes: self.to_wire().len(),
+        }
+    }
+}
+
+/// Package-size accounting in the paper's terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Size of the compiled program (text + data) in bytes.
+    pub plain_bytes: usize,
+    /// Signature bits added (always 256).
+    pub signature_bits: usize,
+    /// Map bits added (1 per 16-bit parcel; 0 for full encryption).
+    pub map_bits: usize,
+    /// Actual serialized package size (headers included).
+    pub wire_bytes: usize,
+}
+
+impl SizeReport {
+    /// The paper's "program package size": program + signature + map.
+    pub fn package_bytes(&self) -> usize {
+        self.plain_bytes + (self.signature_bits + self.map_bits).div_ceil(8)
+    }
+
+    /// Relative growth over the plain program, in percent (the Figure 5
+    /// y-axis).
+    pub fn increase_pct(&self) -> f64 {
+        100.0 * (self.package_bytes() as f64 - self.plain_bytes as f64) / self.plain_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(map: CoverageMap) -> Package {
+        Package {
+            cipher: CipherKind::Xor,
+            policy: None,
+            epoch: 2,
+            nonce: 77,
+            challenge: vec![0x5A; 32],
+            text_base: 0x8000_0000,
+            data_base: 0x8010_0000,
+            entry: 0x8000_0000,
+            text_len: 8,
+            map,
+            encrypted_signature: [9; 32],
+            payload: vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_full() {
+        let p = sample(CoverageMap::Full);
+        let wire = p.to_wire();
+        let q = Package::from_wire(&wire).expect("parses");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn wire_roundtrip_partial_and_policy() {
+        let mut bm = ParcelBitmap::new(5);
+        bm.set(0);
+        bm.set(4);
+        let mut p = sample(CoverageMap::Partial(bm));
+        p.policy = Some(FieldPolicy::MemoryPointers);
+        let q = Package::from_wire(&p.to_wire()).expect("parses");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = sample(CoverageMap::Full).to_wire();
+        wire[0] = b'X';
+        assert!(Package::from_wire(&wire).is_err());
+    }
+
+    #[test]
+    fn truncations_rejected_everywhere() {
+        let wire = sample(CoverageMap::Full).to_wire();
+        for len in 0..wire.len() {
+            assert!(
+                Package::from_wire(&wire[..len]).is_err(),
+                "truncation to {len} accepted"
+            );
+        }
+        assert!(Package::from_wire(&wire).is_ok());
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let mut wire = sample(CoverageMap::Full).to_wire();
+        wire[5] = 0xEE; // cipher id
+        assert!(Package::from_wire(&wire).is_err());
+        let mut wire = sample(CoverageMap::Full).to_wire();
+        wire[6] = 0x7E; // policy id (not 0xFF, not known)
+        assert!(Package::from_wire(&wire).is_err());
+    }
+
+    #[test]
+    fn aad_changes_with_metadata() {
+        let p = sample(CoverageMap::Full);
+        let mut q = p.clone();
+        q.entry += 4;
+        assert_ne!(p.aad(), q.aad());
+        let mut r = p.clone();
+        r.nonce += 1;
+        assert_ne!(p.aad(), r.aad());
+    }
+
+    #[test]
+    fn size_report_full_matches_paper_accounting() {
+        let p = sample(CoverageMap::Full);
+        let r = p.size_report();
+        assert_eq!(r.plain_bytes, 10);
+        assert_eq!(r.map_bits, 0);
+        // +256 bits = +32 bytes.
+        assert_eq!(r.package_bytes(), 42);
+        assert!(r.increase_pct() > 0.0);
+    }
+
+    #[test]
+    fn size_report_partial_adds_one_bit_per_parcel() {
+        let bm = ParcelBitmap::new(5);
+        let p = sample(CoverageMap::Partial(bm));
+        let r = p.size_report();
+        assert_eq!(r.map_bits, 5);
+        assert_eq!(r.package_bytes(), 10 + (256 + 5 + 7) / 8);
+    }
+}

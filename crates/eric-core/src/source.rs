@@ -1,0 +1,360 @@
+//! The software source: compile → sign → encrypt → package.
+//!
+//! Paper step 3: "First, the program is compiled for the target ISA
+//! ... the signature of the program is obtained with the Signature
+//! Generator. Second, the key management function, using the PUF-based
+//! key transferred to the compiler stage, generates keys suitable for
+//! the encryption function. ... the program is encrypted according to
+//! the encryption constraints ... Then, with the encryption of the
+//! signature, the encrypted program package and the signature are
+//! ready to exit from the software source."
+
+use crate::config::{EncryptionConfig, EncryptionMode};
+use crate::error::EricError;
+use crate::package::Package;
+use eric_asm::{assemble, AsmOptions, Image};
+use eric_crypto::kdf::KeyManagementUnit;
+use eric_crypto::sha256::Sha256;
+use eric_hde::map::{CoverageMap, ParcelBitmap};
+use eric_hde::transform::{transform_payload, transform_signature};
+use eric_puf::crp::EnrollmentRecord;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock breakdown of one build (Figure 6's measurement).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildTimings {
+    /// Assembly (the baseline compiler's entire job).
+    pub compile: Duration,
+    /// SHA-256 signature generation.
+    pub sign: Duration,
+    /// Map construction + payload/signature encryption.
+    pub encrypt: Duration,
+    /// Wire serialization.
+    pub package: Duration,
+}
+
+impl BuildTimings {
+    /// Total build time.
+    pub fn total(&self) -> Duration {
+        self.compile + self.sign + self.encrypt + self.package
+    }
+
+    /// Relative overhead of sign+encrypt+package over plain
+    /// compilation, in percent (the Figure 6 y-axis).
+    pub fn overhead_pct(&self) -> f64 {
+        let extra = self.sign + self.encrypt + self.package;
+        100.0 * extra.as_secs_f64() / self.compile.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// A software vendor that builds encrypted packages for enrolled
+/// devices.
+pub struct SoftwareSource {
+    name: String,
+    kmu: KeyManagementUnit,
+    nonce_counter: Mutex<u64>,
+}
+
+impl fmt::Debug for SoftwareSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SoftwareSource {{ name: {:?} }}", self.name)
+    }
+}
+
+impl SoftwareSource {
+    /// Create a named software source.
+    pub fn new(name: &str) -> Self {
+        SoftwareSource {
+            name: name.to_string(),
+            kmu: KeyManagementUnit::new(),
+            nonce_counter: Mutex::new(1),
+        }
+    }
+
+    /// The vendor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Plain compilation (the Figure 6 baseline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors.
+    pub fn compile(&self, asm_source: &str, compress: bool) -> Result<Image, EricError> {
+        let options = if compress { AsmOptions::compressed() } else { AsmOptions::default() };
+        Ok(assemble(asm_source, &options)?)
+    }
+
+    /// Compile, sign, encrypt, and package a program for the device in
+    /// `cred` (paper step 3).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or configuration errors.
+    pub fn build(
+        &self,
+        asm_source: &str,
+        cred: &EnrollmentRecord,
+        config: &EncryptionConfig,
+    ) -> Result<Package, EricError> {
+        self.build_timed(asm_source, cred, config).map(|(p, _)| p)
+    }
+
+    /// [`SoftwareSource::build`], also reporting the wall-clock
+    /// breakdown used for the compile-time experiment.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or configuration errors.
+    pub fn build_timed(
+        &self,
+        asm_source: &str,
+        cred: &EnrollmentRecord,
+        config: &EncryptionConfig,
+    ) -> Result<(Package, BuildTimings), EricError> {
+        config.validate().map_err(EricError::Config)?;
+        let mut timings = BuildTimings::default();
+
+        let t0 = Instant::now();
+        let image = self.compile(asm_source, config.compress)?;
+        timings.compile = t0.elapsed();
+
+        let (package, rest) = self.package_image(&image, cred, config)?;
+        timings.sign = rest.sign;
+        timings.encrypt = rest.encrypt;
+        timings.package = rest.package;
+        Ok((package, timings))
+    }
+
+    /// Sign/encrypt/package an already-compiled image.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors (e.g. field-level on a compressed image).
+    pub fn package_image(
+        &self,
+        image: &Image,
+        cred: &EnrollmentRecord,
+        config: &EncryptionConfig,
+    ) -> Result<(Package, BuildTimings), EricError> {
+        config.validate().map_err(EricError::Config)?;
+        if matches!(config.mode, EncryptionMode::FieldLevel(_)) && image.has_compressed() {
+            return Err(EricError::Config(
+                "field-level encryption requires an uncompressed image".into(),
+            ));
+        }
+        let mut timings = BuildTimings::default();
+        let nonce = {
+            let mut c = self.nonce_counter.lock();
+            let n = *c;
+            *c += 1;
+            n
+        };
+
+        // Assemble the plaintext payload: text ‖ data.
+        let mut payload = Vec::with_capacity(image.text.len() + image.data.len());
+        payload.extend_from_slice(&image.text);
+        payload.extend_from_slice(&image.data);
+
+        // Build the coverage map.
+        let t = Instant::now();
+        let (map, policy) = match config.mode {
+            EncryptionMode::Full => (CoverageMap::Full, None),
+            EncryptionMode::PartialRandom { fraction, seed } => {
+                (self.random_map(image, payload.len(), fraction, seed), None)
+            }
+            EncryptionMode::FieldLevel(policy) => (CoverageMap::Full, Some(policy)),
+        };
+        let map_time = t.elapsed();
+
+        // Construct the package skeleton so the AAD can be signed.
+        let mut package = Package {
+            cipher: config.cipher,
+            policy,
+            epoch: config.epoch,
+            nonce,
+            challenge: cred.challenge.as_bytes().to_vec(),
+            text_base: image.text_base,
+            data_base: image.data_base,
+            entry: image.entry,
+            text_len: image.text.len() as u32,
+            map,
+            encrypted_signature: [0; 32],
+            payload,
+        };
+
+        // Sign: SHA-256(AAD ‖ plaintext payload).
+        let t = Instant::now();
+        let mut hasher = Sha256::new();
+        hasher.update(&package.aad());
+        hasher.update(&package.payload);
+        let signature = hasher.finalize();
+        timings.sign = t.elapsed();
+
+        // Encrypt payload and signature with the per-package key.
+        let t = Instant::now();
+        let key = self.kmu.package_key(&cred.key, nonce);
+        let cipher = config.cipher.instantiate(key.as_bytes());
+        let payload_len = package.payload.len();
+        transform_payload(
+            &mut package.payload,
+            &package.map,
+            package.policy,
+            package.text_len as usize,
+            cipher.as_ref(),
+        );
+        let mut sig_bytes = *signature.as_bytes();
+        transform_signature(&mut sig_bytes, payload_len, cipher.as_ref());
+        package.encrypted_signature = sig_bytes;
+        timings.encrypt = t.elapsed() + map_time;
+
+        // Serialize once to account packaging cost.
+        let t = Instant::now();
+        let _wire = package.to_wire();
+        timings.package = t.elapsed();
+
+        Ok((package, timings))
+    }
+
+    /// Random instruction selection for partial encryption (the paper's
+    /// evaluation configuration), plus the whole data region.
+    ///
+    /// Map granularity follows the paper: one bit per instruction
+    /// (4-byte parcels) normally, one bit per 16 bits when the build
+    /// contains compressed instructions.
+    fn random_map(
+        &self,
+        image: &Image,
+        payload_len: usize,
+        fraction: f64,
+        seed: u64,
+    ) -> CoverageMap {
+        let granularity: usize = if image.has_compressed() { 2 } else { 4 };
+        let parcels = payload_len.div_ceil(granularity);
+        let mut bitmap = ParcelBitmap::with_granularity(parcels, granularity as u32);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for boundary in &image.boundaries {
+            if rng.gen::<f64>() < fraction {
+                let first = boundary.offset as usize / granularity;
+                let count = (boundary.kind.len() / granularity).max(1);
+                for p in 0..count {
+                    bitmap.set(first + p);
+                }
+            }
+        }
+        // Data region: always protected.
+        for p in image.text.len().div_ceil(granularity)..parcels {
+            bitmap.set(p);
+        }
+        CoverageMap::Partial(bitmap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eric_puf::crp::{respond, Challenge};
+    use eric_puf::device::{PufDevice, PufDeviceConfig};
+
+    fn cred(seed: u64) -> EnrollmentRecord {
+        let dev = PufDevice::from_seed(seed, PufDeviceConfig::paper());
+        let challenge = Challenge::from_bytes(&[0x5A; 32]);
+        let response = respond(&dev, &challenge, 0);
+        EnrollmentRecord {
+            device_id: format!("dev-{seed}"),
+            challenge,
+            epoch: 0,
+            key: *response.key(),
+        }
+    }
+
+    const PROGRAM: &str = "main:\n li a0, 42\n li a7, 93\n ecall\n";
+
+    #[test]
+    fn build_produces_encrypted_payload() {
+        let src = SoftwareSource::new("vendor");
+        let image = src.compile(PROGRAM, false).unwrap();
+        let pkg = src.build(PROGRAM, &cred(1), &EncryptionConfig::full()).unwrap();
+        assert_eq!(pkg.payload.len(), image.text.len() + image.data.len());
+        assert_ne!(&pkg.payload[..image.text.len()], &image.text[..]);
+    }
+
+    #[test]
+    fn nonces_increment_per_package() {
+        let src = SoftwareSource::new("vendor");
+        let c = cred(1);
+        let p1 = src.build(PROGRAM, &c, &EncryptionConfig::full()).unwrap();
+        let p2 = src.build(PROGRAM, &c, &EncryptionConfig::full()).unwrap();
+        assert_ne!(p1.nonce, p2.nonce);
+        // Same plaintext, different keystream -> different ciphertext.
+        assert_ne!(p1.payload, p2.payload);
+    }
+
+    #[test]
+    fn partial_map_marks_data_and_fraction_of_text() {
+        let src = SoftwareSource::new("vendor");
+        let program = ".data\nbuf: .zero 64\n.text\nmain:\n li a0, 1\n li a7, 93\n ecall\n";
+        let pkg = src
+            .build(program, &cred(2), &EncryptionConfig::partial(0.5, 7))
+            .unwrap();
+        let CoverageMap::Partial(bm) = &pkg.map else {
+            panic!("expected partial map");
+        };
+        // Uncompressed build -> instruction-granularity (4-byte) map.
+        assert_eq!(bm.granularity(), 4);
+        // All data parcels marked.
+        let text_parcels = (pkg.text_len as usize).div_ceil(bm.granularity() as usize);
+        for p in text_parcels..bm.parcels() {
+            assert!(bm.get(p), "data parcel {p} unmarked");
+        }
+        assert!(bm.count_ones() > 0);
+    }
+
+    #[test]
+    fn partial_selection_is_deterministic_per_seed() {
+        let src = SoftwareSource::new("vendor");
+        let c = cred(3);
+        let a = src.build(PROGRAM, &c, &EncryptionConfig::partial(0.5, 9)).unwrap();
+        let b = src.build(PROGRAM, &c, &EncryptionConfig::partial(0.5, 9)).unwrap();
+        assert_eq!(a.map, b.map);
+        let c2 = src.build(PROGRAM, &c, &EncryptionConfig::partial(0.5, 10)).unwrap();
+        assert!(a.map == c2.map || a.map != c2.map); // seeds may coincide on tiny programs
+    }
+
+    #[test]
+    fn field_level_on_compressed_image_rejected() {
+        let src = SoftwareSource::new("vendor");
+        let cfg = crate::config::EncryptionConfig::field_level(
+            eric_hde::FieldPolicy::MemoryPointers,
+        )
+        .with_compression(true);
+        assert!(matches!(
+            src.build(PROGRAM, &cred(4), &cfg),
+            Err(EricError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let src = SoftwareSource::new("vendor");
+        let (_, t) = src
+            .build_timed(PROGRAM, &cred(5), &EncryptionConfig::full())
+            .unwrap();
+        assert!(t.compile > Duration::ZERO);
+        assert!(t.total() >= t.compile);
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        let src = SoftwareSource::new("vendor");
+        assert!(matches!(
+            src.build("bogus_mnemonic a0\n", &cred(6), &EncryptionConfig::full()),
+            Err(EricError::Compile(_))
+        ));
+    }
+}

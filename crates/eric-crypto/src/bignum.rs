@@ -1,0 +1,582 @@
+//! Minimal arbitrary-precision unsigned integers for the RSA extension.
+//!
+//! The paper lists RSA-based key generation as future work (§VI). RSA
+//! needs multi-precision arithmetic; rather than pulling in a bignum
+//! dependency, ERIC ships this small, well-tested implementation:
+//! little-endian `u64` limbs, schoolbook multiplication, binary long
+//! division, and square-and-multiply modular exponentiation. It is sized
+//! for 512–2048-bit moduli — plenty for wrapping 256-bit PUF-based keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs,
+/// no leading zero limbs except for the value zero itself, which is an
+/// empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Construct from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serialize to big-endian bytes with no leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let first_nonzero = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+                out.extend_from_slice(&bytes[first_nonzero..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// `true` if the lowest bit is clear.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for the value zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Read bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to one, growing the limb vector as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % 64);
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (unsigned arithmetic cannot go negative).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u128 * b as u128 + out[i + j] as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Shift left by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            let mut c = self.clone();
+            c.normalize();
+            return c;
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Shift right by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Quotient and remainder of `self / divisor` (binary long division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        let shift = self.bit_len() - divisor.bit_len();
+        let mut remainder = self.clone();
+        let mut quotient = BigUint::zero();
+        let mut shifted = divisor.shl(shift);
+        for i in (0..=shift).rev() {
+            if remainder >= shifted {
+                remainder = remainder.sub(&shifted);
+                quotient.set_bit(i);
+            }
+            shifted = shifted.shr(1);
+        }
+        quotient.normalize();
+        remainder.normalize();
+        (quotient, remainder)
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// `(self * other) mod modulus`.
+    pub fn mul_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// `self^exponent mod modulus` by left-to-right square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn mod_pow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let base = self.rem(modulus);
+        let bits = exponent.bit_len();
+        for i in (0..bits).rev() {
+            result = result.mul_mod(&result, modulus);
+            if exponent.bit(i) {
+                result = result.mul_mod(&base, modulus);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` modulo `modulus`, if it exists
+    /// (extended Euclid over signed cofactors).
+    pub fn mod_inverse(&self, modulus: &BigUint) -> Option<BigUint> {
+        if modulus.is_zero() || self.is_zero() {
+            return None;
+        }
+        // Track (old_r, r) and the coefficient of `self` as a signed pair
+        // (sign, magnitude) because BigUint is unsigned.
+        let mut old_r = self.rem(modulus);
+        let mut r = modulus.clone();
+        let mut old_s = (false, BigUint::one()); // +1
+        let mut s = (false, BigUint::zero()); // 0
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s  (signed)
+            let qs = q.mul(&s.1);
+            let new_s = signed_sub(&old_s, &(s.0, qs));
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if !old_r.is_one() {
+            return None; // not coprime
+        }
+        // Normalize the coefficient into [0, modulus).
+        let (neg, mag) = old_s;
+        let m = mag.rem(modulus);
+        Some(if neg && !m.is_zero() { modulus.sub(&m) } else { m })
+    }
+}
+
+/// `a - b` on (sign, magnitude) pairs, where `true` means negative.
+fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - b with equal signs: compare magnitudes.
+        (false, false) => {
+            if a.1 >= b.1 {
+                (false, a.1.sub(&b.1))
+            } else {
+                (true, b.1.sub(&a.1))
+            }
+        }
+        (true, true) => {
+            if b.1 >= a.1 {
+                (false, b.1.sub(&a.1))
+            } else {
+                (true, a.1.sub(&b.1))
+            }
+        }
+        // a - (-b) = a + b ; (-a) - b = -(a + b)
+        (false, true) => (false, a.1.add(&b.1)),
+        (true, false) => (true, a.1.add(&b.1)),
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+fn fmt_hex(n: &BigUint, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if n.is_zero() {
+        return f.write_str("0x0");
+    }
+    write!(f, "0x")?;
+    for (i, limb) in n.limbs.iter().enumerate().rev() {
+        if i == n.limbs.len() - 1 {
+            write!(f, "{limb:x}")?;
+        } else {
+            write!(f, "{limb:016x}")?;
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_hex(self, f)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_hex(self, f)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let cases: [&[u8]; 5] = [
+            &[],
+            &[0x01],
+            &[0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0, 0x11],
+            &[0x00, 0x00, 0x01], // leading zeros stripped
+            &[0xFF; 40],
+        ];
+        for bytes in cases {
+            let n = BigUint::from_bytes_be(bytes);
+            let back = n.to_bytes_be();
+            let canonical: Vec<u8> = {
+                let mut b = bytes.to_vec();
+                while b.first() == Some(&0) {
+                    b.remove(0);
+                }
+                b
+            };
+            assert_eq!(back, canonical);
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = BigUint::from_bytes_be(&[0xFF; 20]);
+        let b = BigUint::from_bytes_be(&[0xAB; 13]);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(b.add(&a).sub(&a), b);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigUint::from_bytes_be(&[0xFF; 8]); // u64::MAX
+        assert_eq!(a.add(&big(1)).to_bytes_be(), {
+            let mut v = vec![1u8];
+            v.extend(vec![0u8; 8]);
+            v
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = big(1).sub(&big(2));
+    }
+
+    #[test]
+    fn mul_known_values() {
+        assert_eq!(big(0).mul(&big(12345)), big(0));
+        assert_eq!(big(7).mul(&big(6)), big(42));
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let max = BigUint::from_bytes_be(&[0xFF; 8]);
+        let sq = max.mul(&max);
+        let expect = BigUint::one()
+            .shl(128)
+            .sub(&BigUint::one().shl(65))
+            .add(&BigUint::one());
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = BigUint::from_bytes_be(&[0x9A, 0xBC, 0xDE, 0xF0, 0x12, 0x34, 0x56, 0x78, 0x9A]);
+        for s in [0, 1, 7, 63, 64, 65, 130] {
+            assert_eq!(a.shl(s).shr(s), a, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn div_rem_identity() {
+        let a = BigUint::from_bytes_be(&[0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE, 0xBA, 0xBE, 0x42]);
+        let d = BigUint::from_bytes_be(&[0x12, 0x34, 0x56]);
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(q.mul(&d).add(&r), a);
+    }
+
+    #[test]
+    fn div_rem_small_values() {
+        assert_eq!(big(10).div_rem(&big(3)), (big(3), big(1)));
+        assert_eq!(big(10).div_rem(&big(10)), (big(1), big(0)));
+        assert_eq!(big(3).div_rem(&big(10)), (big(0), big(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_small_cases() {
+        // 3^7 mod 10 = 2187 mod 10 = 7
+        assert_eq!(big(3).mod_pow(&big(7), &big(10)), big(7));
+        // Fermat: a^(p-1) = 1 mod p for prime p
+        let p = big(1_000_003);
+        for a in [2u64, 3, 5, 999_999] {
+            assert_eq!(big(a).mod_pow(&p.sub(&big(1)), &p), big(1));
+        }
+        // modulus 1 => 0
+        assert_eq!(big(5).mod_pow(&big(3), &big(1)), big(0));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(31)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+    }
+
+    #[test]
+    fn mod_inverse_small() {
+        // 3 * 7 = 21 = 1 mod 10
+        assert_eq!(big(3).mod_inverse(&big(10)), Some(big(7)));
+        // 2 has no inverse mod 10
+        assert_eq!(big(2).mod_inverse(&big(10)), None);
+        // Identity check on a bigger modulus
+        let m = BigUint::from_bytes_be(&[0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x61]);
+        let a = BigUint::from_bytes_be(&[0x12, 0x34, 0x56, 0x78, 0x9A]);
+        if let Some(inv) = a.mod_inverse(&m) {
+            assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+        } else {
+            panic!("inverse should exist when gcd == 1");
+        }
+    }
+
+    #[test]
+    fn bit_len_and_bits() {
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(big(1).bit_len(), 1);
+        assert_eq!(big(0x8000_0000_0000_0000).bit_len(), 64);
+        let n = BigUint::one().shl(100);
+        assert_eq!(n.bit_len(), 101);
+        assert!(n.bit(100));
+        assert!(!n.bit(99));
+        assert!(!n.bit(101));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) > big(4));
+        assert!(BigUint::one().shl(64) > big(u64::MAX));
+        assert_eq!(big(7).cmp(&big(7)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(BigUint::zero().to_string(), "0x0");
+        assert_eq!(big(255).to_string(), "0xff");
+        assert_eq!(BigUint::one().shl(64).to_string(), "0x10000000000000000");
+    }
+}

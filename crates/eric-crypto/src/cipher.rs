@@ -1,0 +1,350 @@
+//! Keystream ciphers: the paper's XOR cipher and a pluggable alternative.
+//!
+//! ERIC "is compatible with different encryption methods. New encryption
+//! algorithms can be easily implemented in the system" (§III-1). The
+//! [`KeystreamCipher`] trait is that extension point: a cipher exposes a
+//! position-addressable keystream, and encryption/decryption is the same
+//! XOR operation (symmetric, an involution).
+//!
+//! Position addressing matters for *partial* encryption: when only a
+//! subset of 16-bit instruction parcels is encrypted, the Decryption Unit
+//! must derive the keystream byte for an arbitrary payload offset without
+//! processing the bytes before it.
+
+use crate::sha256::Sha256;
+use std::fmt;
+
+/// A cipher that produces a deterministic keystream addressed by byte
+/// position.
+///
+/// Encrypting and decrypting are both [`KeystreamCipher::apply`]: the
+/// keystream byte at absolute position `p` is XORed into the buffer byte
+/// that lives at position `p`. Applying twice restores the plaintext.
+pub trait KeystreamCipher {
+    /// Keystream byte at absolute byte position `pos`.
+    fn keystream_byte(&self, pos: u64) -> u8;
+
+    /// Human-readable cipher name (used in package headers and reports).
+    fn name(&self) -> &'static str;
+
+    /// XOR the keystream into `buf`, where `buf[0]` sits at absolute
+    /// position `offset` in the payload.
+    fn apply(&self, offset: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b ^= self.keystream_byte(offset + i as u64);
+        }
+    }
+
+    /// XOR the keystream into `buf` only where `select` returns `true`
+    /// for the absolute byte position. This is how partial encryption
+    /// touches exactly the parcels marked in the encryption map.
+    fn apply_selected<F: Fn(u64) -> bool>(&self, offset: u64, buf: &mut [u8], select: F)
+    where
+        Self: Sized,
+    {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let pos = offset + i as u64;
+            if select(pos) {
+                *b ^= self.keystream_byte(pos);
+            }
+        }
+    }
+}
+
+/// The paper's XOR cipher (Table I: "Encryption Function: XOR Cipher").
+///
+/// The keystream is the PUF-based key repeated: byte `p` of the stream is
+/// `key[p mod key_len]`. The paper describes it as "an encryption method
+/// made by passing instructions through successive XOR gates", chosen
+/// "for the simplicity of the design" — the hardware datapath is a row of
+/// XOR gates keyed by the Key Management Unit output.
+///
+/// ```rust
+/// use eric_crypto::cipher::{KeystreamCipher, XorCipher};
+/// let cipher = XorCipher::new(&[0x01, 0x02, 0x03, 0x04]);
+/// let mut data = *b"attack at dawn";
+/// cipher.apply(0, &mut data);
+/// assert_ne!(&data, b"attack at dawn");
+/// cipher.apply(0, &mut data);
+/// assert_eq!(&data, b"attack at dawn");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct XorCipher {
+    key: Vec<u8>,
+}
+
+impl XorCipher {
+    /// Create an XOR cipher from a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is empty: an empty key would make the "cipher" the
+    /// identity function, silently shipping plaintext.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(!key.is_empty(), "XOR cipher key must not be empty");
+        XorCipher { key: key.to_vec() }
+    }
+
+    /// Key length in bytes.
+    pub fn key_len(&self) -> usize {
+        self.key.len()
+    }
+}
+
+impl fmt::Debug for XorCipher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "XorCipher {{ key_len: {} }}", self.key.len())
+    }
+}
+
+impl KeystreamCipher for XorCipher {
+    fn keystream_byte(&self, pos: u64) -> u8 {
+        self.key[(pos % self.key.len() as u64) as usize]
+    }
+
+    fn name(&self) -> &'static str {
+        "xor"
+    }
+}
+
+/// A SHA-256 counter-mode keystream cipher.
+///
+/// Demonstrates the paper's claim that "the user has the freedom to upload
+/// his own encryption method to the system": the keystream block `i` is
+/// `SHA-256(key ‖ i)`, so the stream has no short period, unlike
+/// [`XorCipher`]. Used by the cipher-choice ablation bench.
+///
+/// ```rust
+/// use eric_crypto::cipher::{KeystreamCipher, ShaCtrCipher};
+/// let cipher = ShaCtrCipher::new(&[7u8; 32]);
+/// let mut data = vec![0u8; 100];
+/// cipher.apply(0, &mut data);
+/// let once = data.clone();
+/// cipher.apply(0, &mut data);
+/// assert_eq!(data, vec![0u8; 100]);
+/// assert_ne!(once, vec![0u8; 100]);
+/// ```
+#[derive(Clone)]
+pub struct ShaCtrCipher {
+    key: Vec<u8>,
+}
+
+impl ShaCtrCipher {
+    /// Keystream block size (one SHA-256 digest).
+    pub const BLOCK: u64 = 32;
+
+    /// Create a SHA-CTR cipher from a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is empty.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(!key.is_empty(), "SHA-CTR cipher key must not be empty");
+        ShaCtrCipher { key: key.to_vec() }
+    }
+
+    fn block(&self, index: u64) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.key);
+        h.update(&index.to_le_bytes());
+        h.finalize().0
+    }
+}
+
+impl fmt::Debug for ShaCtrCipher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShaCtrCipher {{ key_len: {} }}", self.key.len())
+    }
+}
+
+impl KeystreamCipher for ShaCtrCipher {
+    fn keystream_byte(&self, pos: u64) -> u8 {
+        let block = self.block(pos / Self::BLOCK);
+        block[(pos % Self::BLOCK) as usize]
+    }
+
+    fn name(&self) -> &'static str {
+        "sha-ctr"
+    }
+
+    fn apply(&self, offset: u64, buf: &mut [u8]) {
+        // Amortize: materialize each 32-byte block once instead of once
+        // per byte (the hardware analogue is a one-block keystream FIFO).
+        let mut i = 0usize;
+        while i < buf.len() {
+            let pos = offset + i as u64;
+            let block_idx = pos / Self::BLOCK;
+            let block = self.block(block_idx);
+            let start_in_block = (pos % Self::BLOCK) as usize;
+            let take = (Self::BLOCK as usize - start_in_block).min(buf.len() - i);
+            for j in 0..take {
+                buf[i + j] ^= block[start_in_block + j];
+            }
+            i += take;
+        }
+    }
+}
+
+/// Enumerates the ciphers bundled with ERIC, for configuration surfaces
+/// (the paper's GUI lets the operator pick the encryption function).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum CipherKind {
+    /// The paper's XOR cipher (default, matches Table I).
+    #[default]
+    Xor,
+    /// SHA-256 counter-mode keystream.
+    ShaCtr,
+}
+
+impl CipherKind {
+    /// Instantiate the chosen cipher with `key`.
+    pub fn instantiate(self, key: &[u8]) -> Box<dyn KeystreamCipher + Send + Sync> {
+        match self {
+            CipherKind::Xor => Box::new(XorCipher::new(key)),
+            CipherKind::ShaCtr => Box::new(ShaCtrCipher::new(key)),
+        }
+    }
+
+    /// Stable wire identifier for package headers.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            CipherKind::Xor => 0,
+            CipherKind::ShaCtr => 1,
+        }
+    }
+
+    /// Inverse of [`CipherKind::wire_id`].
+    pub fn from_wire_id(id: u8) -> Option<Self> {
+        match id {
+            0 => Some(CipherKind::Xor),
+            1 => Some(CipherKind::ShaCtr),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CipherKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CipherKind::Xor => f.write_str("xor"),
+            CipherKind::ShaCtr => f.write_str("sha-ctr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_roundtrip() {
+        let c = XorCipher::new(&[1, 2, 3]);
+        let mut data = b"hello world, this is a test".to_vec();
+        let orig = data.clone();
+        c.apply(0, &mut data);
+        assert_ne!(data, orig);
+        c.apply(0, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn xor_keystream_period_is_key_length() {
+        let c = XorCipher::new(&[0xAA, 0xBB, 0xCC]);
+        for pos in 0..30u64 {
+            assert_eq!(c.keystream_byte(pos), c.keystream_byte(pos + 3));
+        }
+    }
+
+    #[test]
+    fn xor_positional_decryption_of_fragment() {
+        // Decrypting a fragment at its absolute offset must match the
+        // fragment of a whole-buffer decryption: partial encryption
+        // depends on this.
+        let c = XorCipher::new(&[9, 8, 7, 6, 5]);
+        let mut whole: Vec<u8> = (0..64).collect();
+        c.apply(0, &mut whole);
+
+        let mut fragment: Vec<u8> = (20..36).collect();
+        c.apply(20, &mut fragment);
+        assert_eq!(&whole[20..36], &fragment[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn xor_empty_key_panics() {
+        let _ = XorCipher::new(&[]);
+    }
+
+    #[test]
+    fn sha_ctr_roundtrip() {
+        let c = ShaCtrCipher::new(b"puf-based key material");
+        let mut data: Vec<u8> = (0u16..300).map(|i| (i % 256) as u8).collect();
+        let orig = data.clone();
+        c.apply(5, &mut data);
+        assert_ne!(data, orig);
+        c.apply(5, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn sha_ctr_apply_matches_per_byte_definition() {
+        let c = ShaCtrCipher::new(b"k");
+        let mut fast: Vec<u8> = vec![0; 100];
+        c.apply(13, &mut fast);
+        let slow: Vec<u8> = (0..100u64).map(|i| c.keystream_byte(13 + i)).collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn sha_ctr_has_no_short_period() {
+        let c = ShaCtrCipher::new(b"key");
+        let stream: Vec<u8> = (0..256u64).map(|p| c.keystream_byte(p)).collect();
+        // No period <= 64 within the first 256 bytes.
+        for period in 1..=64usize {
+            let repeats = (0..(256 - period)).all(|i| stream[i] == stream[i + period]);
+            assert!(!repeats, "unexpected period {period}");
+        }
+    }
+
+    #[test]
+    fn apply_selected_touches_only_selected_positions() {
+        let c = XorCipher::new(&[0xFF]);
+        let mut data = vec![0u8; 16];
+        c.apply_selected(0, &mut data, |pos| pos % 2 == 0);
+        for (i, b) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(*b, 0xFF);
+            } else {
+                assert_eq!(*b, 0x00);
+            }
+        }
+    }
+
+    #[test]
+    fn cipher_kind_wire_roundtrip() {
+        for kind in [CipherKind::Xor, CipherKind::ShaCtr] {
+            assert_eq!(CipherKind::from_wire_id(kind.wire_id()), Some(kind));
+        }
+        assert_eq!(CipherKind::from_wire_id(0xFF), None);
+    }
+
+    #[test]
+    fn cipher_kind_instantiate_roundtrip() {
+        for kind in [CipherKind::Xor, CipherKind::ShaCtr] {
+            let c = kind.instantiate(&[1, 2, 3, 4]);
+            let mut data = b"sample".to_vec();
+            c.apply(0, &mut data);
+            c.apply(0, &mut data);
+            assert_eq!(data, b"sample");
+        }
+    }
+
+    #[test]
+    fn debug_never_leaks_key() {
+        let x = XorCipher::new(&[0xDE, 0xAD]);
+        let s = ShaCtrCipher::new(&[0xBE, 0xEF]);
+        assert!(!format!("{x:?}").contains("de"));
+        assert!(!format!("{s:?}").contains("be"));
+    }
+}

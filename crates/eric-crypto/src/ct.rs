@@ -1,0 +1,65 @@
+//! Constant-time byte-slice comparison.
+//!
+//! The HDE's Validation Unit compares the signature recomputed from the
+//! decrypted program against the signature shipped with the package. A
+//! short-circuiting comparison would leak, via timing, how many leading
+//! signature bytes an attacker's forgery got right; hardware comparators
+//! are naturally constant-time, so the model must be too.
+
+/// Compare two byte slices in constant time with respect to their
+/// contents.
+///
+/// Returns `false` immediately when the lengths differ: the length of a
+/// signature is public (always 32 bytes in ERIC), so only the contents
+/// need timing protection.
+///
+/// ```rust
+/// assert!(eric_crypto::ct::ct_eq(b"abcd", b"abcd"));
+/// assert!(!eric_crypto::ct::ct_eq(b"abcd", b"abce"));
+/// assert!(!eric_crypto::ct::ct_eq(b"abcd", b"abc"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_contents() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_lengths() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2]));
+        assert!(!ct_eq(&[], &[0]));
+    }
+
+    #[test]
+    fn every_single_bit_difference_detected() {
+        let a = [0x5Au8; 8];
+        for byte in 0..8 {
+            for bit in 0..8 {
+                let mut b = a;
+                b[byte] ^= 1 << bit;
+                assert!(!ct_eq(&a, &b), "missed flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for cryptographic operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the crypto subsystem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A message is too large for the RSA modulus it is being encrypted
+    /// under.
+    MessageTooLarge {
+        /// Message length in bytes.
+        msg_len: usize,
+        /// Modulus size in bytes.
+        modulus_len: usize,
+    },
+    /// RSA key generation failed to find primes within the attempt budget.
+    PrimeGenerationFailed,
+    /// A ciphertext did not decrypt to a validly padded message.
+    BadPadding,
+    /// Requested RSA key size is unsupported.
+    UnsupportedKeySize(usize),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLarge { msg_len, modulus_len } => write!(
+                f,
+                "message of {msg_len} bytes does not fit under a {modulus_len}-byte modulus"
+            ),
+            CryptoError::PrimeGenerationFailed => {
+                f.write_str("failed to generate primes within the attempt budget")
+            }
+            CryptoError::BadPadding => f.write_str("ciphertext decrypted to invalid padding"),
+            CryptoError::UnsupportedKeySize(bits) => {
+                write!(f, "unsupported RSA key size: {bits} bits")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = CryptoError::MessageTooLarge { msg_len: 100, modulus_len: 64 };
+        let s = e.to_string();
+        assert!(s.starts_with("message of"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &(dyn std::error::Error + Send + Sync)) {}
+        takes_err(&CryptoError::BadPadding);
+    }
+}

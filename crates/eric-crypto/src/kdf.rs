@@ -1,0 +1,179 @@
+//! The Key Management Unit (KMU) function: PUF key → PUF-based keys.
+//!
+//! The paper's KMU is the abstraction layer between the raw PUF key and
+//! the keys actually used for encryption: "the existing PUF key goes
+//! through the key generation function within the Key Management Unit ...
+//! multiple PUF-based keys are generated with a single PUF key" (§III-2).
+//! This keeps the PUF key itself secret from the software source, allows
+//! re-keying over time (key epochs), and lets one device expose different
+//! keys to different software vendors (purpose separation).
+
+use crate::sha256::{Digest, Sha256};
+use std::fmt;
+
+/// A 256-bit key derived from a PUF key by the Key Management Unit.
+///
+/// The same derivation runs on both sides: in hardware inside the HDE,
+/// and at the software source that was handed the PUF-*based* key during
+/// enrollment (the paper assumes "the handshake is already done").
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DerivedKey([u8; 32]);
+
+impl DerivedKey {
+    /// Borrow the raw key bytes (feeds the cipher's key schedule).
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Construct from raw bytes (e.g. read back from an enrollment record).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        DerivedKey(bytes)
+    }
+
+    /// Constant-time equality, for validation paths.
+    pub fn ct_eq(&self, other: &DerivedKey) -> bool {
+        crate::ct::ct_eq(&self.0, &other.0)
+    }
+}
+
+impl fmt::Debug for DerivedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Key material must never appear in logs; show a short fingerprint.
+        let fp = crate::sha256::sha256(&self.0);
+        write!(f, "DerivedKey(fp={:02x}{:02x}..)", fp.0[0], fp.0[1])
+    }
+}
+
+impl From<Digest> for DerivedKey {
+    fn from(d: Digest) -> Self {
+        DerivedKey(d.0)
+    }
+}
+
+/// The Key Management Unit's key-generation function.
+///
+/// `derive(puf_key, epoch, purpose)` = SHA-256 over a domain-separated
+/// encoding of the three inputs. The *epoch* reproduces the paper's
+/// "different key configurations in the system ... allowing to change the
+/// compatible software resources according to time or preferences"; the
+/// *purpose* string separates keys for different uses (program
+/// encryption vs. signature encryption vs. vendor identity).
+///
+/// ```rust
+/// use eric_crypto::kdf::KeyManagementUnit;
+/// let kmu = KeyManagementUnit::new();
+/// let k1 = kmu.derive(&[1, 2, 3, 4], 0, b"enc");
+/// let k2 = kmu.derive(&[1, 2, 3, 4], 1, b"enc");
+/// let k3 = kmu.derive(&[1, 2, 3, 4], 0, b"sig");
+/// assert_ne!(k1.as_bytes(), k2.as_bytes()); // epoch separation
+/// assert_ne!(k1.as_bytes(), k3.as_bytes()); // purpose separation
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KeyManagementUnit;
+
+/// Domain-separation tag so KMU output can never collide with a plain
+/// SHA-256 of program bytes.
+const KMU_TAG: &[u8] = b"ERIC-KMU-v1";
+
+impl KeyManagementUnit {
+    /// Create a Key Management Unit.
+    pub fn new() -> Self {
+        KeyManagementUnit
+    }
+
+    /// Derive a PUF-based key from a raw PUF key.
+    ///
+    /// The encoding is length-prefixed, so `(key, purpose)` pairs like
+    /// `("ab", "c")` and `("a", "bc")` cannot collide.
+    pub fn derive(&self, puf_key: &[u8], epoch: u64, purpose: &[u8]) -> DerivedKey {
+        let mut h = Sha256::new();
+        h.update(KMU_TAG);
+        h.update(&(puf_key.len() as u64).to_le_bytes());
+        h.update(puf_key);
+        h.update(&epoch.to_le_bytes());
+        h.update(&(purpose.len() as u64).to_le_bytes());
+        h.update(purpose);
+        DerivedKey(h.finalize().0)
+    }
+
+    /// Derive the per-package keystream key from a PUF-based key and the
+    /// package's nonce. Re-keying per package means two packages for the
+    /// same device never share an XOR keystream (which would otherwise
+    /// leak the XOR of the two plaintexts).
+    pub fn package_key(&self, base: &DerivedKey, nonce: u64) -> DerivedKey {
+        let mut h = Sha256::new();
+        h.update(b"ERIC-PKG-v1");
+        h.update(base.as_bytes());
+        h.update(&nonce.to_le_bytes());
+        DerivedKey(h.finalize().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let kmu = KeyManagementUnit::new();
+        assert_eq!(
+            kmu.derive(&[5; 8], 3, b"p"),
+            kmu.derive(&[5; 8], 3, b"p")
+        );
+    }
+
+    #[test]
+    fn different_puf_keys_give_different_derived_keys() {
+        let kmu = KeyManagementUnit::new();
+        assert_ne!(
+            kmu.derive(&[0; 8], 0, b"p").as_bytes(),
+            kmu.derive(&[1; 8], 0, b"p").as_bytes()
+        );
+    }
+
+    #[test]
+    fn epoch_rotation_changes_key() {
+        let kmu = KeyManagementUnit::new();
+        let keys: Vec<_> = (0..4).map(|e| kmu.derive(&[7; 4], e, b"p")).collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn length_prefixing_prevents_boundary_collisions() {
+        let kmu = KeyManagementUnit::new();
+        assert_ne!(
+            kmu.derive(b"ab", 0, b"c"),
+            kmu.derive(b"a", 0, b"bc")
+        );
+    }
+
+    #[test]
+    fn package_key_depends_on_nonce() {
+        let kmu = KeyManagementUnit::new();
+        let base = kmu.derive(&[9; 16], 0, b"enc");
+        assert_ne!(kmu.package_key(&base, 1), kmu.package_key(&base, 2));
+        assert_eq!(kmu.package_key(&base, 1), kmu.package_key(&base, 1));
+    }
+
+    #[test]
+    fn debug_shows_fingerprint_not_key() {
+        let kmu = KeyManagementUnit::new();
+        let k = kmu.derive(&[1, 2, 3], 0, b"x");
+        let dbg = format!("{k:?}");
+        assert!(dbg.contains("fp="));
+        // The raw key bytes must not be printable from Debug output.
+        assert!(dbg.len() < 40);
+    }
+
+    #[test]
+    fn derived_key_roundtrip_bytes() {
+        let kmu = KeyManagementUnit::new();
+        let k = kmu.derive(&[1], 0, b"x");
+        let k2 = DerivedKey::from_bytes(*k.as_bytes());
+        assert!(k.ct_eq(&k2));
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! Cryptographic primitives for the ERIC software obfuscation framework.
+//!
+//! The paper's prototype uses SHA-256 as the signature function and an XOR
+//! cipher as the encryption function (Table I), both implemented from
+//! scratch and integrated with the compiler and the Hardware Decryption
+//! Engine. This crate reproduces those primitives and the key-management
+//! layer between the raw PUF key and the working encryption keys:
+//!
+//! * [`mod@sha256`] — FIPS 180-2 SHA-256 with an incremental (streaming) API,
+//!   used both by the compiler-side signature generator and the HDE-side
+//!   signature regeneration unit.
+//! * [`cipher`] — the pluggable keystream-cipher abstraction. The paper
+//!   emphasizes that "new encryption algorithms can be easily implemented";
+//!   [`cipher::XorCipher`] is the paper's cipher, and
+//!   [`cipher::ShaCtrCipher`] demonstrates a drop-in alternative.
+//! * [`kdf`] — the Key Management Unit function: derives *PUF-based keys*
+//!   from the raw PUF key so the PUF key itself is never shared with the
+//!   software source (the paper's abstraction layer).
+//! * [`bignum`] + [`rsa`] — arbitrary-precision arithmetic, Miller–Rabin
+//!   primality testing, and RSA key generation. RSA-based key usage is the
+//!   paper's stated future work (§VI); we implement it as an extension for
+//!   wrapping PUF-based keys.
+//! * [`ct`] — constant-time comparison used by the Validation Unit.
+//!
+//! # Example
+//!
+//! ```rust
+//! use eric_crypto::cipher::{KeystreamCipher, XorCipher};
+//! use eric_crypto::kdf::KeyManagementUnit;
+//! use eric_crypto::sha256::sha256;
+//!
+//! // Key Management Unit: PUF key -> PUF-based key (the paper's step 1).
+//! let kmu = KeyManagementUnit::new();
+//! let puf_key = [0xA5u8; 16];
+//! let key = kmu.derive(&puf_key, 0, b"program-encryption");
+//!
+//! // Sign then encrypt (the paper's step 3).
+//! let mut text = b"secret program bytes".to_vec();
+//! let signature = sha256(&text);
+//! XorCipher::new(key.as_bytes()).apply(0, &mut text);
+//! assert_ne!(&text, b"secret program bytes");
+//!
+//! // Decrypt (HDE side) restores the exact bytes, so the signature matches.
+//! XorCipher::new(key.as_bytes()).apply(0, &mut text);
+//! assert_eq!(sha256(&text), signature);
+//! ```
+
+pub mod bignum;
+pub mod cipher;
+pub mod ct;
+pub mod error;
+pub mod kdf;
+pub mod prime;
+pub mod rsa;
+pub mod sha256;
+
+pub use cipher::{KeystreamCipher, ShaCtrCipher, XorCipher};
+pub use error::CryptoError;
+pub use kdf::{DerivedKey, KeyManagementUnit};
+pub use sha256::{sha256, Digest, Sha256};

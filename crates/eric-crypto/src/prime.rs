@@ -1,0 +1,198 @@
+//! Miller–Rabin probabilistic primality testing and prime generation.
+//!
+//! Supports the RSA key-generation extension (the paper's §VI future
+//! work). Candidates are screened against small primes before running
+//! Miller–Rabin with random bases.
+
+use crate::bignum::BigUint;
+use rand::Rng;
+
+/// Small primes used to cheaply reject most composite candidates.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Returns `false` for 0 and 1, `true` for 2 and 3. With 32 rounds the
+/// probability of accepting a composite is below 2⁻⁶⁴.
+///
+/// ```rust
+/// use eric_crypto::bignum::BigUint;
+/// use eric_crypto::prime::is_probable_prime;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert!(is_probable_prime(&BigUint::from_u64(104729), 16, &mut rng));
+/// assert!(!is_probable_prime(&BigUint::from_u64(104730), 16, &mut rng));
+/// ```
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+    if n.bit_len() <= 1 {
+        return false; // 0 and 1
+    }
+    let two = BigUint::from_u64(2);
+    // Screen against small primes (and accept them exactly).
+    for &p in &SMALL_PRIMES {
+        let bp = BigUint::from_u64(p);
+        if *n == bp {
+            return true;
+        }
+        if n.rem(&bp).is_zero() {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let n_minus_1 = n.sub(&BigUint::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    'witness: for _ in 0..rounds {
+        let a = random_below(rng, &n_minus_1.sub(&two)).add(&two); // a in [2, n-2]
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Uniform random value in `[0, bound]` (inclusive) by rejection
+/// sampling over `bit_len(bound)`-bit candidates.
+fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    if bound.is_zero() {
+        return BigUint::zero();
+    }
+    let bits = bound.bit_len();
+    let bytes = bits.div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        // Mask excess top bits.
+        let excess = bytes * 8 - bits;
+        if excess > 0 {
+            buf[0] &= 0xFF >> excess;
+        }
+        let candidate = BigUint::from_bytes_be(&buf);
+        if candidate <= *bound {
+            return candidate;
+        }
+    }
+}
+
+/// Generate a random probable prime with exactly `bits` significant bits.
+///
+/// The top two bits are forced to 1 (so an RSA modulus p·q reaches its
+/// full width) and the bottom bit is forced to 1 (odd).
+///
+/// Returns `None` if no prime is found within `max_attempts` candidates —
+/// with the default budget used by [`crate::rsa`], this is vanishingly
+/// unlikely for the supported key sizes.
+pub fn generate_prime<R: Rng + ?Sized>(
+    bits: usize,
+    rounds: u32,
+    max_attempts: u32,
+    rng: &mut R,
+) -> Option<BigUint> {
+    assert!(bits >= 8, "prime size must be at least 8 bits");
+    for _ in 0..max_attempts {
+        let bytes = bits.div_ceil(8);
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        let mut candidate = BigUint::from_bytes_be(&buf);
+        // Trim to exactly `bits` bits, then pin top-two and bottom bits.
+        candidate = candidate.rem(&BigUint::one().shl(bits));
+        candidate.set_bit(bits - 1);
+        candidate.set_bit(bits - 2);
+        candidate.set_bit(0);
+        if is_probable_prime(&candidate, rounds, rng) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xE41C)
+    }
+
+    #[test]
+    fn small_primes_accepted() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 101, 127, 8191, 104729] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 100, 561, 1105, 8192, 104730] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat tests but not Miller–Rabin.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 24, &mut r),
+                "Carmichael {c} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_accepted() {
+        // 2^127 - 1 is prime.
+        let mut r = rng();
+        let m127 = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_probable_prime(&m127, 16, &mut r));
+        // 2^128 - 1 is composite.
+        let m128 = BigUint::one().shl(128).sub(&BigUint::one());
+        assert!(!is_probable_prime(&m128, 16, &mut r));
+    }
+
+    #[test]
+    fn generated_primes_have_exact_bit_length() {
+        let mut r = rng();
+        for bits in [32usize, 64, 128] {
+            let p = generate_prime(bits, 16, 10_000, &mut r).expect("prime found");
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut r = rng();
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..200 {
+            assert!(random_below(&mut r, &bound) <= bound);
+        }
+    }
+}

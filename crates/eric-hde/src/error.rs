@@ -1,0 +1,66 @@
+//! HDE error type.
+
+use eric_crypto::sha256::Digest;
+use std::error::Error;
+use std::fmt;
+
+/// Why the HDE refused to release a program for execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdeError {
+    /// The regenerated signature does not match the shipped signature:
+    /// the program was tampered with, corrupted in transit, or was
+    /// encrypted for different hardware (wrong PUF).
+    SignatureMismatch {
+        /// Signature recomputed from the decrypted program.
+        computed: Digest,
+        /// Signature that arrived with the package (after decryption).
+        shipped: Digest,
+    },
+    /// The input was structurally malformed (e.g. truncated map).
+    Malformed(String),
+    /// The package targets a key epoch other than the device's current
+    /// one: the device has been re-keyed since the package was built.
+    WrongEpoch {
+        /// Epoch the package was built for.
+        package: u64,
+        /// The device's current epoch.
+        device: u64,
+    },
+}
+
+impl fmt::Display for HdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdeError::SignatureMismatch { .. } => {
+                // Deliberately does not print digests: a production HDE
+                // reports only pass/fail to avoid oracle leakage.
+                f.write_str("signature validation failed: program rejected")
+            }
+            HdeError::Malformed(msg) => write!(f, "malformed secure input: {msg}"),
+            HdeError::WrongEpoch { package, device } => write!(
+                f,
+                "package built for key epoch {package}, device is at epoch {device}"
+            ),
+        }
+    }
+}
+
+impl Error for HdeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eric_crypto::sha256::sha256;
+
+    #[test]
+    fn display_does_not_leak_digests() {
+        let e = HdeError::SignatureMismatch {
+            computed: sha256(b"a"),
+            shipped: sha256(b"b"),
+        };
+        let msg = e.to_string();
+        assert!(!msg.contains(&sha256(b"a").to_hex()[..8]));
+        assert!(msg.contains("rejected"));
+    }
+}

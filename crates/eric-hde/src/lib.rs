@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! The Hardware Decryption Engine (HDE) of ERIC.
+//!
+//! The paper's HDE sits between the untrusted outside world and the
+//! SoC: "the received programs are kept encrypted until they are loaded
+//! into the main memory for execution" (§III-2). It contains five
+//! units, all modeled here:
+//!
+//! * **PUF Key Generator** — the arbiter-PUF bank ([`eric_puf`]).
+//! * **Key Management Unit** — PUF key → PUF-based key derivation
+//!   ([`eric_crypto::kdf`]), wrapped with epoch state in [`units`].
+//! * **Decryption Unit** — streaming, map-aware keystream application
+//!   ([`transform::transform_payload`]).
+//! * **Signature Generator** — streaming SHA-256 over the decrypted
+//!   program ([`units::SignatureGenerator`]).
+//! * **Validation Unit** — constant-time signature comparison
+//!   ([`units::ValidationUnit`]).
+//!
+//! [`loader::SecureLoader`] orchestrates the full §III flow (steps 5–6:
+//! decrypt → re-hash → validate → release to the trusted zone) and
+//! charges cycles from the [`timing`] model so end-to-end execution
+//! overhead (Figure 7) can be measured. [`parallel`] adds the paper's
+//! future-work multi-lane decryption.
+//!
+//! Crucially, encryption and decryption are the *same* transform (XOR
+//! keystream involution), implemented once in [`transform`] and used by
+//! both the compiler side (`eric-core`) and the HDE — the two sides
+//! cannot drift.
+
+pub mod error;
+pub mod loader;
+pub mod map;
+pub mod parallel;
+pub mod policy;
+pub mod timing;
+pub mod transform;
+pub mod units;
+
+pub use error::HdeError;
+pub use loader::{LoadedProgram, SecureInput, SecureLoader};
+pub use map::{CoverageMap, ParcelBitmap};
+pub use policy::FieldPolicy;
+pub use timing::{HdeCycles, HdeTimingConfig};

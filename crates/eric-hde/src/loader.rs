@@ -1,0 +1,419 @@
+//! The secure loader: the paper's steps 5–6.
+//!
+//! "The program and its signature that reaches the hardware are
+//! decrypted in the Decryption Unit with the PUF Based Key ... the
+//! decrypted program is used to generate signatures again in the
+//! Signature Generator Unit ... In the case of a match ... the
+//! decrypted program is sent to the Trusted Zone and becomes suitable
+//! for executing on the processor."
+
+use crate::error::HdeError;
+use crate::map::CoverageMap;
+use crate::policy::FieldPolicy;
+use crate::timing::{HdeCycles, HdeTimingConfig};
+use crate::transform::{transform_payload, transform_signature};
+use crate::units::{KeyUnit, SignatureGenerator, ValidationUnit};
+use eric_crypto::cipher::CipherKind;
+use eric_puf::crp::Challenge;
+use eric_puf::device::PufDevice;
+use std::fmt;
+
+/// Everything the HDE receives from the outside world for one program
+/// (unpacked from the wire format by `eric-core`).
+#[derive(Clone, Debug)]
+pub struct SecureInput<'a> {
+    /// Encrypted payload: text section followed by data section.
+    pub payload: &'a [u8],
+    /// Additional authenticated data: cleartext package metadata (load
+    /// addresses, entry point) that the signature must also cover, so
+    /// header tampering is caught exactly like payload tampering.
+    pub aad: &'a [u8],
+    /// Length of the text region within the payload.
+    pub text_len: usize,
+    /// Encryption coverage map.
+    pub map: &'a CoverageMap,
+    /// Field-level policy, if the package used field-level encryption.
+    pub policy: Option<FieldPolicy>,
+    /// The 256-bit signature, encrypted.
+    pub encrypted_signature: [u8; 32],
+    /// Which cipher the package was encrypted with.
+    pub cipher: CipherKind,
+    /// PUF challenge selecting the key.
+    pub challenge: &'a Challenge,
+    /// Key epoch the package targets.
+    pub epoch: u64,
+    /// Per-package nonce (re-keys the keystream per package).
+    pub nonce: u64,
+}
+
+/// A validated, decrypted program ready for the trusted zone.
+#[derive(Clone)]
+pub struct LoadedProgram {
+    /// Decrypted payload (text ‖ data).
+    pub plaintext: Vec<u8>,
+    /// Length of the text region.
+    pub text_len: usize,
+    /// Cycles the HDE spent.
+    pub cycles: HdeCycles,
+}
+
+impl fmt::Debug for LoadedProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LoadedProgram {{ {} bytes ({} text), {} cycles }}",
+            self.plaintext.len(),
+            self.text_len,
+            self.cycles.total()
+        )
+    }
+}
+
+/// The Hardware Decryption Engine, assembled.
+pub struct SecureLoader {
+    keys: KeyUnit,
+    validation: ValidationUnit,
+    timing: HdeTimingConfig,
+}
+
+impl fmt::Debug for SecureLoader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecureLoader {{ keys: {:?} }}", self.keys)
+    }
+}
+
+impl SecureLoader {
+    /// Build an HDE around a device's PUF bank.
+    pub fn new(puf: PufDevice) -> Self {
+        SecureLoader {
+            keys: KeyUnit::new(puf),
+            validation: ValidationUnit::new(),
+            timing: HdeTimingConfig::default(),
+        }
+    }
+
+    /// Replace the timing constants (for ablation studies).
+    pub fn with_timing(mut self, timing: HdeTimingConfig) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// The key unit (for enrollment and epoch rotation).
+    pub fn keys(&self) -> &KeyUnit {
+        &self.keys
+    }
+
+    /// Mutable key unit access (epoch rotation).
+    pub fn keys_mut(&mut self) -> &mut KeyUnit {
+        &mut self.keys
+    }
+
+    /// The timing constants in use.
+    pub fn timing(&self) -> &HdeTimingConfig {
+        &self.timing
+    }
+
+    /// Decrypt, re-hash, and validate a program (paper steps 5–6).
+    ///
+    /// On success the plaintext is released for loading into the SoC's
+    /// memory. On signature mismatch the program is rejected and *no
+    /// plaintext leaves the HDE* — exactly the property that defeats
+    /// wrong-device and tampering attacks.
+    ///
+    /// # Errors
+    ///
+    /// [`HdeError::SignatureMismatch`] when the regenerated signature
+    /// differs from the shipped one; [`HdeError::Malformed`] for
+    /// structurally invalid inputs.
+    pub fn process(&self, input: &SecureInput<'_>) -> Result<LoadedProgram, HdeError> {
+        if input.text_len > input.payload.len() {
+            return Err(HdeError::Malformed(format!(
+                "text length {} exceeds payload {}",
+                input.text_len,
+                input.payload.len()
+            )));
+        }
+        if let CoverageMap::Partial(bm) = input.map {
+            let needed = input.payload.len().div_ceil(bm.granularity() as usize);
+            if bm.parcels() < needed {
+                return Err(HdeError::Malformed(format!(
+                    "map covers {} parcels, payload has {}",
+                    bm.parcels(),
+                    needed
+                )));
+            }
+        }
+        // The KMU only derives keys for the device's *current* epoch;
+        // rotating the epoch therefore revokes every older package.
+        if input.epoch != self.keys.epoch() {
+            return Err(HdeError::WrongEpoch {
+                package: input.epoch,
+                device: self.keys.epoch(),
+            });
+        }
+        // Key derivation (PKG + KMU).
+        let key = self.keys.package_key(input.challenge, input.epoch, input.nonce);
+        let cipher = input.cipher.instantiate(key.as_bytes());
+
+        // Decryption Unit: payload then signature (continuation stream).
+        let mut plaintext = input.payload.to_vec();
+        transform_payload(
+            &mut plaintext,
+            input.map,
+            input.policy,
+            input.text_len,
+            cipher.as_ref(),
+        );
+        let mut signature = input.encrypted_signature;
+        transform_signature(&mut signature, input.payload.len(), cipher.as_ref());
+
+        // Signature Generator: re-hash the authenticated metadata and
+        // the decrypted stream.
+        let mut gen = SignatureGenerator::new();
+        gen.absorb(input.aad);
+        gen.absorb(&plaintext);
+        let computed = gen.finalize();
+
+        // Validation Unit.
+        let cycles = HdeCycles {
+            decrypt: self.timing.decrypt_cycles(plaintext.len()),
+            hash: self.timing.hash_cycles(plaintext.len()),
+            validate: self.timing.validate_cycles,
+        };
+        if !self.validation.validate(&computed, &signature) {
+            return Err(HdeError::SignatureMismatch {
+                computed,
+                shipped: eric_crypto::sha256::Digest::from_bytes(signature),
+            });
+        }
+        Ok(LoadedProgram { plaintext, text_len: input.text_len, cycles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eric_crypto::sha256::sha256;
+    use eric_puf::device::PufDeviceConfig;
+
+    /// Encrypt a payload+signature the way the compiler side does, by
+    /// reusing the shared transform with the device's own key.
+    fn encrypt_for(
+        loader: &SecureLoader,
+        challenge: &Challenge,
+        epoch: u64,
+        nonce: u64,
+        payload: &[u8],
+        text_len: usize,
+        map: &CoverageMap,
+        policy: Option<FieldPolicy>,
+    ) -> (Vec<u8>, [u8; 32]) {
+        let key = loader.keys().package_key(challenge, epoch, nonce);
+        let cipher = CipherKind::Xor.instantiate(key.as_bytes());
+        let mut sig = *sha256(payload).as_bytes();
+        let mut enc = payload.to_vec();
+        transform_payload(&mut enc, map, policy, text_len, cipher.as_ref());
+        transform_signature(&mut sig, payload.len(), cipher.as_ref());
+        (enc, sig)
+    }
+
+    fn loader(seed: u64) -> SecureLoader {
+        SecureLoader::new(PufDevice::from_seed(seed, PufDeviceConfig::paper()))
+    }
+
+    fn challenge() -> Challenge {
+        Challenge::from_bytes(&[0x42; 32])
+    }
+
+    #[test]
+    fn roundtrip_full_encryption() {
+        let l = loader(1);
+        let ch = challenge();
+        let payload: Vec<u8> = (0u16..300).map(|i| (i % 256) as u8).collect();
+        let (enc, sig) = encrypt_for(&l, &ch, 0, 9, &payload, 128, &CoverageMap::Full, None);
+        assert_ne!(enc, payload);
+        let out = l
+            .process(&SecureInput {
+                payload: &enc,
+                aad: &[],
+                text_len: 128,
+                map: &CoverageMap::Full,
+                policy: None,
+                encrypted_signature: sig,
+                cipher: CipherKind::Xor,
+                challenge: &ch,
+                epoch: 0,
+                nonce: 9,
+            })
+            .expect("validates");
+        assert_eq!(out.plaintext, payload);
+        assert!(out.cycles.total() > 0);
+    }
+
+    #[test]
+    fn wrong_device_rejected() {
+        let l1 = loader(1);
+        let l2 = loader(2);
+        let ch = challenge();
+        let payload = vec![7u8; 64];
+        let (enc, sig) = encrypt_for(&l1, &ch, 0, 1, &payload, 64, &CoverageMap::Full, None);
+        let input = SecureInput {
+            payload: &enc,
+            aad: &[],
+            text_len: 64,
+            map: &CoverageMap::Full,
+            policy: None,
+            encrypted_signature: sig,
+            cipher: CipherKind::Xor,
+            challenge: &ch,
+            epoch: 0,
+            nonce: 1,
+        };
+        assert!(l1.process(&input).is_ok());
+        assert!(matches!(
+            l2.process(&input),
+            Err(HdeError::SignatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_bitflip_in_payload_rejected() {
+        let l = loader(3);
+        let ch = challenge();
+        let payload: Vec<u8> = (0u8..32).collect();
+        let (enc, sig) = encrypt_for(&l, &ch, 0, 5, &payload, 32, &CoverageMap::Full, None);
+        for byte in 0..enc.len() {
+            for bit in [0, 3, 7] {
+                let mut tampered = enc.clone();
+                tampered[byte] ^= 1 << bit;
+                let r = l.process(&SecureInput {
+                    payload: &tampered,
+                    aad: &[],
+                    text_len: 32,
+                    map: &CoverageMap::Full,
+                    policy: None,
+                    encrypted_signature: sig,
+                    cipher: CipherKind::Xor,
+                    challenge: &ch,
+                    epoch: 0,
+                    nonce: 5,
+                });
+                assert!(r.is_err(), "flip at byte {byte} bit {bit} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn signature_tampering_rejected() {
+        let l = loader(4);
+        let ch = challenge();
+        let payload = vec![1u8; 100];
+        let (enc, mut sig) = encrypt_for(&l, &ch, 0, 2, &payload, 100, &CoverageMap::Full, None);
+        sig[0] ^= 0x80;
+        assert!(l
+            .process(&SecureInput {
+                payload: &enc,
+                aad: &[],
+                text_len: 100,
+                map: &CoverageMap::Full,
+                policy: None,
+                encrypted_signature: sig,
+                cipher: CipherKind::Xor,
+                challenge: &ch,
+                epoch: 0,
+                nonce: 2,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn wrong_epoch_rejected() {
+        let l = loader(5);
+        let ch = challenge();
+        let payload = vec![9u8; 48];
+        let (enc, sig) = encrypt_for(&l, &ch, 0, 3, &payload, 48, &CoverageMap::Full, None);
+        let mut input = SecureInput {
+            payload: &enc,
+            aad: &[],
+            text_len: 48,
+            map: &CoverageMap::Full,
+            policy: None,
+            encrypted_signature: sig,
+            cipher: CipherKind::Xor,
+            challenge: &ch,
+            epoch: 1, // package was built for epoch 0
+            nonce: 3,
+        };
+        assert!(l.process(&input).is_err());
+        input.epoch = 0;
+        assert!(l.process(&input).is_ok());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        let l = loader(6);
+        let ch = challenge();
+        let payload = vec![0u8; 16];
+        // text_len beyond payload.
+        assert!(matches!(
+            l.process(&SecureInput {
+                payload: &payload,
+                aad: &[],
+                text_len: 32,
+                map: &CoverageMap::Full,
+                policy: None,
+                encrypted_signature: [0; 32],
+                cipher: CipherKind::Xor,
+                challenge: &ch,
+                epoch: 0,
+                nonce: 0,
+            }),
+            Err(HdeError::Malformed(_))
+        ));
+        // Truncated map.
+        let short_map = CoverageMap::Partial(crate::map::ParcelBitmap::new(2));
+        assert!(matches!(
+            l.process(&SecureInput {
+                payload: &payload,
+                aad: &[],
+                text_len: 16,
+                map: &short_map,
+                policy: None,
+                encrypted_signature: [0; 32],
+                cipher: CipherKind::Xor,
+                challenge: &ch,
+                epoch: 0,
+                nonce: 0,
+            }),
+            Err(HdeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn sha_ctr_cipher_works_end_to_end() {
+        let l = loader(7);
+        let ch = challenge();
+        let payload: Vec<u8> = (0u16..256).map(|i| (i * 3 % 256) as u8).collect();
+        let key = l.keys().package_key(&ch, 0, 11);
+        let cipher = CipherKind::ShaCtr.instantiate(key.as_bytes());
+        let mut sig = *sha256(&payload).as_bytes();
+        let mut enc = payload.clone();
+        transform_payload(&mut enc, &CoverageMap::Full, None, 256, cipher.as_ref());
+        transform_signature(&mut sig, payload.len(), cipher.as_ref());
+        let out = l
+            .process(&SecureInput {
+                payload: &enc,
+                aad: &[],
+                text_len: 256,
+                map: &CoverageMap::Full,
+                policy: None,
+                encrypted_signature: sig,
+                cipher: CipherKind::ShaCtr,
+                challenge: &ch,
+                epoch: 0,
+                nonce: 11,
+            })
+            .expect("sha-ctr validates");
+        assert_eq!(out.plaintext, payload);
+    }
+}

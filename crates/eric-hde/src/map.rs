@@ -1,0 +1,235 @@
+//! Encryption coverage maps.
+//!
+//! "For the target hardware to detect which instructions are encrypted,
+//! the encryption map must be transmitted to the other party along with
+//! the encrypted program" (§III-1). The map costs 1 bit per instruction
+//! — per 16-bit *parcel* once compressed instructions are in play —
+//! and fully-encrypted programs ship no map at all. That accounting is
+//! exactly what Figure 5 measures, so the map's serialized size here
+//! follows the paper bit-for-bit.
+
+use std::fmt;
+
+/// A bitmap with one bit per payload parcel.
+///
+/// The parcel size follows the paper: 4 bytes (one bit per instruction)
+/// for uncompressed programs, 2 bytes (one bit per 16 bits) "if the
+/// compressed instructions in the RISC-V ISA are included in the
+/// program".
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ParcelBitmap {
+    bits: Vec<u8>,
+    parcels: usize,
+    granularity: u32,
+}
+
+impl ParcelBitmap {
+    /// An all-clear bitmap covering `parcels` 16-bit parcels.
+    pub fn new(parcels: usize) -> Self {
+        Self::with_granularity(parcels, 2)
+    }
+
+    /// An all-clear bitmap with an explicit parcel size in bytes
+    /// (2 for RVC builds, 4 for uncompressed builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `granularity` is 2 or 4.
+    pub fn with_granularity(parcels: usize, granularity: u32) -> Self {
+        assert!(
+            granularity == 2 || granularity == 4,
+            "parcel granularity must be 2 or 4 bytes, got {granularity}"
+        );
+        ParcelBitmap { bits: vec![0; parcels.div_ceil(8)], parcels, granularity }
+    }
+
+    /// Parcel size in bytes.
+    pub fn granularity(&self) -> u32 {
+        self.granularity
+    }
+
+    /// Number of parcels covered.
+    pub fn parcels(&self) -> usize {
+        self.parcels
+    }
+
+    /// Serialized size in bytes (what the package carries).
+    pub fn byte_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Mark parcel `i` as encrypted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.parcels, "parcel {i} out of range ({})", self.parcels);
+        self.bits[i / 8] |= 1 << (i % 8);
+    }
+
+    /// Is parcel `i` marked encrypted? Out-of-range reads are `false`.
+    pub fn get(&self, i: usize) -> bool {
+        i < self.parcels && (self.bits[i / 8] >> (i % 8)) & 1 == 1
+    }
+
+    /// Number of marked parcels.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Serialize to raw bytes (LSB-first parcel order).
+    pub fn to_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Rebuild from raw bytes (16-bit parcels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than `parcels` requires.
+    pub fn from_bytes(bytes: &[u8], parcels: usize) -> Self {
+        Self::from_bytes_with_granularity(bytes, parcels, 2)
+    }
+
+    /// Rebuild from raw bytes with an explicit parcel size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than `parcels` requires or the
+    /// granularity is not 2 or 4.
+    pub fn from_bytes_with_granularity(bytes: &[u8], parcels: usize, granularity: u32) -> Self {
+        assert!(
+            bytes.len() >= parcels.div_ceil(8),
+            "map truncated: {} bytes for {parcels} parcels",
+            bytes.len()
+        );
+        assert!(
+            granularity == 2 || granularity == 4,
+            "parcel granularity must be 2 or 4 bytes, got {granularity}"
+        );
+        ParcelBitmap {
+            bits: bytes[..parcels.div_ceil(8)].to_vec(),
+            parcels,
+            granularity,
+        }
+    }
+}
+
+impl fmt::Debug for ParcelBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ParcelBitmap {{ {}/{} parcels marked }}",
+            self.count_ones(),
+            self.parcels
+        )
+    }
+}
+
+/// Which parts of the payload are encrypted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverageMap {
+    /// The whole payload is encrypted; no map bits are shipped (the
+    /// paper: "if the program is fully encrypted, only a 256-bit
+    /// signature increase will be seen").
+    Full,
+    /// Only marked parcels are encrypted; the bitmap ships with the
+    /// package at 1 bit per parcel.
+    Partial(ParcelBitmap),
+}
+
+impl CoverageMap {
+    /// Is the byte at `pos` inside an encrypted parcel?
+    pub fn covers_byte(&self, pos: usize) -> bool {
+        match self {
+            CoverageMap::Full => true,
+            CoverageMap::Partial(map) => map.get(pos / map.granularity() as usize),
+        }
+    }
+
+    /// Serialized map size in bytes (0 for full encryption).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            CoverageMap::Full => 0,
+            CoverageMap::Partial(map) => map.byte_len(),
+        }
+    }
+
+    /// Fraction of parcels encrypted, in [0, 1].
+    pub fn coverage(&self) -> f64 {
+        match self {
+            CoverageMap::Full => 1.0,
+            CoverageMap::Partial(map) => {
+                if map.parcels() == 0 {
+                    0.0
+                } else {
+                    map.count_ones() as f64 / map.parcels() as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_get() {
+        let mut m = ParcelBitmap::new(20);
+        assert!(!m.get(3));
+        m.set(3);
+        m.set(19);
+        assert!(m.get(3));
+        assert!(m.get(19));
+        assert!(!m.get(4));
+        assert!(!m.get(25), "out of range reads false");
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn bitmap_wire_size_is_one_bit_per_parcel() {
+        assert_eq!(ParcelBitmap::new(8).byte_len(), 1);
+        assert_eq!(ParcelBitmap::new(9).byte_len(), 2);
+        assert_eq!(ParcelBitmap::new(1024).byte_len(), 128);
+    }
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let mut m = ParcelBitmap::new(37);
+        for i in [0usize, 5, 17, 36] {
+            m.set(i);
+        }
+        let back = ParcelBitmap::from_bytes(m.to_bytes(), 37);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitmap_set_out_of_range_panics() {
+        ParcelBitmap::new(4).set(4);
+    }
+
+    #[test]
+    fn full_map_covers_everything_costs_nothing() {
+        let m = CoverageMap::Full;
+        assert!(m.covers_byte(0));
+        assert!(m.covers_byte(12345));
+        assert_eq!(m.wire_len(), 0);
+        assert_eq!(m.coverage(), 1.0);
+    }
+
+    #[test]
+    fn partial_map_byte_to_parcel_mapping() {
+        let mut bm = ParcelBitmap::new(4);
+        bm.set(1); // bytes 2..4
+        let m = CoverageMap::Partial(bm);
+        assert!(!m.covers_byte(0));
+        assert!(!m.covers_byte(1));
+        assert!(m.covers_byte(2));
+        assert!(m.covers_byte(3));
+        assert!(!m.covers_byte(4));
+        assert_eq!(m.coverage(), 0.25);
+    }
+}

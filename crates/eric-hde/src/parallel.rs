@@ -1,0 +1,120 @@
+//! Multi-lane parallel decryption (the paper's future work, §VI).
+//!
+//! "Our future work will focus on improving the parallelism,
+//! performance, and scalability abilities of the architecture." The
+//! XOR keystream is position-addressable, so the payload splits into
+//! independent chunks: `n` decryption lanes each process
+//! `⌈len/n⌉` bytes at their own absolute offsets. This module provides
+//! both a *cycle model* (what an n-lane HDE would cost) and a real
+//! multi-threaded implementation (via `crossbeam::scope`) used by the
+//! ablation bench to demonstrate wall-clock scaling.
+
+use crate::timing::HdeTimingConfig;
+use eric_crypto::cipher::KeystreamCipher;
+
+/// Modeled cycles for an `lanes`-wide decrypt of `bytes`.
+///
+/// Lanes split the payload evenly; the SHA-256 signature regeneration
+/// is a sequential chain (Merkle–Damgård) and does not parallelize, so
+/// it becomes the bottleneck — which is why the paper pairs the
+/// parallelism goal with "performance and scalability" work on the
+/// rest of the engine.
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero.
+pub fn parallel_cycles(timing: &HdeTimingConfig, bytes: usize, lanes: usize) -> u64 {
+    assert!(lanes > 0, "at least one decryption lane required");
+    let per_lane = (bytes).div_ceil(lanes);
+    let decrypt = timing.decrypt_cycles(per_lane);
+    let hash = timing.hash_cycles(bytes);
+    decrypt.max(hash) + timing.validate_cycles
+}
+
+/// Decrypt `payload` in place using `lanes` OS threads, each applying
+/// the keystream to its own chunk at the correct absolute offset.
+///
+/// Produces bit-identical output to the sequential transform (full
+/// coverage, no field policy — the parallel path is modeled for the
+/// full-encryption configuration, where chunk boundaries cannot split
+/// a masked field).
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero.
+pub fn decrypt_parallel<C>(payload: &mut [u8], cipher: &C, lanes: usize)
+where
+    C: KeystreamCipher + Sync,
+{
+    assert!(lanes > 0, "at least one decryption lane required");
+    if payload.is_empty() {
+        return;
+    }
+    let chunk = payload.len().div_ceil(lanes);
+    crossbeam::scope(|scope| {
+        for (i, slice) in payload.chunks_mut(chunk).enumerate() {
+            let offset = (i * chunk) as u64;
+            scope.spawn(move |_| {
+                cipher.apply(offset, slice);
+            });
+        }
+    })
+    .expect("decryption lane panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eric_crypto::cipher::{ShaCtrCipher, XorCipher};
+
+    #[test]
+    fn parallel_matches_sequential_xor() {
+        let cipher = XorCipher::new(&[1, 2, 3, 4, 5, 6, 7]);
+        let original: Vec<u8> = (0u16..1000).map(|i| (i % 256) as u8).collect();
+        let mut sequential = original.clone();
+        cipher.apply(0, &mut sequential);
+        for lanes in [1, 2, 3, 4, 8] {
+            let mut parallel = original.clone();
+            decrypt_parallel(&mut parallel, &cipher, lanes);
+            assert_eq!(parallel, sequential, "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_sha_ctr() {
+        let cipher = ShaCtrCipher::new(b"lane key");
+        let original: Vec<u8> = (0u16..777).map(|i| (i * 7 % 256) as u8).collect();
+        let mut sequential = original.clone();
+        cipher.apply(0, &mut sequential);
+        let mut parallel = original.clone();
+        decrypt_parallel(&mut parallel, &cipher, 4);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn cycle_model_scales_decrypt_until_hash_bound() {
+        let t = HdeTimingConfig::default();
+        let bytes = 64 * 1024;
+        let one = parallel_cycles(&t, bytes, 1);
+        let two = parallel_cycles(&t, bytes, 2);
+        let many = parallel_cycles(&t, bytes, 64);
+        assert!(two <= one);
+        // With default rates the SHA engine dominates: adding lanes
+        // beyond a point cannot go below the hash floor.
+        assert!(many >= t.hash_cycles(bytes));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_lanes_panics() {
+        let _ = parallel_cycles(&HdeTimingConfig::default(), 100, 0);
+    }
+
+    #[test]
+    fn empty_payload_is_noop() {
+        let cipher = XorCipher::new(&[9]);
+        let mut empty: Vec<u8> = vec![];
+        decrypt_parallel(&mut empty, &cipher, 4);
+        assert!(empty.is_empty());
+    }
+}

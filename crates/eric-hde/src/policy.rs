@@ -1,0 +1,161 @@
+//! Field-level encryption policies.
+//!
+//! The paper's finest-grained mode encrypts "special parts within the
+//! target instructions": e.g. only the pointer (immediate) fields of
+//! memory instructions, or everything *except* the opcode so that "it
+//! will also make it difficult to understand that the program is
+//! encrypted" (§III-1). A policy determines, per 32-bit instruction
+//! word, which bits the keystream touches. Both the compiler side and
+//! the HDE compute the mask from the *ciphertext-visible* opcode bits,
+//! which every policy leaves in the clear — so the decryptor never
+//! needs plaintext to find the mask.
+
+use eric_isa::fields::{mask, FieldKind};
+use eric_isa::op::Format;
+use std::fmt;
+
+/// A field-level encryption policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FieldPolicy {
+    /// Encrypt only immediate fields of memory instructions (loads,
+    /// stores, and `auipc` page offsets) — hides the program's memory
+    /// trace, the paper's motivating example.
+    MemoryPointers,
+    /// Encrypt every field except the 7-bit opcode — maximal hiding
+    /// while still disguising that the program is encrypted at all.
+    AllButOpcode,
+}
+
+impl FieldPolicy {
+    /// Stable wire identifier for package headers.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            FieldPolicy::MemoryPointers => 0,
+            FieldPolicy::AllButOpcode => 1,
+        }
+    }
+
+    /// Inverse of [`FieldPolicy::wire_id`].
+    pub fn from_wire_id(id: u8) -> Option<Self> {
+        match id {
+            0 => Some(FieldPolicy::MemoryPointers),
+            1 => Some(FieldPolicy::AllButOpcode),
+            _ => None,
+        }
+    }
+
+    /// The encryption mask for a 32-bit instruction word, derived from
+    /// its (always cleartext) opcode. Returns 0 when the policy does
+    /// not touch this instruction class.
+    pub fn mask_for_word(self, word: u32) -> u32 {
+        let opcode = word & 0x7F;
+        let format = match format_of_opcode(opcode) {
+            Some(f) => f,
+            None => return 0, // unknown opcode: leave untouched
+        };
+        match self {
+            FieldPolicy::MemoryPointers => match opcode {
+                // Loads (int + FP), stores (int + FP), and auipc.
+                0x03 | 0x07 => mask(Format::I, &[FieldKind::Imm]),
+                0x23 | 0x27 => mask(Format::S, &[FieldKind::Imm]),
+                0x17 => mask(Format::U, &[FieldKind::Imm]),
+                _ => 0,
+            },
+            FieldPolicy::AllButOpcode => mask(
+                format,
+                &[
+                    FieldKind::Rd,
+                    FieldKind::Funct3,
+                    FieldKind::Rs1,
+                    FieldKind::Rs2,
+                    FieldKind::Funct7,
+                    FieldKind::Imm,
+                ],
+            ),
+        }
+    }
+}
+
+impl fmt::Display for FieldPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldPolicy::MemoryPointers => f.write_str("memory-pointers"),
+            FieldPolicy::AllButOpcode => f.write_str("all-but-opcode"),
+        }
+    }
+}
+
+/// The instruction format implied by a major opcode (RV64GC). The
+/// opcode→format mapping is a fixed property of the ISA, so both sides
+/// of ERIC can evaluate it on ciphertext where only the opcode is
+/// readable.
+pub fn format_of_opcode(opcode: u32) -> Option<Format> {
+    Some(match opcode & 0x7F {
+        0x37 | 0x17 => Format::U,
+        0x6F => Format::J,
+        0x67 | 0x03 | 0x13 | 0x1B | 0x0F | 0x73 | 0x07 => Format::I,
+        0x63 => Format::B,
+        0x23 | 0x27 => Format::S,
+        0x33 | 0x3B | 0x2F | 0x53 => Format::R,
+        0x43 | 0x47 | 0x4B | 0x4F => Format::R4,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        for p in [FieldPolicy::MemoryPointers, FieldPolicy::AllButOpcode] {
+            assert_eq!(FieldPolicy::from_wire_id(p.wire_id()), Some(p));
+        }
+        assert_eq!(FieldPolicy::from_wire_id(9), None);
+    }
+
+    #[test]
+    fn memory_pointers_touches_only_memory_imms() {
+        let p = FieldPolicy::MemoryPointers;
+        // ld a0, 8(a0) = 0x00853503 (I-format load)
+        assert_eq!(p.mask_for_word(0x00853503), 0xFFF0_0000);
+        // sd a0, 8(a0) = 0x00a53423 (S-format store)
+        assert_eq!(p.mask_for_word(0x00a53423), 0xFE00_0F80);
+        // add = no mask
+        assert_eq!(p.mask_for_word(0x00b50533), 0);
+        // branch = no mask (control flow untouched)
+        assert_eq!(p.mask_for_word(0x00b50463), 0);
+    }
+
+    #[test]
+    fn all_but_opcode_preserves_opcode_bits() {
+        let p = FieldPolicy::AllButOpcode;
+        for word in [0x00853503u32, 0x00b50533, 0x12345537, 0x008000ef] {
+            let m = p.mask_for_word(word);
+            assert_eq!(m & 0x7F, 0, "opcode bits masked for {word:#010x}");
+            assert_eq!(m, !0x7Fu32 & m);
+            assert!(m != 0);
+        }
+    }
+
+    #[test]
+    fn masks_never_touch_opcode() {
+        for policy in [FieldPolicy::MemoryPointers, FieldPolicy::AllButOpcode] {
+            for opcode in 0..128u32 {
+                assert_eq!(policy.mask_for_word(opcode) & 0x7F, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_untouched() {
+        assert_eq!(FieldPolicy::AllButOpcode.mask_for_word(0x0000_007F), 0);
+    }
+
+    #[test]
+    fn format_mapping_spot_checks() {
+        assert_eq!(format_of_opcode(0x33), Some(Format::R));
+        assert_eq!(format_of_opcode(0x63), Some(Format::B));
+        assert_eq!(format_of_opcode(0x7F), None);
+    }
+}

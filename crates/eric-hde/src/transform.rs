@@ -1,0 +1,208 @@
+//! The shared encrypt/decrypt transform.
+//!
+//! ERIC's cipher is a keystream XOR, so encryption and decryption are
+//! the same operation. Implementing the map- and policy-aware transform
+//! exactly once — used by the compiler side to encrypt and by the HDE
+//! Decryption Unit to decrypt — guarantees the two sides agree on which
+//! bits the keystream touches.
+
+use crate::map::CoverageMap;
+use crate::policy::FieldPolicy;
+use eric_crypto::cipher::KeystreamCipher;
+
+/// Keystream position where the encrypted signature begins: it is
+/// encrypted as a continuation of the payload stream, so its keystream
+/// never overlaps the program's.
+pub fn signature_stream_offset(payload_len: usize) -> u64 {
+    payload_len as u64
+}
+
+/// XOR the keystream into the selected bits of `payload` in place.
+///
+/// * With `policy == None`, every byte inside a map-covered parcel is
+///   transformed (instruction-level granularity).
+/// * With a [`FieldPolicy`], map-covered parcels *within the text
+///   region* (`payload[..text_len]`) are treated as 32-bit instruction
+///   words and only the policy's field mask is transformed; covered
+///   parcels in the data region are transformed whole.
+///
+/// # Panics
+///
+/// Panics if a field policy is used with a `text_len` that is not a
+/// multiple of 4 (field-level encryption requires an uncompressed
+/// build, which the packager enforces).
+pub fn transform_payload(
+    payload: &mut [u8],
+    map: &CoverageMap,
+    policy: Option<FieldPolicy>,
+    text_len: usize,
+    cipher: &dyn KeystreamCipher,
+) {
+    match policy {
+        None => {
+            for (pos, byte) in payload.iter_mut().enumerate() {
+                if map.covers_byte(pos) {
+                    *byte ^= cipher.keystream_byte(pos as u64);
+                }
+            }
+        }
+        Some(policy) => {
+            assert!(
+                text_len % 4 == 0,
+                "field-level encryption requires 4-byte-aligned text ({text_len})"
+            );
+            let text_len = text_len.min(payload.len());
+            // Text region: instruction words, masked by policy.
+            let mut at = 0usize;
+            while at + 4 <= text_len {
+                if map.covers_byte(at) {
+                    let word = u32::from_le_bytes([
+                        payload[at],
+                        payload[at + 1],
+                        payload[at + 2],
+                        payload[at + 3],
+                    ]);
+                    let mask = policy.mask_for_word(word);
+                    if mask != 0 {
+                        let mask_bytes = mask.to_le_bytes();
+                        for i in 0..4 {
+                            payload[at + i] ^=
+                                cipher.keystream_byte((at + i) as u64) & mask_bytes[i];
+                        }
+                    }
+                }
+                at += 4;
+            }
+            // Data region: whole-parcel transform.
+            for pos in text_len..payload.len() {
+                if map.covers_byte(pos) {
+                    payload[pos] ^= cipher.keystream_byte(pos as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Encrypt/decrypt a 32-byte signature as a continuation of the
+/// payload keystream.
+pub fn transform_signature(
+    signature: &mut [u8; 32],
+    payload_len: usize,
+    cipher: &dyn KeystreamCipher,
+) {
+    cipher.apply(signature_stream_offset(payload_len), signature);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::ParcelBitmap;
+    use eric_crypto::cipher::XorCipher;
+
+    fn cipher() -> XorCipher {
+        XorCipher::new(&[0xAA, 0x55, 0x0F, 0xF0, 0x3C])
+    }
+
+    #[test]
+    fn full_transform_is_involution() {
+        let original: Vec<u8> = (0..64).collect();
+        let mut buf = original.clone();
+        let c = cipher();
+        transform_payload(&mut buf, &CoverageMap::Full, None, 64, &c);
+        assert_ne!(buf, original);
+        transform_payload(&mut buf, &CoverageMap::Full, None, 64, &c);
+        assert_eq!(buf, original);
+    }
+
+    #[test]
+    fn partial_transform_touches_only_marked_parcels() {
+        let original: Vec<u8> = (0..16).collect();
+        let mut buf = original.clone();
+        let mut bm = ParcelBitmap::new(8);
+        bm.set(2); // bytes 4..6
+        bm.set(3); // bytes 6..8
+        let map = CoverageMap::Partial(bm);
+        transform_payload(&mut buf, &map, None, 16, &cipher());
+        assert_eq!(&buf[..4], &original[..4]);
+        assert_ne!(&buf[4..8], &original[4..8]);
+        assert_eq!(&buf[8..], &original[8..]);
+    }
+
+    #[test]
+    fn field_transform_preserves_opcode_and_restores() {
+        // Two instruction words: ld a0, 8(a0) and add a0, a0, a1.
+        let words = [0x00853503u32, 0x00b50533];
+        let mut payload: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let original = payload.clone();
+        let c = cipher();
+        transform_payload(
+            &mut payload,
+            &CoverageMap::Full,
+            Some(FieldPolicy::MemoryPointers),
+            8,
+            &c,
+        );
+        // The load's immediate changed; the add is untouched.
+        assert_ne!(&payload[..4], &original[..4]);
+        assert_eq!(&payload[4..], &original[4..]);
+        // Opcode bits of the load survive.
+        assert_eq!(payload[0] & 0x7F, original[0] & 0x7F);
+        // Involution.
+        transform_payload(
+            &mut payload,
+            &CoverageMap::Full,
+            Some(FieldPolicy::MemoryPointers),
+            8,
+            &c,
+        );
+        assert_eq!(payload, original);
+    }
+
+    #[test]
+    fn field_transform_encrypts_data_region_fully() {
+        let mut payload = vec![0u8; 12]; // 4 bytes "text" (nop-ish) + 8 data
+        payload[..4].copy_from_slice(&0x00000013u32.to_le_bytes()); // addi x0,x0,0
+        let original = payload.clone();
+        let c = cipher();
+        transform_payload(
+            &mut payload,
+            &CoverageMap::Full,
+            Some(FieldPolicy::AllButOpcode),
+            4,
+            &c,
+        );
+        // Data region bytes 4..12 are fully transformed.
+        assert_ne!(&payload[4..], &original[4..]);
+        transform_payload(
+            &mut payload,
+            &CoverageMap::Full,
+            Some(FieldPolicy::AllButOpcode),
+            4,
+            &c,
+        );
+        assert_eq!(payload, original);
+    }
+
+    #[test]
+    fn signature_stream_does_not_overlap_payload() {
+        // Byte 0 of the signature uses keystream position payload_len.
+        let c = cipher();
+        let mut sig = [0u8; 32];
+        transform_signature(&mut sig, 100, &c);
+        let expected: Vec<u8> = (0..32u64).map(|i| c.keystream_byte(100 + i)).collect();
+        assert_eq!(&sig[..], &expected[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-byte-aligned")]
+    fn field_policy_rejects_misaligned_text() {
+        let mut payload = vec![0u8; 10];
+        transform_payload(
+            &mut payload,
+            &CoverageMap::Full,
+            Some(FieldPolicy::AllButOpcode),
+            6,
+            &cipher(),
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The HDE's internal units (paper §III-2).
+
+use eric_crypto::ct::ct_eq;
+use eric_crypto::kdf::{DerivedKey, KeyManagementUnit};
+use eric_crypto::sha256::{Digest, Sha256};
+use eric_puf::crp::{respond, Challenge};
+use eric_puf::device::PufDevice;
+use std::fmt;
+
+/// The PUF Key Generator + Key Management Unit pair: owns the device's
+/// arbiter-PUF bank and derives PUF-based keys on demand without ever
+/// exposing the raw PUF key.
+pub struct KeyUnit {
+    puf: PufDevice,
+    kmu: KeyManagementUnit,
+    /// Current key epoch (rotating it re-keys the device; packages
+    /// built for older epochs stop validating).
+    epoch: u64,
+}
+
+impl fmt::Debug for KeyUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyUnit {{ epoch: {}, puf: {:?} }}", self.epoch, self.puf)
+    }
+}
+
+impl KeyUnit {
+    /// Wrap a fabricated PUF bank at epoch 0.
+    pub fn new(puf: PufDevice) -> Self {
+        KeyUnit { puf, kmu: KeyManagementUnit::new(), epoch: 0 }
+    }
+
+    /// Current key epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rotate to a new epoch (the paper's re-configurable PUF-based
+    /// keys: "allowing to change the compatible software resources
+    /// according to time or preferences").
+    pub fn rotate_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The PUF-based key for `challenge` at a given epoch — identical
+    /// to what [`eric_puf::crp::respond`] hands the vendor during
+    /// enrollment.
+    pub fn puf_based_key(&self, challenge: &Challenge, epoch: u64) -> DerivedKey {
+        *respond(&self.puf, challenge, epoch).key()
+    }
+
+    /// Derive the per-package keystream key (current hardware side of
+    /// the KMU function).
+    pub fn package_key(&self, challenge: &Challenge, epoch: u64, nonce: u64) -> DerivedKey {
+        let base = self.puf_based_key(challenge, epoch);
+        self.kmu.package_key(&base, nonce)
+    }
+
+    /// Access the underlying PUF bank (for enrollment flows).
+    pub fn puf(&self) -> &PufDevice {
+        &self.puf
+    }
+}
+
+/// Streaming signature regeneration: hashes the program as it leaves
+/// the Decryption Unit.
+#[derive(Clone, Debug, Default)]
+pub struct SignatureGenerator {
+    state: Sha256,
+    bytes: u64,
+}
+
+impl SignatureGenerator {
+    /// Fresh hash state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb a chunk of decrypted program bytes.
+    pub fn absorb(&mut self, chunk: &[u8]) {
+        self.state.update(chunk);
+        self.bytes += chunk.len() as u64;
+    }
+
+    /// Bytes absorbed so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Finish and produce the signature.
+    pub fn finalize(self) -> Digest {
+        self.state.finalize()
+    }
+}
+
+/// The Validation Unit: compares the regenerated signature against the
+/// decrypted shipped signature in constant time and authorizes
+/// execution only on a match (paper step 6).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValidationUnit;
+
+impl ValidationUnit {
+    /// Create a validation unit.
+    pub fn new() -> Self {
+        ValidationUnit
+    }
+
+    /// `true` when the program may be released to the trusted zone.
+    pub fn validate(&self, computed: &Digest, shipped: &[u8; 32]) -> bool {
+        ct_eq(computed.as_bytes(), shipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eric_crypto::sha256::sha256;
+    use eric_puf::device::PufDeviceConfig;
+
+    fn key_unit(seed: u64) -> KeyUnit {
+        KeyUnit::new(PufDevice::from_seed(seed, PufDeviceConfig::paper()))
+    }
+
+    #[test]
+    fn key_unit_matches_enrollment() {
+        let unit = key_unit(7);
+        let ch = Challenge::from_bytes(&[3; 32]);
+        let enrolled = respond(unit.puf(), &ch, 0);
+        assert!(unit.puf_based_key(&ch, 0).ct_eq(enrolled.key()));
+    }
+
+    #[test]
+    fn epoch_rotation_changes_keys() {
+        let mut unit = key_unit(8);
+        let ch = Challenge::from_bytes(&[4; 32]);
+        let k0 = unit.puf_based_key(&ch, unit.epoch());
+        unit.rotate_epoch();
+        let k1 = unit.puf_based_key(&ch, unit.epoch());
+        assert!(!k0.ct_eq(&k1));
+        assert_eq!(unit.epoch(), 1);
+    }
+
+    #[test]
+    fn package_keys_differ_per_nonce() {
+        let unit = key_unit(9);
+        let ch = Challenge::from_bytes(&[5; 32]);
+        let a = unit.package_key(&ch, 0, 1);
+        let b = unit.package_key(&ch, 0, 2);
+        assert!(!a.ct_eq(&b));
+    }
+
+    #[test]
+    fn streaming_signature_matches_oneshot() {
+        let data: Vec<u8> = (0u16..500).map(|i| (i % 256) as u8).collect();
+        let mut gen = SignatureGenerator::new();
+        for chunk in data.chunks(7) {
+            gen.absorb(chunk);
+        }
+        assert_eq!(gen.bytes(), 500);
+        assert_eq!(gen.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn validation_unit_accepts_match_rejects_mismatch() {
+        let v = ValidationUnit::new();
+        let d = sha256(b"program");
+        assert!(v.validate(&d, d.as_bytes()));
+        let mut bad = *d.as_bytes();
+        bad[31] ^= 1;
+        assert!(!v.validate(&d, &bad));
+    }
+}

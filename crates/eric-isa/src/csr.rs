@@ -1,0 +1,67 @@
+//! The control-and-status registers the ERIC simulator exposes.
+//!
+//! The SoC model implements the unprivileged counter CSRs (`cycle`,
+//! `time`, `instret`) plus the FP accrued-exception registers that
+//! RV64GC user code touches.
+
+/// `fflags` — accrued FP exceptions.
+pub const FFLAGS: u16 = 0x001;
+/// `frm` — dynamic FP rounding mode.
+pub const FRM: u16 = 0x002;
+/// `fcsr` — `frm` + `fflags`.
+pub const FCSR: u16 = 0x003;
+/// `cycle` — cycle counter (read-only shadow).
+pub const CYCLE: u16 = 0xC00;
+/// `time` — wall-clock timer (read-only shadow).
+pub const TIME: u16 = 0xC01;
+/// `instret` — retired-instruction counter (read-only shadow).
+pub const INSTRET: u16 = 0xC02;
+
+/// Human-readable CSR name, falling back to the hex number.
+pub fn name(csr: u16) -> String {
+    match csr {
+        FFLAGS => "fflags".into(),
+        FRM => "frm".into(),
+        FCSR => "fcsr".into(),
+        CYCLE => "cycle".into(),
+        TIME => "time".into(),
+        INSTRET => "instret".into(),
+        other => format!("{other:#x}"),
+    }
+}
+
+/// Parse a CSR name back to its number.
+pub fn parse(s: &str) -> Option<u16> {
+    match s {
+        "fflags" => Some(FFLAGS),
+        "frm" => Some(FRM),
+        "fcsr" => Some(FCSR),
+        "cycle" => Some(CYCLE),
+        "time" => Some(TIME),
+        "instret" => Some(INSTRET),
+        _ => {
+            let digits = s.strip_prefix("0x")?;
+            u16::from_str_radix(digits, 16).ok().filter(|&v| v < 0x1000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for csr in [FFLAGS, FRM, FCSR, CYCLE, TIME, INSTRET] {
+            assert_eq!(parse(&name(csr)), Some(csr));
+        }
+    }
+
+    #[test]
+    fn numeric_fallback() {
+        assert_eq!(name(0x123), "0x123");
+        assert_eq!(parse("0x123"), Some(0x123));
+        assert_eq!(parse("0x1234"), None, "CSR space is 12 bits");
+        assert_eq!(parse("bogus"), None);
+    }
+}

@@ -1,0 +1,539 @@
+//! RV64GC instruction encoding (the inverse of [`mod@crate::decode`]).
+//!
+//! Used by the assembler back-end. Round-trip consistency with the
+//! decoder is enforced by property tests: `decode(encode(i)) == i` for
+//! every encodable instruction.
+
+use crate::inst::Inst;
+use crate::op::Op;
+use std::error::Error;
+use std::fmt;
+
+/// Why an instruction could not be encoded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The immediate does not fit the instruction format.
+    ImmOutOfRange {
+        /// The offending operation.
+        op: Op,
+        /// The immediate that did not fit.
+        imm: i64,
+    },
+    /// The immediate is misaligned (branch/jump offsets must be even).
+    ImmMisaligned {
+        /// The offending operation.
+        op: Op,
+        /// The misaligned immediate.
+        imm: i64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { op, imm } => {
+                write!(f, "immediate {imm} out of range for {op}")
+            }
+            EncodeError::ImmMisaligned { op, imm } => {
+                write!(f, "immediate {imm} must be 2-byte aligned for {op}")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+fn check_range(op: Op, imm: i64, bits: u32) -> Result<(), EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if imm < min || imm > max {
+        Err(EncodeError::ImmOutOfRange { op, imm })
+    } else {
+        Ok(())
+    }
+}
+
+fn enc_r(opcode: u32, f3: u32, f7: u32, rd: u8, rs1: u8, rs2: u8) -> u32 {
+    opcode | ((rd as u32) << 7) | (f3 << 12) | ((rs1 as u32) << 15) | ((rs2 as u32) << 20)
+        | (f7 << 25)
+}
+
+fn enc_i(opcode: u32, f3: u32, rd: u8, rs1: u8, imm: i64) -> u32 {
+    opcode
+        | ((rd as u32) << 7)
+        | (f3 << 12)
+        | ((rs1 as u32) << 15)
+        | (((imm as u32) & 0xFFF) << 20)
+}
+
+fn enc_s(opcode: u32, f3: u32, rs1: u8, rs2: u8, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1F) << 7)
+        | (f3 << 12)
+        | ((rs1 as u32) << 15)
+        | ((rs2 as u32) << 20)
+        | (((imm >> 5) & 0x7F) << 25)
+}
+
+fn enc_b(opcode: u32, f3: u32, rs1: u8, rs2: u8, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xF) << 8)
+        | (f3 << 12)
+        | ((rs1 as u32) << 15)
+        | ((rs2 as u32) << 20)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn enc_u(opcode: u32, rd: u8, imm: i64) -> u32 {
+    opcode | ((rd as u32) << 7) | ((imm as u32) & 0xFFFF_F000)
+}
+
+fn enc_j(opcode: u32, rd: u8, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | ((rd as u32) << 7)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+/// `(f3, f7)` for plain R-type integer ops.
+fn r_spec(op: Op) -> (u32, u32) {
+    use Op::*;
+    match op {
+        Add => (0, 0x00),
+        Sub => (0, 0x20),
+        Sll => (1, 0x00),
+        Slt => (2, 0x00),
+        Sltu => (3, 0x00),
+        Xor => (4, 0x00),
+        Srl => (5, 0x00),
+        Sra => (5, 0x20),
+        Or => (6, 0x00),
+        And => (7, 0x00),
+        Addw => (0, 0x00),
+        Subw => (0, 0x20),
+        Sllw => (1, 0x00),
+        Srlw => (5, 0x00),
+        Sraw => (5, 0x20),
+        Mul => (0, 0x01),
+        Mulh => (1, 0x01),
+        Mulhsu => (2, 0x01),
+        Mulhu => (3, 0x01),
+        Div => (4, 0x01),
+        Divu => (5, 0x01),
+        Rem => (6, 0x01),
+        Remu => (7, 0x01),
+        Mulw => (0, 0x01),
+        Divw => (4, 0x01),
+        Divuw => (5, 0x01),
+        Remw => (6, 0x01),
+        Remuw => (7, 0x01),
+        _ => unreachable!("not a plain R-type op: {op}"),
+    }
+}
+
+/// `funct5` for AMO ops (+ whether it is the D-width variant).
+fn amo_spec(op: Op) -> (u32, bool) {
+    use Op::*;
+    match op {
+        LrW => (0x02, false),
+        ScW => (0x03, false),
+        AmoswapW => (0x01, false),
+        AmoaddW => (0x00, false),
+        AmoxorW => (0x04, false),
+        AmoandW => (0x0C, false),
+        AmoorW => (0x08, false),
+        AmominW => (0x10, false),
+        AmomaxW => (0x14, false),
+        AmominuW => (0x18, false),
+        AmomaxuW => (0x1C, false),
+        LrD => (0x02, true),
+        ScD => (0x03, true),
+        AmoswapD => (0x01, true),
+        AmoaddD => (0x00, true),
+        AmoxorD => (0x04, true),
+        AmoandD => (0x0C, true),
+        AmoorD => (0x08, true),
+        AmominD => (0x10, true),
+        AmomaxD => (0x14, true),
+        AmominuD => (0x18, true),
+        AmomaxuD => (0x1C, true),
+        _ => unreachable!("not an AMO: {op}"),
+    }
+}
+
+/// `funct7` for OP-FP ops, plus a fixed `rs2` code where the encoding
+/// uses rs2 as a sub-opcode, plus a fixed `f3` where f3 is not `rm`.
+fn fp_spec(op: Op) -> (u32, Option<u8>, Option<u32>) {
+    use Op::*;
+    match op {
+        FaddS => (0x00, None, None),
+        FaddD => (0x01, None, None),
+        FsubS => (0x04, None, None),
+        FsubD => (0x05, None, None),
+        FmulS => (0x08, None, None),
+        FmulD => (0x09, None, None),
+        FdivS => (0x0C, None, None),
+        FdivD => (0x0D, None, None),
+        FsqrtS => (0x2C, Some(0), None),
+        FsqrtD => (0x2D, Some(0), None),
+        FsgnjS => (0x10, None, Some(0)),
+        FsgnjnS => (0x10, None, Some(1)),
+        FsgnjxS => (0x10, None, Some(2)),
+        FsgnjD => (0x11, None, Some(0)),
+        FsgnjnD => (0x11, None, Some(1)),
+        FsgnjxD => (0x11, None, Some(2)),
+        FminS => (0x14, None, Some(0)),
+        FmaxS => (0x14, None, Some(1)),
+        FminD => (0x15, None, Some(0)),
+        FmaxD => (0x15, None, Some(1)),
+        FcvtSD => (0x20, Some(1), None),
+        FcvtDS => (0x21, Some(0), None),
+        FleS => (0x50, None, Some(0)),
+        FltS => (0x50, None, Some(1)),
+        FeqS => (0x50, None, Some(2)),
+        FleD => (0x51, None, Some(0)),
+        FltD => (0x51, None, Some(1)),
+        FeqD => (0x51, None, Some(2)),
+        FcvtWS => (0x60, Some(0), None),
+        FcvtWuS => (0x60, Some(1), None),
+        FcvtLS => (0x60, Some(2), None),
+        FcvtLuS => (0x60, Some(3), None),
+        FcvtWD => (0x61, Some(0), None),
+        FcvtWuD => (0x61, Some(1), None),
+        FcvtLD => (0x61, Some(2), None),
+        FcvtLuD => (0x61, Some(3), None),
+        FcvtSW => (0x68, Some(0), None),
+        FcvtSWu => (0x68, Some(1), None),
+        FcvtSL => (0x68, Some(2), None),
+        FcvtSLu => (0x68, Some(3), None),
+        FcvtDW => (0x69, Some(0), None),
+        FcvtDWu => (0x69, Some(1), None),
+        FcvtDL => (0x69, Some(2), None),
+        FcvtDLu => (0x69, Some(3), None),
+        FmvXW => (0x70, Some(0), Some(0)),
+        FclassS => (0x70, Some(0), Some(1)),
+        FmvXD => (0x71, Some(0), Some(0)),
+        FclassD => (0x71, Some(0), Some(1)),
+        FmvWX => (0x78, Some(0), Some(0)),
+        FmvDX => (0x79, Some(0), Some(0)),
+        _ => unreachable!("not an OP-FP op: {op}"),
+    }
+}
+
+/// Encode a decoded instruction back into its 32-bit word.
+///
+/// Compressed instructions are encoded in their *expanded* 32-bit form;
+/// use [`crate::rvc::compress`] to obtain the 16-bit parcel where one
+/// exists.
+///
+/// # Errors
+///
+/// Returns an error if an immediate is out of range or misaligned for
+/// the operation's format.
+///
+/// ```rust
+/// use eric_isa::{encode, decode::decode};
+/// let inst = decode(0x00150513).unwrap(); // addi a0, a0, 1
+/// assert_eq!(encode(&inst).unwrap(), 0x00150513);
+/// ```
+pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
+    use Op::*;
+    let op = inst.op;
+    let (rd, rs1, rs2, rs3, imm) = (inst.rd, inst.rs1, inst.rs2, inst.rs3, inst.imm);
+    let w = match op {
+        Lui | Auipc => {
+            // imm must be a multiple of 4096 representable in 32 bits.
+            if imm & 0xFFF != 0 {
+                return Err(EncodeError::ImmMisaligned { op, imm });
+            }
+            check_range(op, imm >> 12, 20).map_err(|_| EncodeError::ImmOutOfRange { op, imm })?;
+            enc_u(if op == Lui { 0x37 } else { 0x17 }, rd, imm)
+        }
+        Jal => {
+            if imm & 1 != 0 {
+                return Err(EncodeError::ImmMisaligned { op, imm });
+            }
+            check_range(op, imm, 21)?;
+            enc_j(0x6F, rd, imm)
+        }
+        Jalr => {
+            check_range(op, imm, 12)?;
+            enc_i(0x67, 0, rd, rs1, imm)
+        }
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            if imm & 1 != 0 {
+                return Err(EncodeError::ImmMisaligned { op, imm });
+            }
+            check_range(op, imm, 13)?;
+            let f3 = match op {
+                Beq => 0,
+                Bne => 1,
+                Blt => 4,
+                Bge => 5,
+                Bltu => 6,
+                _ => 7,
+            };
+            enc_b(0x63, f3, rs1, rs2, imm)
+        }
+        Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu => {
+            check_range(op, imm, 12)?;
+            let f3 = match op {
+                Lb => 0,
+                Lh => 1,
+                Lw => 2,
+                Ld => 3,
+                Lbu => 4,
+                Lhu => 5,
+                _ => 6,
+            };
+            enc_i(0x03, f3, rd, rs1, imm)
+        }
+        Sb | Sh | Sw | Sd => {
+            check_range(op, imm, 12)?;
+            let f3 = match op {
+                Sb => 0,
+                Sh => 1,
+                Sw => 2,
+                _ => 3,
+            };
+            enc_s(0x23, f3, rs1, rs2, imm)
+        }
+        Addi | Slti | Sltiu | Xori | Ori | Andi => {
+            check_range(op, imm, 12)?;
+            let f3 = match op {
+                Addi => 0,
+                Slti => 2,
+                Sltiu => 3,
+                Xori => 4,
+                Ori => 6,
+                _ => 7,
+            };
+            enc_i(0x13, f3, rd, rs1, imm)
+        }
+        Slli | Srli | Srai => {
+            if !(0..64).contains(&imm) {
+                return Err(EncodeError::ImmOutOfRange { op, imm });
+            }
+            let (f3, top) = match op {
+                Slli => (1, 0x000),
+                Srli => (5, 0x000),
+                _ => (5, 0x400),
+            };
+            enc_i(0x13, f3, rd, rs1, imm | top)
+        }
+        Addiw => {
+            check_range(op, imm, 12)?;
+            enc_i(0x1B, 0, rd, rs1, imm)
+        }
+        Slliw | Srliw | Sraiw => {
+            if !(0..32).contains(&imm) {
+                return Err(EncodeError::ImmOutOfRange { op, imm });
+            }
+            let (f3, top) = match op {
+                Slliw => (1, 0x000),
+                Srliw => (5, 0x000),
+                _ => (5, 0x400),
+            };
+            enc_i(0x1B, f3, rd, rs1, imm | top)
+        }
+        Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul | Mulh | Mulhsu
+        | Mulhu | Div | Divu | Rem | Remu => {
+            let (f3, f7) = r_spec(op);
+            enc_r(0x33, f3, f7, rd, rs1, rs2)
+        }
+        Addw | Subw | Sllw | Srlw | Sraw | Mulw | Divw | Divuw | Remw | Remuw => {
+            let (f3, f7) = r_spec(op);
+            enc_r(0x3B, f3, f7, rd, rs1, rs2)
+        }
+        Fence => enc_i(0x0F, 0, rd, rs1, imm),
+        FenceI => enc_i(0x0F, 1, rd, rs1, imm),
+        Ecall => 0x0000_0073,
+        Ebreak => 0x0010_0073,
+        Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => {
+            if !(0..4096).contains(&imm) {
+                return Err(EncodeError::ImmOutOfRange { op, imm });
+            }
+            let f3 = match op {
+                Csrrw => 1,
+                Csrrs => 2,
+                Csrrc => 3,
+                Csrrwi => 5,
+                Csrrsi => 6,
+                _ => 7,
+            };
+            enc_i(0x73, f3, rd, rs1, imm)
+        }
+        _ if op.is_amo() => {
+            let (f5, d) = amo_spec(op);
+            let f3 = if d { 3 } else { 2 };
+            let aqrl = (imm as u32) & 0x3;
+            enc_r(0x2F, f3, (f5 << 2) | aqrl, rd, rs1, rs2)
+        }
+        Flw | Fld => {
+            check_range(op, imm, 12)?;
+            enc_i(0x07, if op == Flw { 2 } else { 3 }, rd, rs1, imm)
+        }
+        Fsw | Fsd => {
+            check_range(op, imm, 12)?;
+            enc_s(0x27, if op == Fsw { 2 } else { 3 }, rs1, rs2, imm)
+        }
+        FmaddS | FmsubS | FnmsubS | FnmaddS | FmaddD | FmsubD | FnmsubD | FnmaddD => {
+            let opcode = match op {
+                FmaddS | FmaddD => 0x43,
+                FmsubS | FmsubD => 0x47,
+                FnmsubS | FnmsubD => 0x4B,
+                _ => 0x4F,
+            };
+            let fmt: u32 = match op {
+                FmaddS | FmsubS | FnmsubS | FnmaddS => 0,
+                _ => 1,
+            };
+            opcode
+                | ((rd as u32) << 7)
+                | ((inst.rm as u32) << 12)
+                | ((rs1 as u32) << 15)
+                | ((rs2 as u32) << 20)
+                | (fmt << 25)
+                | ((rs3 as u32) << 27)
+        }
+        _ => {
+            // Remaining OP-FP instructions.
+            let (f7, fixed_rs2, fixed_f3) = fp_spec(op);
+            let rs2v = fixed_rs2.unwrap_or(rs2);
+            let f3 = fixed_f3.unwrap_or(inst.rm as u32);
+            enc_r(0x53, f3, f7, rd, rs1, rs2v)
+        }
+    };
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::inst::Inst;
+    use crate::reg::Reg;
+
+    fn roundtrip(w: u32) {
+        let inst = decode(w).unwrap_or_else(|e| panic!("{e}"));
+        let back = encode(&inst).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(back, w, "roundtrip {w:#010x} -> {inst} -> {back:#010x}");
+    }
+
+    #[test]
+    fn known_words_roundtrip() {
+        for w in [
+            0x00150513u32, // addi a0, a0, 1
+            0xfff00293,    // addi t0, zero, -1
+            0x00b50533,    // add
+            0x40b50533,    // sub
+            0x02b50533,    // mul
+            0x02051513,    // slli a0, a0, 32
+            0x43f55513,    // srai a0, a0, 63
+            0x00853503,    // ld
+            0x00a53423,    // sd
+            0x00b50463,    // beq +8
+            0xfeb51ee3,    // bne -4
+            0x008000ef,    // jal ra, 8
+            0x00008067,    // ret
+            0x12345537,    // lui
+            0x00000517,    // auipc
+            0x00000073,    // ecall
+            0x00100073,    // ebreak
+            0xc0002573,    // rdcycle a0
+            0x00b6252f,    // amoadd.w
+            0x1005b52f,    // lr.d
+            0x00b50553,    // fadd.s
+            0x00053507,    // fld
+            0x68c58543,    // fmadd.d
+            0xd2250553,    // fcvt.d.l
+            0xe2050553,    // fmv.x.d
+            0x0015051b,    // addiw
+            0x00b5053b,    // addw
+            0x0015f593,    // andi
+        ] {
+            roundtrip(w);
+        }
+    }
+
+    #[test]
+    fn builder_encode_decode() {
+        let inst = Inst::i(crate::op::Op::Addi, Reg::A0, Reg::A1, -42);
+        let w = encode(&inst).unwrap();
+        assert_eq!(decode(w).unwrap(), inst);
+    }
+
+    #[test]
+    fn branch_offset_limits() {
+        use crate::op::Op;
+        let ok = Inst::b(Op::Beq, Reg::A0, Reg::A1, 4094);
+        assert!(encode(&ok).is_ok());
+        let too_far = Inst::b(Op::Beq, Reg::A0, Reg::A1, 4096);
+        assert!(matches!(
+            encode(&too_far),
+            Err(EncodeError::ImmOutOfRange { .. })
+        ));
+        let odd = Inst::b(Op::Beq, Reg::A0, Reg::A1, 3);
+        assert!(matches!(encode(&odd), Err(EncodeError::ImmMisaligned { .. })));
+    }
+
+    #[test]
+    fn jal_offset_limits() {
+        use crate::op::Op;
+        assert!(encode(&Inst::j(Reg::RA, 1 << 19)).is_ok());
+        assert!(encode(&Inst::j(Reg::RA, 1 << 20)).is_err());
+        assert!(encode(&Inst::j(Reg::RA, 1)).is_err());
+        let _ = Op::Jal;
+    }
+
+    #[test]
+    fn load_offset_limits() {
+        use crate::op::Op;
+        assert!(encode(&Inst::i(Op::Lw, Reg::A0, Reg::SP, 2047)).is_ok());
+        assert!(encode(&Inst::i(Op::Lw, Reg::A0, Reg::SP, -2048)).is_ok());
+        assert!(encode(&Inst::i(Op::Lw, Reg::A0, Reg::SP, 2048)).is_err());
+    }
+
+    #[test]
+    fn shift_amount_limits() {
+        use crate::op::Op;
+        assert!(encode(&Inst::i(Op::Slli, Reg::A0, Reg::A0, 63)).is_ok());
+        assert!(encode(&Inst::i(Op::Slli, Reg::A0, Reg::A0, 64)).is_err());
+        assert!(encode(&Inst::i(Op::Slliw, Reg::A0, Reg::A0, 32)).is_err());
+    }
+
+    #[test]
+    fn lui_alignment() {
+        use crate::op::Op;
+        assert!(encode(&Inst::u(Op::Lui, Reg::A0, 0x1000)).is_ok());
+        assert!(matches!(
+            encode(&Inst::u(Op::Lui, Reg::A0, 0x1001)),
+            Err(EncodeError::ImmMisaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_over_random_words() {
+        // Pseudo-random sweep: every word that decodes must re-encode
+        // to itself (decoder and encoder stay in sync).
+        let mut state = 0x12345678u64;
+        let mut checked = 0;
+        for _ in 0..200_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let w = ((state >> 16) as u32) | 0x3; // force 32-bit encoding space
+            if let Ok(inst) = decode(w) {
+                let back = encode(&inst).unwrap_or_else(|e| panic!("{inst}: {e}"));
+                assert_eq!(back, w, "{w:#010x} decoded to {inst}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 1000, "only {checked} decodable words in sweep");
+    }
+}

@@ -1,0 +1,188 @@
+//! Bit-field metadata for field-level partial encryption.
+//!
+//! The paper's interface "allows selecting special parts within the
+//! target instructions. In this way, only critical information can be
+//! protected without interfering with the program flow. For example,
+//! only the pointer values of the instructions that make memory
+//! accesses can be encrypted ... If the opcode parts of the
+//! instructions are not encrypted during partial encryption, it will
+//! also make it difficult to understand that the program is encrypted"
+//! (§III-1). This module provides exactly that capability: per-format
+//! bit ranges for each field, and mask construction over chosen fields.
+
+use crate::op::Format;
+
+/// The semantic fields of a 32-bit RISC-V instruction word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FieldKind {
+    /// The major opcode (bits 0–6). Leaving it in the clear disguises
+    /// that a program is encrypted at all.
+    Opcode,
+    /// Destination register.
+    Rd,
+    /// `funct3` minor opcode.
+    Funct3,
+    /// First source register.
+    Rs1,
+    /// Second source register.
+    Rs2,
+    /// `funct7` minor opcode (R) / `rs3`+fmt (R4).
+    Funct7,
+    /// Immediate bits (all segments for split-immediate formats).
+    Imm,
+}
+
+/// An inclusive bit range `[lo, hi]` within a 32-bit word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BitRange {
+    /// Lowest bit index.
+    pub lo: u8,
+    /// Highest bit index (inclusive).
+    pub hi: u8,
+}
+
+impl BitRange {
+    /// The bits of this range as a 32-bit mask.
+    pub fn mask(self) -> u32 {
+        debug_assert!(self.lo <= self.hi && self.hi < 32);
+        let width = self.hi - self.lo + 1;
+        (((1u64 << width) - 1) as u32) << self.lo
+    }
+
+    /// Number of bits covered.
+    pub fn width(self) -> u8 {
+        self.hi - self.lo + 1
+    }
+}
+
+const fn r(lo: u8, hi: u8) -> BitRange {
+    BitRange { lo, hi }
+}
+
+use FieldKind::{Funct3, Funct7, Imm, Opcode, Rd, Rs1, Rs2};
+
+static R_FIELDS: [(FieldKind, BitRange); 6] = [
+    (Opcode, r(0, 6)),
+    (Rd, r(7, 11)),
+    (Funct3, r(12, 14)),
+    (Rs1, r(15, 19)),
+    (Rs2, r(20, 24)),
+    (Funct7, r(25, 31)),
+];
+static I_FIELDS: [(FieldKind, BitRange); 5] = [
+    (Opcode, r(0, 6)),
+    (Rd, r(7, 11)),
+    (Funct3, r(12, 14)),
+    (Rs1, r(15, 19)),
+    (Imm, r(20, 31)),
+];
+static S_FIELDS: [(FieldKind, BitRange); 6] = [
+    (Opcode, r(0, 6)),
+    (Imm, r(7, 11)),
+    (Funct3, r(12, 14)),
+    (Rs1, r(15, 19)),
+    (Rs2, r(20, 24)),
+    (Imm, r(25, 31)),
+];
+static U_FIELDS: [(FieldKind, BitRange); 3] =
+    [(Opcode, r(0, 6)), (Rd, r(7, 11)), (Imm, r(12, 31))];
+
+/// `(field, range)` pairs for each instruction format. A field may span
+/// several ranges (S/B-format immediates are split around `rs1`/`rs2`).
+pub fn fields(format: Format) -> &'static [(FieldKind, BitRange)] {
+    match format {
+        Format::R | Format::R4 => &R_FIELDS,
+        Format::I => &I_FIELDS,
+        Format::S | Format::B => &S_FIELDS,
+        Format::U | Format::J => &U_FIELDS,
+    }
+}
+
+/// Build a 32-bit mask selecting the chosen fields of a format.
+///
+/// ```rust
+/// use eric_isa::fields::{mask, FieldKind};
+/// use eric_isa::op::Format;
+/// // Encrypt only the 12-bit immediate of loads (I-format): the paper's
+/// // "pointer value" example.
+/// assert_eq!(mask(Format::I, &[FieldKind::Imm]), 0xFFF0_0000);
+/// // Everything but the opcode, to disguise that encryption happened.
+/// let m = mask(Format::R, &[
+///     FieldKind::Rd, FieldKind::Funct3, FieldKind::Rs1,
+///     FieldKind::Rs2, FieldKind::Funct7,
+/// ]);
+/// assert_eq!(m, 0xFFFF_FF80);
+/// ```
+pub fn mask(format: Format, kinds: &[FieldKind]) -> u32 {
+    fields(format)
+        .iter()
+        .filter(|(k, _)| kinds.contains(k))
+        .fold(0u32, |acc, (_, range)| acc | range.mask())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_format_covers_all_32_bits_exactly_once() {
+        for format in [
+            Format::R,
+            Format::I,
+            Format::S,
+            Format::B,
+            Format::U,
+            Format::J,
+            Format::R4,
+        ] {
+            let mut seen = 0u32;
+            for (_, range) in fields(format) {
+                assert_eq!(seen & range.mask(), 0, "{format:?} fields overlap");
+                seen |= range.mask();
+            }
+            assert_eq!(seen, u32::MAX, "{format:?} fields leave gaps");
+        }
+    }
+
+    #[test]
+    fn imm_mask_for_loads() {
+        assert_eq!(mask(Format::I, &[FieldKind::Imm]), 0xFFF0_0000);
+    }
+
+    #[test]
+    fn split_imm_mask_for_stores() {
+        let m = mask(Format::S, &[FieldKind::Imm]);
+        assert_eq!(m, 0xFE00_0F80);
+    }
+
+    #[test]
+    fn opcode_preserving_mask_never_touches_low_bits() {
+        for format in [Format::R, Format::I, Format::S, Format::U, Format::J] {
+            let m = mask(
+                format,
+                &[
+                    FieldKind::Rd,
+                    FieldKind::Funct3,
+                    FieldKind::Rs1,
+                    FieldKind::Rs2,
+                    FieldKind::Funct7,
+                    FieldKind::Imm,
+                ],
+            );
+            assert_eq!(m & 0x7F, 0, "{format:?} mask covers opcode bits");
+        }
+    }
+
+    #[test]
+    fn empty_kind_list_is_empty_mask() {
+        assert_eq!(mask(Format::R, &[]), 0);
+    }
+
+    #[test]
+    fn bitrange_helpers() {
+        let range = r(7, 11);
+        assert_eq!(range.width(), 5);
+        assert_eq!(range.mask(), 0b11111 << 7);
+        assert_eq!(r(0, 31).mask(), u32::MAX);
+    }
+}

@@ -1,0 +1,198 @@
+//! Decoded instruction representation and disassembly.
+
+use crate::csr;
+use crate::op::{Format, Op};
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// A decoded RISC-V instruction.
+///
+/// Register operands are stored as raw 5-bit numbers; whether a slot
+/// names an integer or FP register depends on [`Op`] (see
+/// [`Op::rd_is_fp`] and friends). Unused operand slots are zero.
+///
+/// `imm` carries the decoded, sign-extended immediate. For CSR
+/// instructions it carries the 12-bit CSR number, with the 5-bit `zimm`
+/// (for the `*i` forms) living in `rs1` as in the machine encoding. For
+/// AMOs it carries the `aq`/`rl` bits (bit 1 / bit 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// Destination register number.
+    pub rd: u8,
+    /// First source register number (or `zimm` for CSR-immediate forms).
+    pub rs1: u8,
+    /// Second source register number.
+    pub rs2: u8,
+    /// Third source register number (R4 fused multiply-add only).
+    pub rs3: u8,
+    /// Decoded immediate (see type-level docs).
+    pub imm: i64,
+    /// Rounding mode (FP ops) — the raw `rm` field.
+    pub rm: u8,
+    /// Encoded length in bytes: 2 (compressed) or 4.
+    pub len: u8,
+}
+
+impl Inst {
+    /// Build a register-register instruction.
+    pub fn r(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Self {
+        Inst { op, rd: rd.num(), rs1: rs1.num(), rs2: rs2.num(), rs3: 0, imm: 0, rm: 0, len: 4 }
+    }
+
+    /// Build a register-immediate (or load/jalr) instruction.
+    pub fn i(op: Op, rd: Reg, rs1: Reg, imm: i64) -> Self {
+        Inst { op, rd: rd.num(), rs1: rs1.num(), rs2: 0, rs3: 0, imm, rm: 0, len: 4 }
+    }
+
+    /// Build a store instruction (`rs2` is the data source).
+    pub fn s(op: Op, rs1: Reg, rs2: Reg, imm: i64) -> Self {
+        Inst { op, rd: 0, rs1: rs1.num(), rs2: rs2.num(), rs3: 0, imm, rm: 0, len: 4 }
+    }
+
+    /// Build a branch instruction.
+    pub fn b(op: Op, rs1: Reg, rs2: Reg, offset: i64) -> Self {
+        Inst { op, rd: 0, rs1: rs1.num(), rs2: rs2.num(), rs3: 0, imm: offset, rm: 0, len: 4 }
+    }
+
+    /// Build an upper-immediate instruction (`lui` / `auipc`).
+    pub fn u(op: Op, rd: Reg, imm: i64) -> Self {
+        Inst { op, rd: rd.num(), rs1: 0, rs2: 0, rs3: 0, imm, rm: 0, len: 4 }
+    }
+
+    /// Build a `jal`.
+    pub fn j(rd: Reg, offset: i64) -> Self {
+        Inst { op: Op::Jal, rd: rd.num(), rs1: 0, rs2: 0, rs3: 0, imm: offset, rm: 0, len: 4 }
+    }
+
+    /// Destination as an integer register.
+    pub fn rd_reg(&self) -> Reg {
+        Reg::new(self.rd)
+    }
+
+    /// First source as an integer register.
+    pub fn rs1_reg(&self) -> Reg {
+        Reg::new(self.rs1)
+    }
+
+    /// Second source as an integer register.
+    pub fn rs2_reg(&self) -> Reg {
+        Reg::new(self.rs2)
+    }
+
+    /// `true` if this instruction was decoded from a 16-bit parcel.
+    pub fn is_compressed(&self) -> bool {
+        self.len == 2
+    }
+
+    fn reg_name(num: u8, fp: bool) -> String {
+        if fp {
+            FReg::new(num).to_string()
+        } else {
+            Reg::new(num).to_string()
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    /// Disassemble into conventional RISC-V assembly syntax. Branch and
+    /// jump targets are printed as relative byte offsets (`. + imm`
+    /// semantics) since the instruction does not know its own address.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        let rd = Inst::reg_name(self.rd, self.op.rd_is_fp());
+        let rs1 = Inst::reg_name(self.rs1, self.op.rs1_is_fp());
+        let rs2 = Inst::reg_name(self.rs2, self.op.rs2_is_fp());
+        match self.op {
+            Op::Ecall | Op::Ebreak => f.write_str(m),
+            Op::Fence => f.write_str("fence"),
+            Op::FenceI => f.write_str("fence.i"),
+            Op::Lui | Op::Auipc => write!(f, "{m} {rd}, {:#x}", (self.imm as u64 >> 12) & 0xfffff),
+            Op::Jal => write!(f, "{m} {rd}, {}", self.imm),
+            Op::Jalr => write!(f, "{m} {rd}, {}({rs1})", self.imm),
+            _ if self.op.is_branch() => write!(f, "{m} {rs1}, {rs2}, {}", self.imm),
+            _ if self.op.is_load() => write!(f, "{m} {rd}, {}({rs1})", self.imm),
+            _ if self.op.is_store() => write!(f, "{m} {rs2}, {}({rs1})", self.imm),
+            _ if self.op.is_amo() => match self.op {
+                Op::LrW | Op::LrD => write!(f, "{m} {rd}, ({rs1})"),
+                _ => write!(f, "{m} {rd}, {rs2}, ({rs1})"),
+            },
+            _ if self.op.is_csr() => {
+                let csr_name = csr::name(self.imm as u16);
+                match self.op {
+                    Op::Csrrwi | Op::Csrrsi | Op::Csrrci => {
+                        write!(f, "{m} {rd}, {csr_name}, {}", self.rs1)
+                    }
+                    _ => write!(f, "{m} {rd}, {csr_name}, {rs1}"),
+                }
+            }
+            _ => match self.op.format() {
+                Format::R => match self.op {
+                    // Single-source FP ops ignore rs2.
+                    Op::FsqrtS | Op::FsqrtD | Op::FclassS | Op::FclassD
+                    | Op::FmvXW | Op::FmvWX | Op::FmvXD | Op::FmvDX
+                    | Op::FcvtWS | Op::FcvtWuS | Op::FcvtLS | Op::FcvtLuS
+                    | Op::FcvtSW | Op::FcvtSWu | Op::FcvtSL | Op::FcvtSLu
+                    | Op::FcvtWD | Op::FcvtWuD | Op::FcvtLD | Op::FcvtLuD
+                    | Op::FcvtDW | Op::FcvtDWu | Op::FcvtDL | Op::FcvtDLu
+                    | Op::FcvtSD | Op::FcvtDS => write!(f, "{m} {rd}, {rs1}"),
+                    _ => write!(f, "{m} {rd}, {rs1}, {rs2}"),
+                },
+                Format::R4 => {
+                    let rs3 = Inst::reg_name(self.rs3, true);
+                    write!(f, "{m} {rd}, {rs1}, {rs2}, {rs3}")
+                }
+                Format::I => write!(f, "{m} {rd}, {rs1}, {}", self.imm),
+                _ => write!(f, "{m} {rd}, {rs1}, {rs2}, {}", self.imm),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_alu() {
+        let i = Inst::i(Op::Addi, Reg::A0, Reg::A0, 1);
+        assert_eq!(i.to_string(), "addi a0, a0, 1");
+        let r = Inst::r(Op::Add, Reg::A0, Reg::A1, Reg::new(12));
+        assert_eq!(r.to_string(), "add a0, a1, a2");
+    }
+
+    #[test]
+    fn display_memory() {
+        let l = Inst::i(Op::Lw, Reg::A0, Reg::SP, 8);
+        assert_eq!(l.to_string(), "lw a0, 8(sp)");
+        let s = Inst::s(Op::Sd, Reg::SP, Reg::RA, -16);
+        assert_eq!(s.to_string(), "sd ra, -16(sp)");
+    }
+
+    #[test]
+    fn display_control_flow() {
+        let b = Inst::b(Op::Beq, Reg::A0, Reg::ZERO, 16);
+        assert_eq!(b.to_string(), "beq a0, zero, 16");
+        let j = Inst::j(Reg::RA, -8);
+        assert_eq!(j.to_string(), "jal ra, -8");
+    }
+
+    #[test]
+    fn display_upper_immediate() {
+        let i = Inst::u(Op::Lui, Reg::A0, 0x12345 << 12);
+        assert_eq!(i.to_string(), "lui a0, 0x12345");
+    }
+
+    #[test]
+    fn display_system() {
+        let e = Inst { op: Op::Ecall, rd: 0, rs1: 0, rs2: 0, rs3: 0, imm: 0, rm: 0, len: 4 };
+        assert_eq!(e.to_string(), "ecall");
+    }
+
+    #[test]
+    fn builders_set_length_4() {
+        assert_eq!(Inst::i(Op::Addi, Reg::A0, Reg::A0, 0).len, 4);
+        assert!(!Inst::i(Op::Addi, Reg::A0, Reg::A0, 0).is_compressed());
+    }
+}

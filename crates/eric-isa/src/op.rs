@@ -1,0 +1,343 @@
+//! Operation enumeration for RV64IMAFDC + Zicsr.
+
+use std::fmt;
+
+/// The 32-bit instruction formats of the RISC-V base ISA.
+///
+/// Compressed (RVC) instructions are expanded to their 32-bit
+/// equivalents by the decoder, so format metadata — which drives the
+/// field-level encryption masks — is defined on 32-bit formats only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Register-register: `funct7 | rs2 | rs1 | funct3 | rd | opcode`.
+    R,
+    /// Register-immediate / load / jalr / system.
+    I,
+    /// Store: immediate split around `rs2`/`rs1`.
+    S,
+    /// Conditional branch.
+    B,
+    /// Upper immediate (`lui`, `auipc`).
+    U,
+    /// Jump-and-link.
+    J,
+    /// Fused multiply-add with three source registers.
+    R4,
+}
+
+macro_rules! ops {
+    ($( $variant:ident => ($name:literal, $format:ident) ),+ $(,)?) => {
+        /// Every operation of RV64IMAFDC + Zicsr (compressed forms are
+        /// expanded to these by the decoder).
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)] // variants are the ISA's own mnemonics
+        pub enum Op {
+            $($variant),+
+        }
+
+        impl Op {
+            /// All operations, in definition order.
+            pub const ALL: &'static [Op] = &[$(Op::$variant),+];
+
+            /// The assembly mnemonic (`addi`, `fmadd.s`, ...).
+            pub fn mnemonic(self) -> &'static str {
+                match self { $(Op::$variant => $name),+ }
+            }
+
+            /// The 32-bit instruction format this operation encodes in.
+            pub fn format(self) -> Format {
+                match self { $(Op::$variant => Format::$format),+ }
+            }
+
+            /// Look an operation up by its mnemonic.
+            pub fn from_mnemonic(s: &str) -> Option<Op> {
+                match s {
+                    $($name => Some(Op::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+ops! {
+    // ----- RV32I / RV64I -----
+    Lui => ("lui", U), Auipc => ("auipc", U),
+    Jal => ("jal", J), Jalr => ("jalr", I),
+    Beq => ("beq", B), Bne => ("bne", B), Blt => ("blt", B),
+    Bge => ("bge", B), Bltu => ("bltu", B), Bgeu => ("bgeu", B),
+    Lb => ("lb", I), Lh => ("lh", I), Lw => ("lw", I), Ld => ("ld", I),
+    Lbu => ("lbu", I), Lhu => ("lhu", I), Lwu => ("lwu", I),
+    Sb => ("sb", S), Sh => ("sh", S), Sw => ("sw", S), Sd => ("sd", S),
+    Addi => ("addi", I), Slti => ("slti", I), Sltiu => ("sltiu", I),
+    Xori => ("xori", I), Ori => ("ori", I), Andi => ("andi", I),
+    Slli => ("slli", I), Srli => ("srli", I), Srai => ("srai", I),
+    Add => ("add", R), Sub => ("sub", R), Sll => ("sll", R),
+    Slt => ("slt", R), Sltu => ("sltu", R), Xor => ("xor", R),
+    Srl => ("srl", R), Sra => ("sra", R), Or => ("or", R), And => ("and", R),
+    Addiw => ("addiw", I), Slliw => ("slliw", I), Srliw => ("srliw", I), Sraiw => ("sraiw", I),
+    Addw => ("addw", R), Subw => ("subw", R), Sllw => ("sllw", R),
+    Srlw => ("srlw", R), Sraw => ("sraw", R),
+    Fence => ("fence", I), FenceI => ("fence.i", I),
+    Ecall => ("ecall", I), Ebreak => ("ebreak", I),
+    // ----- Zicsr -----
+    Csrrw => ("csrrw", I), Csrrs => ("csrrs", I), Csrrc => ("csrrc", I),
+    Csrrwi => ("csrrwi", I), Csrrsi => ("csrrsi", I), Csrrci => ("csrrci", I),
+    // ----- M -----
+    Mul => ("mul", R), Mulh => ("mulh", R), Mulhsu => ("mulhsu", R), Mulhu => ("mulhu", R),
+    Div => ("div", R), Divu => ("divu", R), Rem => ("rem", R), Remu => ("remu", R),
+    Mulw => ("mulw", R), Divw => ("divw", R), Divuw => ("divuw", R),
+    Remw => ("remw", R), Remuw => ("remuw", R),
+    // ----- A (RV64A) -----
+    LrW => ("lr.w", R), ScW => ("sc.w", R),
+    AmoswapW => ("amoswap.w", R), AmoaddW => ("amoadd.w", R), AmoxorW => ("amoxor.w", R),
+    AmoandW => ("amoand.w", R), AmoorW => ("amoor.w", R),
+    AmominW => ("amomin.w", R), AmomaxW => ("amomax.w", R),
+    AmominuW => ("amominu.w", R), AmomaxuW => ("amomaxu.w", R),
+    LrD => ("lr.d", R), ScD => ("sc.d", R),
+    AmoswapD => ("amoswap.d", R), AmoaddD => ("amoadd.d", R), AmoxorD => ("amoxor.d", R),
+    AmoandD => ("amoand.d", R), AmoorD => ("amoor.d", R),
+    AmominD => ("amomin.d", R), AmomaxD => ("amomax.d", R),
+    AmominuD => ("amominu.d", R), AmomaxuD => ("amomaxu.d", R),
+    // ----- F -----
+    Flw => ("flw", I), Fsw => ("fsw", S),
+    FaddS => ("fadd.s", R), FsubS => ("fsub.s", R), FmulS => ("fmul.s", R), FdivS => ("fdiv.s", R),
+    FsqrtS => ("fsqrt.s", R),
+    FsgnjS => ("fsgnj.s", R), FsgnjnS => ("fsgnjn.s", R), FsgnjxS => ("fsgnjx.s", R),
+    FminS => ("fmin.s", R), FmaxS => ("fmax.s", R),
+    FcvtWS => ("fcvt.w.s", R), FcvtWuS => ("fcvt.wu.s", R),
+    FcvtLS => ("fcvt.l.s", R), FcvtLuS => ("fcvt.lu.s", R),
+    FcvtSW => ("fcvt.s.w", R), FcvtSWu => ("fcvt.s.wu", R),
+    FcvtSL => ("fcvt.s.l", R), FcvtSLu => ("fcvt.s.lu", R),
+    FmvXW => ("fmv.x.w", R), FmvWX => ("fmv.w.x", R),
+    FeqS => ("feq.s", R), FltS => ("flt.s", R), FleS => ("fle.s", R),
+    FclassS => ("fclass.s", R),
+    FmaddS => ("fmadd.s", R4), FmsubS => ("fmsub.s", R4),
+    FnmsubS => ("fnmsub.s", R4), FnmaddS => ("fnmadd.s", R4),
+    // ----- D -----
+    Fld => ("fld", I), Fsd => ("fsd", S),
+    FaddD => ("fadd.d", R), FsubD => ("fsub.d", R), FmulD => ("fmul.d", R), FdivD => ("fdiv.d", R),
+    FsqrtD => ("fsqrt.d", R),
+    FsgnjD => ("fsgnj.d", R), FsgnjnD => ("fsgnjn.d", R), FsgnjxD => ("fsgnjx.d", R),
+    FminD => ("fmin.d", R), FmaxD => ("fmax.d", R),
+    FcvtSD => ("fcvt.s.d", R), FcvtDS => ("fcvt.d.s", R),
+    FcvtWD => ("fcvt.w.d", R), FcvtWuD => ("fcvt.wu.d", R),
+    FcvtLD => ("fcvt.l.d", R), FcvtLuD => ("fcvt.lu.d", R),
+    FcvtDW => ("fcvt.d.w", R), FcvtDWu => ("fcvt.d.wu", R),
+    FcvtDL => ("fcvt.d.l", R), FcvtDLu => ("fcvt.d.lu", R),
+    FmvXD => ("fmv.x.d", R), FmvDX => ("fmv.d.x", R),
+    FeqD => ("feq.d", R), FltD => ("flt.d", R), FleD => ("fle.d", R),
+    FclassD => ("fclass.d", R),
+    FmaddD => ("fmadd.d", R4), FmsubD => ("fmsub.d", R4),
+    FnmsubD => ("fnmsub.d", R4), FnmaddD => ("fnmadd.d", R4),
+}
+
+impl Op {
+    /// `true` for loads from memory (integer and FP).
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Op::Lb | Op::Lh | Op::Lw | Op::Ld | Op::Lbu | Op::Lhu | Op::Lwu | Op::Flw | Op::Fld
+        )
+    }
+
+    /// `true` for stores to memory (integer and FP).
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::Sb | Op::Sh | Op::Sw | Op::Sd | Op::Fsw | Op::Fsd)
+    }
+
+    /// `true` for atomic memory operations (the A extension).
+    pub fn is_amo(self) -> bool {
+        matches!(
+            self,
+            Op::LrW
+                | Op::ScW
+                | Op::AmoswapW
+                | Op::AmoaddW
+                | Op::AmoxorW
+                | Op::AmoandW
+                | Op::AmoorW
+                | Op::AmominW
+                | Op::AmomaxW
+                | Op::AmominuW
+                | Op::AmomaxuW
+                | Op::LrD
+                | Op::ScD
+                | Op::AmoswapD
+                | Op::AmoaddD
+                | Op::AmoxorD
+                | Op::AmoandD
+                | Op::AmoorD
+                | Op::AmominD
+                | Op::AmomaxD
+                | Op::AmominuD
+                | Op::AmomaxuD
+        )
+    }
+
+    /// `true` for any instruction that references memory (load, store,
+    /// or atomic) — the set the paper's field-level encryption example
+    /// targets ("instructions that make memory accesses").
+    pub fn is_memory(self) -> bool {
+        self.is_load() || self.is_store() || self.is_amo()
+    }
+
+    /// `true` for conditional branches.
+    pub fn is_branch(self) -> bool {
+        matches!(self, Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu)
+    }
+
+    /// `true` for unconditional control transfer (`jal`, `jalr`).
+    pub fn is_jump(self) -> bool {
+        matches!(self, Op::Jal | Op::Jalr)
+    }
+
+    /// `true` for any control-flow transfer.
+    pub fn is_control_flow(self) -> bool {
+        self.is_branch() || self.is_jump()
+    }
+
+    /// `true` for CSR accesses.
+    pub fn is_csr(self) -> bool {
+        matches!(
+            self,
+            Op::Csrrw | Op::Csrrs | Op::Csrrc | Op::Csrrwi | Op::Csrrsi | Op::Csrrci
+        )
+    }
+
+    /// `true` if the instruction's `funct3` field is a rounding mode
+    /// (FP arithmetic/conversion) rather than a fixed sub-opcode.
+    pub fn uses_rm(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            FaddS | FsubS | FmulS | FdivS | FsqrtS
+                | FaddD | FsubD | FmulD | FdivD | FsqrtD
+                | FcvtWS | FcvtWuS | FcvtLS | FcvtLuS
+                | FcvtSW | FcvtSWu | FcvtSL | FcvtSLu
+                | FcvtWD | FcvtWuD | FcvtLD | FcvtLuD
+                | FcvtDW | FcvtDWu | FcvtDL | FcvtDLu
+                | FcvtSD | FcvtDS
+                | FmaddS | FmsubS | FnmsubS | FnmaddS
+                | FmaddD | FmsubD | FnmsubD | FnmaddD
+        )
+    }
+
+    /// `true` if `rd` names an FP register.
+    pub fn rd_is_fp(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            Flw | Fld
+                | FaddS | FsubS | FmulS | FdivS | FsqrtS
+                | FsgnjS | FsgnjnS | FsgnjxS | FminS | FmaxS
+                | FcvtSW | FcvtSWu | FcvtSL | FcvtSLu | FmvWX
+                | FmaddS | FmsubS | FnmsubS | FnmaddS
+                | FaddD | FsubD | FmulD | FdivD | FsqrtD
+                | FsgnjD | FsgnjnD | FsgnjxD | FminD | FmaxD
+                | FcvtSD | FcvtDS
+                | FcvtDW | FcvtDWu | FcvtDL | FcvtDLu | FmvDX
+                | FmaddD | FmsubD | FnmsubD | FnmaddD
+        )
+    }
+
+    /// `true` if `rs1` names an FP register.
+    pub fn rs1_is_fp(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            FaddS | FsubS | FmulS | FdivS | FsqrtS
+                | FsgnjS | FsgnjnS | FsgnjxS | FminS | FmaxS
+                | FcvtWS | FcvtWuS | FcvtLS | FcvtLuS | FmvXW
+                | FeqS | FltS | FleS | FclassS
+                | FmaddS | FmsubS | FnmsubS | FnmaddS
+                | FaddD | FsubD | FmulD | FdivD | FsqrtD
+                | FsgnjD | FsgnjnD | FsgnjxD | FminD | FmaxD
+                | FcvtWD | FcvtWuD | FcvtLD | FcvtLuD | FmvXD
+                | FcvtSD | FcvtDS
+                | FeqD | FltD | FleD | FclassD
+                | FmaddD | FmsubD | FnmsubD | FnmaddD
+        )
+    }
+
+    /// `true` if `rs2` names an FP register.
+    pub fn rs2_is_fp(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            Fsw | Fsd
+                | FaddS | FsubS | FmulS | FdivS
+                | FsgnjS | FsgnjnS | FsgnjxS | FminS | FmaxS
+                | FeqS | FltS | FleS
+                | FmaddS | FmsubS | FnmsubS | FnmaddS
+                | FaddD | FsubD | FmulD | FdivD
+                | FsgnjD | FsgnjnD | FsgnjxD | FminD | FmaxD
+                | FeqD | FltD | FleD
+                | FmaddD | FmsubD | FnmsubD | FnmaddD
+        )
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_roundtrip() {
+        for &op in Op::ALL {
+            assert_eq!(Op::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Op::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Op::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate {}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn classification_consistency() {
+        for &op in Op::ALL {
+            assert!(
+                !(op.is_load() && op.is_store()),
+                "{op} cannot be both load and store"
+            );
+            if op.is_amo() {
+                assert!(op.is_memory());
+                assert!(!op.is_load() && !op.is_store());
+            }
+            if op.is_branch() {
+                assert_eq!(op.format(), Format::B);
+            }
+        }
+    }
+
+    #[test]
+    fn op_count_covers_rv64gc() {
+        // RV64IMAFD + Zicsr: sanity floor on coverage.
+        assert!(Op::ALL.len() >= 150, "only {} ops defined", Op::ALL.len());
+    }
+
+    #[test]
+    fn fp_register_classes() {
+        assert!(Op::Flw.rd_is_fp());
+        assert!(!Op::Flw.rs1_is_fp());
+        assert!(Op::Fsd.rs2_is_fp());
+        assert!(!Op::Fsd.rs1_is_fp());
+        assert!(Op::FmvXW.rs1_is_fp());
+        assert!(!Op::FmvXW.rd_is_fp());
+        assert!(Op::FmvWX.rd_is_fp());
+        assert!(!Op::FmvWX.rs1_is_fp());
+        assert!(!Op::FcvtWS.rd_is_fp());
+        assert!(Op::FcvtSW.rd_is_fp());
+    }
+}

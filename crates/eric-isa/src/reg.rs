@@ -1,0 +1,230 @@
+//! Architectural registers of RV64 with ABI naming.
+
+use std::fmt;
+
+/// An integer register `x0`–`x31`.
+///
+/// The inner index is guaranteed to be < 32; construction goes through
+/// [`Reg::new`] (panicking) or [`Reg::try_new`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Reg(u8);
+
+/// ABI names indexed by register number (RISC-V psABI).
+pub const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// First argument / return value.
+    pub const A0: Reg = Reg(10);
+    /// Second argument.
+    pub const A1: Reg = Reg(11);
+    /// Syscall number register (RISC-V Linux ABI).
+    pub const A7: Reg = Reg(17);
+
+    /// Construct from a register number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Self {
+        assert!(n < 32, "register number {n} out of range");
+        Reg(n)
+    }
+
+    /// Construct from a register number, `None` if out of range.
+    pub fn try_new(n: u8) -> Option<Self> {
+        (n < 32).then_some(Reg(n))
+    }
+
+    /// The register number (0–31).
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The psABI name (`zero`, `ra`, `sp`, `a0`, ...).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Parse either an `x`-name (`x17`) or an ABI name (`a7`, `fp`).
+    pub fn parse(s: &str) -> Option<Self> {
+        if let Some(num) = s.strip_prefix('x') {
+            if let Ok(n) = num.parse::<u8>() {
+                return Reg::try_new(n);
+            }
+        }
+        if s == "fp" {
+            return Some(Reg(8)); // alias for s0
+        }
+        ABI_NAMES
+            .iter()
+            .position(|&name| name == s)
+            .map(|i| Reg(i as u8))
+    }
+
+    /// `true` if this register is in the RVC "popular" set `x8`–`x15`
+    /// (the only registers most compressed forms can address).
+    pub fn is_compressible(self) -> bool {
+        (8..=15).contains(&self.0)
+    }
+
+    /// 3-bit RVC encoding of a compressible register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is not in `x8`–`x15`.
+    pub fn rvc_index(self) -> u8 {
+        assert!(self.is_compressible(), "{self} is not RVC-addressable");
+        self.0 - 8
+    }
+
+    /// Inverse of [`Reg::rvc_index`].
+    pub fn from_rvc_index(i: u8) -> Self {
+        assert!(i < 8, "RVC register index {i} out of range");
+        Reg(i + 8)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg(x{} = {})", self.0, self.abi_name())
+    }
+}
+
+/// A floating-point register `f0`–`f31`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FReg(u8);
+
+/// FP ABI names indexed by register number.
+pub const F_ABI_NAMES: [&str; 32] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+    "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+    "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+];
+
+impl FReg {
+    /// Construct from a register number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Self {
+        assert!(n < 32, "fp register number {n} out of range");
+        FReg(n)
+    }
+
+    /// Construct from a register number, `None` if out of range.
+    pub fn try_new(n: u8) -> Option<Self> {
+        (n < 32).then_some(FReg(n))
+    }
+
+    /// The register number (0–31).
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The psABI name (`ft0`, `fa0`, ...).
+    pub fn abi_name(self) -> &'static str {
+        F_ABI_NAMES[self.0 as usize]
+    }
+
+    /// Parse either an `f`-name (`f10`) or an ABI name (`fa0`).
+    pub fn parse(s: &str) -> Option<Self> {
+        if let Some(num) = s.strip_prefix('f') {
+            if let Ok(n) = num.parse::<u8>() {
+                return FReg::try_new(n);
+            }
+        }
+        F_ABI_NAMES
+            .iter()
+            .position(|&name| name == s)
+            .map(|i| FReg(i as u8))
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FReg(f{} = {})", self.0, self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_roundtrip() {
+        for n in 0..32u8 {
+            let r = Reg::new(n);
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+            assert_eq!(Reg::parse(&format!("x{n}")), Some(r));
+        }
+    }
+
+    #[test]
+    fn fp_abi_names_roundtrip() {
+        for n in 0..32u8 {
+            let r = FReg::new(n);
+            assert_eq!(FReg::parse(r.abi_name()), Some(r));
+            assert_eq!(FReg::parse(&format!("f{n}")), Some(r));
+        }
+    }
+
+    #[test]
+    fn fp_alias() {
+        assert_eq!(Reg::parse("fp"), Some(Reg::new(8)));
+        assert_eq!(Reg::parse("s0"), Some(Reg::new(8)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("y1"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(FReg::parse("f32"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn rvc_index_roundtrip() {
+        for n in 8..=15u8 {
+            let r = Reg::new(n);
+            assert!(r.is_compressible());
+            assert_eq!(Reg::from_rvc_index(r.rvc_index()), r);
+        }
+        assert!(!Reg::new(7).is_compressible());
+        assert!(!Reg::new(16).is_compressible());
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Reg::new(10).to_string(), "a0");
+        assert_eq!(FReg::new(10).to_string(), "fa0");
+    }
+}

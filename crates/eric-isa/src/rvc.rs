@@ -1,0 +1,652 @@
+//! RV64C: compressed (16-bit) instruction support.
+//!
+//! The paper observes that the encryption map costs "1 bit of extra
+//! information ... for 16 bits if the compressed instructions in the
+//! RISC-V ISA are included in the program" — RVC halves the parcel size
+//! and therefore doubles the map density. [`decode16`] expands a 16-bit
+//! parcel into its 32-bit-equivalent [`Inst`] (with `len == 2`);
+//! [`compress`] is the assembler's opportunistic compression pass.
+//!
+//! The compressor emits the data-processing and memory subset of RV64C
+//! (`c.addi`, `c.li`, `c.lui`, `c.mv`, `c.add`, `c.sub/xor/or/and`,
+//! `c.subw/addw`, `c.andi`, shifts, `c.lw/ld/sw/sd`, the `sp`-relative
+//! loads/stores, `c.addi4spn`, `c.addi16sp`, `c.jr`, `c.jalr`,
+//! `c.ebreak`). Control-flow compression (`c.j`, `c.beqz`, `c.bnez`) is
+//! decoded but never emitted, which keeps every instruction's size
+//! independent of label distances and lets the assembler lay out code in
+//! a single sizing pass.
+
+use crate::decode::DecodeError;
+use crate::inst::Inst;
+use crate::op::Op;
+use crate::reg::Reg;
+
+#[inline]
+fn bits16(p: u16, hi: u16, lo: u16) -> u16 {
+    (p >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+fn sign_extend(value: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((value as i64) << shift) >> shift
+}
+
+/// Registers x8–x15 addressed by 3-bit RVC fields.
+fn creg(field: u16) -> u8 {
+    field as u8 + 8
+}
+
+fn inst2(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i64) -> Inst {
+    Inst { op, rd, rs1, rs2, rs3: 0, imm, rm: 0, len: 2 }
+}
+
+/// Encode a quadrant-1 CI-format parcel: `f3 | imm[5] | rd | imm[4:0] | 01`.
+fn q1(f3: u16, rd: u8, imm6: u16) -> u16 {
+    (f3 << 13) | (((imm6 >> 5) & 1) << 12) | ((rd as u16) << 7) | ((imm6 & 0x1F) << 2) | 0b01
+}
+
+/// Expand one 16-bit compressed parcel into its 32-bit-equivalent
+/// instruction (`len` is set to 2).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::IllegalCompressed`] for reserved or
+/// non-RV64C patterns (including the all-zero parcel, which the ISA
+/// defines as permanently illegal).
+pub fn decode16(p: u16) -> Result<Inst, DecodeError> {
+    let illegal = Err(DecodeError::IllegalCompressed(p));
+    if p == 0 {
+        return illegal;
+    }
+    let quadrant = p & 0x3;
+    let f3 = bits16(p, 15, 13);
+    match (quadrant, f3) {
+        // ----- Quadrant 0 -----
+        (0b00, 0b000) => {
+            // c.addi4spn -> addi rd', sp, nzuimm
+            let uimm = (bits16(p, 10, 7) << 6)
+                | (bits16(p, 12, 11) << 4)
+                | (bits16(p, 5, 5) << 3)
+                | (bits16(p, 6, 6) << 2);
+            if uimm == 0 {
+                return illegal;
+            }
+            Ok(inst2(Op::Addi, creg(bits16(p, 4, 2)), 2, 0, uimm as i64))
+        }
+        (0b00, 0b001) => {
+            // c.fld
+            let uimm = (bits16(p, 6, 5) << 6) | (bits16(p, 12, 10) << 3);
+            Ok(inst2(Op::Fld, creg(bits16(p, 4, 2)), creg(bits16(p, 9, 7)), 0, uimm as i64))
+        }
+        (0b00, 0b010) => {
+            // c.lw
+            let uimm = (bits16(p, 5, 5) << 6) | (bits16(p, 12, 10) << 3) | (bits16(p, 6, 6) << 2);
+            Ok(inst2(Op::Lw, creg(bits16(p, 4, 2)), creg(bits16(p, 9, 7)), 0, uimm as i64))
+        }
+        (0b00, 0b011) => {
+            // c.ld (RV64)
+            let uimm = (bits16(p, 6, 5) << 6) | (bits16(p, 12, 10) << 3);
+            Ok(inst2(Op::Ld, creg(bits16(p, 4, 2)), creg(bits16(p, 9, 7)), 0, uimm as i64))
+        }
+        (0b00, 0b101) => {
+            // c.fsd
+            let uimm = (bits16(p, 6, 5) << 6) | (bits16(p, 12, 10) << 3);
+            Ok(inst2(Op::Fsd, 0, creg(bits16(p, 9, 7)), creg(bits16(p, 4, 2)), uimm as i64))
+        }
+        (0b00, 0b110) => {
+            // c.sw
+            let uimm = (bits16(p, 5, 5) << 6) | (bits16(p, 12, 10) << 3) | (bits16(p, 6, 6) << 2);
+            Ok(inst2(Op::Sw, 0, creg(bits16(p, 9, 7)), creg(bits16(p, 4, 2)), uimm as i64))
+        }
+        (0b00, 0b111) => {
+            // c.sd
+            let uimm = (bits16(p, 6, 5) << 6) | (bits16(p, 12, 10) << 3);
+            Ok(inst2(Op::Sd, 0, creg(bits16(p, 9, 7)), creg(bits16(p, 4, 2)), uimm as i64))
+        }
+        // ----- Quadrant 1 -----
+        (0b01, 0b000) => {
+            // c.nop / c.addi
+            let rd = bits16(p, 11, 7) as u8;
+            let imm = sign_extend(((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as u64, 6);
+            Ok(inst2(Op::Addi, rd, rd, 0, imm))
+        }
+        (0b01, 0b001) => {
+            // c.addiw (RV64; rd != 0)
+            let rd = bits16(p, 11, 7) as u8;
+            if rd == 0 {
+                return illegal;
+            }
+            let imm = sign_extend(((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as u64, 6);
+            Ok(inst2(Op::Addiw, rd, rd, 0, imm))
+        }
+        (0b01, 0b010) => {
+            // c.li -> addi rd, zero, imm
+            let rd = bits16(p, 11, 7) as u8;
+            let imm = sign_extend(((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as u64, 6);
+            Ok(inst2(Op::Addi, rd, 0, 0, imm))
+        }
+        (0b01, 0b011) => {
+            let rd = bits16(p, 11, 7) as u8;
+            if rd == 2 {
+                // c.addi16sp
+                let imm = sign_extend(
+                    ((bits16(p, 12, 12) as u64) << 9)
+                        | ((bits16(p, 4, 3) as u64) << 7)
+                        | ((bits16(p, 5, 5) as u64) << 6)
+                        | ((bits16(p, 2, 2) as u64) << 5)
+                        | ((bits16(p, 6, 6) as u64) << 4),
+                    10,
+                );
+                if imm == 0 {
+                    return illegal;
+                }
+                Ok(inst2(Op::Addi, 2, 2, 0, imm))
+            } else {
+                // c.lui (rd != 0, nzimm)
+                let imm =
+                    sign_extend(((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as u64, 6) << 12;
+                if imm == 0 || rd == 0 {
+                    return illegal;
+                }
+                Ok(inst2(Op::Lui, rd, 0, 0, imm))
+            }
+        }
+        (0b01, 0b100) => {
+            let rd = creg(bits16(p, 9, 7));
+            match bits16(p, 11, 10) {
+                0b00 | 0b01 => {
+                    // c.srli / c.srai
+                    let shamt = ((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as i64;
+                    let op = if bits16(p, 11, 10) == 0 { Op::Srli } else { Op::Srai };
+                    Ok(inst2(op, rd, rd, 0, shamt))
+                }
+                0b10 => {
+                    // c.andi
+                    let imm = sign_extend(((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as u64, 6);
+                    Ok(inst2(Op::Andi, rd, rd, 0, imm))
+                }
+                _ => {
+                    let rs2 = creg(bits16(p, 4, 2));
+                    let op = match (bits16(p, 12, 12), bits16(p, 6, 5)) {
+                        (0, 0b00) => Op::Sub,
+                        (0, 0b01) => Op::Xor,
+                        (0, 0b10) => Op::Or,
+                        (0, 0b11) => Op::And,
+                        (1, 0b00) => Op::Subw,
+                        (1, 0b01) => Op::Addw,
+                        _ => return illegal,
+                    };
+                    Ok(inst2(op, rd, rd, rs2, 0))
+                }
+            }
+        }
+        (0b01, 0b101) => {
+            // c.j -> jal zero, offset
+            let imm = sign_extend(
+                ((bits16(p, 12, 12) as u64) << 11)
+                    | ((bits16(p, 8, 8) as u64) << 10)
+                    | ((bits16(p, 10, 9) as u64) << 8)
+                    | ((bits16(p, 6, 6) as u64) << 7)
+                    | ((bits16(p, 7, 7) as u64) << 6)
+                    | ((bits16(p, 2, 2) as u64) << 5)
+                    | ((bits16(p, 11, 11) as u64) << 4)
+                    | ((bits16(p, 5, 3) as u64) << 1),
+                12,
+            );
+            Ok(inst2(Op::Jal, 0, 0, 0, imm))
+        }
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // c.beqz / c.bnez
+            let imm = sign_extend(
+                ((bits16(p, 12, 12) as u64) << 8)
+                    | ((bits16(p, 6, 5) as u64) << 6)
+                    | ((bits16(p, 2, 2) as u64) << 5)
+                    | ((bits16(p, 11, 10) as u64) << 3)
+                    | ((bits16(p, 4, 3) as u64) << 1),
+                9,
+            );
+            let op = if f3 == 0b110 { Op::Beq } else { Op::Bne };
+            Ok(inst2(op, 0, creg(bits16(p, 9, 7)), 0, imm))
+        }
+        // ----- Quadrant 2 -----
+        (0b10, 0b000) => {
+            // c.slli (rd != 0)
+            let rd = bits16(p, 11, 7) as u8;
+            if rd == 0 {
+                return illegal;
+            }
+            let shamt = ((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as i64;
+            Ok(inst2(Op::Slli, rd, rd, 0, shamt))
+        }
+        (0b10, 0b001) => {
+            // c.fldsp
+            let rd = bits16(p, 11, 7) as u8;
+            let uimm = (bits16(p, 4, 2) << 6) | (bits16(p, 12, 12) << 5) | (bits16(p, 6, 5) << 3);
+            Ok(inst2(Op::Fld, rd, 2, 0, uimm as i64))
+        }
+        (0b10, 0b010) => {
+            // c.lwsp (rd != 0)
+            let rd = bits16(p, 11, 7) as u8;
+            if rd == 0 {
+                return illegal;
+            }
+            let uimm = (bits16(p, 3, 2) << 6) | (bits16(p, 12, 12) << 5) | (bits16(p, 6, 4) << 2);
+            Ok(inst2(Op::Lw, rd, 2, 0, uimm as i64))
+        }
+        (0b10, 0b011) => {
+            // c.ldsp (rd != 0)
+            let rd = bits16(p, 11, 7) as u8;
+            if rd == 0 {
+                return illegal;
+            }
+            let uimm = (bits16(p, 4, 2) << 6) | (bits16(p, 12, 12) << 5) | (bits16(p, 6, 5) << 3);
+            Ok(inst2(Op::Ld, rd, 2, 0, uimm as i64))
+        }
+        (0b10, 0b100) => {
+            let rd = bits16(p, 11, 7) as u8;
+            let rs2 = bits16(p, 6, 2) as u8;
+            match (bits16(p, 12, 12), rd, rs2) {
+                (0, 0, _) => illegal,
+                (0, rs1, 0) => Ok(inst2(Op::Jalr, 0, rs1, 0, 0)), // c.jr
+                (0, rd, rs2) => Ok(inst2(Op::Add, rd, 0, rs2, 0)), // c.mv
+                (1, 0, 0) => Ok(inst2(Op::Ebreak, 0, 0, 0, 0)),
+                (1, rs1, 0) => Ok(inst2(Op::Jalr, 1, rs1, 0, 0)), // c.jalr
+                (1, rd, rs2) => Ok(inst2(Op::Add, rd, rd, rs2, 0)), // c.add
+                _ => illegal,
+            }
+        }
+        (0b10, 0b101) => {
+            // c.fsdsp
+            let uimm = (bits16(p, 9, 7) << 6) | (bits16(p, 12, 10) << 3);
+            Ok(inst2(Op::Fsd, 0, 2, bits16(p, 6, 2) as u8, uimm as i64))
+        }
+        (0b10, 0b110) => {
+            // c.swsp
+            let uimm = (bits16(p, 8, 7) << 6) | (bits16(p, 12, 9) << 2);
+            Ok(inst2(Op::Sw, 0, 2, bits16(p, 6, 2) as u8, uimm as i64))
+        }
+        (0b10, 0b111) => {
+            // c.sdsp
+            let uimm = (bits16(p, 9, 7) << 6) | (bits16(p, 12, 10) << 3);
+            Ok(inst2(Op::Sd, 0, 2, bits16(p, 6, 2) as u8, uimm as i64))
+        }
+        _ => illegal,
+    }
+}
+
+/// Try to compress an instruction into a 16-bit RVC parcel.
+///
+/// Returns `None` when no emitted-subset encoding applies (see the
+/// module docs for the subset). The result always satisfies
+/// `decode16(compress(i)) == i` up to the `len` field.
+pub fn compress(inst: &Inst) -> Option<u16> {
+    let Inst { op, rd, rs1, rs2, imm, .. } = *inst;
+    let imm6 = (-32..=31).contains(&imm);
+    let rdr = Reg::try_new(rd)?;
+    match op {
+        Op::Addi => {
+            if rd == rs1 && rd != 0 && imm6 && imm != 0 {
+                // c.addi
+                return Some(q1(0b000, rd, imm as u16 & 0x3F));
+            }
+            if rs1 == 0 && rd != 0 && imm6 {
+                // c.li
+                return Some(q1(0b010, rd, imm as u16 & 0x3F));
+            }
+            if rd == 2 && rs1 == 2 && imm != 0 && imm % 16 == 0 && (-512..=496).contains(&imm) {
+                // c.addi16sp
+                let u = imm as u16;
+                let enc: u16 = 0b011_0_00010_00000_01
+                    | (((u >> 9) & 1) << 12)
+                    | (((u >> 7) & 3) << 3)
+                    | (((u >> 6) & 1) << 5)
+                    | (((u >> 5) & 1) << 2)
+                    | (((u >> 4) & 1) << 6);
+                return Some(enc);
+            }
+            if rs1 == 2 && rdr.is_compressible() && imm > 0 && imm % 4 == 0 && imm < 1024 {
+                // c.addi4spn
+                let u = imm as u16;
+                let enc: u16 = 0b000_00000000_000_00
+                    | (((u >> 6) & 0xF) << 7)
+                    | (((u >> 4) & 0x3) << 11)
+                    | (((u >> 3) & 1) << 5)
+                    | (((u >> 2) & 1) << 6)
+                    | ((rdr.rvc_index() as u16) << 2);
+                return Some(enc);
+            }
+            None
+        }
+        Op::Addiw if rd == rs1 && rd != 0 && imm6 => Some(q1(0b001, rd, imm as u16 & 0x3F)),
+        Op::Lui => {
+            let page = imm >> 12;
+            if rd != 0 && rd != 2 && (-32..=31).contains(&page) && page != 0 {
+                Some(q1(0b011, rd, page as u16 & 0x3F))
+            } else {
+                None
+            }
+        }
+        Op::Add => {
+            if rs1 == 0 && rd != 0 && rs2 != 0 {
+                // c.mv
+                return Some(0b100_0_00000_00000_10 | ((rd as u16) << 7) | ((rs2 as u16) << 2));
+            }
+            if rd == rs1 && rd != 0 && rs2 != 0 {
+                // c.add
+                return Some(0b100_1_00000_00000_10 | ((rd as u16) << 7) | ((rs2 as u16) << 2));
+            }
+            None
+        }
+        Op::Sub | Op::Xor | Op::Or | Op::And | Op::Subw | Op::Addw => {
+            let rs2r = Reg::try_new(rs2)?;
+            if rd == rs1 && rdr.is_compressible() && rs2r.is_compressible() {
+                let (hi, f2) = match op {
+                    Op::Sub => (0, 0b00),
+                    Op::Xor => (0, 0b01),
+                    Op::Or => (0, 0b10),
+                    Op::And => (0, 0b11),
+                    Op::Subw => (1, 0b00),
+                    _ => (1, 0b01),
+                };
+                let enc: u16 = 0b100_0_11_000_00_000_01
+                    | ((hi as u16) << 12)
+                    | ((rdr.rvc_index() as u16) << 7)
+                    | (f2 << 5)
+                    | ((rs2r.rvc_index() as u16) << 2);
+                return Some(enc);
+            }
+            None
+        }
+        Op::Andi => {
+            if rd == rs1 && rdr.is_compressible() && imm6 {
+                let u = imm as u16;
+                let enc: u16 = 0b100_0_10_000_00000_01
+                    | (((u >> 5) & 1) << 12)
+                    | ((rdr.rvc_index() as u16) << 7)
+                    | ((u & 0x1F) << 2);
+                return Some(enc);
+            }
+            None
+        }
+        Op::Slli => {
+            if rd == rs1 && rd != 0 && (1..64).contains(&imm) {
+                let u = imm as u16;
+                return Some(
+                    0b000_0_00000_00000_10
+                        | (((u >> 5) & 1) << 12)
+                        | ((rd as u16) << 7)
+                        | ((u & 0x1F) << 2),
+                );
+            }
+            None
+        }
+        Op::Srli | Op::Srai => {
+            if rd == rs1 && rdr.is_compressible() && (1..64).contains(&imm) {
+                let u = imm as u16;
+                let f2 = if op == Op::Srli { 0b00 } else { 0b01 };
+                let enc: u16 = 0b100_0_00_000_00000_01
+                    | (((u >> 5) & 1) << 12)
+                    | (f2 << 10)
+                    | ((rdr.rvc_index() as u16) << 7)
+                    | ((u & 0x1F) << 2);
+                return Some(enc);
+            }
+            None
+        }
+        Op::Lw | Op::Ld => {
+            let rs1r = Reg::try_new(rs1)?;
+            let scale = if op == Op::Lw { 4 } else { 8 };
+            // Register-pair form.
+            if rdr.is_compressible()
+                && rs1r.is_compressible()
+                && imm >= 0
+                && imm % scale == 0
+                && imm < if op == Op::Lw { 128 } else { 256 }
+            {
+                let u = imm as u16;
+                let f3 = if op == Op::Lw { 0b010 } else { 0b011 };
+                let mut enc: u16 = (f3 << 13)
+                    | (((u >> 3) & 0x7) << 10)
+                    | ((rs1r.rvc_index() as u16) << 7)
+                    | ((rdr.rvc_index() as u16) << 2);
+                if op == Op::Lw {
+                    enc |= (((u >> 6) & 1) << 5) | (((u >> 2) & 1) << 6);
+                } else {
+                    enc |= ((u >> 6) & 0x3) << 5;
+                }
+                return Some(enc);
+            }
+            // sp-relative form.
+            if rs1 == 2 && rd != 0 && imm >= 0 && imm % scale == 0 {
+                let u = imm as u16;
+                if op == Op::Lw && imm < 256 {
+                    return Some(
+                        (0b010u16 << 13)
+                            | (((u >> 5) & 1) << 12)
+                            | ((rd as u16) << 7)
+                            | (((u >> 2) & 0x7) << 4)
+                            | (((u >> 6) & 0x3) << 2)
+                            | 0b10,
+                    );
+                }
+                if op == Op::Ld && imm < 512 {
+                    return Some(
+                        (0b011u16 << 13)
+                            | (((u >> 5) & 1) << 12)
+                            | ((rd as u16) << 7)
+                            | (((u >> 3) & 0x3) << 5)
+                            | (((u >> 6) & 0x7) << 2)
+                            | 0b10,
+                    );
+                }
+            }
+            None
+        }
+        Op::Sw | Op::Sd => {
+            let rs1r = Reg::try_new(rs1)?;
+            let rs2r = Reg::try_new(rs2)?;
+            let scale = if op == Op::Sw { 4 } else { 8 };
+            if rs1r.is_compressible()
+                && rs2r.is_compressible()
+                && imm >= 0
+                && imm % scale == 0
+                && imm < if op == Op::Sw { 128 } else { 256 }
+            {
+                let u = imm as u16;
+                let f3 = if op == Op::Sw { 0b110 } else { 0b111 };
+                let mut enc: u16 = (f3 << 13)
+                    | (((u >> 3) & 0x7) << 10)
+                    | ((rs1r.rvc_index() as u16) << 7)
+                    | ((rs2r.rvc_index() as u16) << 2);
+                if op == Op::Sw {
+                    enc |= (((u >> 6) & 1) << 5) | (((u >> 2) & 1) << 6);
+                } else {
+                    enc |= ((u >> 6) & 0x3) << 5;
+                }
+                return Some(enc);
+            }
+            if rs1 == 2 && imm >= 0 && imm % scale == 0 {
+                let u = imm as u16;
+                if op == Op::Sw && imm < 256 {
+                    return Some(
+                        (0b110u16 << 13)
+                            | (((u >> 2) & 0xF) << 9)
+                            | (((u >> 6) & 0x3) << 7)
+                            | ((rs2 as u16) << 2)
+                            | 0b10,
+                    );
+                }
+                if op == Op::Sd && imm < 512 {
+                    return Some(
+                        (0b111u16 << 13)
+                            | (((u >> 3) & 0x7) << 10)
+                            | (((u >> 6) & 0x7) << 7)
+                            | ((rs2 as u16) << 2)
+                            | 0b10,
+                    );
+                }
+            }
+            None
+        }
+        Op::Jalr if imm == 0 && rs1 != 0 && rs2 == 0 => match rd {
+            0 => Some(0b100_0_00000_00000_10 | ((rs1 as u16) << 7)), // c.jr
+            1 => Some(0b100_1_00000_00000_10 | ((rs1 as u16) << 7)), // c.jalr
+            _ => None,
+        },
+        Op::Ebreak => Some(0b100_1_00000_00000_10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Compare semantic fields, ignoring `len`.
+    fn same(a: &Inst, b: &Inst) -> bool {
+        a.op == b.op
+            && a.rd == b.rd
+            && a.rs1 == b.rs1
+            && a.rs2 == b.rs2
+            && a.imm == b.imm
+    }
+
+    #[test]
+    fn zero_parcel_is_illegal() {
+        assert_eq!(decode16(0), Err(DecodeError::IllegalCompressed(0)));
+    }
+
+    #[test]
+    fn known_rvc_decodings() {
+        // c.nop = 0x0001 -> addi x0, x0, 0
+        let i = decode16(0x0001).unwrap();
+        assert_eq!((i.op, i.rd, i.rs1, i.imm), (Op::Addi, 0, 0, 0));
+        assert_eq!(i.len, 2);
+        // c.addi a0, 1 = 0x0505
+        let i = decode16(0x0505).unwrap();
+        assert_eq!((i.op, i.rd, i.rs1, i.imm), (Op::Addi, 10, 10, 1));
+        // c.li a0, -1 = 0x557d
+        let i = decode16(0x557d).unwrap();
+        assert_eq!((i.op, i.rd, i.rs1, i.imm), (Op::Addi, 10, 0, -1));
+        // c.mv a0, a1 = 0x852e
+        let i = decode16(0x852e).unwrap();
+        assert_eq!((i.op, i.rd, i.rs1, i.rs2), (Op::Add, 10, 0, 11));
+        // c.add a0, a1 = 0x952e
+        let i = decode16(0x952e).unwrap();
+        assert_eq!((i.op, i.rd, i.rs1, i.rs2), (Op::Add, 10, 10, 11));
+        // c.jr ra = 0x8082 (ret)
+        let i = decode16(0x8082).unwrap();
+        assert_eq!((i.op, i.rd, i.rs1, i.imm), (Op::Jalr, 0, 1, 0));
+        // c.ebreak = 0x9002
+        assert_eq!(decode16(0x9002).unwrap().op, Op::Ebreak);
+        // c.lwsp a0, 0(sp) = 0x4502
+        let i = decode16(0x4502).unwrap();
+        assert_eq!((i.op, i.rd, i.rs1, i.imm), (Op::Lw, 10, 2, 0));
+        // c.ldsp a0, 0(sp) = 0x6502
+        let i = decode16(0x6502).unwrap();
+        assert_eq!((i.op, i.rd, i.rs1, i.imm), (Op::Ld, 10, 2, 0));
+        // c.sdsp a0, 8(sp) = 0xe42a
+        let i = decode16(0xe42a).unwrap();
+        assert_eq!((i.op, i.rs1, i.rs2, i.imm), (Op::Sd, 2, 10, 8));
+        // c.sub a0, a1 = 0x8d0d
+        let i = decode16(0x8d0d).unwrap();
+        assert_eq!((i.op, i.rd, i.rs1, i.rs2), (Op::Sub, 10, 10, 11));
+    }
+
+    #[test]
+    fn compress_decode_roundtrip_for_emitted_subset() {
+        use crate::reg::Reg;
+        let a0 = Reg::A0;
+        let a1 = Reg::A1;
+        let sp = Reg::SP;
+        let cases = vec![
+            Inst::i(Op::Addi, a0, a0, 5),
+            Inst::i(Op::Addi, a0, a0, -32),
+            Inst::i(Op::Addi, a0, Reg::ZERO, 31),
+            Inst::i(Op::Addi, sp, sp, -64),  // c.addi16sp
+            Inst::i(Op::Addi, a0, sp, 16),   // c.addi4spn (a0 = x10 compressible)
+            Inst::i(Op::Addiw, a0, a0, 7),
+            Inst::u(Op::Lui, a0, 5 << 12),
+            Inst::u(Op::Lui, a0, -(1i64 << 12)),
+            Inst::r(Op::Add, a0, Reg::ZERO, a1), // c.mv
+            Inst::r(Op::Add, a0, a0, a1),        // c.add
+            Inst::r(Op::Sub, a0, a0, a1),
+            Inst::r(Op::Xor, a0, a0, a1),
+            Inst::r(Op::Or, a0, a0, a1),
+            Inst::r(Op::And, a0, a0, a1),
+            Inst::r(Op::Subw, a0, a0, a1),
+            Inst::r(Op::Addw, a0, a0, a1),
+            Inst::i(Op::Andi, a0, a0, -5),
+            Inst::i(Op::Slli, a0, a0, 33),
+            Inst::i(Op::Srli, a0, a0, 17),
+            Inst::i(Op::Srai, a0, a0, 63),
+            Inst::i(Op::Lw, a0, a1, 64),
+            Inst::i(Op::Ld, a0, a1, 240),
+            Inst::s(Op::Sw, a1, a0, 4),
+            Inst::s(Op::Sd, a1, a0, 8),
+            Inst::i(Op::Lw, a0, sp, 252),
+            Inst::i(Op::Ld, a0, sp, 504),
+            Inst::s(Op::Sw, sp, a0, 128),
+            Inst::s(Op::Sd, sp, a0, 256),
+            Inst::i(Op::Jalr, Reg::ZERO, Reg::RA, 0), // ret -> c.jr
+            Inst::i(Op::Jalr, Reg::RA, a0, 0),        // c.jalr
+        ];
+        for inst in cases {
+            let parcel = compress(&inst)
+                .unwrap_or_else(|| panic!("{inst} should compress"));
+            let expanded = decode16(parcel)
+                .unwrap_or_else(|e| panic!("{inst} -> {parcel:#06x}: {e}"));
+            assert!(
+                same(&inst, &expanded),
+                "{inst} -> {parcel:#06x} -> {expanded}"
+            );
+        }
+    }
+
+    #[test]
+    fn incompressible_cases_return_none() {
+        use crate::reg::Reg;
+        let a0 = Reg::A0;
+        // imm out of 6-bit range
+        assert!(compress(&Inst::i(Op::Addi, a0, a0, 40)).is_none());
+        // rd != rs1
+        assert!(compress(&Inst::i(Op::Addi, a0, Reg::A1, 1)).is_none());
+        // c.addi with imm 0 is a HINT; don't emit
+        assert!(compress(&Inst::i(Op::Addi, a0, a0, 0)).is_none());
+        // non-compressible register pair
+        assert!(compress(&Inst::r(Op::Sub, Reg::new(5), Reg::new(5), Reg::new(6))).is_none());
+        // misaligned load offset
+        assert!(compress(&Inst::i(Op::Lw, a0, Reg::A1, 2)).is_none());
+        // branches never compressed
+        assert!(compress(&Inst::b(Op::Beq, a0, Reg::ZERO, 8)).is_none());
+        // lui page 0 reserved
+        assert!(compress(&Inst::u(Op::Lui, a0, 0)).is_none());
+        // lui sp not encodable as c.lui
+        assert!(compress(&Inst::u(Op::Lui, Reg::SP, 4096)).is_none());
+    }
+
+    #[test]
+    fn exhaustive_parcel_roundtrip() {
+        // Every decodable 16-bit parcel, when its expansion is fed back
+        // through compress, must either fail to compress (not in the
+        // emitted subset) or re-encode to an equivalent parcel.
+        let mut decoded = 0u32;
+        for p in 1..=u16::MAX {
+            if p & 3 == 3 {
+                continue; // 32-bit space
+            }
+            if let Ok(inst) = decode16(p) {
+                decoded += 1;
+                if let Some(back) = compress(&inst) {
+                    let re = decode16(back).expect("re-decode");
+                    assert!(
+                        same(&inst, &re),
+                        "{p:#06x} -> {inst} -> {back:#06x} -> {re}"
+                    );
+                }
+            }
+        }
+        assert!(decoded > 10_000, "only {decoded} parcels decoded");
+    }
+}

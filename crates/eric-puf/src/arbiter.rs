@@ -1,0 +1,263 @@
+//! A single arbiter PUF instance under the additive linear delay model.
+//!
+//! Physical picture (paper Fig. 1): a rising edge enters two parallel
+//! paths through `n` switch stages. Challenge bit `i` selects whether
+//! stage `i` passes the two signals straight through or crosses them.
+//! An arbiter (SR latch) at the end outputs `1` if the top signal wins
+//! the race, `0` otherwise.
+//!
+//! Model: each stage `i` contributes delay differences `d_straight[i]`
+//! and `d_cross[i]` (drawn once per device from N(0, σ²_variation) —
+//! the fabrication randomness). The running top-minus-bottom delay
+//! difference `Δ` updates per stage as
+//!
+//! ```text
+//! Δ ← Δ + d_straight[i]      if challenge bit i = 0
+//! Δ ← -Δ + d_cross[i]        if challenge bit i = 1   (paths swap)
+//! ```
+//!
+//! and the response is `sign(Δ + ε)` with arbiter noise
+//! `ε ~ N(0, σ²_noise)` drawn per evaluation (metastability, supply and
+//! temperature jitter).
+
+use rand::Rng;
+
+/// Configuration of one arbiter PUF instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArbiterPufConfig {
+    /// Number of switch stages (= challenge bits consumed). Table I uses 8.
+    pub stages: usize,
+    /// Standard deviation of per-stage fabrication delay differences.
+    pub variation_sigma: f64,
+    /// Standard deviation of per-evaluation arbiter noise.
+    pub noise_sigma: f64,
+}
+
+impl ArbiterPufConfig {
+    /// The paper's configuration: 8-bit challenge, 1-bit response, with
+    /// variation/noise magnitudes typical of published FPGA arbiter-PUF
+    /// measurements (a few percent bit-error rate before hardening).
+    pub fn paper() -> Self {
+        ArbiterPufConfig { stages: 8, variation_sigma: 1.0, noise_sigma: 0.08 }
+    }
+
+    /// A noise-free variant, useful for deterministic tests.
+    pub fn noiseless(stages: usize) -> Self {
+        ArbiterPufConfig { stages, variation_sigma: 1.0, noise_sigma: 0.0 }
+    }
+}
+
+impl Default for ArbiterPufConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One arbiter PUF: fabrication randomness frozen at construction,
+/// evaluation noise drawn per query.
+#[derive(Clone, Debug)]
+pub struct ArbiterPuf {
+    config: ArbiterPufConfig,
+    d_straight: Vec<f64>,
+    d_cross: Vec<f64>,
+}
+
+impl ArbiterPuf {
+    /// "Fabricate" an arbiter PUF: draw its per-stage delay differences
+    /// from the process-variation distribution using `rng` (the silicon
+    /// lottery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.stages` is zero.
+    pub fn fabricate<R: Rng + ?Sized>(config: ArbiterPufConfig, rng: &mut R) -> Self {
+        assert!(config.stages > 0, "arbiter PUF needs at least one stage");
+        let d_straight = (0..config.stages)
+            .map(|_| gaussian(rng) * config.variation_sigma)
+            .collect();
+        let d_cross = (0..config.stages)
+            .map(|_| gaussian(rng) * config.variation_sigma)
+            .collect();
+        ArbiterPuf { config, d_straight, d_cross }
+    }
+
+    /// The configuration this instance was fabricated with.
+    pub fn config(&self) -> &ArbiterPufConfig {
+        &self.config
+    }
+
+    /// Accumulated delay difference for `challenge` without arbiter
+    /// noise (the "true" analog value the arbiter thresholds).
+    ///
+    /// Challenge bit `i` is bit `i % 8` of byte `i / 8`; missing bytes
+    /// read as zero, extra bytes are ignored.
+    pub fn delay_difference(&self, challenge: &[u8]) -> f64 {
+        let mut delta = 0.0f64;
+        for i in 0..self.config.stages {
+            let bit = challenge
+                .get(i / 8)
+                .map_or(false, |byte| (byte >> (i % 8)) & 1 == 1);
+            if bit {
+                delta = -delta + self.d_cross[i];
+            } else {
+                delta += self.d_straight[i];
+            }
+        }
+        delta
+    }
+
+    /// Evaluate the PUF once: threshold the delay difference plus fresh
+    /// arbiter noise.
+    pub fn eval<R: Rng + ?Sized>(&self, challenge: &[u8], rng: &mut R) -> bool {
+        let noise = gaussian(rng) * self.config.noise_sigma;
+        self.delay_difference(challenge) + noise > 0.0
+    }
+
+    /// Evaluate with majority voting over `votes` noisy reads — the
+    /// standard response-hardening step before key material is derived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is even (ties would be ambiguous) or zero.
+    pub fn eval_majority<R: Rng + ?Sized>(
+        &self,
+        challenge: &[u8],
+        votes: u32,
+        rng: &mut R,
+    ) -> bool {
+        assert!(votes % 2 == 1, "majority voting requires an odd vote count");
+        let ones: u32 = (0..votes).map(|_| self.eval(challenge, rng) as u32).sum();
+        ones * 2 > votes
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform (rand 0.8 ships
+/// only uniform distributions; pulling in `rand_distr` for one function
+/// is not worth the dependency).
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn noiseless_evaluation_is_deterministic() {
+        let mut r = rng(1);
+        let puf = ArbiterPuf::fabricate(ArbiterPufConfig::noiseless(8), &mut r);
+        for ch in 0u8..=255 {
+            let a = puf.eval(&[ch], &mut r);
+            let b = puf.eval(&[ch], &mut r);
+            assert_eq!(a, b, "challenge {ch}");
+        }
+    }
+
+    #[test]
+    fn different_fabrication_gives_different_truth_tables() {
+        let mut r = rng(2);
+        let p1 = ArbiterPuf::fabricate(ArbiterPufConfig::noiseless(8), &mut r);
+        let p2 = ArbiterPuf::fabricate(ArbiterPufConfig::noiseless(8), &mut r);
+        let mut differ = 0;
+        for ch in 0u8..=255 {
+            if p1.eval(&[ch], &mut r) != p2.eval(&[ch], &mut r) {
+                differ += 1;
+            }
+        }
+        // Two random 256-entry truth tables should differ on a large
+        // fraction of challenges; anything > 25% proves uniqueness here.
+        assert!(differ > 64, "only {differ}/256 challenges differ");
+    }
+
+    #[test]
+    fn challenge_changes_response_for_some_challenges() {
+        let mut r = rng(3);
+        let puf = ArbiterPuf::fabricate(ArbiterPufConfig::noiseless(8), &mut r);
+        let responses: Vec<bool> = (0u8..=255).map(|ch| puf.eval(&[ch], &mut r)).collect();
+        let ones = responses.iter().filter(|&&b| b).count();
+        // Not constant: a stuck-at PUF would be useless.
+        assert!(ones > 10 && ones < 246, "degenerate PUF: {ones}/256 ones");
+    }
+
+    #[test]
+    fn delay_difference_matches_eval_sign_when_noiseless() {
+        let mut r = rng(4);
+        let puf = ArbiterPuf::fabricate(ArbiterPufConfig::noiseless(8), &mut r);
+        for ch in [0u8, 1, 42, 128, 255] {
+            assert_eq!(puf.eval(&[ch], &mut r), puf.delay_difference(&[ch]) > 0.0);
+        }
+    }
+
+    #[test]
+    fn majority_vote_reduces_flips() {
+        let mut r = rng(5);
+        // Very noisy PUF: raw reads flip often, hardened reads are stable.
+        let cfg = ArbiterPufConfig { stages: 8, variation_sigma: 1.0, noise_sigma: 0.5 };
+        let puf = ArbiterPuf::fabricate(cfg, &mut r);
+        let golden = puf.delay_difference(&[0x3C]) > 0.0;
+        let mut raw_flips = 0;
+        let mut voted_flips = 0;
+        for _ in 0..200 {
+            if puf.eval(&[0x3C], &mut r) != golden {
+                raw_flips += 1;
+            }
+            if puf.eval_majority(&[0x3C], 15, &mut r) != golden {
+                voted_flips += 1;
+            }
+        }
+        assert!(
+            voted_flips <= raw_flips,
+            "voting should not increase flips (raw {raw_flips}, voted {voted_flips})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd vote count")]
+    fn even_votes_panic() {
+        let mut r = rng(6);
+        let puf = ArbiterPuf::fabricate(ArbiterPufConfig::paper(), &mut r);
+        let _ = puf.eval_majority(&[0], 4, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_panics() {
+        let mut r = rng(7);
+        let _ = ArbiterPuf::fabricate(
+            ArbiterPufConfig { stages: 0, variation_sigma: 1.0, noise_sigma: 0.0 },
+            &mut r,
+        );
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut r = rng(8);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn short_challenge_reads_missing_bits_as_zero() {
+        let mut r = rng(9);
+        let cfg = ArbiterPufConfig::noiseless(16);
+        let puf = ArbiterPuf::fabricate(cfg, &mut r);
+        // 16 stages need 2 bytes; 1-byte challenge == 2-byte with zero tail.
+        assert_eq!(puf.eval(&[0xA7], &mut r), puf.eval(&[0xA7, 0x00], &mut r));
+    }
+}

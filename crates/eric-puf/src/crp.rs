@@ -1,0 +1,257 @@
+//! Challenge–response enrollment: the paper's "handshake".
+//!
+//! ERIC "assumes that the handshake is already done for the hardware
+//! targeted by the software source, and PUF-based keys that are
+//! compatible with the target hardware are assumed to be known to the
+//! software source" (§III-1). This module implements that handshake: at
+//! provisioning time the vendor challenges the device, the device
+//! answers with a *PUF-based* key (the KMU output — never the raw PUF
+//! key), and the vendor stores the record in a [`CrpDatabase`].
+
+use crate::device::{PufDevice, PufKey};
+use eric_crypto::kdf::{DerivedKey, KeyManagementUnit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A PUF challenge (the "difficulty" input of paper §II-B).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Challenge(Vec<u8>);
+
+impl Challenge {
+    /// Wrap raw challenge bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Challenge(bytes.to_vec())
+    }
+
+    /// Borrow the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Byte slice `[offset, offset+len)`, zero-extended past the end —
+    /// each arbiter instance reads its own slice of the challenge.
+    pub fn slice(&self, offset: usize, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.0.get(offset + i).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+impl From<&[u8]> for Challenge {
+    fn from(bytes: &[u8]) -> Self {
+        Challenge::from_bytes(bytes)
+    }
+}
+
+/// A PUF response: in ERIC the response to an enrollment challenge is
+/// the derived PUF-based key (never the raw PUF key).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Response(DerivedKey);
+
+impl Response {
+    /// The PUF-based key carried by this response.
+    pub fn key(&self) -> &DerivedKey {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Response({:?})", self.0)
+    }
+}
+
+/// One enrollment record held by the vendor / software source.
+#[derive(Clone, Debug)]
+pub struct EnrollmentRecord {
+    /// Stable device identifier (serial number, not secret).
+    pub device_id: String,
+    /// The challenge the key was enrolled under.
+    pub challenge: Challenge,
+    /// KMU epoch the key was derived in (rotating the epoch re-keys the
+    /// fleet without re-fabricating anything).
+    pub epoch: u64,
+    /// The PUF-based key shared with the software source.
+    pub key: DerivedKey,
+}
+
+/// Derive the PUF-based key a device exposes for `challenge`/`epoch`.
+///
+/// This is the device-side half of enrollment: read the PUF key with
+/// dark-bit masking and majority voting (only bit positions whose delay
+/// margin makes them repeatable contribute), mix the stability mask into
+/// the derivation (it is public helper data, and both enrollment and
+/// runtime must agree on it), and push the result through the Key
+/// Management Unit. The raw PUF key never leaves the device.
+pub fn respond(device: &PufDevice, challenge: &Challenge, epoch: u64) -> Response {
+    let (puf_key, mask): (PufKey, Vec<bool>) = device.read_key_stable(challenge, 15);
+    let mask_bytes: Vec<u8> = mask
+        .chunks(8)
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i))
+        })
+        .collect();
+    let kmu = KeyManagementUnit::new();
+    let mut material = Vec::with_capacity(puf_key.bits().len() + mask_bytes.len());
+    material.extend_from_slice(puf_key.bits());
+    material.extend_from_slice(&mask_bytes);
+    Response(kmu.derive(&material, epoch, b"eric-enrollment"))
+}
+
+/// The vendor-side database of enrolled devices.
+///
+/// The paper notes that mapping several devices to the same PUF-based
+/// key lets one compilation target a whole fleet; [`CrpDatabase::enroll_as`]
+/// supports that by allowing several device IDs per logical key name.
+#[derive(Debug, Default)]
+pub struct CrpDatabase {
+    records: HashMap<String, EnrollmentRecord>,
+}
+
+impl CrpDatabase {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enroll `device` under its own ID with `challenge` at `epoch`;
+    /// returns the stored record.
+    pub fn enroll(
+        &mut self,
+        device_id: &str,
+        device: &PufDevice,
+        challenge: &Challenge,
+        epoch: u64,
+    ) -> EnrollmentRecord {
+        self.enroll_as(device_id, device_id, device, challenge, epoch)
+    }
+
+    /// Enroll `device` under an arbitrary logical name (fleet keying).
+    pub fn enroll_as(
+        &mut self,
+        name: &str,
+        device_id: &str,
+        device: &PufDevice,
+        challenge: &Challenge,
+        epoch: u64,
+    ) -> EnrollmentRecord {
+        let response = respond(device, challenge, epoch);
+        let record = EnrollmentRecord {
+            device_id: device_id.to_string(),
+            challenge: challenge.clone(),
+            epoch,
+            key: *response.key(),
+        };
+        self.records.insert(name.to_string(), record.clone());
+        record
+    }
+
+    /// Look up an enrollment record by name.
+    pub fn lookup(&self, name: &str) -> Option<&EnrollmentRecord> {
+        self.records.get(name)
+    }
+
+    /// Verify that a device still answers an enrollment record's
+    /// challenge with the enrolled key (authentication check).
+    pub fn authenticate(&self, name: &str, device: &PufDevice) -> bool {
+        match self.records.get(name) {
+            None => false,
+            Some(rec) => {
+                let fresh = respond(device, &rec.challenge, rec.epoch);
+                fresh.key().ct_eq(&rec.key)
+            }
+        }
+    }
+
+    /// Number of enrolled names.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no device is enrolled.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate over enrolled `(name, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &EnrollmentRecord)> {
+        self.records.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::PufDeviceConfig;
+
+    fn device(seed: u64) -> PufDevice {
+        PufDevice::from_seed(seed, PufDeviceConfig::paper())
+    }
+
+    #[test]
+    fn enroll_then_authenticate() {
+        let dev = device(1);
+        let mut db = CrpDatabase::new();
+        db.enroll("node-1", &dev, &Challenge::from_bytes(&[7; 32]), 0);
+        assert!(db.authenticate("node-1", &dev));
+    }
+
+    #[test]
+    fn wrong_device_fails_authentication() {
+        let dev = device(1);
+        let imposter = device(2);
+        let mut db = CrpDatabase::new();
+        db.enroll("node-1", &dev, &Challenge::from_bytes(&[7; 32]), 0);
+        assert!(!db.authenticate("node-1", &imposter));
+    }
+
+    #[test]
+    fn unknown_name_fails_authentication() {
+        let dev = device(1);
+        let db = CrpDatabase::new();
+        assert!(!db.authenticate("ghost", &dev));
+    }
+
+    #[test]
+    fn epoch_rotation_changes_enrolled_key() {
+        let dev = device(3);
+        let ch = Challenge::from_bytes(&[1; 32]);
+        let mut db = CrpDatabase::new();
+        let r0 = db.enroll("n", &dev, &ch, 0);
+        let r1 = db.enroll("n", &dev, &ch, 1);
+        assert!(!r0.key.ct_eq(&r1.key));
+    }
+
+    #[test]
+    fn fleet_enrollment_maps_many_devices_to_names() {
+        let mut db = CrpDatabase::new();
+        let ch = Challenge::from_bytes(&[9; 32]);
+        for seed in 0..4 {
+            let dev = device(seed);
+            db.enroll_as(&format!("fleet/{seed}"), &format!("dev-{seed}"), &dev, &ch, 0);
+        }
+        assert_eq!(db.len(), 4);
+        assert!(db.lookup("fleet/2").is_some());
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn response_never_equals_raw_puf_key_bits() {
+        // The KMU abstraction must hold: the 32-byte derived key cannot
+        // contain the raw 4-byte PUF key verbatim at its head.
+        let dev = device(4);
+        let ch = Challenge::from_bytes(&[0xEE; 32]);
+        let raw = dev.read_key_hardened(&ch, 15);
+        let resp = respond(&dev, &ch, 0);
+        assert_ne!(&resp.key().as_bytes()[..4], raw.bits());
+    }
+
+    #[test]
+    fn challenge_slice_zero_extends() {
+        let ch = Challenge::from_bytes(&[1, 2, 3]);
+        assert_eq!(ch.slice(2, 3), vec![3, 0, 0]);
+        assert_eq!(ch.slice(10, 2), vec![0, 0]);
+    }
+}

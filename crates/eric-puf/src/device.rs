@@ -1,0 +1,353 @@
+//! The PUF Key Generator (PKG): a bank of arbiter PUFs on one device.
+//!
+//! Table I: "PUF Parameters: 32× 8-bit challenge 1-bit response" — the
+//! device carries 32 arbiter PUF instances; a key read applies one 8-bit
+//! challenge slice to each instance and concatenates the 32 response
+//! bits into the device's PUF key. The paper's PKG "enables the
+//! generation of keys that act as an identity for the hardware device".
+
+use crate::arbiter::{ArbiterPuf, ArbiterPufConfig};
+use crate::crp::Challenge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::fmt;
+
+/// Configuration of a device's PUF bank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PufDeviceConfig {
+    /// Number of arbiter PUF instances (= PUF key bits). Table I: 32.
+    pub instances: usize,
+    /// Per-instance arbiter configuration.
+    pub arbiter: ArbiterPufConfig,
+}
+
+impl PufDeviceConfig {
+    /// The paper's configuration: 32 instances × 8-bit challenges.
+    pub fn paper() -> Self {
+        PufDeviceConfig { instances: 32, arbiter: ArbiterPufConfig::paper() }
+    }
+
+    /// A wider 128-bit PUF key (stronger identity, same structure).
+    pub fn wide() -> Self {
+        PufDeviceConfig { instances: 128, arbiter: ArbiterPufConfig::paper() }
+    }
+
+    /// Noise-free variant for deterministic tests.
+    pub fn noiseless() -> Self {
+        PufDeviceConfig { instances: 32, arbiter: ArbiterPufConfig::noiseless(8) }
+    }
+}
+
+impl Default for PufDeviceConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A multi-bit PUF key read from a device's PUF bank.
+///
+/// The raw PUF key never leaves the device in ERIC; it is fed to the
+/// Key Management Unit to derive shareable PUF-based keys.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PufKey {
+    bits: Vec<u8>,
+    bit_len: usize,
+}
+
+impl PufKey {
+    /// Packed key bits, little-endian within each byte.
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Number of key bits.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Hamming distance to another key of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two keys have different bit lengths.
+    pub fn hamming_distance(&self, other: &PufKey) -> u32 {
+        assert_eq!(self.bit_len, other.bit_len, "key widths differ");
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Fraction of bits set to one (uniformity input).
+    pub fn ones_fraction(&self) -> f64 {
+        let ones: u32 = self.bits.iter().map(|b| b.count_ones()).sum();
+        ones as f64 / self.bit_len as f64
+    }
+
+    fn from_bools(bools: &[bool]) -> Self {
+        let mut bits = vec![0u8; bools.len().div_ceil(8)];
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                bits[i / 8] |= 1 << (i % 8);
+            }
+        }
+        PufKey { bits, bit_len: bools.len() }
+    }
+}
+
+impl fmt::Debug for PufKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The raw PUF key is the device's root secret: show width only.
+        write!(f, "PufKey {{ bits: {} }}", self.bit_len)
+    }
+}
+
+impl AsRef<[u8]> for PufKey {
+    fn as_ref(&self) -> &[u8] {
+        &self.bits
+    }
+}
+
+/// One device's PUF bank (the hardware PUF Key Generator).
+///
+/// Evaluation noise is drawn from an internal RNG seeded per device, so
+/// two [`PufDevice`]s built from different seeds model two different
+/// chips *and* two different noise histories.
+pub struct PufDevice {
+    config: PufDeviceConfig,
+    instances: Vec<ArbiterPuf>,
+    noise_rng: RefCell<StdRng>,
+}
+
+impl fmt::Debug for PufDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PufDevice {{ instances: {}, stages: {} }}",
+            self.config.instances, self.config.arbiter.stages
+        )
+    }
+}
+
+impl PufDevice {
+    /// Fabricate a device from a seed (the seed *is* the silicon
+    /// lottery: same seed → same chip).
+    pub fn from_seed(seed: u64, config: PufDeviceConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xE41C);
+        Self::fabricate(config, &mut rng)
+    }
+
+    /// Fabricate a device drawing fabrication randomness from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.instances` is zero.
+    pub fn fabricate<R: Rng + ?Sized>(config: PufDeviceConfig, rng: &mut R) -> Self {
+        assert!(config.instances > 0, "device needs at least one PUF instance");
+        let instances = (0..config.instances)
+            .map(|_| ArbiterPuf::fabricate(config.arbiter, rng))
+            .collect();
+        let noise_seed = rng.next_u64();
+        PufDevice {
+            config,
+            instances,
+            noise_rng: RefCell::new(StdRng::seed_from_u64(noise_seed)),
+        }
+    }
+
+    /// The bank configuration.
+    pub fn config(&self) -> &PufDeviceConfig {
+        &self.config
+    }
+
+    /// Number of challenge bytes one key read consumes
+    /// (`instances × stages / 8`, rounded up per instance).
+    pub fn challenge_len(&self) -> usize {
+        self.config.instances * self.config.arbiter.stages.div_ceil(8)
+    }
+
+    /// Read the PUF key once (raw, unhardened — may contain noisy bits).
+    ///
+    /// Instance `i` consumes the `i`-th `stages`-bit slice of the
+    /// challenge; a short challenge is zero-extended.
+    pub fn read_key(&self, challenge: &Challenge) -> PufKey {
+        let mut rng = self.noise_rng.borrow_mut();
+        let slice_bytes = self.config.arbiter.stages.div_ceil(8);
+        let bools: Vec<bool> = self
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, puf)| {
+                let slice = challenge.slice(i * slice_bytes, slice_bytes);
+                puf.eval(&slice, &mut *rng)
+            })
+            .collect();
+        PufKey::from_bools(&bools)
+    }
+
+    /// Read the PUF key with per-bit majority voting over `votes` reads
+    /// — the hardened read used before key derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is even or zero.
+    pub fn read_key_hardened(&self, challenge: &Challenge, votes: u32) -> PufKey {
+        let mut rng = self.noise_rng.borrow_mut();
+        let slice_bytes = self.config.arbiter.stages.div_ceil(8);
+        let bools: Vec<bool> = self
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, puf)| {
+                let slice = challenge.slice(i * slice_bytes, slice_bytes);
+                puf.eval_majority(&slice, votes, &mut *rng)
+            })
+            .collect();
+        PufKey::from_bools(&bools)
+    }
+
+    /// Dark-bit stability mask: `true` for bit positions whose delay
+    /// difference clears `threshold_sigmas` arbiter-noise standard
+    /// deviations, i.e. bits that will read back identically with
+    /// overwhelming probability.
+    ///
+    /// In hardware this mask is *helper data* estimated at enrollment by
+    /// repeated reads and stored in device NVM; in the additive-delay
+    /// model the underlying delay difference is directly available, so
+    /// the mask is computed deterministically — equivalent to an
+    /// enrollment campaign with unbounded reads.
+    pub fn stability_mask(&self, challenge: &Challenge, threshold_sigmas: f64) -> Vec<bool> {
+        let slice_bytes = self.config.arbiter.stages.div_ceil(8);
+        let threshold = threshold_sigmas * self.config.arbiter.noise_sigma;
+        self.instances
+            .iter()
+            .enumerate()
+            .map(|(i, puf)| {
+                let slice = challenge.slice(i * slice_bytes, slice_bytes);
+                puf.delay_difference(&slice).abs() > threshold
+            })
+            .collect()
+    }
+
+    /// Read the PUF key keeping only dark-bit-masked *stable* positions:
+    /// returns the packed stable bits plus the mask (public helper
+    /// data). This is the read used for key derivation; with the default
+    /// 4σ threshold a stable bit misreads with probability < 10⁻⁴ per
+    /// raw read, and majority voting drives the key error rate to
+    /// negligible levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is even or zero.
+    pub fn read_key_stable(&self, challenge: &Challenge, votes: u32) -> (PufKey, Vec<bool>) {
+        let mask = self.stability_mask(challenge, 4.0);
+        let full = self.read_key_hardened(challenge, votes);
+        let stable_bools: Vec<bool> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, keep)| **keep)
+            .map(|(i, _)| (full.bits()[i / 8] >> (i % 8)) & 1 == 1)
+            .collect();
+        (PufKey::from_bools(&stable_bools), mask)
+    }
+
+    /// The noise-free reference key (what an ideal arbiter would output)
+    /// — useful for reliability measurements.
+    pub fn golden_key(&self, challenge: &Challenge) -> PufKey {
+        let slice_bytes = self.config.arbiter.stages.div_ceil(8);
+        let bools: Vec<bool> = self
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, puf)| {
+                let slice = challenge.slice(i * slice_bytes, slice_bytes);
+                puf.delay_difference(&slice) > 0.0
+            })
+            .collect();
+        PufKey::from_bools(&bools)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn challenge() -> Challenge {
+        Challenge::from_bytes(&[0xA5; 32])
+    }
+
+    #[test]
+    fn paper_config_yields_32_bit_key() {
+        let dev = PufDevice::from_seed(1, PufDeviceConfig::paper());
+        let key = dev.read_key_hardened(&challenge(), 7);
+        assert_eq!(key.bit_len(), 32);
+        assert_eq!(key.bits().len(), 4);
+    }
+
+    #[test]
+    fn same_seed_same_chip() {
+        let a = PufDevice::from_seed(9, PufDeviceConfig::noiseless());
+        let b = PufDevice::from_seed(9, PufDeviceConfig::noiseless());
+        assert_eq!(a.read_key(&challenge()).bits(), b.read_key(&challenge()).bits());
+    }
+
+    #[test]
+    fn different_seeds_different_chips() {
+        let a = PufDevice::from_seed(10, PufDeviceConfig::noiseless());
+        let b = PufDevice::from_seed(11, PufDeviceConfig::noiseless());
+        let ka = a.read_key(&challenge());
+        let kb = b.read_key(&challenge());
+        assert!(ka.hamming_distance(&kb) > 0);
+    }
+
+    #[test]
+    fn different_challenges_usually_differ() {
+        let dev = PufDevice::from_seed(12, PufDeviceConfig::noiseless());
+        let k1 = dev.read_key(&Challenge::from_bytes(&[0x00; 32]));
+        let k2 = dev.read_key(&Challenge::from_bytes(&[0xFF; 32]));
+        assert!(k1.hamming_distance(&k2) > 0);
+    }
+
+    #[test]
+    fn hardened_read_matches_golden_key() {
+        let dev = PufDevice::from_seed(13, PufDeviceConfig::paper());
+        let golden = dev.golden_key(&challenge());
+        let read = dev.read_key_hardened(&challenge(), 15);
+        // With 15 votes and the paper noise level, all 32 bits should
+        // resolve to their golden value.
+        assert_eq!(read.bits(), golden.bits());
+    }
+
+    #[test]
+    fn wide_config_yields_128_bits() {
+        let dev = PufDevice::from_seed(14, PufDeviceConfig::wide());
+        let key = dev.read_key_hardened(&Challenge::from_bytes(&[3; 128]), 7);
+        assert_eq!(key.bit_len(), 128);
+    }
+
+    #[test]
+    fn ones_fraction_is_sane() {
+        let dev = PufDevice::from_seed(15, PufDeviceConfig::wide());
+        let key = dev.golden_key(&Challenge::from_bytes(&[0x5A; 128]));
+        let f = key.ones_fraction();
+        assert!(f > 0.2 && f < 0.8, "ones fraction {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "key widths differ")]
+    fn hamming_distance_width_mismatch_panics() {
+        let a = PufDevice::from_seed(1, PufDeviceConfig::paper());
+        let b = PufDevice::from_seed(1, PufDeviceConfig::wide());
+        let c = challenge();
+        let _ = a.read_key(&c).hamming_distance(&b.read_key(&Challenge::from_bytes(&[0; 128])));
+    }
+
+    #[test]
+    fn debug_hides_key_bits() {
+        let dev = PufDevice::from_seed(2, PufDeviceConfig::paper());
+        let key = dev.read_key(&challenge());
+        assert_eq!(format!("{key:?}"), "PufKey { bits: 32 }");
+    }
+}

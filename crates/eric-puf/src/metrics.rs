@@ -1,0 +1,206 @@
+//! Standard PUF quality metrics: uniformity, uniqueness, reliability,
+//! and bit-aliasing.
+//!
+//! These are the figures of merit the PUF literature (and the paper's
+//! references \[32\], \[36\]) uses to judge whether an arbiter PUF is fit to
+//! be a device identity. They justify the simulation substitution: if
+//! the model shows ≈50 % inter-chip Hamming distance and high
+//! reliability, it provides exactly the properties ERIC's key scheme
+//! needs from the FPGA PUF.
+
+use crate::crp::Challenge;
+use crate::device::{PufDevice, PufDeviceConfig, PufKey};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Aggregate quality report for a simulated PUF population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PufQualityReport {
+    /// Mean fraction of 1-bits per key. Ideal: 0.5.
+    pub uniformity: f64,
+    /// Mean normalized inter-chip Hamming distance. Ideal: 0.5.
+    pub uniqueness: f64,
+    /// Mean fraction of bits matching the golden key across noisy
+    /// re-reads. Ideal: 1.0.
+    pub reliability: f64,
+    /// Reliability after 7-vote majority hardening.
+    pub hardened_reliability: f64,
+    /// Worst per-bit-position bias across the population
+    /// (max |aliasing - 0.5|). Ideal: 0 (no position stuck).
+    pub max_bit_aliasing_bias: f64,
+    /// Number of devices measured.
+    pub devices: usize,
+    /// Number of challenges measured per device.
+    pub challenges: usize,
+}
+
+/// Parameters of a quality measurement campaign.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityCampaign {
+    /// Number of simulated chips.
+    pub devices: usize,
+    /// Number of random challenges per chip.
+    pub challenges: usize,
+    /// Noisy re-reads per challenge for the reliability estimate.
+    pub rereads: u32,
+    /// RNG seed for challenge generation and fabrication.
+    pub seed: u64,
+}
+
+impl Default for QualityCampaign {
+    fn default() -> Self {
+        QualityCampaign { devices: 16, challenges: 32, rereads: 11, seed: 0xE41C }
+    }
+}
+
+/// Run a measurement campaign over a population of freshly fabricated
+/// devices with the given PUF configuration.
+///
+/// ```rust
+/// use eric_puf::metrics::{measure_quality, QualityCampaign};
+/// use eric_puf::device::PufDeviceConfig;
+/// let report = measure_quality(PufDeviceConfig::paper(), QualityCampaign {
+///     devices: 8, challenges: 8, rereads: 5, seed: 1,
+/// });
+/// assert!(report.uniqueness > 0.3 && report.uniqueness < 0.7);
+/// assert!(report.reliability > 0.9);
+/// ```
+pub fn measure_quality(config: PufDeviceConfig, campaign: QualityCampaign) -> PufQualityReport {
+    assert!(campaign.devices >= 2, "uniqueness needs at least two devices");
+    assert!(campaign.challenges >= 1, "at least one challenge required");
+    let mut rng = StdRng::seed_from_u64(campaign.seed);
+    let devices: Vec<PufDevice> = (0..campaign.devices)
+        .map(|_| PufDevice::fabricate(config, &mut rng))
+        .collect();
+    let challenge_len = devices[0].challenge_len();
+    let challenges: Vec<Challenge> = (0..campaign.challenges)
+        .map(|_| {
+            let bytes: Vec<u8> = (0..challenge_len).map(|_| rng.gen()).collect();
+            Challenge::from_bytes(&bytes)
+        })
+        .collect();
+
+    let key_bits = config.instances;
+    let mut uniformity_acc = 0.0;
+    let mut uniformity_n = 0usize;
+    let mut uniq_acc = 0.0;
+    let mut uniq_n = 0usize;
+    let mut rel_acc = 0.0;
+    let mut rel_n = 0usize;
+    let mut hard_acc = 0.0;
+    let mut hard_n = 0usize;
+    // ones[b] counts devices whose golden bit b is one, per challenge.
+    let mut aliasing_bias: f64 = 0.0;
+
+    for ch in &challenges {
+        let golden: Vec<PufKey> = devices.iter().map(|d| d.golden_key(ch)).collect();
+        for g in &golden {
+            uniformity_acc += g.ones_fraction();
+            uniformity_n += 1;
+        }
+        for i in 0..golden.len() {
+            for j in (i + 1)..golden.len() {
+                uniq_acc += golden[i].hamming_distance(&golden[j]) as f64 / key_bits as f64;
+                uniq_n += 1;
+            }
+        }
+        for bit in 0..key_bits {
+            let ones = golden
+                .iter()
+                .filter(|k| (k.bits()[bit / 8] >> (bit % 8)) & 1 == 1)
+                .count();
+            let alias = ones as f64 / golden.len() as f64;
+            aliasing_bias = aliasing_bias.max((alias - 0.5).abs());
+        }
+        for (dev, gold) in devices.iter().zip(&golden) {
+            for _ in 0..campaign.rereads {
+                let noisy = dev.read_key(ch);
+                rel_acc += 1.0 - noisy.hamming_distance(gold) as f64 / key_bits as f64;
+                rel_n += 1;
+            }
+            let hardened = dev.read_key_hardened(ch, 7);
+            hard_acc += 1.0 - hardened.hamming_distance(gold) as f64 / key_bits as f64;
+            hard_n += 1;
+        }
+    }
+
+    PufQualityReport {
+        uniformity: uniformity_acc / uniformity_n as f64,
+        uniqueness: uniq_acc / uniq_n as f64,
+        reliability: rel_acc / rel_n as f64,
+        hardened_reliability: hard_acc / hard_n as f64,
+        max_bit_aliasing_bias: aliasing_bias,
+        devices: campaign.devices,
+        challenges: campaign.challenges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_report() -> PufQualityReport {
+        measure_quality(
+            PufDeviceConfig::paper(),
+            QualityCampaign { devices: 12, challenges: 16, rereads: 7, seed: 42 },
+        )
+    }
+
+    #[test]
+    fn uniqueness_is_near_half() {
+        let r = paper_report();
+        assert!(
+            r.uniqueness > 0.35 && r.uniqueness < 0.65,
+            "uniqueness {}",
+            r.uniqueness
+        );
+    }
+
+    #[test]
+    fn uniformity_is_near_half() {
+        let r = paper_report();
+        assert!(
+            r.uniformity > 0.35 && r.uniformity < 0.65,
+            "uniformity {}",
+            r.uniformity
+        );
+    }
+
+    #[test]
+    fn reliability_is_high_and_hardening_helps() {
+        let r = paper_report();
+        assert!(r.reliability > 0.93, "reliability {}", r.reliability);
+        assert!(
+            r.hardened_reliability >= r.reliability - 1e-9,
+            "hardening must not hurt: raw {} hardened {}",
+            r.reliability,
+            r.hardened_reliability
+        );
+    }
+
+    #[test]
+    fn noiseless_config_is_perfectly_reliable() {
+        let r = measure_quality(
+            PufDeviceConfig::noiseless(),
+            QualityCampaign { devices: 4, challenges: 8, rereads: 3, seed: 7 },
+        );
+        assert_eq!(r.reliability, 1.0);
+        assert_eq!(r.hardened_reliability, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two devices")]
+    fn single_device_campaign_panics() {
+        let _ = measure_quality(
+            PufDeviceConfig::paper(),
+            QualityCampaign { devices: 1, challenges: 1, rereads: 1, seed: 0 },
+        );
+    }
+
+    #[test]
+    fn report_records_campaign_shape() {
+        let r = paper_report();
+        assert_eq!(r.devices, 12);
+        assert_eq!(r.challenges, 16);
+    }
+}

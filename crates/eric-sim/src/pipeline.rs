@@ -1,0 +1,270 @@
+//! Rocket-like in-order pipeline timing model.
+//!
+//! The paper's SoC is a Rocket Chip: in-order, 6-stage (Table I). An
+//! in-order single-issue pipeline retires ≤1 instruction per cycle;
+//! everything beyond that base rate is stalls. The model charges:
+//!
+//! * instruction-cache miss penalty at fetch,
+//! * data-cache miss penalty for loads/stores/AMOs,
+//! * a load-use interlock bubble when an instruction consumes the
+//!   result of the immediately preceding load,
+//! * a front-end redirect penalty for taken branches and jumps,
+//! * multi-cycle integer multiply/divide and FP latencies.
+//!
+//! The constants are calibrated to the published Rocket microarchitecture
+//! (34-cycle iterative divider, 3-stage multiplier, 2-cycle redirect).
+//! Figure 7 compares *ratios* of end-to-end times, so what matters is
+//! that workload cycle counts scale realistically with program behavior.
+
+use eric_isa::inst::Inst;
+use eric_isa::op::Op;
+
+/// Stall/latency constants (cycles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Extra cycles for an L1-I miss (DRAM fill).
+    pub icache_miss: u64,
+    /// Extra cycles for an L1-D miss.
+    pub dcache_miss: u64,
+    /// Bubble when an instruction uses the previous load's result.
+    pub load_use: u64,
+    /// Front-end redirect cost of a taken branch or jump.
+    pub redirect: u64,
+    /// Extra cycles for integer multiply.
+    pub mul: u64,
+    /// Extra cycles for integer divide/remainder.
+    pub div: u64,
+    /// Extra cycles for simple FP arithmetic.
+    pub fp: u64,
+    /// Extra cycles for FP divide/sqrt.
+    pub fp_div: u64,
+    /// Extra cycles for CSR access (pipeline flush on Rocket).
+    pub csr: u64,
+    /// Extra cycles for AMO (bus round trip beyond the D-cache access).
+    pub amo: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            icache_miss: 20,
+            dcache_miss: 20,
+            load_use: 1,
+            redirect: 2,
+            mul: 3,
+            div: 33,
+            fp: 2,
+            fp_div: 20,
+            csr: 3,
+            amo: 4,
+        }
+    }
+}
+
+/// Per-instruction timing state (tracks the previous load for the
+/// load-use interlock).
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    config: TimingConfig,
+    /// Destination of the previous instruction if it was a load.
+    prev_load_rd: Option<u8>,
+    /// Total stall cycles charged so far, by cause (for reports).
+    pub stalls: StallBreakdown,
+}
+
+/// Where the cycles beyond 1-per-instruction went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// I-cache miss cycles.
+    pub icache: u64,
+    /// D-cache miss cycles.
+    pub dcache: u64,
+    /// Load-use interlock cycles.
+    pub load_use: u64,
+    /// Branch/jump redirect cycles.
+    pub redirect: u64,
+    /// Long-latency execution cycles (mul/div/FP/CSR/AMO).
+    pub execute: u64,
+}
+
+impl StallBreakdown {
+    /// Total stall cycles.
+    pub fn total(&self) -> u64 {
+        self.icache + self.dcache + self.load_use + self.redirect + self.execute
+    }
+}
+
+impl Pipeline {
+    /// Create a pipeline model with the given constants.
+    pub fn new(config: TimingConfig) -> Self {
+        Pipeline { config, prev_load_rd: None, stalls: StallBreakdown::default() }
+    }
+
+    /// The timing constants in use.
+    pub fn config(&self) -> &TimingConfig {
+        &self.config
+    }
+
+    /// Charge one retired instruction and return its cycle cost.
+    ///
+    /// `ifetch_hit`/`dcache_hit` report the cache outcomes for this
+    /// instruction (`dcache_hit` is `None` for non-memory ops);
+    /// `branch_taken` reports whether control flow redirected.
+    pub fn retire(
+        &mut self,
+        inst: &Inst,
+        ifetch_hit: bool,
+        dcache_hit: Option<bool>,
+        branch_taken: bool,
+    ) -> u64 {
+        let mut cycles = 1u64;
+        if !ifetch_hit {
+            cycles += self.config.icache_miss;
+            self.stalls.icache += self.config.icache_miss;
+        }
+        if dcache_hit == Some(false) {
+            cycles += self.config.dcache_miss;
+            self.stalls.dcache += self.config.dcache_miss;
+        }
+        // Load-use interlock: the previous instruction was a load and
+        // this one reads its destination.
+        if let Some(rd) = self.prev_load_rd {
+            if rd != 0 && reads(inst, rd) {
+                cycles += self.config.load_use;
+                self.stalls.load_use += self.config.load_use;
+            }
+        }
+        if branch_taken {
+            cycles += self.config.redirect;
+            self.stalls.redirect += self.config.redirect;
+        }
+        let exec_extra = match inst.op {
+            Op::Mul | Op::Mulh | Op::Mulhsu | Op::Mulhu | Op::Mulw => self.config.mul,
+            Op::Div | Op::Divu | Op::Rem | Op::Remu | Op::Divw | Op::Divuw | Op::Remw
+            | Op::Remuw => self.config.div,
+            Op::FdivS | Op::FdivD | Op::FsqrtS | Op::FsqrtD => self.config.fp_div,
+            op if op.is_csr() => self.config.csr,
+            op if op.is_amo() => self.config.amo,
+            op if op.rd_is_fp() || op.rs1_is_fp() => {
+                if op.is_load() || op.is_store() {
+                    0
+                } else {
+                    self.config.fp
+                }
+            }
+            _ => 0,
+        };
+        cycles += exec_extra;
+        self.stalls.execute += exec_extra;
+
+        self.prev_load_rd = if inst.op.is_load() { Some(inst.rd) } else { None };
+        cycles
+    }
+
+    /// Reset interlock tracking and stall counters.
+    pub fn reset(&mut self) {
+        self.prev_load_rd = None;
+        self.stalls = StallBreakdown::default();
+    }
+}
+
+/// Does `inst` read integer register `r`?
+fn reads(inst: &Inst, r: u8) -> bool {
+    let uses_rs1 = !inst.op.rs1_is_fp() && inst.rs1 == r && uses_rs1_at_all(inst.op);
+    let uses_rs2 = !inst.op.rs2_is_fp() && inst.rs2 == r && uses_rs2_at_all(inst.op);
+    uses_rs1 || uses_rs2
+}
+
+fn uses_rs1_at_all(op: Op) -> bool {
+    !matches!(op, Op::Lui | Op::Auipc | Op::Jal | Op::Ecall | Op::Ebreak)
+        && !matches!(op, Op::Csrrwi | Op::Csrrsi | Op::Csrrci)
+}
+
+fn uses_rs2_at_all(op: Op) -> bool {
+    use eric_isa::op::Format;
+    matches!(op.format(), Format::R | Format::S | Format::B | Format::R4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eric_isa::inst::Inst;
+    use eric_isa::reg::Reg;
+
+    fn addi() -> Inst {
+        Inst::i(Op::Addi, Reg::A0, Reg::A1, 1)
+    }
+
+    #[test]
+    fn base_cost_is_one_cycle() {
+        let mut p = Pipeline::new(TimingConfig::default());
+        assert_eq!(p.retire(&addi(), true, None, false), 1);
+    }
+
+    #[test]
+    fn icache_miss_charged() {
+        let mut p = Pipeline::new(TimingConfig::default());
+        assert_eq!(p.retire(&addi(), false, None, false), 21);
+        assert_eq!(p.stalls.icache, 20);
+    }
+
+    #[test]
+    fn dcache_miss_charged() {
+        let mut p = Pipeline::new(TimingConfig::default());
+        let load = Inst::i(Op::Lw, Reg::A0, Reg::SP, 0);
+        assert_eq!(p.retire(&load, true, Some(false), false), 21);
+        assert_eq!(p.stalls.dcache, 20);
+    }
+
+    #[test]
+    fn load_use_interlock() {
+        let mut p = Pipeline::new(TimingConfig::default());
+        let load = Inst::i(Op::Lw, Reg::A0, Reg::SP, 0);
+        let use_it = Inst::i(Op::Addi, Reg::A1, Reg::A0, 1);
+        let unrelated = Inst::i(Op::Addi, Reg::A1, Reg::SP, 1);
+        p.retire(&load, true, Some(true), false);
+        assert_eq!(p.retire(&use_it, true, None, false), 2, "dependent use stalls");
+        p.retire(&load, true, Some(true), false);
+        assert_eq!(p.retire(&unrelated, true, None, false), 1, "independent op flows");
+    }
+
+    #[test]
+    fn interlock_only_applies_to_immediate_successor() {
+        let mut p = Pipeline::new(TimingConfig::default());
+        let load = Inst::i(Op::Lw, Reg::A0, Reg::SP, 0);
+        let use_it = Inst::i(Op::Addi, Reg::A1, Reg::A0, 1);
+        p.retire(&load, true, Some(true), false);
+        p.retire(&addi(), true, None, false);
+        assert_eq!(p.retire(&use_it, true, None, false), 1);
+    }
+
+    #[test]
+    fn redirect_charged_for_taken_branches() {
+        let mut p = Pipeline::new(TimingConfig::default());
+        let branch = Inst::b(Op::Beq, Reg::A0, Reg::A1, 8);
+        assert_eq!(p.retire(&branch, true, None, true), 3);
+        assert_eq!(p.retire(&branch, true, None, false), 1);
+    }
+
+    #[test]
+    fn long_latency_ops() {
+        let mut p = Pipeline::new(TimingConfig::default());
+        let mul = Inst::r(Op::Mul, Reg::A0, Reg::A0, Reg::A1);
+        let div = Inst::r(Op::Div, Reg::A0, Reg::A0, Reg::A1);
+        assert_eq!(p.retire(&mul, true, None, false), 4);
+        assert_eq!(p.retire(&div, true, None, false), 34);
+    }
+
+    #[test]
+    fn stall_breakdown_totals() {
+        let mut p = Pipeline::new(TimingConfig::default());
+        let div = Inst::r(Op::Div, Reg::A0, Reg::A0, Reg::A1);
+        let total: u64 = [
+            p.retire(&addi(), false, None, false),
+            p.retire(&div, true, None, true),
+        ]
+        .iter()
+        .sum();
+        assert_eq!(total, 2 + p.stalls.total());
+    }
+}

@@ -1,0 +1,408 @@
+//! The complete SoC: CPU + caches + pipeline + memory.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::cpu::{Cpu, ExecError, StepOutcome};
+use crate::mem::{MemError, Memory};
+use crate::pipeline::{Pipeline, StallBreakdown, TimingConfig};
+use eric_asm::Image;
+use std::error::Error;
+use std::fmt;
+
+/// SoC configuration (Table I of the paper).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SocConfig {
+    /// RAM base address.
+    pub ram_base: u64,
+    /// RAM size in bytes.
+    pub ram_size: usize,
+    /// L1 instruction cache geometry.
+    pub icache: CacheConfig,
+    /// L1 data cache geometry.
+    pub dcache: CacheConfig,
+    /// Pipeline timing constants.
+    pub timing: TimingConfig,
+    /// Modeled core clock in MHz (Table I: 25 MHz on the Zedboard).
+    pub frequency_mhz: u64,
+}
+
+impl Default for SocConfig {
+    /// Matches Table I: Rocket-like in-order core, 16 KiB 4-way L1I/L1D,
+    /// RV64GC, 25 MHz, with 4 MiB of RAM at `0x8000_0000`.
+    fn default() -> Self {
+        SocConfig {
+            ram_base: 0x8000_0000,
+            ram_size: 4 << 20,
+            icache: CacheConfig::paper_l1(),
+            dcache: CacheConfig::paper_l1(),
+            timing: TimingConfig::default(),
+            frequency_mhz: 25,
+        }
+    }
+}
+
+/// Result of running a program to completion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    /// The value passed to `exit`.
+    pub exit_code: i64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Modeled cycles consumed.
+    pub cycles: u64,
+    /// Stall-cycle breakdown.
+    pub stalls: StallBreakdown,
+    /// I-cache statistics.
+    pub icache: CacheStats,
+    /// D-cache statistics.
+    pub dcache: CacheStats,
+    /// Bytes the program wrote to stdout/stderr.
+    pub stdout: Vec<u8>,
+}
+
+impl RunOutcome {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Modeled wall-clock seconds at the configured frequency.
+    pub fn seconds_at(&self, frequency_mhz: u64) -> f64 {
+        self.cycles as f64 / (frequency_mhz as f64 * 1e6)
+    }
+}
+
+/// Why a run stopped abnormally.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// An execution fault (decode/memory/alignment).
+    Exec(ExecError),
+    /// The program hit `ebreak`.
+    Breakpoint {
+        /// PC of the breakpoint.
+        pc: u64,
+    },
+    /// The instruction budget was exhausted before `exit`.
+    OutOfFuel {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// A program image did not fit in RAM.
+    Load(MemError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Exec(e) => write!(f, "execution fault: {e}"),
+            RunError::Breakpoint { pc } => write!(f, "breakpoint at {pc:#x}"),
+            RunError::OutOfFuel { budget } => {
+                write!(f, "program did not exit within {budget} instructions")
+            }
+            RunError::Load(e) => write!(f, "image load failed: {e}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl From<ExecError> for RunError {
+    fn from(e: ExecError) -> Self {
+        RunError::Exec(e)
+    }
+}
+
+/// The simulated SoC.
+pub struct Soc {
+    config: SocConfig,
+    cpu: Cpu,
+    mem: Memory,
+    icache: Cache,
+    dcache: Cache,
+    pipeline: Pipeline,
+    cycles: u64,
+}
+
+impl fmt::Debug for Soc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Soc {{ pc: {:#x}, cycles: {}, instret: {} }}",
+            self.cpu.pc, self.cycles, self.cpu.instret
+        )
+    }
+}
+
+impl Soc {
+    /// Build a powered-on SoC with empty memory.
+    pub fn new(config: SocConfig) -> Self {
+        Soc {
+            cpu: Cpu::new(),
+            mem: Memory::new(config.ram_base, config.ram_size),
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            pipeline: Pipeline::new(config.timing),
+            cycles: 0,
+            config,
+        }
+    }
+
+    /// The configuration this SoC was built with.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// Direct access to memory (the HDE's loader writes through here).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Direct access to the CPU state.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Load an assembled image into memory, point the PC at its entry,
+    /// and initialize the stack pointer to the top of RAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Load`] when a section does not fit in RAM.
+    pub fn load_image(&mut self, image: &Image) -> Result<(), RunError> {
+        self.mem
+            .write_bytes(image.text_base, &image.text)
+            .map_err(RunError::Load)?;
+        if !image.data.is_empty() {
+            self.mem
+                .write_bytes(image.data_base, &image.data)
+                .map_err(RunError::Load)?;
+        }
+        self.reset_cpu(image.entry);
+        Ok(())
+    }
+
+    /// Load raw text/data bytes (the secure loader path, where the HDE
+    /// decrypts into memory without an [`Image`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Load`] when a section does not fit in RAM.
+    pub fn load_raw(
+        &mut self,
+        text_base: u64,
+        text: &[u8],
+        data_base: u64,
+        data: &[u8],
+        entry: u64,
+    ) -> Result<(), RunError> {
+        self.mem.write_bytes(text_base, text).map_err(RunError::Load)?;
+        if !data.is_empty() {
+            self.mem.write_bytes(data_base, data).map_err(RunError::Load)?;
+        }
+        self.reset_cpu(entry);
+        Ok(())
+    }
+
+    fn reset_cpu(&mut self, entry: u64) {
+        self.cpu = Cpu::new();
+        self.cpu.pc = entry;
+        // Stack at the top of RAM, 16-byte aligned per the psABI.
+        self.cpu.set_reg(2, (self.config.ram_base + self.config.ram_size as u64) & !15);
+        self.icache.reset();
+        self.dcache.reset();
+        self.pipeline.reset();
+        self.cycles = 0;
+    }
+
+    /// Run until `exit`, a fault, or the instruction budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Exec`] on faults, [`RunError::Breakpoint`] on
+    /// `ebreak`, [`RunError::OutOfFuel`] if the program does not exit
+    /// within `max_instructions`.
+    pub fn run(&mut self, max_instructions: u64) -> Result<RunOutcome, RunError> {
+        for _ in 0..max_instructions {
+            let pc = self.cpu.pc;
+            let ifetch_hit = self.icache.access(pc, false);
+            self.cpu.cycle = self.cycles;
+            let outcome = self.cpu.step(&mut self.mem)?;
+            match outcome {
+                StepOutcome::Exit(code) => {
+                    // Charge the final ecall.
+                    self.cycles += 1;
+                    return Ok(self.outcome(code));
+                }
+                StepOutcome::Breakpoint => return Err(RunError::Breakpoint { pc }),
+                StepOutcome::Retired(inst) => {
+                    let dcache_hit = if inst.op.is_memory() {
+                        let addr = self
+                            .cpu
+                            .reg(inst.rs1)
+                            .wrapping_add(if inst.op.is_amo() { 0 } else { inst.imm as u64 });
+                        Some(self.dcache.access(addr, inst.op.is_store() || inst.op.is_amo()))
+                    } else {
+                        None
+                    };
+                    let branch_taken = (inst.op.is_branch() && self.cpu.pc != pc + inst.len as u64)
+                        || inst.op.is_jump();
+                    self.cycles += self.pipeline.retire(&inst, ifetch_hit, dcache_hit, branch_taken);
+                }
+            }
+        }
+        Err(RunError::OutOfFuel { budget: max_instructions })
+    }
+
+    fn outcome(&self, exit_code: i64) -> RunOutcome {
+        RunOutcome {
+            exit_code,
+            instructions: self.cpu.instret,
+            cycles: self.cycles,
+            stalls: self.pipeline.stalls,
+            icache: *self.icache.stats(),
+            dcache: *self.dcache.stats(),
+            stdout: self.cpu.stdout().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eric_asm::{assemble, AsmOptions};
+
+    fn run_src(src: &str) -> RunOutcome {
+        let img = assemble(src, &AsmOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&img).unwrap();
+        soc.run(10_000_000).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn exit_code_propagates() {
+        let out = run_src("li a0, 42\nli a7, 93\necall");
+        assert_eq!(out.exit_code, 42);
+        assert_eq!(out.instructions, 3);
+    }
+
+    #[test]
+    fn cycles_exceed_instructions() {
+        let out = run_src(
+            "main:\n li t0, 100\nloop:\n addi t0, t0, -1\n bnez t0, loop\n li a0, 0\n li a7, 93\necall",
+        );
+        assert!(out.cycles > out.instructions, "{out:?}");
+        assert!(out.cpi() > 1.0 && out.cpi() < 5.0, "CPI {}", out.cpi());
+    }
+
+    #[test]
+    fn taken_branches_cost_redirects() {
+        // A tight taken loop pays the redirect penalty each iteration.
+        let loopy = run_src(
+            "main:\n li t0, 1000\nloop:\n addi t0, t0, -1\n bnez t0, loop\n li a0, 0\n li a7, 93\necall",
+        );
+        assert!(loopy.stalls.redirect >= 2 * 999, "{:?}", loopy.stalls);
+    }
+
+    #[test]
+    fn dcache_captures_locality() {
+        // Walk 64 KiB of memory: 4× the 16 KiB D-cache, so the second
+        // pass misses again (capacity) — miss ratio stays near 1/16 per
+        // 4-byte stride... but with 8-byte strides: 8 accesses per line.
+        let src = r#"
+            .data
+            buf: .zero 65536
+            .text
+            main:
+                la t0, buf
+                li t1, 8192      # 8192 dwords = 64 KiB
+            loop:
+                ld t2, 0(t0)
+                addi t0, t0, 8
+                addi t1, t1, -1
+                bnez t1, loop
+                li a0, 0
+                li a7, 93
+                ecall
+        "#;
+        let out = run_src(src);
+        let ratio = out.dcache.miss_ratio();
+        // 1 miss per 8 dword accesses to a 64-byte line.
+        assert!(ratio > 0.08 && ratio < 0.20, "miss ratio {ratio}");
+    }
+
+    #[test]
+    fn icache_hits_in_small_loops() {
+        let out = run_src(
+            "main:\n li t0, 10000\nloop:\n addi t0, t0, -1\n bnez t0, loop\n li a0, 0\n li a7, 93\necall",
+        );
+        assert!(out.icache.miss_ratio() < 0.01, "{:?}", out.icache);
+    }
+
+    #[test]
+    fn out_of_fuel_reported() {
+        let img = assemble("loop: j loop", &AsmOptions::default()).unwrap();
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&img).unwrap();
+        assert_eq!(
+            soc.run(1000),
+            Err(RunError::OutOfFuel { budget: 1000 })
+        );
+    }
+
+    #[test]
+    fn breakpoint_reported() {
+        let img = assemble("ebreak", &AsmOptions::default()).unwrap();
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&img).unwrap();
+        assert!(matches!(soc.run(10), Err(RunError::Breakpoint { .. })));
+    }
+
+    #[test]
+    fn compressed_build_executes_identically() {
+        let src = r#"
+            main:
+                li   a0, 0
+                li   t0, 50
+            loop:
+                add  a0, a0, t0
+                addi t0, t0, -1
+                bnez t0, loop
+                li   a7, 93
+                ecall
+        "#;
+        let plain = {
+            let img = assemble(src, &AsmOptions::default()).unwrap();
+            let mut soc = Soc::new(SocConfig::default());
+            soc.load_image(&img).unwrap();
+            soc.run(1_000_000).unwrap()
+        };
+        let compressed = {
+            let img = assemble(src, &AsmOptions::compressed()).unwrap();
+            let mut soc = Soc::new(SocConfig::default());
+            soc.load_image(&img).unwrap();
+            soc.run(1_000_000).unwrap()
+        };
+        assert_eq!(plain.exit_code, compressed.exit_code);
+        assert_eq!(plain.exit_code, 1275);
+        assert_eq!(plain.instructions, compressed.instructions);
+    }
+
+    #[test]
+    fn rdcycle_sees_modeled_time() {
+        let out = run_src(
+            "main:\n rdcycle a1\n li t0, 100\nloop:\n addi t0, t0, -1\n bnez t0, loop\n rdcycle a2\n sub a0, a2, a1\n li a7, 93\necall",
+        );
+        // a0 = elapsed cycles across the loop; must be > 100.
+        assert!(out.exit_code > 100, "{}", out.exit_code);
+    }
+
+    #[test]
+    fn seconds_at_frequency() {
+        let out = run_src("li a0, 0\nli a7, 93\necall");
+        let secs = out.seconds_at(25);
+        assert!(secs > 0.0 && secs < 1e-3);
+    }
+}

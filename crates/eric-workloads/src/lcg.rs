@@ -1,0 +1,113 @@
+//! The deterministic input generator shared by assembly and golden
+//! models.
+//!
+//! A 31-bit linear congruential generator (glibc's constants): both the
+//! Rust golden models and the `.data` sections embed values from the
+//! same stream, so program and model always agree on inputs.
+
+/// The LCG state/stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lcg {
+    state: u32,
+}
+
+impl Lcg {
+    /// Seed the generator.
+    pub fn new(seed: u32) -> Self {
+        Lcg { state: seed }
+    }
+
+    /// Next 31-bit value.
+    pub fn next_u31(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(1_103_515_245)
+            .wrapping_add(12_345)
+            & 0x7FFF_FFFF;
+        self.state
+    }
+
+    /// Next value bounded to `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u31() % bound
+    }
+
+    /// Next byte.
+    pub fn next_byte(&mut self) -> u8 {
+        (self.next_u31() >> 7) as u8
+    }
+}
+
+/// Render a `.word` data block (little-endian 32-bit) for inclusion in
+/// an assembly source.
+pub fn words_directive(values: &[u32]) -> String {
+    let mut out = String::with_capacity(values.len() * 12);
+    for chunk in values.chunks(8) {
+        out.push_str("    .word ");
+        let items: Vec<String> = chunk.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&items.join(", "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a `.byte` data block.
+pub fn bytes_directive(values: &[u8]) -> String {
+    let mut out = String::with_capacity(values.len() * 5);
+    for chunk in values.chunks(16) {
+        out.push_str("    .byte ");
+        let items: Vec<String> = chunk.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&items.join(", "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u31(), b.next_u31());
+        }
+    }
+
+    #[test]
+    fn values_stay_31_bit() {
+        let mut g = Lcg::new(7);
+        for _ in 0..1000 {
+            assert!(g.next_u31() < (1 << 31));
+        }
+    }
+
+    #[test]
+    fn bounded_values() {
+        let mut g = Lcg::new(9);
+        for _ in 0..100 {
+            assert!(g.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        Lcg::new(1).next_below(0);
+    }
+
+    #[test]
+    fn directives_render() {
+        assert_eq!(words_directive(&[1, 2]), "    .word 1, 2\n");
+        assert_eq!(bytes_directive(&[3]), "    .byte 3\n");
+        let long = words_directive(&[0; 9]);
+        assert_eq!(long.lines().count(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! `adpcm` — MiBench telecomm: IMA ADPCM speech encoding.
+//!
+//! Encodes `scale` 16-bit PCM samples to 4-bit IMA ADPCM codes (the
+//! classic step-size/index state machine), making several passes over
+//! the buffer with the predictor state carried across passes, and exits
+//! with a multiplicative checksum over the emitted codes.
+
+use crate::lcg::{bytes_directive, words_directive, Lcg};
+
+/// IMA ADPCM step-size table (89 entries, from the IMA specification).
+const STEPS: [u32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// Index adjustment per emitted code.
+const INDEX_ADJUST: [i8; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+/// Encoding passes over the sample buffer (state carries across).
+const PASSES: u32 = 4;
+
+fn samples(scale: u32) -> Vec<i16> {
+    let mut lcg = Lcg::new(0xADCC ^ scale.wrapping_mul(23));
+    (0..scale)
+        .map(|_| ((lcg.next_u31() & 0xFFFF) as i32 - 32768) as i16)
+        .collect()
+}
+
+/// Golden model (mirrors the assembly exactly).
+pub fn golden(scale: u32) -> i64 {
+    let input = samples(scale);
+    let mut predicted: i64 = 0;
+    let mut index: i64 = 0;
+    let mut acc: u64 = 0;
+    for _ in 0..PASSES {
+        for &s in &input {
+            let sample = s as i64;
+            let mut diff = sample - predicted;
+            let sign: i64 = if diff < 0 { 8 } else { 0 };
+            if sign != 0 {
+                diff = -diff;
+            }
+            let step = STEPS[index as usize] as i64;
+            let mut delta: i64 = 0;
+            let mut d = diff;
+            if d >= step {
+                delta = 4;
+                d -= step;
+            }
+            if d >= step >> 1 {
+                delta |= 2;
+                d -= step >> 1;
+            }
+            if d >= step >> 2 {
+                delta |= 1;
+            }
+            // Reconstruct the predictor the way the decoder would.
+            let mut vpdiff = step >> 3;
+            if delta & 4 != 0 {
+                vpdiff += step;
+            }
+            if delta & 2 != 0 {
+                vpdiff += step >> 1;
+            }
+            if delta & 1 != 0 {
+                vpdiff += step >> 2;
+            }
+            if sign != 0 {
+                predicted -= vpdiff;
+            } else {
+                predicted += vpdiff;
+            }
+            predicted = predicted.clamp(-32768, 32767);
+            index += INDEX_ADJUST[delta as usize] as i64;
+            index = index.clamp(0, 88);
+            let code = (delta | sign) as u64;
+            acc = acc.wrapping_mul(33).wrapping_add(code) & 0x7FFF_FFFF;
+        }
+    }
+    acc as i64
+}
+
+/// Generate the assembly source.
+pub fn source(scale: u32) -> String {
+    let sample_halfwords: Vec<String> = samples(scale)
+        .chunks(8)
+        .map(|chunk| {
+            let items: Vec<String> = chunk.iter().map(|v| format!("{v}")).collect();
+            format!("    .half {}", items.join(", "))
+        })
+        .collect();
+    let index_bytes: Vec<u8> = INDEX_ADJUST.iter().map(|&v| v as u8).collect();
+    format!(
+        r#"
+# adpcm: IMA ADPCM encode of {scale} samples, {passes} passes
+    .data
+steps:
+{steps}
+adjust:
+{adjust}
+samples:
+{samples}
+    .text
+main:
+    la   s2, steps
+    la   s3, adjust
+    li   s4, 0              # predicted
+    li   s5, 0              # index
+    li   a0, 0              # checksum
+    li   s7, {passes}
+pass_loop:
+    beqz s7, done
+    la   s0, samples
+    li   s1, {scale}
+sample_loop:
+    beqz s1, pass_next
+    lh   t0, 0(s0)          # sample
+    sub  t1, t0, s4         # diff
+    li   t2, 0              # sign
+    bgez t1, diff_pos
+    li   t2, 8
+    sub  t1, zero, t1
+diff_pos:
+    slli t3, s5, 2
+    add  t3, t3, s2
+    lwu  t3, 0(t3)          # step
+    li   t4, 0              # delta
+    blt  t1, t3, q1
+    ori  t4, t4, 4
+    sub  t1, t1, t3
+q1:
+    srli t5, t3, 1
+    blt  t1, t5, q2
+    ori  t4, t4, 2
+    sub  t1, t1, t5
+q2:
+    srli t5, t3, 2
+    blt  t1, t5, q3
+    ori  t4, t4, 1
+q3:
+    # vpdiff reconstruction
+    srli t5, t3, 3          # step >> 3
+    andi t6, t4, 4
+    beqz t6, v2
+    add  t5, t5, t3
+v2:
+    andi t6, t4, 2
+    beqz t6, v3
+    srli t6, t3, 1
+    add  t5, t5, t6
+v3:
+    andi t6, t4, 1
+    beqz t6, v4
+    srli t6, t3, 2
+    add  t5, t5, t6
+v4:
+    beqz t2, add_pred
+    sub  s4, s4, t5
+    j    clamp_pred
+add_pred:
+    add  s4, s4, t5
+clamp_pred:
+    li   t5, 32767
+    ble  s4, t5, clamp_lo
+    mv   s4, t5
+clamp_lo:
+    li   t5, -32768
+    bge  s4, t5, adjust_index
+    mv   s4, t5
+adjust_index:
+    add  t5, t4, s3
+    lb   t5, 0(t5)
+    add  s5, s5, t5
+    bgez s5, clamp_index_hi
+    li   s5, 0
+clamp_index_hi:
+    li   t5, 88
+    ble  s5, t5, emit
+    mv   s5, t5
+emit:
+    or   t4, t4, t2         # code = delta | sign
+    li   t5, 33
+    mul  a0, a0, t5
+    add  a0, a0, t4
+    li   t5, 0x7fffffff
+    and  a0, a0, t5
+    addi s0, s0, 2
+    addi s1, s1, -1
+    j    sample_loop
+pass_next:
+    addi s7, s7, -1
+    j    pass_loop
+done:
+    li   a7, 93
+    ecall
+"#,
+        scale = scale,
+        passes = PASSES,
+        steps = words_directive(&STEPS),
+        adjust = bytes_directive(&index_bytes),
+        samples = sample_halfwords.join("\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::testutil::run;
+
+    #[test]
+    fn asm_matches_golden_small() {
+        for scale in [1, 4, 40] {
+            assert_eq!(run(&source(scale)), golden(scale), "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn predictor_tracks_signal() {
+        // Golden sanity: encoding a constant-ish signal emits mostly
+        // small-magnitude codes; verify the state machine clamps stay
+        // within bounds by running a larger input.
+        let _ = golden(256); // must not panic (index/predictor clamps)
+    }
+
+    #[test]
+    fn step_table_is_ima_standard() {
+        assert_eq!(STEPS.len(), 89);
+        assert_eq!(STEPS[0], 7);
+        assert_eq!(STEPS[88], 32767);
+        assert!(STEPS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,151 @@
+//! `basicmath` — MiBench automotive: gcd + integer square root.
+//!
+//! For `scale` random pairs `(a, b)` the program accumulates
+//! `gcd(a, b) + isqrt((a + b) & 0x7FFF_FFFF)` and exits with the sum
+//! masked to 31 bits.
+
+use crate::lcg::{words_directive, Lcg};
+
+/// Number of `(a, b)` input pairs at a given scale.
+fn pairs(scale: u32) -> Vec<(u32, u32)> {
+    let mut lcg = Lcg::new(0xBA51C ^ scale);
+    (0..scale)
+        .map(|_| (lcg.next_u31() | 1, lcg.next_u31() | 1))
+        .collect()
+}
+
+/// Golden model (mirrors the assembly exactly).
+pub fn golden(scale: u32) -> i64 {
+    let mut acc: u64 = 0;
+    for (a, b) in pairs(scale) {
+        acc = acc.wrapping_add(gcd(a as u64, b as u64));
+        acc = acc.wrapping_add(isqrt(((a as u64) + (b as u64)) & 0x7FFF_FFFF));
+    }
+    (acc & 0x7FFF_FFFF) as i64
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Binary (shift-subtract) integer square root, matching the assembly.
+fn isqrt(mut x: u64) -> u64 {
+    let mut r: u64 = 0;
+    let mut bit: u64 = 1 << 30;
+    while bit > x {
+        bit >>= 2;
+    }
+    while bit != 0 {
+        if x >= r + bit {
+            x -= r + bit;
+            r = (r >> 1) + bit;
+        } else {
+            r >>= 1;
+        }
+        bit >>= 2;
+    }
+    r
+}
+
+/// Generate the assembly source.
+pub fn source(scale: u32) -> String {
+    let data: Vec<u32> = pairs(scale).into_iter().flat_map(|(a, b)| [a, b]).collect();
+    format!(
+        r#"
+# basicmath: gcd + isqrt over {scale} pairs
+    .data
+pairs:
+{words}
+    .text
+main:
+    la   s0, pairs
+    li   s1, {scale}
+    li   a0, 0
+outer:
+    lw   t0, 0(s0)          # a
+    lw   t1, 4(s0)          # b
+    # ---- gcd(a, b) ----
+    mv   t2, t0
+    mv   t3, t1
+gcd_loop:
+    beqz t3, gcd_done
+    remu t4, t2, t3
+    mv   t2, t3
+    mv   t3, t4
+    j    gcd_loop
+gcd_done:
+    add  a0, a0, t2
+    # ---- isqrt((a + b) & 0x7fffffff) ----
+    add  t2, t0, t1
+    li   t5, 0x7fffffff
+    and  t2, t2, t5         # x
+    li   t3, 0              # r
+    li   t4, 1
+    slli t4, t4, 30         # bit
+adjust_bit:
+    bleu t4, t2, bit_ok
+    srli t4, t4, 2
+    bnez t4, adjust_bit
+bit_ok:
+sqrt_loop:
+    beqz t4, sqrt_done
+    add  t5, t3, t4         # r + bit
+    bltu t2, t5, sqrt_else
+    sub  t2, t2, t5
+    srli t3, t3, 1
+    add  t3, t3, t4
+    j    sqrt_next
+sqrt_else:
+    srli t3, t3, 1
+sqrt_next:
+    srli t4, t4, 2
+    j    sqrt_loop
+sqrt_done:
+    add  a0, a0, t3
+    addi s0, s0, 8
+    addi s1, s1, -1
+    bnez s1, outer
+    li   t0, 0x7fffffff
+    and  a0, a0, t0
+    li   a7, 93
+    ecall
+"#,
+        scale = scale,
+        words = words_directive(&data),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::testutil::run;
+
+    #[test]
+    fn isqrt_reference_values() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(15), 3);
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(999_999), 999);
+        assert_eq!(isqrt(0x7FFF_FFFF), 46_340);
+    }
+
+    #[test]
+    fn gcd_reference_values() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 31), 1);
+        assert_eq!(gcd(100, 10), 10);
+    }
+
+    #[test]
+    fn asm_matches_golden_small() {
+        for scale in [1, 2, 8, 17] {
+            assert_eq!(run(&source(scale)), golden(scale), "scale {scale}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! `bitcount` — MiBench automotive: population count three ways.
+//!
+//! Counts the set bits of `scale` random words with (1) the naive
+//! shift-and-test loop, (2) Kernighan's clear-lowest-set-bit loop, and
+//! (3) a 16-entry nibble lookup table, then mixes the three (equal)
+//! counters into the exit checksum — so a discrepancy between the
+//! methods changes the result.
+
+use crate::lcg::{bytes_directive, words_directive, Lcg};
+
+fn inputs(scale: u32) -> Vec<u32> {
+    let mut lcg = Lcg::new(0xB17C ^ scale.rotate_left(9));
+    (0..scale).map(|_| lcg.next_u31()).collect()
+}
+
+/// Golden model.
+pub fn golden(scale: u32) -> i64 {
+    let mut naive: u64 = 0;
+    let mut kern: u64 = 0;
+    let mut table: u64 = 0;
+    for w in inputs(scale) {
+        naive += w.count_ones() as u64;
+        kern += w.count_ones() as u64;
+        table += w.count_ones() as u64;
+    }
+    ((naive * 3 + kern * 5 + table * 7) & 0x7FFF_FFFF) as i64
+}
+
+/// Generate the assembly source.
+pub fn source(scale: u32) -> String {
+    let nibble_counts: Vec<u8> = (0u8..16).map(|v| v.count_ones() as u8).collect();
+    format!(
+        r#"
+# bitcount: three popcount methods over {scale} words
+    .data
+words:
+{words}
+nibbles:
+{nibbles}
+    .text
+main:
+    la   s0, words
+    li   s1, {scale}
+    li   s2, 0              # naive total
+    li   s3, 0              # kernighan total
+    li   s4, 0              # table total
+    la   s5, nibbles
+outer:
+    lwu  t0, 0(s0)
+    # ---- naive: test all 32 bit positions ----
+    mv   t1, t0
+    li   t2, 32
+naive_loop:
+    andi t3, t1, 1
+    add  s2, s2, t3
+    srli t1, t1, 1
+    addi t2, t2, -1
+    bnez t2, naive_loop
+    # ---- kernighan ----
+    mv   t1, t0
+kern_loop:
+    beqz t1, kern_done
+    addi t2, t1, -1
+    and  t1, t1, t2
+    addi s3, s3, 1
+    j    kern_loop
+kern_done:
+    # ---- nibble table: 8 nibbles ----
+    mv   t1, t0
+    li   t2, 8
+tab_loop:
+    andi t3, t1, 15
+    add  t3, t3, s5
+    lbu  t3, 0(t3)
+    add  s4, s4, t3
+    srli t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, tab_loop
+    addi s0, s0, 4
+    addi s1, s1, -1
+    bnez s1, outer
+    # checksum = naive*3 + kern*5 + table*7 (mod 2^31)
+    li   t0, 3
+    mul  a0, s2, t0
+    li   t0, 5
+    mul  t1, s3, t0
+    add  a0, a0, t1
+    li   t0, 7
+    mul  t1, s4, t0
+    add  a0, a0, t1
+    li   t0, 0x7fffffff
+    and  a0, a0, t0
+    li   a7, 93
+    ecall
+"#,
+        scale = scale,
+        words = words_directive(&inputs(scale)),
+        nibbles = bytes_directive(&nibble_counts),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::testutil::run;
+
+    #[test]
+    fn asm_matches_golden_small() {
+        for scale in [1, 5, 32] {
+            assert_eq!(run(&source(scale)), golden(scale), "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn golden_counts_are_plausible() {
+        // 31-bit random words average ~15.5 set bits.
+        let n = 64;
+        let total = golden(n) / 15; // 3+5+7 = 15 × per-method count
+        let avg = total as f64 / n as f64;
+        assert!(avg > 10.0 && avg < 20.0, "average bits {avg}");
+    }
+}

@@ -1,0 +1,108 @@
+//! `crc32` — MiBench telecomm: bitwise CRC-32.
+//!
+//! Computes the reflected CRC-32 (polynomial `0xEDB88320`) of `scale`
+//! random bytes, bit by bit (the table-less MiBench variant), and exits
+//! with the final CRC as an unsigned 32-bit value.
+
+use crate::lcg::{bytes_directive, Lcg};
+
+fn inputs(scale: u32) -> Vec<u8> {
+    let mut lcg = Lcg::new(0xC3C ^ scale.wrapping_mul(17));
+    (0..scale).map(|_| lcg.next_byte()).collect()
+}
+
+/// Golden model.
+pub fn golden(scale: u32) -> i64 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for b in inputs(scale) {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            if crc & 1 == 1 {
+                crc = (crc >> 1) ^ 0xEDB8_8320;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    (crc ^ 0xFFFF_FFFF) as i64
+}
+
+/// Generate the assembly source.
+pub fn source(scale: u32) -> String {
+    format!(
+        r#"
+# crc32: bitwise reflected CRC-32 over {scale} bytes
+    .data
+input:
+{bytes}
+    .text
+main:
+    la   s0, input
+    li   s1, {scale}
+    li   a0, 0xffffffff     # crc (kept as zero-extended 32-bit)
+    li   s2, 0xedb88320     # polynomial
+    li   s3, 0xffffffff     # 32-bit mask
+    and  a0, a0, s3
+byte_loop:
+    beqz s1, done
+    lbu  t0, 0(s0)
+    xor  a0, a0, t0
+    li   t1, 8
+bit_loop:
+    andi t2, a0, 1
+    srli a0, a0, 1
+    beqz t2, bit_next
+    xor  a0, a0, s2
+bit_next:
+    addi t1, t1, -1
+    bnez t1, bit_loop
+    addi s0, s0, 1
+    addi s1, s1, -1
+    j    byte_loop
+done:
+    xor  a0, a0, s3         # final complement
+    and  a0, a0, s3
+    li   a7, 93
+    ecall
+"#,
+        scale = scale,
+        bytes = bytes_directive(&inputs(scale)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::testutil::run;
+
+    /// Reference CRC-32 ("123456789" -> 0xCBF43926, the check value
+    /// from the CRC catalog).
+    fn crc32_ref(data: &[u8]) -> u32 {
+        let mut crc: u32 = 0xFFFF_FFFF;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
+    #[test]
+    fn reference_check_value() {
+        assert_eq!(crc32_ref(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn asm_matches_golden_small() {
+        for scale in [1, 3, 16, 67] {
+            assert_eq!(run(&source(scale)), golden(scale), "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn golden_matches_reference_algorithm() {
+        let data = inputs(50);
+        assert_eq!(golden(50), crc32_ref(&data) as i64);
+    }
+}

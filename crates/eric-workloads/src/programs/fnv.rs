@@ -1,0 +1,104 @@
+//! `fnv` — stands in for MiBench's `sha` slot: a byte-stream hash.
+//!
+//! MiBench's security category hashes a file with SHA-1; ERIC's HDE
+//! already exercises a full SHA-256 in the framework itself, so the
+//! *workload* slot uses FNV-1a (64-bit) over `scale` random bytes —
+//! the same byte-at-a-time hashing memory/ALU pattern — folded to 31
+//! bits for the exit code.
+
+use crate::lcg::{bytes_directive, Lcg};
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn inputs(scale: u32) -> Vec<u8> {
+    let mut lcg = Lcg::new(0xF11 ^ scale.wrapping_mul(29));
+    (0..scale).map(|_| lcg.next_byte()).collect()
+}
+
+/// Passes over the input (the hash chains across passes, like hashing
+/// a file several times with evolving state).
+const PASSES: u32 = 8;
+
+/// Golden model.
+pub fn golden(scale: u32) -> i64 {
+    let input = inputs(scale);
+    let mut h = FNV_OFFSET;
+    for _ in 0..PASSES {
+        for &b in &input {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    // Fold 64 -> 31 bits.
+    ((h ^ (h >> 31) ^ (h >> 62)) & 0x7FFF_FFFF) as i64
+}
+
+/// Generate the assembly source.
+pub fn source(scale: u32) -> String {
+    format!(
+        r#"
+# fnv: FNV-1a 64-bit hash over {scale} bytes
+    .data
+input:
+{bytes}
+    .text
+main:
+    li   a0, 0x{offset:X}   # offset basis (chained across passes)
+    li   s2, 0x{prime:X}    # FNV prime
+    li   s3, {passes}
+pass_loop:
+    beqz s3, done
+    la   s0, input
+    li   s1, {scale}
+hash_loop:
+    beqz s1, pass_next
+    lbu  t0, 0(s0)
+    xor  a0, a0, t0
+    mul  a0, a0, s2
+    addi s0, s0, 1
+    addi s1, s1, -1
+    j    hash_loop
+pass_next:
+    addi s3, s3, -1
+    j    pass_loop
+done:
+    # fold: (h ^ h>>31 ^ h>>62) & 0x7fffffff
+    srli t0, a0, 31         # h >> 31
+    xor  a0, a0, t0
+    srli t0, t0, 31         # h >> 62
+    xor  a0, a0, t0
+    li   t1, 0x7fffffff
+    and  a0, a0, t1
+    li   a7, 93
+    ecall
+"#,
+        scale = scale,
+        passes = PASSES,
+        offset = FNV_OFFSET,
+        prime = FNV_PRIME,
+        bytes = bytes_directive(&inputs(scale)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::testutil::run;
+
+    #[test]
+    fn fnv_reference_vector() {
+        // FNV-1a 64 of "a" is 0xaf63dc4c8601ec8c.
+        let mut h = FNV_OFFSET;
+        h ^= b'a' as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+        assert_eq!(h, 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn asm_matches_golden_small() {
+        for scale in [1, 7, 64] {
+            assert_eq!(run(&source(scale)), golden(scale), "scale {scale}");
+        }
+    }
+}

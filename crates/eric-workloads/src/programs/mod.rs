@@ -1,0 +1,26 @@
+//! The ten benchmark programs.
+
+pub mod adpcm;
+pub mod basicmath;
+pub mod bitcount;
+pub mod crc32;
+pub mod dijkstra;
+pub mod fnv;
+pub mod qsort;
+pub mod stringsearch;
+pub mod susan;
+pub mod xtea;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use eric_asm::{assemble, AsmOptions};
+    use eric_sim::soc::{Soc, SocConfig};
+
+    /// Assemble and run a program, returning its exit code.
+    pub fn run(src: &str) -> i64 {
+        let image = assemble(src, &AsmOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&image).unwrap();
+        soc.run(200_000_000).unwrap_or_else(|e| panic!("{e}")).exit_code
+    }
+}

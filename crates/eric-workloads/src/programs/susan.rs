@@ -1,0 +1,117 @@
+//! `susan` — MiBench automotive: image smoothing (3×3 mean filter).
+//!
+//! Applies a 3×3 box filter to a `scale × scale` random 8-bit image and
+//! exits with `Σ out[y][x]·(x+y+1)` over the interior, masked to 31
+//! bits. Stands in for MiBench's susan smoothing mode; the kernel has
+//! the same memory-access structure (2D stencil with row strides).
+
+use crate::lcg::{bytes_directive, Lcg};
+
+fn image(scale: u32) -> Vec<u8> {
+    let mut lcg = Lcg::new(0x5A5A ^ scale.wrapping_mul(131));
+    (0..scale * scale).map(|_| lcg.next_byte()).collect()
+}
+
+/// Golden model.
+pub fn golden(scale: u32) -> i64 {
+    let w = scale as usize;
+    let img = image(scale);
+    let mut acc: u64 = 0;
+    for y in 1..w - 1 {
+        for x in 1..w - 1 {
+            let mut sum: u64 = 0;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    sum += img[(y + dy - 1) * w + (x + dx - 1)] as u64;
+                }
+            }
+            let out = sum / 9;
+            acc = acc.wrapping_add(out.wrapping_mul((x + y + 1) as u64));
+        }
+    }
+    (acc & 0x7FFF_FFFF) as i64
+}
+
+/// Generate the assembly source.
+pub fn source(scale: u32) -> String {
+    assert!(scale >= 3, "susan needs at least a 3x3 image");
+    format!(
+        r#"
+# susan: 3x3 mean filter over a {scale}x{scale} image
+    .data
+image:
+{bytes}
+    .text
+main:
+    la   s0, image
+    li   s1, {scale}        # width
+    li   a0, 0
+    li   s2, 1              # y
+y_loop:
+    addi t0, s1, -1
+    bge  s2, t0, done
+    li   s3, 1              # x
+x_loop:
+    addi t0, s1, -1
+    bge  s3, t0, y_next
+    # sum the 3x3 neighborhood around (x, y)
+    li   s4, 0              # sum
+    li   s5, 0              # dy
+dy_loop:
+    li   t6, 3
+    bge  s5, t6, dy_done
+    addi t0, s2, -1
+    add  t0, t0, s5         # row = y - 1 + dy
+    mul  t0, t0, s1
+    add  t0, t0, s0         # row base
+    addi t1, s3, -1         # col = x - 1
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    add  s4, s4, t2
+    lbu  t2, 1(t1)
+    add  s4, s4, t2
+    lbu  t2, 2(t1)
+    add  s4, s4, t2
+    addi s5, s5, 1
+    j    dy_loop
+dy_done:
+    li   t0, 9
+    divu t1, s4, t0         # out = sum / 9
+    add  t2, s3, s2
+    addi t2, t2, 1          # (x + y + 1)
+    mul  t1, t1, t2
+    add  a0, a0, t1
+    addi s3, s3, 1
+    j    x_loop
+y_next:
+    addi s2, s2, 1
+    j    y_loop
+done:
+    li   t0, 0x7fffffff
+    and  a0, a0, t0
+    li   a7, 93
+    ecall
+"#,
+        scale = scale,
+        bytes = bytes_directive(&image(scale)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::testutil::run;
+
+    #[test]
+    fn asm_matches_golden_small() {
+        for scale in [3, 4, 8, 11] {
+            assert_eq!(run(&source(scale)), golden(scale), "scale {scale}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn tiny_image_rejected() {
+        let _ = source(2);
+    }
+}

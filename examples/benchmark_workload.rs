@@ -1,0 +1,55 @@
+//! Run a MiBench-analog workload end to end, plain vs. encrypted.
+//!
+//! Demonstrates the Figure 7 measurement on one workload: the same
+//! program executed from a plain image and from a fully encrypted ERIC
+//! package, reporting the end-to-end cycle difference.
+//!
+//! Run with: `cargo run --release --example benchmark_workload [name] [scale]`
+
+use eric::core::{Device, EncryptionConfig, SoftwareSource};
+use eric::workloads::{all, by_name};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "crc32".to_string());
+    let workload = by_name(&name).unwrap_or_else(|| {
+        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        panic!("unknown workload {name:?}; available: {names:?}")
+    });
+    let scale: u32 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(workload.smoke_scale * 2);
+
+    let source = SoftwareSource::new("bench-vendor");
+    let mut device = Device::with_seed(31337, "bench-unit");
+    let cred = device.enroll();
+
+    let asm = (workload.source)(scale);
+    let image = source.compile(&asm, false)?;
+    println!(
+        "workload {} (scale {scale}): {} text bytes, {} data bytes, {} instructions",
+        workload.name,
+        image.text.len(),
+        image.data.len(),
+        image.instruction_count()
+    );
+
+    let plain = device.run_plain(&image)?;
+    let package = source.build(&asm, &cred, &EncryptionConfig::full())?;
+    let secure = device.install_and_run(&package)?;
+
+    assert_eq!(plain.exit_code, (workload.golden)(scale), "golden mismatch");
+    assert_eq!(secure.exit_code, plain.exit_code);
+
+    let overhead = 100.0 * (secure.total_cycles() as f64 - plain.total_cycles() as f64)
+        / plain.total_cycles() as f64;
+    println!("  plain : load {:>8} + exec {:>10} = {:>10} cycles", plain.load_cycles, plain.run.cycles, plain.total_cycles());
+    println!("  secure: load {:>8} + exec {:>10} = {:>10} cycles", secure.load_cycles, secure.run.cycles, secure.total_cycles());
+    println!("  end-to-end overhead: {overhead:.2}% (paper Fig. 7: <= 7.05%)");
+    println!(
+        "  hde breakdown: decrypt {} / hash {} / validate {}",
+        secure.hde.decrypt, secure.hde.hash, secure.hde.validate
+    );
+    Ok(())
+}

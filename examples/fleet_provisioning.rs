@@ -1,0 +1,91 @@
+//! Fleet provisioning: one source, many devices; one device, many
+//! sources; key-epoch rotation.
+//!
+//! Reproduces §III-1's scaling claims: "ERIC is suitable for compiling
+//! from a single software source for multiple target hardware or
+//! creating multiple trusted software sources for single target
+//! hardware ... ERIC does not have a scaling problem for multiple
+//! targets or sources."
+//!
+//! Run with: `cargo run --example fleet_provisioning`
+
+use eric::core::{Device, EncryptionConfig, SoftwareSource};
+use eric::puf::crp::CrpDatabase;
+
+const FIRMWARE: &str = r#"
+    main:
+        li   t0, 6
+        li   t1, 7
+        mul  a0, t0, t1
+        li   a7, 93
+        ecall
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- One source, a fleet of ten unique devices. ---
+    let vendor = SoftwareSource::new("fleet-vendor");
+    let mut fleet: Vec<Device> = (0..10)
+        .map(|i| Device::with_seed(1000 + i, &format!("fleet/unit-{i}")))
+        .collect();
+
+    let mut db = CrpDatabase::new();
+    println!("enrolling {} devices...", fleet.len());
+    for device in &mut fleet {
+        let cred = device.enroll();
+        db.enroll_as(
+            &format!("record/{}", device.id()),
+            device.id(),
+            device.loader().keys().puf(),
+            &cred.challenge,
+            cred.epoch,
+        );
+    }
+    println!("CRP database holds {} records", db.len());
+
+    // Build one package per device (each keyed to that device's PUF).
+    let mut packages = Vec::new();
+    for device in &mut fleet {
+        let cred = device.enroll();
+        packages.push(vendor.build(FIRMWARE, &cred, &EncryptionConfig::full())?);
+    }
+
+    // Every device runs its own package; no device runs a sibling's.
+    let mut cross_rejections = 0;
+    for (i, device) in fleet.iter_mut().enumerate() {
+        let own = device.install_and_run(&packages[i])?;
+        assert_eq!(own.exit_code, 42);
+        let sibling = &packages[(i + 1) % 10];
+        if device.install_and_run(sibling).is_err() {
+            cross_rejections += 1;
+        }
+    }
+    println!("all 10 devices ran their own firmware; {cross_rejections}/10 sibling packages rejected");
+
+    // --- Two independent vendors serving the same device. ---
+    let mut shared = Device::with_seed(5000, "multi-vendor-unit");
+    let vendor_a = SoftwareSource::new("vendor-a");
+    let vendor_b = SoftwareSource::new("vendor-b");
+    let cred = shared.enroll();
+    let pkg_a = vendor_a.build(FIRMWARE, &cred, &EncryptionConfig::full())?;
+    let pkg_b = vendor_b.build(FIRMWARE, &cred, &EncryptionConfig::full())?;
+    assert_eq!(shared.install_and_run(&pkg_a)?.exit_code, 42);
+    assert_eq!(shared.install_and_run(&pkg_b)?.exit_code, 42);
+    println!("one device accepted firmware from two independent sources");
+
+    // --- Epoch rotation revokes the field population. ---
+    let mut revoked = Device::with_seed(6000, "revocable-unit");
+    let old_cred = revoked.enroll();
+    let old_pkg = vendor.build(FIRMWARE, &old_cred, &EncryptionConfig::full())?;
+    assert_eq!(revoked.install_and_run(&old_pkg)?.exit_code, 42);
+    revoked.rotate_epoch();
+    assert!(revoked.install_and_run(&old_pkg).is_err());
+    let new_cred = revoked.enroll();
+    let new_pkg = vendor.build(
+        FIRMWARE,
+        &new_cred,
+        &EncryptionConfig::full().with_epoch(revoked.epoch()),
+    )?;
+    assert_eq!(revoked.install_and_run(&new_pkg)?.exit_code, 42);
+    println!("epoch rotation revoked the old package and re-keying restored service");
+    Ok(())
+}

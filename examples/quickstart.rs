@@ -1,0 +1,80 @@
+//! Quickstart: the complete ERIC flow on one page.
+//!
+//! Walks the paper's six numbered steps (Figure 3): PUF-based key
+//! generation and enrollment, configuration, encrypted compilation,
+//! transport over an untrusted channel, HDE decryption + validation,
+//! and execution in the trusted zone.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use eric::core::{Channel, Device, EncryptionConfig, SoftwareSource};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 1 — the device's arbiter PUF gives it an unclonable
+    // identity; enrollment hands the *derived* PUF-based key (never the
+    // raw PUF key) to the vendor.
+    let mut device = Device::with_seed(2024, "field-unit-07");
+    let credential = device.enroll();
+    println!("[1] enrolled {:?} at epoch {}", device.id(), credential.epoch);
+
+    // Step 2 — choose the encryption configuration (the paper's GUI).
+    let config = EncryptionConfig::full();
+    println!("[2] configuration: {config:?}");
+
+    // Step 3 — the software source compiles, signs (SHA-256), encrypts
+    // (XOR cipher keyed by the PUF-based key) and packages the program.
+    let source = SoftwareSource::new("acme-firmware");
+    let program = r#"
+        # Compute 21 * 2 the hard way and exit with the result.
+        main:
+            li   t0, 21
+            li   a0, 0
+        loop:
+            addi a0, a0, 2
+            addi t0, t0, -1
+            bnez t0, loop
+            li   a7, 93
+            ecall
+    "#;
+    let package = source.build(program, &credential, &config)?;
+    let size = package.size_report();
+    println!(
+        "[3] built package: {} payload bytes, +{} signature bits, {:.2}% size increase",
+        size.plain_bytes,
+        size.signature_bits,
+        size.increase_pct()
+    );
+
+    // Step 4 — the package crosses an untrusted network. An
+    // eavesdropper sees only ciphertext.
+    let channel = Channel::trusted_free();
+    let wire = channel.eavesdrop(&package);
+    println!("[4] transmitted {} wire bytes (ciphertext only)", wire.len());
+    let received = channel.transmit(&package)?;
+
+    // Steps 5 & 6 — the HDE decrypts with the device's own PUF-based
+    // key, regenerates the signature, validates, and only then releases
+    // the program to the SoC.
+    let report = device.install_and_run(&received)?;
+    println!(
+        "[5] HDE: decrypt {} + hash {} + validate {} cycles",
+        report.hde.decrypt, report.hde.hash, report.hde.validate
+    );
+    println!(
+        "[6] executed: exit code {}, {} instructions, {} cycles (CPI {:.2})",
+        report.exit_code,
+        report.run.instructions,
+        report.run.cycles,
+        report.run.cpi()
+    );
+    assert_eq!(report.exit_code, 42);
+
+    // And the property that makes it all matter: another device cannot
+    // run the same package.
+    let mut imposter = Device::with_seed(9999, "cloned-board");
+    match imposter.install_and_run(&received) {
+        Err(e) => println!("[x] imposter device rejected the package: {e}"),
+        Ok(_) => unreachable!("package must not run on foreign hardware"),
+    }
+    Ok(())
+}

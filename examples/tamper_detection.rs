@@ -1,0 +1,78 @@
+//! Tamper detection and two-way authentication (threat model §II-C).
+//!
+//! Exercises all four threats the paper defends against:
+//! (i) static analysis of an intercepted package,
+//! (ii) unknown-origin code pushed to a device,
+//! (iii) a licensed program replayed onto unlicensed hardware, and
+//! (iv) modification / soft errors in transit.
+//!
+//! Run with: `cargo run --example tamper_detection`
+
+use eric::core::analysis;
+use eric::core::{Attacker, Channel, Device, EncryptionConfig, SoftwareSource};
+
+const PROGRAM: &str = r#"
+    main:
+        li   a0, 7
+        slli a0, a0, 2      # 28
+        addi a0, a0, 14     # 42 — the trade secret algorithm
+        li   a7, 93
+        ecall
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut device = Device::with_seed(5, "licensed-unit");
+    let cred = device.enroll();
+    let source = SoftwareSource::new("vendor");
+    let package = source.build(PROGRAM, &cred, &EncryptionConfig::full())?;
+
+    // (i) Static analysis: the intercepted text section is noise.
+    let plain = source.compile(PROGRAM, false)?;
+    let enc_text = &package.payload[..package.text_len as usize];
+    let report = analysis::compare(&plain.text, enc_text);
+    println!(
+        "(i) static analysis: entropy {:.2} -> {:.2} bits/byte, decode ratio {:.2} -> {:.2}",
+        report.plain_entropy,
+        report.cipher_entropy,
+        report.plain_decode_ratio,
+        report.cipher_decode_ratio
+    );
+
+    // (ii) Unknown-origin code: an attacker substitutes the payload.
+    let substituted = Channel::with_attacker(Attacker::SubstitutePayload { filler: 0x13 })
+        .transmit(&package)?;
+    match device.install_and_run(&substituted) {
+        Err(e) => println!("(ii) foreign payload rejected: {e}"),
+        Ok(_) => unreachable!("substituted payload must not run"),
+    }
+
+    // (iii) Unlicensed hardware: replaying the package to another chip.
+    let mut unlicensed = Device::with_seed(6, "gray-market-unit");
+    match unlicensed.install_and_run(&package) {
+        Err(e) => println!("(iii) unlicensed hardware rejected: {e}"),
+        Ok(_) => unreachable!("package must not run on unlicensed hardware"),
+    }
+
+    // (iv) Bit errors in transit (malicious or soft errors): flip every
+    // byte of the payload once and count detections.
+    let wire_len = package.to_wire().len();
+    let payload_start = wire_len - package.payload.len();
+    let mut detected = 0;
+    let mut total = 0;
+    for byte in payload_start..wire_len {
+        total += 1;
+        let ch = Channel::with_attacker(Attacker::BitFlip { byte, bit: (byte % 8) as u8 });
+        let delivered = ch.transmit(&package)?;
+        if device.install_and_run(&delivered).is_err() {
+            detected += 1;
+        }
+    }
+    println!("(iv) payload bit flips detected: {detected}/{total}");
+    assert_eq!(detected, total);
+
+    // Finally: the genuine package still runs on the genuine device.
+    let ok = device.install_and_run(&package)?;
+    println!("genuine package on genuine device: exit {}", ok.exit_code);
+    assert_eq!(ok.exit_code, 42);
+    Ok(())
+}

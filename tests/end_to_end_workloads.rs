@@ -1,0 +1,84 @@
+//! Full-pipeline integration: all ten workloads through compile →
+//! sign → encrypt → transmit → decrypt → validate → execute, checked
+//! against their golden models.
+
+use eric::core::{Channel, Device, EncryptionConfig, SoftwareSource};
+use eric::workloads::all;
+
+#[test]
+fn all_workloads_run_encrypted_and_match_golden() {
+    let source = SoftwareSource::new("src");
+    let mut device = Device::with_seed(100, "dev");
+    let cred = device.enroll();
+    let channel = Channel::trusted_free();
+
+    for w in all() {
+        let asm = (w.source)(w.smoke_scale);
+        let pkg = source
+            .build(&asm, &cred, &EncryptionConfig::full())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let delivered = channel.transmit(&pkg).unwrap();
+        let report = device
+            .install_and_run(&delivered)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(
+            report.exit_code,
+            (w.golden)(w.smoke_scale),
+            "{} diverged under encryption",
+            w.name
+        );
+        assert!(report.hde.hash > 0, "{}: HDE cycles missing", w.name);
+    }
+}
+
+#[test]
+fn encrypted_execution_cycles_equal_plain_execution_cycles() {
+    // ERIC decrypts before execution, so the *executed* cycles are
+    // identical; only the load differs. ("It does not directly affect
+    // the execution process" — §V.)
+    let source = SoftwareSource::new("src");
+    let mut device = Device::with_seed(101, "dev");
+    let cred = device.enroll();
+
+    for w in all().iter().take(3) {
+        let asm = (w.source)(w.smoke_scale);
+        let image = source.compile(&asm, false).unwrap();
+        let plain = device.run_plain(&image).unwrap();
+        let pkg = source.build(&asm, &cred, &EncryptionConfig::full()).unwrap();
+        let secure = device.install_and_run(&pkg).unwrap();
+        assert_eq!(plain.run.cycles, secure.run.cycles, "{}", w.name);
+        assert_eq!(plain.run.instructions, secure.run.instructions, "{}", w.name);
+        assert!(secure.load_cycles > plain.load_cycles, "{}", w.name);
+    }
+}
+
+#[test]
+fn partial_encryption_preserves_workload_results() {
+    let source = SoftwareSource::new("src");
+    let mut device = Device::with_seed(102, "dev");
+    let cred = device.enroll();
+    for w in all().iter().take(3) {
+        let asm = (w.source)(w.smoke_scale);
+        for fraction in [0.25, 0.75] {
+            let pkg = source
+                .build(&asm, &cred, &EncryptionConfig::partial(fraction, 5))
+                .unwrap();
+            let report = device.install_and_run(&pkg).unwrap();
+            assert_eq!(report.exit_code, (w.golden)(w.smoke_scale), "{}", w.name);
+        }
+    }
+}
+
+#[test]
+fn compressed_packages_preserve_workload_results() {
+    let source = SoftwareSource::new("src");
+    let mut device = Device::with_seed(103, "dev");
+    let cred = device.enroll();
+    for w in all().iter().take(3) {
+        let asm = (w.source)(w.smoke_scale);
+        let cfg = EncryptionConfig::full().with_compression(true);
+        let pkg = source.build(&asm, &cred, &cfg).unwrap();
+        let report = device.install_and_run(&pkg).unwrap();
+        assert_eq!(report.exit_code, (w.golden)(w.smoke_scale), "{}", w.name);
+    }
+}

@@ -1,0 +1,296 @@
+//! Targeted ISA-compliance tests for the simulator: architectural
+//! corner cases that golden-model workloads may not reach.
+
+use eric_asm::{assemble, AsmOptions};
+use eric_sim::soc::{Soc, SocConfig};
+
+/// Assemble, run, return the exit code.
+fn run(src: &str) -> i64 {
+    let full = format!("{src}\n    li a7, 93\n    ecall\n");
+    let image = assemble(&full, &AsmOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    let mut soc = Soc::new(SocConfig::default());
+    soc.load_image(&image).unwrap();
+    soc.run(1_000_000).unwrap_or_else(|e| panic!("{e}")).exit_code
+}
+
+#[test]
+fn mulh_variants_on_extreme_values() {
+    // mulh(i64::MIN, i64::MIN) high half = 2^62 >> ... compute: (-2^63)^2 = 2^126 -> high = 2^62.
+    assert_eq!(
+        run("li t0, -9223372036854775808\n mulh a0, t0, t0\n srai a0, a0, 60"),
+        4 // 2^62 >> 60 = 4
+    );
+    // mulhu(u64::MAX, u64::MAX) = 0xFFFF...FE
+    assert_eq!(
+        run("li t0, -1\n mulhu a0, t0, t0\n xori a0, a0, -1"), // !0xFF..FE = 1
+        1
+    );
+    // mulhsu(-1, u64::MAX): (-1) * 2^64-1 = -(2^64-1) -> high = -1.
+    assert_eq!(run("li t0, -1\n mulhsu a0, t0, t0\n sub a0, zero, a0"), 1);
+}
+
+#[test]
+fn division_overflow_semantics() {
+    // i64::MIN / -1 = i64::MIN (no trap), remainder 0.
+    assert_eq!(
+        run("li t0, -9223372036854775808\n li t1, -1\n div a0, t0, t1\n srai a0, a0, 62"),
+        -2 // MIN >> 62 (arithmetic) = -2
+    );
+    assert_eq!(
+        run("li t0, -9223372036854775808\n li t1, -1\n rem a0, t0, t1"),
+        0
+    );
+    // divw overflow: i32::MIN / -1 = i32::MIN, sign extended.
+    assert_eq!(
+        run("li t0, -2147483648\n li t1, -1\n divw a0, t0, t1\n sraiw a0, a0, 30"),
+        -2
+    );
+}
+
+#[test]
+fn word_shift_semantics() {
+    // sraw uses only the low 5 bits of the shift amount.
+    assert_eq!(run("li t0, -64\n li t1, 36\n sraw a0, t0, t1"), -4); // shift by 4
+    // srlw zero-fills bit 31 then sign-extends the 32-bit result.
+    assert_eq!(
+        run("li t0, 0x80000000\n li t1, 31\n srlw a0, t0, t1"),
+        1
+    );
+    // slliw discards bits above 31 before sign extension.
+    assert_eq!(run("li t0, 1\n slliw a0, t0, 31\n srai a0, a0, 31"), -1);
+}
+
+#[test]
+fn sltu_and_comparison_edges() {
+    assert_eq!(run("li t0, -1\n li t1, 1\n sltu a0, t1, t0"), 1); // unsigned: -1 is max
+    assert_eq!(run("li t0, -1\n li t1, 1\n slt a0, t0, t1"), 1); // signed
+    assert_eq!(run("li t0, 5\n sltiu a0, t0, 5"), 0);
+    assert_eq!(run("li t0, 4\n sltiu a0, t0, 5"), 1);
+}
+
+#[test]
+fn lr_sc_failure_path() {
+    // SC without a matching reservation must fail (rd = 1) and not
+    // store.
+    let src = r#"
+    .data
+    cell: .dword 42
+    .text
+    main:
+        la   t0, cell
+        li   t1, 99
+        sc.d a0, t1, (t0)     # no reservation -> fails
+        ld   t2, 0(t0)
+        # a0 = 1 (failure), cell untouched (42): return a0*100 + (t2==42)
+        li   t3, 42
+        xor  t4, t2, t3
+        seqz t4, t4
+        li   t5, 100
+        mul  a0, a0, t5
+        add  a0, a0, t4
+"#;
+    assert_eq!(run(src), 101);
+}
+
+#[test]
+fn reservation_cleared_by_other_store() {
+    // In this simple model, SC succeeds only if the reservation address
+    // matches; an intervening SC consumes it.
+    let src = r#"
+    .data
+    cell: .dword 7
+    .text
+    main:
+        la   t0, cell
+        lr.d t1, (t0)
+        sc.d a0, t1, (t0)     # succeeds -> 0
+        sc.d a1, t1, (t0)     # second SC fails -> 1
+        slli a1, a1, 1
+        add  a0, a0, a1
+"#;
+    assert_eq!(run(src), 2);
+}
+
+#[test]
+fn amo_signed_unsigned_minmax() {
+    let src = r#"
+    .data
+    cell: .word -5
+    .text
+    main:
+        la   t0, cell
+        li   t1, 3
+        amomax.w a0, t1, (t0)     # old = -5, cell = max(-5,3) = 3
+        li   t1, -7
+        amominu.w a1, t1, (t0)    # unsigned: -7 is huge, cell stays 3
+        lw   a2, 0(t0)
+        # result: old1(-5) + old2(3) + final(3) = 1
+        add  a0, a0, a1
+        add  a0, a0, a2
+"#;
+    assert_eq!(run(src), 1);
+}
+
+#[test]
+fn nan_boxing_of_single_precision() {
+    // Writing an f32 NaN-boxes it; reading it back via fmv.x.w
+    // sign-extends the 32-bit pattern.
+    let src = r#"
+    main:
+        li   t0, 1
+        fcvt.s.w fa0, t0          # 1.0f = 0x3F800000
+        fmv.x.w a0, fa0
+        li   t1, 0x3F800000
+        xor  a0, a0, t1
+"#;
+    assert_eq!(run(src), 0);
+    // A double op reading a boxed f32 register sees NaN (boxing rule).
+    let src = r#"
+    main:
+        li   t0, 1
+        fcvt.s.w fa0, t0          # fa0 holds a NaN-boxed f32
+        fmv.x.d  a0, fa0          # raw bits: upper 32 all ones
+        srli     a0, a0, 32
+        li       t1, 0xFFFFFFFF
+        xor      a0, a0, t1
+"#;
+    assert_eq!(run(src), 0);
+}
+
+#[test]
+fn fp_min_max_and_compare() {
+    let src = r#"
+    main:
+        li t0, 3
+        li t1, -2
+        fcvt.d.l fa0, t0
+        fcvt.d.l fa1, t1
+        fmin.d fa2, fa0, fa1
+        fmax.d fa3, fa0, fa1
+        fcvt.l.d a0, fa2          # -2
+        fcvt.l.d a1, fa3          # 3
+        flt.d a2, fa1, fa0        # 1
+        fle.d a3, fa0, fa0        # 1
+        feq.d a4, fa0, fa1        # 0
+        add a0, a0, a1            # 1
+        add a0, a0, a2            # 2
+        add a0, a0, a3            # 3
+        add a0, a0, a4            # 3
+"#;
+    assert_eq!(run(src), 3);
+}
+
+#[test]
+fn fsgnj_family() {
+    let src = r#"
+    main:
+        li t0, 5
+        li t1, -3
+        fcvt.d.l fa0, t0          # +5
+        fcvt.d.l fa1, t1          # -3
+        fsgnj.d  fa2, fa0, fa1    # -5
+        fsgnjn.d fa3, fa1, fa1    # +3
+        fsgnjx.d fa4, fa0, fa1    # -5
+        fcvt.l.d a0, fa2
+        fcvt.l.d a1, fa3
+        fcvt.l.d a2, fa4
+        add a0, a0, a1            # -2
+        add a0, a0, a2            # -7
+"#;
+    assert_eq!(run(src), -7);
+}
+
+#[test]
+fn fmadd_rounding_free_case() {
+    // 2*3 + 4 = 10 and the negated forms.
+    let src = r#"
+    main:
+        li t0, 2
+        li t1, 3
+        li t2, 4
+        fcvt.d.l fa0, t0
+        fcvt.d.l fa1, t1
+        fcvt.d.l fa2, t2
+        fmadd.d  fa3, fa0, fa1, fa2   # 10
+        fmsub.d  fa4, fa0, fa1, fa2   # 2
+        fnmsub.d fa5, fa0, fa1, fa2   # -2
+        fnmadd.d fa6, fa0, fa1, fa2   # -10
+        fcvt.l.d a0, fa3
+        fcvt.l.d a1, fa4
+        fcvt.l.d a2, fa5
+        fcvt.l.d a3, fa6
+        add a0, a0, a1                # 12
+        add a0, a0, a2                # 10
+        add a0, a0, a3                # 0
+"#;
+    assert_eq!(run(src), 0);
+}
+
+#[test]
+fn fclass_from_assembly() {
+    // fclass of +1.0 sets bit 6 (positive normal).
+    let src = r#"
+    main:
+        li t0, 1
+        fcvt.d.l fa0, t0
+        fclass.d a0, fa0
+"#;
+    assert_eq!(run(src), 1 << 6);
+}
+
+#[test]
+fn byte_halfword_store_truncation() {
+    let src = r#"
+    .data
+    buf: .dword 0
+    .text
+    main:
+        la t0, buf
+        li t1, 0x1234
+        sb t1, 0(t0)          # stores 0x34 only
+        lw a0, 0(t0)
+"#;
+    assert_eq!(run(src), 0x34);
+}
+
+#[test]
+fn misaligned_pc_via_jalr_clears_bit0() {
+    // JALR clears bit 0 of the target per the spec, so an odd target
+    // executes from target & !1.
+    let src = r#"
+    main:
+        la   t0, dest
+        addi t0, t0, 1
+        jalr ra, 0(t0)        # lands on dest anyway
+        li   a0, 0
+    dest:
+        li   a0, 55
+"#;
+    assert_eq!(run(src), 55);
+}
+
+#[test]
+fn rdinstret_counts_compressed_and_full_equally() {
+    let plain = "main:\n li t0, 3\nl:\n addi t0, t0, -1\n bnez t0, l\n rdinstret a0\n";
+    let a = {
+        let image = assemble(
+            &format!("{plain}\n li a7, 93\n ecall\n"),
+            &AsmOptions::default(),
+        )
+        .unwrap();
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&image).unwrap();
+        soc.run(1_000_000).unwrap().exit_code
+    };
+    let b = {
+        let image = assemble(
+            &format!("{plain}\n li a7, 93\n ecall\n"),
+            &AsmOptions::compressed(),
+        )
+        .unwrap();
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&image).unwrap();
+        soc.run(1_000_000).unwrap().exit_code
+    };
+    assert_eq!(a, b, "instret must be length-independent");
+}

@@ -1,0 +1,221 @@
+//! Property-based tests over the core invariants.
+
+use eric::crypto::bignum::BigUint;
+use eric::crypto::cipher::{CipherKind, KeystreamCipher, ShaCtrCipher, XorCipher};
+use eric::crypto::sha256::{sha256, Sha256};
+use eric::hde::map::{CoverageMap, ParcelBitmap};
+use eric::hde::transform::{transform_payload, transform_signature};
+use eric::isa::decode::decode;
+use eric::isa::encode::encode;
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental SHA-256 equals one-shot for any chunking.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..600),
+                                 cuts in proptest::collection::vec(0usize..600, 0..8)) {
+        let want = sha256(&data);
+        let mut points: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for p in points {
+            h.update(&data[prev..p]);
+            prev = p;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// Keystream ciphers are involutions at any offset.
+    #[test]
+    fn cipher_involution(key in proptest::collection::vec(any::<u8>(), 1..40),
+                         data in proptest::collection::vec(any::<u8>(), 0..300),
+                         offset in 0u64..10_000) {
+        for kind in [CipherKind::Xor, CipherKind::ShaCtr] {
+            let cipher = kind.instantiate(&key);
+            let mut buf = data.clone();
+            cipher.apply(offset, &mut buf);
+            cipher.apply(offset, &mut buf);
+            prop_assert_eq!(&buf, &data);
+        }
+    }
+
+    /// Fragment decryption at absolute positions equals whole-buffer
+    /// decryption (the property partial encryption rests on).
+    #[test]
+    fn cipher_positional_consistency(key in proptest::collection::vec(any::<u8>(), 1..16),
+                                     data in proptest::collection::vec(any::<u8>(), 2..200),
+                                     split in 1usize..199) {
+        let split = split % data.len().max(1);
+        let xor = XorCipher::new(&key);
+        let sha = ShaCtrCipher::new(&key);
+        for cipher in [&xor as &dyn KeystreamCipher, &sha] {
+            let mut whole = data.clone();
+            cipher.apply(0, &mut whole);
+            let mut head = data[..split].to_vec();
+            let mut tail = data[split..].to_vec();
+            cipher.apply(0, &mut head);
+            cipher.apply(split as u64, &mut tail);
+            head.extend_from_slice(&tail);
+            prop_assert_eq!(head, whole);
+        }
+    }
+
+    /// The map-aware transform is an involution for arbitrary maps, and
+    /// never touches unmapped parcels.
+    #[test]
+    fn transform_involution_and_containment(
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        marks in proptest::collection::vec(any::<bool>(), 0..128),
+    ) {
+        let parcels = data.len().div_ceil(2);
+        let mut bitmap = ParcelBitmap::new(parcels);
+        for (i, &m) in marks.iter().take(parcels).enumerate() {
+            if m {
+                bitmap.set(i);
+            }
+        }
+        let map = CoverageMap::Partial(bitmap.clone());
+        let cipher = XorCipher::new(&key);
+        let mut buf = data.clone();
+        transform_payload(&mut buf, &map, None, data.len(), &cipher);
+        // Containment: unmarked parcels unchanged.
+        for (pos, (a, b)) in data.iter().zip(buf.iter()).enumerate() {
+            if !map.covers_byte(pos) {
+                prop_assert_eq!(a, b, "unmarked byte {} changed", pos);
+            }
+        }
+        // Involution.
+        transform_payload(&mut buf, &map, None, data.len(), &cipher);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Signature transform is an involution and never overlaps payload
+    /// keystream positions.
+    #[test]
+    fn signature_transform_involution(key in proptest::collection::vec(any::<u8>(), 1..32),
+                                      sig in any::<[u8; 32]>(),
+                                      payload_len in 0usize..10_000) {
+        let cipher = XorCipher::new(&key);
+        let mut s = sig;
+        transform_signature(&mut s, payload_len, &cipher);
+        transform_signature(&mut s, payload_len, &cipher);
+        prop_assert_eq!(s, sig);
+    }
+
+    /// Every 32-bit word that decodes must re-encode to itself.
+    #[test]
+    fn decode_encode_roundtrip(w in any::<u32>()) {
+        if let Ok(inst) = decode(w) {
+            let back = encode(&inst).expect("decoded instructions must encode");
+            prop_assert_eq!(back, w, "{}", inst);
+        }
+    }
+
+    /// Bignum: (a + b) - b == a, and division identity.
+    #[test]
+    fn bignum_add_sub_div(a in proptest::collection::vec(any::<u8>(), 0..24),
+                          b in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let a = BigUint::from_bytes_be(&a);
+        let b = BigUint::from_bytes_be(&b);
+        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
+        if !b.is_zero() {
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+        }
+    }
+
+    /// Bignum byte roundtrip.
+    #[test]
+    fn bignum_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let n = BigUint::from_bytes_be(&bytes);
+        let back = BigUint::from_bytes_be(&n.to_bytes_be());
+        prop_assert_eq!(n, back);
+    }
+
+    /// Parcel bitmaps roundtrip through serialization.
+    #[test]
+    fn bitmap_roundtrip(marks in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut bm = ParcelBitmap::new(marks.len());
+        for (i, &m) in marks.iter().enumerate() {
+            if m {
+                bm.set(i);
+            }
+        }
+        let back = ParcelBitmap::from_bytes(bm.to_bytes(), marks.len());
+        prop_assert_eq!(&back, &bm);
+        for (i, &m) in marks.iter().enumerate() {
+            prop_assert_eq!(back.get(i), m);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End-to-end: random programs of straight-line arithmetic survive
+    /// the whole encrypt/decrypt pipeline and compute the same result
+    /// as a direct (plain) run.
+    #[test]
+    fn random_programs_run_identically_encrypted(ops in proptest::collection::vec(0u8..6, 1..40),
+                                                 seed in 0u64..1000) {
+        use eric::core::{Device, EncryptionConfig, SoftwareSource};
+        // Build a random straight-line program over a0.
+        let mut src = String::from("main:\n    li a0, 1\n    li t0, 3\n");
+        for op in &ops {
+            src.push_str(match op {
+                0 => "    addi a0, a0, 5\n",
+                1 => "    slli a0, a0, 1\n",
+                2 => "    xori a0, a0, 0x2A\n",
+                3 => "    add  a0, a0, t0\n",
+                4 => "    mul  a0, a0, t0\n",
+                _ => "    srli a0, a0, 1\n",
+            });
+        }
+        src.push_str("    li t1, 0x7fffffff\n    and a0, a0, t1\n    li a7, 93\n    ecall\n");
+
+        let source = SoftwareSource::new("prop");
+        let mut device = Device::with_seed(seed.wrapping_add(7), "prop-dev");
+        let cred = device.enroll();
+        let image = source.compile(&src, false).unwrap();
+        let plain = device.run_plain(&image).unwrap();
+        let pkg = source.build(&src, &cred, &EncryptionConfig::full()).unwrap();
+        let secure = device.install_and_run(&pkg).unwrap();
+        prop_assert_eq!(plain.exit_code, secure.exit_code);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `li` must load *any* 64-bit constant exactly (the multi-step
+    /// lui/addiw/slli/addi expansion is easy to get subtly wrong).
+    #[test]
+    fn li_loads_every_constant_exactly(value in any::<i64>()) {
+        use eric_asm::{assemble, AsmOptions};
+        use eric_sim::soc::{Soc, SocConfig};
+        let src = format!("main:\n li a5, {value}\n li a0, 0\n li a7, 93\n ecall\n");
+        let image = assemble(&src, &AsmOptions::default()).unwrap();
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&image).unwrap();
+        soc.run(1000).unwrap();
+        prop_assert_eq!(soc.cpu().reg(15) as i64, value);
+    }
+
+    /// The same constants must also load exactly in compressed builds.
+    #[test]
+    fn li_loads_exactly_when_compressed(value in any::<i64>()) {
+        use eric_asm::{assemble, AsmOptions};
+        use eric_sim::soc::{Soc, SocConfig};
+        let src = format!("main:\n li a5, {value}\n li a0, 0\n li a7, 93\n ecall\n");
+        let image = assemble(&src, &AsmOptions::compressed()).unwrap();
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&image).unwrap();
+        soc.run(1000).unwrap();
+        prop_assert_eq!(soc.cpu().reg(15) as i64, value);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integrity: every modification in transit is detected (threat (iv)).
+
+use eric::core::{Attacker, Channel, Device, EncryptionConfig, SoftwareSource};
+
+const PROGRAM: &str = r#"
+    .data
+    secret: .word 0xCAFE, 0xBABE
+    .text
+    main:
+        la  t0, secret
+        lw  a0, 0(t0)
+        li  a7, 93
+        ecall
+"#;
+
+fn setup(seed: u64) -> (Device, eric::core::Package) {
+    let mut device = Device::with_seed(seed, "dev");
+    let cred = device.enroll();
+    let source = SoftwareSource::new("src");
+    let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+    (device, pkg)
+}
+
+/// Exhaustive single-bit-flip sweep over the entire wire image: every
+/// flip must be caught by framing or by the HDE. (This subsumes soft
+/// errors in storage, the paper's fourth threat.)
+#[test]
+fn every_single_bit_flip_across_the_wire_is_detected() {
+    let (mut device, pkg) = setup(1);
+    let wire = pkg.to_wire();
+    let baseline = device.install_and_run(&pkg).unwrap().exit_code;
+    let mut undetected = Vec::new();
+    for byte in 0..wire.len() {
+        for bit in 0..8u8 {
+            let ch = Channel::with_attacker(Attacker::BitFlip { byte, bit });
+            match ch.transmit(&pkg) {
+                Err(_) => {} // framing rejected
+                Ok(delivered) => {
+                    if delivered == pkg {
+                        // Flip landed in padding-free equality? Can't
+                        // happen: every wire byte is live.
+                        undetected.push((byte, bit, "no-op flip"));
+                    } else if let Ok(report) = device.install_and_run(&delivered) {
+                        // Accepted: only a problem if the observable
+                        // behaviour could diverge. With AAD + payload
+                        // fully signed, nothing should be accepted.
+                        undetected.push((byte, bit, if report.exit_code == baseline { "accepted" } else { "diverged" }));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        undetected.is_empty(),
+        "{} undetected flips, first: {:?}",
+        undetected.len(),
+        undetected.first()
+    );
+}
+
+#[test]
+fn truncation_at_every_length_is_detected() {
+    let (_, pkg) = setup(2);
+    let wire_len = pkg.to_wire().len();
+    for keep in 0..wire_len {
+        let ch = Channel::with_attacker(Attacker::Truncate { keep });
+        assert!(ch.transmit(&pkg).is_err(), "truncation to {keep} parsed");
+    }
+}
+
+#[test]
+fn nonce_replay_with_modified_metadata_fails() {
+    let (mut device, pkg) = setup(3);
+    // Re-point the entry somewhere else, keep everything else intact.
+    let mut forged = pkg.clone();
+    forged.entry += 4;
+    assert!(device.install_and_run(&forged).is_err(), "entry tamper accepted");
+
+    let mut forged = pkg.clone();
+    forged.text_base += 8;
+    assert!(device.install_and_run(&forged).is_err(), "base tamper accepted");
+
+    let mut forged = pkg.clone();
+    forged.nonce ^= 1;
+    assert!(device.install_and_run(&forged).is_err(), "nonce tamper accepted");
+}
+
+#[test]
+fn map_tampering_fails() {
+    let mut device = Device::with_seed(4, "dev");
+    let cred = device.enroll();
+    let source = SoftwareSource::new("src");
+    let pkg = source
+        .build(PROGRAM, &cred, &EncryptionConfig::partial(0.5, 7))
+        .unwrap();
+    assert!(device.install_and_run(&pkg).is_ok());
+    // Flip one map bit on the wire: a parcel gets (un)decrypted wrongly.
+    let wire = pkg.to_wire();
+    // The map lives between the challenge and the signature; locate it
+    // by re-serializing with a marker-free approach: flip bytes in the
+    // map region computed from the layout.
+    // magic + cipher + policy + 5×u64 + 2×u32 + challenge_len u16 +
+    // challenge bytes + map tag + granularity + parcels u32.
+    let map_region_start = 5 + 1 + 1 + 8 * 5 + 4 + 4 + 2 + pkg.challenge.len() + 1 + 1 + 4;
+    let map_len = pkg.map.wire_len();
+    let mut caught = 0;
+    for i in 0..map_len {
+        let mut w = wire.clone();
+        w[map_region_start + i] ^= 0x01;
+        match eric::core::Package::from_wire(&w) {
+            Err(_) => caught += 1,
+            Ok(p) => {
+                if device.install_and_run(&p).is_err() {
+                    caught += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(caught, map_len, "some map tampering went undetected");
+}

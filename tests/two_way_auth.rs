@@ -1,0 +1,97 @@
+//! Two-way authentication integration tests (paper §III, Figure 2).
+//!
+//! "The program runs only on the target hardware and the target
+//! hardware only executes the programs written for it."
+
+use eric::core::{Device, EncryptionConfig, EricError, SoftwareSource};
+use eric::hde::FieldPolicy;
+
+const PROGRAM: &str = r#"
+    main:
+        li   a0, 123
+        li   a7, 93
+        ecall
+"#;
+
+#[test]
+fn genuine_device_runs_genuine_package() {
+    let mut device = Device::with_seed(1, "dev");
+    let cred = device.enroll();
+    let source = SoftwareSource::new("src");
+    let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+    assert_eq!(device.install_and_run(&pkg).unwrap().exit_code, 123);
+}
+
+#[test]
+fn every_other_device_rejects_the_package() {
+    let mut device = Device::with_seed(1, "dev");
+    let cred = device.enroll();
+    let source = SoftwareSource::new("src");
+    let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+    for seed in 2..12 {
+        let mut other = Device::with_seed(seed, "other");
+        assert!(
+            matches!(other.install_and_run(&pkg), Err(EricError::Rejected(_))),
+            "device seed {seed} accepted a foreign package"
+        );
+    }
+}
+
+#[test]
+fn device_rejects_packages_from_unenrolled_sources() {
+    // A source that never did the handshake guesses a key.
+    use eric::crypto::kdf::DerivedKey;
+    use eric::puf::crp::{Challenge, EnrollmentRecord};
+
+    let mut device = Device::with_seed(3, "dev");
+    device.enroll();
+    let rogue_cred = EnrollmentRecord {
+        device_id: "dev".into(),
+        challenge: Challenge::from_bytes(&[0x5A; 32]),
+        epoch: 0,
+        key: DerivedKey::from_bytes([0x42; 32]), // guessed, not the PUF's
+    };
+    let rogue = SoftwareSource::new("rogue");
+    let pkg = rogue.build(PROGRAM, &rogue_cred, &EncryptionConfig::full()).unwrap();
+    assert!(device.install_and_run(&pkg).is_err());
+}
+
+#[test]
+fn all_encryption_modes_authenticate_end_to_end() {
+    let mut device = Device::with_seed(4, "dev");
+    let cred = device.enroll();
+    let source = SoftwareSource::new("src");
+    let configs = [
+        EncryptionConfig::full(),
+        EncryptionConfig::partial(0.1, 1),
+        EncryptionConfig::partial(0.9, 2),
+        EncryptionConfig::field_level(FieldPolicy::MemoryPointers),
+        EncryptionConfig::field_level(FieldPolicy::AllButOpcode),
+        EncryptionConfig::full().with_compression(true),
+        EncryptionConfig::partial(0.5, 3).with_compression(true),
+        EncryptionConfig::full().with_cipher(eric::crypto::cipher::CipherKind::ShaCtr),
+    ];
+    for config in configs {
+        let pkg = source.build(PROGRAM, &cred, &config).unwrap();
+        let report = device
+            .install_and_run(&pkg)
+            .unwrap_or_else(|e| panic!("{config:?}: {e}"));
+        assert_eq!(report.exit_code, 123, "{config:?}");
+
+        // And the same package still fails on a different device.
+        let mut other = Device::with_seed(999, "other");
+        assert!(other.install_and_run(&pkg).is_err(), "{config:?}");
+    }
+}
+
+#[test]
+fn challenge_binding_is_enforced() {
+    // A package replayed with a *different* challenge must fail: the
+    // challenge selects the key, and it is covered by the AAD.
+    let mut device = Device::with_seed(5, "dev");
+    let cred = device.enroll();
+    let source = SoftwareSource::new("src");
+    let mut pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+    pkg.challenge[0] ^= 0xFF;
+    assert!(device.install_and_run(&pkg).is_err());
+}
