@@ -36,7 +36,10 @@ impl Default for AsmOptions {
 impl AsmOptions {
     /// The default layout with RVC compression enabled.
     pub fn compressed() -> Self {
-        AsmOptions { compress: true, ..AsmOptions::default() }
+        AsmOptions {
+            compress: true,
+            ..AsmOptions::default()
+        }
     }
 }
 
@@ -57,7 +60,11 @@ enum Target {
 #[derive(Clone, Debug)]
 enum Entry {
     /// One machine instruction, possibly awaiting a symbol.
-    One { inst: Inst, target: Target, line: usize },
+    One {
+        inst: Inst,
+        target: Target,
+        line: usize,
+    },
     /// `la rd, sym` — fused `auipc`+`addi` pair (8 bytes).
     La { rd: u8, sym: String, line: usize },
     /// `call sym` — fused `auipc ra`+`jalr ra` pair (8 bytes).
@@ -166,8 +173,8 @@ impl Assembler {
                 self.section = Section::Data;
                 Ok(())
             }
-            "global" | "globl" | "type" | "size" | "section" | "option" | "attribute"
-            | "file" | "p2align" => Ok(()), // accepted and ignored
+            "global" | "globl" | "type" | "size" | "section" | "option" | "attribute" | "file"
+            | "p2align" => Ok(()), // accepted and ignored
             "byte" | "half" | "word" | "dword" | "quad" => {
                 if self.section != Section::Data {
                     return Err(bad(&format!(".{name} outside .data")));
@@ -242,7 +249,7 @@ impl Assembler {
                 };
                 match self.section {
                     Section::Data => {
-                        while self.data.len() % bytes != 0 {
+                        while !self.data.len().is_multiple_of(bytes) {
                             self.data.push(0);
                         }
                         Ok(())
@@ -478,13 +485,20 @@ fn expand(
             AsmErrorKind::BadOperands(format!("{mnemonic}: {msg}")),
         )
     };
-    let one = |inst: Inst| Entry::One { inst, target: Target::None, line };
+    let one = |inst: Inst| Entry::One {
+        inst,
+        target: Target::None,
+        line,
+    };
 
     // Operand helpers.
     let reg = |i: usize| -> Result<u8, AsmError> {
         match ops.get(i) {
             Some(Operand::Reg(r)) => Ok(r.num()),
-            _ => Err(bad(&format!("operand {} must be an integer register", i + 1))),
+            _ => Err(bad(&format!(
+                "operand {} must be an integer register",
+                i + 1
+            ))),
         }
     };
     let freg = |i: usize| -> Result<u8, AsmError> {
@@ -539,7 +553,7 @@ fn expand(
                 match ops.get(1) {
                     Some(Operand::Imm(v)) => {
                         // `lui rd, imm20`: the operand is the page number.
-                        let value = (*v as i64) << 12;
+                        let value = *v << 12;
                         let value = ((value << 20) >> 20).max(i32::MIN as i64); // sign-fold 32-bit
                         out.push(one(mk(op, rd, 0, 0, value)));
                     }
@@ -553,9 +567,17 @@ fn expand(
             }
             Op::Jal => {
                 // `jal target` or `jal rd, target`
-                let (rd, ti) = if ops.len() == 1 { (1u8, 0) } else { (reg(0)?, 1) };
+                let (rd, ti) = if ops.len() == 1 {
+                    (1u8, 0)
+                } else {
+                    (reg(0)?, 1)
+                };
                 let (off, tgt) = target(ti)?;
-                out.push(Entry::One { inst: mk(op, rd, 0, 0, off), target: tgt, line });
+                out.push(Entry::One {
+                    inst: mk(op, rd, 0, 0, off),
+                    target: tgt,
+                    line,
+                });
             }
             Op::Jalr => match ops.len() {
                 1 => {
@@ -573,14 +595,22 @@ fn expand(
                     let off = imm(2)?;
                     out.push(one(mk(op, rd, rs1, 0, off)));
                 }
-                _ => return Err(bad("expected `jalr rs`, `jalr rd, off(rs)`, or `jalr rd, rs, off`")),
+                _ => {
+                    return Err(bad(
+                        "expected `jalr rs`, `jalr rd, off(rs)`, or `jalr rd, rs, off`",
+                    ))
+                }
             },
             _ if op.is_branch() => {
                 want(3)?;
                 let rs1 = reg(0)?;
                 let rs2 = reg(1)?;
                 let (off, tgt) = target(2)?;
-                out.push(Entry::One { inst: mk(op, 0, rs1, rs2, off), target: tgt, line });
+                out.push(Entry::One {
+                    inst: mk(op, 0, rs1, rs2, off),
+                    target: tgt,
+                    line,
+                });
             }
             _ if op.is_load() => {
                 want(2)?;
@@ -589,7 +619,9 @@ fn expand(
                     Some(Operand::Mem { offset, base }) => {
                         out.push(one(mk(op, rd, base.num(), 0, *offset)));
                     }
-                    Some(Operand::LoSym(_)) => return Err(bad("use `off(base)` with %lo via addi")),
+                    Some(Operand::LoSym(_)) => {
+                        return Err(bad("use `off(base)` with %lo via addi"))
+                    }
                     _ => return Err(bad("expected `offset(base)`")),
                 }
             }
@@ -623,8 +655,9 @@ fn expand(
                 want(3)?;
                 let rd = reg(0)?;
                 let csr_num = match ops.get(1) {
-                    Some(Operand::Sym(s)) => csr::parse(s)
-                        .ok_or_else(|| bad(&format!("unknown CSR `{s}`")))?,
+                    Some(Operand::Sym(s)) => {
+                        csr::parse(s).ok_or_else(|| bad(&format!("unknown CSR `{s}`")))?
+                    }
                     Some(Operand::Imm(v)) if (0..4096).contains(v) => *v as u16,
                     _ => return Err(bad("operand 2 must be a CSR name or number")),
                 };
@@ -646,7 +679,13 @@ fn expand(
             }
             Op::Fence | Op::FenceI => {
                 // Accept bare `fence`.
-                out.push(one(mk(op, 0, 0, 0, if op == Op::Fence { 0x0FF } else { 0 })));
+                out.push(one(mk(
+                    op,
+                    0,
+                    0,
+                    0,
+                    if op == Op::Fence { 0x0FF } else { 0 },
+                )));
             }
             _ => {
                 // Remaining register-register / register-immediate forms.
@@ -655,13 +694,32 @@ fn expand(
                         // FP single-source ops take 2 operands.
                         let single_src = matches!(
                             op,
-                            Op::FsqrtS | Op::FsqrtD | Op::FclassS | Op::FclassD
-                                | Op::FmvXW | Op::FmvWX | Op::FmvXD | Op::FmvDX
-                                | Op::FcvtWS | Op::FcvtWuS | Op::FcvtLS | Op::FcvtLuS
-                                | Op::FcvtSW | Op::FcvtSWu | Op::FcvtSL | Op::FcvtSLu
-                                | Op::FcvtWD | Op::FcvtWuD | Op::FcvtLD | Op::FcvtLuD
-                                | Op::FcvtDW | Op::FcvtDWu | Op::FcvtDL | Op::FcvtDLu
-                                | Op::FcvtSD | Op::FcvtDS
+                            Op::FsqrtS
+                                | Op::FsqrtD
+                                | Op::FclassS
+                                | Op::FclassD
+                                | Op::FmvXW
+                                | Op::FmvWX
+                                | Op::FmvXD
+                                | Op::FmvDX
+                                | Op::FcvtWS
+                                | Op::FcvtWuS
+                                | Op::FcvtLS
+                                | Op::FcvtLuS
+                                | Op::FcvtSW
+                                | Op::FcvtSWu
+                                | Op::FcvtSL
+                                | Op::FcvtSLu
+                                | Op::FcvtWD
+                                | Op::FcvtWuD
+                                | Op::FcvtLD
+                                | Op::FcvtLuD
+                                | Op::FcvtDW
+                                | Op::FcvtDWu
+                                | Op::FcvtDL
+                                | Op::FcvtDLu
+                                | Op::FcvtSD
+                                | Op::FcvtDS
                         );
                         if single_src {
                             want(2)?;
@@ -725,14 +783,21 @@ fn expand(
             let Some(Operand::Sym(sym)) = ops.get(1) else {
                 return Err(bad("operand 2 must be a symbol"));
             };
-            out.push(Entry::La { rd, sym: clone_sym(sym), line });
+            out.push(Entry::La {
+                rd,
+                sym: clone_sym(sym),
+                line,
+            });
         }
         "call" => {
             want(1)?;
             let Some(Operand::Sym(sym)) = ops.first() else {
                 return Err(bad("operand must be a symbol"));
             };
-            out.push(Entry::Call { sym: clone_sym(sym), line });
+            out.push(Entry::Call {
+                sym: clone_sym(sym),
+                line,
+            });
         }
         "ret" => {
             want(0)?;
@@ -741,7 +806,11 @@ fn expand(
         "j" => {
             want(1)?;
             let (off, tgt) = target(0)?;
-            out.push(Entry::One { inst: mk(Op::Jal, 0, 0, 0, off), target: tgt, line });
+            out.push(Entry::One {
+                inst: mk(Op::Jal, 0, 0, 0, off),
+                target: tgt,
+                line,
+            });
         }
         "jr" => {
             want(1)?;
@@ -795,7 +864,11 @@ fn expand(
                 "bltz" => mk(Op::Blt, 0, rs, 0, off),
                 _ => mk(Op::Blt, 0, 0, rs, off),
             };
-            out.push(Entry::One { inst, target: tgt, line });
+            out.push(Entry::One {
+                inst,
+                target: tgt,
+                line,
+            });
         }
         "bgt" | "ble" | "bgtu" | "bleu" => {
             want(3)?;
@@ -809,7 +882,11 @@ fn expand(
                 "bgtu" => mk(Op::Bltu, 0, rs2, rs1, off),
                 _ => mk(Op::Bgeu, 0, rs2, rs1, off),
             };
-            out.push(Entry::One { inst, target: tgt, line });
+            out.push(Entry::One {
+                inst,
+                target: tgt,
+                line,
+            });
         }
         "csrr" => {
             want(2)?;
@@ -830,19 +907,31 @@ fn expand(
         }
         "fmv.s" | "fmv.d" => {
             want(2)?;
-            let op = if mnemonic == "fmv.s" { Op::FsgnjS } else { Op::FsgnjD };
+            let op = if mnemonic == "fmv.s" {
+                Op::FsgnjS
+            } else {
+                Op::FsgnjD
+            };
             let (rd, rs) = (freg(0)?, freg(1)?);
             out.push(one(mk(op, rd, rs, rs, 0)));
         }
         "fneg.s" | "fneg.d" => {
             want(2)?;
-            let op = if mnemonic == "fneg.s" { Op::FsgnjnS } else { Op::FsgnjnD };
+            let op = if mnemonic == "fneg.s" {
+                Op::FsgnjnS
+            } else {
+                Op::FsgnjnD
+            };
             let (rd, rs) = (freg(0)?, freg(1)?);
             out.push(one(mk(op, rd, rs, rs, 0)));
         }
         "fabs.s" | "fabs.d" => {
             want(2)?;
-            let op = if mnemonic == "fabs.s" { Op::FsgnjxS } else { Op::FsgnjxD };
+            let op = if mnemonic == "fabs.s" {
+                Op::FsgnjxS
+            } else {
+                Op::FsgnjxD
+            };
             let (rd, rs) = (freg(0)?, freg(1)?);
             out.push(one(mk(op, rd, rs, rs, 0)));
         }

@@ -13,6 +13,9 @@ pub enum ParcelKind {
 
 impl ParcelKind {
     /// Instruction length in bytes.
+    // A parcel is never empty (2 or 4 bytes), so `is_empty` would be
+    // meaningless here.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> usize {
         match self {
             ParcelKind::Compressed => 2,
@@ -94,10 +97,22 @@ mod tests {
         let img = Image {
             text: vec![0; 12],
             boundaries: vec![
-                InstBoundary { offset: 0, kind: ParcelKind::Full },
-                InstBoundary { offset: 4, kind: ParcelKind::Compressed },
-                InstBoundary { offset: 6, kind: ParcelKind::Full },
-                InstBoundary { offset: 10, kind: ParcelKind::Compressed },
+                InstBoundary {
+                    offset: 0,
+                    kind: ParcelKind::Full,
+                },
+                InstBoundary {
+                    offset: 4,
+                    kind: ParcelKind::Compressed,
+                },
+                InstBoundary {
+                    offset: 6,
+                    kind: ParcelKind::Full,
+                },
+                InstBoundary {
+                    offset: 10,
+                    kind: ParcelKind::Compressed,
+                },
             ],
             ..Image::default()
         };

@@ -67,18 +67,16 @@ pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, AsmError> {
                 i += 1;
             }
             '"' => {
-                let (s, consumed) = lex_string(&line[i..]).ok_or_else(|| {
-                    err(i, "unterminated or malformed string literal")
-                })?;
+                let (s, consumed) = lex_string(&line[i..])
+                    .ok_or_else(|| err(i, "unterminated or malformed string literal"))?;
                 tokens.push(Token::Str(s));
                 i += consumed;
             }
             '\'' => {
                 // Character literal: 'a' or '\n'.
                 let rest = &line[i + 1..];
-                let (value, consumed) = lex_char(rest).ok_or_else(|| {
-                    err(i, "malformed character literal")
-                })?;
+                let (value, consumed) =
+                    lex_char(rest).ok_or_else(|| err(i, "malformed character literal"))?;
                 tokens.push(Token::Int(value));
                 i += 1 + consumed;
             }

@@ -92,7 +92,10 @@ pub fn parse(src: &str) -> Result<Vec<Line>, AsmError> {
 }
 
 fn parse_line(tokens: &[Token], number: usize) -> Result<Line, AsmError> {
-    let mut line = Line { number, ..Line::default() };
+    let mut line = Line {
+        number,
+        ..Line::default()
+    };
     let mut rest = tokens;
     // Leading `ident:` pairs are labels.
     while let [Token::Ident(name), Token::Colon, tail @ ..] = rest {
@@ -227,36 +230,57 @@ mod tests {
     #[test]
     fn memory_operands() {
         let l = one("lw a0, 8(sp)");
-        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else {
+            panic!()
+        };
         assert_eq!(
             operands[1],
-            Operand::Mem { offset: 8, base: Reg::SP }
+            Operand::Mem {
+                offset: 8,
+                base: Reg::SP
+            }
         );
         let l = one("lr.w a0, (a1)");
-        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
-        assert_eq!(operands[1], Operand::Mem { offset: 0, base: Reg::A1 });
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else {
+            panic!()
+        };
+        assert_eq!(
+            operands[1],
+            Operand::Mem {
+                offset: 0,
+                base: Reg::A1
+            }
+        );
     }
 
     #[test]
     fn symbols_and_modifiers() {
         let l = one("bne a0, zero, loop");
-        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else {
+            panic!()
+        };
         assert_eq!(operands[2], Operand::Sym("loop".into()));
 
         let l = one("lui a0, %hi(buffer)");
-        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else {
+            panic!()
+        };
         assert_eq!(operands[1], Operand::HiSym("buffer".into()));
     }
 
     #[test]
     fn directives() {
         let l = one(".word 1, 2, 3");
-        let Some(Stmt::Directive { name, args }) = l.stmt else { panic!() };
+        let Some(Stmt::Directive { name, args }) = l.stmt else {
+            panic!()
+        };
         assert_eq!(name, "word");
         assert_eq!(args, vec![DirArg::Int(1), DirArg::Int(2), DirArg::Int(3)]);
 
         let l = one(r#".asciz "hello""#);
-        let Some(Stmt::Directive { name, args }) = l.stmt else { panic!() };
+        let Some(Stmt::Directive { name, args }) = l.stmt else {
+            panic!()
+        };
         assert_eq!(name, "asciz");
         assert_eq!(args, vec![DirArg::Str("hello".into())]);
     }
@@ -264,7 +288,9 @@ mod tests {
     #[test]
     fn fp_registers() {
         let l = one("fadd.s fa0, fa1, fa2");
-        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else {
+            panic!()
+        };
         assert!(matches!(operands[0], Operand::FReg(_)));
     }
 

@@ -6,9 +6,15 @@ use eric_bench::output::{banner, write_json};
 fn main() {
     banner("Ablation: parallel decryption lanes (4 MiB payload)");
     let rows = ablation_parallel_decrypt();
-    println!("{:<8} {:>16} {:>14}", "lanes", "modeled cycles", "host wall (us)");
+    println!(
+        "{:<8} {:>16} {:>14}",
+        "lanes", "modeled cycles", "host wall (us)"
+    );
     for r in &rows {
-        println!("{:<8} {:>16} {:>14.0}", r.lanes, r.modeled_cycles, r.wall_us);
+        println!(
+            "{:<8} {:>16} {:>14.0}",
+            r.lanes, r.modeled_cycles, r.wall_us
+        );
     }
     println!("\nnote: the SHA-256 signature chain does not parallelize, so the");
     println!("modeled cycles floor at the hash rate — the scalability limit the");

@@ -1,47 +1,43 @@
-//! Criterion microbenchmarks of the crypto primitives (cipher-choice
-//! ablation: the paper's pluggable encryption function).
+//! Crypto-primitive microbenchmark (cipher-choice ablation: the
+//! paper's pluggable encryption function), comparing the block
+//! keystream path against the per-byte reference the decrypt hot loop
+//! used before the run-based redesign.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use eric_crypto::cipher::CipherKind;
-use eric_crypto::sha256::Sha256;
+use eric_bench::output::{banner, write_json};
+use eric_bench::{crypto_throughput, CipherRow};
 
-fn bench_ciphers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("keystream_ciphers");
-    for size in [4 * 1024usize, 64 * 1024] {
-        group.throughput(Throughput::Bytes(size as u64));
-        for kind in [CipherKind::Xor, CipherKind::ShaCtr] {
-            let cipher = kind.instantiate(&[7u8; 32]);
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), size),
-                &size,
-                |b, &size| {
-                    let mut buf = vec![0xA5u8; size];
-                    b.iter(|| {
-                        cipher.apply(0, &mut buf);
-                        std::hint::black_box(&buf);
-                    });
-                },
-            );
-        }
+fn main() {
+    banner("Crypto throughput: block keystream path vs per-byte oracle (1 MiB)");
+    let report = crypto_throughput();
+    println!(
+        "{:<10} {:>16} {:>16} {:>10}",
+        "cipher", "block (MiB/s)", "per-byte (MiB/s)", "speedup"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<10} {:>16.1} {:>16.1} {:>9.1}x",
+            r.cipher, r.block_mib_s, r.bytewise_mib_s, r.speedup
+        );
     }
-    group.finish();
-}
+    println!("{:<10} {:>16.1}", "sha-256", report.sha256_mib_s);
+    println!("\nper-byte = one virtual keystream_byte call per payload byte (the");
+    println!("pre-refactor decrypt shape); block = fill_keystream + slice XOR.");
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
-    for size in [4 * 1024usize, 64 * 1024] {
-        group.throughput(Throughput::Bytes(size as u64));
-        let data = vec![0x3Cu8; size];
-        group.bench_with_input(BenchmarkId::new("digest", size), &size, |b, _| {
-            b.iter(|| {
-                let mut h = Sha256::new();
-                h.update(&data);
-                std::hint::black_box(h.finalize());
-            });
-        });
-    }
-    group.finish();
-}
+    let xor: &CipherRow = report
+        .rows
+        .iter()
+        .find(|r| r.cipher == "xor")
+        .expect("xor row present");
+    assert!(
+        xor.speedup >= 5.0,
+        "block path must be >= 5x the per-byte reference for the XOR cipher \
+         on a 1 MiB payload, measured {:.1}x",
+        xor.speedup
+    );
+    println!(
+        "block-vs-byte floor OK: xor speedup {:.1}x >= 5x",
+        xor.speedup
+    );
 
-criterion_group!(benches, bench_ciphers, bench_sha256);
-criterion_main!(benches);
+    write_json("crypto_throughput", &report);
+}

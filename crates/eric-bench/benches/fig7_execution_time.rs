@@ -19,7 +19,12 @@ fn main() {
     for r in &f.rows {
         println!(
             "{:<14} {:>9} {:>12} {:>13} {:>13} {:>+8.2}%",
-            r.name, r.payload_bytes, r.instructions, r.plain_cycles, r.secure_cycles, r.overhead_pct
+            r.name,
+            r.payload_bytes,
+            r.instructions,
+            r.plain_cycles,
+            r.secure_cycles,
+            r.overhead_pct
         );
     }
     println!(

@@ -9,9 +9,18 @@ fn main() {
     banner("PUF Quality (64 devices x 64 challenges, 11 rereads)");
     let r = puf_quality();
     println!("uniformity            {:>7.4}  (ideal 0.5)", r.uniformity);
-    println!("uniqueness            {:>7.4}  (ideal 0.5, inter-chip HD)", r.uniqueness);
+    println!(
+        "uniqueness            {:>7.4}  (ideal 0.5, inter-chip HD)",
+        r.uniqueness
+    );
     println!("reliability           {:>7.4}  (raw reads)", r.reliability);
-    println!("hardened reliability  {:>7.4}  (7-vote majority)", r.hardened_reliability);
-    println!("max bit-aliasing bias {:>7.4}  (ideal 0)", r.max_bit_aliasing_bias);
-    write_json("puf_quality", &format!("{r:?}"));
+    println!(
+        "hardened reliability  {:>7.4}  (7-vote majority)",
+        r.hardened_reliability
+    );
+    println!(
+        "max bit-aliasing bias {:>7.4}  (ideal 0)",
+        r.max_bit_aliasing_bias
+    );
+    write_json("puf_quality", &r);
 }

@@ -8,7 +8,10 @@ use eric_bench::rsa_keygen;
 fn main() {
     banner("Extension: RSA keygen + 32-byte key wrap (from-scratch bignum)");
     let rows = rsa_keygen();
-    println!("{:<8} {:>14} {:>18}", "bits", "keygen (ms)", "wrap+unwrap (us)");
+    println!(
+        "{:<8} {:>14} {:>18}",
+        "bits", "keygen (ms)", "wrap+unwrap (us)"
+    );
     for r in &rows {
         println!("{:<8} {:>14.1} {:>18.1}", r.bits, r.keygen_ms, r.wrap_us);
     }

@@ -14,7 +14,12 @@ fn main() {
     for r in &rows {
         println!(
             "{:<14} {:>11.3} {:>12.3} {:>11.3} {:>12.3} {:>12.3}",
-            r.name, r.plain_entropy, r.cipher_entropy, r.plain_decode, r.cipher_decode, r.opcode_shift
+            r.name,
+            r.plain_entropy,
+            r.cipher_entropy,
+            r.plain_decode,
+            r.cipher_decode,
+            r.opcode_shift
         );
     }
     write_json("static_analysis", &rows);

@@ -25,7 +25,11 @@ fn main() {
     println!("\npaper reference: +2.63% LUTs, +3.83% FFs");
     println!("\nHDE hierarchy:");
     for (depth, name, luts, ffs) in &t.hde_hierarchy {
-        println!("{:indent$}{name:<28} {luts:>6} LUTs {ffs:>6} FFs", "", indent = depth * 2);
+        println!(
+            "{:indent$}{name:<28} {luts:>6} LUTs {ffs:>6} FFs",
+            "",
+            indent = depth * 2
+        );
     }
     write_json("table2_fpga_area", &t);
 }

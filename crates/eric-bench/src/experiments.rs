@@ -7,7 +7,7 @@ use eric_hde::timing::HdeTimingConfig;
 use eric_puf::device::PufDeviceConfig;
 use eric_puf::metrics::{measure_quality, PufQualityReport, QualityCampaign};
 use eric_workloads::{all, Workload};
-use serde::Serialize;
+
 use std::time::{Duration, Instant};
 
 /// Instruction budget for figure runs.
@@ -18,7 +18,7 @@ const FUEL: u64 = 2_000_000_000;
 // ---------------------------------------------------------------------
 
 /// One Figure 5 row: package-size growth per workload.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5Row {
     /// Workload name.
     pub name: String,
@@ -35,7 +35,7 @@ pub struct Fig5Row {
 }
 
 /// Figure 5 report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5Report {
     /// Per-workload rows.
     pub rows: Vec<Fig5Row>,
@@ -53,7 +53,9 @@ pub fn fig5_package_size() -> Fig5Report {
     let mut rows = Vec::new();
     for w in all() {
         let asm = (w.source)(w.default_scale);
-        let full = source.build(&asm, &cred, &EncryptionConfig::full()).unwrap();
+        let full = source
+            .build(&asm, &cred, &EncryptionConfig::full())
+            .unwrap();
         let partial = source
             .build(&asm, &cred, &EncryptionConfig::partial(0.5, 1))
             .unwrap();
@@ -74,7 +76,11 @@ pub fn fig5_package_size() -> Fig5Report {
         .collect();
     let average_pct = growths.iter().sum::<f64>() / growths.len() as f64;
     let max_pct = growths.iter().fold(0.0f64, |a, &b| a.max(b));
-    Fig5Report { rows, average_pct, max_pct }
+    Fig5Report {
+        rows,
+        average_pct,
+        max_pct,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -82,7 +88,7 @@ pub fn fig5_package_size() -> Fig5Report {
 // ---------------------------------------------------------------------
 
 /// One Figure 6 row: normalized compile time per workload.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig6Row {
     /// Workload name.
     pub name: String,
@@ -95,7 +101,7 @@ pub struct Fig6Row {
 }
 
 /// Figure 6 report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig6Report {
     /// Per-workload rows.
     pub rows: Vec<Fig6Row>,
@@ -130,11 +136,13 @@ pub fn fig6_compile_time(iters: u32) -> Fig6Report {
         });
         let secure = median_time(iters, || {
             std::hint::black_box(
-                source.build(&asm, &cred, &EncryptionConfig::full()).unwrap(),
+                source
+                    .build(&asm, &cred, &EncryptionConfig::full())
+                    .unwrap(),
             );
         });
-        let overhead_pct = 100.0 * (secure.as_secs_f64() - baseline.as_secs_f64())
-            / baseline.as_secs_f64();
+        let overhead_pct =
+            100.0 * (secure.as_secs_f64() - baseline.as_secs_f64()) / baseline.as_secs_f64();
         rows.push(Fig6Row {
             name: w.name.to_string(),
             baseline_us: baseline.as_secs_f64() * 1e6,
@@ -144,7 +152,11 @@ pub fn fig6_compile_time(iters: u32) -> Fig6Report {
     }
     let average_pct = rows.iter().map(|r| r.overhead_pct).sum::<f64>() / rows.len() as f64;
     let max_pct = rows.iter().fold(0.0f64, |a, r| a.max(r.overhead_pct));
-    Fig6Report { rows, average_pct, max_pct }
+    Fig6Report {
+        rows,
+        average_pct,
+        max_pct,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -152,7 +164,7 @@ pub fn fig6_compile_time(iters: u32) -> Fig6Report {
 // ---------------------------------------------------------------------
 
 /// One Figure 7 row: end-to-end execution overhead per workload.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig7Row {
     /// Workload name.
     pub name: String,
@@ -169,7 +181,7 @@ pub struct Fig7Row {
 }
 
 /// Figure 7 report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig7Report {
     /// Per-workload rows.
     pub rows: Vec<Fig7Row>,
@@ -190,7 +202,9 @@ pub fn fig7_execution_time() -> Fig7Report {
         let asm = (w.source)(w.default_scale);
         let image = source.compile(&asm, false).unwrap();
         let plain = device.run_plain(&image).unwrap();
-        let pkg = source.build(&asm, &cred, &EncryptionConfig::full()).unwrap();
+        let pkg = source
+            .build(&asm, &cred, &EncryptionConfig::full())
+            .unwrap();
         let secure = device.install_and_run(&pkg).unwrap();
         assert_eq!(
             plain.exit_code,
@@ -206,14 +220,17 @@ pub fn fig7_execution_time() -> Fig7Report {
             payload_bytes: image.text.len() + image.data.len(),
             plain_cycles: plain_total,
             secure_cycles: secure_total,
-            overhead_pct: 100.0 * (secure_total as f64 - plain_total as f64)
-                / plain_total as f64,
+            overhead_pct: 100.0 * (secure_total as f64 - plain_total as f64) / plain_total as f64,
             instructions: plain.run.instructions,
         });
     }
     let average_pct = rows.iter().map(|r| r.overhead_pct).sum::<f64>() / rows.len() as f64;
     let max_pct = rows.iter().fold(0.0f64, |a, r| a.max(r.overhead_pct));
-    Fig7Report { rows, average_pct, max_pct }
+    Fig7Report {
+        rows,
+        average_pct,
+        max_pct,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -221,7 +238,7 @@ pub fn fig7_execution_time() -> Fig7Report {
 // ---------------------------------------------------------------------
 
 /// Table I parameters as reproduced by this implementation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1 {
     /// `(parameter, value)` rows, in the paper's order.
     pub rows: Vec<(String, String)>,
@@ -233,16 +250,31 @@ pub fn table1_environment() -> Table1 {
     let puf = PufDeviceConfig::paper();
     let hde = HdeTimingConfig::default();
     let rows = vec![
-        ("Platform".into(), "eric-sim RV64GC SoC simulator (substitutes Xilinx Zedboard)".into()),
-        ("PUF Type".into(), "Arbiter PUF (additive linear delay model)".into()),
+        (
+            "Platform".into(),
+            "eric-sim RV64GC SoC simulator (substitutes Xilinx Zedboard)".into(),
+        ),
+        (
+            "PUF Type".into(),
+            "Arbiter PUF (additive linear delay model)".into(),
+        ),
         (
             "PUF Parameters".into(),
-            format!("{}x {}-bit challenge 1-bit response", puf.instances, puf.arbiter.stages),
+            format!(
+                "{}x {}-bit challenge 1-bit response",
+                puf.instances, puf.arbiter.stages
+            ),
         ),
         ("Signature Function".into(), "SHA-256".into()),
         ("Encryption Function".into(), "XOR Cipher".into()),
-        ("SoC".into(), "Rocket-like in-order 6-stage timing model".into()),
-        ("Test Frequency".into(), format!("{} MHz (modeled)", soc.frequency_mhz)),
+        (
+            "SoC".into(),
+            "Rocket-like in-order 6-stage timing model".into(),
+        ),
+        (
+            "Test Frequency".into(),
+            format!("{} MHz (modeled)", soc.frequency_mhz),
+        ),
         ("Target ISA".into(), "RV64GC".into()),
         (
             "L1 Data Cache".into(),
@@ -273,7 +305,7 @@ pub fn table1_environment() -> Table1 {
 }
 
 /// Table II report (LUT/FF totals and overheads).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table2Report {
     /// Baseline LUTs (paper: 33 894).
     pub rocket_luts: u64,
@@ -318,12 +350,17 @@ pub fn table2_fpga_area() -> Table2Report {
 pub fn puf_quality() -> PufQualityReport {
     measure_quality(
         PufDeviceConfig::paper(),
-        QualityCampaign { devices: 64, challenges: 64, rereads: 11, seed: 0xE41C },
+        QualityCampaign {
+            devices: 64,
+            challenges: 64,
+            rereads: 11,
+            seed: 0xE41C,
+        },
     )
 }
 
 /// One static-analysis-resistance row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ObfuscationRow {
     /// Workload name.
     pub name: String,
@@ -349,7 +386,9 @@ pub fn static_analysis_resistance() -> Vec<ObfuscationRow> {
         .map(|w| {
             let asm = (w.source)(w.default_scale);
             let image = source.compile(&asm, false).unwrap();
-            let pkg = source.build(&asm, &cred, &EncryptionConfig::full()).unwrap();
+            let pkg = source
+                .build(&asm, &cred, &EncryptionConfig::full())
+                .unwrap();
             let enc_text = &pkg.payload[..pkg.text_len as usize];
             let r = eric_core::analysis::compare(&image.text, enc_text);
             ObfuscationRow {
@@ -365,7 +404,7 @@ pub fn static_analysis_resistance() -> Vec<ObfuscationRow> {
 }
 
 /// One partial-encryption-sweep row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SweepRow {
     /// Fraction of instructions encrypted.
     pub fraction: f64,
@@ -408,7 +447,7 @@ pub fn ablation_partial_sweep(workload: &Workload) -> Vec<SweepRow> {
 }
 
 /// One parallel-decryption row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ParallelRow {
     /// Decryption lanes.
     pub lanes: usize,
@@ -442,41 +481,72 @@ pub fn ablation_parallel_decrypt() -> Vec<ParallelRow> {
         .collect()
 }
 
-/// One cipher-throughput row.
-#[derive(Clone, Debug, Serialize)]
+/// One cipher-throughput row: the block path vs. the per-byte oracle.
+#[derive(Clone, Debug)]
 pub struct CipherRow {
     /// Cipher name.
     pub cipher: String,
-    /// Megabytes per second over a 1 MiB buffer.
-    pub mib_per_s: f64,
+    /// Block path ([`KeystreamCipher::apply`]) MiB/s over a 1 MiB buffer.
+    pub block_mib_s: f64,
+    /// Per-byte reference (`keystream_byte` through `&dyn`) MiB/s.
+    pub bytewise_mib_s: f64,
+    /// `block_mib_s / bytewise_mib_s` — what the block redesign bought.
+    pub speedup: f64,
 }
 
-/// Ablation: software throughput of the bundled ciphers + SHA-256.
-pub fn crypto_throughput() -> Vec<CipherRow> {
+/// Crypto-throughput ablation report.
+#[derive(Clone, Debug)]
+pub struct CryptoThroughputReport {
+    /// One row per bundled cipher.
+    pub rows: Vec<CipherRow>,
+    /// SHA-256 digest throughput over the same buffer, MiB/s.
+    pub sha256_mib_s: f64,
+}
+
+/// Median wall time of `f` over `iters` runs, as MiB/s for `mib` MiB.
+fn median_mib_s<F: FnMut()>(iters: u32, mib: f64, f: F) -> f64 {
+    let d = median_time(iters, f).as_secs_f64();
+    mib / d.max(f64::EPSILON)
+}
+
+/// Ablation: software throughput of the bundled ciphers + SHA-256,
+/// comparing the block keystream path against the per-byte reference
+/// (the shape the decrypt hot loop had before the run-based redesign).
+pub fn crypto_throughput() -> CryptoThroughputReport {
+    use eric_crypto::cipher::KeystreamCipher;
+    const BUF_LEN: usize = 1 << 20;
+    const ITERS: u32 = 7;
     let mut rows = Vec::new();
-    let buf_len = 1 << 20;
     for kind in [CipherKind::Xor, CipherKind::ShaCtr] {
         let cipher = kind.instantiate(&[7u8; 32]);
-        let mut buf = vec![0u8; buf_len];
-        let t = Instant::now();
-        cipher.apply(0, &mut buf);
-        let dt = t.elapsed().as_secs_f64();
-        std::hint::black_box(&buf);
+        let mut buf = vec![0u8; BUF_LEN];
+        let block_mib_s = median_mib_s(ITERS, 1.0, || {
+            cipher.apply(0, &mut buf);
+            std::hint::black_box(&buf);
+        });
+        let dyn_cipher: &dyn KeystreamCipher = cipher.as_ref();
+        let bytewise_mib_s = median_mib_s(ITERS, 1.0, || {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b ^= dyn_cipher.keystream_byte(i as u64);
+            }
+            std::hint::black_box(&buf);
+        });
         rows.push(CipherRow {
             cipher: kind.to_string(),
-            mib_per_s: 1.0 / dt.max(f64::EPSILON),
+            block_mib_s,
+            bytewise_mib_s,
+            speedup: block_mib_s / bytewise_mib_s.max(f64::EPSILON),
         });
     }
-    let buf = vec![0u8; buf_len];
-    let t = Instant::now();
-    std::hint::black_box(eric_crypto::sha256::sha256(&buf));
-    let dt = t.elapsed().as_secs_f64();
-    rows.push(CipherRow { cipher: "sha-256".into(), mib_per_s: 1.0 / dt.max(f64::EPSILON) });
-    rows
+    let buf = vec![0u8; BUF_LEN];
+    let sha256_mib_s = median_mib_s(ITERS, 1.0, || {
+        std::hint::black_box(eric_crypto::sha256::sha256(&buf));
+    });
+    CryptoThroughputReport { rows, sha256_mib_s }
 }
 
 /// RSA keygen + wrap timing (paper future work §VI).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RsaRow {
     /// Modulus size in bits.
     pub bits: usize,
@@ -502,10 +572,105 @@ pub fn rsa_keygen() -> Vec<RsaRow> {
             let unwrapped = kp.private.unwrap(&wrapped).unwrap();
             let wrap_us = t.elapsed().as_secs_f64() * 1e6;
             assert_eq!(unwrapped, secret);
-            RsaRow { bits, keygen_ms, wrap_us }
+            RsaRow {
+                bits,
+                keygen_ms,
+                wrap_us,
+            }
         })
         .collect()
 }
+
+// JSON plumbing for the result snapshots (see `crate::json`).
+crate::impl_json_struct!(Fig5Row {
+    name,
+    plain_bytes,
+    full_bytes,
+    full_pct,
+    partial_bytes,
+    partial_pct
+});
+crate::impl_json_struct!(Fig5Report {
+    rows,
+    average_pct,
+    max_pct
+});
+crate::impl_json_struct!(Fig6Row {
+    name,
+    baseline_us,
+    secure_us,
+    overhead_pct
+});
+crate::impl_json_struct!(Fig6Report {
+    rows,
+    average_pct,
+    max_pct
+});
+crate::impl_json_struct!(Fig7Row {
+    name,
+    payload_bytes,
+    plain_cycles,
+    secure_cycles,
+    overhead_pct,
+    instructions
+});
+crate::impl_json_struct!(Fig7Report {
+    rows,
+    average_pct,
+    max_pct
+});
+crate::impl_json_struct!(Table1 { rows });
+crate::impl_json_struct!(Table2Report {
+    rocket_luts,
+    rocket_ffs,
+    with_hde_luts,
+    with_hde_ffs,
+    lut_change_pct,
+    ff_change_pct,
+    hde_hierarchy
+});
+crate::impl_json_struct!(ObfuscationRow {
+    name,
+    plain_entropy,
+    cipher_entropy,
+    plain_decode,
+    cipher_decode,
+    opcode_shift
+});
+crate::impl_json_struct!(SweepRow {
+    fraction,
+    size_pct,
+    decode_ratio,
+    exec_overhead_pct
+});
+crate::impl_json_struct!(ParallelRow {
+    lanes,
+    modeled_cycles,
+    wall_us
+});
+crate::impl_json_struct!(CipherRow {
+    cipher,
+    block_mib_s,
+    bytewise_mib_s,
+    speedup
+});
+crate::impl_json_struct!(CryptoThroughputReport { rows, sha256_mib_s });
+// Foreign struct, local trait: give the PUF report the same structured
+// snapshot as every other experiment.
+crate::impl_json_struct!(PufQualityReport {
+    uniformity,
+    uniqueness,
+    reliability,
+    hardened_reliability,
+    max_bit_aliasing_bias,
+    devices,
+    challenges
+});
+crate::impl_json_struct!(RsaRow {
+    bits,
+    keygen_ms,
+    wrap_us
+});
 
 #[cfg(test)]
 mod tests {
@@ -533,17 +698,32 @@ mod tests {
         assert_eq!(f.rows.len(), 10);
         // Paper: avg 1.59 %, max 3.73 %. Same regime: small single-digit
         // growth, partial > full for every workload.
-        assert!(f.average_pct > 0.0 && f.average_pct < 10.0, "{}", f.average_pct);
+        assert!(
+            f.average_pct > 0.0 && f.average_pct < 10.0,
+            "{}",
+            f.average_pct
+        );
         assert!(f.max_pct < 15.0, "{}", f.max_pct);
         for r in &f.rows {
-            assert!(r.partial_bytes > r.full_bytes, "{}: map must add size", r.name);
+            assert!(
+                r.partial_bytes > r.full_bytes,
+                "{}: map must add size",
+                r.name
+            );
         }
     }
 
     #[test]
     fn crypto_rows_present() {
-        let rows = crypto_throughput();
-        assert_eq!(rows.len(), 3);
-        assert!(rows.iter().all(|r| r.mib_per_s > 0.0));
+        let r = crypto_throughput();
+        assert_eq!(r.rows.len(), 2);
+        assert!(r.sha256_mib_s > 0.0);
+        for row in &r.rows {
+            assert!(row.block_mib_s > 0.0, "{row:?}");
+            assert!(row.bytewise_mib_s > 0.0, "{row:?}");
+            // No hard ratio here (debug builds, loaded CI); the bench
+            // binary enforces the release-build speedup floor.
+            assert!(row.speedup > 0.0, "{row:?}");
+        }
     }
 }

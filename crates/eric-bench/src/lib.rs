@@ -7,6 +7,7 @@
 //! `target/eric-results/` for EXPERIMENTS.md tooling.
 
 pub mod experiments;
+pub mod json;
 pub mod output;
 
 pub use experiments::*;

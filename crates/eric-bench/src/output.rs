@@ -1,6 +1,6 @@
 //! Result output helpers.
 
-use serde::Serialize;
+use crate::json::ToJson;
 use std::fs;
 use std::path::PathBuf;
 
@@ -8,31 +8,25 @@ use std::path::PathBuf;
 /// `target/eric-results` (benches run with the package directory as
 /// CWD, so a relative path would land inside `crates/eric-bench`).
 pub fn results_dir() -> PathBuf {
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string()
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
     PathBuf::from(target).join("eric-results")
 }
 
 /// Write an experiment's JSON snapshot; prints a pointer on success and
 /// is silent (stderr note) on failure — result files are a convenience,
 /// not a correctness requirement.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("note: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("note: cannot write {}: {e}", path.display());
-            } else {
-                println!("\n[results saved to {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("note: cannot serialize {name}: {e}"),
+    if let Err(e) = fs::write(&path, value.to_json()) {
+        eprintln!("note: cannot write {}: {e}", path.display());
+    } else {
+        println!("\n[results saved to {}]", path.display());
     }
 }
 

@@ -85,7 +85,11 @@ pub fn opcode_histogram(text: &[u8]) -> [f64; 128] {
 
 /// Total-variation distance between two opcode histograms, in [0, 1].
 pub fn histogram_distance(a: &[f64; 128], b: &[f64; 128]) -> f64 {
-    0.5 * a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>()
+    0.5 * a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
 }
 
 /// A compact obfuscation report comparing a plaintext text section to
@@ -170,7 +174,11 @@ mod tests {
             "ciphertext decode ratio {}",
             report.cipher_decode_ratio
         );
-        assert!(report.opcode_shift > 0.3, "opcode shift {}", report.opcode_shift);
+        assert!(
+            report.opcode_shift > 0.3,
+            "opcode shift {}",
+            report.opcode_shift
+        );
     }
 
     #[test]

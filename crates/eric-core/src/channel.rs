@@ -47,7 +47,9 @@ pub struct Channel {
 impl Channel {
     /// A clean channel.
     pub fn trusted_free() -> Self {
-        Channel { attacker: Attacker::Passive }
+        Channel {
+            attacker: Attacker::Passive,
+        }
     }
 
     /// A channel with an active attacker.
@@ -106,7 +108,9 @@ mod tests {
         let mut device = Device::with_seed(10, "node");
         let cred = device.enroll();
         let source = SoftwareSource::new("vendor");
-        let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+        let pkg = source
+            .build(PROGRAM, &cred, &EncryptionConfig::full())
+            .unwrap();
         (device, pkg)
     }
 
@@ -127,7 +131,10 @@ mod tests {
         // Sweep a sample of positions across the whole wire image.
         for byte in (0..wire_len).step_by(7) {
             total += 1;
-            let ch = Channel::with_attacker(Attacker::BitFlip { byte, bit: (byte % 8) as u8 });
+            let ch = Channel::with_attacker(Attacker::BitFlip {
+                byte,
+                bit: (byte % 8) as u8,
+            });
             match ch.transmit(&pkg) {
                 Err(_) => rejected += 1, // framing caught it
                 Ok(received) => {

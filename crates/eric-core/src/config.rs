@@ -66,7 +66,10 @@ impl EncryptionConfig {
 
     /// Field-level encryption under `policy`.
     pub fn field_level(policy: FieldPolicy) -> Self {
-        EncryptionConfig { mode: EncryptionMode::FieldLevel(policy), ..Self::full() }
+        EncryptionConfig {
+            mode: EncryptionMode::FieldLevel(policy),
+            ..Self::full()
+        }
     }
 
     /// Use a different cipher (builder style).
@@ -96,10 +99,10 @@ impl EncryptionConfig {
     /// (field masks are defined on 32-bit words only).
     pub fn validate(&self) -> Result<(), String> {
         match self.mode {
-            EncryptionMode::PartialRandom { fraction, .. } => {
-                if !(fraction > 0.0 && fraction <= 1.0) {
-                    return Err(format!("partial fraction {fraction} must be in (0, 1]"));
-                }
+            EncryptionMode::PartialRandom { fraction, .. }
+                if !(fraction > 0.0 && fraction <= 1.0) =>
+            {
+                return Err(format!("partial fraction {fraction} must be in (0, 1]"));
             }
             EncryptionMode::FieldLevel(_) if self.compress => {
                 return Err("field-level encryption requires an uncompressed build".into());
@@ -149,8 +152,7 @@ mod tests {
 
     #[test]
     fn field_level_rejects_compression() {
-        let c = EncryptionConfig::field_level(FieldPolicy::MemoryPointers)
-            .with_compression(true);
+        let c = EncryptionConfig::field_level(FieldPolicy::MemoryPointers).with_compression(true);
         assert!(c.validate().is_err());
         let c = EncryptionConfig::field_level(FieldPolicy::MemoryPointers);
         assert!(c.validate().is_ok());

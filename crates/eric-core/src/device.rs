@@ -45,7 +45,12 @@ pub struct Device {
 
 impl fmt::Debug for Device {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Device {{ id: {:?}, epoch: {} }}", self.id, self.loader.keys().epoch())
+        write!(
+            f,
+            "Device {{ id: {:?}, epoch: {} }}",
+            self.id,
+            self.loader.keys().epoch()
+        )
     }
 }
 
@@ -137,8 +142,13 @@ impl Device {
         };
         let loaded = self.loader.process(&input)?;
         let (text, data) = loaded.plaintext.split_at(loaded.text_len);
-        self.soc
-            .load_raw(package.text_base, text, package.data_base, data, package.entry)?;
+        self.soc.load_raw(
+            package.text_base,
+            text,
+            package.data_base,
+            data,
+            package.entry,
+        )?;
         let run = self.soc.run(self.fuel)?;
         Ok(ExecutionReport {
             exit_code: run.exit_code,
@@ -183,7 +193,9 @@ mod tests {
         let mut device = Device::with_seed(1, "node");
         let cred = device.enroll();
         let source = SoftwareSource::new("vendor");
-        let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+        let pkg = source
+            .build(PROGRAM, &cred, &EncryptionConfig::full())
+            .unwrap();
         let report = device.install_and_run(&pkg).unwrap();
         assert_eq!(report.exit_code, 42);
         assert!(report.load_cycles > 0);
@@ -196,7 +208,9 @@ mod tests {
         let mut imposter = Device::with_seed(99, "imposter");
         let cred = device.enroll();
         let source = SoftwareSource::new("vendor");
-        let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+        let pkg = source
+            .build(PROGRAM, &cred, &EncryptionConfig::full())
+            .unwrap();
         assert!(device.install_and_run(&pkg).is_ok());
         assert!(matches!(
             imposter.install_and_run(&pkg),
@@ -209,7 +223,9 @@ mod tests {
         let mut device = Device::with_seed(2, "node");
         let cred = device.enroll();
         let source = SoftwareSource::new("vendor");
-        let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+        let pkg = source
+            .build(PROGRAM, &cred, &EncryptionConfig::full())
+            .unwrap();
         assert!(device.install_and_run(&pkg).is_ok());
         device.rotate_epoch();
         assert!(device.install_and_run(&pkg).is_err());
@@ -237,11 +253,16 @@ mod tests {
         let cred = device.enroll();
         let source = SoftwareSource::new("vendor");
         let image = source.compile(PROGRAM, false).unwrap();
-        let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+        let pkg = source
+            .build(PROGRAM, &cred, &EncryptionConfig::full())
+            .unwrap();
         let secure = device.install_and_run(&pkg).unwrap();
         let plain = device.run_plain(&image).unwrap();
         assert!(secure.load_cycles > plain.load_cycles);
-        assert_eq!(secure.run.cycles, plain.run.cycles, "execution itself is unchanged");
+        assert_eq!(
+            secure.run.cycles, plain.run.cycles,
+            "execution itself is unchanged"
+        );
     }
 
     #[test]

@@ -13,7 +13,6 @@
 //! wire size including headers.
 
 use crate::error::EricError;
-use bytes::{Buf, BufMut};
 use eric_crypto::cipher::CipherKind;
 use eric_hde::map::{CoverageMap, ParcelBitmap};
 use eric_hde::FieldPolicy;
@@ -91,29 +90,29 @@ impl Package {
     /// Serialize to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(128 + self.payload.len() + self.map.wire_len());
-        buf.put_slice(MAGIC);
-        buf.put_u8(self.cipher.wire_id());
-        buf.put_u8(self.policy.map_or(0xFF, FieldPolicy::wire_id));
-        buf.put_u64_le(self.epoch);
-        buf.put_u64_le(self.nonce);
-        buf.put_u64_le(self.text_base);
-        buf.put_u64_le(self.data_base);
-        buf.put_u64_le(self.entry);
-        buf.put_u32_le(self.text_len);
-        buf.put_u32_le(self.payload.len() as u32);
-        buf.put_u16_le(self.challenge.len() as u16);
-        buf.put_slice(&self.challenge);
+        buf.extend_from_slice(MAGIC);
+        buf.push(self.cipher.wire_id());
+        buf.push(self.policy.map_or(0xFF, FieldPolicy::wire_id));
+        buf.extend_from_slice(&self.epoch.to_le_bytes());
+        buf.extend_from_slice(&self.nonce.to_le_bytes());
+        buf.extend_from_slice(&self.text_base.to_le_bytes());
+        buf.extend_from_slice(&self.data_base.to_le_bytes());
+        buf.extend_from_slice(&self.entry.to_le_bytes());
+        buf.extend_from_slice(&self.text_len.to_le_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.challenge.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&self.challenge);
         match &self.map {
-            CoverageMap::Full => buf.put_u8(0),
+            CoverageMap::Full => buf.push(0),
             CoverageMap::Partial(bm) => {
-                buf.put_u8(1);
-                buf.put_u8(bm.granularity() as u8);
-                buf.put_u32_le(bm.parcels() as u32);
-                buf.put_slice(bm.to_bytes());
+                buf.push(1);
+                buf.push(bm.granularity() as u8);
+                buf.extend_from_slice(&(bm.parcels() as u32).to_le_bytes());
+                buf.extend_from_slice(bm.to_bytes());
             }
         }
-        buf.put_slice(&self.encrypted_signature);
-        buf.put_slice(&self.payload);
+        buf.extend_from_slice(&self.encrypted_signature);
+        buf.extend_from_slice(&self.payload);
         buf
     }
 
@@ -123,65 +122,49 @@ impl Package {
     ///
     /// Returns [`EricError::Package`] for bad magic, unknown cipher or
     /// policy identifiers, or truncated input.
-    pub fn from_wire(mut wire: &[u8]) -> Result<Package, EricError> {
+    pub fn from_wire(wire: &[u8]) -> Result<Package, EricError> {
         let err = |m: &str| EricError::Package(m.to_string());
-        let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), EricError> {
-            if buf.remaining() < n {
-                Err(EricError::Package(format!("truncated at {what}")))
-            } else {
-                Ok(())
-            }
-        };
-        need(&wire, 5, "magic")?;
-        let mut magic = [0u8; 5];
-        wire.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        let mut wire = WireReader::new(wire);
+        if wire.take(5, "magic")? != MAGIC {
             return Err(err("bad magic"));
         }
-        need(&wire, 1 + 1 + 8 * 5 + 4 + 4 + 2, "header")?;
-        let cipher = CipherKind::from_wire_id(wire.get_u8()).ok_or_else(|| err("unknown cipher"))?;
-        let policy_id = wire.get_u8();
+        let cipher =
+            CipherKind::from_wire_id(wire.u8("cipher")?).ok_or_else(|| err("unknown cipher"))?;
+        let policy_id = wire.u8("policy")?;
         let policy = if policy_id == 0xFF {
             None
         } else {
             Some(FieldPolicy::from_wire_id(policy_id).ok_or_else(|| err("unknown policy"))?)
         };
-        let epoch = wire.get_u64_le();
-        let nonce = wire.get_u64_le();
-        let text_base = wire.get_u64_le();
-        let data_base = wire.get_u64_le();
-        let entry = wire.get_u64_le();
-        let text_len = wire.get_u32_le();
-        let payload_len = wire.get_u32_le() as usize;
-        let challenge_len = wire.get_u16_le() as usize;
-        need(&wire, challenge_len, "challenge")?;
-        let challenge = wire.copy_to_bytes(challenge_len).to_vec();
-        need(&wire, 1, "map tag")?;
-        let map = match wire.get_u8() {
+        let epoch = wire.u64_le("epoch")?;
+        let nonce = wire.u64_le("nonce")?;
+        let text_base = wire.u64_le("text base")?;
+        let data_base = wire.u64_le("data base")?;
+        let entry = wire.u64_le("entry")?;
+        let text_len = wire.u32_le("text length")?;
+        let payload_len = wire.u32_le("payload length")? as usize;
+        let challenge_len = wire.u16_le("challenge length")? as usize;
+        let challenge = wire.take(challenge_len, "challenge")?.to_vec();
+        let map = match wire.u8("map tag")? {
             0 => CoverageMap::Full,
             1 => {
-                need(&wire, 5, "map header")?;
-                let granularity = wire.get_u8() as u32;
+                let granularity = wire.u8("map granularity")? as u32;
                 if granularity != 2 && granularity != 4 {
                     return Err(err("bad map granularity"));
                 }
-                let parcels = wire.get_u32_le() as usize;
-                let map_bytes = parcels.div_ceil(8);
-                need(&wire, map_bytes, "map bits")?;
-                let bits = wire.copy_to_bytes(map_bytes).to_vec();
+                let parcels = wire.u32_le("map parcels")? as usize;
+                let bits = wire.take(parcels.div_ceil(8), "map bits")?;
                 CoverageMap::Partial(ParcelBitmap::from_bytes_with_granularity(
-                    &bits,
+                    bits,
                     parcels,
                     granularity,
                 ))
             }
             _ => return Err(err("unknown map tag")),
         };
-        need(&wire, 32, "signature")?;
         let mut encrypted_signature = [0u8; 32];
-        wire.copy_to_slice(&mut encrypted_signature);
-        need(&wire, payload_len, "payload")?;
-        let payload = wire.copy_to_bytes(payload_len).to_vec();
+        encrypted_signature.copy_from_slice(wire.take(32, "signature")?);
+        let payload = wire.take(payload_len, "payload")?.to_vec();
         if text_len as usize > payload.len() {
             return Err(err("text length exceeds payload"));
         }
@@ -212,6 +195,49 @@ impl Package {
             },
             wire_bytes: self.to_wire().len(),
         }
+    }
+}
+
+/// Minimal bounds-checked cursor over wire bytes (keeps the parser
+/// dependency-free; every read reports *where* truncation happened).
+struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], EricError> {
+        if self.buf.len() < n {
+            return Err(EricError::Package(format!("truncated at {what}")));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, EricError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16_le(&mut self, what: &str) -> Result<u16, EricError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("len checked"),
+        ))
+    }
+
+    fn u32_le(&mut self, what: &str) -> Result<u32, EricError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("len checked"),
+        ))
+    }
+
+    fn u64_le(&mut self, what: &str) -> Result<u64, EricError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("len checked"),
+        ))
     }
 }
 
@@ -338,6 +364,6 @@ mod tests {
         let p = sample(CoverageMap::Partial(bm));
         let r = p.size_report();
         assert_eq!(r.map_bits, 5);
-        assert_eq!(r.package_bytes(), 10 + (256 + 5 + 7) / 8);
+        assert_eq!(r.package_bytes(), 10 + (256usize + 5).div_ceil(8));
     }
 }

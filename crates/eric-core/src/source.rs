@@ -18,10 +18,10 @@ use eric_crypto::sha256::Sha256;
 use eric_hde::map::{CoverageMap, ParcelBitmap};
 use eric_hde::transform::{transform_payload, transform_signature};
 use eric_puf::crp::EnrollmentRecord;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Wall-clock breakdown of one build (Figure 6's measurement).
@@ -86,7 +86,11 @@ impl SoftwareSource {
     ///
     /// Propagates assembler errors.
     pub fn compile(&self, asm_source: &str, compress: bool) -> Result<Image, EricError> {
-        let options = if compress { AsmOptions::compressed() } else { AsmOptions::default() };
+        let options = if compress {
+            AsmOptions::compressed()
+        } else {
+            AsmOptions::default()
+        };
         Ok(assemble(asm_source, &options)?)
     }
 
@@ -150,7 +154,7 @@ impl SoftwareSource {
         }
         let mut timings = BuildTimings::default();
         let nonce = {
-            let mut c = self.nonce_counter.lock();
+            let mut c = self.nonce_counter.lock().expect("nonce counter poisoned");
             let n = *c;
             *c += 1;
             n
@@ -279,7 +283,9 @@ mod tests {
     fn build_produces_encrypted_payload() {
         let src = SoftwareSource::new("vendor");
         let image = src.compile(PROGRAM, false).unwrap();
-        let pkg = src.build(PROGRAM, &cred(1), &EncryptionConfig::full()).unwrap();
+        let pkg = src
+            .build(PROGRAM, &cred(1), &EncryptionConfig::full())
+            .unwrap();
         assert_eq!(pkg.payload.len(), image.text.len() + image.data.len());
         assert_ne!(&pkg.payload[..image.text.len()], &image.text[..]);
     }
@@ -319,20 +325,25 @@ mod tests {
     fn partial_selection_is_deterministic_per_seed() {
         let src = SoftwareSource::new("vendor");
         let c = cred(3);
-        let a = src.build(PROGRAM, &c, &EncryptionConfig::partial(0.5, 9)).unwrap();
-        let b = src.build(PROGRAM, &c, &EncryptionConfig::partial(0.5, 9)).unwrap();
+        let a = src
+            .build(PROGRAM, &c, &EncryptionConfig::partial(0.5, 9))
+            .unwrap();
+        let b = src
+            .build(PROGRAM, &c, &EncryptionConfig::partial(0.5, 9))
+            .unwrap();
         assert_eq!(a.map, b.map);
-        let c2 = src.build(PROGRAM, &c, &EncryptionConfig::partial(0.5, 10)).unwrap();
+        let c2 = src
+            .build(PROGRAM, &c, &EncryptionConfig::partial(0.5, 10))
+            .unwrap();
         assert!(a.map == c2.map || a.map != c2.map); // seeds may coincide on tiny programs
     }
 
     #[test]
     fn field_level_on_compressed_image_rejected() {
         let src = SoftwareSource::new("vendor");
-        let cfg = crate::config::EncryptionConfig::field_level(
-            eric_hde::FieldPolicy::MemoryPointers,
-        )
-        .with_compression(true);
+        let cfg =
+            crate::config::EncryptionConfig::field_level(eric_hde::FieldPolicy::MemoryPointers)
+                .with_compression(true);
         assert!(matches!(
             src.build(PROGRAM, &cred(4), &cfg),
             Err(EricError::Config(_))

@@ -85,7 +85,7 @@ impl BigUint {
 
     /// `true` if the lowest bit is clear.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for the value zero).
@@ -129,9 +129,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -337,7 +337,11 @@ impl BigUint {
         // Normalize the coefficient into [0, modulus).
         let (neg, mag) = old_s;
         let m = mag.rem(modulus);
-        Some(if neg && !m.is_zero() { modulus.sub(&m) } else { m })
+        Some(if neg && !m.is_zero() {
+            modulus.sub(&m)
+        } else {
+            m
+        })
     }
 }
 

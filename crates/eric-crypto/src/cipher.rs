@@ -14,39 +14,88 @@
 use crate::sha256::Sha256;
 use std::fmt;
 
+/// Scratch size used by the default block implementations. One page:
+/// large enough to amortize per-block costs, small enough to live on
+/// the stack (the hardware analogue is the HDE's keystream FIFO depth).
+pub const KEYSTREAM_CHUNK: usize = 4096;
+
 /// A cipher that produces a deterministic keystream addressed by byte
 /// position.
 ///
 /// Encrypting and decrypting are both [`KeystreamCipher::apply`]: the
 /// keystream byte at absolute position `p` is XORed into the buffer byte
 /// that lives at position `p`. Applying twice restores the plaintext.
+///
+/// The trait is *block-oriented*: implementations materialize whole
+/// keystream runs with [`KeystreamCipher::fill_keystream`], and the
+/// XOR-in helpers ([`KeystreamCipher::apply`],
+/// [`KeystreamCipher::apply_selected`]) are built on top of it. The
+/// per-byte [`KeystreamCipher::keystream_byte`] remains as the
+/// correctness *oracle*: tests check that block fills match it
+/// byte-for-byte, but no hot path calls it.
 pub trait KeystreamCipher {
     /// Keystream byte at absolute byte position `pos`.
+    ///
+    /// This is the reference definition of the stream — the slow,
+    /// obviously-correct oracle. Hot paths use
+    /// [`KeystreamCipher::fill_keystream`] instead.
     fn keystream_byte(&self, pos: u64) -> u8;
+
+    /// Fill `out` with the keystream bytes for absolute positions
+    /// `offset .. offset + out.len()`.
+    ///
+    /// Must produce exactly the bytes [`KeystreamCipher::keystream_byte`]
+    /// would, but is free to generate them a block at a time.
+    fn fill_keystream(&self, offset: u64, out: &mut [u8]);
 
     /// Human-readable cipher name (used in package headers and reports).
     fn name(&self) -> &'static str;
 
     /// XOR the keystream into `buf`, where `buf[0]` sits at absolute
     /// position `offset` in the payload.
+    ///
+    /// The default fills a stack scratch block with
+    /// [`KeystreamCipher::fill_keystream`] and XORs it in slice-wide,
+    /// so implementors only ever write one block routine.
     fn apply(&self, offset: u64, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b ^= self.keystream_byte(offset + i as u64);
+        let mut ks = [0u8; KEYSTREAM_CHUNK];
+        let mut done = 0usize;
+        while done < buf.len() {
+            let n = (buf.len() - done).min(KEYSTREAM_CHUNK);
+            self.fill_keystream(offset + done as u64, &mut ks[..n]);
+            for (b, k) in buf[done..done + n].iter_mut().zip(&ks[..n]) {
+                *b ^= *k;
+            }
+            done += n;
         }
     }
 
     /// XOR the keystream into `buf` only where `select` returns `true`
-    /// for the absolute byte position. This is how partial encryption
-    /// touches exactly the parcels marked in the encryption map.
-    fn apply_selected<F: Fn(u64) -> bool>(&self, offset: u64, buf: &mut [u8], select: F)
-    where
-        Self: Sized,
-    {
-        for (i, b) in buf.iter_mut().enumerate() {
-            let pos = offset + i as u64;
-            if select(pos) {
-                *b ^= self.keystream_byte(pos);
+    /// for the absolute byte position.
+    ///
+    /// Auxiliary API: the production partial-encryption path does *not*
+    /// go through a predicate — it iterates the coverage map's
+    /// contiguous runs (`CoverageMap::covered_runs` in `eric-hde`) and
+    /// XORs each run with [`KeystreamCipher::apply`]. This method is
+    /// the generic arbitrary-selection form for custom consumers and
+    /// equivalence tests.
+    ///
+    /// Takes a `&dyn Fn` so the method stays object-safe and remains
+    /// callable through `&dyn KeystreamCipher` (the shape every package
+    /// consumer holds after [`crate::cipher::CipherKind::instantiate`]).
+    fn apply_selected(&self, offset: u64, buf: &mut [u8], select: &dyn Fn(u64) -> bool) {
+        let mut ks = [0u8; KEYSTREAM_CHUNK];
+        let mut done = 0usize;
+        while done < buf.len() {
+            let n = (buf.len() - done).min(KEYSTREAM_CHUNK);
+            let base = offset + done as u64;
+            self.fill_keystream(base, &mut ks[..n]);
+            for (i, (b, k)) in buf[done..done + n].iter_mut().zip(&ks[..n]).enumerate() {
+                if select(base + i as u64) {
+                    *b ^= *k;
+                }
             }
+            done += n;
         }
     }
 }
@@ -103,8 +152,39 @@ impl KeystreamCipher for XorCipher {
         self.key[(pos % self.key.len() as u64) as usize]
     }
 
+    /// Rotate the key into the buffer with whole-slice copies: one
+    /// partial copy to phase-align, then full-key `copy_from_slice`
+    /// repeats (memcpy speed) instead of a modulo per byte.
+    fn fill_keystream(&self, offset: u64, out: &mut [u8]) {
+        let klen = self.key.len();
+        let mut kpos = (offset % klen as u64) as usize;
+        let mut i = 0usize;
+        while i < out.len() {
+            let n = (klen - kpos).min(out.len() - i);
+            out[i..i + n].copy_from_slice(&self.key[kpos..kpos + n]);
+            i += n;
+            kpos = 0;
+        }
+    }
+
     fn name(&self) -> &'static str {
         "xor"
+    }
+
+    /// XOR the rotated key straight into the buffer — no scratch block,
+    /// single pass (the software shape of the paper's row of XOR gates).
+    fn apply(&self, offset: u64, buf: &mut [u8]) {
+        let klen = self.key.len();
+        let mut kpos = (offset % klen as u64) as usize;
+        let mut i = 0usize;
+        while i < buf.len() {
+            let n = (klen - kpos).min(buf.len() - i);
+            for (b, k) in buf[i..i + n].iter_mut().zip(&self.key[kpos..kpos + n]) {
+                *b ^= *k;
+            }
+            i += n;
+            kpos = 0;
+        }
     }
 }
 
@@ -164,25 +244,22 @@ impl KeystreamCipher for ShaCtrCipher {
         block[(pos % Self::BLOCK) as usize]
     }
 
-    fn name(&self) -> &'static str {
-        "sha-ctr"
-    }
-
-    fn apply(&self, offset: u64, buf: &mut [u8]) {
-        // Amortize: materialize each 32-byte block once instead of once
-        // per byte (the hardware analogue is a one-block keystream FIFO).
+    /// Materialize each 32-byte counter block once and copy it out (the
+    /// hardware analogue is a one-block keystream FIFO).
+    fn fill_keystream(&self, offset: u64, out: &mut [u8]) {
         let mut i = 0usize;
-        while i < buf.len() {
+        while i < out.len() {
             let pos = offset + i as u64;
-            let block_idx = pos / Self::BLOCK;
-            let block = self.block(block_idx);
+            let block = self.block(pos / Self::BLOCK);
             let start_in_block = (pos % Self::BLOCK) as usize;
-            let take = (Self::BLOCK as usize - start_in_block).min(buf.len() - i);
-            for j in 0..take {
-                buf[i + j] ^= block[start_in_block + j];
-            }
+            let take = (Self::BLOCK as usize - start_in_block).min(out.len() - i);
+            out[i..i + take].copy_from_slice(&block[start_in_block..start_in_block + take]);
             i += take;
         }
+    }
+
+    fn name(&self) -> &'static str {
+        "sha-ctr"
     }
 }
 
@@ -311,7 +388,7 @@ mod tests {
     fn apply_selected_touches_only_selected_positions() {
         let c = XorCipher::new(&[0xFF]);
         let mut data = vec![0u8; 16];
-        c.apply_selected(0, &mut data, |pos| pos % 2 == 0);
+        c.apply_selected(0, &mut data, &|pos| pos % 2 == 0);
         for (i, b) in data.iter().enumerate() {
             if i % 2 == 0 {
                 assert_eq!(*b, 0xFF);
@@ -319,6 +396,64 @@ mod tests {
                 assert_eq!(*b, 0x00);
             }
         }
+    }
+
+    #[test]
+    fn apply_selected_works_through_trait_object() {
+        // Regression: apply_selected used to be `Self: Sized`-bound and
+        // unusable through `&dyn KeystreamCipher`, the shape every
+        // consumer of CipherKind::instantiate holds.
+        for kind in [CipherKind::Xor, CipherKind::ShaCtr] {
+            let boxed = kind.instantiate(&[3, 1, 4, 1, 5]);
+            let dyn_cipher: &dyn KeystreamCipher = boxed.as_ref();
+            let mut data = vec![0u8; 64];
+            dyn_cipher.apply_selected(7, &mut data, &|pos| pos % 3 == 0);
+            for (i, b) in data.iter().enumerate() {
+                let pos = 7 + i as u64;
+                let expect = if pos.is_multiple_of(3) {
+                    dyn_cipher.keystream_byte(pos)
+                } else {
+                    0
+                };
+                assert_eq!(*b, expect, "position {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_keystream_matches_byte_oracle() {
+        // The block path must be bit-identical to the per-byte oracle,
+        // at awkward offsets and lengths straddling block boundaries.
+        let xor = XorCipher::new(&[9, 8, 7, 6, 5, 4, 3]);
+        let sha = ShaCtrCipher::new(b"oracle key");
+        for cipher in [&xor as &dyn KeystreamCipher, &sha] {
+            for offset in [0u64, 1, 6, 7, 31, 32, 33, 4095, 4096, 10_000] {
+                for len in [0usize, 1, 2, 7, 31, 32, 33, 100, 5000] {
+                    let mut fast = vec![0u8; len];
+                    cipher.fill_keystream(offset, &mut fast);
+                    let slow: Vec<u8> = (0..len as u64)
+                        .map(|i| cipher.keystream_byte(offset + i))
+                        .collect();
+                    assert_eq!(fast, slow, "{} offset {offset} len {len}", cipher.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_apply_matches_default_block_apply() {
+        // XorCipher overrides apply() with a scratch-free XOR; it must
+        // agree with the generic fill-then-XOR path.
+        let c = XorCipher::new(&[0x11, 0x22, 0x33]);
+        let mut direct: Vec<u8> = (0u16..6000).map(|i| (i % 251) as u8).collect();
+        let mut via_fill = direct.clone();
+        c.apply(5, &mut direct);
+        let mut ks = vec![0u8; via_fill.len()];
+        c.fill_keystream(5, &mut ks);
+        for (b, k) in via_fill.iter_mut().zip(&ks) {
+            *b ^= *k;
+        }
+        assert_eq!(direct, via_fill);
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub enum CryptoError {
 impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CryptoError::MessageTooLarge { msg_len, modulus_len } => write!(
+            CryptoError::MessageTooLarge {
+                msg_len,
+                modulus_len,
+            } => write!(
                 f,
                 "message of {msg_len} bytes does not fit under a {modulus_len}-byte modulus"
             ),
@@ -49,7 +52,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_concise() {
-        let e = CryptoError::MessageTooLarge { msg_len: 100, modulus_len: 64 };
+        let e = CryptoError::MessageTooLarge {
+            msg_len: 100,
+            modulus_len: 64,
+        };
         let s = e.to_string();
         assert!(s.starts_with("message of"));
         assert!(!s.ends_with('.'));

@@ -116,10 +116,7 @@ mod tests {
     #[test]
     fn derivation_is_deterministic() {
         let kmu = KeyManagementUnit::new();
-        assert_eq!(
-            kmu.derive(&[5; 8], 3, b"p"),
-            kmu.derive(&[5; 8], 3, b"p")
-        );
+        assert_eq!(kmu.derive(&[5; 8], 3, b"p"), kmu.derive(&[5; 8], 3, b"p"));
     }
 
     #[test]
@@ -145,10 +142,7 @@ mod tests {
     #[test]
     fn length_prefixing_prevents_boundary_collisions() {
         let kmu = KeyManagementUnit::new();
-        assert_ne!(
-            kmu.derive(b"ab", 0, b"c"),
-            kmu.derive(b"a", 0, b"bc")
-        );
+        assert_ne!(kmu.derive(b"ab", 0, b"c"), kmu.derive(b"a", 0, b"bc"));
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl RsaPublicKey {
                 modulus_len: self.modulus_len(),
             });
         }
-        Ok(left_pad(m.mod_pow(&self.e, &self.n).to_bytes_be(), self.modulus_len()))
+        Ok(left_pad(
+            m.mod_pow(&self.e, &self.n).to_bytes_be(),
+            self.modulus_len(),
+        ))
     }
 
     /// Wrap a short secret (e.g. a 32-byte PUF-based key) with

@@ -11,12 +11,18 @@ use crate::error::HdeError;
 use crate::map::CoverageMap;
 use crate::policy::FieldPolicy;
 use crate::timing::{HdeCycles, HdeTimingConfig};
-use crate::transform::{transform_payload, transform_signature};
+use crate::transform::{transform_region, transform_signature};
 use crate::units::{KeyUnit, SignatureGenerator, ValidationUnit};
 use eric_crypto::cipher::CipherKind;
 use eric_puf::crp::Challenge;
 use eric_puf::device::PufDevice;
 use std::fmt;
+
+/// Streaming decrypt granularity: how much ciphertext the Decryption
+/// Unit processes before handing the chunk to the Signature Generator.
+/// Must stay a multiple of 4 so field-level policies never see a split
+/// instruction word.
+const STREAM_CHUNK: usize = 64 * 1024;
 
 /// Everything the HDE receives from the outside world for one program
 /// (unpacked from the wire format by `eric-core`).
@@ -143,6 +149,12 @@ impl SecureLoader {
                 )));
             }
         }
+        if input.policy.is_some() && !input.text_len.is_multiple_of(4) {
+            return Err(HdeError::Malformed(format!(
+                "field-level package with misaligned text length {}",
+                input.text_len
+            )));
+        }
         // The KMU only derives keys for the device's *current* epoch;
         // rotating the epoch therefore revokes every older package.
         if input.epoch != self.keys.epoch() {
@@ -152,27 +164,40 @@ impl SecureLoader {
             });
         }
         // Key derivation (PKG + KMU).
-        let key = self.keys.package_key(input.challenge, input.epoch, input.nonce);
+        let key = self
+            .keys
+            .package_key(input.challenge, input.epoch, input.nonce);
         let cipher = input.cipher.instantiate(key.as_bytes());
 
-        // Decryption Unit: payload then signature (continuation stream).
-        let mut plaintext = input.payload.to_vec();
-        transform_payload(
-            &mut plaintext,
-            input.map,
-            input.policy,
-            input.text_len,
-            cipher.as_ref(),
-        );
-        let mut signature = input.encrypted_signature;
-        transform_signature(&mut signature, input.payload.len(), cipher.as_ref());
-
-        // Signature Generator: re-hash the authenticated metadata and
-        // the decrypted stream.
+        // Decryption Unit + Signature Generator, pipelined: decrypt the
+        // payload in bounded chunks and stream each decrypted chunk
+        // straight into the hash — one pass over the data, the software
+        // shape of the HDE's decrypt→hash datapath. Chunks are 4-byte
+        // aligned so field-level policies never split an instruction
+        // word across a chunk boundary.
         let mut gen = SignatureGenerator::new();
         gen.absorb(input.aad);
-        gen.absorb(&plaintext);
+        let mut plaintext = input.payload.to_vec();
+        let mut at = 0usize;
+        while at < plaintext.len() {
+            let end = (at + STREAM_CHUNK).min(plaintext.len());
+            let chunk = &mut plaintext[at..end];
+            transform_region(
+                chunk,
+                at,
+                input.map,
+                input.policy,
+                input.text_len,
+                cipher.as_ref(),
+            );
+            gen.absorb(chunk);
+            at = end;
+        }
         let computed = gen.finalize();
+
+        // Signature continuation stream.
+        let mut signature = input.encrypted_signature;
+        transform_signature(&mut signature, input.payload.len(), cipher.as_ref());
 
         // Validation Unit.
         let cycles = HdeCycles {
@@ -186,18 +211,25 @@ impl SecureLoader {
                 shipped: eric_crypto::sha256::Digest::from_bytes(signature),
             });
         }
-        Ok(LoadedProgram { plaintext, text_len: input.text_len, cycles })
+        Ok(LoadedProgram {
+            plaintext,
+            text_len: input.text_len,
+            cycles,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transform::transform_payload;
     use eric_crypto::sha256::sha256;
     use eric_puf::device::PufDeviceConfig;
 
     /// Encrypt a payload+signature the way the compiler side does, by
     /// reusing the shared transform with the device's own key.
+    // Test helper mirroring the full package parameter surface.
+    #[allow(clippy::too_many_arguments)]
     fn encrypt_for(
         loader: &SecureLoader,
         challenge: &Challenge,
@@ -387,6 +419,61 @@ mod tests {
             }),
             Err(HdeError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn streaming_decrypt_spans_chunk_boundaries() {
+        // Payload bigger than STREAM_CHUNK with a partial map: the
+        // chunked decrypt+hash pipeline must agree with the compiler
+        // side's whole-payload transform.
+        use crate::map::ParcelBitmap;
+        let l = loader(8);
+        let ch = challenge();
+        let len = super::STREAM_CHUNK + 4096 + 37;
+        let payload: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        let mut bm = ParcelBitmap::new(len.div_ceil(2));
+        for p in 0..bm.parcels() {
+            if p % 3 != 1 {
+                bm.set(p);
+            }
+        }
+        let map = CoverageMap::Partial(bm);
+        let (enc, sig) = encrypt_for(&l, &ch, 0, 21, &payload, 1024, &map, None);
+        let out = l
+            .process(&SecureInput {
+                payload: &enc,
+                aad: &[],
+                text_len: 1024,
+                map: &map,
+                policy: None,
+                encrypted_signature: sig,
+                cipher: CipherKind::Xor,
+                challenge: &ch,
+                epoch: 0,
+                nonce: 21,
+            })
+            .expect("validates");
+        assert_eq!(out.plaintext, payload);
+    }
+
+    #[test]
+    fn field_policy_misaligned_text_is_malformed_not_panic() {
+        let l = loader(9);
+        let ch = challenge();
+        let payload = vec![0u8; 16];
+        let r = l.process(&SecureInput {
+            payload: &payload,
+            aad: &[],
+            text_len: 10, // not 4-byte aligned
+            map: &CoverageMap::Full,
+            policy: Some(FieldPolicy::AllButOpcode),
+            encrypted_signature: [0; 32],
+            cipher: CipherKind::Xor,
+            challenge: &ch,
+            epoch: 0,
+            nonce: 0,
+        });
+        assert!(matches!(r, Err(HdeError::Malformed(_))));
     }
 
     #[test]

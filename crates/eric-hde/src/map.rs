@@ -40,7 +40,11 @@ impl ParcelBitmap {
             granularity == 2 || granularity == 4,
             "parcel granularity must be 2 or 4 bytes, got {granularity}"
         );
-        ParcelBitmap { bits: vec![0; parcels.div_ceil(8)], parcels, granularity }
+        ParcelBitmap {
+            bits: vec![0; parcels.div_ceil(8)],
+            parcels,
+            granularity,
+        }
     }
 
     /// Parcel size in bytes.
@@ -64,7 +68,11 @@ impl ParcelBitmap {
     ///
     /// Panics if `i` is out of range.
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.parcels, "parcel {i} out of range ({})", self.parcels);
+        assert!(
+            i < self.parcels,
+            "parcel {i} out of range ({})",
+            self.parcels
+        );
         self.bits[i / 8] |= 1 << (i % 8);
     }
 
@@ -90,6 +98,48 @@ impl ParcelBitmap {
     /// Panics if `bytes` is shorter than `parcels` requires.
     pub fn from_bytes(bytes: &[u8], parcels: usize) -> Self {
         Self::from_bytes_with_granularity(bytes, parcels, 2)
+    }
+
+    /// Index of the first marked parcel at or after `from`, skipping
+    /// whole all-clear bitmap bytes (8 parcels per step).
+    pub fn next_set(&self, from: usize) -> Option<usize> {
+        let mut i = from;
+        while i < self.parcels {
+            let byte = self.bits[i / 8];
+            if byte == 0 {
+                i = (i / 8 + 1) * 8;
+                continue;
+            }
+            let rest = byte >> (i % 8);
+            if rest == 0 {
+                i = (i / 8 + 1) * 8;
+                continue;
+            }
+            let found = i + rest.trailing_zeros() as usize;
+            return (found < self.parcels).then_some(found);
+        }
+        None
+    }
+
+    /// Index of the first *clear* parcel at or after `from` (which is
+    /// `parcels` when the rest of the map is solid), skipping whole
+    /// all-set bitmap bytes.
+    pub fn next_clear(&self, from: usize) -> usize {
+        let mut i = from;
+        while i < self.parcels {
+            let byte = self.bits[i / 8];
+            if byte == 0xFF {
+                i = (i / 8 + 1) * 8;
+                continue;
+            }
+            let rest = !byte >> (i % 8);
+            if rest == 0 {
+                i = (i / 8 + 1) * 8;
+                continue;
+            }
+            return (i + rest.trailing_zeros() as usize).min(self.parcels);
+        }
+        self.parcels
     }
 
     /// Rebuild from raw bytes with an explicit parcel size.
@@ -148,6 +198,24 @@ impl CoverageMap {
         }
     }
 
+    /// Iterate the maximal contiguous *covered* byte runs intersecting
+    /// `range`, as `(start, len)` pairs in ascending order.
+    ///
+    /// This is the block-transform work list: consumers XOR whole runs
+    /// with slice operations instead of testing
+    /// [`CoverageMap::covers_byte`] once per byte. For
+    /// [`CoverageMap::Full`] the iterator yields the single run
+    /// `(range.start, range.len())`; for partial maps, consecutive
+    /// marked parcels merge into one run and all-clear / all-set bitmap
+    /// bytes are skipped 8 parcels at a time.
+    pub fn covered_runs(&self, range: std::ops::Range<usize>) -> CoveredRuns<'_> {
+        CoveredRuns {
+            map: self,
+            pos: range.start,
+            end: range.end.max(range.start),
+        }
+    }
+
     /// Serialized map size in bytes (0 for full encryption).
     pub fn wire_len(&self) -> usize {
         match self {
@@ -171,9 +239,64 @@ impl CoverageMap {
     }
 }
 
+/// Iterator over contiguous covered byte runs; see
+/// [`CoverageMap::covered_runs`].
+#[derive(Clone, Debug)]
+pub struct CoveredRuns<'a> {
+    map: &'a CoverageMap,
+    pos: usize,
+    end: usize,
+}
+
+impl Iterator for CoveredRuns<'_> {
+    /// `(start, len)` of one maximal covered byte run.
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.pos >= self.end {
+            return None;
+        }
+        match self.map {
+            CoverageMap::Full => {
+                let run = (self.pos, self.end - self.pos);
+                self.pos = self.end;
+                Some(run)
+            }
+            CoverageMap::Partial(bm) => {
+                let g = bm.granularity() as usize;
+                let first = bm.next_set(self.pos / g)?;
+                // Start mid-parcel when the range begins inside a
+                // covered parcel; otherwise at the parcel boundary.
+                let start = (first * g).max(self.pos);
+                if start >= self.end {
+                    self.pos = self.end;
+                    return None;
+                }
+                let run_end = (bm.next_clear(first) * g).min(self.end);
+                self.pos = run_end;
+                Some((start, run_end - start))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Reference for the run iterator: per-byte covers_byte scan.
+    fn runs_bytewise(map: &CoverageMap, range: std::ops::Range<usize>) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = Vec::new();
+        for pos in range {
+            if map.covers_byte(pos) {
+                match out.last_mut() {
+                    Some((s, l)) if *s + *l == pos => *l += 1,
+                    _ => out.push((pos, 1)),
+                }
+            }
+        }
+        out
+    }
 
     #[test]
     fn bitmap_set_get() {
@@ -218,6 +341,92 @@ mod tests {
         assert!(m.covers_byte(12345));
         assert_eq!(m.wire_len(), 0);
         assert_eq!(m.coverage(), 1.0);
+    }
+
+    #[test]
+    fn covered_runs_full_is_one_run() {
+        let m = CoverageMap::Full;
+        assert_eq!(m.covered_runs(0..10).collect::<Vec<_>>(), vec![(0, 10)]);
+        assert_eq!(m.covered_runs(3..7).collect::<Vec<_>>(), vec![(3, 4)]);
+        assert_eq!(m.covered_runs(5..5).count(), 0);
+    }
+
+    #[test]
+    fn covered_runs_merges_adjacent_parcels() {
+        let mut bm = ParcelBitmap::new(8); // 2-byte parcels, 16 bytes
+        bm.set(1);
+        bm.set(2);
+        bm.set(5);
+        let m = CoverageMap::Partial(bm);
+        // Parcels 1..=2 are bytes 2..6; parcel 5 is bytes 10..12.
+        assert_eq!(
+            m.covered_runs(0..16).collect::<Vec<_>>(),
+            vec![(2, 4), (10, 2)]
+        );
+    }
+
+    #[test]
+    fn covered_runs_clamps_to_range() {
+        let mut bm = ParcelBitmap::new(8);
+        for p in 0..8 {
+            bm.set(p);
+        }
+        let m = CoverageMap::Partial(bm);
+        // Range starts and ends mid-parcel.
+        assert_eq!(m.covered_runs(3..13).collect::<Vec<_>>(), vec![(3, 10)]);
+        // Range beyond the bitmap: bytes past parcel 8 are uncovered.
+        assert_eq!(m.covered_runs(0..100).collect::<Vec<_>>(), vec![(0, 16)]);
+    }
+
+    #[test]
+    fn covered_runs_matches_bytewise_reference() {
+        // Deterministic pseudo-random bitmaps at both granularities.
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for granularity in [2u32, 4] {
+            for parcels in [0usize, 1, 7, 8, 9, 64, 131] {
+                let mut bm = ParcelBitmap::with_granularity(parcels, granularity);
+                for p in 0..parcels {
+                    if next() & 1 == 1 {
+                        bm.set(p);
+                    }
+                }
+                let m = CoverageMap::Partial(bm);
+                let len = parcels * granularity as usize + 5;
+                for start in [0usize, 1, 3, len / 2] {
+                    let got: Vec<_> = m.covered_runs(start..len).collect();
+                    assert_eq!(
+                        got,
+                        runs_bytewise(&m, start..len),
+                        "granularity {granularity} parcels {parcels} start {start}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_set_and_clear_skip_bytes() {
+        let mut bm = ParcelBitmap::new(40);
+        bm.set(17);
+        bm.set(18);
+        bm.set(39);
+        assert_eq!(bm.next_set(0), Some(17));
+        assert_eq!(bm.next_set(18), Some(18));
+        assert_eq!(bm.next_set(19), Some(39));
+        assert_eq!(bm.next_set(40), None);
+        assert_eq!(bm.next_clear(17), 19);
+        assert_eq!(bm.next_clear(39), 40);
+        let mut solid = ParcelBitmap::new(20);
+        for p in 0..20 {
+            solid.set(p);
+        }
+        assert_eq!(solid.next_clear(0), 20);
     }
 
     #[test]

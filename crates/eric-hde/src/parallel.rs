@@ -2,12 +2,14 @@
 //!
 //! "Our future work will focus on improving the parallelism,
 //! performance, and scalability abilities of the architecture." The
-//! XOR keystream is position-addressable, so the payload splits into
+//! keystream is position-addressable, so the payload splits into
 //! independent chunks: `n` decryption lanes each process
-//! `⌈len/n⌉` bytes at their own absolute offsets. This module provides
-//! both a *cycle model* (what an n-lane HDE would cost) and a real
-//! multi-threaded implementation (via `crossbeam::scope`) used by the
-//! ablation bench to demonstrate wall-clock scaling.
+//! `⌈len/n⌉` bytes at their own absolute offsets, and each lane fills
+//! whole keystream blocks for its chunk via the block cipher API. This
+//! module provides both a *cycle model* (what an n-lane HDE would
+//! cost) and a real multi-threaded implementation (via
+//! `std::thread::scope`) used by the ablation bench to demonstrate
+//! wall-clock scaling.
 
 use crate::timing::HdeTimingConfig;
 use eric_crypto::cipher::KeystreamCipher;
@@ -44,22 +46,27 @@ pub fn parallel_cycles(timing: &HdeTimingConfig, bytes: usize, lanes: usize) -> 
 /// Panics if `lanes` is zero.
 pub fn decrypt_parallel<C>(payload: &mut [u8], cipher: &C, lanes: usize)
 where
-    C: KeystreamCipher + Sync,
+    C: KeystreamCipher + Sync + ?Sized,
 {
     assert!(lanes > 0, "at least one decryption lane required");
     if payload.is_empty() {
         return;
     }
     let chunk = payload.len().div_ceil(lanes);
-    crossbeam::scope(|scope| {
+    // Full coverage by construction: ⌈len/lanes⌉-sized chunks tile the
+    // payload exactly, in at most `lanes` pieces.
+    debug_assert!(
+        chunk * lanes >= payload.len() && payload.len().div_ceil(chunk) <= lanes,
+        "lane chunking must cover the payload in at most {lanes} chunks"
+    );
+    std::thread::scope(|scope| {
         for (i, slice) in payload.chunks_mut(chunk).enumerate() {
             let offset = (i * chunk) as u64;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 cipher.apply(offset, slice);
             });
         }
-    })
-    .expect("decryption lane panicked");
+    });
 }
 
 #[cfg(test)]
@@ -73,11 +80,51 @@ mod tests {
         let original: Vec<u8> = (0u16..1000).map(|i| (i % 256) as u8).collect();
         let mut sequential = original.clone();
         cipher.apply(0, &mut sequential);
-        for lanes in [1, 2, 3, 4, 8] {
+        for lanes in 1..=16 {
             let mut parallel = original.clone();
             decrypt_parallel(&mut parallel, &cipher, lanes);
             assert_eq!(parallel, sequential, "{lanes} lanes");
         }
+    }
+
+    #[test]
+    fn every_lane_count_matches_block_transform_at_awkward_lengths() {
+        // Lane chunking at arbitrary lanes ∈ 1..=16 must match the
+        // sequential block transform, including lengths that do not
+        // divide evenly and lengths smaller than the lane count.
+        let cipher = XorCipher::new(&[0xC3, 0x96, 0x5A, 0x2D, 0x71]);
+        for len in [1usize, 2, 3, 5, 15, 16, 17, 255, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+            let mut sequential = original.clone();
+            cipher.apply(0, &mut sequential);
+            for lanes in 1..=16 {
+                let mut parallel = original.clone();
+                decrypt_parallel(&mut parallel, &cipher, lanes);
+                assert_eq!(parallel, sequential, "len {len}, {lanes} lanes");
+            }
+        }
+    }
+
+    #[test]
+    fn more_lanes_than_bytes_is_fine() {
+        let cipher = XorCipher::new(&[0x0F, 0xF0]);
+        let original = vec![1u8, 2, 3];
+        let mut sequential = original.clone();
+        cipher.apply(0, &mut sequential);
+        let mut parallel = original.clone();
+        decrypt_parallel(&mut parallel, &cipher, 16); // lanes > len
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn works_through_dyn_cipher() {
+        let boxed: Box<dyn KeystreamCipher + Send + Sync> = Box::new(XorCipher::new(&[7, 11, 13]));
+        let original: Vec<u8> = (0u16..300).map(|i| (i % 256) as u8).collect();
+        let mut sequential = original.clone();
+        boxed.apply(0, &mut sequential);
+        let mut parallel = original.clone();
+        decrypt_parallel::<dyn KeystreamCipher + Send + Sync>(&mut parallel, boxed.as_ref(), 4);
+        assert_eq!(parallel, sequential);
     }
 
     #[test]

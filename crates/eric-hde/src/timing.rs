@@ -110,9 +110,17 @@ mod tests {
 
     #[test]
     fn total_is_max_of_overlapped_stages() {
-        let c = HdeCycles { decrypt: 512, hash: 4160, validate: 8 };
+        let c = HdeCycles {
+            decrypt: 512,
+            hash: 4160,
+            validate: 8,
+        };
         assert_eq!(c.total(), 4168);
-        let c = HdeCycles { decrypt: 9000, hash: 4160, validate: 8 };
+        let c = HdeCycles {
+            decrypt: 9000,
+            hash: 4160,
+            validate: 8,
+        };
         assert_eq!(c.total(), 9008);
     }
 

@@ -5,10 +5,18 @@
 //! exactly once — used by the compiler side to encrypt and by the HDE
 //! Decryption Unit to decrypt — guarantees the two sides agree on which
 //! bits the keystream touches.
+//!
+//! The hot path is *run-based*: [`CoverageMap::covered_runs`] yields
+//! contiguous covered byte ranges and each run is XORed with one
+//! block-filled keystream slice ([`KeystreamCipher::apply`] /
+//! [`KeystreamCipher::fill_keystream`]), instead of a coverage test and
+//! a virtual `keystream_byte` call per byte. The old per-byte shape is
+//! kept as [`transform_payload_bytewise`] — the correctness oracle the
+//! property tests compare against.
 
 use crate::map::CoverageMap;
 use crate::policy::FieldPolicy;
-use eric_crypto::cipher::KeystreamCipher;
+use eric_crypto::cipher::{KeystreamCipher, KEYSTREAM_CHUNK};
 
 /// Keystream position where the encrypted signature begins: it is
 /// encrypted as a continuation of the payload stream, so its keystream
@@ -30,8 +38,158 @@ pub fn signature_stream_offset(payload_len: usize) -> u64 {
 ///
 /// Panics if a field policy is used with a `text_len` that is not a
 /// multiple of 4 (field-level encryption requires an uncompressed
-/// build, which the packager enforces).
+/// build, which the packager enforces), or with a `text_len` that
+/// exceeds `payload.len()` on a misaligned payload. The latter is
+/// deliberately *stricter* than [`transform_payload_bytewise`], which
+/// silently clamps an out-of-range `text_len`: the packager never
+/// produces one and the loader rejects it as malformed, so reaching
+/// here with one is a caller bug worth failing loudly on.
 pub fn transform_payload(
+    payload: &mut [u8],
+    map: &CoverageMap,
+    policy: Option<FieldPolicy>,
+    text_len: usize,
+    cipher: &dyn KeystreamCipher,
+) {
+    transform_region(payload, 0, map, policy, text_len, cipher);
+}
+
+/// [`transform_payload`] for a window of a larger payload: `region[0]`
+/// sits at absolute payload offset `region_start`, and keystream
+/// positions, map parcels, and the text/data split are all interpreted
+/// in absolute payload coordinates.
+///
+/// This is the streaming building block: the secure loader decrypts
+/// and hashes a package in bounded chunks by calling this once per
+/// chunk, and the result is bit-identical to one whole-payload
+/// [`transform_payload`] call.
+///
+/// # Panics
+///
+/// With a field policy, panics unless `text_len` is 4-byte aligned and
+/// the region boundaries do not split an instruction word:
+/// `region_start` must be 4-byte aligned and the region must either end
+/// 4-byte aligned or extend to/past the end of the text section.
+pub fn transform_region(
+    region: &mut [u8],
+    region_start: usize,
+    map: &CoverageMap,
+    policy: Option<FieldPolicy>,
+    text_len: usize,
+    cipher: &dyn KeystreamCipher,
+) {
+    let region_end = region_start + region.len();
+    match policy {
+        None => {
+            for (start, len) in map.covered_runs(region_start..region_end) {
+                let local = start - region_start;
+                cipher.apply(start as u64, &mut region[local..local + len]);
+            }
+        }
+        Some(policy) => {
+            assert!(
+                text_len.is_multiple_of(4),
+                "field-level encryption requires 4-byte-aligned text ({text_len})"
+            );
+            let text_end = text_len.min(region_end);
+            if region_start < text_end {
+                // Note the comparison against the *unclamped* text_len:
+                // a region ending misaligned is only legal when it
+                // reaches the end of the text section.
+                assert!(
+                    region_start.is_multiple_of(4)
+                        && (region_end.is_multiple_of(4) || region_end >= text_len),
+                    "field-level region must not split instruction words \
+                     ({region_start}..{region_end}, text {text_len})"
+                );
+                // Text region: instruction words, masked by policy. The
+                // word at `w` is transformed iff its first byte is
+                // covered (i.e. `w` lies in a covered run) and the word
+                // fits entirely inside the text region.
+                let words_end = text_end & !3;
+                for (run_start, run_len) in map.covered_runs(region_start..words_end) {
+                    transform_text_run(region, region_start, run_start, run_len, policy, cipher);
+                }
+            }
+            // Data region: whole-parcel transform.
+            let data_start = text_len.max(region_start);
+            if data_start < region_end {
+                for (start, len) in map.covered_runs(data_start..region_end) {
+                    let local = start - region_start;
+                    cipher.apply(start as u64, &mut region[local..local + len]);
+                }
+            }
+        }
+    }
+}
+
+/// Apply a field policy to the instruction words whose first byte lies
+/// in the covered run `run_start .. run_start + run_len`, using
+/// block-filled keystream scratch (no per-byte cipher calls).
+///
+/// A word is processed iff its *first* byte is covered (matching the
+/// per-byte oracle, which tests `covers_byte` on the word start only);
+/// a 2-byte-parcel map can open a run mid-word, and that word is
+/// skipped because its start byte is uncovered.
+fn transform_text_run(
+    region: &mut [u8],
+    region_start: usize,
+    run_start: usize,
+    run_len: usize,
+    policy: FieldPolicy,
+    cipher: &dyn KeystreamCipher,
+) {
+    const _: () = assert!(KEYSTREAM_CHUNK.is_multiple_of(4));
+    let run_end = run_start + run_len;
+    // First word whose start byte is inside the run, and the keystream
+    // extent the run's words need (the last word may reach up to 3
+    // bytes past run_end — those bytes still belong to the text region
+    // because the caller bounds runs by a 4-aligned words_end).
+    let first_word = run_start.div_ceil(4) * 4;
+    let run_ks_end = run_end.div_ceil(4) * 4;
+    let mut ks = [0u8; KEYSTREAM_CHUNK];
+    let mut at = first_word;
+    while at < run_end {
+        let fill_len = (run_ks_end - at).min(KEYSTREAM_CHUNK);
+        cipher.fill_keystream(at as u64, &mut ks[..fill_len]);
+        let mut w = at;
+        while w < run_end && w + 4 <= at + fill_len {
+            let local = w - region_start;
+            let word = u32::from_le_bytes([
+                region[local],
+                region[local + 1],
+                region[local + 2],
+                region[local + 3],
+            ]);
+            let mask = policy.mask_for_word(word);
+            if mask != 0 {
+                let mask_bytes = mask.to_le_bytes();
+                let ks_off = w - at;
+                for i in 0..4 {
+                    region[local + i] ^= ks[ks_off + i] & mask_bytes[i];
+                }
+            }
+            w += 4;
+        }
+        at += fill_len;
+    }
+}
+
+/// Per-byte reference implementation of [`transform_payload`] — the
+/// correctness oracle.
+///
+/// This is the original one-virtual-call-per-byte shape: a
+/// [`CoverageMap::covers_byte`] test and a
+/// [`KeystreamCipher::keystream_byte`] call for every payload byte. It
+/// is kept (and exported) so property tests and the throughput bench
+/// can check that the run-based block path is bit-identical and
+/// measure what the redesign bought. Never call it on a hot path.
+///
+/// Equivalence with [`transform_payload`] holds for all valid inputs
+/// (`text_len <= payload.len()`); for an out-of-range `text_len` with
+/// a field policy this oracle clamps where the block path panics (see
+/// the panics note there).
+pub fn transform_payload_bytewise(
     payload: &mut [u8],
     map: &CoverageMap,
     policy: Option<FieldPolicy>,
@@ -48,7 +206,7 @@ pub fn transform_payload(
         }
         Some(policy) => {
             assert!(
-                text_len % 4 == 0,
+                text_len.is_multiple_of(4),
                 "field-level encryption requires 4-byte-aligned text ({text_len})"
             );
             let text_len = text_len.min(payload.len());
@@ -74,9 +232,9 @@ pub fn transform_payload(
                 at += 4;
             }
             // Data region: whole-parcel transform.
-            for pos in text_len..payload.len() {
+            for (pos, byte) in payload.iter_mut().enumerate().skip(text_len) {
                 if map.covers_byte(pos) {
-                    payload[pos] ^= cipher.keystream_byte(pos as u64);
+                    *byte ^= cipher.keystream_byte(pos as u64);
                 }
             }
         }
@@ -204,5 +362,133 @@ mod tests {
             6,
             &cipher(),
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not split")]
+    fn out_of_range_text_len_on_misaligned_payload_panics() {
+        // Stricter than the clamping oracle, by design: see the panics
+        // note on transform_payload.
+        let mut payload = vec![0u8; 10];
+        transform_payload(
+            &mut payload,
+            &CoverageMap::Full,
+            Some(FieldPolicy::AllButOpcode),
+            12,
+            &cipher(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not split")]
+    fn region_ending_mid_word_inside_text_panics() {
+        // A region that stops misaligned *before* the end of the text
+        // section would silently skip the straddling instruction word.
+        let mut region = vec![0u8; 6];
+        transform_region(
+            &mut region,
+            0,
+            &CoverageMap::Full,
+            Some(FieldPolicy::AllButOpcode),
+            8,
+            &cipher(),
+        );
+    }
+
+    /// Deterministic pseudo-random byte generator for equivalence tests.
+    fn xorshift_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn random_map(seed: u64, len: usize, granularity: u32) -> CoverageMap {
+        let g = granularity as usize;
+        let parcels = len.div_ceil(g);
+        let mut bm = ParcelBitmap::with_granularity(parcels.max(1), granularity);
+        for (p, b) in xorshift_bytes(seed, parcels).iter().enumerate() {
+            if b & 1 == 1 {
+                bm.set(p);
+            }
+        }
+        CoverageMap::Partial(bm)
+    }
+
+    #[test]
+    fn block_transform_matches_bytewise_oracle() {
+        let c = cipher();
+        for (seed, len) in [
+            (1u64, 0usize),
+            (2, 1),
+            (3, 37),
+            (4, 256),
+            (5, 1023),
+            (6, 8192),
+        ] {
+            for granularity in [2u32, 4] {
+                for map in [CoverageMap::Full, random_map(seed, len, granularity)] {
+                    for (policy, text_len) in [
+                        (None, len),
+                        (Some(FieldPolicy::MemoryPointers), len / 4 * 4),
+                        (Some(FieldPolicy::AllButOpcode), (len / 8) * 4),
+                    ] {
+                        let data = xorshift_bytes(seed ^ 0xABCD, len);
+                        let mut fast = data.clone();
+                        let mut slow = data;
+                        transform_payload(&mut fast, &map, policy, text_len, &c);
+                        transform_payload_bytewise(&mut slow, &map, policy, text_len, &c);
+                        assert_eq!(
+                            fast, slow,
+                            "len {len} granularity {granularity} policy {policy:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_chunks_compose_to_whole_payload_transform() {
+        let c = cipher();
+        let len = 4096 + 37;
+        let data = xorshift_bytes(99, len);
+        for granularity in [2u32, 4] {
+            for map in [CoverageMap::Full, random_map(7, len, granularity)] {
+                for (policy, text_len) in [
+                    (None, 1000),
+                    (Some(FieldPolicy::AllButOpcode), 2048),
+                    (Some(FieldPolicy::MemoryPointers), len / 4 * 4),
+                ] {
+                    let mut whole = data.clone();
+                    transform_payload(&mut whole, &map, policy, text_len, &c);
+                    for chunk in [4usize, 64, 1024, 4096] {
+                        let mut streamed = data.clone();
+                        let mut at = 0;
+                        while at < streamed.len() {
+                            let end = (at + chunk).min(streamed.len());
+                            transform_region(
+                                &mut streamed[at..end],
+                                at,
+                                &map,
+                                policy,
+                                text_len,
+                                &c,
+                            );
+                            at = end;
+                        }
+                        assert_eq!(
+                            streamed, whole,
+                            "chunk {chunk} granularity {granularity} policy {policy:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

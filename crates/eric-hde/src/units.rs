@@ -20,14 +20,22 @@ pub struct KeyUnit {
 
 impl fmt::Debug for KeyUnit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "KeyUnit {{ epoch: {}, puf: {:?} }}", self.epoch, self.puf)
+        write!(
+            f,
+            "KeyUnit {{ epoch: {}, puf: {:?} }}",
+            self.epoch, self.puf
+        )
     }
 }
 
 impl KeyUnit {
     /// Wrap a fabricated PUF bank at epoch 0.
     pub fn new(puf: PufDevice) -> Self {
-        KeyUnit { puf, kmu: KeyManagementUnit::new(), epoch: 0 }
+        KeyUnit {
+            puf,
+            kmu: KeyManagementUnit::new(),
+            epoch: 0,
+        }
     }
 
     /// Current key epoch.

@@ -93,8 +93,16 @@ fn with_fields(op: Op, w: u32) -> Inst {
         Format::R | Format::R4 | Format::S | Format::B => bits(w, 24, 20) as u8,
         _ => 0,
     };
-    let rs3 = if format == Format::R4 { bits(w, 31, 27) as u8 } else { 0 };
-    let rm = if op.uses_rm() { bits(w, 14, 12) as u8 } else { 0 };
+    let rs3 = if format == Format::R4 {
+        bits(w, 31, 27) as u8
+    } else {
+        0
+    };
+    let rm = if op.uses_rm() {
+        bits(w, 14, 12) as u8
+    } else {
+        0
+    };
     let imm = match op.format() {
         Format::R => 0,
         Format::R4 => 0,
@@ -104,7 +112,16 @@ fn with_fields(op: Op, w: u32) -> Inst {
         Format::U => imm_u(w),
         Format::J => imm_j(w),
     };
-    let mut inst = Inst { op, rd, rs1, rs2, rs3, imm, rm, len: 4 };
+    let mut inst = Inst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        rs3,
+        imm,
+        rm,
+        len: 4,
+    };
     // Format-specific fixups.
     match op {
         // Shifts: 6-bit shamt on RV64 (5-bit for the W forms).
@@ -580,7 +597,12 @@ mod tests {
 
     #[test]
     fn illegal_words_rejected() {
-        for w in [0x0000_0000u32, 0xFFFF_FFFF, 0x0000_007F, 0xDEAD_BEEF & !0x3 | 0x3] {
+        for w in [
+            0x0000_0000u32,
+            0xFFFF_FFFF,
+            0x0000_007F,
+            0xDEAD_BEEF & !0x3 | 0x3,
+        ] {
             if decode(w).is_ok() {
                 // 0xDEADBEEF|3 might accidentally decode; only the first
                 // two are guaranteed illegal.

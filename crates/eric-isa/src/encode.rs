@@ -54,16 +54,16 @@ fn check_range(op: Op, imm: i64, bits: u32) -> Result<(), EncodeError> {
 }
 
 fn enc_r(opcode: u32, f3: u32, f7: u32, rd: u8, rs1: u8, rs2: u8) -> u32 {
-    opcode | ((rd as u32) << 7) | (f3 << 12) | ((rs1 as u32) << 15) | ((rs2 as u32) << 20)
-        | (f7 << 25)
-}
-
-fn enc_i(opcode: u32, f3: u32, rd: u8, rs1: u8, imm: i64) -> u32 {
     opcode
         | ((rd as u32) << 7)
         | (f3 << 12)
         | ((rs1 as u32) << 15)
-        | (((imm as u32) & 0xFFF) << 20)
+        | ((rs2 as u32) << 20)
+        | (f7 << 25)
+}
+
+fn enc_i(opcode: u32, f3: u32, rd: u8, rs1: u8, imm: i64) -> u32 {
+    opcode | ((rd as u32) << 7) | (f3 << 12) | ((rs1 as u32) << 15) | (((imm as u32) & 0xFFF) << 20)
 }
 
 fn enc_s(opcode: u32, f3: u32, rs1: u8, rs2: u8, imm: i64) -> u32 {
@@ -343,8 +343,8 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
             };
             enc_i(0x1B, f3, rd, rs1, imm | top)
         }
-        Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul | Mulh | Mulhsu
-        | Mulhu | Div | Divu | Rem | Remu => {
+        Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul | Mulh | Mulhsu | Mulhu
+        | Div | Divu | Rem | Remu => {
             let (f3, f7) = r_spec(op);
             enc_r(0x33, f3, f7, rd, rs1, rs2)
         }
@@ -481,7 +481,10 @@ mod tests {
             Err(EncodeError::ImmOutOfRange { .. })
         ));
         let odd = Inst::b(Op::Beq, Reg::A0, Reg::A1, 3);
-        assert!(matches!(encode(&odd), Err(EncodeError::ImmMisaligned { .. })));
+        assert!(matches!(
+            encode(&odd),
+            Err(EncodeError::ImmMisaligned { .. })
+        ));
     }
 
     #[test]
@@ -526,7 +529,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let mut checked = 0;
         for _ in 0..200_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = ((state >> 16) as u32) | 0x3; // force 32-bit encoding space
             if let Ok(inst) = decode(w) {
                 let back = encode(&inst).unwrap_or_else(|e| panic!("{inst}: {e}"));

@@ -84,8 +84,7 @@ static S_FIELDS: [(FieldKind, BitRange); 6] = [
     (Rs2, r(20, 24)),
     (Imm, r(25, 31)),
 ];
-static U_FIELDS: [(FieldKind, BitRange); 3] =
-    [(Opcode, r(0, 6)), (Rd, r(7, 11)), (Imm, r(12, 31))];
+static U_FIELDS: [(FieldKind, BitRange); 3] = [(Opcode, r(0, 6)), (Rd, r(7, 11)), (Imm, r(12, 31))];
 
 /// `(field, range)` pairs for each instruction format. A field may span
 /// several ranges (S/B-format immediates are split around `rs1`/`rs2`).

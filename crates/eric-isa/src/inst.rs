@@ -38,32 +38,86 @@ pub struct Inst {
 impl Inst {
     /// Build a register-register instruction.
     pub fn r(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Self {
-        Inst { op, rd: rd.num(), rs1: rs1.num(), rs2: rs2.num(), rs3: 0, imm: 0, rm: 0, len: 4 }
+        Inst {
+            op,
+            rd: rd.num(),
+            rs1: rs1.num(),
+            rs2: rs2.num(),
+            rs3: 0,
+            imm: 0,
+            rm: 0,
+            len: 4,
+        }
     }
 
     /// Build a register-immediate (or load/jalr) instruction.
     pub fn i(op: Op, rd: Reg, rs1: Reg, imm: i64) -> Self {
-        Inst { op, rd: rd.num(), rs1: rs1.num(), rs2: 0, rs3: 0, imm, rm: 0, len: 4 }
+        Inst {
+            op,
+            rd: rd.num(),
+            rs1: rs1.num(),
+            rs2: 0,
+            rs3: 0,
+            imm,
+            rm: 0,
+            len: 4,
+        }
     }
 
     /// Build a store instruction (`rs2` is the data source).
     pub fn s(op: Op, rs1: Reg, rs2: Reg, imm: i64) -> Self {
-        Inst { op, rd: 0, rs1: rs1.num(), rs2: rs2.num(), rs3: 0, imm, rm: 0, len: 4 }
+        Inst {
+            op,
+            rd: 0,
+            rs1: rs1.num(),
+            rs2: rs2.num(),
+            rs3: 0,
+            imm,
+            rm: 0,
+            len: 4,
+        }
     }
 
     /// Build a branch instruction.
     pub fn b(op: Op, rs1: Reg, rs2: Reg, offset: i64) -> Self {
-        Inst { op, rd: 0, rs1: rs1.num(), rs2: rs2.num(), rs3: 0, imm: offset, rm: 0, len: 4 }
+        Inst {
+            op,
+            rd: 0,
+            rs1: rs1.num(),
+            rs2: rs2.num(),
+            rs3: 0,
+            imm: offset,
+            rm: 0,
+            len: 4,
+        }
     }
 
     /// Build an upper-immediate instruction (`lui` / `auipc`).
     pub fn u(op: Op, rd: Reg, imm: i64) -> Self {
-        Inst { op, rd: rd.num(), rs1: 0, rs2: 0, rs3: 0, imm, rm: 0, len: 4 }
+        Inst {
+            op,
+            rd: rd.num(),
+            rs1: 0,
+            rs2: 0,
+            rs3: 0,
+            imm,
+            rm: 0,
+            len: 4,
+        }
     }
 
     /// Build a `jal`.
     pub fn j(rd: Reg, offset: i64) -> Self {
-        Inst { op: Op::Jal, rd: rd.num(), rs1: 0, rs2: 0, rs3: 0, imm: offset, rm: 0, len: 4 }
+        Inst {
+            op: Op::Jal,
+            rd: rd.num(),
+            rs1: 0,
+            rs2: 0,
+            rs3: 0,
+            imm: offset,
+            rm: 0,
+            len: 4,
+        }
     }
 
     /// Destination as an integer register.
@@ -130,13 +184,32 @@ impl fmt::Display for Inst {
             _ => match self.op.format() {
                 Format::R => match self.op {
                     // Single-source FP ops ignore rs2.
-                    Op::FsqrtS | Op::FsqrtD | Op::FclassS | Op::FclassD
-                    | Op::FmvXW | Op::FmvWX | Op::FmvXD | Op::FmvDX
-                    | Op::FcvtWS | Op::FcvtWuS | Op::FcvtLS | Op::FcvtLuS
-                    | Op::FcvtSW | Op::FcvtSWu | Op::FcvtSL | Op::FcvtSLu
-                    | Op::FcvtWD | Op::FcvtWuD | Op::FcvtLD | Op::FcvtLuD
-                    | Op::FcvtDW | Op::FcvtDWu | Op::FcvtDL | Op::FcvtDLu
-                    | Op::FcvtSD | Op::FcvtDS => write!(f, "{m} {rd}, {rs1}"),
+                    Op::FsqrtS
+                    | Op::FsqrtD
+                    | Op::FclassS
+                    | Op::FclassD
+                    | Op::FmvXW
+                    | Op::FmvWX
+                    | Op::FmvXD
+                    | Op::FmvDX
+                    | Op::FcvtWS
+                    | Op::FcvtWuS
+                    | Op::FcvtLS
+                    | Op::FcvtLuS
+                    | Op::FcvtSW
+                    | Op::FcvtSWu
+                    | Op::FcvtSL
+                    | Op::FcvtSLu
+                    | Op::FcvtWD
+                    | Op::FcvtWuD
+                    | Op::FcvtLD
+                    | Op::FcvtLuD
+                    | Op::FcvtDW
+                    | Op::FcvtDWu
+                    | Op::FcvtDL
+                    | Op::FcvtDLu
+                    | Op::FcvtSD
+                    | Op::FcvtDS => write!(f, "{m} {rd}, {rs1}"),
                     _ => write!(f, "{m} {rd}, {rs1}, {rs2}"),
                 },
                 Format::R4 => {
@@ -186,7 +259,16 @@ mod tests {
 
     #[test]
     fn display_system() {
-        let e = Inst { op: Op::Ecall, rd: 0, rs1: 0, rs2: 0, rs3: 0, imm: 0, rm: 0, len: 4 };
+        let e = Inst {
+            op: Op::Ecall,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            rs3: 0,
+            imm: 0,
+            rm: 0,
+            len: 4,
+        };
         assert_eq!(e.to_string(), "ecall");
     }
 

@@ -184,7 +184,10 @@ impl Op {
 
     /// `true` for conditional branches.
     pub fn is_branch(self) -> bool {
-        matches!(self, Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu)
+        matches!(
+            self,
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu
+        )
     }
 
     /// `true` for unconditional control transfer (`jal`, `jalr`).
@@ -211,15 +214,42 @@ impl Op {
         use Op::*;
         matches!(
             self,
-            FaddS | FsubS | FmulS | FdivS | FsqrtS
-                | FaddD | FsubD | FmulD | FdivD | FsqrtD
-                | FcvtWS | FcvtWuS | FcvtLS | FcvtLuS
-                | FcvtSW | FcvtSWu | FcvtSL | FcvtSLu
-                | FcvtWD | FcvtWuD | FcvtLD | FcvtLuD
-                | FcvtDW | FcvtDWu | FcvtDL | FcvtDLu
-                | FcvtSD | FcvtDS
-                | FmaddS | FmsubS | FnmsubS | FnmaddS
-                | FmaddD | FmsubD | FnmsubD | FnmaddD
+            FaddS
+                | FsubS
+                | FmulS
+                | FdivS
+                | FsqrtS
+                | FaddD
+                | FsubD
+                | FmulD
+                | FdivD
+                | FsqrtD
+                | FcvtWS
+                | FcvtWuS
+                | FcvtLS
+                | FcvtLuS
+                | FcvtSW
+                | FcvtSWu
+                | FcvtSL
+                | FcvtSLu
+                | FcvtWD
+                | FcvtWuD
+                | FcvtLD
+                | FcvtLuD
+                | FcvtDW
+                | FcvtDWu
+                | FcvtDL
+                | FcvtDLu
+                | FcvtSD
+                | FcvtDS
+                | FmaddS
+                | FmsubS
+                | FnmsubS
+                | FnmaddS
+                | FmaddD
+                | FmsubD
+                | FnmsubD
+                | FnmaddD
         )
     }
 
@@ -229,15 +259,46 @@ impl Op {
         matches!(
             self,
             Flw | Fld
-                | FaddS | FsubS | FmulS | FdivS | FsqrtS
-                | FsgnjS | FsgnjnS | FsgnjxS | FminS | FmaxS
-                | FcvtSW | FcvtSWu | FcvtSL | FcvtSLu | FmvWX
-                | FmaddS | FmsubS | FnmsubS | FnmaddS
-                | FaddD | FsubD | FmulD | FdivD | FsqrtD
-                | FsgnjD | FsgnjnD | FsgnjxD | FminD | FmaxD
-                | FcvtSD | FcvtDS
-                | FcvtDW | FcvtDWu | FcvtDL | FcvtDLu | FmvDX
-                | FmaddD | FmsubD | FnmsubD | FnmaddD
+                | FaddS
+                | FsubS
+                | FmulS
+                | FdivS
+                | FsqrtS
+                | FsgnjS
+                | FsgnjnS
+                | FsgnjxS
+                | FminS
+                | FmaxS
+                | FcvtSW
+                | FcvtSWu
+                | FcvtSL
+                | FcvtSLu
+                | FmvWX
+                | FmaddS
+                | FmsubS
+                | FnmsubS
+                | FnmaddS
+                | FaddD
+                | FsubD
+                | FmulD
+                | FdivD
+                | FsqrtD
+                | FsgnjD
+                | FsgnjnD
+                | FsgnjxD
+                | FminD
+                | FmaxD
+                | FcvtSD
+                | FcvtDS
+                | FcvtDW
+                | FcvtDWu
+                | FcvtDL
+                | FcvtDLu
+                | FmvDX
+                | FmaddD
+                | FmsubD
+                | FnmsubD
+                | FnmaddD
         )
     }
 
@@ -246,17 +307,54 @@ impl Op {
         use Op::*;
         matches!(
             self,
-            FaddS | FsubS | FmulS | FdivS | FsqrtS
-                | FsgnjS | FsgnjnS | FsgnjxS | FminS | FmaxS
-                | FcvtWS | FcvtWuS | FcvtLS | FcvtLuS | FmvXW
-                | FeqS | FltS | FleS | FclassS
-                | FmaddS | FmsubS | FnmsubS | FnmaddS
-                | FaddD | FsubD | FmulD | FdivD | FsqrtD
-                | FsgnjD | FsgnjnD | FsgnjxD | FminD | FmaxD
-                | FcvtWD | FcvtWuD | FcvtLD | FcvtLuD | FmvXD
-                | FcvtSD | FcvtDS
-                | FeqD | FltD | FleD | FclassD
-                | FmaddD | FmsubD | FnmsubD | FnmaddD
+            FaddS
+                | FsubS
+                | FmulS
+                | FdivS
+                | FsqrtS
+                | FsgnjS
+                | FsgnjnS
+                | FsgnjxS
+                | FminS
+                | FmaxS
+                | FcvtWS
+                | FcvtWuS
+                | FcvtLS
+                | FcvtLuS
+                | FmvXW
+                | FeqS
+                | FltS
+                | FleS
+                | FclassS
+                | FmaddS
+                | FmsubS
+                | FnmsubS
+                | FnmaddS
+                | FaddD
+                | FsubD
+                | FmulD
+                | FdivD
+                | FsqrtD
+                | FsgnjD
+                | FsgnjnD
+                | FsgnjxD
+                | FminD
+                | FmaxD
+                | FcvtWD
+                | FcvtWuD
+                | FcvtLD
+                | FcvtLuD
+                | FmvXD
+                | FcvtSD
+                | FcvtDS
+                | FeqD
+                | FltD
+                | FleD
+                | FclassD
+                | FmaddD
+                | FmsubD
+                | FnmsubD
+                | FnmaddD
         )
     }
 
@@ -266,14 +364,38 @@ impl Op {
         matches!(
             self,
             Fsw | Fsd
-                | FaddS | FsubS | FmulS | FdivS
-                | FsgnjS | FsgnjnS | FsgnjxS | FminS | FmaxS
-                | FeqS | FltS | FleS
-                | FmaddS | FmsubS | FnmsubS | FnmaddS
-                | FaddD | FsubD | FmulD | FdivD
-                | FsgnjD | FsgnjnD | FsgnjxD | FminD | FmaxD
-                | FeqD | FltD | FleD
-                | FmaddD | FmsubD | FnmsubD | FnmaddD
+                | FaddS
+                | FsubS
+                | FmulS
+                | FdivS
+                | FsgnjS
+                | FsgnjnS
+                | FsgnjxS
+                | FminS
+                | FmaxS
+                | FeqS
+                | FltS
+                | FleS
+                | FmaddS
+                | FmsubS
+                | FnmsubS
+                | FnmaddS
+                | FaddD
+                | FsubD
+                | FmulD
+                | FdivD
+                | FsgnjD
+                | FsgnjnD
+                | FsgnjxD
+                | FminD
+                | FmaxD
+                | FeqD
+                | FltD
+                | FleD
+                | FmaddD
+                | FmsubD
+                | FnmsubD
+                | FnmaddD
         )
     }
 }

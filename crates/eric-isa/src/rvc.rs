@@ -16,6 +16,11 @@
 //! independent of label distances and lets the assembler lay out code in
 //! a single sizing pass.
 
+// Binary literals here are grouped by RVC *instruction field*
+// (funct3 | imm | rs/rd | op), not in uniform nibbles — that is the
+// readable layout when cross-checking against the ISA manual's tables.
+#![allow(clippy::unusual_byte_groupings)]
+
 use crate::decode::DecodeError;
 use crate::inst::Inst;
 use crate::op::Op;
@@ -38,7 +43,16 @@ fn creg(field: u16) -> u8 {
 }
 
 fn inst2(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i64) -> Inst {
-    Inst { op, rd, rs1, rs2, rs3: 0, imm, rm: 0, len: 2 }
+    Inst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        rs3: 0,
+        imm,
+        rm: 0,
+        len: 2,
+    }
 }
 
 /// Encode a quadrant-1 CI-format parcel: `f3 | imm[5] | rd | imm[4:0] | 01`.
@@ -77,32 +91,68 @@ pub fn decode16(p: u16) -> Result<Inst, DecodeError> {
         (0b00, 0b001) => {
             // c.fld
             let uimm = (bits16(p, 6, 5) << 6) | (bits16(p, 12, 10) << 3);
-            Ok(inst2(Op::Fld, creg(bits16(p, 4, 2)), creg(bits16(p, 9, 7)), 0, uimm as i64))
+            Ok(inst2(
+                Op::Fld,
+                creg(bits16(p, 4, 2)),
+                creg(bits16(p, 9, 7)),
+                0,
+                uimm as i64,
+            ))
         }
         (0b00, 0b010) => {
             // c.lw
             let uimm = (bits16(p, 5, 5) << 6) | (bits16(p, 12, 10) << 3) | (bits16(p, 6, 6) << 2);
-            Ok(inst2(Op::Lw, creg(bits16(p, 4, 2)), creg(bits16(p, 9, 7)), 0, uimm as i64))
+            Ok(inst2(
+                Op::Lw,
+                creg(bits16(p, 4, 2)),
+                creg(bits16(p, 9, 7)),
+                0,
+                uimm as i64,
+            ))
         }
         (0b00, 0b011) => {
             // c.ld (RV64)
             let uimm = (bits16(p, 6, 5) << 6) | (bits16(p, 12, 10) << 3);
-            Ok(inst2(Op::Ld, creg(bits16(p, 4, 2)), creg(bits16(p, 9, 7)), 0, uimm as i64))
+            Ok(inst2(
+                Op::Ld,
+                creg(bits16(p, 4, 2)),
+                creg(bits16(p, 9, 7)),
+                0,
+                uimm as i64,
+            ))
         }
         (0b00, 0b101) => {
             // c.fsd
             let uimm = (bits16(p, 6, 5) << 6) | (bits16(p, 12, 10) << 3);
-            Ok(inst2(Op::Fsd, 0, creg(bits16(p, 9, 7)), creg(bits16(p, 4, 2)), uimm as i64))
+            Ok(inst2(
+                Op::Fsd,
+                0,
+                creg(bits16(p, 9, 7)),
+                creg(bits16(p, 4, 2)),
+                uimm as i64,
+            ))
         }
         (0b00, 0b110) => {
             // c.sw
             let uimm = (bits16(p, 5, 5) << 6) | (bits16(p, 12, 10) << 3) | (bits16(p, 6, 6) << 2);
-            Ok(inst2(Op::Sw, 0, creg(bits16(p, 9, 7)), creg(bits16(p, 4, 2)), uimm as i64))
+            Ok(inst2(
+                Op::Sw,
+                0,
+                creg(bits16(p, 9, 7)),
+                creg(bits16(p, 4, 2)),
+                uimm as i64,
+            ))
         }
         (0b00, 0b111) => {
             // c.sd
             let uimm = (bits16(p, 6, 5) << 6) | (bits16(p, 12, 10) << 3);
-            Ok(inst2(Op::Sd, 0, creg(bits16(p, 9, 7)), creg(bits16(p, 4, 2)), uimm as i64))
+            Ok(inst2(
+                Op::Sd,
+                0,
+                creg(bits16(p, 9, 7)),
+                creg(bits16(p, 4, 2)),
+                uimm as i64,
+            ))
         }
         // ----- Quadrant 1 -----
         (0b01, 0b000) => {
@@ -144,8 +194,7 @@ pub fn decode16(p: u16) -> Result<Inst, DecodeError> {
                 Ok(inst2(Op::Addi, 2, 2, 0, imm))
             } else {
                 // c.lui (rd != 0, nzimm)
-                let imm =
-                    sign_extend(((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as u64, 6) << 12;
+                let imm = sign_extend(((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as u64, 6) << 12;
                 if imm == 0 || rd == 0 {
                     return illegal;
                 }
@@ -158,7 +207,11 @@ pub fn decode16(p: u16) -> Result<Inst, DecodeError> {
                 0b00 | 0b01 => {
                     // c.srli / c.srai
                     let shamt = ((bits16(p, 12, 12) << 5) | bits16(p, 6, 2)) as i64;
-                    let op = if bits16(p, 11, 10) == 0 { Op::Srli } else { Op::Srai };
+                    let op = if bits16(p, 11, 10) == 0 {
+                        Op::Srli
+                    } else {
+                        Op::Srai
+                    };
                     Ok(inst2(op, rd, rd, 0, shamt))
                 }
                 0b10 => {
@@ -281,7 +334,14 @@ pub fn decode16(p: u16) -> Result<Inst, DecodeError> {
 /// module docs for the subset). The result always satisfies
 /// `decode16(compress(i)) == i` up to the `len` field.
 pub fn compress(inst: &Inst) -> Option<u16> {
-    let Inst { op, rd, rs1, rs2, imm, .. } = *inst;
+    let Inst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+        ..
+    } = *inst;
     let imm6 = (-32..=31).contains(&imm);
     let rdr = Reg::try_new(rd)?;
     match op {
@@ -308,8 +368,7 @@ pub fn compress(inst: &Inst) -> Option<u16> {
             if rs1 == 2 && rdr.is_compressible() && imm > 0 && imm % 4 == 0 && imm < 1024 {
                 // c.addi4spn
                 let u = imm as u16;
-                let enc: u16 = 0b000_00000000_000_00
-                    | (((u >> 6) & 0xF) << 7)
+                let enc: u16 = (((u >> 6) & 0xF) << 7)
                     | (((u >> 4) & 0x3) << 11)
                     | (((u >> 3) & 1) << 5)
                     | (((u >> 2) & 1) << 6)
@@ -505,11 +564,7 @@ mod tests {
 
     /// Compare semantic fields, ignoring `len`.
     fn same(a: &Inst, b: &Inst) -> bool {
-        a.op == b.op
-            && a.rd == b.rd
-            && a.rs1 == b.rs1
-            && a.rs2 == b.rs2
-            && a.imm == b.imm
+        a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 && a.rs2 == b.rs2 && a.imm == b.imm
     }
 
     #[test]
@@ -564,8 +619,8 @@ mod tests {
             Inst::i(Op::Addi, a0, a0, 5),
             Inst::i(Op::Addi, a0, a0, -32),
             Inst::i(Op::Addi, a0, Reg::ZERO, 31),
-            Inst::i(Op::Addi, sp, sp, -64),  // c.addi16sp
-            Inst::i(Op::Addi, a0, sp, 16),   // c.addi4spn (a0 = x10 compressible)
+            Inst::i(Op::Addi, sp, sp, -64), // c.addi16sp
+            Inst::i(Op::Addi, a0, sp, 16),  // c.addi4spn (a0 = x10 compressible)
             Inst::i(Op::Addiw, a0, a0, 7),
             Inst::u(Op::Lui, a0, 5 << 12),
             Inst::u(Op::Lui, a0, -(1i64 << 12)),
@@ -593,10 +648,9 @@ mod tests {
             Inst::i(Op::Jalr, Reg::RA, a0, 0),        // c.jalr
         ];
         for inst in cases {
-            let parcel = compress(&inst)
-                .unwrap_or_else(|| panic!("{inst} should compress"));
-            let expanded = decode16(parcel)
-                .unwrap_or_else(|e| panic!("{inst} -> {parcel:#06x}: {e}"));
+            let parcel = compress(&inst).unwrap_or_else(|| panic!("{inst} should compress"));
+            let expanded =
+                decode16(parcel).unwrap_or_else(|e| panic!("{inst} -> {parcel:#06x}: {e}"));
             assert!(
                 same(&inst, &expanded),
                 "{inst} -> {parcel:#06x} -> {expanded}"

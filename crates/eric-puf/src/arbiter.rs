@@ -38,12 +38,20 @@ impl ArbiterPufConfig {
     /// variation/noise magnitudes typical of published FPGA arbiter-PUF
     /// measurements (a few percent bit-error rate before hardening).
     pub fn paper() -> Self {
-        ArbiterPufConfig { stages: 8, variation_sigma: 1.0, noise_sigma: 0.08 }
+        ArbiterPufConfig {
+            stages: 8,
+            variation_sigma: 1.0,
+            noise_sigma: 0.08,
+        }
     }
 
     /// A noise-free variant, useful for deterministic tests.
     pub fn noiseless(stages: usize) -> Self {
-        ArbiterPufConfig { stages, variation_sigma: 1.0, noise_sigma: 0.0 }
+        ArbiterPufConfig {
+            stages,
+            variation_sigma: 1.0,
+            noise_sigma: 0.0,
+        }
     }
 }
 
@@ -78,7 +86,11 @@ impl ArbiterPuf {
         let d_cross = (0..config.stages)
             .map(|_| gaussian(rng) * config.variation_sigma)
             .collect();
-        ArbiterPuf { config, d_straight, d_cross }
+        ArbiterPuf {
+            config,
+            d_straight,
+            d_cross,
+        }
     }
 
     /// The configuration this instance was fabricated with.
@@ -96,7 +108,7 @@ impl ArbiterPuf {
         for i in 0..self.config.stages {
             let bit = challenge
                 .get(i / 8)
-                .map_or(false, |byte| (byte >> (i % 8)) & 1 == 1);
+                .is_some_and(|byte| (byte >> (i % 8)) & 1 == 1);
             if bit {
                 delta = -delta + self.d_cross[i];
             } else {
@@ -204,7 +216,11 @@ mod tests {
     fn majority_vote_reduces_flips() {
         let mut r = rng(5);
         // Very noisy PUF: raw reads flip often, hardened reads are stable.
-        let cfg = ArbiterPufConfig { stages: 8, variation_sigma: 1.0, noise_sigma: 0.5 };
+        let cfg = ArbiterPufConfig {
+            stages: 8,
+            variation_sigma: 1.0,
+            noise_sigma: 0.5,
+        };
         let puf = ArbiterPuf::fabricate(cfg, &mut r);
         let golden = puf.delay_difference(&[0x3C]) > 0.0;
         let mut raw_flips = 0;
@@ -236,7 +252,11 @@ mod tests {
     fn zero_stages_panics() {
         let mut r = rng(7);
         let _ = ArbiterPuf::fabricate(
-            ArbiterPufConfig { stages: 0, variation_sigma: 1.0, noise_sigma: 0.0 },
+            ArbiterPufConfig {
+                stages: 0,
+                variation_sigma: 1.0,
+                noise_sigma: 0.0,
+            },
             &mut r,
         );
     }

@@ -230,7 +230,13 @@ mod tests {
         let ch = Challenge::from_bytes(&[9; 32]);
         for seed in 0..4 {
             let dev = device(seed);
-            db.enroll_as(&format!("fleet/{seed}"), &format!("dev-{seed}"), &dev, &ch, 0);
+            db.enroll_as(
+                &format!("fleet/{seed}"),
+                &format!("dev-{seed}"),
+                &dev,
+                &ch,
+                0,
+            );
         }
         assert_eq!(db.len(), 4);
         assert!(db.lookup("fleet/2").is_some());

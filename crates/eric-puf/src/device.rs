@@ -25,17 +25,26 @@ pub struct PufDeviceConfig {
 impl PufDeviceConfig {
     /// The paper's configuration: 32 instances × 8-bit challenges.
     pub fn paper() -> Self {
-        PufDeviceConfig { instances: 32, arbiter: ArbiterPufConfig::paper() }
+        PufDeviceConfig {
+            instances: 32,
+            arbiter: ArbiterPufConfig::paper(),
+        }
     }
 
     /// A wider 128-bit PUF key (stronger identity, same structure).
     pub fn wide() -> Self {
-        PufDeviceConfig { instances: 128, arbiter: ArbiterPufConfig::paper() }
+        PufDeviceConfig {
+            instances: 128,
+            arbiter: ArbiterPufConfig::paper(),
+        }
     }
 
     /// Noise-free variant for deterministic tests.
     pub fn noiseless() -> Self {
-        PufDeviceConfig { instances: 32, arbiter: ArbiterPufConfig::noiseless(8) }
+        PufDeviceConfig {
+            instances: 32,
+            arbiter: ArbiterPufConfig::noiseless(8),
+        }
     }
 }
 
@@ -93,7 +102,10 @@ impl PufKey {
                 bits[i / 8] |= 1 << (i % 8);
             }
         }
-        PufKey { bits, bit_len: bools.len() }
+        PufKey {
+            bits,
+            bit_len: bools.len(),
+        }
     }
 }
 
@@ -145,7 +157,10 @@ impl PufDevice {
     ///
     /// Panics if `config.instances` is zero.
     pub fn fabricate<R: Rng + ?Sized>(config: PufDeviceConfig, rng: &mut R) -> Self {
-        assert!(config.instances > 0, "device needs at least one PUF instance");
+        assert!(
+            config.instances > 0,
+            "device needs at least one PUF instance"
+        );
         let instances = (0..config.instances)
             .map(|_| ArbiterPuf::fabricate(config.arbiter, rng))
             .collect();
@@ -290,7 +305,10 @@ mod tests {
     fn same_seed_same_chip() {
         let a = PufDevice::from_seed(9, PufDeviceConfig::noiseless());
         let b = PufDevice::from_seed(9, PufDeviceConfig::noiseless());
-        assert_eq!(a.read_key(&challenge()).bits(), b.read_key(&challenge()).bits());
+        assert_eq!(
+            a.read_key(&challenge()).bits(),
+            b.read_key(&challenge()).bits()
+        );
     }
 
     #[test]
@@ -341,7 +359,9 @@ mod tests {
         let a = PufDevice::from_seed(1, PufDeviceConfig::paper());
         let b = PufDevice::from_seed(1, PufDeviceConfig::wide());
         let c = challenge();
-        let _ = a.read_key(&c).hamming_distance(&b.read_key(&Challenge::from_bytes(&[0; 128])));
+        let _ = a
+            .read_key(&c)
+            .hamming_distance(&b.read_key(&Challenge::from_bytes(&[0; 128])));
     }
 
     #[test]

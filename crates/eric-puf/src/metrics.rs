@@ -49,7 +49,12 @@ pub struct QualityCampaign {
 
 impl Default for QualityCampaign {
     fn default() -> Self {
-        QualityCampaign { devices: 16, challenges: 32, rereads: 11, seed: 0xE41C }
+        QualityCampaign {
+            devices: 16,
+            challenges: 32,
+            rereads: 11,
+            seed: 0xE41C,
+        }
     }
 }
 
@@ -66,7 +71,10 @@ impl Default for QualityCampaign {
 /// assert!(report.reliability > 0.9);
 /// ```
 pub fn measure_quality(config: PufDeviceConfig, campaign: QualityCampaign) -> PufQualityReport {
-    assert!(campaign.devices >= 2, "uniqueness needs at least two devices");
+    assert!(
+        campaign.devices >= 2,
+        "uniqueness needs at least two devices"
+    );
     assert!(campaign.challenges >= 1, "at least one challenge required");
     let mut rng = StdRng::seed_from_u64(campaign.seed);
     let devices: Vec<PufDevice> = (0..campaign.devices)
@@ -142,7 +150,12 @@ mod tests {
     fn paper_report() -> PufQualityReport {
         measure_quality(
             PufDeviceConfig::paper(),
-            QualityCampaign { devices: 12, challenges: 16, rereads: 7, seed: 42 },
+            QualityCampaign {
+                devices: 12,
+                challenges: 16,
+                rereads: 7,
+                seed: 42,
+            },
         )
     }
 
@@ -182,7 +195,12 @@ mod tests {
     fn noiseless_config_is_perfectly_reliable() {
         let r = measure_quality(
             PufDeviceConfig::noiseless(),
-            QualityCampaign { devices: 4, challenges: 8, rereads: 3, seed: 7 },
+            QualityCampaign {
+                devices: 4,
+                challenges: 8,
+                rereads: 3,
+                seed: 7,
+            },
         );
         assert_eq!(r.reliability, 1.0);
         assert_eq!(r.hardened_reliability, 1.0);
@@ -193,7 +211,12 @@ mod tests {
     fn single_device_campaign_panics() {
         let _ = measure_quality(
             PufDeviceConfig::paper(),
-            QualityCampaign { devices: 1, challenges: 1, rereads: 1, seed: 0 },
+            QualityCampaign {
+                devices: 1,
+                challenges: 1,
+                rereads: 1,
+                seed: 0,
+            },
         );
     }
 

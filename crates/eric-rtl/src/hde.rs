@@ -17,7 +17,10 @@ pub fn sha256_engine() -> Module {
         // a/e/temp working registers of the serial datapath.
         .child(Module::leaf("datapath_regs", prim::register(96)))
         // Hash state + message schedule in distributed LUTRAM.
-        .child(Module::leaf("state_schedule_lutram", Resources::lut_ff(40, 0)))
+        .child(Module::leaf(
+            "state_schedule_lutram",
+            Resources::lut_ff(40, 0),
+        ))
         // σ0/σ1/Σ0/Σ1 rotate-XOR trees (6 × 32-bit XOR3).
         .child(Module::leaf("sigma_networks", prim::xor_gate(32 * 6)))
         // Ch and Maj boolean networks.
@@ -75,7 +78,10 @@ pub fn hde() -> Module {
         .child(puf_key_generator())
         .child(key_management_unit())
         .child(validation_unit())
-        .child(Module::leaf("bus_interface_ctrl", Resources::lut_ff(63, 121)))
+        .child(Module::leaf(
+            "bus_interface_ctrl",
+            Resources::lut_ff(63, 121),
+        ))
 }
 
 impl crate::module::Resources {
@@ -99,15 +105,28 @@ mod tests {
         // structural estimate must land in the same regime.
         let lut_pct = 100.0 * total.luts as f64 / PUBLISHED.luts as f64;
         let ff_pct = 100.0 * total.ffs as f64 / PUBLISHED.ffs as f64;
-        assert!(lut_pct > 1.5 && lut_pct < 4.0, "LUT {lut_pct:.2}% ({})", total.luts);
-        assert!(ff_pct > 2.5 && ff_pct < 5.0, "FF {ff_pct:.2}% ({})", total.ffs);
+        assert!(
+            lut_pct > 1.5 && lut_pct < 4.0,
+            "LUT {lut_pct:.2}% ({})",
+            total.luts
+        );
+        assert!(
+            ff_pct > 2.5 && ff_pct < 5.0,
+            "FF {ff_pct:.2}% ({})",
+            total.ffs
+        );
     }
 
     #[test]
     fn sha_engine_dominates_hde_luts() {
         let sha = sha256_engine().total();
         let total = hde().total();
-        assert!(sha.luts * 2 > total.luts, "SHA {} of {}", sha.luts, total.luts);
+        assert!(
+            sha.luts * 2 > total.luts,
+            "SHA {} of {}",
+            sha.luts,
+            total.luts
+        );
     }
 
     #[test]

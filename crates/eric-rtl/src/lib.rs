@@ -88,6 +88,9 @@ mod tests {
         let ff = t.ff_change_pct();
         assert!(lut > 1.0 && lut < 5.0, "LUT overhead {lut:.2}%");
         assert!(ff > 1.0 && ff < 6.0, "FF overhead {ff:.2}%");
-        assert!(ff > lut, "paper shape: FF overhead ({ff:.2}) > LUT overhead ({lut:.2})");
+        assert!(
+            ff > lut,
+            "paper shape: FF overhead ({ff:.2}) > LUT overhead ({lut:.2})"
+        );
     }
 }

@@ -24,7 +24,12 @@ impl Resources {
 
     /// Construct from LUT/FF counts (the Table II columns).
     pub fn lut_ff(luts: u64, ffs: u64) -> Self {
-        Resources { luts, ffs, brams: 0, dsps: 0 }
+        Resources {
+            luts,
+            ffs,
+            brams: 0,
+            dsps: 0,
+        }
     }
 }
 
@@ -65,12 +70,20 @@ pub struct Module {
 impl Module {
     /// An empty module.
     pub fn new(name: &str) -> Self {
-        Module { name: name.to_string(), local: Resources::zero(), children: Vec::new() }
+        Module {
+            name: name.to_string(),
+            local: Resources::zero(),
+            children: Vec::new(),
+        }
     }
 
     /// A leaf module with the given resources.
     pub fn leaf(name: &str, local: Resources) -> Self {
-        Module { name: name.to_string(), local, children: Vec::new() }
+        Module {
+            name: name.to_string(),
+            local,
+            children: Vec::new(),
+        }
     }
 
     /// Module name.
@@ -150,7 +163,12 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(Resources::lut_ff(3, 4).to_string(), "3 LUTs, 4 FFs");
-        let r = Resources { luts: 1, ffs: 2, brams: 3, dsps: 4 };
+        let r = Resources {
+            luts: 1,
+            ffs: 2,
+            brams: 3,
+            dsps: 4,
+        };
         assert_eq!(r.to_string(), "1 LUTs, 2 FFs, 3 BRAMs, 4 DSPs");
     }
 }

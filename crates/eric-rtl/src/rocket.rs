@@ -15,22 +15,39 @@ pub fn rocket_chip() -> Module {
         .child(
             Module::new("tile")
                 .child(Module::leaf("fpu", Resources::lut_ff(12_000, 5_500)))
-                .child(Module::leaf("core_pipeline", Resources::lut_ff(8_000, 4_500)))
+                .child(Module::leaf(
+                    "core_pipeline",
+                    Resources::lut_ff(8_000, 4_500),
+                ))
                 .child(Module::leaf("csr_file", Resources::lut_ff(1_400, 900)))
-                .child(Module::leaf("l1_icache_ctrl", Resources::lut_ff(2_100, 1_800)))
-                .child(Module::leaf("l1_dcache_ctrl", Resources::lut_ff(3_600, 2_600)))
+                .child(Module::leaf(
+                    "l1_icache_ctrl",
+                    Resources::lut_ff(2_100, 1_800),
+                ))
+                .child(Module::leaf(
+                    "l1_dcache_ctrl",
+                    Resources::lut_ff(3_600, 2_600),
+                ))
                 .child(Module::leaf("ptw_tlb", Resources::lut_ff(1_700, 1_100))),
         )
         .child(
             Module::new("uncore")
-                .child(Module::leaf("tilelink_xbar", Resources::lut_ff(2_894, 1_493)))
+                .child(Module::leaf(
+                    "tilelink_xbar",
+                    Resources::lut_ff(2_894, 1_493),
+                ))
                 .child(Module::leaf("mem_port", Resources::lut_ff(1_400, 800)))
                 .child(Module::leaf("mmio_periphery", Resources::lut_ff(800, 400))),
         )
 }
 
 /// The published Table II baseline totals.
-pub const PUBLISHED: Resources = Resources { luts: 33_894, ffs: 19_093, brams: 0, dsps: 0 };
+pub const PUBLISHED: Resources = Resources {
+    luts: 33_894,
+    ffs: 19_093,
+    brams: 0,
+    dsps: 0,
+};
 
 #[cfg(test)]
 mod tests {

@@ -20,7 +20,11 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table I's L1 configuration: 16 KiB, 4-way, 64-byte lines.
     pub fn paper_l1() -> Self {
-        CacheConfig { size: 16 * 1024, ways: 4, line: 64 }
+        CacheConfig {
+            size: 16 * 1024,
+            ways: 4,
+            line: 64,
+        }
     }
 
     /// Number of sets.
@@ -97,11 +101,17 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sets/ways or
     /// non-power-of-two line/set counts).
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.ways > 0 && config.line > 0, "degenerate cache geometry");
+        assert!(
+            config.ways > 0 && config.line > 0,
+            "degenerate cache geometry"
+        );
         let sets = config.sets();
         assert!(sets > 0, "cache smaller than one set");
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             config,
             sets: vec![Way::default(); sets * config.ways],
@@ -152,7 +162,12 @@ impl Cache {
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
         }
-        *victim = Way { valid: true, dirty: write, tag, lru: self.tick };
+        *victim = Way {
+            valid: true,
+            dirty: write,
+            tag,
+            lru: self.tick,
+        };
         false
     }
 }
@@ -194,12 +209,19 @@ mod tests {
         // refreshed above; the LRU is now line 0 again after re-touch
         // order 0,1,2,3 — so line 0 is oldest).
         assert!(!c.access(0x8000_0000 + 4 * 4096, false));
-        assert!(!c.access(0x8000_0000, false), "LRU line must have been evicted");
+        assert!(
+            !c.access(0x8000_0000, false),
+            "LRU line must have been evicted"
+        );
     }
 
     #[test]
     fn writeback_counted_on_dirty_eviction() {
-        let mut c = Cache::new(CacheConfig { size: 128, ways: 1, line: 64 });
+        let mut c = Cache::new(CacheConfig {
+            size: 128,
+            ways: 1,
+            line: 64,
+        });
         // Direct-mapped, 2 sets. Write line A, then evict with line B.
         c.access(0, true);
         assert_eq!(c.stats().writebacks, 0);
@@ -231,7 +253,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        let _ = Cache::new(CacheConfig { size: 96, ways: 1, line: 32 });
+        let _ = Cache::new(CacheConfig {
+            size: 96,
+            ways: 1,
+            line: 32,
+        });
     }
 
     #[test]

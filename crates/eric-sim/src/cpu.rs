@@ -1,10 +1,10 @@
 //! Architectural state and instruction semantics for RV64GC.
 
 use crate::mem::{MemError, Memory};
+use eric_isa::csr;
 use eric_isa::decode::{decode_parcel, DecodeError};
 use eric_isa::inst::Inst;
 use eric_isa::op::Op;
-use eric_isa::csr;
 use std::error::Error;
 use std::fmt;
 
@@ -294,7 +294,7 @@ impl Cpu {
                 self.set_reg(inst.rd, (p >> 64) as u64);
             }
             Div => self.set_reg(inst.rd, div_signed(rs1 as i64, rs2 as i64) as u64),
-            Divu => self.set_reg(inst.rd, if rs2 == 0 { u64::MAX } else { rs1 / rs2 }),
+            Divu => self.set_reg(inst.rd, rs1.checked_div(rs2).unwrap_or(u64::MAX)),
             Rem => self.set_reg(inst.rd, rem_signed(rs1 as i64, rs2 as i64) as u64),
             Remu => self.set_reg(inst.rd, if rs2 == 0 { rs1 } else { rs1 % rs2 }),
             Mulw => self.set_reg(inst.rd, sext32(rs1.wrapping_mul(rs2))),
@@ -304,7 +304,7 @@ impl Cpu {
             ),
             Divuw => {
                 let (a, b) = (rs1 as u32, rs2 as u32);
-                let q = if b == 0 { u32::MAX } else { a / b };
+                let q = a.checked_div(b).unwrap_or(u32::MAX);
                 self.set_reg(inst.rd, q as i32 as i64 as u64);
             }
             Remw => self.set_reg(
@@ -345,8 +345,15 @@ impl Cpu {
             _ if inst.op.is_amo() => {
                 let word = matches!(
                     inst.op,
-                    AmoswapW | AmoaddW | AmoxorW | AmoandW | AmoorW | AmominW | AmomaxW
-                        | AmominuW | AmomaxuW
+                    AmoswapW
+                        | AmoaddW
+                        | AmoxorW
+                        | AmoandW
+                        | AmoorW
+                        | AmominW
+                        | AmomaxW
+                        | AmominuW
+                        | AmomaxuW
                 );
                 let width = if word { 4 } else { 8 };
                 let addr = rs1;
@@ -389,7 +396,8 @@ impl Cpu {
             }
             Fsd => {
                 let addr = rs1.wrapping_add(imm as u64);
-                mem.store(addr, 8, self.f[inst.rs2 as usize]).map_err(memerr)?;
+                mem.store(addr, 8, self.f[inst.rs2 as usize])
+                    .map_err(memerr)?;
             }
             _ => self.exec_fp(inst),
         }
@@ -485,10 +493,24 @@ impl Cpu {
             FsqrtS => self.set_f32(rd, self.f32_bits(r1).sqrt()),
             FminS => self.set_f32(rd, self.f32_bits(r1).min(self.f32_bits(r2))),
             FmaxS => self.set_f32(rd, self.f32_bits(r1).max(self.f32_bits(r2))),
-            FmaddS => self.set_f32(rd, self.f32_bits(r1).mul_add(self.f32_bits(r2), self.f32_bits(r3))),
-            FmsubS => self.set_f32(rd, self.f32_bits(r1).mul_add(self.f32_bits(r2), -self.f32_bits(r3))),
-            FnmsubS => self.set_f32(rd, (-self.f32_bits(r1)).mul_add(self.f32_bits(r2), self.f32_bits(r3))),
-            FnmaddS => self.set_f32(rd, (-self.f32_bits(r1)).mul_add(self.f32_bits(r2), -self.f32_bits(r3))),
+            FmaddS => self.set_f32(
+                rd,
+                self.f32_bits(r1)
+                    .mul_add(self.f32_bits(r2), self.f32_bits(r3)),
+            ),
+            FmsubS => self.set_f32(
+                rd,
+                self.f32_bits(r1)
+                    .mul_add(self.f32_bits(r2), -self.f32_bits(r3)),
+            ),
+            FnmsubS => self.set_f32(
+                rd,
+                (-self.f32_bits(r1)).mul_add(self.f32_bits(r2), self.f32_bits(r3)),
+            ),
+            FnmaddS => self.set_f32(
+                rd,
+                (-self.f32_bits(r1)).mul_add(self.f32_bits(r2), -self.f32_bits(r3)),
+            ),
             FsgnjS | FsgnjnS | FsgnjxS => {
                 let a = self.f[r1 as usize] as u32;
                 let b = self.f[r2 as usize] as u32;
@@ -497,8 +519,7 @@ impl Cpu {
                     FsgnjnS => !b & 0x8000_0000,
                     _ => (a ^ b) & 0x8000_0000,
                 };
-                self.f[rd as usize] =
-                    0xFFFF_FFFF_0000_0000 | ((a & 0x7FFF_FFFF) | sign) as u64;
+                self.f[rd as usize] = 0xFFFF_FFFF_0000_0000 | ((a & 0x7FFF_FFFF) | sign) as u64;
             }
             FeqS => self.set_reg(rd, (self.f32_bits(r1) == self.f32_bits(r2)) as u64),
             FltS => self.set_reg(rd, (self.f32_bits(r1) < self.f32_bits(r2)) as u64),
@@ -522,10 +543,24 @@ impl Cpu {
             FsqrtD => self.set_f64(rd, self.f64_bits(r1).sqrt()),
             FminD => self.set_f64(rd, self.f64_bits(r1).min(self.f64_bits(r2))),
             FmaxD => self.set_f64(rd, self.f64_bits(r1).max(self.f64_bits(r2))),
-            FmaddD => self.set_f64(rd, self.f64_bits(r1).mul_add(self.f64_bits(r2), self.f64_bits(r3))),
-            FmsubD => self.set_f64(rd, self.f64_bits(r1).mul_add(self.f64_bits(r2), -self.f64_bits(r3))),
-            FnmsubD => self.set_f64(rd, (-self.f64_bits(r1)).mul_add(self.f64_bits(r2), self.f64_bits(r3))),
-            FnmaddD => self.set_f64(rd, (-self.f64_bits(r1)).mul_add(self.f64_bits(r2), -self.f64_bits(r3))),
+            FmaddD => self.set_f64(
+                rd,
+                self.f64_bits(r1)
+                    .mul_add(self.f64_bits(r2), self.f64_bits(r3)),
+            ),
+            FmsubD => self.set_f64(
+                rd,
+                self.f64_bits(r1)
+                    .mul_add(self.f64_bits(r2), -self.f64_bits(r3)),
+            ),
+            FnmsubD => self.set_f64(
+                rd,
+                (-self.f64_bits(r1)).mul_add(self.f64_bits(r2), self.f64_bits(r3)),
+            ),
+            FnmaddD => self.set_f64(
+                rd,
+                (-self.f64_bits(r1)).mul_add(self.f64_bits(r2), -self.f64_bits(r3)),
+            ),
             FsgnjD | FsgnjnD | FsgnjxD => {
                 let a = self.f[r1 as usize];
                 let b = self.f[r2 as usize];
@@ -663,9 +698,18 @@ mod tests {
     #[test]
     fn arithmetic_basics() {
         assert_eq!(exit_code("li a0, 40\naddi a0, a0, 2\nli a7, 93\necall"), 42);
-        assert_eq!(exit_code("li a0, 6\nli a1, 7\nmul a0, a0, a1\nli a7, 93\necall"), 42);
-        assert_eq!(exit_code("li a0, 100\nli a1, 7\nrem a0, a0, a1\nli a7, 93\necall"), 2);
-        assert_eq!(exit_code("li a0, -84\nli a1, -2\ndiv a0, a0, a1\nli a7, 93\necall"), 42);
+        assert_eq!(
+            exit_code("li a0, 6\nli a1, 7\nmul a0, a0, a1\nli a7, 93\necall"),
+            42
+        );
+        assert_eq!(
+            exit_code("li a0, 100\nli a1, 7\nrem a0, a0, a1\nli a7, 93\necall"),
+            2
+        );
+        assert_eq!(
+            exit_code("li a0, -84\nli a1, -2\ndiv a0, a0, a1\nli a7, 93\necall"),
+            42
+        );
     }
 
     #[test]
@@ -880,12 +924,16 @@ mod tests {
     #[test]
     fn decode_fault_reported() {
         let mut mem = Memory::new(0x8000_0000, 4096);
-        mem.write_bytes(0x8000_0000, &[0x00, 0x00, 0x00, 0x00]).unwrap();
+        mem.write_bytes(0x8000_0000, &[0x00, 0x00, 0x00, 0x00])
+            .unwrap();
         let mut cpu = Cpu::new();
         cpu.pc = 0x8000_0000;
         assert!(matches!(
             cpu.step(&mut mem),
-            Err(ExecError::Decode { pc: 0x8000_0000, .. })
+            Err(ExecError::Decode {
+                pc: 0x8000_0000,
+                ..
+            })
         ));
     }
 

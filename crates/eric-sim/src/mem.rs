@@ -50,7 +50,10 @@ impl fmt::Debug for Memory {
 impl Memory {
     /// Create `size` bytes of zeroed RAM at `base`.
     pub fn new(base: u64, size: usize) -> Self {
-        Memory { base, bytes: vec![0; size] }
+        Memory {
+            base,
+            bytes: vec![0; size],
+        }
     }
 
     /// Base physical address.
@@ -134,8 +137,12 @@ mod tests {
     #[test]
     fn roundtrip_widths() {
         let mut m = Memory::new(0x8000_0000, 4096);
-        for (w, v) in [(1usize, 0xAAu64), (2, 0xBBCC), (4, 0x1122_3344), (8, 0x1122_3344_5566_7788)]
-        {
+        for (w, v) in [
+            (1usize, 0xAAu64),
+            (2, 0xBBCC),
+            (4, 0x1122_3344),
+            (8, 0x1122_3344_5566_7788),
+        ] {
             m.store(0x8000_0100, w, v).unwrap();
             assert_eq!(m.load(0x8000_0100, w).unwrap(), v);
         }

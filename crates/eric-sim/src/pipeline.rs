@@ -97,7 +97,11 @@ impl StallBreakdown {
 impl Pipeline {
     /// Create a pipeline model with the given constants.
     pub fn new(config: TimingConfig) -> Self {
-        Pipeline { config, prev_load_rd: None, stalls: StallBreakdown::default() }
+        Pipeline {
+            config,
+            prev_load_rd: None,
+            stalls: StallBreakdown::default(),
+        }
     }
 
     /// The timing constants in use.
@@ -140,7 +144,13 @@ impl Pipeline {
         }
         let exec_extra = match inst.op {
             Op::Mul | Op::Mulh | Op::Mulhsu | Op::Mulhu | Op::Mulw => self.config.mul,
-            Op::Div | Op::Divu | Op::Rem | Op::Remu | Op::Divw | Op::Divuw | Op::Remw
+            Op::Div
+            | Op::Divu
+            | Op::Rem
+            | Op::Remu
+            | Op::Divw
+            | Op::Divuw
+            | Op::Remw
             | Op::Remuw => self.config.div,
             Op::FdivS | Op::FdivD | Op::FsqrtS | Op::FsqrtD => self.config.fp_div,
             op if op.is_csr() => self.config.csr,
@@ -157,7 +167,11 @@ impl Pipeline {
         cycles += exec_extra;
         self.stalls.execute += exec_extra;
 
-        self.prev_load_rd = if inst.op.is_load() { Some(inst.rd) } else { None };
+        self.prev_load_rd = if inst.op.is_load() {
+            Some(inst.rd)
+        } else {
+            None
+        };
         cycles
     }
 
@@ -223,9 +237,17 @@ mod tests {
         let use_it = Inst::i(Op::Addi, Reg::A1, Reg::A0, 1);
         let unrelated = Inst::i(Op::Addi, Reg::A1, Reg::SP, 1);
         p.retire(&load, true, Some(true), false);
-        assert_eq!(p.retire(&use_it, true, None, false), 2, "dependent use stalls");
+        assert_eq!(
+            p.retire(&use_it, true, None, false),
+            2,
+            "dependent use stalls"
+        );
         p.retire(&load, true, Some(true), false);
-        assert_eq!(p.retire(&unrelated, true, None, false), 1, "independent op flows");
+        assert_eq!(
+            p.retire(&unrelated, true, None, false),
+            1,
+            "independent op flows"
+        );
     }
 
     #[test]

@@ -198,9 +198,13 @@ impl Soc {
         data: &[u8],
         entry: u64,
     ) -> Result<(), RunError> {
-        self.mem.write_bytes(text_base, text).map_err(RunError::Load)?;
+        self.mem
+            .write_bytes(text_base, text)
+            .map_err(RunError::Load)?;
         if !data.is_empty() {
-            self.mem.write_bytes(data_base, data).map_err(RunError::Load)?;
+            self.mem
+                .write_bytes(data_base, data)
+                .map_err(RunError::Load)?;
         }
         self.reset_cpu(entry);
         Ok(())
@@ -210,7 +214,10 @@ impl Soc {
         self.cpu = Cpu::new();
         self.cpu.pc = entry;
         // Stack at the top of RAM, 16-byte aligned per the psABI.
-        self.cpu.set_reg(2, (self.config.ram_base + self.config.ram_size as u64) & !15);
+        self.cpu.set_reg(
+            2,
+            (self.config.ram_base + self.config.ram_size as u64) & !15,
+        );
         self.icache.reset();
         self.dcache.reset();
         self.pipeline.reset();
@@ -239,21 +246,29 @@ impl Soc {
                 StepOutcome::Breakpoint => return Err(RunError::Breakpoint { pc }),
                 StepOutcome::Retired(inst) => {
                     let dcache_hit = if inst.op.is_memory() {
-                        let addr = self
-                            .cpu
-                            .reg(inst.rs1)
-                            .wrapping_add(if inst.op.is_amo() { 0 } else { inst.imm as u64 });
-                        Some(self.dcache.access(addr, inst.op.is_store() || inst.op.is_amo()))
+                        let addr = self.cpu.reg(inst.rs1).wrapping_add(if inst.op.is_amo() {
+                            0
+                        } else {
+                            inst.imm as u64
+                        });
+                        Some(
+                            self.dcache
+                                .access(addr, inst.op.is_store() || inst.op.is_amo()),
+                        )
                     } else {
                         None
                     };
                     let branch_taken = (inst.op.is_branch() && self.cpu.pc != pc + inst.len as u64)
                         || inst.op.is_jump();
-                    self.cycles += self.pipeline.retire(&inst, ifetch_hit, dcache_hit, branch_taken);
+                    self.cycles +=
+                        self.pipeline
+                            .retire(&inst, ifetch_hit, dcache_hit, branch_taken);
                 }
             }
         }
-        Err(RunError::OutOfFuel { budget: max_instructions })
+        Err(RunError::OutOfFuel {
+            budget: max_instructions,
+        })
     }
 
     fn outcome(&self, exit_code: i64) -> RunOutcome {
@@ -346,10 +361,7 @@ mod tests {
         let img = assemble("loop: j loop", &AsmOptions::default()).unwrap();
         let mut soc = Soc::new(SocConfig::default());
         soc.load_image(&img).unwrap();
-        assert_eq!(
-            soc.run(1000),
-            Err(RunError::OutOfFuel { budget: 1000 })
-        );
+        assert_eq!(soc.run(1000), Err(RunError::OutOfFuel { budget: 1000 }));
     }
 
     #[test]

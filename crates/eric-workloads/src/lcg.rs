@@ -19,11 +19,7 @@ impl Lcg {
 
     /// Next 31-bit value.
     pub fn next_u31(&mut self) -> u32 {
-        self.state = self
-            .state
-            .wrapping_mul(1_103_515_245)
-            .wrapping_add(12_345)
-            & 0x7FFF_FFFF;
+        self.state = self.state.wrapping_mul(1_103_515_245).wrapping_add(12_345) & 0x7FFF_FFFF;
         self.state
     }
 

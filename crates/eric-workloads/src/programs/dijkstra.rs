@@ -13,7 +13,9 @@ const SOURCES: u32 = 8;
 
 fn weights(scale: u32) -> Vec<u32> {
     let mut lcg = Lcg::new(0xD135 ^ scale.wrapping_mul(31));
-    (0..scale * scale).map(|_| 1 + lcg.next_below(10_000)).collect()
+    (0..scale * scale)
+        .map(|_| 1 + lcg.next_below(10_000))
+        .collect()
 }
 
 /// Golden model.

@@ -21,6 +21,8 @@ pub(crate) mod testutil {
         let image = assemble(src, &AsmOptions::default()).unwrap_or_else(|e| panic!("{e}"));
         let mut soc = Soc::new(SocConfig::default());
         soc.load_image(&image).unwrap();
-        soc.run(200_000_000).unwrap_or_else(|e| panic!("{e}")).exit_code
+        soc.run(200_000_000)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .exit_code
     }
 }

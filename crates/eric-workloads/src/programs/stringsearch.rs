@@ -11,7 +11,9 @@ const PATTERN_LEN: usize = 4;
 
 fn text(scale: u32) -> Vec<u8> {
     let mut lcg = Lcg::new(0x5712 ^ scale.wrapping_mul(41));
-    (0..scale).map(|_| b'a' + (lcg.next_below(4) as u8)).collect()
+    (0..scale)
+        .map(|_| b'a' + (lcg.next_below(4) as u8))
+        .collect()
 }
 
 fn patterns(scale: u32) -> Vec<u8> {

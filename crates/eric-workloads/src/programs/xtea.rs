@@ -12,20 +12,26 @@ const ROUNDS: u32 = 32;
 
 fn key(scale: u32) -> [u32; 4] {
     let mut lcg = Lcg::new(0x7EA ^ scale.wrapping_mul(13));
-    [lcg.next_u31(), lcg.next_u31(), lcg.next_u31(), lcg.next_u31()]
+    [
+        lcg.next_u31(),
+        lcg.next_u31(),
+        lcg.next_u31(),
+        lcg.next_u31(),
+    ]
 }
 
 fn blocks(scale: u32) -> Vec<(u32, u32)> {
     let mut lcg = Lcg::new(0xB10C ^ scale.wrapping_mul(7));
-    (0..scale).map(|_| (lcg.next_u31(), lcg.next_u31())).collect()
+    (0..scale)
+        .map(|_| (lcg.next_u31(), lcg.next_u31()))
+        .collect()
 }
 
 fn encrypt_block(mut v0: u32, mut v1: u32, k: &[u32; 4]) -> (u32, u32) {
     let mut sum: u32 = 0;
     for _ in 0..ROUNDS {
         v0 = v0.wrapping_add(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
-                ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
         );
         sum = sum.wrapping_add(DELTA);
         v1 = v1.wrapping_add(
@@ -53,7 +59,10 @@ pub fn golden(scale: u32) -> i64 {
 /// Generate the assembly source.
 pub fn source(scale: u32) -> String {
     let k = key(scale);
-    let data: Vec<u32> = blocks(scale).into_iter().flat_map(|(a, b)| [a, b]).collect();
+    let data: Vec<u32> = blocks(scale)
+        .into_iter()
+        .flat_map(|(a, b)| [a, b])
+        .collect();
     format!(
         r#"
 # xtea: CBC-encrypt {scale} blocks with 32-round XTEA

@@ -44,8 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let overhead = 100.0 * (secure.total_cycles() as f64 - plain.total_cycles() as f64)
         / plain.total_cycles() as f64;
-    println!("  plain : load {:>8} + exec {:>10} = {:>10} cycles", plain.load_cycles, plain.run.cycles, plain.total_cycles());
-    println!("  secure: load {:>8} + exec {:>10} = {:>10} cycles", secure.load_cycles, secure.run.cycles, secure.total_cycles());
+    println!(
+        "  plain : load {:>8} + exec {:>10} = {:>10} cycles",
+        plain.load_cycles,
+        plain.run.cycles,
+        plain.total_cycles()
+    );
+    println!(
+        "  secure: load {:>8} + exec {:>10} = {:>10} cycles",
+        secure.load_cycles,
+        secure.run.cycles,
+        secure.total_cycles()
+    );
     println!("  end-to-end overhead: {overhead:.2}% (paper Fig. 7: <= 7.05%)");
     println!(
         "  hde breakdown: decrypt {} / hash {} / validate {}",

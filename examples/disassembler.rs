@@ -37,12 +37,7 @@ fn disassemble(base: u64, text: &[u8]) {
                 } else {
                     format!(
                         "{:08x} ",
-                        u32::from_le_bytes([
-                            text[at],
-                            text[at + 1],
-                            text[at + 2],
-                            text[at + 3]
-                        ])
+                        u32::from_le_bytes([text[at], text[at + 1], text[at + 2], text[at + 3]])
                     )
                 };
                 println!("{addr:#010x}:  {raw} {inst}");

@@ -59,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cross_rejections += 1;
         }
     }
-    println!("all 10 devices ran their own firmware; {cross_rejections}/10 sibling packages rejected");
+    println!(
+        "all 10 devices ran their own firmware; {cross_rejections}/10 sibling packages rejected"
+    );
 
     // --- Two independent vendors serving the same device. ---
     let mut shared = Device::with_seed(5000, "multi-vendor-unit");

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    println!("{:<24} {:>9} {:>9} {:>8} {:>7}", "mode", "map bits", "pkg size", "growth", "exit");
+    println!(
+        "{:<24} {:>9} {:>9} {:>8} {:>7}",
+        "mode", "map bits", "pkg size", "growth", "exit"
+    );
     for (name, config) in modes {
         let package = source.build(PROGRAM, &cred, &config)?;
         let size = package.size_report();

@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // raw PUF key) to the vendor.
     let mut device = Device::with_seed(2024, "field-unit-07");
     let credential = device.enroll();
-    println!("[1] enrolled {:?} at epoch {}", device.id(), credential.epoch);
+    println!(
+        "[1] enrolled {:?} at epoch {}",
+        device.id(),
+        credential.epoch
+    );
 
     // Step 2 — choose the encryption configuration (the paper's GUI).
     let config = EncryptionConfig::full();
@@ -49,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // eavesdropper sees only ciphertext.
     let channel = Channel::trusted_free();
     let wire = channel.eavesdrop(&package);
-    println!("[4] transmitted {} wire bytes (ciphertext only)", wire.len());
+    println!(
+        "[4] transmitted {} wire bytes (ciphertext only)",
+        wire.len()
+    );
     let received = channel.transmit(&package)?;
 
     // Steps 5 & 6 — the HDE decrypts with the device's own PUF-based

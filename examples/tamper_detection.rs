@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // (ii) Unknown-origin code: an attacker substitutes the payload.
-    let substituted = Channel::with_attacker(Attacker::SubstitutePayload { filler: 0x13 })
-        .transmit(&package)?;
+    let substituted =
+        Channel::with_attacker(Attacker::SubstitutePayload { filler: 0x13 }).transmit(&package)?;
     match device.install_and_run(&substituted) {
         Err(e) => println!("(ii) foreign payload rejected: {e}"),
         Ok(_) => unreachable!("substituted payload must not run"),
@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total = 0;
     for byte in payload_start..wire_len {
         total += 1;
-        let ch = Channel::with_attacker(Attacker::BitFlip { byte, bit: (byte % 8) as u8 });
+        let ch = Channel::with_attacker(Attacker::BitFlip {
+            byte,
+            bit: (byte % 8) as u8,
+        });
         let delivered = ch.transmit(&package)?;
         if device.install_and_run(&delivered).is_err() {
             detected += 1;

@@ -44,10 +44,16 @@ fn encrypted_execution_cycles_equal_plain_execution_cycles() {
         let asm = (w.source)(w.smoke_scale);
         let image = source.compile(&asm, false).unwrap();
         let plain = device.run_plain(&image).unwrap();
-        let pkg = source.build(&asm, &cred, &EncryptionConfig::full()).unwrap();
+        let pkg = source
+            .build(&asm, &cred, &EncryptionConfig::full())
+            .unwrap();
         let secure = device.install_and_run(&pkg).unwrap();
         assert_eq!(plain.run.cycles, secure.run.cycles, "{}", w.name);
-        assert_eq!(plain.run.instructions, secure.run.instructions, "{}", w.name);
+        assert_eq!(
+            plain.run.instructions, secure.run.instructions,
+            "{}",
+            w.name
+        );
         assert!(secure.load_cycles > plain.load_cycles, "{}", w.name);
     }
 }

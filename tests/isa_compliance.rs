@@ -10,7 +10,9 @@ fn run(src: &str) -> i64 {
     let image = assemble(&full, &AsmOptions::default()).unwrap_or_else(|e| panic!("{e}"));
     let mut soc = Soc::new(SocConfig::default());
     soc.load_image(&image).unwrap();
-    soc.run(1_000_000).unwrap_or_else(|e| panic!("{e}")).exit_code
+    soc.run(1_000_000)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .exit_code
 }
 
 #[test]
@@ -51,11 +53,8 @@ fn division_overflow_semantics() {
 fn word_shift_semantics() {
     // sraw uses only the low 5 bits of the shift amount.
     assert_eq!(run("li t0, -64\n li t1, 36\n sraw a0, t0, t1"), -4); // shift by 4
-    // srlw zero-fills bit 31 then sign-extends the 32-bit result.
-    assert_eq!(
-        run("li t0, 0x80000000\n li t1, 31\n srlw a0, t0, t1"),
-        1
-    );
+                                                                     // srlw zero-fills bit 31 then sign-extends the 32-bit result.
+    assert_eq!(run("li t0, 0x80000000\n li t1, 31\n srlw a0, t0, t1"), 1);
     // slliw discards bits above 31 before sign extension.
     assert_eq!(run("li t0, 1\n slliw a0, t0, 31\n srai a0, a0, 31"), -1);
 }

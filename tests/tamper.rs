@@ -17,7 +17,9 @@ fn setup(seed: u64) -> (Device, eric::core::Package) {
     let mut device = Device::with_seed(seed, "dev");
     let cred = device.enroll();
     let source = SoftwareSource::new("src");
-    let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+    let pkg = source
+        .build(PROGRAM, &cred, &EncryptionConfig::full())
+        .unwrap();
     (device, pkg)
 }
 
@@ -44,7 +46,15 @@ fn every_single_bit_flip_across_the_wire_is_detected() {
                         // Accepted: only a problem if the observable
                         // behaviour could diverge. With AAD + payload
                         // fully signed, nothing should be accepted.
-                        undetected.push((byte, bit, if report.exit_code == baseline { "accepted" } else { "diverged" }));
+                        undetected.push((
+                            byte,
+                            bit,
+                            if report.exit_code == baseline {
+                                "accepted"
+                            } else {
+                                "diverged"
+                            },
+                        ));
                     }
                 }
             }
@@ -74,15 +84,24 @@ fn nonce_replay_with_modified_metadata_fails() {
     // Re-point the entry somewhere else, keep everything else intact.
     let mut forged = pkg.clone();
     forged.entry += 4;
-    assert!(device.install_and_run(&forged).is_err(), "entry tamper accepted");
+    assert!(
+        device.install_and_run(&forged).is_err(),
+        "entry tamper accepted"
+    );
 
     let mut forged = pkg.clone();
     forged.text_base += 8;
-    assert!(device.install_and_run(&forged).is_err(), "base tamper accepted");
+    assert!(
+        device.install_and_run(&forged).is_err(),
+        "base tamper accepted"
+    );
 
     let mut forged = pkg.clone();
     forged.nonce ^= 1;
-    assert!(device.install_and_run(&forged).is_err(), "nonce tamper accepted");
+    assert!(
+        device.install_and_run(&forged).is_err(),
+        "nonce tamper accepted"
+    );
 }
 
 #[test]

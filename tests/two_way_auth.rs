@@ -18,7 +18,9 @@ fn genuine_device_runs_genuine_package() {
     let mut device = Device::with_seed(1, "dev");
     let cred = device.enroll();
     let source = SoftwareSource::new("src");
-    let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+    let pkg = source
+        .build(PROGRAM, &cred, &EncryptionConfig::full())
+        .unwrap();
     assert_eq!(device.install_and_run(&pkg).unwrap().exit_code, 123);
 }
 
@@ -27,7 +29,9 @@ fn every_other_device_rejects_the_package() {
     let mut device = Device::with_seed(1, "dev");
     let cred = device.enroll();
     let source = SoftwareSource::new("src");
-    let pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+    let pkg = source
+        .build(PROGRAM, &cred, &EncryptionConfig::full())
+        .unwrap();
     for seed in 2..12 {
         let mut other = Device::with_seed(seed, "other");
         assert!(
@@ -52,7 +56,9 @@ fn device_rejects_packages_from_unenrolled_sources() {
         key: DerivedKey::from_bytes([0x42; 32]), // guessed, not the PUF's
     };
     let rogue = SoftwareSource::new("rogue");
-    let pkg = rogue.build(PROGRAM, &rogue_cred, &EncryptionConfig::full()).unwrap();
+    let pkg = rogue
+        .build(PROGRAM, &rogue_cred, &EncryptionConfig::full())
+        .unwrap();
     assert!(device.install_and_run(&pkg).is_err());
 }
 
@@ -91,7 +97,9 @@ fn challenge_binding_is_enforced() {
     let mut device = Device::with_seed(5, "dev");
     let cred = device.enroll();
     let source = SoftwareSource::new("src");
-    let mut pkg = source.build(PROGRAM, &cred, &EncryptionConfig::full()).unwrap();
+    let mut pkg = source
+        .build(PROGRAM, &cred, &EncryptionConfig::full())
+        .unwrap();
     pkg.challenge[0] ^= 0xFF;
     assert!(device.install_and_run(&pkg).is_err());
 }
