@@ -1,0 +1,60 @@
+//! Provisioning fan-out scaling: packages/sec vs worker count for a
+//! 16-device batch off one cached compile (the ROADMAP's
+//! multi-device batching milestone).
+//!
+//! Asserts the scaling floor — ≥ 2× packages/sec at 4 workers vs 1
+//! worker — whenever the host actually has 4 hardware threads to
+//! scale onto.
+
+use eric_bench::output::{banner, write_json};
+use eric_bench::provisioning_fanout;
+
+const DEVICES: usize = 16;
+const DATA_BYTES: usize = 256 << 10;
+
+fn main() {
+    banner("Provisioning fan-out: packages/sec vs workers (16-device batch)");
+    let report = provisioning_fanout(DEVICES, DATA_BYTES, &[1, 2, 4, 8]);
+    println!(
+        "payload {} KiB/package, one-time compile+prepare {:.2} ms, {} host threads\n",
+        report.payload_bytes >> 10,
+        report.prepare_ms,
+        report.host_threads
+    );
+    println!(
+        "{:<8} {:>12} {:>16} {:>9}",
+        "workers", "fanout (ms)", "packages/sec", "speedup"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<8} {:>12.2} {:>16.1} {:>8.2}x",
+            r.workers, r.fanout_ms, r.packages_per_sec, r.speedup
+        );
+    }
+
+    let four = report
+        .rows
+        .iter()
+        .find(|r| r.workers == 4)
+        .expect("4-worker row present");
+    if report.host_threads >= 4 {
+        assert!(
+            four.speedup >= 2.0,
+            "4-worker fan-out must be >= 2x the 1-worker throughput on a \
+             16-device batch, measured {:.2}x",
+            four.speedup
+        );
+        println!(
+            "\nfan-out scaling floor OK: {:.2}x at 4 workers >= 2x",
+            four.speedup
+        );
+    } else {
+        println!(
+            "\nnote: host has {} thread(s); the >=2x @ 4-worker floor needs 4 \
+             hardware threads, skipping the assertion (measured {:.2}x)",
+            report.host_threads, four.speedup
+        );
+    }
+
+    write_json("provisioning_fanout", &report);
+}

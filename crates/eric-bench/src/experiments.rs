@@ -486,7 +486,8 @@ pub fn ablation_parallel_decrypt() -> Vec<ParallelRow> {
 pub struct CipherRow {
     /// Cipher name.
     pub cipher: String,
-    /// Block path ([`KeystreamCipher::apply`]) MiB/s over a 1 MiB buffer.
+    /// Block path ([`eric_crypto::cipher::KeystreamCipher::apply`])
+    /// MiB/s over a 1 MiB buffer.
     pub block_mib_s: f64,
     /// Per-byte reference (`keystream_byte` through `&dyn`) MiB/s.
     pub bytewise_mib_s: f64,
@@ -543,6 +544,98 @@ pub fn crypto_throughput() -> CryptoThroughputReport {
         std::hint::black_box(eric_crypto::sha256::sha256(&buf));
     });
     CryptoThroughputReport { rows, sha256_mib_s }
+}
+
+/// One provisioning-fan-out row: batch throughput at a worker count.
+#[derive(Clone, Debug)]
+pub struct FanoutRow {
+    /// Worker threads in the provisioning pool.
+    pub workers: usize,
+    /// Best-of-N wall clock of the per-device fan-out phase, millis.
+    pub fanout_ms: f64,
+    /// Packages built per second during the fan-out phase.
+    pub packages_per_sec: f64,
+    /// Throughput relative to the 1-worker row (or, when no 1-worker
+    /// point was measured, to the first row).
+    pub speedup: f64,
+}
+
+/// Provisioning fan-out scaling report.
+#[derive(Clone, Debug)]
+pub struct FanoutReport {
+    /// Devices per batch.
+    pub devices: usize,
+    /// Plaintext payload bytes per package.
+    pub payload_bytes: usize,
+    /// One-time compile + prepare cost (amortized over the batch), ms.
+    pub prepare_ms: f64,
+    /// Host threads available (scaling is bounded by this).
+    pub host_threads: usize,
+    /// One row per worker count.
+    pub rows: Vec<FanoutRow>,
+}
+
+/// Scaling experiment for the batched provisioning service: compile a
+/// `data_bytes`-sized firmware image once, then measure packages/sec
+/// fanning it out to `devices` enrolled devices at each worker count
+/// (best of 3 runs per point). Per-device work is dominated by the
+/// SHA-256 signature + keystream encryption over the payload, which is
+/// exactly what the worker pool parallelizes.
+pub fn provisioning_fanout(
+    devices: usize,
+    data_bytes: usize,
+    worker_counts: &[usize],
+) -> FanoutReport {
+    use eric_core::ProvisioningService;
+
+    let asm =
+        format!(".data\nblob: .zero {data_bytes}\n.text\nmain:\n li a0, 0\n li a7, 93\n ecall\n");
+    let creds: Vec<_> = (0..devices)
+        .map(|i| Device::with_seed(9_000 + i as u64, &format!("fleet/unit-{i}")).enroll())
+        .collect();
+
+    let source = SoftwareSource::new("fanout-bench");
+    let config = EncryptionConfig::full();
+    let t0 = Instant::now();
+    let image = source.compile(&asm, config.compress).unwrap();
+    let prepared = source.prepare_image(&image, &config).unwrap();
+    let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut rows: Vec<FanoutRow> = Vec::new();
+    for &workers in worker_counts {
+        let service =
+            ProvisioningService::new(SoftwareSource::new("fanout-bench")).with_workers(workers);
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            let report = service.provision_prepared(&prepared, &creds);
+            assert_eq!(report.succeeded(), devices, "batch must fully succeed");
+            best = best.min(report.fanout);
+        }
+        let packages_per_sec = devices as f64 / best.as_secs_f64().max(f64::EPSILON);
+        rows.push(FanoutRow {
+            workers,
+            fanout_ms: best.as_secs_f64() * 1e3,
+            packages_per_sec,
+            speedup: 1.0,
+        });
+    }
+    // Normalize against the 1-worker point (first row when the caller
+    // measured no 1-worker baseline).
+    let base = rows
+        .iter()
+        .find(|r| r.workers == 1)
+        .or(rows.first())
+        .map_or(1.0, |r| r.packages_per_sec);
+    for row in &mut rows {
+        row.speedup = row.packages_per_sec / base.max(f64::EPSILON);
+    }
+    FanoutReport {
+        devices,
+        payload_bytes: prepared.payload_len(),
+        prepare_ms,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rows,
+    }
 }
 
 /// RSA keygen + wrap timing (paper future work §VI).
@@ -671,6 +764,19 @@ crate::impl_json_struct!(RsaRow {
     keygen_ms,
     wrap_us
 });
+crate::impl_json_struct!(FanoutRow {
+    workers,
+    fanout_ms,
+    packages_per_sec,
+    speedup
+});
+crate::impl_json_struct!(FanoutReport {
+    devices,
+    payload_bytes,
+    prepare_ms,
+    host_threads,
+    rows
+});
 
 #[cfg(test)]
 mod tests {
@@ -710,6 +816,21 @@ mod tests {
                 "{}: map must add size",
                 r.name
             );
+        }
+    }
+
+    #[test]
+    fn fanout_report_shape() {
+        // Small payload and batch: this checks plumbing, not scaling
+        // (the bench binary enforces the release-build speedup floor).
+        let r = provisioning_fanout(4, 4 << 10, &[1, 2]);
+        assert_eq!(r.devices, 4);
+        assert!(r.payload_bytes >= 4 << 10);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].workers, 1);
+        assert!((r.rows[0].speedup - 1.0).abs() < 1e-9);
+        for row in &r.rows {
+            assert!(row.packages_per_sec > 0.0, "{row:?}");
         }
     }
 

@@ -93,6 +93,41 @@ impl Channel {
         }
         Package::from_wire(&wire)
     }
+
+    /// Transmit a whole provisioning batch, applying the attacker's
+    /// action to every package independently.
+    ///
+    /// Mirrors the fan-out deployment model: each device's package
+    /// crosses the untrusted network on its own, so a corrupted
+    /// delivery to one device never disturbs its siblings' results.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{
+    ///     Channel, Device, EncryptionConfig, ProvisioningService, SoftwareSource,
+    /// };
+    ///
+    /// let mut fleet: Vec<Device> = (0..3)
+    ///     .map(|i| Device::with_seed(200 + i, &format!("unit-{i}")))
+    ///     .collect();
+    /// let creds: Vec<_> = fleet.iter_mut().map(Device::enroll).collect();
+    /// let service = ProvisioningService::new(SoftwareSource::new("vendor"));
+    /// let packages = service
+    ///     .provision("main:\n li a0, 7\n li a7, 93\n ecall\n", &creds, &EncryptionConfig::full())
+    ///     .unwrap()
+    ///     .into_packages()
+    ///     .unwrap();
+    ///
+    /// let delivered = Channel::trusted_free().transmit_batch(&packages);
+    /// for (device, received) in fleet.iter_mut().zip(&delivered) {
+    ///     let received = received.as_ref().unwrap();
+    ///     assert_eq!(device.install_and_run(received).unwrap().exit_code, 7);
+    /// }
+    /// ```
+    pub fn transmit_batch(&self, packages: &[Package]) -> Vec<Result<Package, EricError>> {
+        packages.iter().map(|p| self.transmit(p)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +180,38 @@ mod tests {
             }
         }
         assert_eq!(rejected, total, "some bit flips went undetected");
+    }
+
+    #[test]
+    fn batch_transmission_isolates_corruption() {
+        use crate::provisioning::ProvisioningService;
+        let mut devices: Vec<Device> = (0..3)
+            .map(|i| Device::with_seed(20 + i, &format!("unit-{i}")))
+            .collect();
+        let creds: Vec<_> = devices.iter_mut().map(Device::enroll).collect();
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(2);
+        let packages = service
+            .provision(PROGRAM, &creds, &EncryptionConfig::full())
+            .unwrap()
+            .into_packages()
+            .unwrap();
+        // An attacker substituting payloads hits every delivery, but
+        // each device detects its own corrupted package independently.
+        let ch = Channel::with_attacker(Attacker::SubstitutePayload { filler: 0xAA });
+        for (device, received) in devices.iter_mut().zip(ch.transmit_batch(&packages)) {
+            assert!(device.install_and_run(&received.unwrap()).is_err());
+        }
+        // A clean channel delivers the same batch intact.
+        let clean = Channel::trusted_free().transmit_batch(&packages);
+        for (device, received) in devices.iter_mut().zip(clean) {
+            assert_eq!(
+                device
+                    .install_and_run(&received.unwrap())
+                    .unwrap()
+                    .exit_code,
+                7
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub struct EncryptionConfig {
 impl EncryptionConfig {
     /// Complete encryption with the paper's defaults (XOR cipher,
     /// epoch 0, uncompressed).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{EncryptionConfig, EncryptionMode};
+    ///
+    /// let config = EncryptionConfig::full();
+    /// assert_eq!(config.mode, EncryptionMode::Full);
+    /// assert!(config.validate().is_ok());
+    /// ```
     pub fn full() -> Self {
         EncryptionConfig {
             mode: EncryptionMode::Full,

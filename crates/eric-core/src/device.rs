@@ -57,6 +57,16 @@ impl fmt::Debug for Device {
 impl Device {
     /// Fabricate a device from a silicon-lottery seed, with the paper's
     /// PUF and SoC configurations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::Device;
+    ///
+    /// let device = Device::with_seed(7, "edge-node-7");
+    /// assert_eq!(device.id(), "edge-node-7");
+    /// assert_eq!(device.epoch(), 0);
+    /// ```
     pub fn with_seed(seed: u64, id: &str) -> Self {
         Self::with_configs(seed, id, PufDeviceConfig::paper(), SocConfig::default())
     }
@@ -101,6 +111,22 @@ impl Device {
     /// Enroll this device at its current epoch: the vendor-side
     /// handshake producing the PUF-based key record the software source
     /// compiles against. The raw PUF key never leaves the device.
+    ///
+    /// Batch provisioning enrolls a whole fleet this way and hands the
+    /// records to
+    /// [`ProvisioningService::provision`](crate::ProvisioningService::provision):
+    ///
+    /// ```
+    /// use eric_core::Device;
+    ///
+    /// let mut fleet: Vec<Device> = (0..4)
+    ///     .map(|i| Device::with_seed(i, &format!("unit-{i}")))
+    ///     .collect();
+    /// let creds: Vec<_> = fleet.iter_mut().map(Device::enroll).collect();
+    /// assert_eq!(creds.len(), 4);
+    /// // PUFs are device-unique, so every enrolled key differs.
+    /// assert_ne!(creds[0].key.as_bytes(), creds[1].key.as_bytes());
+    /// ```
     pub fn enroll(&mut self) -> EnrollmentRecord {
         self.enroll_with_challenge(&Challenge::from_bytes(&[0x5A; 32]))
     }

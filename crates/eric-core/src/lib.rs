@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! The ERIC framework: end-to-end software obfuscation.
 //!
 //! This crate assembles the substrates into the system the paper
@@ -11,6 +11,9 @@
 //!   per 16-bit parcel for partial encryption, none for full).
 //! * [`source`] — the software source: compile → sign → encrypt →
 //!   package (paper steps 2–3).
+//! * [`provisioning`] — batch enrollment and package fan-out: compile
+//!   once, cache the prepared artifact, build per-device packages on a
+//!   worker pool with per-device failure isolation.
 //! * [`device`] — a target device: arbiter PUF + HDE + RV64GC SoC;
 //!   enrollment, secure installation, and execution (steps 1, 5, 6).
 //! * [`channel`] — the untrusted transport between them (step 4), with
@@ -52,6 +55,7 @@ pub mod config;
 pub mod device;
 pub mod error;
 pub mod package;
+pub mod provisioning;
 pub mod source;
 
 pub use channel::{Attacker, Channel};
@@ -59,4 +63,5 @@ pub use config::{EncryptionConfig, EncryptionMode};
 pub use device::{Device, ExecutionReport};
 pub use error::EricError;
 pub use package::{Package, SizeReport};
-pub use source::{BuildTimings, SoftwareSource};
+pub use provisioning::{BatchReport, DeviceOutcome, ProvisioningService};
+pub use source::{BuildTimings, PreparedImage, SoftwareSource};

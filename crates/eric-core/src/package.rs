@@ -87,9 +87,39 @@ impl Package {
         out
     }
 
+    /// Serialized size in bytes, without serializing.
+    ///
+    /// Batch reporting sums this over thousands of packages; computing
+    /// it arithmetically avoids a throwaway [`Package::to_wire`]
+    /// allocation per package.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{Device, EncryptionConfig, SoftwareSource};
+    ///
+    /// let mut device = Device::with_seed(1, "node");
+    /// let cred = device.enroll();
+    /// let source = SoftwareSource::new("vendor");
+    /// let package = source
+    ///     .build("main:\n li a0, 0\n li a7, 93\n ecall\n", &cred, &EncryptionConfig::full())
+    ///     .unwrap();
+    /// assert_eq!(package.wire_len(), package.to_wire().len());
+    /// ```
+    pub fn wire_len(&self) -> usize {
+        // MAGIC + cipher + policy + epoch + nonce + text_base +
+        // data_base + entry + text_len + payload_len + challenge_len.
+        let header = 5 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 2;
+        let map = match &self.map {
+            CoverageMap::Full => 1,
+            CoverageMap::Partial(_) => 1 + 1 + 4 + self.map.wire_len(),
+        };
+        header + self.challenge.len() + map + 32 + self.payload.len()
+    }
+
     /// Serialize to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(128 + self.payload.len() + self.map.wire_len());
+        let mut buf = Vec::with_capacity(self.wire_len());
         buf.extend_from_slice(MAGIC);
         buf.push(self.cipher.wire_id());
         buf.push(self.policy.map_or(0xFF, FieldPolicy::wire_id));
@@ -193,7 +223,7 @@ impl Package {
                 CoverageMap::Full => 0,
                 CoverageMap::Partial(bm) => bm.parcels(),
             },
-            wire_bytes: self.to_wire().len(),
+            wire_bytes: self.wire_len(),
         }
     }
 }
@@ -294,6 +324,16 @@ mod tests {
         let wire = p.to_wire();
         let q = Package::from_wire(&wire).expect("parses");
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn wire_len_matches_serialization_exactly() {
+        let full = sample(CoverageMap::Full);
+        assert_eq!(full.wire_len(), full.to_wire().len());
+        let mut bm = ParcelBitmap::new(37);
+        bm.set(3);
+        let partial = sample(CoverageMap::Partial(bm));
+        assert_eq!(partial.wire_len(), partial.to_wire().len());
     }
 
     #[test]

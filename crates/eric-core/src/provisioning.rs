@@ -1,0 +1,432 @@
+//! Batched multi-device provisioning: one compile, many packages.
+//!
+//! Paper §III-1: "ERIC is suitable for compiling from a single
+//! software source for multiple target hardware ... ERIC does not have
+//! a scaling problem for multiple targets or sources." The
+//! single-device path ([`SoftwareSource::build`]) re-does the whole
+//! compile → map → sign → encrypt pipeline per call; at fleet scale
+//! the compile and coverage-map construction are device-independent
+//! and should be paid once.
+//!
+//! [`ProvisioningService`] splits the pipeline accordingly: it
+//! compiles and prepares the image **once** (caching the immutable
+//! [`PreparedImage`], whose seed-deterministic coverage map is safe to
+//! share across devices), then fans the per-device work — nonce
+//! allocation, signing over the device-bound AAD, encryption under the
+//! device's PUF-derived key — across a
+//! [`std::thread::scope`] worker pool. Failures are isolated per
+//! device: one stale credential produces one failed
+//! [`DeviceOutcome`], not an aborted batch.
+
+use crate::config::EncryptionConfig;
+use crate::error::EricError;
+use crate::package::Package;
+use crate::source::{PreparedImage, SoftwareSource};
+use eric_asm::Image;
+use eric_puf::crp::EnrollmentRecord;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What happened to one device of a batch.
+#[derive(Debug)]
+pub struct DeviceOutcome {
+    /// The device the package was built for (from its enrollment
+    /// record).
+    pub device_id: String,
+    /// Wall-clock the worker spent on this device (sign + encrypt).
+    pub elapsed: Duration,
+    /// The built package, or why this device failed. A failure here
+    /// never affects sibling devices.
+    pub result: Result<Package, EricError>,
+}
+
+/// Report of one batch run: per-device outcomes plus the amortized
+/// compile cost and fan-out wall clock.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One outcome per enrollment record, in input order.
+    pub outcomes: Vec<DeviceOutcome>,
+    /// One-time cost: compilation plus device-independent preparation
+    /// (payload assembly, coverage-map construction). Zero when the
+    /// caller supplied an already-prepared image.
+    pub prepare: Duration,
+    /// Wall clock of the parallel per-device phase.
+    pub fanout: Duration,
+    /// Worker threads the fan-out actually used.
+    pub workers: usize,
+    /// Plaintext payload size per package, bytes.
+    pub payload_bytes: usize,
+}
+
+impl BatchReport {
+    /// Number of devices in the batch.
+    pub fn devices(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of successfully built packages.
+    pub fn succeeded(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+    }
+
+    /// Number of per-device failures.
+    pub fn failed(&self) -> usize {
+        self.devices() - self.succeeded()
+    }
+
+    /// The successfully built packages, in input order.
+    pub fn packages(&self) -> impl Iterator<Item = &Package> {
+        self.outcomes.iter().filter_map(|o| o.result.as_ref().ok())
+    }
+
+    /// All packages, or the first per-device error (for callers that
+    /// treat any failure as fatal).
+    ///
+    /// # Errors
+    ///
+    /// The first failed device's error.
+    pub fn into_packages(self) -> Result<Vec<Package>, EricError> {
+        self.outcomes
+            .into_iter()
+            .map(|o| o.result)
+            .collect::<Result<Vec<_>, _>>()
+    }
+
+    /// Aggregate throughput of the fan-out phase, packages per second
+    /// (counts only successes; the compile cost is amortized and
+    /// excluded — see [`BatchReport::total`]).
+    pub fn packages_per_sec(&self) -> f64 {
+        self.succeeded() as f64 / self.fanout.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// End-to-end batch wall clock: preparation + fan-out.
+    pub fn total(&self) -> Duration {
+        self.prepare + self.fanout
+    }
+}
+
+/// Batch enrollment-and-packaging front end over a [`SoftwareSource`].
+///
+/// # Examples
+///
+/// Provision a 16-device fleet in one call (this is the README's
+/// "Provisioning at scale" example, kept compile-tested here):
+///
+/// ```
+/// use eric_core::{Device, EncryptionConfig, ProvisioningService, SoftwareSource};
+///
+/// // Enroll a 16-device fleet (each with a physically-unique PUF).
+/// let mut fleet: Vec<Device> = (0..16)
+///     .map(|i| Device::with_seed(1000 + i, &format!("fleet/unit-{i}")))
+///     .collect();
+/// let creds: Vec<_> = fleet.iter_mut().map(Device::enroll).collect();
+///
+/// // Compile once, build 16 device-bound packages on 4 workers.
+/// let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(4);
+/// let report = service
+///     .provision(
+///         "main:\n li a0, 42\n li a7, 93\n ecall\n",
+///         &creds,
+///         &EncryptionConfig::full(),
+///     )
+///     .unwrap();
+/// assert_eq!(report.succeeded(), 16);
+/// println!(
+///     "{} packages on {} workers: {:.0} packages/sec",
+///     report.succeeded(), report.workers, report.packages_per_sec(),
+/// );
+///
+/// // Every device accepts exactly its own package.
+/// for (device, package) in fleet.iter_mut().zip(report.packages()) {
+///     assert_eq!(device.install_and_run(package).unwrap().exit_code, 42);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ProvisioningService {
+    source: SoftwareSource,
+    workers: usize,
+}
+
+impl ProvisioningService {
+    /// Wrap a software source; the worker count defaults to the
+    /// host's available parallelism.
+    pub fn new(source: SoftwareSource) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ProvisioningService { source, workers }
+    }
+
+    /// Set the worker-pool width (builder style). Clamped to at
+    /// least 1; the fan-out never spawns more workers than devices.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The wrapped software source.
+    pub fn source(&self) -> &SoftwareSource {
+        &self.source
+    }
+
+    /// Compile `asm_source` once, then build one package per
+    /// enrollment record on the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Compilation and configuration errors fail the whole batch (no
+    /// device could succeed). Per-device failures are isolated inside
+    /// the returned [`BatchReport`].
+    pub fn provision(
+        &self,
+        asm_source: &str,
+        creds: &[EnrollmentRecord],
+        config: &EncryptionConfig,
+    ) -> Result<BatchReport, EricError> {
+        let t0 = Instant::now();
+        let image = self.source.compile(asm_source, config.compress)?;
+        let prepared = self.source.prepare_image(&image, config)?;
+        let prepare = t0.elapsed();
+        let mut report = self.provision_prepared(&prepared, creds);
+        report.prepare = prepare;
+        Ok(report)
+    }
+
+    /// Like [`ProvisioningService::provision`], starting from an
+    /// already-compiled image.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors fail the whole batch.
+    pub fn provision_image(
+        &self,
+        image: &Image,
+        creds: &[EnrollmentRecord],
+        config: &EncryptionConfig,
+    ) -> Result<BatchReport, EricError> {
+        let t0 = Instant::now();
+        let prepared = self.source.prepare_image(image, config)?;
+        let prepare = t0.elapsed();
+        let mut report = self.provision_prepared(&prepared, creds);
+        report.prepare = prepare;
+        Ok(report)
+    }
+
+    /// Fan an already-prepared image out to every enrollment record.
+    ///
+    /// This is the cached-artifact path: callers provisioning several
+    /// waves of devices from one build keep the [`PreparedImage`] and
+    /// pay only per-device costs per wave.
+    pub fn provision_prepared(
+        &self,
+        prepared: &PreparedImage,
+        creds: &[EnrollmentRecord],
+    ) -> BatchReport {
+        let n = creds.len();
+        let workers = self.workers.min(n.max(1));
+        // Work-stealing by atomic cursor: workers pull the next device
+        // index until the batch is drained. Each outcome lands in its
+        // own slot, so results stay in input order without contention
+        // on a shared collection.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<DeviceOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cred = &creds[i];
+                    let t = Instant::now();
+                    let result = self
+                        .source
+                        .package_prepared(prepared, cred)
+                        .map(|(package, _)| package);
+                    let outcome = DeviceOutcome {
+                        device_id: cred.device_id.clone(),
+                        elapsed: t.elapsed(),
+                        result,
+                    };
+                    *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        let fanout = t0.elapsed();
+        let outcomes = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("outcome slot poisoned")
+                    .expect("every claimed slot is filled before its worker exits")
+            })
+            .collect();
+        BatchReport {
+            outcomes,
+            prepare: Duration::ZERO,
+            fanout,
+            workers,
+            payload_bytes: prepared.payload_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+
+    const PROGRAM: &str = "main:\n li a0, 41\n addi a0, a0, 1\n li a7, 93\n ecall\n";
+
+    fn fleet(n: usize, base_seed: u64) -> (Vec<Device>, Vec<EnrollmentRecord>) {
+        let mut devices: Vec<Device> = (0..n)
+            .map(|i| Device::with_seed(base_seed + i as u64, &format!("unit-{i}")))
+            .collect();
+        let creds = devices.iter_mut().map(Device::enroll).collect();
+        (devices, creds)
+    }
+
+    #[test]
+    fn batch_builds_one_package_per_device() {
+        let (mut devices, creds) = fleet(6, 300);
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(3);
+        let report = service
+            .provision(PROGRAM, &creds, &EncryptionConfig::full())
+            .unwrap();
+        assert_eq!(report.devices(), 6);
+        assert_eq!(report.succeeded(), 6);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.workers, 3);
+        assert!(report.packages_per_sec() > 0.0);
+        // Input order preserved, every package keyed to its device.
+        for (i, (device, outcome)) in devices.iter_mut().zip(&report.outcomes).enumerate() {
+            assert_eq!(outcome.device_id, format!("unit-{i}"));
+            let package = outcome.result.as_ref().unwrap();
+            assert_eq!(device.install_and_run(package).unwrap().exit_code, 42);
+        }
+    }
+
+    #[test]
+    fn packages_are_device_bound_not_interchangeable() {
+        let (mut devices, creds) = fleet(3, 400);
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(2);
+        let packages = service
+            .provision(PROGRAM, &creds, &EncryptionConfig::full())
+            .unwrap()
+            .into_packages()
+            .unwrap();
+        // Swapped packages are rejected by the HDE.
+        assert!(devices[0].install_and_run(&packages[1]).is_err());
+        assert!(devices[1].install_and_run(&packages[1]).is_ok());
+    }
+
+    #[test]
+    fn one_bad_credential_does_not_abort_the_batch() {
+        let (mut devices, mut creds) = fleet(4, 500);
+        creds[2].epoch = 9; // stale record from a rotated-away epoch
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(4);
+        let report = service
+            .provision(PROGRAM, &creds, &EncryptionConfig::full())
+            .unwrap();
+        assert_eq!(report.succeeded(), 3);
+        assert_eq!(report.failed(), 1);
+        assert!(matches!(
+            report.outcomes[2].result,
+            Err(EricError::Config(_))
+        ));
+        for (i, device) in devices.iter_mut().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let package = report.outcomes[i].result.as_ref().unwrap();
+            assert_eq!(device.install_and_run(package).unwrap().exit_code, 42);
+        }
+        // into_packages surfaces the isolated failure.
+        assert!(report.into_packages().is_err());
+    }
+
+    #[test]
+    fn batch_nonces_are_unique() {
+        let (_, creds) = fleet(16, 600);
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(4);
+        let packages = service
+            .provision(PROGRAM, &creds, &EncryptionConfig::full())
+            .unwrap()
+            .into_packages()
+            .unwrap();
+        let mut nonces: Vec<u64> = packages.iter().map(|p| p.nonce).collect();
+        nonces.sort_unstable();
+        nonces.dedup();
+        assert_eq!(nonces.len(), 16, "nonce reuse across the batch");
+    }
+
+    #[test]
+    fn prepared_artifact_is_reusable_across_waves() {
+        let (mut devices, creds) = fleet(4, 700);
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(2);
+        let config = EncryptionConfig::partial(0.5, 11);
+        let image = service.source().compile(PROGRAM, config.compress).unwrap();
+        let prepared = service.source().prepare_image(&image, &config).unwrap();
+        // Two waves off one cached preparation.
+        let wave1 = service.provision_prepared(&prepared, &creds[..2]);
+        let wave2 = service.provision_prepared(&prepared, &creds[2..]);
+        assert_eq!(wave1.succeeded() + wave2.succeeded(), 4);
+        assert_eq!(wave1.prepare, Duration::ZERO);
+        for (device, outcome) in devices
+            .iter_mut()
+            .zip(wave1.outcomes.iter().chain(&wave2.outcomes))
+        {
+            let package = outcome.result.as_ref().unwrap();
+            // Seed-deterministic map: shared across the whole fleet.
+            assert_eq!(&package.map, prepared.map());
+            assert_eq!(device.install_and_run(package).unwrap().exit_code, 42);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_noop() {
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(8);
+        let report = service
+            .provision(PROGRAM, &[], &EncryptionConfig::full())
+            .unwrap();
+        assert_eq!(report.devices(), 0);
+        assert_eq!(report.succeeded(), 0);
+        assert_eq!(report.into_packages().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn workers_clamped_to_at_least_one() {
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(0);
+        assert_eq!(service.workers(), 1);
+        let (_, creds) = fleet(2, 800);
+        let report = service
+            .provision(PROGRAM, &creds, &EncryptionConfig::full())
+            .unwrap();
+        assert_eq!(report.succeeded(), 2);
+    }
+
+    #[test]
+    fn batch_of_one_equals_single_device_path() {
+        let (mut devices, creds) = fleet(1, 900);
+        let source = SoftwareSource::new("vendor");
+        let single = source
+            .build(PROGRAM, &creds[0], &EncryptionConfig::full())
+            .unwrap();
+        let service = ProvisioningService::new(SoftwareSource::new("vendor"));
+        let batched = service
+            .provision(PROGRAM, &creds, &EncryptionConfig::full())
+            .unwrap()
+            .into_packages()
+            .unwrap()
+            .remove(0);
+        // Same nonce (fresh counters), same map, same ciphertext: the
+        // single-device path is literally a batch of one.
+        assert_eq!(single, batched);
+        assert_eq!(devices[0].install_and_run(&batched).unwrap().exit_code, 42);
+    }
+}

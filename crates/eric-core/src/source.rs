@@ -39,6 +39,21 @@ pub struct BuildTimings {
 
 impl BuildTimings {
     /// Total build time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::BuildTimings;
+    /// use std::time::Duration;
+    ///
+    /// let t = BuildTimings {
+    ///     compile: Duration::from_micros(100),
+    ///     sign: Duration::from_micros(10),
+    ///     encrypt: Duration::from_micros(5),
+    ///     package: Duration::from_micros(1),
+    /// };
+    /// assert_eq!(t.total(), Duration::from_micros(116));
+    /// ```
     pub fn total(&self) -> Duration {
         self.compile + self.sign + self.encrypt + self.package
     }
@@ -48,6 +63,54 @@ impl BuildTimings {
     pub fn overhead_pct(&self) -> f64 {
         let extra = self.sign + self.encrypt + self.package;
         100.0 * extra.as_secs_f64() / self.compile.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// An image with all device-independent packaging work done: payload
+/// assembled and the coverage map constructed.
+///
+/// This is the compile-time half of [`SoftwareSource::package_image`].
+/// A `PreparedImage` is immutable and can be shared (by reference)
+/// across threads, so batch provisioning pays the compile + map cost
+/// once and fans out only the per-device work (nonce allocation,
+/// signing, encryption, serialization). Built by
+/// [`SoftwareSource::prepare_image`], consumed by
+/// [`SoftwareSource::package_prepared`] and
+/// [`ProvisioningService::provision_prepared`](crate::ProvisioningService::provision_prepared).
+#[derive(Clone, Debug)]
+pub struct PreparedImage {
+    pub(crate) cipher: eric_crypto::cipher::CipherKind,
+    pub(crate) policy: Option<eric_hde::FieldPolicy>,
+    pub(crate) epoch: u64,
+    pub(crate) text_base: u64,
+    pub(crate) data_base: u64,
+    pub(crate) entry: u64,
+    pub(crate) text_len: u32,
+    pub(crate) map: CoverageMap,
+    pub(crate) payload: Vec<u8>,
+    pub(crate) prepare_time: Duration,
+}
+
+impl PreparedImage {
+    /// Plaintext payload size (text ‖ data), in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Key epoch every package from this preparation will target.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared encryption coverage map.
+    pub fn map(&self) -> &CoverageMap {
+        &self.map
+    }
+
+    /// Wall-clock spent on the device-independent preparation
+    /// (coverage-map construction).
+    pub fn prepare_time(&self) -> Duration {
+        self.prepare_time
     }
 }
 
@@ -67,6 +130,15 @@ impl fmt::Debug for SoftwareSource {
 
 impl SoftwareSource {
     /// Create a named software source.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::SoftwareSource;
+    ///
+    /// let source = SoftwareSource::new("vendor");
+    /// assert_eq!(source.name(), "vendor");
+    /// ```
     pub fn new(name: &str) -> Self {
         SoftwareSource {
             name: name.to_string(),
@@ -100,6 +172,20 @@ impl SoftwareSource {
     /// # Errors
     ///
     /// Compilation or configuration errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{Device, EncryptionConfig, SoftwareSource};
+    ///
+    /// let mut device = Device::with_seed(1, "node");
+    /// let cred = device.enroll();
+    /// let source = SoftwareSource::new("vendor");
+    /// let package = source
+    ///     .build("main:\n li a0, 42\n li a7, 93\n ecall\n", &cred, &EncryptionConfig::full())
+    ///     .unwrap();
+    /// assert_eq!(device.install_and_run(&package).unwrap().exit_code, 42);
+    /// ```
     pub fn build(
         &self,
         asm_source: &str,
@@ -137,20 +223,132 @@ impl SoftwareSource {
 
     /// Sign/encrypt/package an already-compiled image.
     ///
+    /// A batch of one: [`SoftwareSource::prepare_image`] followed by
+    /// [`SoftwareSource::package_prepared`]. Batch provisioning calls
+    /// the two halves separately so the preparation is paid once per
+    /// image instead of once per device.
+    ///
     /// # Errors
     ///
-    /// Configuration errors (e.g. field-level on a compressed image).
+    /// Configuration errors (e.g. field-level on a compressed image),
+    /// or an enrollment record from a different key epoch than the
+    /// configuration targets.
     pub fn package_image(
         &self,
         image: &Image,
         cred: &EnrollmentRecord,
         config: &EncryptionConfig,
     ) -> Result<(Package, BuildTimings), EricError> {
+        let prepared = self.prepare_image(image, config)?;
+        let (package, mut timings) = self.package_prepared(&prepared, cred)?;
+        // Single-device accounting folds map construction into the
+        // encrypt phase, as the pre-batch pipeline did.
+        timings.encrypt += prepared.prepare_time;
+        // Serialize once to account packaging cost (Figure 6 measures
+        // the full source-side pipeline). The batch fan-out skips this
+        // — packages are serialized when they actually hit the wire.
+        let t = Instant::now();
+        let _wire = package.to_wire();
+        timings.package = t.elapsed();
+        Ok((package, timings))
+    }
+
+    /// The device-independent half of packaging: validate the
+    /// configuration, assemble the plaintext payload, and build the
+    /// encryption coverage map.
+    ///
+    /// The result is immutable and shareable across threads; see
+    /// [`PreparedImage`].
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors (e.g. field-level on a compressed image).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{EncryptionConfig, SoftwareSource};
+    ///
+    /// let source = SoftwareSource::new("vendor");
+    /// let image = source
+    ///     .compile("main:\n li a0, 0\n li a7, 93\n ecall\n", false)
+    ///     .unwrap();
+    /// let prepared = source
+    ///     .prepare_image(&image, &EncryptionConfig::full())
+    ///     .unwrap();
+    /// assert_eq!(prepared.payload_len(), image.text.len() + image.data.len());
+    /// ```
+    pub fn prepare_image(
+        &self,
+        image: &Image,
+        config: &EncryptionConfig,
+    ) -> Result<PreparedImage, EricError> {
         config.validate().map_err(EricError::Config)?;
         if matches!(config.mode, EncryptionMode::FieldLevel(_)) && image.has_compressed() {
             return Err(EricError::Config(
                 "field-level encryption requires an uncompressed image".into(),
             ));
+        }
+
+        // Assemble the plaintext payload: text ‖ data.
+        let mut payload = Vec::with_capacity(image.text.len() + image.data.len());
+        payload.extend_from_slice(&image.text);
+        payload.extend_from_slice(&image.data);
+
+        // Build the coverage map. Selection is seed-deterministic, so
+        // the map is identical for every device in a batch and safe to
+        // share.
+        let t = Instant::now();
+        let (map, policy) = match config.mode {
+            EncryptionMode::Full => (CoverageMap::Full, None),
+            EncryptionMode::PartialRandom { fraction, seed } => {
+                (self.random_map(image, payload.len(), fraction, seed), None)
+            }
+            EncryptionMode::FieldLevel(policy) => (CoverageMap::Full, Some(policy)),
+        };
+        let prepare_time = t.elapsed();
+
+        Ok(PreparedImage {
+            cipher: config.cipher,
+            policy,
+            epoch: config.epoch,
+            text_base: image.text_base,
+            data_base: image.data_base,
+            entry: image.entry,
+            text_len: image.text.len() as u32,
+            map,
+            payload,
+            prepare_time,
+        })
+    }
+
+    /// The per-device half of packaging: allocate a fresh nonce, sign,
+    /// and encrypt with the device's PUF-derived per-package key.
+    ///
+    /// Thread-safe: many workers may call this concurrently on one
+    /// shared [`PreparedImage`]; each call draws a unique nonce from
+    /// the source's counter. No wire serialization happens here (the
+    /// returned `BuildTimings::package` is zero) — batch callers
+    /// serialize at transmission time, and
+    /// [`SoftwareSource::package_image`] accounts it for the
+    /// single-device measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Config`] when `cred` was enrolled at a different
+    /// key epoch than the preparation targets — the device would
+    /// derive a different key and reject the package, so the mismatch
+    /// is caught at the source instead.
+    pub fn package_prepared(
+        &self,
+        prepared: &PreparedImage,
+        cred: &EnrollmentRecord,
+    ) -> Result<(Package, BuildTimings), EricError> {
+        if cred.epoch != prepared.epoch {
+            return Err(EricError::Config(format!(
+                "credential for {:?} is from epoch {} but the package targets epoch {}",
+                cred.device_id, cred.epoch, prepared.epoch
+            )));
         }
         let mut timings = BuildTimings::default();
         let nonce = {
@@ -160,39 +358,24 @@ impl SoftwareSource {
             n
         };
 
-        // Assemble the plaintext payload: text ‖ data.
-        let mut payload = Vec::with_capacity(image.text.len() + image.data.len());
-        payload.extend_from_slice(&image.text);
-        payload.extend_from_slice(&image.data);
-
-        // Build the coverage map.
-        let t = Instant::now();
-        let (map, policy) = match config.mode {
-            EncryptionMode::Full => (CoverageMap::Full, None),
-            EncryptionMode::PartialRandom { fraction, seed } => {
-                (self.random_map(image, payload.len(), fraction, seed), None)
-            }
-            EncryptionMode::FieldLevel(policy) => (CoverageMap::Full, Some(policy)),
-        };
-        let map_time = t.elapsed();
-
         // Construct the package skeleton so the AAD can be signed.
         let mut package = Package {
-            cipher: config.cipher,
-            policy,
-            epoch: config.epoch,
+            cipher: prepared.cipher,
+            policy: prepared.policy,
+            epoch: prepared.epoch,
             nonce,
             challenge: cred.challenge.as_bytes().to_vec(),
-            text_base: image.text_base,
-            data_base: image.data_base,
-            entry: image.entry,
-            text_len: image.text.len() as u32,
-            map,
+            text_base: prepared.text_base,
+            data_base: prepared.data_base,
+            entry: prepared.entry,
+            text_len: prepared.text_len,
+            map: prepared.map.clone(),
             encrypted_signature: [0; 32],
-            payload,
+            payload: prepared.payload.clone(),
         };
 
-        // Sign: SHA-256(AAD ‖ plaintext payload).
+        // Sign: SHA-256(AAD ‖ plaintext payload). The AAD binds the
+        // nonce and challenge, so the signature is per-device work.
         let t = Instant::now();
         let mut hasher = Sha256::new();
         hasher.update(&package.aad());
@@ -203,7 +386,7 @@ impl SoftwareSource {
         // Encrypt payload and signature with the per-package key.
         let t = Instant::now();
         let key = self.kmu.package_key(&cred.key, nonce);
-        let cipher = config.cipher.instantiate(key.as_bytes());
+        let cipher = prepared.cipher.instantiate(key.as_bytes());
         let payload_len = package.payload.len();
         transform_payload(
             &mut package.payload,
@@ -215,12 +398,7 @@ impl SoftwareSource {
         let mut sig_bytes = *signature.as_bytes();
         transform_signature(&mut sig_bytes, payload_len, cipher.as_ref());
         package.encrypted_signature = sig_bytes;
-        timings.encrypt = t.elapsed() + map_time;
-
-        // Serialize once to account packaging cost.
-        let t = Instant::now();
-        let _wire = package.to_wire();
-        timings.package = t.elapsed();
+        timings.encrypt = t.elapsed();
 
         Ok((package, timings))
     }
@@ -299,6 +477,41 @@ mod tests {
         assert_ne!(p1.nonce, p2.nonce);
         // Same plaintext, different keystream -> different ciphertext.
         assert_ne!(p1.payload, p2.payload);
+
+        // Regression guard for the provisioning worker pool: a
+        // concurrent batch must draw unique nonces, and the counter
+        // must hand them out monotonically with no gaps or reuse.
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 8;
+        let src = SoftwareSource::new("vendor");
+        let image = src.compile(PROGRAM, false).unwrap();
+        let prepared = src
+            .prepare_image(&image, &EncryptionConfig::full())
+            .unwrap();
+        let mut nonces: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|seed| {
+                    let src = &src;
+                    let prepared = &prepared;
+                    scope.spawn(move || {
+                        let c = cred(seed as u64 + 1);
+                        (0..PER_THREAD)
+                            .map(|_| src.package_prepared(prepared, &c).unwrap().0.nonce)
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        nonces.sort_unstable();
+        // Counter starts at 1 and increments by one per package:
+        // sorted nonces must be exactly 1..=THREADS*PER_THREAD
+        // (uniqueness + monotone, gap-free allocation).
+        let want: Vec<u64> = (1..=(THREADS * PER_THREAD) as u64).collect();
+        assert_eq!(nonces, want, "concurrent nonce allocation broke");
     }
 
     #[test]
@@ -358,6 +571,17 @@ mod tests {
             .unwrap();
         assert!(t.compile > Duration::ZERO);
         assert!(t.total() >= t.compile);
+    }
+
+    #[test]
+    fn stale_epoch_credential_rejected_at_source() {
+        let src = SoftwareSource::new("vendor");
+        let mut stale = cred(7);
+        stale.epoch = 3; // enrolled under a rotated-away epoch
+        let err = src.build(PROGRAM, &stale, &EncryptionConfig::full());
+        assert!(matches!(err, Err(EricError::Config(_))), "{err:?}");
+        let cfg = EncryptionConfig::full().with_epoch(3);
+        assert!(src.build(PROGRAM, &stale, &cfg).is_ok());
     }
 
     #[test]

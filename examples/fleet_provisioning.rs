@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example fleet_provisioning`
 
-use eric::core::{Device, EncryptionConfig, SoftwareSource};
+use eric::core::{Device, EncryptionConfig, ProvisioningService, SoftwareSource};
 use eric::puf::crp::CrpDatabase;
 
 const FIRMWARE: &str = r#"
@@ -42,12 +42,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("CRP database holds {} records", db.len());
 
-    // Build one package per device (each keyed to that device's PUF).
-    let mut packages = Vec::new();
-    for device in &mut fleet {
-        let cred = device.enroll();
-        packages.push(vendor.build(FIRMWARE, &cred, &EncryptionConfig::full())?);
-    }
+    // Batch-provision the fleet: compile once, fan the per-device
+    // sign/encrypt/package work across a worker pool.
+    let creds: Vec<_> = fleet.iter_mut().map(Device::enroll).collect();
+    let service = ProvisioningService::new(vendor).with_workers(4);
+    let report = service.provision(FIRMWARE, &creds, &EncryptionConfig::full())?;
+    println!(
+        "batch of {} provisioned on {} workers: {:.0} packages/sec \
+         (compile amortized: {:?})",
+        report.devices(),
+        report.workers,
+        report.packages_per_sec(),
+        report.prepare,
+    );
+    let packages = report.into_packages()?;
 
     // Every device runs its own package; no device runs a sibling's.
     let mut cross_rejections = 0;
@@ -77,12 +85,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Epoch rotation revokes the field population. ---
     let mut revoked = Device::with_seed(6000, "revocable-unit");
     let old_cred = revoked.enroll();
-    let old_pkg = vendor.build(FIRMWARE, &old_cred, &EncryptionConfig::full())?;
+    let old_pkg = service
+        .source()
+        .build(FIRMWARE, &old_cred, &EncryptionConfig::full())?;
     assert_eq!(revoked.install_and_run(&old_pkg)?.exit_code, 42);
     revoked.rotate_epoch();
     assert!(revoked.install_and_run(&old_pkg).is_err());
     let new_cred = revoked.enroll();
-    let new_pkg = vendor.build(
+    let new_pkg = service.source().build(
         FIRMWARE,
         &new_cred,
         &EncryptionConfig::full().with_epoch(revoked.epoch()),

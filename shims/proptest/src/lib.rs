@@ -151,7 +151,7 @@ pub mod collection {
     use rand::RngCore;
     use std::ops::Range;
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,

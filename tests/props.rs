@@ -190,6 +190,64 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch provisioning: a batch of N devices yields N packages, and
+    /// every package round-trips through that device's
+    /// `SecureLoader::process` to the identical plaintext image.
+    #[test]
+    fn batch_packages_roundtrip_to_identical_plaintext(n in 1usize..6,
+                                                       seed in 0u64..200,
+                                                       mode in 0u8..3) {
+        use eric::core::{Device, EncryptionConfig, ProvisioningService, SoftwareSource};
+        use eric::hde::loader::SecureInput;
+        use eric::puf::crp::Challenge;
+
+        const PROGRAM: &str =
+            ".data\nbuf: .zero 96\n.text\nmain:\n li a0, 5\n li a7, 93\n ecall\n";
+        let config = match mode {
+            0 => EncryptionConfig::full(),
+            1 => EncryptionConfig::partial(0.5, seed.wrapping_add(1)),
+            _ => EncryptionConfig::field_level(eric::hde::FieldPolicy::MemoryPointers),
+        };
+
+        let mut devices: Vec<Device> = (0..n)
+            .map(|i| Device::with_seed(seed * 64 + i as u64, &format!("batch/{i}")))
+            .collect();
+        let creds: Vec<_> = devices.iter_mut().map(Device::enroll).collect();
+
+        let service = ProvisioningService::new(SoftwareSource::new("prop-batch"))
+            .with_workers(3);
+        let image = service.source().compile(PROGRAM, config.compress).unwrap();
+        let report = service.provision_image(&image, &creds, &config).unwrap();
+        prop_assert_eq!(report.devices(), n);
+        prop_assert_eq!(report.succeeded(), n);
+
+        let mut expected = image.text.clone();
+        expected.extend_from_slice(&image.data);
+        for (device, pkg) in devices.iter_mut().zip(report.packages()) {
+            let aad = pkg.aad();
+            let challenge = Challenge::from_bytes(&pkg.challenge);
+            let input = SecureInput {
+                payload: &pkg.payload,
+                aad: &aad,
+                text_len: pkg.text_len as usize,
+                map: &pkg.map,
+                policy: pkg.policy,
+                encrypted_signature: pkg.encrypted_signature,
+                cipher: pkg.cipher,
+                challenge: &challenge,
+                epoch: pkg.epoch,
+                nonce: pkg.nonce,
+            };
+            let loaded = device.loader().process(&input).unwrap();
+            prop_assert_eq!(&loaded.plaintext, &expected,
+                            "device {} did not recover the image", device.id());
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// `li` must load *any* 64-bit constant exactly (the multi-step
