@@ -3,7 +3,7 @@
 //! keystream path against the per-byte reference the decrypt hot loop
 //! used before the run-based redesign.
 
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, smoke_mode, write_json};
 use eric_bench::{crypto_throughput, CipherRow};
 
 fn main() {
@@ -28,16 +28,20 @@ fn main() {
         .iter()
         .find(|r| r.cipher == "xor")
         .expect("xor row present");
-    assert!(
-        xor.speedup >= 5.0,
-        "block path must be >= 5x the per-byte reference for the XOR cipher \
-         on a 1 MiB payload, measured {:.1}x",
-        xor.speedup
-    );
-    println!(
-        "block-vs-byte floor OK: xor speedup {:.1}x >= 5x",
-        xor.speedup
-    );
+    if smoke_mode() {
+        println!("smoke mode: floor assertion skipped");
+    } else {
+        assert!(
+            xor.speedup >= 5.0,
+            "block path must be >= 5x the per-byte reference for the XOR cipher \
+             on a 1 MiB payload, measured {:.1}x",
+            xor.speedup
+        );
+        println!(
+            "block-vs-byte floor OK: xor speedup {:.1}x >= 5x",
+            xor.speedup
+        );
+    }
 
     write_json("crypto_throughput", &report);
 }

@@ -7,13 +7,13 @@
 //! adds SHA-256 signing, keystream encryption, and packaging.
 
 use eric_bench::fig6_compile_time;
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, smoke_mode, write_json};
 
 fn main() {
     let iters: u32 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(101);
+        .unwrap_or(if smoke_mode() { 3 } else { 101 });
     banner("Figure 6: Compile Time (normalized to plain compilation)");
     let f = fig6_compile_time(iters);
     println!(

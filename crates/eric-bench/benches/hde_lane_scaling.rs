@@ -1,0 +1,76 @@
+//! HDE lane scaling: end-to-end `SecureLoader::process` throughput vs
+//! decryption-lane count for a segmented (v2) package (the ROADMAP's
+//! multi-lane HDE milestone).
+//!
+//! The v1 single-digest path is printed as the sequential baseline the
+//! segment manifest exists to beat: its SHA-256 chain cannot use more
+//! than one lane no matter how wide the engine is.
+//!
+//! Asserts the scaling floor — ≥ 2× `process` throughput at 4 lanes vs
+//! 1 lane — whenever the host actually has 4 hardware threads to scale
+//! onto, and never in `ERIC_BENCH_SMOKE` mode.
+
+use eric_bench::hde_lane_scaling;
+use eric_bench::output::{banner, smoke_mode, write_json};
+
+const DATA_BYTES: usize = 4 << 20;
+const SMOKE_DATA_BYTES: usize = 256 << 10;
+
+fn main() {
+    banner("HDE lane scaling: SecureLoader::process throughput vs lanes");
+    let data_bytes = if smoke_mode() {
+        SMOKE_DATA_BYTES
+    } else {
+        DATA_BYTES
+    };
+    let report = hde_lane_scaling(data_bytes, &[1, 2, 4, 8]);
+    println!(
+        "payload {} KiB, {} segments x {} KiB, {} host threads",
+        report.payload_bytes >> 10,
+        report.segments,
+        report.segment_len >> 10,
+        report.host_threads
+    );
+    println!(
+        "v1 single-digest baseline: {:.2} ms/process (sequential hash chain)\n",
+        report.single_digest_ms
+    );
+    println!(
+        "{:<7} {:>13} {:>12} {:>9}",
+        "lanes", "process (ms)", "MiB/s", "speedup"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<7} {:>13.2} {:>12.1} {:>8.2}x",
+            r.lanes, r.process_ms, r.mib_s, r.speedup
+        );
+    }
+
+    let four = report
+        .rows
+        .iter()
+        .find(|r| r.lanes == 4)
+        .expect("4-lane row present");
+    if smoke_mode() {
+        println!("\nsmoke mode: floor assertion skipped");
+    } else if report.host_threads >= 4 {
+        assert!(
+            four.speedup >= 2.0,
+            "4-lane process must be >= 2x the 1-lane throughput on a \
+             segmented package, measured {:.2}x",
+            four.speedup
+        );
+        println!(
+            "\nlane scaling floor OK: {:.2}x at 4 lanes >= 2x",
+            four.speedup
+        );
+    } else {
+        println!(
+            "\nnote: host has {} thread(s); the >=2x @ 4-lane floor needs 4 \
+             hardware threads, skipping the assertion (measured {:.2}x)",
+            report.host_threads, four.speedup
+        );
+    }
+
+    write_json("hde_lane_scaling", &report);
+}

@@ -6,15 +6,21 @@
 //! worker — whenever the host actually has 4 hardware threads to
 //! scale onto.
 
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, smoke_mode, write_json};
 use eric_bench::provisioning_fanout;
 
 const DEVICES: usize = 16;
 const DATA_BYTES: usize = 256 << 10;
+const SMOKE_DATA_BYTES: usize = 16 << 10;
 
 fn main() {
     banner("Provisioning fan-out: packages/sec vs workers (16-device batch)");
-    let report = provisioning_fanout(DEVICES, DATA_BYTES, &[1, 2, 4, 8]);
+    let data_bytes = if smoke_mode() {
+        SMOKE_DATA_BYTES
+    } else {
+        DATA_BYTES
+    };
+    let report = provisioning_fanout(DEVICES, data_bytes, &[1, 2, 4, 8]);
     println!(
         "payload {} KiB/package, one-time compile+prepare {:.2} ms, {} host threads\n",
         report.payload_bytes >> 10,
@@ -37,7 +43,9 @@ fn main() {
         .iter()
         .find(|r| r.workers == 4)
         .expect("4-worker row present");
-    if report.host_threads >= 4 {
+    if smoke_mode() {
+        println!("\nsmoke mode: floor assertion skipped");
+    } else if report.host_threads >= 4 {
         assert!(
             four.speedup >= 2.0,
             "4-worker fan-out must be >= 2x the 1-worker throughput on a \

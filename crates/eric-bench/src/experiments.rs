@@ -1,6 +1,6 @@
 //! Experiment implementations, one per paper table/figure + ablations.
 
-use eric_core::{Device, EncryptionConfig, SoftwareSource};
+use eric_core::{Device, EncryptionConfig, Package, SoftwareSource};
 use eric_crypto::cipher::CipherKind;
 use eric_hde::parallel::parallel_cycles;
 use eric_hde::timing::HdeTimingConfig;
@@ -111,17 +111,15 @@ pub struct Fig6Report {
     pub max_pct: f64,
 }
 
-fn median_time<F: FnMut()>(iters: u32, mut f: F) -> Duration {
-    let mut samples: Vec<Duration> = (0..iters)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed()
-        })
-        .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+/// Median-of-`iters` wall time with warmup and IQR outlier rejection
+/// (see [`crate::output::measure_robust`]). Every timing experiment
+/// measures through this so floor asserts don't flake on noisy hosts.
+fn median_time<F: FnMut()>(iters: u32, f: F) -> Duration {
+    crate::output::measure_robust(WARMUP_ITERS, iters, f)
 }
+
+/// Unmeasured settling iterations before each timed series.
+const WARMUP_ITERS: u32 = 2;
 
 /// Regenerate Figure 6 with `iters` timing samples per point.
 pub fn fig6_compile_time(iters: u32) -> Fig6Report {
@@ -601,12 +599,13 @@ pub fn provisioning_fanout(
     let prepared = source.prepare_image(&image, &config).unwrap();
     let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+    let runs = if crate::output::smoke_mode() { 1 } else { 3 };
     let mut rows: Vec<FanoutRow> = Vec::new();
     for &workers in worker_counts {
         let service =
             ProvisioningService::new(SoftwareSource::new("fanout-bench")).with_workers(workers);
         let mut best = Duration::MAX;
-        for _ in 0..3 {
+        for _ in 0..runs {
             let report = service.provision_prepared(&prepared, &creds);
             assert_eq!(report.succeeded(), devices, "batch must fully succeed");
             best = best.min(report.fanout);
@@ -634,6 +633,152 @@ pub fn provisioning_fanout(
         payload_bytes: prepared.payload_len(),
         prepare_ms,
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rows,
+    }
+}
+
+/// One HDE lane-scaling row: end-to-end `SecureLoader::process`
+/// throughput at a lane count.
+#[derive(Clone, Debug)]
+pub struct LaneRow {
+    /// Decryption lanes in the HDE.
+    pub lanes: usize,
+    /// Robust-median wall time of one `process` call, milliseconds.
+    pub process_ms: f64,
+    /// Payload throughput, MiB/s.
+    pub mib_s: f64,
+    /// Throughput relative to the 1-lane segmented row.
+    pub speedup: f64,
+}
+
+/// HDE lane-scaling report: segmented (v2) `process` vs lane count,
+/// with the monolithic (v1) single-digest path as the baseline the
+/// hash tree was built to beat.
+#[derive(Clone, Debug)]
+pub struct LaneScalingReport {
+    /// Plaintext payload bytes per package.
+    pub payload_bytes: usize,
+    /// Segment length of the v2 package.
+    pub segment_len: u32,
+    /// Number of manifest segments.
+    pub segments: usize,
+    /// Host threads available (scaling is bounded by this).
+    pub host_threads: usize,
+    /// v1 single-digest `process` time (sequential by construction).
+    pub single_digest_ms: f64,
+    /// One row per lane count.
+    pub rows: Vec<LaneRow>,
+}
+
+/// End-to-end `SecureLoader::process` scaling across decryption lanes.
+///
+/// Builds one segmented (v2) and one legacy (v1) package over a
+/// `data_bytes` firmware image, then measures full `process` calls —
+/// key derivation, lane-fanned decrypt + leaf hash, Merkle fold, root
+/// validation — at each lane count. The v1 package is processed once
+/// as the sequential baseline and its plaintext is asserted
+/// byte-identical to the v2 result (the compat guarantee).
+pub fn hde_lane_scaling(data_bytes: usize, lane_counts: &[usize]) -> LaneScalingReport {
+    use eric_hde::loader::SecureLoader;
+    use eric_hde::SignatureBlock;
+    use eric_puf::crp::Challenge;
+    use eric_puf::device::{PufDevice, PufDeviceConfig};
+
+    const SEED: u64 = 0x1A7E;
+    const ITERS: u32 = 5;
+    let asm =
+        format!(".data\nblob: .zero {data_bytes}\n.text\nmain:\n li a0, 0\n li a7, 93\n ecall\n");
+    let mut device = Device::with_seed(SEED, "lane-bench");
+    let cred = device.enroll();
+    let source = SoftwareSource::new("lane-bench");
+    // Compile once; the two signature schemes only differ in the
+    // device-independent preparation and per-device packaging.
+    let image = source.compile(&asm, false).unwrap();
+    let package_as = |config: &EncryptionConfig| {
+        let prepared = source.prepare_image(&image, config).unwrap();
+        source.package_prepared(&prepared, &cred).unwrap().0
+    };
+    let v2 = package_as(&EncryptionConfig::full().with_segments(eric_hde::DEFAULT_SEGMENT_LEN));
+    let v1 = package_as(&EncryptionConfig::full());
+    let SignatureBlock::Segmented { manifest, .. } = &v2.signature else {
+        panic!("segmented build must ship a v2 block");
+    };
+    let (segment_len, segments) = (manifest.segment_len(), manifest.segments());
+
+    // A standalone HDE fabricated from the same silicon seed derives
+    // the same PUF keys as the enrolled device.
+    let loader = |lanes: usize| {
+        SecureLoader::new(PufDevice::from_seed(SEED, PufDeviceConfig::paper())).with_lanes(lanes)
+    };
+    fn input_for<'a>(
+        pkg: &'a Package,
+        aad: &'a [u8],
+        challenge: &'a eric_puf::crp::Challenge,
+    ) -> eric_hde::loader::SecureInput<'a> {
+        eric_hde::loader::SecureInput {
+            payload: &pkg.payload,
+            aad,
+            text_len: pkg.text_len as usize,
+            map: &pkg.map,
+            policy: pkg.policy,
+            signature: &pkg.signature,
+            cipher: pkg.cipher,
+            challenge,
+            epoch: pkg.epoch,
+            nonce: pkg.nonce,
+        }
+    }
+    let mib = v2.payload.len() as f64 / (1 << 20) as f64;
+
+    // v1 baseline + compat check: both schemes must recover the same
+    // plaintext.
+    let v1_aad = v1.aad();
+    let v1_challenge = Challenge::from_bytes(&v1.challenge);
+    let v1_input = input_for(&v1, &v1_aad, &v1_challenge);
+    let l = loader(1);
+    let v1_plain = l.process(&v1_input).expect("v1 validates").plaintext;
+    let single_digest_ms = median_time(ITERS, || {
+        std::hint::black_box(l.process(&v1_input).expect("v1 validates"));
+    })
+    .as_secs_f64()
+        * 1e3;
+
+    let v2_aad = v2.aad();
+    let v2_challenge = Challenge::from_bytes(&v2.challenge);
+    let v2_input = input_for(&v2, &v2_aad, &v2_challenge);
+    let mut rows: Vec<LaneRow> = Vec::new();
+    for &lanes in lane_counts {
+        let l = loader(lanes);
+        let out = l.process(&v2_input).expect("v2 validates");
+        assert_eq!(
+            out.plaintext, v1_plain,
+            "v1 and v2 must decrypt byte-identically"
+        );
+        let d = median_time(ITERS, || {
+            std::hint::black_box(l.process(&v2_input).expect("v2 validates"));
+        });
+        let process_ms = d.as_secs_f64() * 1e3;
+        rows.push(LaneRow {
+            lanes,
+            process_ms,
+            mib_s: mib / d.as_secs_f64().max(f64::EPSILON),
+            speedup: 1.0,
+        });
+    }
+    let base = rows
+        .iter()
+        .find(|r| r.lanes == 1)
+        .or(rows.first())
+        .map_or(1.0, |r| r.mib_s);
+    for row in &mut rows {
+        row.speedup = row.mib_s / base.max(f64::EPSILON);
+    }
+    LaneScalingReport {
+        payload_bytes: v2.payload.len(),
+        segment_len,
+        segments,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        single_digest_ms,
         rows,
     }
 }
@@ -770,6 +915,20 @@ crate::impl_json_struct!(FanoutRow {
     packages_per_sec,
     speedup
 });
+crate::impl_json_struct!(LaneRow {
+    lanes,
+    process_ms,
+    mib_s,
+    speedup
+});
+crate::impl_json_struct!(LaneScalingReport {
+    payload_bytes,
+    segment_len,
+    segments,
+    host_threads,
+    single_digest_ms,
+    rows
+});
 crate::impl_json_struct!(FanoutReport {
     devices,
     payload_bytes,
@@ -831,6 +990,23 @@ mod tests {
         assert!((r.rows[0].speedup - 1.0).abs() < 1e-9);
         for row in &r.rows {
             assert!(row.packages_per_sec > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn lane_scaling_report_shape() {
+        // Small payload and lane set: plumbing only — the bench binary
+        // enforces the release-build scaling floor.
+        let r = hde_lane_scaling(128 << 10, &[1, 2]);
+        assert!(r.payload_bytes >= 128 << 10);
+        assert_eq!(r.segment_len, eric_hde::DEFAULT_SEGMENT_LEN);
+        assert_eq!(r.segments, r.payload_bytes.div_ceil(r.segment_len as usize));
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].lanes, 1);
+        assert!((r.rows[0].speedup - 1.0).abs() < 1e-9);
+        assert!(r.single_digest_ms > 0.0);
+        for row in &r.rows {
+            assert!(row.mib_s > 0.0, "{row:?}");
         }
     }
 

@@ -1,8 +1,71 @@
-//! Result output helpers.
+//! Result output helpers and the shared measurement harness.
+//!
+//! Every floor-asserting bench measures through [`measure_robust`]
+//! (warmup + median-of-N with IQR outlier rejection) so a noisy host
+//! can't flake an assertion, and honors [`smoke_mode`]
+//! (`ERIC_BENCH_SMOKE=1`): one iteration, no warmup, and the bench
+//! binaries skip their floor asserts — CI uses it to cheaply prove
+//! every bench binary still runs end to end.
 
 use crate::json::ToJson;
 use std::fs;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// `ERIC_BENCH_SMOKE=1`: run benches as 1-iteration smoke tests and
+/// skip floor assertions.
+pub fn smoke_mode() -> bool {
+    std::env::var("ERIC_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Robust wall-clock measurement of `f`.
+///
+/// Runs `warmup` unmeasured iterations (cache/branch-predictor
+/// settling), then `iters` measured ones, rejects samples outside the
+/// Tukey fences (`[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` — a descheduled or
+/// thermally-throttled run lands far outside), and returns the median
+/// of the survivors. In [`smoke_mode`], one iteration and no warmup.
+pub fn measure_robust<F: FnMut()>(warmup: u32, iters: u32, mut f: F) -> Duration {
+    let (warmup, iters) = if smoke_mode() {
+        (0, 1)
+    } else {
+        (warmup, iters.max(1))
+    };
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    robust_median(&mut samples)
+}
+
+/// Median after IQR outlier rejection. For fewer than 4 samples the
+/// quartiles are meaningless; plain median is returned.
+fn robust_median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    if samples.len() < 4 {
+        return samples[samples.len() / 2];
+    }
+    let q1 = samples[samples.len() / 4];
+    let q3 = samples[3 * samples.len() / 4];
+    let iqr = q3 - q1;
+    let fence = iqr + iqr / 2; // 1.5 × IQR without float round-trips
+    let lo = q1.saturating_sub(fence);
+    let hi = q3 + fence;
+    let kept: Vec<Duration> = samples
+        .iter()
+        .copied()
+        .filter(|&s| s >= lo && s <= hi)
+        .collect();
+    // The median always lies inside the fences, so `kept` is never
+    // empty.
+    kept[kept.len() / 2]
+}
 
 /// Directory where JSON result snapshots are written: the *workspace*
 /// `target/eric-results` (benches run with the package directory as
@@ -35,4 +98,44 @@ pub fn banner(title: &str) {
     println!("\n{}", "=".repeat(72));
     println!("{title}");
     println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn robust_median_rejects_outliers() {
+        // A descheduled 500 ms spike among ~10 ms samples must not
+        // drag the median.
+        let mut samples = vec![ms(10), ms(11), ms(10), ms(12), ms(11), ms(10), ms(500)];
+        assert_eq!(robust_median(&mut samples), ms(11));
+        // Without the outlier the answer is the same.
+        let mut clean = vec![ms(10), ms(11), ms(10), ms(12), ms(11), ms(10)];
+        assert_eq!(robust_median(&mut clean), ms(11));
+    }
+
+    #[test]
+    fn robust_median_small_samples_fall_back_to_plain_median() {
+        let mut one = vec![ms(7)];
+        assert_eq!(robust_median(&mut one), ms(7));
+        let mut three = vec![ms(9), ms(1), ms(5)];
+        assert_eq!(robust_median(&mut three), ms(5));
+    }
+
+    #[test]
+    fn measure_robust_counts_iterations() {
+        let mut calls = 0u32;
+        let d = measure_robust(2, 5, || calls += 1);
+        if smoke_mode() {
+            assert_eq!(calls, 1);
+        } else {
+            assert_eq!(calls, 7); // 2 warmup + 5 measured
+        }
+        assert!(d < Duration::from_secs(1));
+    }
 }

@@ -31,6 +31,30 @@ pub enum EncryptionMode {
     FieldLevel(FieldPolicy),
 }
 
+/// How the package's integrity signature is computed and shipped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignatureScheme {
+    /// v1 (the paper's scheme): one SHA-256 digest over
+    /// `AAD ‖ plaintext payload`. The HDE must regenerate it in a
+    /// single sequential hash chain.
+    Single,
+    /// v2: a per-segment leaf-digest manifest whose AAD-bound Merkle
+    /// root is signed. Segments are independently decryptable and
+    /// verifiable, so the HDE fans them across decryption lanes.
+    Segmented {
+        /// Payload bytes per segment (positive multiple of 4 so a
+        /// segment boundary can never split an instruction word).
+        segment_len: u32,
+    },
+}
+
+impl SignatureScheme {
+    /// Whether this scheme ships a segment manifest (v2).
+    pub fn is_segmented(&self) -> bool {
+        matches!(self, SignatureScheme::Segmented { .. })
+    }
+}
+
 /// Full build/encryption configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EncryptionConfig {
@@ -42,6 +66,9 @@ pub struct EncryptionConfig {
     pub epoch: u64,
     /// Emit compressed (RVC) instructions.
     pub compress: bool,
+    /// Signature scheme: the paper's single digest (default) or the
+    /// segmented hash-tree manifest for multi-lane validation.
+    pub signature: SignatureScheme,
 }
 
 impl EncryptionConfig {
@@ -63,6 +90,7 @@ impl EncryptionConfig {
             cipher: CipherKind::Xor,
             epoch: 0,
             compress: false,
+            signature: SignatureScheme::Single,
         }
     }
 
@@ -100,6 +128,25 @@ impl EncryptionConfig {
         self
     }
 
+    /// Ship a segmented (v2) signature with `segment_len`-byte
+    /// segments, enabling multi-lane validation in the HDE (builder
+    /// style). Use [`eric_hde::DEFAULT_SEGMENT_LEN`] unless the
+    /// payload calls for a different granularity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{EncryptionConfig, SignatureScheme};
+    ///
+    /// let config = EncryptionConfig::full().with_segments(eric_hde::DEFAULT_SEGMENT_LEN);
+    /// assert!(config.signature.is_segmented());
+    /// assert!(config.validate().is_ok());
+    /// ```
+    pub fn with_segments(mut self, segment_len: u32) -> Self {
+        self.signature = SignatureScheme::Segmented { segment_len };
+        self
+    }
+
     /// Validate internal consistency.
     ///
     /// # Errors
@@ -118,6 +165,13 @@ impl EncryptionConfig {
                 return Err("field-level encryption requires an uncompressed build".into());
             }
             _ => {}
+        }
+        if let SignatureScheme::Segmented { segment_len } = self.signature {
+            if segment_len == 0 || segment_len % 4 != 0 {
+                return Err(format!(
+                    "segment length {segment_len} must be a positive multiple of 4"
+                ));
+            }
         }
         Ok(())
     }
@@ -177,6 +231,28 @@ mod tests {
         assert_eq!(c.cipher, CipherKind::ShaCtr);
         assert_eq!(c.epoch, 3);
         assert!(c.compress);
+    }
+
+    #[test]
+    fn segment_length_validated() {
+        assert!(EncryptionConfig::full().with_segments(4).validate().is_ok());
+        assert!(EncryptionConfig::full()
+            .with_segments(64 * 1024)
+            .validate()
+            .is_ok());
+        assert!(EncryptionConfig::full()
+            .with_segments(0)
+            .validate()
+            .is_err());
+        assert!(EncryptionConfig::full()
+            .with_segments(6)
+            .validate()
+            .is_err());
+        assert!(!EncryptionConfig::full().signature.is_segmented());
+        assert!(EncryptionConfig::full()
+            .with_segments(4)
+            .signature
+            .is_segmented());
     }
 
     #[test]

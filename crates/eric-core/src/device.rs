@@ -97,6 +97,13 @@ impl Device {
         &self.loader
     }
 
+    /// Configure the HDE's decryption-lane count. Lanes engage only
+    /// for segmented (v2) packages; v1 validation is one sequential
+    /// hash chain regardless.
+    pub fn set_lanes(&mut self, lanes: usize) {
+        self.loader.set_lanes(lanes);
+    }
+
     /// Rotate the device to the next key epoch: previously built
     /// packages stop validating.
     pub fn rotate_epoch(&mut self) {
@@ -160,7 +167,7 @@ impl Device {
             text_len: package.text_len as usize,
             map: &package.map,
             policy: package.policy,
-            encrypted_signature: package.encrypted_signature,
+            signature: &package.signature,
             cipher: package.cipher,
             challenge: &challenge,
             epoch: package.epoch,
@@ -305,6 +312,26 @@ mod tests {
             let report = device.install_and_run(&pkg).unwrap();
             assert_eq!(report.exit_code, 42, "{cfg:?}");
         }
+    }
+
+    #[test]
+    fn segmented_package_runs_end_to_end_on_lanes() {
+        let mut device = Device::with_seed(7, "node");
+        device.set_lanes(4);
+        let cred = device.enroll();
+        let source = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let pkg = source.build(PROGRAM, &cred, &cfg).unwrap();
+        let report = device.install_and_run(&pkg).unwrap();
+        assert_eq!(report.exit_code, 42);
+        assert!(report.load_cycles > 0);
+        // Tampered v2 metadata is rejected exactly like v1.
+        let mut forged = pkg.clone();
+        forged.entry += 4;
+        assert!(device.install_and_run(&forged).is_err());
+        // And a different device rejects the package outright.
+        let mut imposter = Device::with_seed(88, "imposter");
+        assert!(imposter.install_and_run(&pkg).is_err());
     }
 
     #[test]

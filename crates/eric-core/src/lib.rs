@@ -59,9 +59,9 @@ pub mod provisioning;
 pub mod source;
 
 pub use channel::{Attacker, Channel};
-pub use config::{EncryptionConfig, EncryptionMode};
+pub use config::{EncryptionConfig, EncryptionMode, SignatureScheme};
 pub use device::{Device, ExecutionReport};
 pub use error::EricError;
 pub use package::{Package, SizeReport};
-pub use provisioning::{BatchReport, DeviceOutcome, ProvisioningService};
+pub use provisioning::{BatchReport, DeviceOutcome, FanoutStats, ProvisioningService};
 pub use source::{BuildTimings, PreparedImage, SoftwareSource};

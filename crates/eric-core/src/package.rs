@@ -1,25 +1,41 @@
 //! The encrypted program package wire format.
 //!
 //! A package is what leaves the software source: encrypted payload,
-//! encrypted signature, the encryption map (when partial), and the
-//! cleartext metadata the device needs to decrypt and load it. The
-//! metadata is covered by the signature (as additional authenticated
-//! data), so tampering with load addresses or the entry point is
-//! detected exactly like payload tampering.
+//! encrypted signature material, the encryption map (when partial),
+//! and the cleartext metadata the device needs to decrypt and load it.
+//! The metadata is covered by the signature (as additional
+//! authenticated data), so tampering with load addresses or the entry
+//! point is detected exactly like payload tampering.
+//!
+//! The format is versioned by its magic:
+//!
+//! * **`ERIC1`** — the paper's layout: one encrypted 32-byte digest.
+//!   v1 packages serialize byte-for-byte as they always did.
+//! * **`ERIC2`** — segmented signatures: the encrypted 32-byte signed
+//!   Merkle root, then `segment_len: u32 ‖ leaf_count: u32 ‖ leaves`,
+//!   each leaf an encrypted 32-byte segment digest
+//!   ([`eric_hde::SegmentManifest`]). Geometry tampering is caught
+//!   twice: the parser rejects a manifest that does not cover the
+//!   payload, and the signed root binds segment length and leaf count.
 //!
 //! Figure 5 counts package growth as: +256 signature bits always, plus
 //! 1 map bit per 16-bit parcel under partial encryption —
-//! [`SizeReport`] reproduces that accounting, and also reports the real
-//! wire size including headers.
+//! [`SizeReport`] reproduces that accounting (v2 additionally counts
+//! the manifest it ships), and also reports the real wire size
+//! including headers.
 
 use crate::error::EricError;
 use eric_crypto::cipher::CipherKind;
+use eric_hde::manifest::{SegmentManifest, SignatureBlock};
 use eric_hde::map::{CoverageMap, ParcelBitmap};
 use eric_hde::FieldPolicy;
 use std::fmt;
 
-/// Wire magic: "ERIC" + format version 1.
-const MAGIC: &[u8; 5] = b"ERIC1";
+/// Wire magic: "ERIC" + format version 1 (single-digest signature).
+const MAGIC_V1: &[u8; 5] = b"ERIC1";
+
+/// Wire magic: "ERIC" + format version 2 (segment-manifest signature).
+const MAGIC_V2: &[u8; 5] = b"ERIC2";
 
 /// An encrypted, signed program package.
 #[derive(Clone, PartialEq)]
@@ -44,8 +60,9 @@ pub struct Package {
     pub text_len: u32,
     /// Encryption coverage map.
     pub map: CoverageMap,
-    /// The 256-bit signature, encrypted.
-    pub encrypted_signature: [u8; 32],
+    /// The signature material, encrypted: one digest (v1) or the
+    /// signed Merkle root plus segment manifest (v2).
+    pub signature: SignatureBlock,
     /// Encrypted payload: text ‖ data.
     pub payload: Vec<u8>,
 }
@@ -66,13 +83,22 @@ impl fmt::Debug for Package {
 }
 
 impl Package {
+    /// The wire magic for this package's signature scheme.
+    fn magic(&self) -> &'static [u8; 5] {
+        match self.signature {
+            SignatureBlock::Single { .. } => MAGIC_V1,
+            SignatureBlock::Segmented { .. } => MAGIC_V2,
+        }
+    }
+
     /// The canonical additional-authenticated-data encoding of the
     /// cleartext metadata. Both the packager (when signing) and the
     /// HDE (when validating) hash exactly these bytes before the
-    /// payload.
+    /// payload. The magic is included, so a v1 digest can never be
+    /// replayed as (or confused with) a v2 root.
     pub fn aad(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.challenge.len());
-        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(self.magic());
         out.push(self.cipher.wire_id());
         out.push(self.policy.map_or(0xFF, FieldPolicy::wire_id));
         out.extend_from_slice(&self.epoch.to_le_bytes());
@@ -114,13 +140,13 @@ impl Package {
             CoverageMap::Full => 1,
             CoverageMap::Partial(_) => 1 + 1 + 4 + self.map.wire_len(),
         };
-        header + self.challenge.len() + map + 32 + self.payload.len()
+        header + self.challenge.len() + map + self.signature.wire_len() + self.payload.len()
     }
 
     /// Serialize to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.wire_len());
-        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(self.magic());
         buf.push(self.cipher.wire_id());
         buf.push(self.policy.map_or(0xFF, FieldPolicy::wire_id));
         buf.extend_from_slice(&self.epoch.to_le_bytes());
@@ -141,7 +167,22 @@ impl Package {
                 buf.extend_from_slice(bm.to_bytes());
             }
         }
-        buf.extend_from_slice(&self.encrypted_signature);
+        match &self.signature {
+            SignatureBlock::Single { encrypted_digest } => {
+                buf.extend_from_slice(encrypted_digest);
+            }
+            SignatureBlock::Segmented {
+                encrypted_root,
+                manifest,
+            } => {
+                buf.extend_from_slice(encrypted_root);
+                buf.extend_from_slice(&manifest.segment_len().to_le_bytes());
+                buf.extend_from_slice(&(manifest.segments() as u32).to_le_bytes());
+                for leaf in manifest.leaves() {
+                    buf.extend_from_slice(leaf);
+                }
+            }
+        }
         buf.extend_from_slice(&self.payload);
         buf
     }
@@ -155,9 +196,11 @@ impl Package {
     pub fn from_wire(wire: &[u8]) -> Result<Package, EricError> {
         let err = |m: &str| EricError::Package(m.to_string());
         let mut wire = WireReader::new(wire);
-        if wire.take(5, "magic")? != MAGIC {
-            return Err(err("bad magic"));
-        }
+        let segmented = match wire.take(5, "magic")? {
+            m if m == MAGIC_V1 => false,
+            m if m == MAGIC_V2 => true,
+            _ => return Err(err("bad magic")),
+        };
         let cipher =
             CipherKind::from_wire_id(wire.u8("cipher")?).ok_or_else(|| err("unknown cipher"))?;
         let policy_id = wire.u8("policy")?;
@@ -192,8 +235,42 @@ impl Package {
             }
             _ => return Err(err("unknown map tag")),
         };
-        let mut encrypted_signature = [0u8; 32];
-        encrypted_signature.copy_from_slice(wire.take(32, "signature")?);
+        let signature = if segmented {
+            let mut encrypted_root = [0u8; 32];
+            encrypted_root.copy_from_slice(wire.take(32, "signed root")?);
+            let segment_len = wire.u32_le("segment length")?;
+            if segment_len == 0 || segment_len % 4 != 0 {
+                return Err(err("bad segment length"));
+            }
+            let leaf_count = wire.u32_le("leaf count")? as usize;
+            // Geometry must match the payload *before* any leaf is
+            // read, so a forged count cannot mis-frame the payload
+            // that follows…
+            if leaf_count != payload_len.div_ceil(segment_len as usize) {
+                return Err(err("manifest does not cover payload"));
+            }
+            // …and the bytes must actually be present *before* any
+            // allocation: a forged payload_len would otherwise pass
+            // the (equally forged) geometry check and drive a huge
+            // `with_capacity` from ~70 attacker-controlled bytes.
+            if (wire.remaining() as u64) < 32 * leaf_count as u64 + payload_len as u64 {
+                return Err(err("truncated at manifest"));
+            }
+            let mut leaves = Vec::with_capacity(leaf_count);
+            for _ in 0..leaf_count {
+                let mut leaf = [0u8; 32];
+                leaf.copy_from_slice(wire.take(32, "manifest leaf")?);
+                leaves.push(leaf);
+            }
+            SignatureBlock::Segmented {
+                encrypted_root,
+                manifest: SegmentManifest::new(segment_len, leaves),
+            }
+        } else {
+            let mut encrypted_digest = [0u8; 32];
+            encrypted_digest.copy_from_slice(wire.take(32, "signature")?);
+            SignatureBlock::Single { encrypted_digest }
+        };
         let payload = wire.take(payload_len, "payload")?.to_vec();
         if text_len as usize > payload.len() {
             return Err(err("text length exceeds payload"));
@@ -209,7 +286,7 @@ impl Package {
             entry,
             text_len,
             map,
-            encrypted_signature,
+            signature,
             payload,
         })
     }
@@ -218,7 +295,7 @@ impl Package {
     pub fn size_report(&self) -> SizeReport {
         SizeReport {
             plain_bytes: self.payload.len(),
-            signature_bits: 256,
+            signature_bits: 8 * self.signature.wire_len(),
             map_bits: match &self.map {
                 CoverageMap::Full => 0,
                 CoverageMap::Partial(bm) => bm.parcels(),
@@ -246,6 +323,12 @@ impl<'a> WireReader<'a> {
         let (head, rest) = self.buf.split_at(n);
         self.buf = rest;
         Ok(head)
+    }
+
+    /// Bytes left unread (for up-front length checks that must run
+    /// before allocating).
+    fn remaining(&self) -> usize {
+        self.buf.len()
     }
 
     fn u8(&mut self, what: &str) -> Result<u8, EricError> {
@@ -276,7 +359,8 @@ impl<'a> WireReader<'a> {
 pub struct SizeReport {
     /// Size of the compiled program (text + data) in bytes.
     pub plain_bytes: usize,
-    /// Signature bits added (always 256).
+    /// Signature bits added: 256 for a v1 digest (the paper's
+    /// accounting); a v2 package also counts its root + manifest.
     pub signature_bits: usize,
     /// Map bits added (1 per 16-bit parcel; 0 for full encryption).
     pub map_bits: usize,
@@ -313,9 +397,21 @@ mod tests {
             entry: 0x8000_0000,
             text_len: 8,
             map,
-            encrypted_signature: [9; 32],
+            signature: SignatureBlock::Single {
+                encrypted_digest: [9; 32],
+            },
             payload: vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
         }
+    }
+
+    fn sample_v2(map: CoverageMap) -> Package {
+        let mut p = sample(map);
+        // 10-byte payload, 4-byte segments -> 3 leaves.
+        p.signature = SignatureBlock::Segmented {
+            encrypted_root: [7; 32],
+            manifest: SegmentManifest::new(4, vec![[1; 32], [2; 32], [3; 32]]),
+        };
+        p
     }
 
     #[test]
@@ -327,6 +423,65 @@ mod tests {
     }
 
     #[test]
+    fn wire_roundtrip_v2_segmented() {
+        let p = sample_v2(CoverageMap::Full);
+        let wire = p.to_wire();
+        assert_eq!(&wire[..5], b"ERIC2");
+        let q = Package::from_wire(&wire).expect("parses");
+        assert_eq!(p, q);
+        // And with a partial map in front of the signature block.
+        let mut bm = ParcelBitmap::new(5);
+        bm.set(1);
+        let p = sample_v2(CoverageMap::Partial(bm));
+        let q = Package::from_wire(&p.to_wire()).expect("parses");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn v2_truncations_and_bad_geometry_rejected() {
+        let wire = sample_v2(CoverageMap::Full).to_wire();
+        for len in 0..wire.len() {
+            assert!(
+                Package::from_wire(&wire[..len]).is_err(),
+                "truncation to {len} accepted"
+            );
+        }
+        assert!(Package::from_wire(&wire).is_ok());
+        // Locate the segment length / leaf count right after the map
+        // tag (header + challenge + 1-byte full-map tag + 32-byte root).
+        let geom = 5 + 1 + 1 + 8 * 5 + 4 + 4 + 2 + 32 + 1 + 32;
+        // Misaligned segment length.
+        let mut w = wire.clone();
+        w[geom] = 6;
+        assert!(Package::from_wire(&w).is_err(), "segment_len 6 accepted");
+        // Zero segment length.
+        let mut w = wire.clone();
+        w[geom..geom + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Package::from_wire(&w).is_err(), "segment_len 0 accepted");
+        // Leaf count that no longer covers the payload.
+        let mut w = wire.clone();
+        w[geom + 4..geom + 8].copy_from_slice(&2u32.to_le_bytes());
+        assert!(Package::from_wire(&w).is_err(), "short manifest accepted");
+    }
+
+    #[test]
+    fn v2_forged_lengths_rejected_before_allocation() {
+        // Claim a ~4 GiB payload with a *consistent* ~2^30-leaf
+        // manifest: the geometry check alone would pass (both lengths
+        // are forged together), so the parser must notice the bytes
+        // are not on the wire before sizing any allocation from them.
+        let wire = sample_v2(CoverageMap::Full).to_wire();
+        let payload_len_at = 5 + 1 + 1 + 8 * 5 + 4;
+        let geom = 5 + 1 + 1 + 8 * 5 + 4 + 4 + 2 + 32 + 1 + 32;
+        let mut w = wire.clone();
+        let forged_payload: u32 = 0xFFFF_FFF0;
+        w[payload_len_at..payload_len_at + 4].copy_from_slice(&forged_payload.to_le_bytes());
+        let leaves = (forged_payload as u64).div_ceil(4) as u32; // segment_len = 4
+        w[geom + 4..geom + 8].copy_from_slice(&leaves.to_le_bytes());
+        assert!(Package::from_wire(&w).is_err(), "forged lengths accepted");
+    }
+
+    #[test]
     fn wire_len_matches_serialization_exactly() {
         let full = sample(CoverageMap::Full);
         assert_eq!(full.wire_len(), full.to_wire().len());
@@ -334,6 +489,8 @@ mod tests {
         bm.set(3);
         let partial = sample(CoverageMap::Partial(bm));
         assert_eq!(partial.wire_len(), partial.to_wire().len());
+        let v2 = sample_v2(CoverageMap::Full);
+        assert_eq!(v2.wire_len(), v2.to_wire().len());
     }
 
     #[test]
@@ -385,6 +542,18 @@ mod tests {
         let mut r = p.clone();
         r.nonce += 1;
         assert_ne!(p.aad(), r.aad());
+        // The scheme is bound through the magic: same metadata under
+        // v1 and v2 must never hash the same.
+        assert_ne!(p.aad(), sample_v2(CoverageMap::Full).aad());
+    }
+
+    #[test]
+    fn v2_size_report_counts_the_manifest() {
+        let p = sample_v2(CoverageMap::Full);
+        let r = p.size_report();
+        // root (32) + segment_len/leaf_count (8) + 3 leaves (96).
+        assert_eq!(r.signature_bits, 8 * (32 + 8 + 96));
+        assert_eq!(r.wire_bytes, p.to_wire().len());
     }
 
     #[test]

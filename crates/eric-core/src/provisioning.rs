@@ -17,6 +17,14 @@
 //! [`std::thread::scope`] worker pool. Failures are isolated per
 //! device: one stale credential produces one failed
 //! [`DeviceOutcome`], not an aborted batch.
+//!
+//! Two delivery shapes share one fan-out implementation:
+//! [`ProvisioningService::run_with_sink`] streams each outcome to a
+//! caller-supplied sink the moment its worker finishes (bounded
+//! memory — at most `workers` packages in flight), and
+//! [`ProvisioningService::provision_prepared`] is the
+//! collect-into-a-`Vec` wrapper for callers that want the whole
+//! [`BatchReport`] at once.
 
 use crate::config::EncryptionConfig;
 use crate::error::EricError;
@@ -25,12 +33,15 @@ use crate::source::{PreparedImage, SoftwareSource};
 use eric_asm::Image;
 use eric_puf::crp::EnrollmentRecord;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// What happened to one device of a batch.
 #[derive(Debug)]
 pub struct DeviceOutcome {
+    /// Position of this device in the input credential list. Sink
+    /// consumers receive outcomes in *completion* order; this is how
+    /// they tie one back to its device.
+    pub index: usize,
     /// The device the package was built for (from its enrollment
     /// record).
     pub device_id: String,
@@ -39,6 +50,15 @@ pub struct DeviceOutcome {
     /// The built package, or why this device failed. A failure here
     /// never affects sibling devices.
     pub result: Result<Package, EricError>,
+}
+
+/// Timing of one streamed fan-out ([`ProvisioningService::run_with_sink`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FanoutStats {
+    /// Wall clock of the parallel per-device phase.
+    pub fanout: Duration,
+    /// Worker threads the fan-out actually used.
+    pub workers: usize,
 }
 
 /// Report of one batch run: per-device outcomes plus the amortized
@@ -216,28 +236,41 @@ impl ProvisioningService {
         Ok(report)
     }
 
-    /// Fan an already-prepared image out to every enrollment record.
+    /// Fan an already-prepared image out to every enrollment record,
+    /// streaming each [`DeviceOutcome`] into `sink` **as it
+    /// completes** instead of collecting the batch in memory.
     ///
-    /// This is the cached-artifact path: callers provisioning several
-    /// waves of devices from one build keep the [`PreparedImage`] and
-    /// pay only per-device costs per wave.
-    pub fn provision_prepared(
+    /// This is the fleet-scale path: a million-device batch holds at
+    /// most `workers` packages in flight at once — the sink (a network
+    /// writer, a spooler, a progress bar) decides each package's fate
+    /// before the next lands. Outcomes arrive in *completion* order;
+    /// [`DeviceOutcome::index`] ties each back to its input slot. The
+    /// sink runs on the calling thread, concurrently with the workers.
+    ///
+    /// [`ProvisioningService::provision_prepared`] is the
+    /// collect-into-a-`Vec` wrapper over this.
+    pub fn run_with_sink(
         &self,
         prepared: &PreparedImage,
         creds: &[EnrollmentRecord],
-    ) -> BatchReport {
+        mut sink: impl FnMut(DeviceOutcome),
+    ) -> FanoutStats {
         let n = creds.len();
         let workers = self.workers.min(n.max(1));
         // Work-stealing by atomic cursor: workers pull the next device
-        // index until the batch is drained. Each outcome lands in its
-        // own slot, so results stay in input order without contention
-        // on a shared collection.
+        // index until the batch is drained, and hand each finished
+        // outcome straight to the sink over a *bounded* channel — a
+        // sink slower than the pool back-pressures the workers instead
+        // of letting finished packages pile up in memory, which is the
+        // whole point of the streaming path.
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<DeviceOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let t0 = Instant::now();
         std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<DeviceOutcome>(workers);
             for _ in 0..workers {
-                scope.spawn(|| loop {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -249,28 +282,55 @@ impl ProvisioningService {
                         .package_prepared(prepared, cred)
                         .map(|(package, _)| package);
                     let outcome = DeviceOutcome {
+                        index: i,
                         device_id: cred.device_id.clone(),
                         elapsed: t.elapsed(),
                         result,
                     };
-                    *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
+                    if tx.send(outcome).is_err() {
+                        break; // receiver gone: scope is unwinding
+                    }
                 });
             }
+            // Workers hold the only remaining senders; the drain ends
+            // exactly when the last worker finishes.
+            drop(tx);
+            for outcome in rx {
+                sink(outcome);
+            }
         });
-        let fanout = t0.elapsed();
+        FanoutStats {
+            fanout: t0.elapsed(),
+            workers,
+        }
+    }
+
+    /// Fan an already-prepared image out to every enrollment record.
+    ///
+    /// This is the cached-artifact path: callers provisioning several
+    /// waves of devices from one build keep the [`PreparedImage`] and
+    /// pay only per-device costs per wave. It collects the streamed
+    /// outcomes of [`ProvisioningService::run_with_sink`] back into
+    /// input order.
+    pub fn provision_prepared(
+        &self,
+        prepared: &PreparedImage,
+        creds: &[EnrollmentRecord],
+    ) -> BatchReport {
+        let mut slots: Vec<Option<DeviceOutcome>> = (0..creds.len()).map(|_| None).collect();
+        let stats = self.run_with_sink(prepared, creds, |outcome| {
+            let index = outcome.index;
+            slots[index] = Some(outcome);
+        });
         let outcomes = slots
             .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .expect("outcome slot poisoned")
-                    .expect("every claimed slot is filled before its worker exits")
-            })
+            .map(|s| s.expect("every device index is delivered exactly once"))
             .collect();
         BatchReport {
             outcomes,
             prepare: Duration::ZERO,
-            fanout,
-            workers,
+            fanout: stats.fanout,
+            workers: stats.workers,
             payload_bytes: prepared.payload_len(),
         }
     }
@@ -386,6 +446,55 @@ mod tests {
             assert_eq!(&package.map, prepared.map());
             assert_eq!(device.install_and_run(package).unwrap().exit_code, 42);
         }
+    }
+
+    #[test]
+    fn sink_streams_every_outcome_exactly_once() {
+        let (mut devices, creds) = fleet(8, 1000);
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(3);
+        let image = service.source().compile(PROGRAM, false).unwrap();
+        let prepared = service
+            .source()
+            .prepare_image(&image, &EncryptionConfig::full())
+            .unwrap();
+        let mut seen = vec![false; 8];
+        let mut packages = Vec::new();
+        let stats = service.run_with_sink(&prepared, &creds, |outcome| {
+            assert!(!seen[outcome.index], "index {} twice", outcome.index);
+            seen[outcome.index] = true;
+            assert_eq!(outcome.device_id, format!("unit-{}", outcome.index));
+            packages.push((outcome.index, outcome.result.unwrap()));
+        });
+        assert!(seen.iter().all(|&s| s), "missing outcomes: {seen:?}");
+        assert_eq!(stats.workers, 3);
+        assert!(stats.fanout > Duration::ZERO);
+        // Streamed packages are the real thing: each device runs its own.
+        for (index, package) in packages {
+            assert_eq!(
+                devices[index].install_and_run(&package).unwrap().exit_code,
+                42
+            );
+        }
+    }
+
+    #[test]
+    fn sink_sees_failures_in_stream_without_aborting() {
+        let (_, mut creds) = fleet(4, 1100);
+        creds[1].epoch = 9;
+        let service = ProvisioningService::new(SoftwareSource::new("vendor")).with_workers(2);
+        let image = service.source().compile(PROGRAM, false).unwrap();
+        let prepared = service
+            .source()
+            .prepare_image(&image, &EncryptionConfig::full())
+            .unwrap();
+        let mut ok = 0usize;
+        let mut failed = Vec::new();
+        service.run_with_sink(&prepared, &creds, |outcome| match outcome.result {
+            Ok(_) => ok += 1,
+            Err(_) => failed.push(outcome.index),
+        });
+        assert_eq!(ok, 3);
+        assert_eq!(failed, vec![1]);
     }
 
     #[test]

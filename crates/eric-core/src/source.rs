@@ -9,14 +9,15 @@
 //! signature, the encrypted program package and the signature are
 //! ready to exit from the software source."
 
-use crate::config::{EncryptionConfig, EncryptionMode};
+use crate::config::{EncryptionConfig, EncryptionMode, SignatureScheme};
 use crate::error::EricError;
 use crate::package::Package;
 use eric_asm::{assemble, AsmOptions, Image};
 use eric_crypto::kdf::KeyManagementUnit;
-use eric_crypto::sha256::Sha256;
+use eric_crypto::sha256::{tree, Digest, Sha256};
+use eric_hde::manifest::{signed_root, SegmentManifest, SignatureBlock};
 use eric_hde::map::{CoverageMap, ParcelBitmap};
-use eric_hde::transform::{transform_payload, transform_signature};
+use eric_hde::transform::{transform_manifest_leaves, transform_payload, transform_signature};
 use eric_puf::crp::EnrollmentRecord;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,7 +89,26 @@ pub struct PreparedImage {
     pub(crate) text_len: u32,
     pub(crate) map: CoverageMap,
     pub(crate) payload: Vec<u8>,
+    pub(crate) signature_plan: SignaturePlan,
     pub(crate) prepare_time: Duration,
+}
+
+/// The device-independent half of the signature work.
+///
+/// For a segmented build the per-segment leaf digests are functions of
+/// the *plaintext* payload only, so they are computed once at prepare
+/// time and shared across the whole batch; each device then pays only
+/// the O(segments) Merkle fold over its own AAD instead of re-hashing
+/// the entire payload (v1's per-device cost).
+#[derive(Clone, Debug)]
+pub(crate) enum SignaturePlan {
+    /// v1: each device hashes `AAD ‖ payload` itself.
+    Single,
+    /// v2: shared plaintext leaf digests, folded per device.
+    Segmented {
+        segment_len: u32,
+        leaves: Vec<Digest>,
+    },
 }
 
 impl PreparedImage {
@@ -107,8 +127,17 @@ impl PreparedImage {
         &self.map
     }
 
+    /// Number of signature segments (0 for a v1 single-digest build).
+    pub fn segments(&self) -> usize {
+        match &self.signature_plan {
+            SignaturePlan::Single => 0,
+            SignaturePlan::Segmented { leaves, .. } => leaves.len(),
+        }
+    }
+
     /// Wall-clock spent on the device-independent preparation
-    /// (coverage-map construction).
+    /// (coverage-map construction and, for segmented builds, leaf
+    /// hashing).
     pub fn prepare_time(&self) -> Duration {
         self.prepare_time
     }
@@ -297,7 +326,10 @@ impl SoftwareSource {
 
         // Build the coverage map. Selection is seed-deterministic, so
         // the map is identical for every device in a batch and safe to
-        // share.
+        // share. Segmented builds also hash the plaintext leaves here:
+        // leaves depend only on the payload, so the whole batch shares
+        // one leaf table and per-device signing shrinks to the Merkle
+        // fold.
         let t = Instant::now();
         let (map, policy) = match config.mode {
             EncryptionMode::Full => (CoverageMap::Full, None),
@@ -305,6 +337,17 @@ impl SoftwareSource {
                 (self.random_map(image, payload.len(), fraction, seed), None)
             }
             EncryptionMode::FieldLevel(policy) => (CoverageMap::Full, Some(policy)),
+        };
+        let signature_plan = match config.signature {
+            SignatureScheme::Single => SignaturePlan::Single,
+            SignatureScheme::Segmented { segment_len } => SignaturePlan::Segmented {
+                segment_len,
+                leaves: payload
+                    .chunks(segment_len as usize)
+                    .enumerate()
+                    .map(|(i, segment)| tree::leaf_digest(i as u64, segment))
+                    .collect(),
+            },
         };
         let prepare_time = t.elapsed();
 
@@ -318,6 +361,7 @@ impl SoftwareSource {
             text_len: image.text.len() as u32,
             map,
             payload,
+            signature_plan,
             prepare_time,
         })
     }
@@ -358,7 +402,19 @@ impl SoftwareSource {
             n
         };
 
-        // Construct the package skeleton so the AAD can be signed.
+        // Construct the package skeleton so the AAD can be signed. The
+        // placeholder signature block must already be the right
+        // variant: the AAD binds the wire magic, which is derived from
+        // the scheme.
+        let placeholder = match &prepared.signature_plan {
+            SignaturePlan::Single => SignatureBlock::Single {
+                encrypted_digest: [0; 32],
+            },
+            SignaturePlan::Segmented { segment_len, .. } => SignatureBlock::Segmented {
+                encrypted_root: [0; 32],
+                manifest: SegmentManifest::new(*segment_len, Vec::new()),
+            },
+        };
         let mut package = Package {
             cipher: prepared.cipher,
             policy: prepared.policy,
@@ -370,20 +426,32 @@ impl SoftwareSource {
             entry: prepared.entry,
             text_len: prepared.text_len,
             map: prepared.map.clone(),
-            encrypted_signature: [0; 32],
+            signature: placeholder,
             payload: prepared.payload.clone(),
         };
 
-        // Sign: SHA-256(AAD ‖ plaintext payload). The AAD binds the
-        // nonce and challenge, so the signature is per-device work.
+        // Sign. The AAD binds the nonce and challenge, so this is
+        // per-device work — but its *cost* differs by scheme: v1
+        // re-hashes the whole payload per device, v2 only folds the
+        // shared plaintext leaves into the AAD-bound Merkle root.
         let t = Instant::now();
-        let mut hasher = Sha256::new();
-        hasher.update(&package.aad());
-        hasher.update(&package.payload);
-        let signature = hasher.finalize();
+        let signature = match &prepared.signature_plan {
+            SignaturePlan::Single => {
+                let mut hasher = Sha256::new();
+                hasher.update(&package.aad());
+                hasher.update(&package.payload);
+                hasher.finalize()
+            }
+            SignaturePlan::Segmented {
+                segment_len,
+                leaves,
+            } => signed_root(&package.aad(), *segment_len, leaves),
+        };
         timings.sign = t.elapsed();
 
-        // Encrypt payload and signature with the per-package key.
+        // Encrypt payload and signature material with the per-package
+        // key; v2 additionally encrypts the manifest leaves as a
+        // keystream continuation after the root.
         let t = Instant::now();
         let key = self.kmu.package_key(&cred.key, nonce);
         let cipher = prepared.cipher.instantiate(key.as_bytes());
@@ -397,7 +465,22 @@ impl SoftwareSource {
         );
         let mut sig_bytes = *signature.as_bytes();
         transform_signature(&mut sig_bytes, payload_len, cipher.as_ref());
-        package.encrypted_signature = sig_bytes;
+        package.signature = match &prepared.signature_plan {
+            SignaturePlan::Single => SignatureBlock::Single {
+                encrypted_digest: sig_bytes,
+            },
+            SignaturePlan::Segmented {
+                segment_len,
+                leaves,
+            } => {
+                let mut enc_leaves: Vec<[u8; 32]> = leaves.iter().map(|d| *d.as_bytes()).collect();
+                transform_manifest_leaves(&mut enc_leaves, payload_len, cipher.as_ref());
+                SignatureBlock::Segmented {
+                    encrypted_root: sig_bytes,
+                    manifest: SegmentManifest::new(*segment_len, enc_leaves),
+                }
+            }
+        };
         timings.encrypt = t.elapsed();
 
         Ok((package, timings))
@@ -582,6 +665,53 @@ mod tests {
         assert!(matches!(err, Err(EricError::Config(_))), "{err:?}");
         let cfg = EncryptionConfig::full().with_epoch(3);
         assert!(src.build(PROGRAM, &stale, &cfg).is_ok());
+    }
+
+    #[test]
+    fn segmented_build_ships_a_covering_manifest() {
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let image = src.compile(PROGRAM, false).unwrap();
+        let prepared = src.prepare_image(&image, &cfg).unwrap();
+        let payload_len = prepared.payload_len();
+        assert_eq!(prepared.segments(), payload_len.div_ceil(8));
+        let (pkg, _) = src.package_prepared(&prepared, &cred(11)).unwrap();
+        let SignatureBlock::Segmented { manifest, .. } = &pkg.signature else {
+            panic!("expected a v2 signature block");
+        };
+        assert!(manifest.covers_payload(payload_len));
+        assert_eq!(manifest.segment_len(), 8);
+        // Bad segment geometry is a configuration error, caught before
+        // any manifest is built.
+        assert!(matches!(
+            src.build(
+                PROGRAM,
+                &cred(11),
+                &EncryptionConfig::full().with_segments(6)
+            ),
+            Err(EricError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn segmented_manifests_are_keystream_unique_per_device() {
+        // The plaintext leaf table is shared across the batch, but the
+        // shipped manifest is encrypted under each device's key: two
+        // devices must never ship identical leaf bytes.
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let image = src.compile(PROGRAM, false).unwrap();
+        let prepared = src.prepare_image(&image, &cfg).unwrap();
+        let (a, _) = src.package_prepared(&prepared, &cred(21)).unwrap();
+        let (b, _) = src.package_prepared(&prepared, &cred(22)).unwrap();
+        let (
+            SignatureBlock::Segmented { manifest: ma, .. },
+            SignatureBlock::Segmented { manifest: mb, .. },
+        ) = (&a.signature, &b.signature)
+        else {
+            panic!("expected v2 blocks");
+        };
+        assert_ne!(ma.leaves(), mb.leaves());
     }
 
     #[test]

@@ -243,6 +243,158 @@ impl Sha256 {
     }
 }
 
+pub mod tree {
+    //! Domain-separated SHA-256 hash-tree (Merkle) helpers.
+    //!
+    //! The segmented signature scheme splits a payload into fixed-size
+    //! segments, hashes each segment into a *leaf* digest, and folds the
+    //! leaves into a single *root*. Each lane of a multi-lane HDE owns
+    //! its own [`Sha256`] state (leaf hashing is embarrassingly
+    //! parallel), and only the cheap leaf-merging fold is sequential —
+    //! unlike the single Merkle–Damgård chain of the paper's monolithic
+    //! signature, which serializes the entire payload hash.
+    //!
+    //! Every hash is domain-separated by a one-byte tag so a leaf can
+    //! never be confused with an interior node or with a bound root:
+    //! `leaf = H(0x00 ‖ LE64(index) ‖ segment)`,
+    //! `node = H(0x01 ‖ left ‖ right)`. The leaf index makes two
+    //! identical segments at different positions hash differently, so
+    //! segment reordering is caught at the first mismatching leaf.
+
+    use super::{Digest, Sha256};
+
+    /// Domain tag prefixed to leaf hashes.
+    pub const LEAF_TAG: u8 = 0x00;
+    /// Domain tag prefixed to interior-node hashes.
+    pub const NODE_TAG: u8 = 0x01;
+    /// Domain tag for root bindings (reserved for callers that bind a
+    /// root to context, e.g. the HDE's AAD-bound signed root).
+    pub const BIND_TAG: u8 = 0x02;
+
+    /// A fresh hasher pre-fed with the leaf domain tag and index.
+    ///
+    /// Lanes that decrypt a segment in bounded chunks stream each chunk
+    /// into their own leaf hasher — no shared state between lanes.
+    ///
+    /// ```rust
+    /// use eric_crypto::sha256::tree::{leaf_digest, leaf_hasher};
+    /// let mut h = leaf_hasher(3);
+    /// h.update(b"seg");
+    /// h.update(b"ment");
+    /// assert_eq!(h.finalize(), leaf_digest(3, b"segment"));
+    /// ```
+    pub fn leaf_hasher(index: u64) -> Sha256 {
+        let mut h = Sha256::new();
+        h.update(&[LEAF_TAG]);
+        h.update(&index.to_le_bytes());
+        h
+    }
+
+    /// One-shot leaf digest of `segment` at position `index`.
+    pub fn leaf_digest(index: u64, segment: &[u8]) -> Digest {
+        let mut h = leaf_hasher(index);
+        h.update(segment);
+        h.finalize()
+    }
+
+    /// Interior-node digest of two children.
+    pub fn node_digest(left: &Digest, right: &Digest) -> Digest {
+        let mut h = Sha256::new();
+        h.update(&[NODE_TAG]);
+        h.update(left.as_bytes());
+        h.update(right.as_bytes());
+        h.finalize()
+    }
+
+    /// Fold leaf digests into the Merkle root.
+    ///
+    /// Pairs are combined with [`node_digest`]; an odd node at the end
+    /// of a level is promoted unchanged. The promotion is unambiguous
+    /// as long as the caller also binds the leaf *count* next to the
+    /// root (the HDE's signed root does). An empty forest hashes to the
+    /// leaf digest of the empty segment at index 0.
+    ///
+    /// ```rust
+    /// use eric_crypto::sha256::tree::{leaf_digest, merkle_root, node_digest};
+    /// let leaves = [leaf_digest(0, b"a"), leaf_digest(1, b"b")];
+    /// assert_eq!(merkle_root(&leaves), node_digest(&leaves[0], &leaves[1]));
+    /// ```
+    pub fn merkle_root(leaves: &[Digest]) -> Digest {
+        if leaves.is_empty() {
+            return leaf_digest(0, &[]);
+        }
+        let mut level = leaves.to_vec();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| match pair {
+                    [l, r] => node_digest(l, r),
+                    [odd] => *odd,
+                    _ => unreachable!("chunks(2) yields 1..=2 digests"),
+                })
+                .collect();
+        }
+        level[0]
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn leaf_depends_on_index_and_content() {
+            assert_ne!(leaf_digest(0, b"x"), leaf_digest(1, b"x"));
+            assert_ne!(leaf_digest(0, b"x"), leaf_digest(0, b"y"));
+        }
+
+        #[test]
+        fn domains_are_separated() {
+            // A leaf of 64 bytes can't collide with a node of the same
+            // 64 bytes because the tags differ.
+            let l = leaf_digest(0, b"a");
+            let r = leaf_digest(1, b"b");
+            let node = node_digest(&l, &r);
+            let mut fake = Sha256::new();
+            fake.update(&[LEAF_TAG]);
+            fake.update(&0u64.to_le_bytes());
+            fake.update(l.as_bytes());
+            fake.update(r.as_bytes());
+            assert_ne!(node, fake.finalize());
+        }
+
+        #[test]
+        fn root_shapes() {
+            let leaves: Vec<Digest> = (0..5).map(|i| leaf_digest(i, b"seg")).collect();
+            // Single leaf is its own root.
+            assert_eq!(merkle_root(&leaves[..1]), leaves[0]);
+            // Two leaves: one node.
+            assert_eq!(
+                merkle_root(&leaves[..2]),
+                node_digest(&leaves[0], &leaves[1])
+            );
+            // Three leaves: odd promotion at the first level.
+            let n01 = node_digest(&leaves[0], &leaves[1]);
+            assert_eq!(merkle_root(&leaves[..3]), node_digest(&n01, &leaves[2]));
+            // Five leaves: promotion across two levels.
+            let n23 = node_digest(&leaves[2], &leaves[3]);
+            let n0123 = node_digest(&n01, &n23);
+            assert_eq!(merkle_root(&leaves), node_digest(&n0123, &leaves[4]));
+        }
+
+        #[test]
+        fn root_is_order_sensitive() {
+            let a = leaf_digest(0, b"a");
+            let b = leaf_digest(1, b"b");
+            assert_ne!(merkle_root(&[a, b]), merkle_root(&[b, a]));
+        }
+
+        #[test]
+        fn empty_forest_is_stable() {
+            assert_eq!(merkle_root(&[]), leaf_digest(0, &[]));
+        }
+    }
+}
+
 /// One-shot convenience wrapper around [`Sha256`].
 ///
 /// ```rust

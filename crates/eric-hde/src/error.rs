@@ -17,6 +17,14 @@ pub enum HdeError {
         /// Signature that arrived with the package (after decryption).
         shipped: Digest,
     },
+    /// A decrypted segment's recomputed leaf digest does not match the
+    /// shipped manifest leaf: that segment (or its manifest entry) was
+    /// tampered with, or the package was encrypted for different
+    /// hardware.
+    SegmentMismatch {
+        /// Index of the first mismatching segment.
+        segment: usize,
+    },
     /// The input was structurally malformed (e.g. truncated map).
     Malformed(String),
     /// The package targets a key epoch other than the device's current
@@ -36,6 +44,10 @@ impl fmt::Display for HdeError {
                 // Deliberately does not print digests: a production HDE
                 // reports only pass/fail to avoid oracle leakage.
                 f.write_str("signature validation failed: program rejected")
+            }
+            HdeError::SegmentMismatch { segment } => {
+                // Like SignatureMismatch, no digest material is printed.
+                write!(f, "segment {segment} failed validation: program rejected")
             }
             HdeError::Malformed(msg) => write!(f, "malformed secure input: {msg}"),
             HdeError::WrongEpoch { package, device } => write!(

@@ -19,8 +19,12 @@
 //! [`loader::SecureLoader`] orchestrates the full §III flow (steps 5–6:
 //! decrypt → re-hash → validate → release to the trusted zone) and
 //! charges cycles from the [`timing`] model so end-to-end execution
-//! overhead (Figure 7) can be measured. [`parallel`] adds the paper's
-//! future-work multi-lane decryption.
+//! overhead (Figure 7) can be measured. [`parallel`] provides the
+//! scoped lane pool the loader fans segmented packages across, and
+//! [`manifest`] defines the segment-manifest signature scheme (v2)
+//! that makes the signature check parallelizable in the first place —
+//! the paper's monolithic digest (v1) forces one sequential
+//! Merkle–Damgård chain over the whole payload.
 //!
 //! Crucially, encryption and decryption are the *same* transform (XOR
 //! keystream involution), implemented once in [`transform`] and used by
@@ -29,6 +33,7 @@
 
 pub mod error;
 pub mod loader;
+pub mod manifest;
 pub mod map;
 pub mod parallel;
 pub mod policy;
@@ -38,6 +43,7 @@ pub mod units;
 
 pub use error::HdeError;
 pub use loader::{LoadedProgram, SecureInput, SecureLoader};
+pub use manifest::{SegmentManifest, SignatureBlock, DEFAULT_SEGMENT_LEN};
 pub use map::{CoverageMap, ParcelBitmap};
 pub use policy::FieldPolicy;
 pub use timing::{HdeCycles, HdeTimingConfig};

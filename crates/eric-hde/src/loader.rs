@@ -6,14 +6,30 @@
 //! Signature Generator Unit ... In the case of a match ... the
 //! decrypted program is sent to the Trusted Zone and becomes suitable
 //! for executing on the processor."
+//!
+//! Two signature schemes share this one entry point
+//! ([`SecureLoader::process`]):
+//!
+//! * **v1 (single digest)** — the paper's scheme: one SHA-256 over
+//!   `AAD ‖ plaintext`, regenerated in a sequential streaming pass.
+//! * **v2 (segment manifest)** — the payload is tiled into fixed-size
+//!   segments, each with its own leaf digest, and the signed value is
+//!   the AAD-bound Merkle root ([`crate::manifest`]). Segments are
+//!   independent, so the loader fans them across
+//!   [`crate::parallel::map_segments`] lanes that decrypt *and*
+//!   leaf-hash in one pass — the hash work that v1 serializes scales
+//!   with lane count.
 
 use crate::error::HdeError;
+use crate::manifest::{signed_root, SegmentManifest, SignatureBlock};
 use crate::map::CoverageMap;
 use crate::policy::FieldPolicy;
 use crate::timing::{HdeCycles, HdeTimingConfig};
-use crate::transform::{transform_region, transform_signature};
+use crate::transform::{transform_manifest_leaves, transform_region, transform_signature};
 use crate::units::{KeyUnit, SignatureGenerator, ValidationUnit};
-use eric_crypto::cipher::CipherKind;
+use eric_crypto::cipher::{CipherKind, KeystreamCipher};
+use eric_crypto::ct::ct_eq;
+use eric_crypto::sha256::{tree, Digest};
 use eric_puf::crp::Challenge;
 use eric_puf::device::PufDevice;
 use std::fmt;
@@ -40,8 +56,11 @@ pub struct SecureInput<'a> {
     pub map: &'a CoverageMap,
     /// Field-level policy, if the package used field-level encryption.
     pub policy: Option<FieldPolicy>,
-    /// The 256-bit signature, encrypted.
-    pub encrypted_signature: [u8; 32],
+    /// The signature material, encrypted: a v1 single digest or a v2
+    /// root + segment manifest. (This replaces the former hardcoded
+    /// `encrypted_signature: [u8; 32]` field, which would have
+    /// silently truncated anything larger than one digest.)
+    pub signature: &'a SignatureBlock,
     /// Which cipher the package was encrypted with.
     pub cipher: CipherKind,
     /// PUF challenge selecting the key.
@@ -80,21 +99,28 @@ pub struct SecureLoader {
     keys: KeyUnit,
     validation: ValidationUnit,
     timing: HdeTimingConfig,
+    lanes: usize,
 }
 
 impl fmt::Debug for SecureLoader {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SecureLoader {{ keys: {:?} }}", self.keys)
+        write!(
+            f,
+            "SecureLoader {{ keys: {:?}, lanes: {} }}",
+            self.keys, self.lanes
+        )
     }
 }
 
 impl SecureLoader {
-    /// Build an HDE around a device's PUF bank.
+    /// Build an HDE around a device's PUF bank (single decryption
+    /// lane, the paper's configuration).
     pub fn new(puf: PufDevice) -> Self {
         SecureLoader {
             keys: KeyUnit::new(puf),
             validation: ValidationUnit::new(),
             timing: HdeTimingConfig::default(),
+            lanes: 1,
         }
     }
 
@@ -102,6 +128,26 @@ impl SecureLoader {
     pub fn with_timing(mut self, timing: HdeTimingConfig) -> Self {
         self.timing = timing;
         self
+    }
+
+    /// Set the decryption-lane count (builder style, clamped to ≥ 1).
+    ///
+    /// Lanes only engage for segmented (v2) packages — a v1 single
+    /// digest is one sequential hash chain no matter how many lanes
+    /// exist, which is exactly why the segmented scheme was added.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.set_lanes(lanes);
+        self
+    }
+
+    /// Set the decryption-lane count in place (clamped to ≥ 1).
+    pub fn set_lanes(&mut self, lanes: usize) {
+        self.lanes = lanes.max(1);
+    }
+
+    /// The decryption-lane count.
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// The key unit (for enrollment and epoch rotation).
@@ -129,8 +175,10 @@ impl SecureLoader {
     /// # Errors
     ///
     /// [`HdeError::SignatureMismatch`] when the regenerated signature
-    /// differs from the shipped one; [`HdeError::Malformed`] for
-    /// structurally invalid inputs.
+    /// (v1 digest or v2 signed root) differs from the shipped one;
+    /// [`HdeError::SegmentMismatch`] when a v2 segment's recomputed
+    /// leaf digest differs from the shipped manifest;
+    /// [`HdeError::Malformed`] for structurally invalid inputs.
     pub fn process(&self, input: &SecureInput<'_>) -> Result<LoadedProgram, HdeError> {
         if input.text_len > input.payload.len() {
             return Err(HdeError::Malformed(format!(
@@ -155,6 +203,16 @@ impl SecureLoader {
                 input.text_len
             )));
         }
+        if let SignatureBlock::Segmented { manifest, .. } = input.signature {
+            if !manifest.covers_payload(input.payload.len()) {
+                return Err(HdeError::Malformed(format!(
+                    "manifest has {} leaves of {}-byte segments for a {}-byte payload",
+                    manifest.segments(),
+                    manifest.segment_len(),
+                    input.payload.len()
+                )));
+            }
+        }
         // The KMU only derives keys for the device's *current* epoch;
         // rotating the epoch therefore revokes every older package.
         if input.epoch != self.keys.epoch() {
@@ -169,6 +227,24 @@ impl SecureLoader {
             .package_key(input.challenge, input.epoch, input.nonce);
         let cipher = input.cipher.instantiate(key.as_bytes());
 
+        match input.signature {
+            SignatureBlock::Single { encrypted_digest } => {
+                self.process_single(input, cipher.as_ref(), *encrypted_digest)
+            }
+            SignatureBlock::Segmented {
+                encrypted_root,
+                manifest,
+            } => self.process_segmented(input, cipher.as_ref(), *encrypted_root, manifest),
+        }
+    }
+
+    /// v1: one sequential decrypt→hash pipeline over the whole payload.
+    fn process_single(
+        &self,
+        input: &SecureInput<'_>,
+        cipher: &(dyn KeystreamCipher + Send + Sync),
+        encrypted_digest: [u8; 32],
+    ) -> Result<LoadedProgram, HdeError> {
         // Decryption Unit + Signature Generator, pipelined: decrypt the
         // payload in bounded chunks and stream each decrypted chunk
         // straight into the hash — one pass over the data, the software
@@ -182,22 +258,15 @@ impl SecureLoader {
         while at < plaintext.len() {
             let end = (at + STREAM_CHUNK).min(plaintext.len());
             let chunk = &mut plaintext[at..end];
-            transform_region(
-                chunk,
-                at,
-                input.map,
-                input.policy,
-                input.text_len,
-                cipher.as_ref(),
-            );
+            transform_region(chunk, at, input.map, input.policy, input.text_len, cipher);
             gen.absorb(chunk);
             at = end;
         }
         let computed = gen.finalize();
 
         // Signature continuation stream.
-        let mut signature = input.encrypted_signature;
-        transform_signature(&mut signature, input.payload.len(), cipher.as_ref());
+        let mut signature = encrypted_digest;
+        transform_signature(&mut signature, input.payload.len(), cipher);
 
         // Validation Unit.
         let cycles = HdeCycles {
@@ -208,7 +277,7 @@ impl SecureLoader {
         if !self.validation.validate(&computed, &signature) {
             return Err(HdeError::SignatureMismatch {
                 computed,
-                shipped: eric_crypto::sha256::Digest::from_bytes(signature),
+                shipped: Digest::from_bytes(signature),
             });
         }
         Ok(LoadedProgram {
@@ -217,17 +286,117 @@ impl SecureLoader {
             cycles,
         })
     }
+
+    /// v2: fan segments across decryption lanes, each decrypting and
+    /// leaf-hashing its segments in one streaming pass, then verify
+    /// the AAD-bound Merkle root.
+    fn process_segmented(
+        &self,
+        input: &SecureInput<'_>,
+        cipher: &(dyn KeystreamCipher + Send + Sync),
+        encrypted_root: [u8; 32],
+        manifest: &SegmentManifest,
+    ) -> Result<LoadedProgram, HdeError> {
+        let segment_len = manifest.segment_len() as usize;
+        let payload_len = input.payload.len();
+
+        // Decrypt the shipped manifest leaves (keystream continuation
+        // after the root — see `transform::manifest_stream_offset`).
+        let mut shipped_leaves = manifest.leaves().to_vec();
+        transform_manifest_leaves(&mut shipped_leaves, payload_len, cipher);
+
+        // Lane fan-out: each lane decrypts its segments chunk-by-chunk
+        // and streams them into a private leaf hasher — no shared hash
+        // state anywhere, which is what makes the signature check
+        // scale where v1's single Merkle–Damgård chain cannot.
+        let mut plaintext = input.payload.to_vec();
+        let computed: Vec<Digest> = crate::parallel::map_segments(
+            &mut plaintext,
+            segment_len,
+            self.lanes,
+            |index, start, segment| {
+                let mut leaf = tree::leaf_hasher(index as u64);
+                let mut at = 0usize;
+                while at < segment.len() {
+                    let end = (at + STREAM_CHUNK).min(segment.len());
+                    let chunk = &mut segment[at..end];
+                    transform_region(
+                        chunk,
+                        start + at,
+                        input.map,
+                        input.policy,
+                        input.text_len,
+                        cipher,
+                    );
+                    leaf.update(chunk);
+                    at = end;
+                }
+                leaf.finalize()
+            },
+        );
+
+        // Per-segment validation: the first recomputed leaf that
+        // differs from the shipped manifest pins the tampered segment.
+        let cycles = self.segmented_cycles(payload_len, segment_len, computed.len());
+        for (index, (got, want)) in computed.iter().zip(&shipped_leaves).enumerate() {
+            if !ct_eq(got.as_bytes(), want) {
+                return Err(HdeError::SegmentMismatch { segment: index });
+            }
+        }
+
+        // Root validation: the signed value binds the AAD and the
+        // manifest geometry on top of the Merkle fold of the
+        // *recomputed* leaves, so a consistently forged manifest still
+        // fails here.
+        let computed_root = signed_root(input.aad, manifest.segment_len(), &computed);
+        let mut root = encrypted_root;
+        transform_signature(&mut root, payload_len, cipher);
+        if !self.validation.validate(&computed_root, &root) {
+            return Err(HdeError::SignatureMismatch {
+                computed: computed_root,
+                shipped: Digest::from_bytes(root),
+            });
+        }
+        Ok(LoadedProgram {
+            plaintext,
+            text_len: input.text_len,
+            cycles,
+        })
+    }
+
+    /// Cycle model for an n-lane segmented load: decrypt and leaf
+    /// hashing split across lanes; the Merkle fold (one 64-byte
+    /// compression per interior node plus the root binding) stays
+    /// sequential but is O(segments), not O(bytes).
+    fn segmented_cycles(
+        &self,
+        payload_len: usize,
+        segment_len: usize,
+        segments: usize,
+    ) -> HdeCycles {
+        // Lanes own whole segments (⌈segments/lanes⌉ each, contiguous —
+        // see `parallel::map_segments`), so the critical path is the
+        // busiest lane's byte count, not payload/lanes: one segment on
+        // eight lanes still costs a full segment.
+        let per_lane = (segments.div_ceil(self.lanes) * segment_len).min(payload_len);
+        let fold_nodes = segments.saturating_sub(1) as u64 + 1;
+        HdeCycles {
+            decrypt: self.timing.decrypt_cycles(per_lane),
+            hash: self.timing.hash_cycles(per_lane) + fold_nodes * self.timing.sha_block_cycles,
+            validate: self.timing.validate_cycles,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transform::transform_payload;
+    use crate::transform::{transform_payload, transform_signature};
     use eric_crypto::sha256::sha256;
     use eric_puf::device::PufDeviceConfig;
 
-    /// Encrypt a payload+signature the way the compiler side does, by
-    /// reusing the shared transform with the device's own key.
+    /// Encrypt a payload+signature the way the compiler side does (v1),
+    /// by reusing the shared transform with the device's own key.
     // Test helper mirroring the full package parameter surface.
     #[allow(clippy::too_many_arguments)]
     fn encrypt_for(
@@ -239,14 +408,73 @@ mod tests {
         text_len: usize,
         map: &CoverageMap,
         policy: Option<FieldPolicy>,
-    ) -> (Vec<u8>, [u8; 32]) {
+    ) -> (Vec<u8>, SignatureBlock) {
         let key = loader.keys().package_key(challenge, epoch, nonce);
         let cipher = CipherKind::Xor.instantiate(key.as_bytes());
         let mut sig = *sha256(payload).as_bytes();
         let mut enc = payload.to_vec();
         transform_payload(&mut enc, map, policy, text_len, cipher.as_ref());
         transform_signature(&mut sig, payload.len(), cipher.as_ref());
-        (enc, sig)
+        (
+            enc,
+            SignatureBlock::Single {
+                encrypted_digest: sig,
+            },
+        )
+    }
+
+    /// Encrypt a payload + segment manifest the way the compiler side
+    /// does for a v2 package.
+    fn encrypt_segmented_for(
+        loader: &SecureLoader,
+        challenge: &Challenge,
+        nonce: u64,
+        payload: &[u8],
+        text_len: usize,
+        segment_len: u32,
+    ) -> (Vec<u8>, SignatureBlock) {
+        encrypt_segmented_mapped(
+            loader,
+            challenge,
+            nonce,
+            payload,
+            text_len,
+            segment_len,
+            &CoverageMap::Full,
+        )
+    }
+
+    /// [`encrypt_segmented_for`] with an explicit coverage map.
+    #[allow(clippy::too_many_arguments)]
+    fn encrypt_segmented_mapped(
+        loader: &SecureLoader,
+        challenge: &Challenge,
+        nonce: u64,
+        payload: &[u8],
+        text_len: usize,
+        segment_len: u32,
+        map: &CoverageMap,
+    ) -> (Vec<u8>, SignatureBlock) {
+        let key = loader.keys().package_key(challenge, 0, nonce);
+        let cipher = CipherKind::Xor.instantiate(key.as_bytes());
+        let leaves: Vec<Digest> = payload
+            .chunks(segment_len as usize)
+            .enumerate()
+            .map(|(i, seg)| tree::leaf_digest(i as u64, seg))
+            .collect();
+        let mut root = *signed_root(&[], segment_len, &leaves).as_bytes();
+        let mut enc = payload.to_vec();
+        transform_payload(&mut enc, map, None, text_len, cipher.as_ref());
+        transform_signature(&mut root, payload.len(), cipher.as_ref());
+        let mut enc_leaves: Vec<[u8; 32]> = leaves.iter().map(|d| *d.as_bytes()).collect();
+        transform_manifest_leaves(&mut enc_leaves, payload.len(), cipher.as_ref());
+        (
+            enc,
+            SignatureBlock::Segmented {
+                encrypted_root: root,
+                manifest: SegmentManifest::new(segment_len, enc_leaves),
+            },
+        )
     }
 
     fn loader(seed: u64) -> SecureLoader {
@@ -271,7 +499,7 @@ mod tests {
                 text_len: 128,
                 map: &CoverageMap::Full,
                 policy: None,
-                encrypted_signature: sig,
+                signature: &sig,
                 cipher: CipherKind::Xor,
                 challenge: &ch,
                 epoch: 0,
@@ -295,7 +523,7 @@ mod tests {
             text_len: 64,
             map: &CoverageMap::Full,
             policy: None,
-            encrypted_signature: sig,
+            signature: &sig,
             cipher: CipherKind::Xor,
             challenge: &ch,
             epoch: 0,
@@ -324,7 +552,7 @@ mod tests {
                     text_len: 32,
                     map: &CoverageMap::Full,
                     policy: None,
-                    encrypted_signature: sig,
+                    signature: &sig,
                     cipher: CipherKind::Xor,
                     challenge: &ch,
                     epoch: 0,
@@ -340,8 +568,17 @@ mod tests {
         let l = loader(4);
         let ch = challenge();
         let payload = vec![1u8; 100];
-        let (enc, mut sig) = encrypt_for(&l, &ch, 0, 2, &payload, 100, &CoverageMap::Full, None);
-        sig[0] ^= 0x80;
+        let (enc, sig) = encrypt_for(&l, &ch, 0, 2, &payload, 100, &CoverageMap::Full, None);
+        let SignatureBlock::Single {
+            encrypted_digest: mut raw,
+        } = sig
+        else {
+            panic!("v1 helper built a v1 block");
+        };
+        raw[0] ^= 0x80;
+        let sig = SignatureBlock::Single {
+            encrypted_digest: raw,
+        };
         assert!(l
             .process(&SecureInput {
                 payload: &enc,
@@ -349,7 +586,7 @@ mod tests {
                 text_len: 100,
                 map: &CoverageMap::Full,
                 policy: None,
-                encrypted_signature: sig,
+                signature: &sig,
                 cipher: CipherKind::Xor,
                 challenge: &ch,
                 epoch: 0,
@@ -370,7 +607,7 @@ mod tests {
             text_len: 48,
             map: &CoverageMap::Full,
             policy: None,
-            encrypted_signature: sig,
+            signature: &sig,
             cipher: CipherKind::Xor,
             challenge: &ch,
             epoch: 1, // package was built for epoch 0
@@ -386,6 +623,9 @@ mod tests {
         let l = loader(6);
         let ch = challenge();
         let payload = vec![0u8; 16];
+        let zero_sig = SignatureBlock::Single {
+            encrypted_digest: [0; 32],
+        };
         // text_len beyond payload.
         assert!(matches!(
             l.process(&SecureInput {
@@ -394,7 +634,7 @@ mod tests {
                 text_len: 32,
                 map: &CoverageMap::Full,
                 policy: None,
-                encrypted_signature: [0; 32],
+                signature: &zero_sig,
                 cipher: CipherKind::Xor,
                 challenge: &ch,
                 epoch: 0,
@@ -411,7 +651,27 @@ mod tests {
                 text_len: 16,
                 map: &short_map,
                 policy: None,
-                encrypted_signature: [0; 32],
+                signature: &zero_sig,
+                cipher: CipherKind::Xor,
+                challenge: &ch,
+                epoch: 0,
+                nonce: 0,
+            }),
+            Err(HdeError::Malformed(_))
+        ));
+        // Manifest that does not cover the payload.
+        let bad_manifest = SignatureBlock::Segmented {
+            encrypted_root: [0; 32],
+            manifest: SegmentManifest::new(4, vec![[0; 32]; 2]), // needs 4 leaves
+        };
+        assert!(matches!(
+            l.process(&SecureInput {
+                payload: &payload,
+                aad: &[],
+                text_len: 16,
+                map: &CoverageMap::Full,
+                policy: None,
+                signature: &bad_manifest,
                 cipher: CipherKind::Xor,
                 challenge: &ch,
                 epoch: 0,
@@ -446,7 +706,7 @@ mod tests {
                 text_len: 1024,
                 map: &map,
                 policy: None,
-                encrypted_signature: sig,
+                signature: &sig,
                 cipher: CipherKind::Xor,
                 challenge: &ch,
                 epoch: 0,
@@ -461,13 +721,16 @@ mod tests {
         let l = loader(9);
         let ch = challenge();
         let payload = vec![0u8; 16];
+        let zero_sig = SignatureBlock::Single {
+            encrypted_digest: [0; 32],
+        };
         let r = l.process(&SecureInput {
             payload: &payload,
             aad: &[],
             text_len: 10, // not 4-byte aligned
             map: &CoverageMap::Full,
             policy: Some(FieldPolicy::AllButOpcode),
-            encrypted_signature: [0; 32],
+            signature: &zero_sig,
             cipher: CipherKind::Xor,
             challenge: &ch,
             epoch: 0,
@@ -483,10 +746,13 @@ mod tests {
         let payload: Vec<u8> = (0u16..256).map(|i| (i * 3 % 256) as u8).collect();
         let key = l.keys().package_key(&ch, 0, 11);
         let cipher = CipherKind::ShaCtr.instantiate(key.as_bytes());
-        let mut sig = *sha256(&payload).as_bytes();
+        let mut raw = *sha256(&payload).as_bytes();
         let mut enc = payload.clone();
         transform_payload(&mut enc, &CoverageMap::Full, None, 256, cipher.as_ref());
-        transform_signature(&mut sig, payload.len(), cipher.as_ref());
+        transform_signature(&mut raw, payload.len(), cipher.as_ref());
+        let sig = SignatureBlock::Single {
+            encrypted_digest: raw,
+        };
         let out = l
             .process(&SecureInput {
                 payload: &enc,
@@ -494,7 +760,7 @@ mod tests {
                 text_len: 256,
                 map: &CoverageMap::Full,
                 policy: None,
-                encrypted_signature: sig,
+                signature: &sig,
                 cipher: CipherKind::ShaCtr,
                 challenge: &ch,
                 epoch: 0,
@@ -502,5 +768,226 @@ mod tests {
             })
             .expect("sha-ctr validates");
         assert_eq!(out.plaintext, payload);
+    }
+
+    // ----------------------------------------------------------------
+    // Segmented (v2) scheme
+    // ----------------------------------------------------------------
+
+    fn segmented_input<'a>(
+        enc: &'a [u8],
+        sig: &'a SignatureBlock,
+        ch: &'a Challenge,
+        text_len: usize,
+        nonce: u64,
+    ) -> SecureInput<'a> {
+        SecureInput {
+            payload: enc,
+            aad: &[],
+            text_len,
+            map: &CoverageMap::Full,
+            policy: None,
+            signature: sig,
+            cipher: CipherKind::Xor,
+            challenge: ch,
+            epoch: 0,
+            nonce,
+        }
+    }
+
+    #[test]
+    fn segmented_roundtrip_at_every_lane_count() {
+        let ch = challenge();
+        // Ragged tail: 5 full segments + 1 partial, segment < payload.
+        let payload: Vec<u8> = (0..5 * 64 + 17).map(|i| (i * 13 % 251) as u8).collect();
+        let base = loader(11);
+        let (enc, sig) = encrypt_segmented_for(&base, &ch, 31, &payload, 128, 64);
+        for lanes in [1usize, 2, 3, 4, 8, 16] {
+            let l = loader(11).with_lanes(lanes);
+            let out = l
+                .process(&segmented_input(&enc, &sig, &ch, 128, 31))
+                .unwrap_or_else(|e| panic!("{lanes} lanes: {e}"));
+            assert_eq!(out.plaintext, payload, "{lanes} lanes");
+            assert!(out.cycles.total() > 0);
+        }
+    }
+
+    #[test]
+    fn segmented_lane_cycles_shrink_with_lanes() {
+        let ch = challenge();
+        let payload = vec![0x5Au8; 64 * 1024];
+        let base = loader(12);
+        let (enc, sig) = encrypt_segmented_for(&base, &ch, 5, &payload, 0, 4096);
+        let one = loader(12)
+            .with_lanes(1)
+            .process(&segmented_input(&enc, &sig, &ch, 0, 5))
+            .unwrap();
+        let four = loader(12)
+            .with_lanes(4)
+            .process(&segmented_input(&enc, &sig, &ch, 0, 5))
+            .unwrap();
+        assert!(
+            four.cycles.total() < one.cycles.total(),
+            "4 lanes {} !< 1 lane {}",
+            four.cycles.total(),
+            one.cycles.total()
+        );
+    }
+
+    #[test]
+    fn segmented_partial_map_roundtrips_across_lanes() {
+        // The lane closure must agree with the compiler side's
+        // whole-payload transform when a partial map leaves holes that
+        // straddle segment boundaries.
+        use crate::map::ParcelBitmap;
+        let ch = challenge();
+        let len: usize = 5 * 64 + 23;
+        let payload: Vec<u8> = (0..len).map(|i| (i * 7 % 251) as u8).collect();
+        let mut bm = ParcelBitmap::new(len.div_ceil(2));
+        for p in 0..bm.parcels() {
+            if p % 3 != 1 {
+                bm.set(p);
+            }
+        }
+        let map = CoverageMap::Partial(bm);
+        let base = loader(19);
+        let (enc, sig) = encrypt_segmented_mapped(&base, &ch, 13, &payload, 64, 64, &map);
+        for lanes in [1usize, 2, 3, 8] {
+            let l = loader(19).with_lanes(lanes);
+            let out = l
+                .process(&SecureInput {
+                    payload: &enc,
+                    aad: &[],
+                    text_len: 64,
+                    map: &map,
+                    policy: None,
+                    signature: &sig,
+                    cipher: CipherKind::Xor,
+                    challenge: &ch,
+                    epoch: 0,
+                    nonce: 13,
+                })
+                .unwrap_or_else(|e| panic!("{lanes} lanes: {e}"));
+            assert_eq!(out.plaintext, payload, "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn lane_cycles_floor_at_whole_segments() {
+        // One 64 KiB segment cannot be split: eight lanes must charge
+        // the same cycles as one (lanes own whole segments).
+        let ch = challenge();
+        let payload = vec![0x5Au8; 64 * 1024];
+        let base = loader(18);
+        let (enc, sig) = encrypt_segmented_for(&base, &ch, 6, &payload, 0, 64 * 1024);
+        let one = loader(18)
+            .with_lanes(1)
+            .process(&segmented_input(&enc, &sig, &ch, 0, 6))
+            .unwrap();
+        let eight = loader(18)
+            .with_lanes(8)
+            .process(&segmented_input(&enc, &sig, &ch, 0, 6))
+            .unwrap();
+        assert_eq!(one.cycles, eight.cycles);
+    }
+
+    #[test]
+    fn segmented_payload_tamper_names_the_segment() {
+        let ch = challenge();
+        let payload: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        let base = loader(13);
+        let (enc, sig) = encrypt_segmented_for(&base, &ch, 7, &payload, 0, 64);
+        for (byte, want_segment) in [(0usize, 0usize), (70, 1), (150, 2), (255, 3)] {
+            let mut tampered = enc.clone();
+            tampered[byte] ^= 0x10;
+            let l = loader(13).with_lanes(2);
+            match l.process(&segmented_input(&tampered, &sig, &ch, 0, 7)) {
+                Err(HdeError::SegmentMismatch { segment }) => {
+                    assert_eq!(segment, want_segment, "byte {byte}");
+                }
+                other => panic!("byte {byte}: expected SegmentMismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_manifest_and_root_tampering_rejected() {
+        let ch = challenge();
+        let payload: Vec<u8> = (0..300).map(|i| (i % 256) as u8).collect();
+        let base = loader(14);
+        let (enc, sig) = encrypt_segmented_for(&base, &ch, 9, &payload, 0, 128);
+        let SignatureBlock::Segmented {
+            encrypted_root,
+            manifest,
+        } = &sig
+        else {
+            panic!("v2 helper built a v2 block");
+        };
+        // Flip a bit in one shipped leaf.
+        let mut leaves = manifest.leaves().to_vec();
+        leaves[1][0] ^= 1;
+        let forged = SignatureBlock::Segmented {
+            encrypted_root: *encrypted_root,
+            manifest: SegmentManifest::new(manifest.segment_len(), leaves),
+        };
+        assert!(matches!(
+            loader(14).process(&segmented_input(&enc, &forged, &ch, 0, 9)),
+            Err(HdeError::SegmentMismatch { segment: 1 })
+        ));
+        // Flip a bit in the root.
+        let mut root = *encrypted_root;
+        root[31] ^= 0x80;
+        let forged = SignatureBlock::Segmented {
+            encrypted_root: root,
+            manifest: manifest.clone(),
+        };
+        assert!(matches!(
+            loader(14).process(&segmented_input(&enc, &forged, &ch, 0, 9)),
+            Err(HdeError::SignatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn segmented_aad_is_bound_by_the_root() {
+        let ch = challenge();
+        let payload = vec![3u8; 200];
+        let base = loader(15);
+        // Sign with aad = [] (the helper's fixed AAD), then present a
+        // different AAD: the signed root must not match.
+        let (enc, sig) = encrypt_segmented_for(&base, &ch, 3, &payload, 0, 64);
+        let mut input = segmented_input(&enc, &sig, &ch, 0, 3);
+        input.aad = b"forged metadata";
+        assert!(matches!(
+            loader(15).process(&input),
+            Err(HdeError::SignatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn segmented_wrong_device_rejected_without_plaintext_release() {
+        let ch = challenge();
+        let payload: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        let base = loader(16);
+        let (enc, sig) = encrypt_segmented_for(&base, &ch, 2, &payload, 0, 64);
+        assert!(loader(16)
+            .process(&segmented_input(&enc, &sig, &ch, 0, 2))
+            .is_ok());
+        // A different PUF derives a different keystream: every segment
+        // decrypts to garbage and the first one already mismatches.
+        assert!(loader(99)
+            .process(&segmented_input(&enc, &sig, &ch, 0, 2))
+            .is_err());
+    }
+
+    #[test]
+    fn segmented_empty_payload_validates() {
+        let ch = challenge();
+        let base = loader(17);
+        let (enc, sig) = encrypt_segmented_for(&base, &ch, 1, &[], 0, 64);
+        let out = loader(17)
+            .with_lanes(4)
+            .process(&segmented_input(&enc, &sig, &ch, 0, 1))
+            .expect("empty payload validates");
+        assert!(out.plaintext.is_empty());
     }
 }

@@ -5,22 +5,29 @@
 //! keystream is position-addressable, so the payload splits into
 //! independent chunks: `n` decryption lanes each process
 //! `⌈len/n⌉` bytes at their own absolute offsets, and each lane fills
-//! whole keystream blocks for its chunk via the block cipher API. This
-//! module provides both a *cycle model* (what an n-lane HDE would
-//! cost) and a real multi-threaded implementation (via
-//! `std::thread::scope`) used by the ablation bench to demonstrate
-//! wall-clock scaling.
+//! whole keystream blocks for its chunk via the block cipher API.
+//!
+//! [`map_segments`] is the lane pool itself: it tiles a payload into
+//! fixed-size segments, groups contiguous segments per lane, and runs
+//! a caller-supplied per-segment function on `std::thread::scope`
+//! threads, returning one result per segment in order. The secure
+//! loader drives it with a decrypt-and-leaf-hash closure for segmented
+//! (v2) packages; [`decrypt_parallel`] is the thin decrypt-only
+//! wrapper kept for the ablation bench and as the simplest possible
+//! usage example. [`parallel_cycles`] is the matching *cycle model*
+//! (what an n-lane HDE would cost in hardware).
 
 use crate::timing::HdeTimingConfig;
 use eric_crypto::cipher::KeystreamCipher;
 
-/// Modeled cycles for an `lanes`-wide decrypt of `bytes`.
+/// Modeled cycles for an `lanes`-wide decrypt of `bytes` under the
+/// *monolithic* (v1) signature scheme.
 ///
-/// Lanes split the payload evenly; the SHA-256 signature regeneration
-/// is a sequential chain (Merkle–Damgård) and does not parallelize, so
-/// it becomes the bottleneck — which is why the paper pairs the
-/// parallelism goal with "performance and scalability" work on the
-/// rest of the engine.
+/// Lanes split the payload evenly, but v1's SHA-256 signature
+/// regeneration is one sequential Merkle–Damgård chain and does not
+/// parallelize, so it becomes the bottleneck — exactly the motivation
+/// for the segmented (v2) scheme, whose per-lane leaf hashing the
+/// loader models separately.
 ///
 /// # Panics
 ///
@@ -33,13 +40,77 @@ pub fn parallel_cycles(timing: &HdeTimingConfig, bytes: usize, lanes: usize) -> 
     decrypt.max(hash) + timing.validate_cycles
 }
 
+/// Tile `payload` into `segment_len`-byte segments (the last may be
+/// shorter) and run `f(segment_index, absolute_offset, segment)` for
+/// every segment across up to `lanes` scoped OS threads, returning one
+/// result per segment in segment order.
+///
+/// Each lane owns a *contiguous* block of `⌈segments/lanes⌉` segments,
+/// so the payload is handed out as disjoint `&mut` chunks with no
+/// locking, and every segment sees its true absolute payload offset —
+/// which is all a keystream cipher or a coverage map needs to produce
+/// output bit-identical to a sequential pass. With `lanes == 1` (or a
+/// single segment) everything runs inline on the caller's thread: no
+/// spawn, deterministic, and the natural baseline for scaling
+/// measurements.
+///
+/// # Panics
+///
+/// Panics if `lanes` or `segment_len` is zero, or if a lane's closure
+/// panics.
+pub fn map_segments<T, F>(payload: &mut [u8], segment_len: usize, lanes: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [u8]) -> T + Sync,
+{
+    assert!(lanes > 0, "at least one decryption lane required");
+    assert!(segment_len > 0, "segment length must be positive");
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    let segments = payload.len().div_ceil(segment_len);
+    let per_lane = segments.div_ceil(lanes);
+    if lanes == 1 || segments == 1 {
+        return payload
+            .chunks_mut(segment_len)
+            .enumerate()
+            .map(|(i, segment)| f(i, i * segment_len, segment))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = payload
+            .chunks_mut(per_lane * segment_len)
+            .enumerate()
+            .map(|(lane, block)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let first = lane * per_lane;
+                    block
+                        .chunks_mut(segment_len)
+                        .enumerate()
+                        .map(|(j, segment)| {
+                            let index = first + j;
+                            f(index, index * segment_len, segment)
+                        })
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("decryption lane panicked"))
+            .collect()
+    })
+}
+
 /// Decrypt `payload` in place using `lanes` OS threads, each applying
 /// the keystream to its own chunk at the correct absolute offset.
 ///
-/// Produces bit-identical output to the sequential transform (full
-/// coverage, no field policy — the parallel path is modeled for the
-/// full-encryption configuration, where chunk boundaries cannot split
-/// a masked field).
+/// A thin wrapper over [`map_segments`] with `⌈len/lanes⌉`-byte
+/// segments (one per lane) and a decrypt-only closure. Produces
+/// bit-identical output to the sequential transform (full coverage, no
+/// field policy — the parallel path is modeled for the full-encryption
+/// configuration, where chunk boundaries cannot split a masked field).
 ///
 /// # Panics
 ///
@@ -53,19 +124,8 @@ where
         return;
     }
     let chunk = payload.len().div_ceil(lanes);
-    // Full coverage by construction: ⌈len/lanes⌉-sized chunks tile the
-    // payload exactly, in at most `lanes` pieces.
-    debug_assert!(
-        chunk * lanes >= payload.len() && payload.len().div_ceil(chunk) <= lanes,
-        "lane chunking must cover the payload in at most {lanes} chunks"
-    );
-    std::thread::scope(|scope| {
-        for (i, slice) in payload.chunks_mut(chunk).enumerate() {
-            let offset = (i * chunk) as u64;
-            scope.spawn(move || {
-                cipher.apply(offset, slice);
-            });
-        }
+    map_segments(payload, chunk, lanes, |_, offset, slice| {
+        cipher.apply(offset as u64, slice);
     });
 }
 
@@ -163,5 +223,41 @@ mod tests {
         let mut empty: Vec<u8> = vec![];
         decrypt_parallel(&mut empty, &cipher, 4);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn map_segments_orders_indices_and_offsets() {
+        // Results must come back in segment order with true absolute
+        // offsets regardless of lane count or ragged tail segments.
+        for len in [1usize, 7, 8, 9, 64, 65, 100] {
+            let mut buf: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            for lanes in 1..=6 {
+                let out = map_segments(&mut buf, 8, lanes, |index, offset, segment| {
+                    (index, offset, segment.len(), segment[0])
+                });
+                assert_eq!(out.len(), len.div_ceil(8), "len {len}, {lanes} lanes");
+                for (k, (index, offset, seg_len, first)) in out.iter().enumerate() {
+                    assert_eq!(*index, k);
+                    assert_eq!(*offset, k * 8);
+                    assert_eq!(*seg_len, 8.min(len - k * 8));
+                    assert_eq!(*first, (k * 8) as u8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_segments_mutations_are_disjoint_and_complete() {
+        // Every byte is visited exactly once whatever the lane count.
+        let len = 1000;
+        for lanes in [1usize, 2, 3, 4, 7, 16] {
+            let mut buf = vec![0u8; len];
+            map_segments(&mut buf, 96, lanes, |_, _, segment| {
+                for b in segment.iter_mut() {
+                    *b += 1;
+                }
+            });
+            assert!(buf.iter().all(|&b| b == 1), "{lanes} lanes");
+        }
     }
 }

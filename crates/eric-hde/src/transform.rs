@@ -25,6 +25,13 @@ pub fn signature_stream_offset(payload_len: usize) -> u64 {
     payload_len as u64
 }
 
+/// Keystream position where the encrypted segment-manifest leaves
+/// begin: a continuation after the 32-byte signature/root, so payload,
+/// signature, and manifest each consume disjoint keystream ranges.
+pub fn manifest_stream_offset(payload_len: usize) -> u64 {
+    signature_stream_offset(payload_len) + 32
+}
+
 /// XOR the keystream into the selected bits of `payload` in place.
 ///
 /// * With `policy == None`, every byte inside a map-covered parcel is
@@ -249,6 +256,24 @@ pub fn transform_signature(
     cipher: &dyn KeystreamCipher,
 ) {
     cipher.apply(signature_stream_offset(payload_len), signature);
+}
+
+/// Encrypt/decrypt the segment-manifest leaf digests as a keystream
+/// continuation after the signature (see [`manifest_stream_offset`]).
+///
+/// Leaf `i` occupies keystream positions
+/// `manifest_stream_offset(payload_len) + 32·i ..+ 32`, so the
+/// manifest never shares keystream with the payload or the signature
+/// and each leaf can be (de)crypted independently.
+pub fn transform_manifest_leaves(
+    leaves: &mut [[u8; 32]],
+    payload_len: usize,
+    cipher: &dyn KeystreamCipher,
+) {
+    let base = manifest_stream_offset(payload_len);
+    for (i, leaf) in leaves.iter_mut().enumerate() {
+        cipher.apply(base + 32 * i as u64, leaf);
+    }
 }
 
 #[cfg(test)]

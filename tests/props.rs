@@ -198,7 +198,7 @@ proptest! {
     #[test]
     fn batch_packages_roundtrip_to_identical_plaintext(n in 1usize..6,
                                                        seed in 0u64..200,
-                                                       mode in 0u8..3) {
+                                                       mode in 0u8..6) {
         use eric::core::{Device, EncryptionConfig, ProvisioningService, SoftwareSource};
         use eric::hde::loader::SecureInput;
         use eric::puf::crp::Challenge;
@@ -208,7 +208,16 @@ proptest! {
         let config = match mode {
             0 => EncryptionConfig::full(),
             1 => EncryptionConfig::partial(0.5, seed.wrapping_add(1)),
-            _ => EncryptionConfig::field_level(eric::hde::FieldPolicy::MemoryPointers),
+            2 => EncryptionConfig::field_level(eric::hde::FieldPolicy::MemoryPointers),
+            // Segmented signatures with a tiny segment so even this
+            // small image spans several leaves — combined with every
+            // coverage mode, since the lane closure must agree with
+            // the sequential transform under partial maps and field
+            // policies too.
+            3 => EncryptionConfig::full().with_segments(16),
+            4 => EncryptionConfig::partial(0.5, seed.wrapping_add(1)).with_segments(16),
+            _ => EncryptionConfig::field_level(eric::hde::FieldPolicy::MemoryPointers)
+                .with_segments(16),
         };
 
         let mut devices: Vec<Device> = (0..n)
@@ -234,7 +243,7 @@ proptest! {
                 text_len: pkg.text_len as usize,
                 map: &pkg.map,
                 policy: pkg.policy,
-                encrypted_signature: pkg.encrypted_signature,
+                signature: &pkg.signature,
                 cipher: pkg.cipher,
                 challenge: &challenge,
                 epoch: pkg.epoch,
