@@ -1,7 +1,7 @@
 //! Ablation — multi-lane parallel decryption (paper future work §VI).
 
 use eric_bench::ablation_parallel_decrypt;
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, write_bench_json, write_json};
 
 fn main() {
     banner("Ablation: parallel decryption lanes (4 MiB payload)");
@@ -20,4 +20,5 @@ fn main() {
     println!("modeled cycles floor at the hash rate — the scalability limit the");
     println!("paper's future-work section targets.");
     write_json("ablation_parallel_decrypt", &rows);
+    write_bench_json("ablation_parallel_decrypt");
 }

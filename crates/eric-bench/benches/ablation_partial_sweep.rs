@@ -3,7 +3,7 @@
 //! mode).
 
 use eric_bench::ablation_partial_sweep;
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, record_elapsed, write_bench_json, write_json};
 use eric_workloads::by_name;
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
         "Ablation: partial-encryption fraction sweep ({})",
         workload.name
     ));
-    let rows = ablation_partial_sweep(&workload);
+    let rows = record_elapsed("total", || ablation_partial_sweep(&workload));
     println!(
         "{:<10} {:>10} {:>14} {:>16}",
         "fraction", "size +%", "decode ratio", "exec overhead %"
@@ -24,4 +24,5 @@ fn main() {
         );
     }
     write_json("ablation_partial_sweep", &rows);
+    write_bench_json("ablation_partial_sweep");
 }

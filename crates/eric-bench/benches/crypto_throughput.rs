@@ -1,9 +1,10 @@
 //! Crypto-primitive microbenchmark (cipher-choice ablation: the
 //! paper's pluggable encryption function), comparing the block
 //! keystream path against the per-byte reference the decrypt hot loop
-//! used before the run-based redesign.
+//! used before the run-based redesign, and the multi-buffer SHA-CTR
+//! fill against the single-block scalar compress it replaced.
 
-use eric_bench::output::{banner, smoke_mode, write_json};
+use eric_bench::output::{banner, smoke_mode, write_bench_json, write_json};
 use eric_bench::{crypto_throughput, CipherRow};
 
 fn main() {
@@ -23,13 +24,25 @@ fn main() {
     println!("\nper-byte = one virtual keystream_byte call per payload byte (the");
     println!("pre-refactor decrypt shape); block = fill_keystream + slice XOR.");
 
+    println!("\nsha-ctr fill, hash engine = {}:", report.hash_engine);
+    println!(
+        "{:<26} {:>16}",
+        "multi-buffer fill (MiB/s)", "scalar fill (MiB/s)"
+    );
+    println!(
+        "{:<26.1} {:>16.1}   ({:.1}x)",
+        report.shactr_fill_mib_s, report.shactr_scalar_fill_mib_s, report.shactr_fill_speedup
+    );
+    println!("scalar = one Sha256 chain per 32-byte counter block (the shape");
+    println!("fill_keystream had before the multi-buffer engine).");
+
     let xor: &CipherRow = report
         .rows
         .iter()
         .find(|r| r.cipher == "xor")
         .expect("xor row present");
     if smoke_mode() {
-        println!("smoke mode: floor assertion skipped");
+        println!("smoke mode: floor assertions skipped");
     } else {
         assert!(
             xor.speedup >= 5.0,
@@ -41,7 +54,19 @@ fn main() {
             "block-vs-byte floor OK: xor speedup {:.1}x >= 5x",
             xor.speedup
         );
+        assert!(
+            report.shactr_fill_speedup >= 2.0,
+            "multi-buffer fill must be >= 2x the single-block scalar compress \
+             path on a 1 MiB keystream, measured {:.1}x on the {} engine",
+            report.shactr_fill_speedup,
+            report.hash_engine
+        );
+        println!(
+            "multi-buffer floor OK: sha-ctr fill speedup {:.1}x >= 2x ({} engine)",
+            report.shactr_fill_speedup, report.hash_engine
+        );
     }
 
     write_json("crypto_throughput", &report);
+    write_bench_json("crypto_throughput");
 }

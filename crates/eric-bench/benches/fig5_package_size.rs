@@ -2,27 +2,38 @@
 //!
 //! Paper: full encryption adds only the 256-bit signature; partial
 //! encryption adds 1 map bit per 16-bit parcel; worst growth 3.73 %,
-//! average 1.59 %.
+//! average 1.59 %. The v2 (`ERIC2`) column accounts the segmented
+//! scheme on top: the encrypted root plus the encrypted per-segment
+//! manifest.
 
 use eric_bench::fig5_package_size;
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, record_elapsed, write_bench_json, write_json};
 
 fn main() {
     banner("Figure 5: Program Package Size (normalized to plain binary)");
-    let f = fig5_package_size();
+    let f = record_elapsed("total", fig5_package_size);
     println!(
-        "{:<14} {:>10} {:>12} {:>8} {:>12} {:>9}",
-        "workload", "plain B", "full pkg B", "full %", "partial B", "partial %"
+        "{:<14} {:>10} {:>12} {:>8} {:>12} {:>9} {:>12} {:>8}",
+        "workload", "plain B", "full pkg B", "full %", "partial B", "partial %", "v2 pkg B", "v2 %"
     );
     for r in &f.rows {
         println!(
-            "{:<14} {:>10} {:>12} {:>+7.2}% {:>12} {:>+8.2}%",
-            r.name, r.plain_bytes, r.full_bytes, r.full_pct, r.partial_bytes, r.partial_pct
+            "{:<14} {:>10} {:>12} {:>+7.2}% {:>12} {:>+8.2}% {:>12} {:>+7.2}%",
+            r.name,
+            r.plain_bytes,
+            r.full_bytes,
+            r.full_pct,
+            r.partial_bytes,
+            r.partial_pct,
+            r.v2_bytes,
+            r.v2_pct
         );
     }
     println!(
-        "\naverage growth {:+.2}% (paper 1.59%), max {:+.2}% (paper 3.73%)",
-        f.average_pct, f.max_pct
+        "\naverage growth {:+.2}% (paper 1.59%), max {:+.2}% (paper 3.73%); \
+         v2 average {:+.2}%",
+        f.average_pct, f.max_pct, f.v2_average_pct
     );
     write_json("fig5_package_size", &f);
+    write_bench_json("fig5_package_size");
 }

@@ -7,7 +7,7 @@
 //! adds SHA-256 signing, keystream encryption, and packaging.
 
 use eric_bench::fig6_compile_time;
-use eric_bench::output::{banner, smoke_mode, write_json};
+use eric_bench::output::{banner, smoke_mode, write_bench_json, write_json};
 
 fn main() {
     let iters: u32 = std::env::args()
@@ -31,4 +31,5 @@ fn main() {
         f.average_pct, f.max_pct
     );
     write_json("fig6_compile_time", &f);
+    write_bench_json("fig6_compile_time");
 }

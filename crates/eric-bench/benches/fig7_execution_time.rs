@@ -7,11 +7,11 @@
 //! execution itself is unchanged.
 
 use eric_bench::fig7_execution_time;
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, record_elapsed, write_bench_json, write_json};
 
 fn main() {
     banner("Figure 7: Execution Time (normalized to unencrypted execution)");
-    let f = fig7_execution_time();
+    let f = record_elapsed("total", fig7_execution_time);
     println!(
         "{:<14} {:>9} {:>12} {:>13} {:>13} {:>9}",
         "workload", "payload B", "instructions", "plain cyc", "secure cyc", "overhead"
@@ -32,4 +32,5 @@ fn main() {
         f.average_pct, f.max_pct
     );
     write_json("fig7_execution_time", &f);
+    write_bench_json("fig7_execution_time");
 }

@@ -11,7 +11,7 @@
 //! onto, and never in `ERIC_BENCH_SMOKE` mode.
 
 use eric_bench::hde_lane_scaling;
-use eric_bench::output::{banner, smoke_mode, write_json};
+use eric_bench::output::{banner, smoke_mode, write_bench_json, write_json};
 
 const DATA_BYTES: usize = 4 << 20;
 const SMOKE_DATA_BYTES: usize = 256 << 10;
@@ -73,4 +73,5 @@ fn main() {
     }
 
     write_json("hde_lane_scaling", &report);
+    write_bench_json("hde_lane_scaling");
 }

@@ -6,7 +6,7 @@
 //! worker — whenever the host actually has 4 hardware threads to
 //! scale onto.
 
-use eric_bench::output::{banner, smoke_mode, write_json};
+use eric_bench::output::{banner, smoke_mode, write_bench_json, write_json};
 use eric_bench::provisioning_fanout;
 
 const DEVICES: usize = 16;
@@ -65,4 +65,5 @@ fn main() {
     }
 
     write_json("provisioning_fanout", &report);
+    write_bench_json("provisioning_fanout");
 }

@@ -2,12 +2,12 @@
 //! substitution (DESIGN.md): the model must show the uniqueness /
 //! reliability statistics the paper's FPGA PUF relies on.
 
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, record_elapsed, write_bench_json, write_json};
 use eric_bench::puf_quality;
 
 fn main() {
     banner("PUF Quality (64 devices x 64 challenges, 11 rereads)");
-    let r = puf_quality();
+    let r = record_elapsed("total", puf_quality);
     println!("uniformity            {:>7.4}  (ideal 0.5)", r.uniformity);
     println!(
         "uniqueness            {:>7.4}  (ideal 0.5, inter-chip HD)",
@@ -23,4 +23,5 @@ fn main() {
         r.max_bit_aliasing_bias
     );
     write_json("puf_quality", &r);
+    write_bench_json("puf_quality");
 }

@@ -2,7 +2,7 @@
 //! future work §VI: "We also aim to bring RSA-based key generation and
 //! usage to ERIC").
 
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, write_bench_json, write_json};
 use eric_bench::rsa_keygen;
 
 fn main() {
@@ -16,4 +16,5 @@ fn main() {
         println!("{:<8} {:>14.1} {:>18.1}", r.bits, r.keygen_ms, r.wrap_us);
     }
     write_json("rsa_keygen", &rows);
+    write_bench_json("rsa_keygen");
 }

@@ -1,12 +1,12 @@
 //! Static-analysis resistance — quantifies the §I obfuscation claim:
 //! intercepted packages expose only ciphertext.
 
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, record_elapsed, write_bench_json, write_json};
 use eric_bench::static_analysis_resistance;
 
 fn main() {
     banner("Static-Analysis Resistance (plain vs. fully-encrypted text)");
-    let rows = static_analysis_resistance();
+    let rows = record_elapsed("total", static_analysis_resistance);
     println!(
         "{:<14} {:>11} {:>12} {:>11} {:>12} {:>12}",
         "workload", "entropy", "entropy(enc)", "decode", "decode(enc)", "opcode-shift"
@@ -23,4 +23,5 @@ fn main() {
         );
     }
     write_json("static_analysis", &rows);
+    write_bench_json("static_analysis");
 }

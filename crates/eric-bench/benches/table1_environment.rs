@@ -1,13 +1,14 @@
 //! Table I — test environment (paper §IV).
 
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, record_elapsed, write_bench_json, write_json};
 use eric_bench::table1_environment;
 
 fn main() {
     banner("Table I: Test Environment (paper values reproduced by live config)");
-    let t = table1_environment();
+    let t = record_elapsed("total", table1_environment);
     for (k, v) in &t.rows {
         println!("{k:<24} {v}");
     }
     write_json("table1_environment", &t);
+    write_bench_json("table1_environment");
 }

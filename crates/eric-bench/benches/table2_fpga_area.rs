@@ -3,12 +3,12 @@
 //! Paper: Rocket 33 894 LUTs / 19 093 FFs; +HDE = 34 811 / 19 854
 //! (+2.63 % / +3.83 %).
 
-use eric_bench::output::{banner, write_json};
+use eric_bench::output::{banner, record_elapsed, write_bench_json, write_json};
 use eric_bench::table2_fpga_area;
 
 fn main() {
     banner("Table II: Area Results of FPGA Implementation (structural estimate)");
-    let t = table2_fpga_area();
+    let t = record_elapsed("total", table2_fpga_area);
     println!(
         "{:<18} {:>12} {:>18} {:>10}",
         "", "Rocket Chip", "Rocket Chip + HDE", "Change(%)"
@@ -32,4 +32,5 @@ fn main() {
         );
     }
     write_json("table2_fpga_area", &t);
+    write_bench_json("table2_fpga_area");
 }

@@ -32,6 +32,11 @@ pub struct Fig5Row {
     pub partial_bytes: usize,
     /// Growth of the partial-encryption package, percent.
     pub partial_pct: f64,
+    /// Segmented (`ERIC2`) package size, bytes: full encryption plus
+    /// the encrypted root + manifest.
+    pub v2_bytes: usize,
+    /// Growth of the segmented package, percent.
+    pub v2_pct: f64,
 }
 
 /// Figure 5 report.
@@ -39,10 +44,15 @@ pub struct Fig5Row {
 pub struct Fig5Report {
     /// Per-workload rows.
     pub rows: Vec<Fig5Row>,
-    /// Mean growth over both configurations (paper: 1.59 %).
+    /// Mean growth over the paper's two configurations (paper: 1.59 %).
+    /// The v2 column is reported separately so the paper-comparison
+    /// statistics stay comparable across PRs.
     pub average_pct: f64,
-    /// Worst growth (paper: 3.73 %).
+    /// Worst growth over the paper's two configurations (paper:
+    /// 3.73 %).
     pub max_pct: f64,
+    /// Mean growth of the segmented (`ERIC2`) packages.
+    pub v2_average_pct: f64,
 }
 
 /// Regenerate Figure 5.
@@ -59,8 +69,16 @@ pub fn fig5_package_size() -> Fig5Report {
         let partial = source
             .build(&asm, &cred, &EncryptionConfig::partial(0.5, 1))
             .unwrap();
+        let v2 = source
+            .build(
+                &asm,
+                &cred,
+                &EncryptionConfig::full().with_segments(eric_hde::DEFAULT_SEGMENT_LEN),
+            )
+            .unwrap();
         let fr = full.size_report();
         let pr = partial.size_report();
+        let vr = v2.size_report();
         rows.push(Fig5Row {
             name: w.name.to_string(),
             plain_bytes: fr.plain_bytes,
@@ -68,6 +86,8 @@ pub fn fig5_package_size() -> Fig5Report {
             full_pct: fr.increase_pct(),
             partial_bytes: pr.package_bytes(),
             partial_pct: pr.increase_pct(),
+            v2_bytes: vr.package_bytes(),
+            v2_pct: vr.increase_pct(),
         });
     }
     let growths: Vec<f64> = rows
@@ -76,10 +96,12 @@ pub fn fig5_package_size() -> Fig5Report {
         .collect();
     let average_pct = growths.iter().sum::<f64>() / growths.len() as f64;
     let max_pct = growths.iter().fold(0.0f64, |a, &b| a.max(b));
+    let v2_average_pct = rows.iter().map(|r| r.v2_pct).sum::<f64>() / rows.len() as f64;
     Fig5Report {
         rows,
         average_pct,
         max_pct,
+        v2_average_pct,
     }
 }
 
@@ -113,9 +135,11 @@ pub struct Fig6Report {
 
 /// Median-of-`iters` wall time with warmup and IQR outlier rejection
 /// (see [`crate::output::measure_robust`]). Every timing experiment
-/// measures through this so floor asserts don't flake on noisy hosts.
-fn median_time<F: FnMut()>(iters: u32, f: F) -> Duration {
-    crate::output::measure_robust(WARMUP_ITERS, iters, f)
+/// measures through this so floor asserts don't flake on noisy hosts,
+/// and every measurement is [`crate::output::record`]ed under
+/// `experiment` for the bench binary's `BENCH_<name>.json` snapshot.
+fn median_time<F: FnMut()>(experiment: &str, bytes: Option<u64>, iters: u32, f: F) -> Duration {
+    crate::output::measure_recorded(experiment, bytes, WARMUP_ITERS, iters, f)
 }
 
 /// Unmeasured settling iterations before each timed series.
@@ -129,10 +153,10 @@ pub fn fig6_compile_time(iters: u32) -> Fig6Report {
     let mut rows = Vec::new();
     for w in all() {
         let asm = (w.source)(w.default_scale);
-        let baseline = median_time(iters, || {
+        let baseline = median_time(&format!("{}-baseline", w.name), None, iters, || {
             std::hint::black_box(source.compile(&asm, false).unwrap());
         });
-        let secure = median_time(iters, || {
+        let secure = median_time(&format!("{}-secure", w.name), None, iters, || {
             std::hint::black_box(
                 source
                     .build(&asm, &cred, &EncryptionConfig::full())
@@ -470,6 +494,14 @@ pub fn ablation_parallel_decrypt() -> Vec<ParallelRow> {
             decrypt_parallel(&mut buf, &cipher, lanes);
             let wall = t.elapsed();
             std::hint::black_box(&buf);
+            crate::output::record(
+                &format!("decrypt-lanes-{lanes}"),
+                crate::output::Measurement {
+                    median: wall,
+                    iqr: Duration::ZERO,
+                },
+                Some(bytes as u64),
+            );
             ParallelRow {
                 lanes,
                 modeled_cycles: parallel_cycles(&timing, bytes, lanes),
@@ -500,17 +532,32 @@ pub struct CryptoThroughputReport {
     pub rows: Vec<CipherRow>,
     /// SHA-256 digest throughput over the same buffer, MiB/s.
     pub sha256_mib_s: f64,
+    /// `ShaCtrCipher::fill_keystream` through the multi-buffer hash
+    /// engine, MiB/s (the hot keystream path since the engine landed).
+    pub shactr_fill_mib_s: f64,
+    /// The single-block scalar-compress fill oracle
+    /// (`fill_keystream_scalar`), MiB/s.
+    pub shactr_scalar_fill_mib_s: f64,
+    /// `shactr_fill_mib_s / shactr_scalar_fill_mib_s` — what the
+    /// multi-buffer engine bought over one compress per counter block.
+    pub shactr_fill_speedup: f64,
+    /// Which hash dispatch engine the fill ran on (`avx2`/`portable`).
+    pub hash_engine: String,
 }
 
-/// Median wall time of `f` over `iters` runs, as MiB/s for `mib` MiB.
-fn median_mib_s<F: FnMut()>(iters: u32, mib: f64, f: F) -> f64 {
-    let d = median_time(iters, f).as_secs_f64();
+/// Median wall time of `f` over `iters` runs, as MiB/s for `mib` MiB;
+/// records the measurement (with bytes/sec) under `experiment`.
+fn median_mib_s<F: FnMut()>(experiment: &str, iters: u32, mib: f64, f: F) -> f64 {
+    let bytes = (mib * (1u64 << 20) as f64) as u64;
+    let d = median_time(experiment, Some(bytes), iters, f).as_secs_f64();
     mib / d.max(f64::EPSILON)
 }
 
 /// Ablation: software throughput of the bundled ciphers + SHA-256,
 /// comparing the block keystream path against the per-byte reference
-/// (the shape the decrypt hot loop had before the run-based redesign).
+/// (the shape the decrypt hot loop had before the run-based redesign)
+/// and the multi-buffer SHA-CTR fill against the single-block scalar
+/// compress it replaced.
 pub fn crypto_throughput() -> CryptoThroughputReport {
     use eric_crypto::cipher::KeystreamCipher;
     const BUF_LEN: usize = 1 << 20;
@@ -519,12 +566,12 @@ pub fn crypto_throughput() -> CryptoThroughputReport {
     for kind in [CipherKind::Xor, CipherKind::ShaCtr] {
         let cipher = kind.instantiate(&[7u8; 32]);
         let mut buf = vec![0u8; BUF_LEN];
-        let block_mib_s = median_mib_s(ITERS, 1.0, || {
+        let block_mib_s = median_mib_s(&format!("{kind}-block"), ITERS, 1.0, || {
             cipher.apply(0, &mut buf);
             std::hint::black_box(&buf);
         });
         let dyn_cipher: &dyn KeystreamCipher = cipher.as_ref();
-        let bytewise_mib_s = median_mib_s(ITERS, 1.0, || {
+        let bytewise_mib_s = median_mib_s(&format!("{kind}-bytewise"), ITERS, 1.0, || {
             for (i, b) in buf.iter_mut().enumerate() {
                 *b ^= dyn_cipher.keystream_byte(i as u64);
             }
@@ -538,10 +585,32 @@ pub fn crypto_throughput() -> CryptoThroughputReport {
         });
     }
     let buf = vec![0u8; BUF_LEN];
-    let sha256_mib_s = median_mib_s(ITERS, 1.0, || {
+    let sha256_mib_s = median_mib_s("sha256-digest", ITERS, 1.0, || {
         std::hint::black_box(eric_crypto::sha256::sha256(&buf));
     });
-    CryptoThroughputReport { rows, sha256_mib_s }
+    // Multi-buffer vs single-block-scalar keystream fill: counter
+    // blocks are independent, so the only difference between the two
+    // paths is how many of them compress per kernel call.
+    let sha_ctr = eric_crypto::cipher::ShaCtrCipher::new(&[7u8; 32]);
+    let mut ks = vec![0u8; BUF_LEN];
+    let shactr_fill_mib_s = median_mib_s("sha-ctr-fill-multibuffer", ITERS, 1.0, || {
+        sha_ctr.fill_keystream(0, &mut ks);
+        std::hint::black_box(&ks);
+    });
+    let shactr_scalar_fill_mib_s = median_mib_s("sha-ctr-fill-scalar", ITERS, 1.0, || {
+        sha_ctr.fill_keystream_scalar(0, &mut ks);
+        std::hint::black_box(&ks);
+    });
+    CryptoThroughputReport {
+        rows,
+        sha256_mib_s,
+        shactr_fill_mib_s,
+        shactr_scalar_fill_mib_s,
+        shactr_fill_speedup: shactr_fill_mib_s / shactr_scalar_fill_mib_s.max(f64::EPSILON),
+        hash_engine: eric_crypto::sha256::multibuffer::active()
+            .name()
+            .to_string(),
+    }
 }
 
 /// One provisioning-fan-out row: batch throughput at a worker count.
@@ -604,12 +673,18 @@ pub fn provisioning_fanout(
     for &workers in worker_counts {
         let service =
             ProvisioningService::new(SoftwareSource::new("fanout-bench")).with_workers(workers);
-        let mut best = Duration::MAX;
+        let mut samples: Vec<Duration> = Vec::with_capacity(runs as usize);
         for _ in 0..runs {
             let report = service.provision_prepared(&prepared, &creds);
             assert_eq!(report.succeeded(), devices, "batch must fully succeed");
-            best = best.min(report.fanout);
+            samples.push(report.fanout);
         }
+        let best = *samples.iter().min().expect("at least one run");
+        crate::output::record(
+            &format!("fanout-workers-{workers}"),
+            crate::output::stats_of(&mut samples),
+            None,
+        );
         let packages_per_sec = devices as f64 / best.as_secs_f64().max(f64::EPSILON);
         rows.push(FanoutRow {
             workers,
@@ -737,7 +812,8 @@ pub fn hde_lane_scaling(data_bytes: usize, lane_counts: &[usize]) -> LaneScaling
     let v1_input = input_for(&v1, &v1_aad, &v1_challenge);
     let l = loader(1);
     let v1_plain = l.process(&v1_input).expect("v1 validates").plaintext;
-    let single_digest_ms = median_time(ITERS, || {
+    let payload_bytes = v2.payload.len() as u64;
+    let single_digest_ms = median_time("v1-single-digest", Some(payload_bytes), ITERS, || {
         std::hint::black_box(l.process(&v1_input).expect("v1 validates"));
     })
     .as_secs_f64()
@@ -754,9 +830,14 @@ pub fn hde_lane_scaling(data_bytes: usize, lane_counts: &[usize]) -> LaneScaling
             out.plaintext, v1_plain,
             "v1 and v2 must decrypt byte-identically"
         );
-        let d = median_time(ITERS, || {
-            std::hint::black_box(l.process(&v2_input).expect("v2 validates"));
-        });
+        let d = median_time(
+            &format!("v2-lanes-{lanes}"),
+            Some(payload_bytes),
+            ITERS,
+            || {
+                std::hint::black_box(l.process(&v2_input).expect("v2 validates"));
+            },
+        );
         let process_ms = d.as_secs_f64() * 1e3;
         rows.push(LaneRow {
             lanes,
@@ -803,7 +884,16 @@ pub fn rsa_keygen() -> Vec<RsaRow> {
         .map(|bits| {
             let t = Instant::now();
             let kp = eric_crypto::rsa::generate_keypair(bits, &mut rng).unwrap();
-            let keygen_ms = t.elapsed().as_secs_f64() * 1e3;
+            let keygen = t.elapsed();
+            crate::output::record(
+                &format!("keygen-{bits}"),
+                crate::output::Measurement {
+                    median: keygen,
+                    iqr: Duration::ZERO,
+                },
+                None,
+            );
+            let keygen_ms = keygen.as_secs_f64() * 1e3;
             let secret = [0x5Au8; 32];
             let t = Instant::now();
             let wrapped = kp.public.wrap(&secret, &mut rng).unwrap();
@@ -826,12 +916,15 @@ crate::impl_json_struct!(Fig5Row {
     full_bytes,
     full_pct,
     partial_bytes,
-    partial_pct
+    partial_pct,
+    v2_bytes,
+    v2_pct
 });
 crate::impl_json_struct!(Fig5Report {
     rows,
     average_pct,
-    max_pct
+    max_pct,
+    v2_average_pct
 });
 crate::impl_json_struct!(Fig6Row {
     name,
@@ -892,7 +985,14 @@ crate::impl_json_struct!(CipherRow {
     bytewise_mib_s,
     speedup
 });
-crate::impl_json_struct!(CryptoThroughputReport { rows, sha256_mib_s });
+crate::impl_json_struct!(CryptoThroughputReport {
+    rows,
+    sha256_mib_s,
+    shactr_fill_mib_s,
+    shactr_scalar_fill_mib_s,
+    shactr_fill_speedup,
+    hash_engine
+});
 // Foreign struct, local trait: give the PUF report the same structured
 // snapshot as every other experiment.
 crate::impl_json_struct!(PufQualityReport {
@@ -975,7 +1075,21 @@ mod tests {
                 "{}: map must add size",
                 r.name
             );
+            // ERIC2 adds the encrypted manifest on top of the v1
+            // signature: at least one 32-byte leaf beyond the root.
+            assert!(
+                r.v2_bytes >= r.full_bytes + 32,
+                "{}: v2 must add manifest bytes ({} vs {})",
+                r.name,
+                r.v2_bytes,
+                r.full_bytes
+            );
         }
+        assert!(
+            f.v2_average_pct > 0.0 && f.v2_average_pct < 15.0,
+            "{}",
+            f.v2_average_pct
+        );
     }
 
     #[test]
@@ -1022,5 +1136,9 @@ mod tests {
             // binary enforces the release-build speedup floor.
             assert!(row.speedup > 0.0, "{row:?}");
         }
+        assert!(r.shactr_fill_mib_s > 0.0);
+        assert!(r.shactr_scalar_fill_mib_s > 0.0);
+        assert!(r.shactr_fill_speedup > 0.0);
+        assert!(["avx2", "portable"].contains(&r.hash_engine.as_str()));
     }
 }

@@ -77,6 +77,15 @@ impl<T: ToJson + ?Sized> ToJson for &T {
     }
 }
 
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
 impl<T: ToJson> ToJson for Vec<T> {
     fn write_json(&self, out: &mut String) {
         out.push('[');
@@ -173,5 +182,11 @@ mod tests {
     fn non_finite_floats_are_null() {
         assert_eq!(f64::NAN.to_json(), "null");
         assert_eq!(f64::INFINITY.to_json(), "null");
+    }
+
+    #[test]
+    fn options_encode_as_value_or_null() {
+        assert_eq!(Some(3u32).to_json(), "3");
+        assert_eq!(None::<u32>.to_json(), "null");
     }
 }

@@ -10,12 +10,24 @@
 use crate::json::ToJson;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// `ERIC_BENCH_SMOKE=1`: run benches as 1-iteration smoke tests and
 /// skip floor assertions.
 pub fn smoke_mode() -> bool {
     std::env::var("ERIC_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One robust timing result: the outlier-rejected median plus the
+/// interquartile range of the raw samples (the spread the
+/// `BENCH_<name>.json` trajectory files track alongside the median).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Measurement {
+    /// Median after Tukey-fence outlier rejection.
+    pub median: Duration,
+    /// `Q3 − Q1` of the raw samples (zero when fewer than 4 samples).
+    pub iqr: Duration,
 }
 
 /// Robust wall-clock measurement of `f`.
@@ -25,7 +37,12 @@ pub fn smoke_mode() -> bool {
 /// Tukey fences (`[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` — a descheduled or
 /// thermally-throttled run lands far outside), and returns the median
 /// of the survivors. In [`smoke_mode`], one iteration and no warmup.
-pub fn measure_robust<F: FnMut()>(warmup: u32, iters: u32, mut f: F) -> Duration {
+pub fn measure_robust<F: FnMut()>(warmup: u32, iters: u32, f: F) -> Duration {
+    measure_stats(warmup, iters, f).median
+}
+
+/// [`measure_robust`], also reporting the sample spread.
+pub fn measure_stats<F: FnMut()>(warmup: u32, iters: u32, mut f: F) -> Measurement {
     let (warmup, iters) = if smoke_mode() {
         (0, 1)
     } else {
@@ -41,7 +58,29 @@ pub fn measure_robust<F: FnMut()>(warmup: u32, iters: u32, mut f: F) -> Duration
             t.elapsed()
         })
         .collect();
-    robust_median(&mut samples)
+    stats_of(&mut samples)
+}
+
+/// Robust statistics of an existing sample set (sorts in place).
+///
+/// For experiments that collect their own wall-clock samples (e.g. the
+/// best-of-N fan-out loop) but still want the shared median/IQR
+/// accounting for their [`record`] entries.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn stats_of(samples: &mut [Duration]) -> Measurement {
+    samples.sort_unstable();
+    let iqr = if samples.len() < 4 {
+        Duration::ZERO
+    } else {
+        samples[3 * samples.len() / 4] - samples[samples.len() / 4]
+    };
+    Measurement {
+        median: robust_median(samples),
+        iqr,
+    }
 }
 
 /// Median after IQR outlier rejection. For fewer than 4 samples the
@@ -65,6 +104,110 @@ fn robust_median(samples: &mut [Duration]) -> Duration {
     // The median always lies inside the fences, so `kept` is never
     // empty.
     kept[kept.len() / 2]
+}
+
+/// One machine-readable bench measurement: a row of the
+/// `BENCH_<name>.json` trajectory file.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Experiment label, unique within one bench binary.
+    pub experiment: String,
+    /// Robust median wall time, seconds.
+    pub median_s: f64,
+    /// Interquartile range of the raw samples, seconds.
+    pub iqr_s: f64,
+    /// Throughput for byte-denominated experiments, `null` otherwise.
+    pub bytes_per_sec: Option<f64>,
+}
+
+crate::impl_json_struct!(BenchRecord {
+    experiment,
+    median_s,
+    iqr_s,
+    bytes_per_sec
+});
+
+/// Process-wide record registry, drained by [`write_bench_json`]. A
+/// bench binary is one process, so "the registry" is "this binary's
+/// records".
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Append one measurement to this binary's `BENCH_<name>.json` records.
+///
+/// `bytes` is the per-iteration byte count for throughput experiments
+/// (serialized as bytes/sec); pass `None` for experiments with no byte
+/// denomination.
+pub fn record(experiment: &str, m: Measurement, bytes: Option<u64>) {
+    let median_s = m.median.as_secs_f64();
+    RECORDS
+        .lock()
+        .expect("bench record registry poisoned")
+        .push(BenchRecord {
+            experiment: experiment.to_string(),
+            median_s,
+            iqr_s: m.iqr.as_secs_f64(),
+            bytes_per_sec: bytes.map(|b| b as f64 / median_s.max(f64::EPSILON)),
+        });
+}
+
+/// [`measure_stats`] + [`record`] under `experiment`, returning the
+/// median — the one-line way for an experiment to both drive its
+/// report and leave a trajectory record.
+pub fn measure_recorded<F: FnMut()>(
+    experiment: &str,
+    bytes: Option<u64>,
+    warmup: u32,
+    iters: u32,
+    f: F,
+) -> Duration {
+    let m = measure_stats(warmup, iters, f);
+    record(experiment, m, bytes);
+    m.median
+}
+
+/// Run `f` once and [`record`] its wall time as `experiment` — for
+/// report generators that do their own internal timing (or none).
+pub fn record_elapsed<T>(experiment: &str, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    record(
+        experiment,
+        Measurement {
+            median: t.elapsed(),
+            iqr: Duration::ZERO,
+        },
+        None,
+    );
+    out
+}
+
+/// Drain every [`record`]ed measurement into
+/// `target/eric-results/BENCH_<bench>.json`.
+///
+/// Every bench binary calls this once at exit, so each run leaves a
+/// uniform machine-readable snapshot (experiment, median, IQR,
+/// bytes/sec) and the perf trajectory can be compared across PRs
+/// without parsing the human-readable tables.
+pub fn write_bench_json(bench: &str) {
+    struct BenchFile {
+        bench: String,
+        smoke: bool,
+        records: Vec<BenchRecord>,
+    }
+    crate::impl_json_struct!(BenchFile {
+        bench,
+        smoke,
+        records
+    });
+    let records = std::mem::take(&mut *RECORDS.lock().expect("bench record registry poisoned"));
+    write_json(
+        &format!("BENCH_{bench}"),
+        &BenchFile {
+            bench: bench.to_string(),
+            smoke: smoke_mode(),
+            records,
+        },
+    );
 }
 
 /// Directory where JSON result snapshots are written: the *workspace*
@@ -125,6 +268,49 @@ mod tests {
         assert_eq!(robust_median(&mut one), ms(7));
         let mut three = vec![ms(9), ms(1), ms(5)];
         assert_eq!(robust_median(&mut three), ms(5));
+    }
+
+    #[test]
+    fn stats_report_median_and_iqr() {
+        let mut samples = vec![
+            ms(10),
+            ms(11),
+            ms(12),
+            ms(13),
+            ms(14),
+            ms(15),
+            ms(16),
+            ms(17),
+        ];
+        let m = stats_of(&mut samples);
+        assert_eq!(m.median, ms(14));
+        assert_eq!(m.iqr, ms(16) - ms(12));
+        // Too few samples for quartiles: IQR degrades to zero.
+        let mut three = vec![ms(9), ms(1), ms(5)];
+        assert_eq!(stats_of(&mut three).iqr, Duration::ZERO);
+    }
+
+    #[test]
+    fn records_land_in_the_registry() {
+        // Other tests may record concurrently, so assert containment,
+        // not exact registry contents.
+        record(
+            "registry-probe",
+            Measurement {
+                median: Duration::from_secs(2),
+                iqr: Duration::from_millis(1),
+            },
+            Some(4 << 20),
+        );
+        let records = RECORDS.lock().unwrap();
+        let probe = records
+            .iter()
+            .find(|r| r.experiment == "registry-probe")
+            .expect("probe recorded");
+        assert!((probe.median_s - 2.0).abs() < 1e-9);
+        assert!((probe.iqr_s - 1e-3).abs() < 1e-9);
+        let bps = probe.bytes_per_sec.expect("byte-denominated");
+        assert!((bps - (4 << 20) as f64 / 2.0).abs() < 1e-6);
     }
 
     #[test]

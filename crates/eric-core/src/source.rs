@@ -340,13 +340,12 @@ impl SoftwareSource {
         };
         let signature_plan = match config.signature {
             SignatureScheme::Single => SignaturePlan::Single,
+            // The shared leaf table is hashed through the multi-buffer
+            // engine: full segments share one length, so up to 8 leaves
+            // compress per wide kernel call.
             SignatureScheme::Segmented { segment_len } => SignaturePlan::Segmented {
                 segment_len,
-                leaves: payload
-                    .chunks(segment_len as usize)
-                    .enumerate()
-                    .map(|(i, segment)| tree::leaf_digest(i as u64, segment))
-                    .collect(),
+                leaves: tree::leaf_digests_batch(0, &payload, segment_len as usize),
             },
         };
         let prepare_time = t.elapsed();

@@ -11,6 +11,7 @@
 //! must derive the keystream byte for an arbitrary payload offset without
 //! processing the bytes before it.
 
+use crate::sha256::multibuffer::{self, Engine, MultiSha256, MAX_LANES};
 use crate::sha256::Sha256;
 use std::fmt;
 
@@ -230,6 +231,82 @@ impl ShaCtrCipher {
         h.update(&index.to_le_bytes());
         h.finalize().0
     }
+
+    /// Materialize one lockstep group of keystream blocks
+    /// `first .. first + out.len()`: every counter message is
+    /// `key ‖ LE64(counter)` — identical length across the group — so
+    /// all of them compress through one wide kernel call instead of
+    /// one scalar chain each. The caller batches the stream into
+    /// groups of at most [`MAX_LANES`] blocks.
+    fn blocks_into(&self, engine: &'static Engine, first: u64, out: &mut [[u8; 32]]) {
+        let lanes = out.len();
+        debug_assert!((1..=MAX_LANES).contains(&lanes));
+        let mut hasher = MultiSha256::with_engine(lanes, engine);
+        let key_refs = [self.key.as_slice(); MAX_LANES];
+        hasher.update(&key_refs[..lanes]);
+        let mut counters = [[0u8; 8]; MAX_LANES];
+        for (l, counter) in counters[..lanes].iter_mut().enumerate() {
+            *counter = (first + l as u64).to_le_bytes();
+        }
+        let mut counter_refs: [&[u8]; MAX_LANES] = [&[]; MAX_LANES];
+        for (l, r) in counter_refs[..lanes].iter_mut().enumerate() {
+            *r = &counters[l];
+        }
+        hasher.update(&counter_refs[..lanes]);
+        hasher.finalize_into(out);
+    }
+
+    /// [`KeystreamCipher::fill_keystream`] pinned to a specific hash
+    /// dispatch engine (equivalence tests and dispatch-path
+    /// benchmarks; the trait method uses
+    /// [`multibuffer::active`]).
+    pub fn fill_keystream_with(&self, engine: &'static Engine, offset: u64, out: &mut [u8]) {
+        if out.is_empty() {
+            return;
+        }
+        let first_block = offset / Self::BLOCK;
+        let last_block = (offset + out.len() as u64 - 1) / Self::BLOCK;
+        let out_end = offset + out.len() as u64;
+        let mut digests = [[0u8; 32]; MAX_LANES];
+        let mut index = first_block;
+        while index <= last_block {
+            let batch = ((last_block - index + 1) as usize).min(MAX_LANES);
+            self.blocks_into(engine, index, &mut digests[..batch]);
+            for (j, digest) in digests[..batch].iter().enumerate() {
+                // Copy the intersection of this 32-byte block with the
+                // requested range (the first and last blocks may be
+                // straddled by the request).
+                let block_start = (index + j as u64) * Self::BLOCK;
+                let copy_from = offset.max(block_start);
+                let copy_to = out_end.min(block_start + Self::BLOCK);
+                let src = (copy_from - block_start) as usize;
+                let dst = (copy_from - offset) as usize;
+                let len = (copy_to - copy_from) as usize;
+                out[dst..dst + len].copy_from_slice(&digest[src..src + len]);
+            }
+            index += batch as u64;
+        }
+    }
+
+    /// The pre-multibuffer fill: one scalar [`Sha256`] chain per
+    /// 32-byte counter block.
+    ///
+    /// Kept (and exported) as the single-block compress *oracle* — the
+    /// analogue of `transform_payload_bytewise` for the hash engine:
+    /// tests pin the batched fill byte-identical to it, and the
+    /// `crypto_throughput` bench measures what the multi-buffer engine
+    /// bought over it. Never call it on a hot path.
+    pub fn fill_keystream_scalar(&self, offset: u64, out: &mut [u8]) {
+        let mut i = 0usize;
+        while i < out.len() {
+            let pos = offset + i as u64;
+            let block = self.block(pos / Self::BLOCK);
+            let start_in_block = (pos % Self::BLOCK) as usize;
+            let take = (Self::BLOCK as usize - start_in_block).min(out.len() - i);
+            out[i..i + take].copy_from_slice(&block[start_in_block..start_in_block + take]);
+            i += take;
+        }
+    }
 }
 
 impl fmt::Debug for ShaCtrCipher {
@@ -244,18 +321,14 @@ impl KeystreamCipher for ShaCtrCipher {
         block[(pos % Self::BLOCK) as usize]
     }
 
-    /// Materialize each 32-byte counter block once and copy it out (the
-    /// hardware analogue is a one-block keystream FIFO).
+    /// Counter blocks are fully independent, so the fill batches them
+    /// through the multi-buffer SHA-256 engine: up to
+    /// [`MAX_LANES`] counter messages per wide compress instead of one
+    /// scalar chain per 32-byte block (the shape
+    /// [`ShaCtrCipher::fill_keystream_scalar`] preserves as the
+    /// oracle).
     fn fill_keystream(&self, offset: u64, out: &mut [u8]) {
-        let mut i = 0usize;
-        while i < out.len() {
-            let pos = offset + i as u64;
-            let block = self.block(pos / Self::BLOCK);
-            let start_in_block = (pos % Self::BLOCK) as usize;
-            let take = (Self::BLOCK as usize - start_in_block).min(out.len() - i);
-            out[i..i + take].copy_from_slice(&block[start_in_block..start_in_block + take]);
-            i += take;
-        }
+        self.fill_keystream_with(multibuffer::active(), offset, out);
     }
 
     fn name(&self) -> &'static str {
@@ -438,6 +511,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sha_ctr_multibuffer_fill_matches_scalar_oracle_on_every_engine() {
+        // Key lengths straddling the 64-byte block boundary exercise
+        // 1- and 2-block counter messages; offsets/lengths exercise
+        // head/tail straddling and whole-batch spans.
+        for key_len in [1usize, 31, 32, 47, 48, 63, 64, 65, 100] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 37 + 11) as u8).collect();
+            let c = ShaCtrCipher::new(&key);
+            for engine in multibuffer::engines() {
+                for offset in [0u64, 1, 31, 32, 33, 255, 256, 257, 8191] {
+                    for len in [0usize, 1, 31, 32, 33, 255, 256, 300, 1000] {
+                        let mut want = vec![0u8; len];
+                        c.fill_keystream_scalar(offset, &mut want);
+                        let mut got = vec![0u8; len];
+                        c.fill_keystream_with(engine, offset, &mut got);
+                        assert_eq!(
+                            got,
+                            want,
+                            "{} key_len={key_len} offset={offset} len={len}",
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sha_ctr_scalar_fill_matches_byte_oracle() {
+        let c = ShaCtrCipher::new(b"scalar oracle key");
+        let mut fast = vec![0u8; 300];
+        c.fill_keystream_scalar(13, &mut fast);
+        let slow: Vec<u8> = (0..300u64).map(|i| c.keystream_byte(13 + i)).collect();
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -193,7 +193,17 @@ impl Sha256 {
         Digest(out)
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
+    /// Compress one 64-byte block into an explicit 8-word chaining
+    /// state (the raw FIPS 180-2 compression function).
+    ///
+    /// This is the block-level API the multi-buffer engine
+    /// ([`multibuffer`]) shares with the streaming hasher: both run the
+    /// exact same message schedule and round function, so the scalar
+    /// remainder of a wide batch and the incremental [`Sha256`] can
+    /// never disagree. The state is in the internal big-endian word
+    /// order; start from the standard initial vector and serialize the
+    /// words big-endian to recover a digest.
+    pub fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -211,7 +221,7 @@ impl Sha256 {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -232,16 +242,22 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        Self::compress_block(&mut self.state, block);
     }
 }
+
+pub mod multibuffer;
 
 pub mod tree {
     //! Domain-separated SHA-256 hash-tree (Merkle) helpers.
@@ -261,6 +277,7 @@ pub mod tree {
     //! identical segments at different positions hash differently, so
     //! segment reordering is caught at the first mismatching leaf.
 
+    use super::multibuffer::{self, Engine, MultiSha256, MAX_LANES};
     use super::{Digest, Sha256};
 
     /// Domain tag prefixed to leaf hashes.
@@ -295,6 +312,92 @@ pub mod tree {
         let mut h = leaf_hasher(index);
         h.update(segment);
         h.finalize()
+    }
+
+    /// Leaf digests for every `segment_len`-byte segment of `data`
+    /// (the last segment may be shorter), where the first segment has
+    /// leaf index `first_index`.
+    ///
+    /// Byte-identical to calling [`leaf_digest`] per segment, but full
+    /// segments share one length and are therefore hashed in
+    /// multi-buffer lockstep groups of up to
+    /// [`MAX_LANES`] — the width-parallel path
+    /// the HDE's per-lane leaf pass and the packager's shared leaf
+    /// table both run on. A ragged tail segment is hashed scalar.
+    ///
+    /// ```rust
+    /// use eric_crypto::sha256::tree::{leaf_digest, leaf_digests_batch};
+    /// let data = b"0123456789";
+    /// let leaves = leaf_digests_batch(5, data, 4);
+    /// assert_eq!(
+    ///     leaves,
+    ///     vec![
+    ///         leaf_digest(5, b"0123"),
+    ///         leaf_digest(6, b"4567"),
+    ///         leaf_digest(7, b"89"),
+    ///     ]
+    /// );
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len` is zero.
+    pub fn leaf_digests_batch(first_index: u64, data: &[u8], segment_len: usize) -> Vec<Digest> {
+        leaf_digests_batch_with(multibuffer::active(), first_index, data, segment_len)
+    }
+
+    /// [`leaf_digests_batch`] pinned to a specific dispatch engine
+    /// (equivalence tests and dispatch-path benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len` is zero.
+    pub fn leaf_digests_batch_with(
+        engine: &'static Engine,
+        first_index: u64,
+        data: &[u8],
+        segment_len: usize,
+    ) -> Vec<Digest> {
+        assert!(segment_len > 0, "segment length must be positive");
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let segments = data.len().div_ceil(segment_len);
+        let full = if data.len().is_multiple_of(segment_len) {
+            segments
+        } else {
+            segments - 1
+        };
+        let mut out = Vec::with_capacity(segments);
+        let mut seg = 0usize;
+        while seg < full {
+            let lanes = (full - seg).min(MAX_LANES);
+            let mut hasher = MultiSha256::with_engine(lanes, engine);
+            // Per-lane leaf prefix: LEAF_TAG ‖ LE64(index).
+            let mut prefixes = [[0u8; 9]; MAX_LANES];
+            for (l, prefix) in prefixes[..lanes].iter_mut().enumerate() {
+                prefix[0] = LEAF_TAG;
+                prefix[1..].copy_from_slice(&(first_index + (seg + l) as u64).to_le_bytes());
+            }
+            let mut refs: [&[u8]; MAX_LANES] = [&[]; MAX_LANES];
+            for (l, r) in refs[..lanes].iter_mut().enumerate() {
+                *r = &prefixes[l];
+            }
+            hasher.update(&refs[..lanes]);
+            for (l, r) in refs[..lanes].iter_mut().enumerate() {
+                *r = &data[(seg + l) * segment_len..(seg + l + 1) * segment_len];
+            }
+            hasher.update(&refs[..lanes]);
+            out.extend(hasher.finalize());
+            seg += lanes;
+        }
+        if full < segments {
+            out.push(leaf_digest(
+                first_index + full as u64,
+                &data[full * segment_len..],
+            ));
+        }
+        out
     }
 
     /// Interior-node digest of two children.
@@ -391,6 +494,35 @@ pub mod tree {
         #[test]
         fn empty_forest_is_stable() {
             assert_eq!(merkle_root(&[]), leaf_digest(0, &[]));
+        }
+
+        #[test]
+        fn batch_matches_scalar_leaves_on_every_engine() {
+            let data: Vec<u8> = (0u32..2500).map(|i| (i * 31 % 251) as u8).collect();
+            for engine in multibuffer::engines() {
+                // Segment lengths exercising ragged tails, exact fits,
+                // a single segment, and segments larger than the data.
+                for segment_len in [1usize, 7, 64, 100, 125, 2500, 4000] {
+                    for first in [0u64, 3, 1 << 40] {
+                        let want: Vec<Digest> = data
+                            .chunks(segment_len)
+                            .enumerate()
+                            .map(|(i, s)| leaf_digest(first + i as u64, s))
+                            .collect();
+                        assert_eq!(
+                            leaf_digests_batch_with(engine, first, &data, segment_len),
+                            want,
+                            "{} segment_len={segment_len} first={first}",
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn batch_of_empty_data_is_empty() {
+            assert!(leaf_digests_batch(0, &[], 64).is_empty());
         }
     }
 }

@@ -305,33 +305,33 @@ impl SecureLoader {
         let mut shipped_leaves = manifest.leaves().to_vec();
         transform_manifest_leaves(&mut shipped_leaves, payload_len, cipher);
 
-        // Lane fan-out: each lane decrypts its segments chunk-by-chunk
-        // and streams them into a private leaf hasher — no shared hash
-        // state anywhere, which is what makes the signature check
-        // scale where v1's single Merkle–Damgård chain cannot.
+        // Lane fan-out: each lane owns a contiguous block of segments,
+        // decrypts it in bounded chunks, and then leaf-hashes all of
+        // its full segments through the multi-buffer SHA-256 engine in
+        // one batched call — no shared hash state between lanes
+        // (thread parallelism), up to 8 leaves per compress within a
+        // lane (width parallelism). This is what makes the signature
+        // check scale where v1's single Merkle–Damgård chain cannot.
         let mut plaintext = input.payload.to_vec();
-        let computed: Vec<Digest> = crate::parallel::map_segments(
+        let computed: Vec<Digest> = crate::parallel::map_lane_blocks(
             &mut plaintext,
             segment_len,
             self.lanes,
-            |index, start, segment| {
-                let mut leaf = tree::leaf_hasher(index as u64);
+            |first_segment, start, block| {
                 let mut at = 0usize;
-                while at < segment.len() {
-                    let end = (at + STREAM_CHUNK).min(segment.len());
-                    let chunk = &mut segment[at..end];
+                while at < block.len() {
+                    let end = (at + STREAM_CHUNK).min(block.len());
                     transform_region(
-                        chunk,
+                        &mut block[at..end],
                         start + at,
                         input.map,
                         input.policy,
                         input.text_len,
                         cipher,
                     );
-                    leaf.update(chunk);
                     at = end;
                 }
-                leaf.finalize()
+                tree::leaf_digests_batch(first_segment as u64, block, segment_len)
             },
         );
 

@@ -40,6 +40,60 @@ pub fn parallel_cycles(timing: &HdeTimingConfig, bytes: usize, lanes: usize) -> 
     decrypt.max(hash) + timing.validate_cycles
 }
 
+/// Tile `payload` into `segment_len`-byte segments, group contiguous
+/// segments into one *block* per lane, and run
+/// `f(first_segment_index, absolute_offset, lane_block)` once per lane
+/// block across up to `lanes` scoped OS threads, concatenating the
+/// per-block result vectors in segment order.
+///
+/// This is the lane pool's primitive shape: each lane sees its whole
+/// contiguous span at once, so a lane can batch work *across* its
+/// segments — the secure loader decrypts a lane block chunk-wise and
+/// then leaf-hashes all of its full segments through the multi-buffer
+/// SHA-256 engine in one call, which a per-segment closure could never
+/// express. [`map_segments`] is the per-segment convenience wrapper.
+/// With one lane (or a single segment) everything runs inline on the
+/// caller's thread: no spawn, deterministic, and the natural baseline
+/// for scaling measurements.
+///
+/// # Panics
+///
+/// Panics if `lanes` or `segment_len` is zero, or if a lane's closure
+/// panics.
+pub fn map_lane_blocks<T, F>(payload: &mut [u8], segment_len: usize, lanes: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [u8]) -> Vec<T> + Sync,
+{
+    assert!(lanes > 0, "at least one decryption lane required");
+    assert!(segment_len > 0, "segment length must be positive");
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    let segments = payload.len().div_ceil(segment_len);
+    let per_lane = segments.div_ceil(lanes);
+    if lanes == 1 || segments == 1 {
+        return f(0, 0, payload);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = payload
+            .chunks_mut(per_lane * segment_len)
+            .enumerate()
+            .map(|(lane, block)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let first = lane * per_lane;
+                    f(first, first * segment_len, block)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("decryption lane panicked"))
+            .collect()
+    })
+}
+
 /// Tile `payload` into `segment_len`-byte segments (the last may be
 /// shorter) and run `f(segment_index, absolute_offset, segment)` for
 /// every segment across up to `lanes` scoped OS threads, returning one
@@ -49,10 +103,8 @@ pub fn parallel_cycles(timing: &HdeTimingConfig, bytes: usize, lanes: usize) -> 
 /// so the payload is handed out as disjoint `&mut` chunks with no
 /// locking, and every segment sees its true absolute payload offset —
 /// which is all a keystream cipher or a coverage map needs to produce
-/// output bit-identical to a sequential pass. With `lanes == 1` (or a
-/// single segment) everything runs inline on the caller's thread: no
-/// spawn, deterministic, and the natural baseline for scaling
-/// measurements.
+/// output bit-identical to a sequential pass. A thin per-segment
+/// wrapper over [`map_lane_blocks`].
 ///
 /// # Panics
 ///
@@ -63,42 +115,11 @@ where
     T: Send,
     F: Fn(usize, usize, &mut [u8]) -> T + Sync,
 {
-    assert!(lanes > 0, "at least one decryption lane required");
-    assert!(segment_len > 0, "segment length must be positive");
-    if payload.is_empty() {
-        return Vec::new();
-    }
-    let segments = payload.len().div_ceil(segment_len);
-    let per_lane = segments.div_ceil(lanes);
-    if lanes == 1 || segments == 1 {
-        return payload
+    map_lane_blocks(payload, segment_len, lanes, |first, start, block| {
+        block
             .chunks_mut(segment_len)
             .enumerate()
-            .map(|(i, segment)| f(i, i * segment_len, segment))
-            .collect();
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = payload
-            .chunks_mut(per_lane * segment_len)
-            .enumerate()
-            .map(|(lane, block)| {
-                let f = &f;
-                scope.spawn(move || {
-                    let first = lane * per_lane;
-                    block
-                        .chunks_mut(segment_len)
-                        .enumerate()
-                        .map(|(j, segment)| {
-                            let index = first + j;
-                            f(index, index * segment_len, segment)
-                        })
-                        .collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("decryption lane panicked"))
+            .map(|(j, segment)| f(first + j, start + j * segment_len, segment))
             .collect()
     })
 }
@@ -241,6 +262,32 @@ mod tests {
                     assert_eq!(*offset, k * 8);
                     assert_eq!(*seg_len, 8.min(len - k * 8));
                     assert_eq!(*first, (k * 8) as u8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_lane_blocks_hands_out_contiguous_spans() {
+        // Every lane block starts at a segment boundary, covers whole
+        // segments (ragged tail excepted), and the concatenated results
+        // come back in segment order.
+        for len in [1usize, 7, 8, 9, 64, 65, 100, 1000] {
+            for lanes in [1usize, 2, 3, 4, 7, 16] {
+                let mut buf = vec![0u8; len];
+                let out = map_lane_blocks(&mut buf, 8, lanes, |first, start, block| {
+                    assert_eq!(start, first * 8, "block offset");
+                    assert_eq!(start % 8, 0, "block must start on a segment boundary");
+                    block
+                        .chunks(8)
+                        .enumerate()
+                        .map(|(j, seg)| (first + j, seg.len()))
+                        .collect()
+                });
+                assert_eq!(out.len(), len.div_ceil(8), "len {len}, {lanes} lanes");
+                for (k, (index, seg_len)) in out.iter().enumerate() {
+                    assert_eq!(*index, k);
+                    assert_eq!(*seg_len, 8.min(len - k * 8));
                 }
             }
         }

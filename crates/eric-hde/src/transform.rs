@@ -264,16 +264,20 @@ pub fn transform_signature(
 /// Leaf `i` occupies keystream positions
 /// `manifest_stream_offset(payload_len) + 32·i ..+ 32`, so the
 /// manifest never shares keystream with the payload or the signature
-/// and each leaf can be (de)crypted independently.
+/// and each leaf can be (de)crypted independently. Because the leaves
+/// form one *contiguous* keystream range, the manifest is transformed
+/// as a single flattened [`KeystreamCipher::apply`] rather than one
+/// call per leaf — which lets a counter-mode cipher batch the blocks
+/// through the multi-buffer hash engine.
 pub fn transform_manifest_leaves(
     leaves: &mut [[u8; 32]],
     payload_len: usize,
     cipher: &dyn KeystreamCipher,
 ) {
-    let base = manifest_stream_offset(payload_len);
-    for (i, leaf) in leaves.iter_mut().enumerate() {
-        cipher.apply(base + 32 * i as u64, leaf);
-    }
+    cipher.apply(
+        manifest_stream_offset(payload_len),
+        leaves.as_flattened_mut(),
+    );
 }
 
 #[cfg(test)]
@@ -374,6 +378,41 @@ mod tests {
         transform_signature(&mut sig, 100, &c);
         let expected: Vec<u8> = (0..32u64).map(|i| c.keystream_byte(100 + i)).collect();
         assert_eq!(&sig[..], &expected[..]);
+    }
+
+    #[test]
+    fn manifest_leaves_batch_matches_per_leaf_apply() {
+        // The batched fill must equal one cipher.apply per leaf at its
+        // own continuation offset — including manifests larger than one
+        // keystream scratch block (128 leaves).
+        use eric_crypto::cipher::ShaCtrCipher;
+        let sha = ShaCtrCipher::new(b"manifest key");
+        let xor = cipher();
+        for cipher in [&xor as &dyn KeystreamCipher, &sha] {
+            for count in [0usize, 1, 2, 127, 128, 129, 300] {
+                for payload_len in [0usize, 1, 37, 4096] {
+                    let make = |seed: u8| -> Vec<[u8; 32]> {
+                        (0..count)
+                            .map(|i| {
+                                let mut leaf = [0u8; 32];
+                                for (j, b) in leaf.iter_mut().enumerate() {
+                                    *b = (i * 31 + j) as u8 ^ seed;
+                                }
+                                leaf
+                            })
+                            .collect()
+                    };
+                    let mut fast = make(0x5A);
+                    let mut slow = fast.clone();
+                    transform_manifest_leaves(&mut fast, payload_len, cipher);
+                    let base = manifest_stream_offset(payload_len);
+                    for (i, leaf) in slow.iter_mut().enumerate() {
+                        cipher.apply(base + 32 * i as u64, leaf);
+                    }
+                    assert_eq!(fast, slow, "count {count} payload_len {payload_len}");
+                }
+            }
+        }
     }
 
     #[test]

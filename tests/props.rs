@@ -93,6 +93,83 @@ proptest! {
         prop_assert_eq!(buf, data);
     }
 
+    /// Multi-buffer lockstep hashing is byte-identical to one scalar
+    /// [`Sha256`] per lane, for every dispatch engine available on
+    /// this host and every lane width, at any update chunking.
+    #[test]
+    fn multibuffer_lanes_match_scalar_sha256(data in proptest::collection::vec(any::<u8>(), 0..400),
+                                             lanes in 1usize..=8,
+                                             cut in 0usize..400) {
+        use eric::crypto::sha256::multibuffer::{engines, MultiSha256};
+        // Lane l hashes `[l as u8] ‖ data` — distinct, equal-length
+        // messages, which is the lockstep invariant.
+        let messages: Vec<Vec<u8>> = (0..lanes)
+            .map(|l| {
+                let mut m = vec![l as u8];
+                m.extend_from_slice(&data);
+                m
+            })
+            .collect();
+        let split = cut % (messages[0].len() + 1);
+        for engine in engines() {
+            let mut h = MultiSha256::with_engine(lanes, engine);
+            let heads: Vec<&[u8]> = messages.iter().map(|m| &m[..split]).collect();
+            let tails: Vec<&[u8]> = messages.iter().map(|m| &m[split..]).collect();
+            h.update(&heads);
+            h.update(&tails);
+            for (lane, digest) in h.finalize().into_iter().enumerate() {
+                prop_assert_eq!(digest, sha256(&messages[lane]),
+                                "{} lanes={} lane={}", engine.name(), lanes, lane);
+            }
+        }
+    }
+
+    /// The batched SHA-CTR keystream fill is byte-identical to the
+    /// per-byte oracle at every offset/length (block-straddling heads
+    /// and ragged tails included), on every dispatch engine — and so
+    /// is the kept single-block scalar fill.
+    #[test]
+    fn shactr_fill_matches_oracle_on_every_engine(key in proptest::collection::vec(any::<u8>(), 1..100),
+                                                  offset in 0u64..100_000,
+                                                  len in 0usize..700) {
+        use eric::crypto::sha256::multibuffer::engines;
+        let c = ShaCtrCipher::new(&key);
+        let want: Vec<u8> = (0..len as u64).map(|i| c.keystream_byte(offset + i)).collect();
+        let mut scalar = vec![0u8; len];
+        c.fill_keystream_scalar(offset, &mut scalar);
+        prop_assert_eq!(&scalar, &want);
+        for engine in engines() {
+            let mut got = vec![0u8; len];
+            c.fill_keystream_with(engine, offset, &mut got);
+            prop_assert_eq!(&got, &want, "{} offset={} len={}", engine.name(), offset, len);
+        }
+        // The trait method must agree with whichever engine is active.
+        let mut via_trait = vec![0u8; len];
+        c.fill_keystream(offset, &mut via_trait);
+        prop_assert_eq!(&via_trait, &want);
+    }
+
+    /// Batched hash-tree leaf digests are byte-identical to one scalar
+    /// leaf hash per segment, across segment widths (1..=8+ lockstep
+    /// lanes per group, ragged tails) and every dispatch engine.
+    #[test]
+    fn leaf_digest_batch_matches_scalar_on_every_engine(data in proptest::collection::vec(any::<u8>(), 0..3000),
+                                                        segment_len in 1usize..200,
+                                                        first in 0u64..1_000_000) {
+        use eric::crypto::sha256::multibuffer::engines;
+        use eric::crypto::sha256::tree;
+        let want: Vec<_> = data
+            .chunks(segment_len)
+            .enumerate()
+            .map(|(i, s)| tree::leaf_digest(first + i as u64, s))
+            .collect();
+        for engine in engines() {
+            let got = tree::leaf_digests_batch_with(engine, first, &data, segment_len);
+            prop_assert_eq!(&got, &want, "{} segment_len={}", engine.name(), segment_len);
+        }
+        prop_assert_eq!(&tree::leaf_digests_batch(first, &data, segment_len), &want);
+    }
+
     /// Signature transform is an involution and never overlaps payload
     /// keystream positions.
     #[test]
