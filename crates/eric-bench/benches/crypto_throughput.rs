@@ -33,8 +33,34 @@ fn main() {
         "{:<26.1} {:>16.1}   ({:.1}x)",
         report.shactr_fill_mib_s, report.shactr_scalar_fill_mib_s, report.shactr_fill_speedup
     );
-    println!("scalar = one Sha256 chain per 32-byte counter block (the shape");
-    println!("fill_keystream had before the multi-buffer engine).");
+    println!("scalar = one software Sha256 chain per 32-byte counter block (the");
+    println!("shape fill_keystream had before any hash-engine work).");
+
+    println!(
+        "\nsingle-stream compress (one 1 MiB Sha256 chain), active engine = {}:",
+        report.compress_engine
+    );
+    match (
+        report.singlestream_shani_mib_s,
+        report.singlestream_shani_speedup,
+    ) {
+        (Some(shani), Some(speedup)) => {
+            println!(
+                "{:<26} {:>16}",
+                "sha-ni chain (MiB/s)", "scalar chain (MiB/s)"
+            );
+            println!(
+                "{:<26.1} {:>16.1}   ({:.1}x)",
+                shani, report.singlestream_scalar_mib_s, speedup
+            );
+        }
+        _ => println!(
+            "no SHA-NI on this host; scalar chain {:.1} MiB/s",
+            report.singlestream_scalar_mib_s
+        ),
+    }
+    println!("this is the tier the v1 signature chain, the streaming hasher, and");
+    println!("the Merkle fold ride — sequential work no multi-buffer width reaches.");
 
     let xor: &CipherRow = report
         .rows
@@ -65,6 +91,17 @@ fn main() {
             "multi-buffer floor OK: sha-ctr fill speedup {:.1}x >= 2x ({} engine)",
             report.shactr_fill_speedup, report.hash_engine
         );
+        match report.singlestream_shani_speedup {
+            Some(speedup) => {
+                assert!(
+                    speedup >= 1.5,
+                    "the SHA-NI single-stream compress must be >= 1.5x the scalar \
+                     compress on a 1 MiB chain, measured {speedup:.1}x"
+                );
+                println!("single-stream floor OK: sha-ni speedup {speedup:.1}x >= 1.5x");
+            }
+            None => println!("single-stream floor skipped: no SHA-NI on this host"),
+        }
     }
 
     write_json("crypto_throughput", &report);

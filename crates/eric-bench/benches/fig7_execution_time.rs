@@ -13,23 +13,36 @@ fn main() {
     banner("Figure 7: Execution Time (normalized to unencrypted execution)");
     let f = record_elapsed("total", fig7_execution_time);
     println!(
-        "{:<14} {:>9} {:>12} {:>13} {:>13} {:>9}",
-        "workload", "payload B", "instructions", "plain cyc", "secure cyc", "overhead"
+        "{:<14} {:>9} {:>12} {:>13} {:>13} {:>8} {:>13} {:>8}",
+        "workload",
+        "payload B",
+        "instructions",
+        "plain cyc",
+        "v2 cyc",
+        "v2 ovh",
+        "v1 cyc",
+        "v1 ovh"
     );
     for r in &f.rows {
         println!(
-            "{:<14} {:>9} {:>12} {:>13} {:>13} {:>+8.2}%",
+            "{:<14} {:>9} {:>12} {:>13} {:>13} {:>+7.2}% {:>13} {:>+7.2}%",
             r.name,
             r.payload_bytes,
             r.instructions,
             r.plain_cycles,
             r.secure_cycles,
-            r.overhead_pct
+            r.overhead_pct,
+            r.v1_cycles,
+            r.v1_pct
         );
     }
     println!(
-        "\naverage overhead {:+.2}% (paper 4.13%), max {:+.2}% (paper 7.05%)",
+        "\nv2 (default, segmented): average overhead {:+.2}%, max {:+.2}%",
         f.average_pct, f.max_pct
+    );
+    println!(
+        "v1 (legacy, paper parity): average overhead {:+.2}% (paper 4.13%), max {:+.2}% (paper 7.05%)",
+        f.v1_average_pct, f.v1_max_pct
     );
     write_json("fig7_execution_time", &f);
     write_bench_json("fig7_execution_time");

@@ -32,8 +32,10 @@ pub struct Fig5Row {
     pub partial_bytes: usize,
     /// Growth of the partial-encryption package, percent.
     pub partial_pct: f64,
-    /// Segmented (`ERIC2`) package size, bytes: full encryption plus
-    /// the encrypted root + manifest.
+    /// Segmented (`ERIC2`) package size, bytes — the default build:
+    /// full encryption plus the encrypted root + manifest. The
+    /// `full`/`partial` columns pin the legacy (v1) signature for
+    /// paper parity.
     pub v2_bytes: usize,
     /// Growth of the segmented package, percent.
     pub v2_pct: f64,
@@ -63,18 +65,25 @@ pub fn fig5_package_size() -> Fig5Report {
     let mut rows = Vec::new();
     for w in all() {
         let asm = (w.source)(w.default_scale);
+        // The paper's two columns pin the legacy (v1) signature so the
+        // comparison statistics stay comparable across PRs; the v2
+        // column is simply the current default build.
         let full = source
-            .build(&asm, &cred, &EncryptionConfig::full())
-            .unwrap();
-        let partial = source
-            .build(&asm, &cred, &EncryptionConfig::partial(0.5, 1))
-            .unwrap();
-        let v2 = source
             .build(
                 &asm,
                 &cred,
-                &EncryptionConfig::full().with_segments(eric_hde::DEFAULT_SEGMENT_LEN),
+                &EncryptionConfig::full().with_legacy_signature(),
             )
+            .unwrap();
+        let partial = source
+            .build(
+                &asm,
+                &cred,
+                &EncryptionConfig::partial(0.5, 1).with_legacy_signature(),
+            )
+            .unwrap();
+        let v2 = source
+            .build(&asm, &cred, &EncryptionConfig::full())
             .unwrap();
         let fr = full.size_report();
         let pr = partial.size_report();
@@ -185,7 +194,8 @@ pub fn fig6_compile_time(iters: u32) -> Fig6Report {
 // Figure 7 — execution time
 // ---------------------------------------------------------------------
 
-/// One Figure 7 row: end-to-end execution overhead per workload.
+/// One Figure 7 row: end-to-end execution overhead per workload, for
+/// both signature schemes.
 #[derive(Clone, Debug)]
 pub struct Fig7Row {
     /// Workload name.
@@ -194,11 +204,17 @@ pub struct Fig7Row {
     pub payload_bytes: usize,
     /// Baseline: plain load + execution cycles.
     pub plain_cycles: u64,
-    /// ERIC: HDE decrypt/hash/validate + load + execution cycles.
+    /// ERIC, default (v2 segmented) build: HDE decrypt/hash/validate +
+    /// load + execution cycles.
     pub secure_cycles: u64,
-    /// Overhead percent (the Figure 7 y-axis).
+    /// Overhead percent of the default (v2) build.
     pub overhead_pct: f64,
-    /// Dynamic instruction count (identical in both runs).
+    /// ERIC, legacy (v1 single-digest) build — the paper's exact
+    /// configuration and the Figure 7 comparison column.
+    pub v1_cycles: u64,
+    /// Overhead percent of the legacy (v1) build (the paper's y-axis).
+    pub v1_pct: f64,
+    /// Dynamic instruction count (identical in all runs).
     pub instructions: u64,
 }
 
@@ -207,13 +223,18 @@ pub struct Fig7Row {
 pub struct Fig7Report {
     /// Per-workload rows.
     pub rows: Vec<Fig7Row>,
-    /// Mean overhead (paper: 4.13 %).
+    /// Mean overhead of the default (v2) build.
     pub average_pct: f64,
-    /// Worst overhead (paper: 7.05 %).
+    /// Worst overhead of the default (v2) build.
     pub max_pct: f64,
+    /// Mean overhead of the legacy (v1) build (paper: 4.13 %).
+    pub v1_average_pct: f64,
+    /// Worst overhead of the legacy (v1) build (paper: 7.05 %).
+    pub v1_max_pct: f64,
 }
 
-/// Regenerate Figure 7.
+/// Regenerate Figure 7, reporting the default (v2 segmented) build
+/// next to the paper-parity legacy (v1) column.
 pub fn fig7_execution_time() -> Fig7Report {
     let source = SoftwareSource::new("bench");
     let mut device = Device::with_seed(3, "bench-dev");
@@ -228,6 +249,14 @@ pub fn fig7_execution_time() -> Fig7Report {
             .build(&asm, &cred, &EncryptionConfig::full())
             .unwrap();
         let secure = device.install_and_run(&pkg).unwrap();
+        let v1_pkg = source
+            .build(
+                &asm,
+                &cred,
+                &EncryptionConfig::full().with_legacy_signature(),
+            )
+            .unwrap();
+        let v1_run = device.install_and_run(&v1_pkg).unwrap();
         assert_eq!(
             plain.exit_code,
             (w.golden)(w.default_scale),
@@ -235,23 +264,30 @@ pub fn fig7_execution_time() -> Fig7Report {
             w.name
         );
         assert_eq!(plain.exit_code, secure.exit_code, "{}", w.name);
+        assert_eq!(plain.exit_code, v1_run.exit_code, "{} (v1)", w.name);
         let plain_total = plain.total_cycles();
         let secure_total = secure.total_cycles();
+        let v1_total = v1_run.total_cycles();
+        let pct = |total: u64| 100.0 * (total as f64 - plain_total as f64) / plain_total as f64;
         rows.push(Fig7Row {
             name: w.name.to_string(),
             payload_bytes: image.text.len() + image.data.len(),
             plain_cycles: plain_total,
             secure_cycles: secure_total,
-            overhead_pct: 100.0 * (secure_total as f64 - plain_total as f64) / plain_total as f64,
+            overhead_pct: pct(secure_total),
+            v1_cycles: v1_total,
+            v1_pct: pct(v1_total),
             instructions: plain.run.instructions,
         });
     }
-    let average_pct = rows.iter().map(|r| r.overhead_pct).sum::<f64>() / rows.len() as f64;
-    let max_pct = rows.iter().fold(0.0f64, |a, r| a.max(r.overhead_pct));
+    let average = |f: fn(&Fig7Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    let max = |f: fn(&Fig7Row) -> f64| rows.iter().fold(0.0f64, |a, r| a.max(f(r)));
     Fig7Report {
+        average_pct: average(|r| r.overhead_pct),
+        max_pct: max(|r| r.overhead_pct),
+        v1_average_pct: average(|r| r.v1_pct),
+        v1_max_pct: max(|r| r.v1_pct),
         rows,
-        average_pct,
-        max_pct,
     }
 }
 
@@ -535,14 +571,31 @@ pub struct CryptoThroughputReport {
     /// `ShaCtrCipher::fill_keystream` through the multi-buffer hash
     /// engine, MiB/s (the hot keystream path since the engine landed).
     pub shactr_fill_mib_s: f64,
-    /// The single-block scalar-compress fill oracle
-    /// (`fill_keystream_scalar`), MiB/s.
+    /// The single-block fill oracle pinned to the pure-software
+    /// `scalar` compress (`fill_keystream_scalar_with`), MiB/s — the
+    /// shape `fill_keystream` had before any hash-engine work.
     pub shactr_scalar_fill_mib_s: f64,
-    /// `shactr_fill_mib_s / shactr_scalar_fill_mib_s` — what the
-    /// multi-buffer engine bought over one compress per counter block.
+    /// `shactr_fill_mib_s / shactr_scalar_fill_mib_s` — what the whole
+    /// hash-engine stack (batching + hardware tiers) bought over one
+    /// software compress per counter block.
     pub shactr_fill_speedup: f64,
-    /// Which hash dispatch engine the fill ran on (`avx2`/`portable`).
+    /// Which multi-buffer dispatch engine the fill ran on
+    /// (`sha-ni`/`avx2`/`portable`).
     pub hash_engine: String,
+    /// Single-stream digest of the 1 MiB buffer pinned to the scalar
+    /// compress — the sequential-hash floor (v1 signature chain,
+    /// Merkle fold) before hardware tiers.
+    pub singlestream_scalar_mib_s: f64,
+    /// The same digest pinned to the SHA-NI compress engine; `None`
+    /// when the host has no SHA-NI.
+    pub singlestream_shani_mib_s: Option<f64>,
+    /// `singlestream_shani_mib_s / singlestream_scalar_mib_s` — what
+    /// the dedicated instructions buy a single chain; `None` without
+    /// SHA-NI.
+    pub singlestream_shani_speedup: Option<f64>,
+    /// Which single-stream compress engine the process-wide dispatch
+    /// picked (`sha-ni`/`scalar`).
+    pub compress_engine: String,
 }
 
 /// Median wall time of `f` over `iters` runs, as MiB/s for `mib` MiB;
@@ -597,10 +650,37 @@ pub fn crypto_throughput() -> CryptoThroughputReport {
         sha_ctr.fill_keystream(0, &mut ks);
         std::hint::black_box(&ks);
     });
+    let scalar_compress = eric_crypto::sha256::compress_engines()
+        .into_iter()
+        .find(|e| e.name() == "scalar")
+        .expect("scalar compress engine is always listed");
     let shactr_scalar_fill_mib_s = median_mib_s("sha-ctr-fill-scalar", ITERS, 1.0, || {
-        sha_ctr.fill_keystream_scalar(0, &mut ks);
+        sha_ctr.fill_keystream_scalar_with(scalar_compress, 0, &mut ks);
         std::hint::black_box(&ks);
     });
+    // Single-stream compress tiers: one sequential Merkle–Damgård
+    // chain over the same buffer, pinned per engine — the shape of the
+    // v1 signature chain and the Merkle fold, which no multi-buffer
+    // width can touch.
+    let digest_with = |engine| {
+        let mut h = eric_crypto::sha256::Sha256::with_engine(engine);
+        h.update(&buf);
+        std::hint::black_box(h.finalize());
+    };
+    let mut singlestream_scalar_mib_s = 0.0;
+    let mut singlestream_shani_mib_s = None;
+    for engine in eric_crypto::sha256::compress_engines() {
+        let mib_s = median_mib_s(
+            &format!("sha256-singlestream-{}", engine.name()),
+            ITERS,
+            1.0,
+            || digest_with(engine),
+        );
+        match engine.name() {
+            "scalar" => singlestream_scalar_mib_s = mib_s,
+            _ => singlestream_shani_mib_s = Some(mib_s),
+        }
+    }
     CryptoThroughputReport {
         rows,
         sha256_mib_s,
@@ -610,6 +690,11 @@ pub fn crypto_throughput() -> CryptoThroughputReport {
         hash_engine: eric_crypto::sha256::multibuffer::active()
             .name()
             .to_string(),
+        singlestream_scalar_mib_s,
+        singlestream_shani_mib_s,
+        singlestream_shani_speedup: singlestream_shani_mib_s
+            .map(|s| s / singlestream_scalar_mib_s.max(f64::EPSILON)),
+        compress_engine: eric_crypto::sha256::active_compress().name().to_string(),
     }
 }
 
@@ -773,8 +858,8 @@ pub fn hde_lane_scaling(data_bytes: usize, lane_counts: &[usize]) -> LaneScaling
         let prepared = source.prepare_image(&image, config).unwrap();
         source.package_prepared(&prepared, &cred).unwrap().0
     };
-    let v2 = package_as(&EncryptionConfig::full().with_segments(eric_hde::DEFAULT_SEGMENT_LEN));
-    let v1 = package_as(&EncryptionConfig::full());
+    let v2 = package_as(&EncryptionConfig::full());
+    let v1 = package_as(&EncryptionConfig::full().with_legacy_signature());
     let SignatureBlock::Segmented { manifest, .. } = &v2.signature else {
         panic!("segmented build must ship a v2 block");
     };
@@ -943,12 +1028,16 @@ crate::impl_json_struct!(Fig7Row {
     plain_cycles,
     secure_cycles,
     overhead_pct,
+    v1_cycles,
+    v1_pct,
     instructions
 });
 crate::impl_json_struct!(Fig7Report {
     rows,
     average_pct,
-    max_pct
+    max_pct,
+    v1_average_pct,
+    v1_max_pct
 });
 crate::impl_json_struct!(Table1 { rows });
 crate::impl_json_struct!(Table2Report {
@@ -991,7 +1080,11 @@ crate::impl_json_struct!(CryptoThroughputReport {
     shactr_fill_mib_s,
     shactr_scalar_fill_mib_s,
     shactr_fill_speedup,
-    hash_engine
+    hash_engine,
+    singlestream_scalar_mib_s,
+    singlestream_shani_mib_s,
+    singlestream_shani_speedup,
+    compress_engine
 });
 // Foreign struct, local trait: give the PUF report the same structured
 // snapshot as every other experiment.
@@ -1139,6 +1232,18 @@ mod tests {
         assert!(r.shactr_fill_mib_s > 0.0);
         assert!(r.shactr_scalar_fill_mib_s > 0.0);
         assert!(r.shactr_fill_speedup > 0.0);
-        assert!(["avx2", "portable"].contains(&r.hash_engine.as_str()));
+        assert!(["sha-ni", "avx2", "portable"].contains(&r.hash_engine.as_str()));
+        assert!(["sha-ni", "scalar"].contains(&r.compress_engine.as_str()));
+        assert!(r.singlestream_scalar_mib_s > 0.0);
+        // The SHA-NI column exists exactly when the host engine list
+        // has the tier, and the speedup is derived from it.
+        let has_shani = eric_crypto::sha256::compress_engines()
+            .iter()
+            .any(|e| e.name() == "sha-ni");
+        assert_eq!(r.singlestream_shani_mib_s.is_some(), has_shani);
+        assert_eq!(r.singlestream_shani_speedup.is_some(), has_shani);
+        if let Some(s) = r.singlestream_shani_speedup {
+            assert!(s > 0.0);
+        }
     }
 }

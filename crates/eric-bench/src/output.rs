@@ -186,17 +186,24 @@ pub fn record_elapsed<T>(experiment: &str, f: impl FnOnce() -> T) -> T {
 ///
 /// Every bench binary calls this once at exit, so each run leaves a
 /// uniform machine-readable snapshot (experiment, median, IQR,
-/// bytes/sec) and the perf trajectory can be compared across PRs
-/// without parsing the human-readable tables.
+/// bytes/sec, plus the resolved hash-engine pair the process ran on)
+/// and the perf trajectory can be compared across PRs — and across
+/// hosts with different hash hardware — without parsing the
+/// human-readable tables. The schema is documented in
+/// `docs/BENCHMARKS.md`.
 pub fn write_bench_json(bench: &str) {
     struct BenchFile {
         bench: String,
         smoke: bool,
+        hash_engine: String,
+        compress_engine: String,
         records: Vec<BenchRecord>,
     }
     crate::impl_json_struct!(BenchFile {
         bench,
         smoke,
+        hash_engine,
+        compress_engine,
         records
     });
     let records = std::mem::take(&mut *RECORDS.lock().expect("bench record registry poisoned"));
@@ -205,6 +212,10 @@ pub fn write_bench_json(bench: &str) {
         &BenchFile {
             bench: bench.to_string(),
             smoke: smoke_mode(),
+            hash_engine: eric_crypto::sha256::multibuffer::active()
+                .name()
+                .to_string(),
+            compress_engine: eric_crypto::sha256::active_compress().name().to_string(),
             records,
         },
     );

@@ -8,7 +8,7 @@
 //! same choices are a typed, validated builder.
 
 use eric_crypto::cipher::CipherKind;
-use eric_hde::FieldPolicy;
+use eric_hde::{FieldPolicy, DEFAULT_SEGMENT_LEN};
 
 /// Which of the paper's three encryption methods to apply.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,13 +34,17 @@ pub enum EncryptionMode {
 /// How the package's integrity signature is computed and shipped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SignatureScheme {
-    /// v1 (the paper's scheme): one SHA-256 digest over
-    /// `AAD ‖ plaintext payload`. The HDE must regenerate it in a
-    /// single sequential hash chain.
+    /// v1 (the paper's scheme, wire magic `ERIC1`): one SHA-256 digest
+    /// over `AAD ‖ plaintext payload`. The HDE must regenerate it in a
+    /// single sequential hash chain. Pin it with
+    /// [`EncryptionConfig::with_legacy_signature`] for paper-figure
+    /// parity; existing `ERIC1` packages keep parsing and validating
+    /// byte-for-byte regardless of the configured default.
     Single,
-    /// v2: a per-segment leaf-digest manifest whose AAD-bound Merkle
-    /// root is signed. Segments are independently decryptable and
-    /// verifiable, so the HDE fans them across decryption lanes.
+    /// v2 (the default, wire magic `ERIC2`): a per-segment leaf-digest
+    /// manifest whose AAD-bound Merkle root is signed. Segments are
+    /// independently decryptable and verifiable, so the HDE fans them
+    /// across decryption lanes.
     Segmented {
         /// Payload bytes per segment (positive multiple of 4 so a
         /// segment boundary can never split an instruction word).
@@ -66,14 +70,21 @@ pub struct EncryptionConfig {
     pub epoch: u64,
     /// Emit compressed (RVC) instructions.
     pub compress: bool,
-    /// Signature scheme: the paper's single digest (default) or the
-    /// segmented hash-tree manifest for multi-lane validation.
+    /// Signature scheme: the segmented hash-tree manifest (default,
+    /// wire v2 — validation fans across HDE lanes) or the paper's
+    /// single digest ([`EncryptionConfig::with_legacy_signature`]).
     pub signature: SignatureScheme,
 }
 
 impl EncryptionConfig {
-    /// Complete encryption with the paper's defaults (XOR cipher,
-    /// epoch 0, uncompressed).
+    /// Complete encryption with the default configuration: XOR cipher
+    /// (Table I), epoch 0, uncompressed, segmented (`ERIC2`) signature
+    /// with [`DEFAULT_SEGMENT_LEN`]-byte segments.
+    ///
+    /// The segmented signature is the only departure from the paper's
+    /// build — it makes HDE validation lane-parallel at a size cost
+    /// tracked in Figure 5's v2 column. Pin the paper's exact scheme
+    /// with [`EncryptionConfig::with_legacy_signature`].
     ///
     /// # Examples
     ///
@@ -82,6 +93,7 @@ impl EncryptionConfig {
     ///
     /// let config = EncryptionConfig::full();
     /// assert_eq!(config.mode, EncryptionMode::Full);
+    /// assert!(config.signature.is_segmented());
     /// assert!(config.validate().is_ok());
     /// ```
     pub fn full() -> Self {
@@ -90,7 +102,9 @@ impl EncryptionConfig {
             cipher: CipherKind::Xor,
             epoch: 0,
             compress: false,
-            signature: SignatureScheme::Single,
+            signature: SignatureScheme::Segmented {
+                segment_len: DEFAULT_SEGMENT_LEN,
+            },
         }
     }
 
@@ -128,9 +142,10 @@ impl EncryptionConfig {
         self
     }
 
-    /// Ship a segmented (v2) signature with `segment_len`-byte
-    /// segments, enabling multi-lane validation in the HDE (builder
-    /// style). Use [`eric_hde::DEFAULT_SEGMENT_LEN`] unless the
+    /// Ship a segmented (v2) signature with an explicit
+    /// `segment_len`-byte segment size (builder style). The default
+    /// configuration is already segmented with
+    /// [`DEFAULT_SEGMENT_LEN`]-byte segments; use this only when the
     /// payload calls for a different granularity.
     ///
     /// # Examples
@@ -138,12 +153,38 @@ impl EncryptionConfig {
     /// ```
     /// use eric_core::{EncryptionConfig, SignatureScheme};
     ///
-    /// let config = EncryptionConfig::full().with_segments(eric_hde::DEFAULT_SEGMENT_LEN);
-    /// assert!(config.signature.is_segmented());
+    /// let config = EncryptionConfig::full().with_segments(4096);
+    /// assert_eq!(
+    ///     config.signature,
+    ///     SignatureScheme::Segmented { segment_len: 4096 }
+    /// );
     /// assert!(config.validate().is_ok());
     /// ```
     pub fn with_segments(mut self, segment_len: u32) -> Self {
         self.signature = SignatureScheme::Segmented { segment_len };
+        self
+    }
+
+    /// Ship the paper's legacy (v1, `ERIC1`) single-digest signature
+    /// instead of the segmented default (builder style).
+    ///
+    /// The v1 scheme is what the paper's figures measure: one SHA-256
+    /// over `AAD ‖ payload`, no manifest bytes on the wire, and a
+    /// strictly sequential regeneration in the HDE. The paper-parity
+    /// benches (Figure 5's `full`/`partial` columns, Figure 7's v1
+    /// column) pin it with this builder.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{EncryptionConfig, SignatureScheme};
+    ///
+    /// let config = EncryptionConfig::full().with_legacy_signature();
+    /// assert_eq!(config.signature, SignatureScheme::Single);
+    /// assert!(config.validate().is_ok());
+    /// ```
+    pub fn with_legacy_signature(mut self) -> Self {
+        self.signature = SignatureScheme::Single;
         self
     }
 
@@ -197,12 +238,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_match_table1() {
+    fn defaults_match_table1_plus_segmented_signature() {
         let c = EncryptionConfig::full();
         assert_eq!(c.cipher, CipherKind::Xor);
         assert_eq!(c.mode, EncryptionMode::Full);
         assert!(!c.compress);
+        // The one departure from Table I: v2 segmented signatures by
+        // default, at the loader's streaming-chunk granularity.
+        assert_eq!(
+            c.signature,
+            SignatureScheme::Segmented {
+                segment_len: DEFAULT_SEGMENT_LEN
+            }
+        );
+        assert_eq!(EncryptionConfig::default(), c);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn legacy_signature_pins_v1() {
+        let c = EncryptionConfig::full().with_legacy_signature();
+        assert_eq!(c.signature, SignatureScheme::Single);
+        assert!(!c.signature.is_segmented());
+        assert!(c.validate().is_ok());
+        // The pin survives other builder steps in either order.
+        let c = EncryptionConfig::partial(0.5, 1)
+            .with_epoch(2)
+            .with_legacy_signature()
+            .with_compression(true);
+        assert_eq!(c.signature, SignatureScheme::Single);
     }
 
     #[test]
@@ -248,8 +312,8 @@ mod tests {
             .with_segments(6)
             .validate()
             .is_err());
-        assert!(!EncryptionConfig::full().signature.is_segmented());
         assert!(EncryptionConfig::full()
+            .with_legacy_signature()
             .with_segments(4)
             .signature
             .is_segmented());

@@ -10,10 +10,14 @@
 //! The format is versioned by its magic:
 //!
 //! * **`ERIC1`** — the paper's layout: one encrypted 32-byte digest.
-//!   v1 packages serialize byte-for-byte as they always did.
-//! * **`ERIC2`** — segmented signatures: the encrypted 32-byte signed
-//!   Merkle root, then `segment_len: u32 ‖ leaf_count: u32 ‖ leaves`,
-//!   each leaf an encrypted 32-byte segment digest
+//!   v1 packages serialize, parse, and validate byte-for-byte as they
+//!   always did; new builds pin the scheme with
+//!   [`EncryptionConfig::with_legacy_signature`](crate::EncryptionConfig::with_legacy_signature).
+//! * **`ERIC2`** — segmented signatures (what
+//!   [`EncryptionConfig::default`](crate::EncryptionConfig) now
+//!   emits): the encrypted 32-byte signed Merkle root, then
+//!   `segment_len: u32 ‖ leaf_count: u32 ‖ leaves`, each leaf an
+//!   encrypted 32-byte segment digest
 //!   ([`eric_hde::SegmentManifest`]). Geometry tampering is caught
 //!   twice: the parser rejects a manifest that does not cover the
 //!   payload, and the signed root binds segment length and leaf count.
@@ -117,7 +121,11 @@ impl Package {
     ///
     /// Batch reporting sums this over thousands of packages; computing
     /// it arithmetically avoids a throwaway [`Package::to_wire`]
-    /// allocation per package.
+    /// allocation per package. The accounting covers both wire
+    /// versions: a default build ships a segmented (`ERIC2`) signature
+    /// block — root plus manifest — while a
+    /// [`with_legacy_signature`](crate::EncryptionConfig::with_legacy_signature)
+    /// build ships the flat 32-byte `ERIC1` digest.
     ///
     /// # Examples
     ///
@@ -127,10 +135,22 @@ impl Package {
     /// let mut device = Device::with_seed(1, "node");
     /// let cred = device.enroll();
     /// let source = SoftwareSource::new("vendor");
+    /// let program = "main:\n li a0, 0\n li a7, 93\n ecall\n";
+    ///
+    /// // Default build: segmented (ERIC2) signature block.
     /// let package = source
-    ///     .build("main:\n li a0, 0\n li a7, 93\n ecall\n", &cred, &EncryptionConfig::full())
+    ///     .build(program, &cred, &EncryptionConfig::full())
     ///     .unwrap();
+    /// assert!(package.signature.is_segmented());
     /// assert_eq!(package.wire_len(), package.to_wire().len());
+    ///
+    /// // Legacy build: the paper's flat ERIC1 digest, 40 bytes smaller
+    /// // for this single-segment payload (root+geometry overhead).
+    /// let legacy = source
+    ///     .build(program, &cred, &EncryptionConfig::full().with_legacy_signature())
+    ///     .unwrap();
+    /// assert_eq!(legacy.wire_len(), legacy.to_wire().len());
+    /// assert_eq!(legacy.wire_len() + 40, package.wire_len());
     /// ```
     pub fn wire_len(&self) -> usize {
         // MAGIC + cipher + policy + epoch + nonce + text_base +

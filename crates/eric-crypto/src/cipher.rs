@@ -12,7 +12,7 @@
 //! processing the bytes before it.
 
 use crate::sha256::multibuffer::{self, Engine, MultiSha256, MAX_LANES};
-use crate::sha256::Sha256;
+use crate::sha256::{CompressEngine, Sha256};
 use std::fmt;
 
 /// Scratch size used by the default block implementations. One page:
@@ -226,7 +226,15 @@ impl ShaCtrCipher {
     }
 
     fn block(&self, index: u64) -> [u8; 32] {
-        let mut h = Sha256::new();
+        self.block_with(crate::sha256::active_compress(), index)
+    }
+
+    /// The one place the single-stream counter message is defined:
+    /// `SHA-256(key ‖ LE64(index))` on an explicit compress engine.
+    /// [`ShaCtrCipher::blocks_into`] is the lockstep (multi-buffer)
+    /// rendering of the same message.
+    fn block_with(&self, engine: &'static CompressEngine, index: u64) -> [u8; 32] {
+        let mut h = Sha256::with_engine(engine);
         h.update(&self.key);
         h.update(&index.to_le_bytes());
         h.finalize().0
@@ -288,19 +296,34 @@ impl ShaCtrCipher {
         }
     }
 
-    /// The pre-multibuffer fill: one scalar [`Sha256`] chain per
-    /// 32-byte counter block.
+    /// The pre-multibuffer fill: one single-stream [`Sha256`] chain
+    /// per 32-byte counter block.
     ///
     /// Kept (and exported) as the single-block compress *oracle* — the
     /// analogue of `transform_payload_bytewise` for the hash engine:
     /// tests pin the batched fill byte-identical to it, and the
-    /// `crypto_throughput` bench measures what the multi-buffer engine
-    /// bought over it. Never call it on a hot path.
+    /// `crypto_throughput` bench measures what the engine stack bought
+    /// over it. Never call it on a hot path. The per-chain compress
+    /// rides the dispatched [`Sha256::compress_block`];
+    /// [`ShaCtrCipher::fill_keystream_scalar_with`] pins a specific
+    /// single-stream engine (the bench pins `scalar` to measure the
+    /// pure-software baseline).
     pub fn fill_keystream_scalar(&self, offset: u64, out: &mut [u8]) {
+        self.fill_keystream_scalar_with(crate::sha256::active_compress(), offset, out);
+    }
+
+    /// [`ShaCtrCipher::fill_keystream_scalar`] pinned to a specific
+    /// single-stream compress engine.
+    pub fn fill_keystream_scalar_with(
+        &self,
+        engine: &'static CompressEngine,
+        offset: u64,
+        out: &mut [u8],
+    ) {
         let mut i = 0usize;
         while i < out.len() {
             let pos = offset + i as u64;
-            let block = self.block(pos / Self::BLOCK);
+            let block = self.block_with(engine, pos / Self::BLOCK);
             let start_in_block = (pos % Self::BLOCK) as usize;
             let take = (Self::BLOCK as usize - start_in_block).min(out.len() - i);
             out[i..i + take].copy_from_slice(&block[start_in_block..start_in_block + take]);
@@ -547,6 +570,13 @@ mod tests {
         c.fill_keystream_scalar(13, &mut fast);
         let slow: Vec<u8> = (0..300u64).map(|i| c.keystream_byte(13 + i)).collect();
         assert_eq!(fast, slow);
+        // The single-stream oracle is engine-independent: every
+        // compress backend fills the identical keystream.
+        for engine in crate::sha256::compress_engines() {
+            let mut pinned = vec![0u8; 300];
+            c.fill_keystream_scalar_with(engine, 13, &mut pinned);
+            assert_eq!(pinned, slow, "{}", engine.name());
+        }
     }
 
     #[test]

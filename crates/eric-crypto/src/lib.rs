@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Cryptographic primitives for the ERIC software obfuscation framework.
 //!
 //! The paper's prototype uses SHA-256 as the signature function and an XOR
@@ -9,7 +9,9 @@
 //!
 //! * [`mod@sha256`] — FIPS 180-2 SHA-256 with an incremental (streaming) API,
 //!   used both by the compiler-side signature generator and the HDE-side
-//!   signature regeneration unit.
+//!   signature regeneration unit. Hardware tiers (a SHA-NI single-stream
+//!   kernel, SIMD multi-buffer kernels) sit behind one-time runtime
+//!   dispatch; `ERIC_FORCE_SCALAR=1` pins the pure-software paths.
 //! * [`cipher`] — the pluggable keystream-cipher abstraction. The paper
 //!   emphasizes that "new encryption algorithms can be easily implemented";
 //!   [`cipher::XorCipher`] is the paper's cipher, and

@@ -6,8 +6,27 @@
 //! while decrypting. The incremental [`Sha256`] API mirrors the streaming
 //! hardware unit, which consumes instructions as they leave the
 //! Decryption Unit.
+//!
+//! Two hardware tiers accelerate the compression function, both behind
+//! one-time runtime dispatch:
+//!
+//! * **single-stream** ([`CompressEngine`], this module) — one message,
+//!   one chain. The `sha-ni` tier runs the dedicated SHA-256
+//!   instructions (`sha256rnds2`/`sha256msg1`/`sha256msg2`) when the
+//!   CPU reports the `sha` feature; everything sequential rides it
+//!   transparently: the streaming [`Sha256`] hasher, the HDE's v1
+//!   signature chain, the Merkle node fold, and the scalar remainders
+//!   of wide batches.
+//! * **multi-buffer** ([`multibuffer`]) — N independent messages in
+//!   lockstep, for the batch-shaped hot paths (keystream counter
+//!   blocks, hash-tree leaves).
+//!
+//! `ERIC_FORCE_SCALAR=1` pins both dispatchers to the portable
+//! software paths; `ERIC_DISABLE_SHANI=1` removes only the `sha-ni`
+//! tier (see [`multibuffer::disable_shani`]).
 
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Initial hash values: first 32 bits of the fractional parts of the
 /// square roots of the first 8 primes.
@@ -116,6 +135,7 @@ impl From<[u8; 32]> for Digest {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Sha256 {
+    engine: &'static CompressEngine,
     state: [u32; 8],
     /// Bytes buffered until a full 64-byte block is available.
     buf: [u8; 64],
@@ -131,9 +151,17 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
-    /// Create a fresh hash state.
+    /// Create a fresh hash state on the [`active_compress`] engine.
     pub fn new() -> Self {
+        Self::with_engine(active_compress())
+    }
+
+    /// A fresh hash state pinned to a specific single-stream engine
+    /// (equivalence tests and dispatch-path benchmarks; [`Sha256::new`]
+    /// uses the process-wide [`active_compress`] decision).
+    pub fn with_engine(engine: &'static CompressEngine) -> Self {
         Sha256 {
+            engine,
             state: H0,
             buf: [0u8; 64],
             buf_len: 0,
@@ -194,16 +222,26 @@ impl Sha256 {
     }
 
     /// Compress one 64-byte block into an explicit 8-word chaining
-    /// state (the raw FIPS 180-2 compression function).
+    /// state through the [`active_compress`] engine.
     ///
     /// This is the block-level API the multi-buffer engine
     /// ([`multibuffer`]) shares with the streaming hasher: both run the
     /// exact same message schedule and round function, so the scalar
     /// remainder of a wide batch and the incremental [`Sha256`] can
-    /// never disagree. The state is in the internal big-endian word
-    /// order; start from the standard initial vector and serialize the
-    /// words big-endian to recover a digest.
+    /// never disagree. On hosts with the `sha` feature the call lands
+    /// on the SHA-NI kernel; [`Sha256::compress_block_scalar`] is the
+    /// always-software oracle. The state is in the internal big-endian
+    /// word order; start from the standard initial vector and serialize
+    /// the words big-endian to recover a digest.
     pub fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+        active_compress().compress_block(state, block);
+    }
+
+    /// The pure-software FIPS 180-2 compression function — the
+    /// reference every accelerated tier (SHA-NI, multi-buffer lanes) is
+    /// pinned against, and the body of the `scalar`
+    /// [`CompressEngine`].
+    pub fn compress_block_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -253,7 +291,193 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        Self::compress_block(&mut self.state, block);
+        self.engine.compress_block(&mut self.state, block);
+    }
+}
+
+type CompressFn = fn(&mut [u32; 8], &[u8; 64]);
+
+/// One resolved *single-stream* compression backend.
+///
+/// The multi-buffer [`multibuffer::Engine`] lifts batches of
+/// independent messages; this is its sequential counterpart for the
+/// paths that are one Merkle–Damgård chain by construction — the
+/// streaming [`Sha256`] hasher, the HDE's v1 signature regeneration,
+/// and the Merkle node fold. Obtained from [`active_compress`] (the
+/// process-wide decision) or [`compress_engines`] (every backend usable
+/// on this host, for tests and benchmarks that pin a path).
+pub struct CompressEngine {
+    name: &'static str,
+    compress: CompressFn,
+}
+
+impl CompressEngine {
+    /// Backend name (`"sha-ni"` or `"scalar"`), for reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Compress one 64-byte block into `state` on this backend.
+    ///
+    /// Bit-identical to [`Sha256::compress_block_scalar`] on every
+    /// backend (the golden-vector suite pins each one).
+    pub fn compress_block(&self, state: &mut [u32; 8], block: &[u8; 64]) {
+        (self.compress)(state, block);
+    }
+}
+
+impl fmt::Debug for CompressEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompressEngine({})", self.name)
+    }
+}
+
+static SCALAR_COMPRESS: CompressEngine = CompressEngine {
+    name: "scalar",
+    compress: Sha256::compress_block_scalar,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SHANI_COMPRESS: CompressEngine = CompressEngine {
+    name: "sha-ni",
+    compress: compress_block_shani,
+};
+
+/// Dispatch target for the `sha-ni` engine.
+///
+/// Only constructed after [`shani_detected`] succeeded, which makes the
+/// `target_feature` call sound.
+#[cfg(target_arch = "x86_64")]
+fn compress_block_shani(state: &mut [u32; 8], block: &[u8; 64]) {
+    // SAFETY: this function is only reachable through `SHANI_COMPRESS`,
+    // which `compress_engines()` / `active_compress()` expose only
+    // after `shani_detected()` confirmed the sha/ssse3/sse4.1 features.
+    unsafe { shani::compress_block(state, block) };
+}
+
+/// Whether this host can run the SHA-NI kernel: the dedicated `sha`
+/// extension plus the SSSE3/SSE4.1 shuffles the state packing uses.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn shani_detected() -> bool {
+    std::arch::is_x86_feature_detected!("sha")
+        && std::arch::is_x86_feature_detected!("ssse3")
+        && std::arch::is_x86_feature_detected!("sse4.1")
+}
+
+/// Every single-stream engine usable on this host, fastest first.
+///
+/// The `scalar` engine is always present; `sha-ni` appears only on
+/// `x86_64` hosts whose CPU reports the feature set at runtime. Tests
+/// iterate this list to pin every dispatch path against the scalar
+/// oracle regardless of which one [`active_compress`] picked.
+pub fn compress_engines() -> Vec<&'static CompressEngine> {
+    let mut found: Vec<&'static CompressEngine> = Vec::with_capacity(2);
+    #[cfg(target_arch = "x86_64")]
+    if shani_detected() {
+        found.push(&SHANI_COMPRESS);
+    }
+    found.push(&SCALAR_COMPRESS);
+    found
+}
+
+/// The process-wide single-stream dispatch decision, resolved exactly
+/// once.
+///
+/// Picks the fastest detected engine unless
+/// [`multibuffer::force_scalar`] (`ERIC_FORCE_SCALAR=1`) or
+/// [`multibuffer::disable_shani`] (`ERIC_DISABLE_SHANI=1`) rules the
+/// SHA-NI tier out. Like [`multibuffer::active`], the result is cached
+/// in a static so hot paths pay one atomic load.
+pub fn active_compress() -> &'static CompressEngine {
+    static ACTIVE: OnceLock<&'static CompressEngine> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        if multibuffer::force_scalar() || multibuffer::disable_shani() {
+            &SCALAR_COMPRESS
+        } else {
+            compress_engines()[0]
+        }
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod shani {
+    //! The `std::arch` SHA-NI kernel: four FIPS rounds per
+    //! `sha256rnds2`, message schedule via `sha256msg1`/`sha256msg2`.
+    //!
+    //! The instructions operate on an (ABEF, CDGH) packing of the eight
+    //! working variables, so the kernel transposes the standard
+    //! `[a..h]` state in on entry and back out on exit; everything in
+    //! between is sixteen `rnds2` pairs over the on-the-fly schedule.
+
+    use super::K;
+    use core::arch::x86_64::*;
+
+    /// Compress one 64-byte block into `state` with the SHA-NI
+    /// instructions.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support the `sha`, `ssse3`, and `sse4.1` features
+    /// (checked by [`super::shani_detected`]).
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub unsafe fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Row t of the round-constant table: K[4t..4t+4], lane 0 first.
+        let kv = |t: usize| _mm_loadu_si128(K.as_ptr().add(4 * t).cast());
+        // Per-32-bit-word byte swap: the message words are big-endian.
+        let be_mask = _mm_set_epi64x(0x0c0d0e0f_08090a0bu64 as i64, 0x04050607_00010203u64 as i64);
+
+        // Repack (a,b,c,d),(e,f,g,h) into the (ABEF, CDGH) register
+        // layout the sha256rnds2 instruction expects.
+        let abcd = _mm_loadu_si128(state.as_ptr().cast());
+        let efgh = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        let cdab = _mm_shuffle_epi32(abcd, 0xB1);
+        let efgh = _mm_shuffle_epi32(efgh, 0x1B);
+        let mut abef = _mm_alignr_epi8(cdab, efgh, 8);
+        let mut cdgh = _mm_blend_epi16(efgh, cdab, 0xF0);
+        let (abef_in, cdgh_in) = (abef, cdgh);
+
+        // Four rounds: low two message words through one rnds2 into
+        // CDGH, high two through the next into ABEF.
+        macro_rules! rounds4 {
+            ($w:expr, $t:expr) => {{
+                let msg = _mm_add_epi32($w, kv($t));
+                cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+                abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32(msg, 0x0E));
+            }};
+        }
+
+        // w[i % 4] holds message-schedule row i-4..i of the rotating
+        // window (one row = four W words).
+        let mut w = [_mm_setzero_si128(); 4];
+        for (t, wt) in w.iter_mut().enumerate() {
+            *wt = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16 * t).cast()), be_mask);
+            let row = *wt;
+            rounds4!(row, t);
+        }
+        for t in 4..16 {
+            // W[4t..] = msg2(msg1(row[t-4], row[t-3]) + (W[t·4-7..] via
+            // alignr of rows t-1/t-2), row[t-1]).
+            let next = _mm_sha256msg2_epu32(
+                _mm_add_epi32(
+                    _mm_sha256msg1_epu32(w[t % 4], w[(t + 1) % 4]),
+                    _mm_alignr_epi8(w[(t + 3) % 4], w[(t + 2) % 4], 4),
+                ),
+                w[(t + 3) % 4],
+            );
+            rounds4!(next, t);
+            w[t % 4] = next;
+        }
+
+        // Feed-forward, then unpack (ABEF, CDGH) back to [a..h].
+        abef = _mm_add_epi32(abef, abef_in);
+        cdgh = _mm_add_epi32(cdgh, cdgh_in);
+        let feba = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), _mm_blend_epi16(feba, dchg, 0xF0));
+        _mm_storeu_si128(
+            state.as_mut_ptr().add(4).cast(),
+            _mm_alignr_epi8(dchg, feba, 8),
+        );
     }
 }
 
@@ -268,7 +492,9 @@ pub mod tree {
     //! its own [`Sha256`] state (leaf hashing is embarrassingly
     //! parallel), and only the cheap leaf-merging fold is sequential —
     //! unlike the single Merkle–Damgård chain of the paper's monolithic
-    //! signature, which serializes the entire payload hash.
+    //! signature, which serializes the entire payload hash. The fold's
+    //! node compressions run through [`Sha256`], i.e. on the
+    //! single-stream dispatch (SHA-NI where detected).
     //!
     //! Every hash is domain-separated by a one-byte tag so a leaf can
     //! never be confused with an interior node or with a bound root:
@@ -632,6 +858,103 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
         let c = sha256(b"y");
         assert!(a.ct_eq(&b));
         assert!(!a.ct_eq(&c));
+    }
+
+    /// FIPS 180-4 test vectors (message, digest hex): the one-block,
+    /// two-block, and empty-message cases plus a padding-boundary
+    /// message, enough to exercise every padding regime.
+    const NIST_VECTORS: [(&[u8], &str); 4] = [
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+    ];
+
+    #[test]
+    fn compress_block_golden_vector_on_every_engine() {
+        // FIPS 180-4 "abc" is one padded block compressed from H0, so
+        // it pins the raw compression function of every single-stream
+        // backend — including SHA-NI's state (un)packing — directly
+        // against the standard, not just against our own scalar code.
+        let mut block = [0u8; 64];
+        block[..3].copy_from_slice(b"abc");
+        block[3] = 0x80;
+        block[63] = 24; // message length in bits
+        for engine in compress_engines() {
+            let mut state = H0;
+            engine.compress_block(&mut state, &block);
+            let mut out = [0u8; 32];
+            for (i, w) in state.iter().enumerate() {
+                out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+            }
+            assert_eq!(
+                Digest(out).to_hex(),
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_hasher_golden_vectors_on_every_engine() {
+        for engine in compress_engines() {
+            for (msg, want) in NIST_VECTORS {
+                let mut h = Sha256::with_engine(engine);
+                h.update(msg);
+                assert_eq!(h.finalize().to_hex(), want, "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn multibuffer_golden_vectors_on_every_engine() {
+        // One-lane MultiSha256 runs the wide kernels' buffering and
+        // padding on the exact standard vectors.
+        for engine in multibuffer::engines() {
+            for (msg, want) in NIST_VECTORS {
+                let mut h = multibuffer::MultiSha256::with_engine(1, engine);
+                h.update(&[msg]);
+                assert_eq!(h.finalize()[0].to_hex(), want, "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_compress_engine_matches_scalar_on_random_chains() {
+        // 200 chained compressions over pseudo-random blocks: any
+        // packing or schedule slip in an accelerated backend diverges
+        // within a block and then avalanches.
+        let mut block = [0u8; 64];
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut states: Vec<[u32; 8]> = compress_engines().iter().map(|_| H0).collect();
+        for _ in 0..200 {
+            for b in block.iter_mut() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *b = (x >> 32) as u8;
+            }
+            let mut want = states[compress_engines().len() - 1];
+            Sha256::compress_block_scalar(&mut want, &block);
+            for (engine, state) in compress_engines().iter().zip(states.iter_mut()) {
+                engine.compress_block(state, &block);
+                assert_eq!(*state, want, "{}", engine.name());
+            }
+        }
     }
 
     #[test]

@@ -9,19 +9,25 @@
 //! floor of the scalar compress is lifted without any per-message
 //! algorithm change.
 //!
-//! Two kernels implement [`Engine::compress_blocks`]:
+//! Three kernels implement [`Engine::compress_blocks`]:
 //!
+//! * **sha-ni** (`x86_64` only) — the dedicated SHA-256 instructions,
+//!   one block per call in a sequential loop over the batch. A single
+//!   hardware-assisted chain outruns eight software-vectorized ones,
+//!   so where detected this is also the fastest *batch* backend;
+//! * **avx2** (`x86_64` only) — an explicit `std::arch` 8-wide
+//!   lockstep kernel behind `is_x86_feature_detected!` detection;
 //! * **portable** — plain `u32`-array lanes with fixed widths 8 and 4,
-//!   written so LLVM auto-vectorizes the lane loops on any target;
-//! * **avx2** (`x86_64` only) — an explicit `std::arch` 8-wide kernel
-//!   behind `is_x86_feature_detected!` runtime detection.
+//!   written so LLVM auto-vectorizes the lane loops on any target.
 //!
 //! The dispatch decision is resolved **once** per process into a
 //! static table ([`active`]); `ERIC_FORCE_SCALAR=1` pins it to the
-//! portable path (the benchmark escape hatch documented in the README).
-//! Every kernel is bit-identical to [`super::Sha256::compress_block`]
-//! — the property suite in `tests/props.rs` pins batch outputs to the
-//! scalar oracle across widths and engines.
+//! portable path and `ERIC_DISABLE_SHANI=1` rules out only the SHA-NI
+//! tier (the benchmark escape hatches documented in
+//! `docs/BENCHMARKS.md`). Every kernel is bit-identical to
+//! [`super::Sha256::compress_block_scalar`] — the property suite in
+//! `tests/props.rs` pins batch outputs to the scalar oracle across
+//! widths and engines.
 
 use super::{Digest, Sha256, H0, K};
 use std::sync::OnceLock;
@@ -43,7 +49,8 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Backend name (`"avx2"` or `"portable"`), for reports.
+    /// Backend name (`"sha-ni"`, `"avx2"`, or `"portable"`), for
+    /// reports.
     pub fn name(&self) -> &'static str {
         self.name
     }
@@ -84,55 +91,99 @@ static AVX2: Engine = Engine {
     compress: compress_many_avx2,
 };
 
+#[cfg(target_arch = "x86_64")]
+static SHANI: Engine = Engine {
+    name: "sha-ni",
+    compress: compress_many_shani,
+};
+
 /// Every engine usable on this host, fastest first.
 ///
-/// The portable engine is always present; the `avx2` engine appears
-/// only on `x86_64` hosts whose CPU reports the feature at runtime.
-/// Tests iterate this list to pin every dispatch path against the
-/// scalar oracle regardless of which one [`active`] picked.
+/// The portable engine is always present; the `sha-ni` and `avx2`
+/// engines appear only on `x86_64` hosts whose CPU reports the
+/// respective feature at runtime. Tests iterate this list to pin every
+/// dispatch path against the scalar oracle regardless of which one
+/// [`active`] picked.
 pub fn engines() -> Vec<&'static Engine> {
-    let mut found: Vec<&'static Engine> = Vec::with_capacity(2);
+    let mut found: Vec<&'static Engine> = Vec::with_capacity(3);
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        found.push(&AVX2);
+    {
+        if super::shani_detected() {
+            found.push(&SHANI);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            found.push(&AVX2);
+        }
     }
     found.push(&PORTABLE);
     found
 }
 
-/// `ERIC_FORCE_SCALAR=1`: pin the dispatcher to the portable path.
+/// `ERIC_FORCE_SCALAR=1`: pin both hash dispatchers (multi-buffer and
+/// single-stream) to the portable software paths.
 pub fn force_scalar() -> bool {
-    pins_portable(std::env::var("ERIC_FORCE_SCALAR").ok().as_deref())
+    truthy(std::env::var("ERIC_FORCE_SCALAR").ok().as_deref())
 }
 
-/// Whether an `ERIC_FORCE_SCALAR` value pins the portable path (unset,
-/// empty, and `"0"` do not). Split out so the parsing is testable
-/// without mutating process environment — env mutation would race both
-/// the one-shot [`active`] resolution and glibc's `getenv` in
+/// `ERIC_DISABLE_SHANI=1`: rule the SHA-NI tier out of both dispatch
+/// decisions ([`active`] and [`super::active_compress`]) while leaving
+/// the SIMD multi-buffer tiers eligible — the knob for measuring what
+/// the dedicated instructions buy over AVX2 lockstep, or for
+/// exercising the non-SHA-NI paths on hardware that has them.
+/// [`engines`] and [`super::compress_engines`] still *list* a detected
+/// SHA-NI backend so equivalence tests keep covering it.
+pub fn disable_shani() -> bool {
+    truthy(std::env::var("ERIC_DISABLE_SHANI").ok().as_deref())
+}
+
+/// Whether an override env-var value is set (unset, empty, and `"0"`
+/// do not count). Split out so the parsing is testable without
+/// mutating process environment — env mutation would race both the
+/// one-shot [`active`] resolution and glibc's `getenv` in
 /// parallel-test processes.
-fn pins_portable(value: Option<&str>) -> bool {
+fn truthy(value: Option<&str>) -> bool {
     value.is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 /// The process-wide dispatch decision, resolved exactly once.
 ///
 /// Picks the fastest detected engine unless [`force_scalar`] pins the
-/// portable path. The result is cached in a static, so hot paths pay a
-/// single atomic load, not a feature probe or an env lookup.
+/// portable path or [`disable_shani`] rules the SHA-NI tier out. The
+/// result is cached in a static, so hot paths pay a single atomic
+/// load, not a feature probe or an env lookup.
 pub fn active() -> &'static Engine {
     static ACTIVE: OnceLock<&'static Engine> = OnceLock::new();
     ACTIVE.get_or_init(|| {
         if force_scalar() {
             &PORTABLE
         } else {
-            engines()[0]
+            let skip_shani = disable_shani();
+            *engines()
+                .iter()
+                .find(|e| !(skip_shani && e.name() == "sha-ni"))
+                .expect("portable engine is always listed")
         }
     })
 }
 
+/// SHA-NI dispatch target: the batch is a plain sequential loop over
+/// the single-stream kernel — the dedicated instructions retire a
+/// block faster than eight software-vectorized lanes amortize one, so
+/// no lockstep transposition pays for itself here.
+#[cfg(target_arch = "x86_64")]
+fn compress_many_shani(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    for (state, block) in states.iter_mut().zip(blocks) {
+        // SAFETY: this function is only reachable through the `SHANI`
+        // engine, which `engines()` exposes only after
+        // `shani_detected()` confirmed the sha/ssse3/sse4.1 features.
+        unsafe { super::shani::compress_block(state, block) };
+    }
+}
+
 /// Portable multi-buffer compress: fixed-width lane groups (8, then 4)
 /// whose inner loops LLVM auto-vectorizes, scalar remainder via the
-/// shared [`Sha256::compress_block`].
+/// dispatched [`Sha256::compress_block`] (which itself rides SHA-NI
+/// where detected, so ragged batch tails are never the slow path).
 fn compress_many_portable(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
     let (mut states, mut blocks) = (states, blocks);
     while states.len() >= 8 {
@@ -596,11 +647,29 @@ mod tests {
     fn force_scalar_parses_env_shapes() {
         // Only the *parser* is testable here: the dispatch table is
         // resolved once per process, so the CI matrix (which sets
-        // ERIC_FORCE_SCALAR for a whole run) covers the pinning itself.
-        assert!(!pins_portable(None));
-        assert!(!pins_portable(Some("")));
-        assert!(!pins_portable(Some("0")));
-        assert!(pins_portable(Some("1")));
-        assert!(pins_portable(Some("yes")));
+        // ERIC_FORCE_SCALAR / ERIC_DISABLE_SHANI for a whole run)
+        // covers the pinning itself.
+        assert!(!truthy(None));
+        assert!(!truthy(Some("")));
+        assert!(!truthy(Some("0")));
+        assert!(truthy(Some("1")));
+        assert!(truthy(Some("yes")));
+    }
+
+    #[test]
+    fn engine_listing_respects_overrides() {
+        // Whatever the host, the active engines are drawn from the
+        // listed ones, and the env overrides can only ever *remove*
+        // hardware tiers from the active choice, never add one.
+        let found = engines();
+        assert!(found.iter().any(|e| std::ptr::eq(*e, active())));
+        if force_scalar() {
+            assert_eq!(active().name(), "portable");
+            assert_eq!(crate::sha256::active_compress().name(), "scalar");
+        }
+        if disable_shani() {
+            assert_ne!(active().name(), "sha-ni");
+            assert_ne!(crate::sha256::active_compress().name(), "sha-ni");
+        }
     }
 }

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! The Hardware Decryption Engine (HDE) of ERIC.
 //!
 //! The paper's HDE sits between the untrusted outside world and the

@@ -12,13 +12,19 @@
 //!
 //! * **v1 (single digest)** — the paper's scheme: one SHA-256 over
 //!   `AAD ‖ plaintext`, regenerated in a sequential streaming pass.
-//! * **v2 (segment manifest)** — the payload is tiled into fixed-size
-//!   segments, each with its own leaf digest, and the signed value is
-//!   the AAD-bound Merkle root ([`crate::manifest`]). Segments are
-//!   independent, so the loader fans them across
-//!   [`crate::parallel::map_segments`] lanes that decrypt *and*
-//!   leaf-hash in one pass — the hash work that v1 serializes scales
-//!   with lane count.
+//!   That one chain cannot be widened, but it *can* be deepened: the
+//!   streaming hasher rides `eric_crypto`'s single-stream dispatch, so
+//!   on SHA-NI hosts the v1 chain runs on the dedicated hardware
+//!   instructions.
+//! * **v2 (segment manifest, the packager's default)** — the payload
+//!   is tiled into fixed-size segments, each with its own leaf digest,
+//!   and the signed value is the AAD-bound Merkle root
+//!   ([`crate::manifest`]). Segments are independent, so the loader
+//!   fans them across [`crate::parallel::map_segments`] lanes that
+//!   decrypt *and* leaf-hash in one pass — the hash work that v1
+//!   serializes scales with lane count. The sequential remainder (the
+//!   Merkle node fold) and ragged-tail leaves ride the same
+//!   single-stream dispatch as v1.
 
 use crate::error::HdeError;
 use crate::manifest::{signed_root, SegmentManifest, SignatureBlock};

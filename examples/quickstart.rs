@@ -22,11 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Step 2 — choose the encryption configuration (the paper's GUI).
+    // The default signs a segmented (wire v2) hash-tree manifest, so
+    // the HDE can validate segments across parallel lanes; add
+    // `.with_legacy_signature()` to pin the paper's single digest.
     let config = EncryptionConfig::full();
     println!("[2] configuration: {config:?}");
 
-    // Step 3 — the software source compiles, signs (SHA-256), encrypts
-    // (XOR cipher keyed by the PUF-based key) and packages the program.
+    // Step 3 — the software source compiles, signs (a SHA-256 leaf
+    // digest per segment, folded into an AAD-bound Merkle root),
+    // encrypts (XOR cipher keyed by the PUF-based key) and packages
+    // the program.
     let source = SoftwareSource::new("acme-firmware");
     let program = r#"
         # Compute 21 * 2 the hard way and exit with the result.
@@ -42,11 +47,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     "#;
     let package = source.build(program, &credential, &config)?;
     let size = package.size_report();
+    let scheme = if package.signature.is_segmented() {
+        "segmented v2 (ERIC2)"
+    } else {
+        "single-digest v1 (ERIC1)"
+    };
     println!(
-        "[3] built package: {} payload bytes, +{} signature bits, {:.2}% size increase",
+        "[3] built package: {} payload bytes, {scheme} signature (+{} bits), \
+         {:.2}% size increase",
         size.plain_bytes,
         size.signature_bits,
         size.increase_pct()
+    );
+    println!(
+        "    hash engines: multi-buffer = {}, single-stream = {}",
+        eric::crypto::sha256::multibuffer::active().name(),
+        eric::crypto::sha256::active_compress().name()
     );
 
     // Step 4 — the package crosses an untrusted network. An

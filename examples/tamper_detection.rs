@@ -24,7 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut device = Device::with_seed(5, "licensed-unit");
     let cred = device.enroll();
     let source = SoftwareSource::new("vendor");
+    // The default build ships a segmented (wire v2) signature: each
+    // payload segment has its own leaf digest and the AAD-bound Merkle
+    // root is signed, so a tampered segment is named, not just
+    // detected. `.with_legacy_signature()` would pin the paper's
+    // single-digest v1 flow instead; both schemes reject every attack
+    // below.
     let package = source.build(PROGRAM, &cred, &EncryptionConfig::full())?;
+    println!(
+        "built a {} package; hash engines: multi-buffer = {}, single-stream = {}",
+        if package.signature.is_segmented() {
+            "segmented v2 (ERIC2)"
+        } else {
+            "single-digest v1 (ERIC1)"
+        },
+        eric::crypto::sha256::multibuffer::active().name(),
+        eric::crypto::sha256::active_compress().name()
+    );
 
     // (i) Static analysis: the intercepted text section is noise.
     let plain = source.compile(PROGRAM, false)?;

@@ -275,7 +275,7 @@ proptest! {
     #[test]
     fn batch_packages_roundtrip_to_identical_plaintext(n in 1usize..6,
                                                        seed in 0u64..200,
-                                                       mode in 0u8..6) {
+                                                       mode in 0u8..7) {
         use eric::core::{Device, EncryptionConfig, ProvisioningService, SoftwareSource};
         use eric::hde::loader::SecureInput;
         use eric::puf::crp::Challenge;
@@ -293,8 +293,11 @@ proptest! {
             // policies too.
             3 => EncryptionConfig::full().with_segments(16),
             4 => EncryptionConfig::partial(0.5, seed.wrapping_add(1)).with_segments(16),
-            _ => EncryptionConfig::field_level(eric::hde::FieldPolicy::MemoryPointers)
+            5 => EncryptionConfig::field_level(eric::hde::FieldPolicy::MemoryPointers)
                 .with_segments(16),
+            // The legacy (v1) pin: `full()` itself is segmented now,
+            // so single-digest coverage needs an explicit case.
+            _ => EncryptionConfig::full().with_legacy_signature(),
         };
 
         let mut devices: Vec<Device> = (0..n)
