@@ -1,5 +1,6 @@
 //! Experiment implementations, one per paper table/figure + ablations.
 
+use eric_asm::{assemble, AsmOptions};
 use eric_core::{Device, EncryptionConfig, Package, SoftwareSource};
 use eric_crypto::cipher::CipherKind;
 use eric_hde::parallel::parallel_cycles;
@@ -1086,6 +1087,182 @@ crate::impl_json_struct!(CryptoThroughputReport {
     singlestream_shani_speedup,
     compress_engine
 });
+// ---------------------------------------------------------------------
+// Simulator dispatch — execution-engine tiers + threaded fleet runner
+// ---------------------------------------------------------------------
+
+/// One engine row of the simulator-dispatch experiment.
+#[derive(Clone, Debug)]
+pub struct SimDispatchRow {
+    /// Engine name (`step`, `cached`, `block`).
+    pub engine: String,
+    /// Host wall time for one sequential pass over the suite, ms.
+    pub wall_ms: f64,
+    /// Simulated millions of instructions per host second.
+    pub mips: f64,
+    /// Total instructions retired across the suite (engine-invariant).
+    pub instructions: u64,
+    /// Total modeled cycles across the suite (engine-invariant).
+    pub cycles: u64,
+    /// Host speedup versus the step engine.
+    pub speedup: f64,
+}
+
+/// Simulator-dispatch report: per-engine throughput plus the threaded
+/// fleet runner.
+#[derive(Clone, Debug)]
+pub struct SimDispatchReport {
+    /// One row per engine, step first.
+    pub rows: Vec<SimDispatchRow>,
+    /// Number of workloads in the suite.
+    pub workloads: usize,
+    /// Worker threads the fleet runner used.
+    pub batch_workers: usize,
+    /// Host wall time for the whole suite as one threaded batch
+    /// (block engine), ms.
+    pub batch_wall_ms: f64,
+    /// Fleet speedup versus the sequential block-engine pass.
+    pub batch_speedup: f64,
+    /// Block-engine speedup versus the step engine (the headline).
+    pub block_speedup: f64,
+}
+
+/// Measure host throughput of the three execution tiers over the whole
+/// workload suite, then the suite again as one threaded batch.
+///
+/// The modeled counts (instructions, cycles, cache stats) are asserted
+/// bit-identical across engines — the tiers may only differ in host
+/// wall time. Outside smoke mode this also enforces the release-build
+/// performance floor: the block engine must be at least 5× faster than
+/// the step interpreter (`ERIC_BENCH_NO_FLOOR=1` skips the assert for
+/// profiling/bisecting runs while still reporting the measurement).
+pub fn sim_dispatch() -> SimDispatchReport {
+    use eric_sim::{BatchJob, BatchRunner, EngineKind, RunOutcome, Soc, SocConfig};
+
+    let smoke = crate::output::smoke_mode();
+    let (warmup, iters) = if smoke { (0, 1) } else { (2, 7) };
+    let suite: Vec<(String, eric_asm::Image, i64)> = all()
+        .iter()
+        .map(|w| {
+            let scale = if smoke {
+                w.smoke_scale
+            } else {
+                w.default_scale
+            };
+            let image = assemble(&(w.source)(scale), &AsmOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            (w.name.to_string(), image, (w.golden)(scale))
+        })
+        .collect();
+
+    let mut rows: Vec<SimDispatchRow> = Vec::new();
+    let mut reference: Vec<RunOutcome> = Vec::new();
+    for engine in [EngineKind::Step, EngineKind::Cached, EngineKind::Block] {
+        let mut soc = Soc::new(SocConfig {
+            engine,
+            ..SocConfig::default()
+        });
+        let mut outcomes = Vec::new();
+        let wall = crate::output::measure_recorded(
+            &format!("suite_{engine}"),
+            None,
+            warmup,
+            iters,
+            || {
+                outcomes.clear();
+                for (name, image, _) in &suite {
+                    soc.load_image(image).unwrap();
+                    outcomes.push(soc.run(FUEL).unwrap_or_else(|e| panic!("{name}: {e}")));
+                }
+            },
+        );
+        for ((name, _, golden), out) in suite.iter().zip(&outcomes) {
+            assert_eq!(out.exit_code, *golden, "{name} on {engine}");
+        }
+        if reference.is_empty() {
+            reference = outcomes.clone();
+        } else {
+            assert_eq!(
+                outcomes, reference,
+                "{engine}: modeled counts must be engine-invariant"
+            );
+        }
+        let instructions: u64 = outcomes.iter().map(|o| o.instructions).sum();
+        let cycles: u64 = outcomes.iter().map(|o| o.cycles).sum();
+        let wall_s = wall.as_secs_f64().max(f64::EPSILON);
+        rows.push(SimDispatchRow {
+            engine: engine.name().to_string(),
+            wall_ms: wall_s * 1e3,
+            mips: instructions as f64 / wall_s / 1e6,
+            instructions,
+            cycles,
+            speedup: rows
+                .first()
+                .map_or(1.0, |step| step.wall_ms / (wall_s * 1e3)),
+        });
+    }
+
+    let runner = BatchRunner::new();
+    let jobs: Vec<BatchJob> = suite
+        .iter()
+        .map(|(name, image, _)| BatchJob {
+            name: name.clone(),
+            image: image.clone(),
+            config: SocConfig {
+                engine: EngineKind::Block,
+                ..SocConfig::default()
+            },
+            fuel: FUEL,
+        })
+        .collect();
+    let mut batch_results = Vec::new();
+    let batch_wall = crate::output::measure_recorded("suite_batch", None, warmup, iters, || {
+        batch_results = runner.run(&jobs);
+    });
+    for (result, want) in batch_results.iter().zip(&reference) {
+        let out = result
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: {e}", result.name));
+        assert_eq!(out, want, "{}: batch run diverged", result.name);
+    }
+
+    let block_speedup = rows[0].wall_ms / rows[2].wall_ms;
+    let no_floor = std::env::var("ERIC_BENCH_NO_FLOOR").is_ok_and(|v| !v.is_empty() && v != "0");
+    if !smoke && !no_floor {
+        assert!(
+            block_speedup >= 5.0,
+            "block engine must be ≥5× the step interpreter, got {block_speedup:.2}×"
+        );
+    }
+    let batch_wall_ms = batch_wall.as_secs_f64().max(f64::EPSILON) * 1e3;
+    SimDispatchReport {
+        workloads: suite.len(),
+        batch_workers: runner.workers(),
+        batch_wall_ms,
+        batch_speedup: rows[2].wall_ms / batch_wall_ms,
+        block_speedup,
+        rows,
+    }
+}
+
+crate::impl_json_struct!(SimDispatchRow {
+    engine,
+    wall_ms,
+    mips,
+    instructions,
+    cycles,
+    speedup
+});
+crate::impl_json_struct!(SimDispatchReport {
+    rows,
+    workloads,
+    batch_workers,
+    batch_wall_ms,
+    batch_speedup,
+    block_speedup
+});
+
 // Foreign struct, local trait: give the PUF report the same structured
 // snapshot as every other experiment.
 crate::impl_json_struct!(PufQualityReport {

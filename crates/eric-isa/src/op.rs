@@ -358,6 +358,56 @@ impl Op {
         )
     }
 
+    /// `true` if the instruction reads `rs1` as an **integer** register.
+    ///
+    /// Formats that carry no `rs1` (`lui`/`auipc`/`jal`), environment
+    /// calls, and immediate-operand CSR ops never read it; FP compute
+    /// ops read `rs1` as an FP register instead. Timing models use this
+    /// to decide whether an integer load-use interlock can apply.
+    pub fn reads_int_rs1(self) -> bool {
+        !self.rs1_is_fp()
+            && !matches!(self, Op::Lui | Op::Auipc | Op::Jal | Op::Ecall | Op::Ebreak)
+            && !matches!(self, Op::Csrrwi | Op::Csrrsi | Op::Csrrci)
+    }
+
+    /// `true` if the instruction reads `rs2` as an **integer** register.
+    ///
+    /// Only R/S/B/R4-format instructions have an `rs2` operand at all;
+    /// of those, FP arithmetic and FP stores read it as an FP register.
+    pub fn reads_int_rs2(self) -> bool {
+        !self.rs2_is_fp()
+            && matches!(
+                self.format(),
+                Format::R | Format::S | Format::B | Format::R4
+            )
+    }
+
+    /// The coarse execution-latency class the Rocket-like timing model
+    /// charges for this instruction.
+    ///
+    /// This is decode-time metadata: pre-decoded execution tiers in
+    /// `eric-sim` compute it once at translation and replay it per
+    /// retire, while the per-step oracle derives the identical class
+    /// from the same table.
+    pub fn timing_class(self) -> TimingClass {
+        use Op::*;
+        match self {
+            Mul | Mulh | Mulhsu | Mulhu | Mulw => TimingClass::Mul,
+            Div | Divu | Rem | Remu | Divw | Divuw | Remw | Remuw => TimingClass::Div,
+            FdivS | FdivD | FsqrtS | FsqrtD => TimingClass::FpDiv,
+            op if op.is_csr() => TimingClass::Csr,
+            op if op.is_amo() => TimingClass::Amo,
+            op if op.rd_is_fp() || op.rs1_is_fp() => {
+                if op.is_load() || op.is_store() {
+                    TimingClass::Simple
+                } else {
+                    TimingClass::Fp
+                }
+            }
+            _ => TimingClass::Simple,
+        }
+    }
+
     /// `true` if `rs2` names an FP register.
     pub fn rs2_is_fp(self) -> bool {
         use Op::*;
@@ -398,6 +448,28 @@ impl Op {
                 | FnmaddD
         )
     }
+}
+
+/// Coarse execution-latency classes of the Rocket-like pipeline, as
+/// charged by `eric-sim`'s timing model. Every [`Op`] maps to exactly
+/// one class via [`Op::timing_class`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TimingClass {
+    /// Single-cycle integer/control/memory-pipe operation (including
+    /// FP loads and stores, which ride the memory pipe).
+    Simple,
+    /// Integer multiply (3-stage multiplier).
+    Mul,
+    /// Integer divide/remainder (iterative divider).
+    Div,
+    /// FP arithmetic other than divide/sqrt.
+    Fp,
+    /// FP divide or square root.
+    FpDiv,
+    /// CSR access (pipeline flush on Rocket).
+    Csr,
+    /// Atomic memory operation (bus round trip).
+    Amo,
 }
 
 impl fmt::Display for Op {
@@ -461,5 +533,45 @@ mod tests {
         assert!(!Op::FmvWX.rs1_is_fp());
         assert!(!Op::FcvtWS.rd_is_fp());
         assert!(Op::FcvtSW.rd_is_fp());
+    }
+
+    #[test]
+    fn timing_classes_partition_the_isa() {
+        assert_eq!(Op::Addi.timing_class(), TimingClass::Simple);
+        assert_eq!(Op::Mulw.timing_class(), TimingClass::Mul);
+        assert_eq!(Op::Remu.timing_class(), TimingClass::Div);
+        assert_eq!(Op::FsqrtD.timing_class(), TimingClass::FpDiv);
+        assert_eq!(Op::FmaddS.timing_class(), TimingClass::Fp);
+        assert_eq!(Op::Csrrs.timing_class(), TimingClass::Csr);
+        assert_eq!(Op::AmoaddW.timing_class(), TimingClass::Amo);
+        // FP loads/stores ride the memory pipe: no FP execute latency.
+        assert_eq!(Op::Flw.timing_class(), TimingClass::Simple);
+        assert_eq!(Op::Fsd.timing_class(), TimingClass::Simple);
+        for &op in Op::ALL {
+            if op.is_csr() {
+                assert_eq!(op.timing_class(), TimingClass::Csr);
+            }
+            if op.is_amo() {
+                assert_eq!(op.timing_class(), TimingClass::Amo);
+            }
+        }
+    }
+
+    #[test]
+    fn integer_operand_usage() {
+        assert!(Op::Addi.reads_int_rs1());
+        assert!(!Op::Addi.reads_int_rs2()); // I-format has no rs2
+        assert!(Op::Add.reads_int_rs2());
+        assert!(!Op::Lui.reads_int_rs1());
+        assert!(!Op::Jal.reads_int_rs1());
+        assert!(!Op::Csrrwi.reads_int_rs1()); // zimm, not a register
+        assert!(Op::Csrrw.reads_int_rs1());
+        // FP compute reads FP registers, not integer ones...
+        assert!(!Op::FaddD.reads_int_rs1());
+        assert!(!Op::FaddD.reads_int_rs2());
+        // ...but FP loads/stores address through an integer base.
+        assert!(Op::Fld.reads_int_rs1());
+        assert!(Op::Fsd.reads_int_rs1());
+        assert!(!Op::Fsd.reads_int_rs2()); // stored datum is FP
     }
 }

@@ -141,23 +141,38 @@ impl Cache {
     /// filled (write-allocate); `write` marks the line dirty and a dirty
     /// eviction counts a writeback.
     pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.access_indexed(addr, write).0
+    }
+
+    /// [`Cache::access`], additionally returning an opaque token naming
+    /// the way the line now occupies. The token stays valid only until
+    /// the next access to this cache; pass it to [`Cache::reaccess`] to
+    /// model an immediately-following access to the **same line**
+    /// without re-running tag lookup.
+    pub fn access_indexed(&mut self, addr: u64, write: bool) -> (bool, u32) {
         self.tick += 1;
         let line_addr = addr / self.config.line as u64;
         let set_idx = (line_addr % self.config.sets() as u64) as usize;
         let tag = line_addr / self.config.sets() as u64;
-        let ways = &mut self.sets[set_idx * self.config.ways..(set_idx + 1) * self.config.ways];
+        let base = set_idx * self.config.ways;
+        let ways = &mut self.sets[base..base + self.config.ways];
 
-        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some((i, way)) = ways
+            .iter_mut()
+            .enumerate()
+            .find(|(_, w)| w.valid && w.tag == tag)
+        {
             way.lru = self.tick;
             way.dirty |= write;
             self.stats.hits += 1;
-            return true;
+            return (true, (base + i) as u32);
         }
         self.stats.misses += 1;
         // Victim: invalid way if any, else LRU.
-        let victim = ways
+        let (victim_idx, victim) = ways
             .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.lru + 1 } else { 0 })
             .expect("ways > 0");
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
@@ -168,7 +183,46 @@ impl Cache {
             tag,
             lru: self.tick,
         };
-        false
+        (false, (base + victim_idx) as u32)
+    }
+
+    /// Model a repeat access to the line named by `token` (from
+    /// [`Cache::access_indexed`]), valid only while the line is still
+    /// resident in that way. Residency can only end at an eviction, and
+    /// evictions only happen on misses — so a caller may hold tokens
+    /// across any number of intervening **hits** and must discard all
+    /// of them whenever this cache reports a **miss**. Under that
+    /// contract the access is a guaranteed hit, bit-identical to
+    /// calling [`Cache::access`] with any address in that line (same
+    /// LRU touch, dirty update, and hit count).
+    #[inline]
+    pub fn reaccess(&mut self, token: u32, write: bool) {
+        self.tick += 1;
+        let way = &mut self.sets[token as usize];
+        debug_assert!(way.valid, "stale token");
+        way.lru = self.tick;
+        way.dirty |= write;
+        self.stats.hits += 1;
+    }
+
+    /// Apply `accesses` guaranteed-hit **read** accesses in one step —
+    /// the exact statistical and LRU effect of that many individual
+    /// [`Cache::reaccess`] calls. `last_touch` gives, for each distinct
+    /// line involved, its resident-way token (under the
+    /// [`Cache::reaccess`] residency contract) and the 1-based position
+    /// of that line's *last* access within the batch: only the last
+    /// touch determines the line's final LRU stamp, and read hits
+    /// change nothing else.
+    #[inline]
+    pub fn reaccess_batch(&mut self, accesses: u64, last_touch: &[(u32, u32)]) {
+        let base = self.tick;
+        self.tick += accesses;
+        self.stats.hits += accesses;
+        for &(token, offset) in last_touch {
+            let way = &mut self.sets[token as usize];
+            debug_assert!(way.valid, "stale token");
+            way.lru = base + u64::from(offset);
+        }
     }
 }
 
@@ -258,6 +312,68 @@ mod tests {
             ways: 1,
             line: 32,
         });
+    }
+
+    #[test]
+    fn reaccess_is_bit_identical_to_full_access() {
+        // Drive two caches with the same trace; one uses the token
+        // shortcut for each immediately-repeated line, the other does
+        // full lookups. Stats and subsequent LRU behavior must match.
+        let mut fast = Cache::new(CacheConfig::paper_l1());
+        let mut slow = Cache::new(CacheConfig::paper_l1());
+        for &(addr, write) in &[
+            (0x8000_0000u64, false),
+            (0x8000_1000, true),
+            (0x8000_2000, false),
+            (0x8000_0040, false),
+        ] {
+            let (hit, tok) = fast.access_indexed(addr, false);
+            fast.reaccess(tok, write);
+            assert_eq!(hit, slow.access(addr, false));
+            assert!(slow.access(addr + 4, write), "same line must hit");
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        // Evictions (LRU + dirty writeback) must agree afterwards: touch
+        // 4 more conflicting lines into set 0 and compare.
+        for i in 1..=4u64 {
+            assert_eq!(
+                fast.access(0x8000_0000 + i * 4096, false),
+                slow.access(0x8000_0000 + i * 4096, false),
+            );
+        }
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn tokens_survive_intervening_hits() {
+        // A token stays valid across any number of intervening *hits*
+        // (only misses evict). Drive a fast cache holding a token
+        // across other-line hits against a slow all-lookup cache.
+        let mut fast = Cache::new(CacheConfig::paper_l1());
+        let mut slow = Cache::new(CacheConfig::paper_l1());
+        for c in [&mut fast, &mut slow] {
+            c.access(0x8000_0000, false); // A: cold miss
+            c.access(0x8000_0040, false); // B: cold miss
+        }
+        let (hit, tok_a) = fast.access_indexed(0x8000_0000, false);
+        assert!(hit);
+        slow.access(0x8000_0000, false);
+        for c in [&mut fast, &mut slow] {
+            c.access(0x8000_0040, true); // hits: must not invalidate tok_a
+            c.access(0x8000_0040, false);
+        }
+        fast.reaccess(tok_a, true);
+        slow.access(0x8000_0010, true); // same line as A
+        assert_eq!(fast.stats(), slow.stats());
+        // Dirty state and LRU order must agree: evict set 0 and compare
+        // writebacks.
+        for i in 1..=4u64 {
+            assert_eq!(
+                fast.access(0x8000_0000 + i * 4096, false),
+                slow.access(0x8000_0000 + i * 4096, false),
+            );
+        }
+        assert_eq!(fast.stats(), slow.stats());
     }
 
     #[test]

@@ -29,6 +29,19 @@ pub enum StepOutcome {
     Breakpoint,
 }
 
+/// [`StepOutcome`] without the retired instruction payload — what
+/// [`Cpu::execute`] reports to callers that already hold the decoded
+/// [`Inst`] (the pre-decoded engines), so the hot path never copies it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum ExecFlow {
+    /// The instruction retired normally.
+    Retired,
+    /// The program invoked `exit(code)`.
+    Exit(i64),
+    /// An `ebreak` was executed.
+    Breakpoint,
+}
+
 /// An execution fault.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ExecError {
@@ -136,6 +149,25 @@ impl Cpu {
         &self.stdout
     }
 
+    /// Take ownership of the accumulated program output, leaving the
+    /// buffer empty (its allocation is handed to the caller).
+    pub fn take_stdout(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.stdout)
+    }
+
+    /// Return the hart to power-on state in place, reusing the stdout
+    /// allocation (equivalent to `*self = Cpu::new()` without churn).
+    pub fn reset(&mut self) {
+        self.x = [0; 32];
+        self.f = [0; 32];
+        self.pc = 0;
+        self.fcsr = 0;
+        self.instret = 0;
+        self.cycle = 0;
+        self.reservation = None;
+        self.stdout.clear();
+    }
+
     fn f32_bits(&self, n: u8) -> f32 {
         let bits = self.f[n as usize];
         if bits >> 32 == 0xFFFF_FFFF {
@@ -174,20 +206,42 @@ impl Cpu {
             .or_else(|_| mem.read_bytes(pc, 2))
             .map_err(|err| ExecError::Mem { pc, err })?;
         let inst = decode_parcel(window).map_err(|err| ExecError::Decode { pc, err })?;
-        let next_pc = pc + inst.len as u64;
-        self.pc = next_pc;
-        let outcome = self.execute(&inst, mem, pc)?;
-        self.instret += 1;
-        Ok(outcome)
+        let flow = self.step_decoded(&inst, mem, pc)?;
+        Ok(match flow {
+            ExecFlow::Retired => StepOutcome::Retired(inst),
+            ExecFlow::Exit(code) => StepOutcome::Exit(code),
+            ExecFlow::Breakpoint => StepOutcome::Breakpoint,
+        })
     }
 
-    #[allow(clippy::too_many_lines)]
-    fn execute(
+    /// Execute one **already-decoded** instruction whose fetch address
+    /// was `pc`: advance the PC past it, run its semantics, and count it
+    /// retired. This is [`Cpu::step`] minus fetch/decode — the entry
+    /// point for the decode-cache and basic-block engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on memory faults or misaligned control
+    /// transfers.
+    pub(crate) fn step_decoded(
         &mut self,
         inst: &Inst,
         mem: &mut Memory,
         pc: u64,
-    ) -> Result<StepOutcome, ExecError> {
+    ) -> Result<ExecFlow, ExecError> {
+        self.pc = pc + inst.len as u64;
+        let flow = self.execute(inst, mem, pc)?;
+        self.instret += 1;
+        Ok(flow)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn execute(
+        &mut self,
+        inst: &Inst,
+        mem: &mut Memory,
+        pc: u64,
+    ) -> Result<ExecFlow, ExecError> {
         use Op::*;
         let rs1 = self.reg(inst.rs1);
         let rs2 = self.reg(inst.rs2);
@@ -318,7 +372,7 @@ impl Cpu {
             }
             Fence | FenceI => {}
             Ecall => return self.ecall(mem, pc),
-            Ebreak => return Ok(StepOutcome::Breakpoint),
+            Ebreak => return Ok(ExecFlow::Breakpoint),
             Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => {
                 self.exec_csr(inst)?;
             }
@@ -401,13 +455,13 @@ impl Cpu {
             }
             _ => self.exec_fp(inst),
         }
-        Ok(StepOutcome::Retired(*inst))
+        Ok(ExecFlow::Retired)
     }
 
-    fn ecall(&mut self, mem: &mut Memory, pc: u64) -> Result<StepOutcome, ExecError> {
+    fn ecall(&mut self, mem: &mut Memory, pc: u64) -> Result<ExecFlow, ExecError> {
         let number = self.reg(17); // a7
         match number {
-            syscall::EXIT => Ok(StepOutcome::Exit(self.reg(10) as i64)),
+            syscall::EXIT => Ok(ExecFlow::Exit(self.reg(10) as i64)),
             syscall::WRITE => {
                 let (fd, addr, len) = (self.reg(10), self.reg(11), self.reg(12));
                 if fd == 1 || fd == 2 {
@@ -419,29 +473,11 @@ impl Cpu {
                 } else {
                     self.set_reg(10, syscall::ENOSYS as u64);
                 }
-                Ok(StepOutcome::Retired(Inst {
-                    op: Op::Ecall,
-                    rd: 0,
-                    rs1: 0,
-                    rs2: 0,
-                    rs3: 0,
-                    imm: 0,
-                    rm: 0,
-                    len: 4,
-                }))
+                Ok(ExecFlow::Retired)
             }
             _ => {
                 self.set_reg(10, syscall::ENOSYS as u64);
-                Ok(StepOutcome::Retired(Inst {
-                    op: Op::Ecall,
-                    rd: 0,
-                    rs1: 0,
-                    rs2: 0,
-                    rs3: 0,
-                    imm: 0,
-                    rm: 0,
-                    len: 4,
-                }))
+                Ok(ExecFlow::Retired)
             }
         }
     }
@@ -592,11 +628,11 @@ impl Cpu {
     }
 }
 
-fn sext32(v: u64) -> u64 {
+pub(crate) fn sext32(v: u64) -> u64 {
     v as u32 as i32 as i64 as u64
 }
 
-fn div_signed(a: i64, b: i64) -> i64 {
+pub(crate) fn div_signed(a: i64, b: i64) -> i64 {
     if b == 0 {
         -1
     } else if a == i64::MIN && b == -1 {
@@ -606,7 +642,7 @@ fn div_signed(a: i64, b: i64) -> i64 {
     }
 }
 
-fn rem_signed(a: i64, b: i64) -> i64 {
+pub(crate) fn rem_signed(a: i64, b: i64) -> i64 {
     if b == 0 {
         a
     } else if a == i64::MIN && b == -1 {

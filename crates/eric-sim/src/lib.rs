@@ -17,7 +17,14 @@
 //!   cache-miss stalls.
 //! * [`soc`] — ties everything together; [`soc::Soc::run`] executes a
 //!   loaded program to completion and reports retired instructions,
-//!   cycles, cache statistics, and the exit code.
+//!   cycles, cache statistics, and the exit code. Three execution
+//!   engines (selectable via [`soc::EngineKind`] or the
+//!   `ERIC_SIM_ENGINE` env var) trade host speed for simplicity: a
+//!   step interpreter (the semantic oracle), a decoded-instruction
+//!   cache, and basic-block dispatch (the default). All three produce
+//!   bit-identical run outcomes.
+//! * [`batch`] — a threaded fleet runner that fans independent
+//!   simulations out over OS threads.
 //!
 //! Figure 7's end-to-end overhead is measured against this simulator's
 //! cycle counts (see `eric-hde` for the decrypt-side costs).
@@ -43,14 +50,17 @@
 //! assert!(outcome.cycles >= outcome.instructions);
 //! ```
 
+pub mod batch;
+mod block;
 pub mod cache;
 pub mod cpu;
 pub mod mem;
 pub mod pipeline;
 pub mod soc;
 
+pub use batch::{BatchJob, BatchResult, BatchRunner};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use cpu::{Cpu, ExecError, StepOutcome};
 pub use mem::{MemError, Memory};
 pub use pipeline::TimingConfig;
-pub use soc::{RunOutcome, Soc, SocConfig};
+pub use soc::{EngineKind, RunOutcome, Soc, SocConfig};

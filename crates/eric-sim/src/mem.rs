@@ -28,12 +28,24 @@ impl fmt::Display for MemError {
 
 impl Error for MemError {}
 
+/// Granularity (bytes, power of two) at which stores into translated
+/// code are tracked. Coarser pages cost more spurious invalidations;
+/// finer pages cost more bitmap bits. 256 B ≈ a few basic blocks.
+const CODE_PAGE_SHIFT: u32 = 8;
+
 /// Byte-addressable RAM mapped at a fixed base (the Rocket memory map
 /// puts DRAM at `0x8000_0000`).
 #[derive(Clone)]
 pub struct Memory {
     base: u64,
     bytes: Vec<u8>,
+    /// One flag per [`CODE_PAGE_SHIFT`]-sized page: set when an
+    /// execution engine has translated instructions from that page.
+    code_pages: Vec<bool>,
+    /// Bumped whenever a store or [`Memory::write_bytes`] touches a
+    /// marked code page — pre-decoded engines watch this to invalidate
+    /// stale translations (HDE in-place decryption, self-modification).
+    code_version: u64,
 }
 
 impl fmt::Debug for Memory {
@@ -53,7 +65,51 @@ impl Memory {
         Memory {
             base,
             bytes: vec![0; size],
+            code_pages: vec![false; (size >> CODE_PAGE_SHIFT) + 1],
+            code_version: 0,
         }
+    }
+
+    /// Zero all of RAM and drop code-page marks, reusing the existing
+    /// allocations (power-on state for a reloaded `Soc`).
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+        self.code_pages.fill(false);
+        // Translations of the old contents are stale either way.
+        self.code_version += 1;
+    }
+
+    /// Current code-write generation. Engines that cache decoded
+    /// instructions snapshot this and re-validate their caches when it
+    /// moves.
+    pub fn code_version(&self) -> u64 {
+        self.code_version
+    }
+
+    /// Mark `[addr, addr + len)` as translated code, so future stores
+    /// into it bump [`Memory::code_version`]. Out-of-range addresses are
+    /// ignored (the caller already fetched from the range successfully).
+    pub fn note_code_range(&mut self, addr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let Some(off) = addr.checked_sub(self.base) else {
+            return;
+        };
+        let first = (off >> CODE_PAGE_SHIFT) as usize;
+        let last = ((off + len as u64 - 1) >> CODE_PAGE_SHIFT) as usize;
+        for page in first..=last.min(self.code_pages.len() - 1) {
+            self.code_pages[page] = true;
+        }
+    }
+
+    /// Did `[off, off + len)` (byte offsets, `len > 0`) touch a marked
+    /// code page?
+    #[inline]
+    fn touches_code(&self, off: usize, len: usize) -> bool {
+        let first = off >> CODE_PAGE_SHIFT;
+        let last = (off + len - 1) >> CODE_PAGE_SHIFT;
+        self.code_pages[first..=last].iter().any(|&p| p)
     }
 
     /// Base physical address.
@@ -88,6 +144,9 @@ impl Memory {
     /// Returns [`MemError`] if the range is unmapped.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
         let off = self.offset(addr, data.len(), true)?;
+        if !data.is_empty() && self.touches_code(off, data.len()) {
+            self.code_version += 1;
+        }
         self.bytes[off..off + data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -109,11 +168,14 @@ impl Memory {
     /// Returns [`MemError`] if the range is unmapped.
     pub fn load(&self, addr: u64, width: usize) -> Result<u64, MemError> {
         let off = self.offset(addr, width, false)?;
-        let mut v = 0u64;
-        for i in (0..width).rev() {
-            v = (v << 8) | self.bytes[off + i] as u64;
-        }
-        Ok(v)
+        let b = &self.bytes[off..off + width];
+        Ok(match width {
+            1 => b[0] as u64,
+            2 => u16::from_le_bytes([b[0], b[1]]) as u64,
+            4 => u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64,
+            8 => u64::from_le_bytes(b.try_into().expect("width 8")),
+            _ => b.iter().rev().fold(0u64, |v, &byte| (v << 8) | byte as u64),
+        })
     }
 
     /// Store the low `width` bytes of `value` little-endian at `addr`.
@@ -123,9 +185,11 @@ impl Memory {
     /// Returns [`MemError`] if the range is unmapped.
     pub fn store(&mut self, addr: u64, width: usize, value: u64) -> Result<(), MemError> {
         let off = self.offset(addr, width, true)?;
-        for i in 0..width {
-            self.bytes[off + i] = (value >> (8 * i)) as u8;
+        if self.touches_code(off, width) {
+            self.code_version += 1;
         }
+        let le = value.to_le_bytes();
+        self.bytes[off..off + width].copy_from_slice(&le[..width.min(8)]);
         Ok(())
     }
 }
@@ -179,5 +243,35 @@ mod tests {
         let mut m = Memory::new(0x1000, 64);
         m.write_bytes(0x1010, b"hello").unwrap();
         assert_eq!(m.read_bytes(0x1010, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn code_version_tracks_stores_into_translated_text() {
+        let mut m = Memory::new(0x8000_0000, 4096);
+        let v0 = m.code_version();
+        m.store(0x8000_0800, 4, 1).unwrap();
+        assert_eq!(m.code_version(), v0, "store outside code: no bump");
+        m.note_code_range(0x8000_0000, 64);
+        m.store(0x8000_0010, 4, 1).unwrap();
+        assert!(m.code_version() > v0, "store into translated text bumps");
+        let v1 = m.code_version();
+        m.write_bytes(0x8000_0020, &[1, 2, 3, 4]).unwrap();
+        assert!(m.code_version() > v1, "write_bytes bumps too");
+        m.write_bytes(0x8000_0020, &[]).unwrap();
+    }
+
+    #[test]
+    fn clear_zeroes_and_invalidates() {
+        let mut m = Memory::new(0x8000_0000, 4096);
+        m.write_bytes(0x8000_0000, b"code").unwrap();
+        m.note_code_range(0x8000_0000, 4);
+        let v = m.code_version();
+        m.clear();
+        assert!(m.code_version() > v);
+        assert_eq!(m.read_bytes(0x8000_0000, 4).unwrap(), &[0, 0, 0, 0]);
+        // Marks are gone: a store to the old code page no longer bumps.
+        let v = m.code_version();
+        m.store(0x8000_0000, 4, 7).unwrap();
+        assert_eq!(m.code_version(), v);
     }
 }

@@ -4,7 +4,8 @@
 //! in-order single-issue pipeline retires ≤1 instruction per cycle;
 //! everything beyond that base rate is stalls. The model charges:
 //!
-//! * instruction-cache miss penalty at fetch,
+//! * instruction-cache miss penalty per line fetched (a parcel that
+//!   straddles a line boundary fetches two lines),
 //! * data-cache miss penalty for loads/stores/AMOs,
 //! * a load-use interlock bubble when an instruction consumes the
 //!   result of the immediately preceding load,
@@ -15,9 +16,15 @@
 //! (34-cycle iterative divider, 3-stage multiplier, 2-cycle redirect).
 //! Figure 7 compares *ratios* of end-to-end times, so what matters is
 //! that workload cycle counts scale realistically with program behavior.
+//!
+//! Two retire entry points exist: [`Pipeline::retire`] derives the
+//! charge from a decoded [`Inst`] (the step oracle's path), and
+//! [`Pipeline::retire_predecoded`] replays a [`PreTiming`] computed
+//! once at translation time (the basic-block engine's path). Both
+//! funnel into the same accounting, so the engines cannot drift.
 
 use eric_isa::inst::Inst;
-use eric_isa::op::Op;
+use eric_isa::op::TimingClass;
 
 /// Stall/latency constants (cycles).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +51,21 @@ pub struct TimingConfig {
     pub amo: u64,
 }
 
+impl TimingConfig {
+    /// Extra execute-stage cycles charged for one latency class.
+    pub fn extra_for(&self, class: TimingClass) -> u64 {
+        match class {
+            TimingClass::Simple => 0,
+            TimingClass::Mul => self.mul,
+            TimingClass::Div => self.div,
+            TimingClass::Fp => self.fp,
+            TimingClass::FpDiv => self.fp_div,
+            TimingClass::Csr => self.csr,
+            TimingClass::Amo => self.amo,
+        }
+    }
+}
+
 impl Default for TimingConfig {
     fn default() -> Self {
         TimingConfig {
@@ -61,13 +83,77 @@ impl Default for TimingConfig {
     }
 }
 
+/// Register-number sentinel in [`PreTiming`] for "no integer operand".
+pub const NO_REG: u8 = 0xFF;
+
+/// Interlock and execute-latency metadata pre-computed from one decoded
+/// instruction, consumed by [`Pipeline::retire_predecoded`].
+///
+/// The basic-block engine computes this once per translated instruction;
+/// the step oracle derives the identical value on every retire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PreTiming {
+    /// Extra execute cycles ([`TimingConfig::extra_for`] of the op's
+    /// timing class).
+    pub exec_extra: u64,
+    /// `rs1` when the op reads it as an integer register, else [`NO_REG`].
+    pub int_rs1: u8,
+    /// `rs2` when the op reads it as an integer register, else [`NO_REG`].
+    pub int_rs2: u8,
+    /// `rd` when the op is a load, else `0` (x0 never interlocks).
+    pub load_rd: u8,
+}
+
+impl PreTiming {
+    /// Derive the timing metadata for one decoded instruction.
+    pub fn of(inst: &Inst, config: &TimingConfig) -> Self {
+        let op = inst.op;
+        PreTiming {
+            exec_extra: config.extra_for(op.timing_class()),
+            int_rs1: if op.reads_int_rs1() { inst.rs1 } else { NO_REG },
+            int_rs2: if op.reads_int_rs2() { inst.rs2 } else { NO_REG },
+            load_rd: if op.is_load() { inst.rd } else { 0 },
+        }
+    }
+}
+
+/// Whole-block static timing: the parts of a translated block's cycle
+/// cost that depend only on its instruction sequence, precomputed at
+/// translation time. Valid for blocks executed in full with every
+/// instruction fetch hitting the I-cache; the runtime-dependent parts
+/// (D-cache misses, the terminator's conditional-branch redirect, and
+/// the interlock against the *incoming* previous load) are charged
+/// separately — see [`Pipeline::retire_block`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockTiming {
+    /// Σ(1 + exec_extra) over the block, plus intra-block load-use
+    /// interlocks, plus the unconditional jump redirect if the block
+    /// ends in one.
+    pub cycles: u64,
+    /// The execution-stall portion of `cycles` (Σ exec_extra).
+    pub execute: u64,
+    /// The intra-block load-use portion of `cycles`.
+    pub load_use: u64,
+    /// The static (jump) redirect portion of `cycles`.
+    pub redirect: u64,
+    /// First instruction's integer `rs1` ([`NO_REG`] when unread) for
+    /// the interlock against the load preceding the block.
+    pub first_int_rs1: u8,
+    /// First instruction's integer `rs2` (same contract).
+    pub first_int_rs2: u8,
+    /// Last instruction's load destination (`0` when not a load): the
+    /// interlock state the block leaves behind.
+    pub last_load_rd: u8,
+}
+
 /// Per-instruction timing state (tracks the previous load for the
 /// load-use interlock).
 #[derive(Clone, Debug, Default)]
 pub struct Pipeline {
     config: TimingConfig,
-    /// Destination of the previous instruction if it was a load.
-    prev_load_rd: Option<u8>,
+    /// Destination of the previous instruction if it was a load, else 0
+    /// (a load to x0 is equivalent to no load: x0 never interlocks).
+    prev_load_rd: u8,
     /// Total stall cycles charged so far, by cause (for reports).
     pub stalls: StallBreakdown,
 }
@@ -99,7 +185,7 @@ impl Pipeline {
     pub fn new(config: TimingConfig) -> Self {
         Pipeline {
             config,
-            prev_load_rd: None,
+            prev_load_rd: 0,
             stalls: StallBreakdown::default(),
         }
     }
@@ -111,98 +197,99 @@ impl Pipeline {
 
     /// Charge one retired instruction and return its cycle cost.
     ///
-    /// `ifetch_hit`/`dcache_hit` report the cache outcomes for this
-    /// instruction (`dcache_hit` is `None` for non-memory ops);
-    /// `branch_taken` reports whether control flow redirected.
+    /// `ifetch_misses` is the number of I-cache lines that missed while
+    /// fetching this parcel (0, 1, or 2 — a parcel straddling a line
+    /// boundary fetches two lines); `dcache_hit` reports the D-cache
+    /// outcome (`None` for non-memory ops); `branch_taken` reports
+    /// whether control flow redirected.
     pub fn retire(
         &mut self,
         inst: &Inst,
-        ifetch_hit: bool,
+        ifetch_misses: u64,
+        dcache_hit: Option<bool>,
+        branch_taken: bool,
+    ) -> u64 {
+        let t = PreTiming::of(inst, &self.config);
+        self.retire_predecoded(&t, ifetch_misses, dcache_hit, branch_taken)
+    }
+
+    /// [`Pipeline::retire`] with the per-instruction metadata already
+    /// computed (the pre-decoded engines' hot path). Identical
+    /// accounting: `retire` delegates here.
+    #[inline]
+    pub fn retire_predecoded(
+        &mut self,
+        t: &PreTiming,
+        ifetch_misses: u64,
         dcache_hit: Option<bool>,
         branch_taken: bool,
     ) -> u64 {
         let mut cycles = 1u64;
-        if !ifetch_hit {
-            cycles += self.config.icache_miss;
-            self.stalls.icache += self.config.icache_miss;
+        if ifetch_misses > 0 {
+            let stall = ifetch_misses * self.config.icache_miss;
+            cycles += stall;
+            self.stalls.icache += stall;
         }
         if dcache_hit == Some(false) {
             cycles += self.config.dcache_miss;
             self.stalls.dcache += self.config.dcache_miss;
         }
         // Load-use interlock: the previous instruction was a load and
-        // this one reads its destination.
-        if let Some(rd) = self.prev_load_rd {
-            if rd != 0 && reads(inst, rd) {
-                cycles += self.config.load_use;
-                self.stalls.load_use += self.config.load_use;
-            }
+        // this one reads its destination as an integer operand.
+        let prev = self.prev_load_rd;
+        if prev != 0 && (prev == t.int_rs1 || prev == t.int_rs2) {
+            cycles += self.config.load_use;
+            self.stalls.load_use += self.config.load_use;
         }
         if branch_taken {
             cycles += self.config.redirect;
             self.stalls.redirect += self.config.redirect;
         }
-        let exec_extra = match inst.op {
-            Op::Mul | Op::Mulh | Op::Mulhsu | Op::Mulhu | Op::Mulw => self.config.mul,
-            Op::Div
-            | Op::Divu
-            | Op::Rem
-            | Op::Remu
-            | Op::Divw
-            | Op::Divuw
-            | Op::Remw
-            | Op::Remuw => self.config.div,
-            Op::FdivS | Op::FdivD | Op::FsqrtS | Op::FsqrtD => self.config.fp_div,
-            op if op.is_csr() => self.config.csr,
-            op if op.is_amo() => self.config.amo,
-            op if op.rd_is_fp() || op.rs1_is_fp() => {
-                if op.is_load() || op.is_store() {
-                    0
-                } else {
-                    self.config.fp
-                }
-            }
-            _ => 0,
-        };
-        cycles += exec_extra;
-        self.stalls.execute += exec_extra;
+        cycles += t.exec_extra;
+        self.stalls.execute += t.exec_extra;
 
-        self.prev_load_rd = if inst.op.is_load() {
-            Some(inst.rd)
-        } else {
-            None
-        };
+        self.prev_load_rd = t.load_rd;
+        cycles
+    }
+
+    /// Charge a whole translated block at once: bit-identical to
+    /// calling [`Pipeline::retire_predecoded`] for each of its
+    /// instructions with zero I-cache misses and all-hit D-cache
+    /// accesses. The caller charges D-cache misses separately (the
+    /// sums commute) and reports the terminator's conditional-branch
+    /// outcome in `branch_taken` (unconditional jump redirects are
+    /// already part of the static cost).
+    #[inline]
+    pub fn retire_block(&mut self, t: &BlockTiming, branch_taken: bool) -> u64 {
+        let mut cycles = t.cycles;
+        self.stalls.execute += t.execute;
+        self.stalls.load_use += t.load_use;
+        self.stalls.redirect += t.redirect;
+        let prev = self.prev_load_rd;
+        if prev != 0 && (prev == t.first_int_rs1 || prev == t.first_int_rs2) {
+            cycles += self.config.load_use;
+            self.stalls.load_use += self.config.load_use;
+        }
+        if branch_taken {
+            cycles += self.config.redirect;
+            self.stalls.redirect += self.config.redirect;
+        }
+        self.prev_load_rd = t.last_load_rd;
         cycles
     }
 
     /// Reset interlock tracking and stall counters.
     pub fn reset(&mut self) {
-        self.prev_load_rd = None;
+        self.prev_load_rd = 0;
         self.stalls = StallBreakdown::default();
     }
-}
-
-/// Does `inst` read integer register `r`?
-fn reads(inst: &Inst, r: u8) -> bool {
-    let uses_rs1 = !inst.op.rs1_is_fp() && inst.rs1 == r && uses_rs1_at_all(inst.op);
-    let uses_rs2 = !inst.op.rs2_is_fp() && inst.rs2 == r && uses_rs2_at_all(inst.op);
-    uses_rs1 || uses_rs2
-}
-
-fn uses_rs1_at_all(op: Op) -> bool {
-    !matches!(op, Op::Lui | Op::Auipc | Op::Jal | Op::Ecall | Op::Ebreak)
-        && !matches!(op, Op::Csrrwi | Op::Csrrsi | Op::Csrrci)
-}
-
-fn uses_rs2_at_all(op: Op) -> bool {
-    use eric_isa::op::Format;
-    matches!(op.format(), Format::R | Format::S | Format::B | Format::R4)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use eric_isa::inst::Inst;
+    use eric_isa::op::Op;
     use eric_isa::reg::Reg;
 
     fn addi() -> Inst {
@@ -212,21 +299,28 @@ mod tests {
     #[test]
     fn base_cost_is_one_cycle() {
         let mut p = Pipeline::new(TimingConfig::default());
-        assert_eq!(p.retire(&addi(), true, None, false), 1);
+        assert_eq!(p.retire(&addi(), 0, None, false), 1);
     }
 
     #[test]
     fn icache_miss_charged() {
         let mut p = Pipeline::new(TimingConfig::default());
-        assert_eq!(p.retire(&addi(), false, None, false), 21);
+        assert_eq!(p.retire(&addi(), 1, None, false), 21);
         assert_eq!(p.stalls.icache, 20);
+    }
+
+    #[test]
+    fn straddling_fetch_charges_both_lines() {
+        let mut p = Pipeline::new(TimingConfig::default());
+        assert_eq!(p.retire(&addi(), 2, None, false), 41);
+        assert_eq!(p.stalls.icache, 40);
     }
 
     #[test]
     fn dcache_miss_charged() {
         let mut p = Pipeline::new(TimingConfig::default());
         let load = Inst::i(Op::Lw, Reg::A0, Reg::SP, 0);
-        assert_eq!(p.retire(&load, true, Some(false), false), 21);
+        assert_eq!(p.retire(&load, 0, Some(false), false), 21);
         assert_eq!(p.stalls.dcache, 20);
     }
 
@@ -236,15 +330,11 @@ mod tests {
         let load = Inst::i(Op::Lw, Reg::A0, Reg::SP, 0);
         let use_it = Inst::i(Op::Addi, Reg::A1, Reg::A0, 1);
         let unrelated = Inst::i(Op::Addi, Reg::A1, Reg::SP, 1);
-        p.retire(&load, true, Some(true), false);
+        p.retire(&load, 0, Some(true), false);
+        assert_eq!(p.retire(&use_it, 0, None, false), 2, "dependent use stalls");
+        p.retire(&load, 0, Some(true), false);
         assert_eq!(
-            p.retire(&use_it, true, None, false),
-            2,
-            "dependent use stalls"
-        );
-        p.retire(&load, true, Some(true), false);
-        assert_eq!(
-            p.retire(&unrelated, true, None, false),
+            p.retire(&unrelated, 0, None, false),
             1,
             "independent op flows"
         );
@@ -255,17 +345,17 @@ mod tests {
         let mut p = Pipeline::new(TimingConfig::default());
         let load = Inst::i(Op::Lw, Reg::A0, Reg::SP, 0);
         let use_it = Inst::i(Op::Addi, Reg::A1, Reg::A0, 1);
-        p.retire(&load, true, Some(true), false);
-        p.retire(&addi(), true, None, false);
-        assert_eq!(p.retire(&use_it, true, None, false), 1);
+        p.retire(&load, 0, Some(true), false);
+        p.retire(&addi(), 0, None, false);
+        assert_eq!(p.retire(&use_it, 0, None, false), 1);
     }
 
     #[test]
     fn redirect_charged_for_taken_branches() {
         let mut p = Pipeline::new(TimingConfig::default());
         let branch = Inst::b(Op::Beq, Reg::A0, Reg::A1, 8);
-        assert_eq!(p.retire(&branch, true, None, true), 3);
-        assert_eq!(p.retire(&branch, true, None, false), 1);
+        assert_eq!(p.retire(&branch, 0, None, true), 3);
+        assert_eq!(p.retire(&branch, 0, None, false), 1);
     }
 
     #[test]
@@ -273,8 +363,8 @@ mod tests {
         let mut p = Pipeline::new(TimingConfig::default());
         let mul = Inst::r(Op::Mul, Reg::A0, Reg::A0, Reg::A1);
         let div = Inst::r(Op::Div, Reg::A0, Reg::A0, Reg::A1);
-        assert_eq!(p.retire(&mul, true, None, false), 4);
-        assert_eq!(p.retire(&div, true, None, false), 34);
+        assert_eq!(p.retire(&mul, 0, None, false), 4);
+        assert_eq!(p.retire(&div, 0, None, false), 34);
     }
 
     #[test]
@@ -282,11 +372,38 @@ mod tests {
         let mut p = Pipeline::new(TimingConfig::default());
         let div = Inst::r(Op::Div, Reg::A0, Reg::A0, Reg::A1);
         let total: u64 = [
-            p.retire(&addi(), false, None, false),
-            p.retire(&div, true, None, true),
+            p.retire(&addi(), 1, None, false),
+            p.retire(&div, 0, None, true),
         ]
         .iter()
         .sum();
         assert_eq!(total, 2 + p.stalls.total());
+    }
+
+    #[test]
+    fn predecoded_path_matches_oracle_path() {
+        let insts = [
+            addi(),
+            Inst::i(Op::Lw, Reg::A0, Reg::SP, 0),
+            Inst::i(Op::Addi, Reg::A1, Reg::A0, 1),
+            Inst::r(Op::Div, Reg::A0, Reg::A0, Reg::A1),
+            Inst::b(Op::Beq, Reg::A0, Reg::A1, 8),
+        ];
+        let config = TimingConfig::default();
+        let mut direct = Pipeline::new(config);
+        let mut pre = Pipeline::new(config);
+        for (i, inst) in insts.iter().enumerate() {
+            let misses = (i % 3) as u64;
+            let dhit = inst.op.is_memory().then_some(i % 2 == 0);
+            let taken = inst.op.is_branch();
+            let t = PreTiming::of(inst, &config);
+            assert_eq!(
+                direct.retire(inst, misses, dhit, taken),
+                pre.retire_predecoded(&t, misses, dhit, taken),
+                "{}",
+                inst.op
+            );
+        }
+        assert_eq!(direct.stalls, pre.stalls);
     }
 }
