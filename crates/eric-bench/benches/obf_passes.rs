@@ -1,0 +1,43 @@
+//! Obfuscation passes — Thomborson-style cost/potency of each pass
+//! and of the composed standard pipeline, over the full workload
+//! suite, with every transformed image differentially verified
+//! against its original in the simulator (same exit code, same
+//! stdout, on the same engine).
+
+use eric_bench::obf_passes;
+use eric_bench::output::{banner, write_bench_json, write_json};
+
+fn main() {
+    banner("Obfuscation passes: cost/potency with differential verification");
+    let r = obf_passes();
+    println!(
+        "{:<14} {:<10} {:>8} {:>9} {:>10} {:>9} {:>8} {:>8}",
+        "workload", "pass", "text B", "size %", "cycles", "cycle %", "H after", "op-shift"
+    );
+    for row in &r.rows {
+        println!(
+            "{:<14} {:<10} {:>8} {:>+8.2}% {:>10} {:>+8.2}% {:>8.3} {:>8.4}",
+            row.workload,
+            row.pass,
+            row.text_bytes_after,
+            row.size_delta_pct,
+            row.cycles_after,
+            row.cycle_delta_pct,
+            row.entropy_after,
+            row.opcode_shift
+        );
+    }
+    println!(
+        "\nseed {:#x} on the {} engine: all {} rows verified = {}",
+        r.seed,
+        r.engine,
+        r.rows.len(),
+        r.all_verified
+    );
+    println!(
+        "composed pipeline means: {:+.2}% text, {:+.2}% cycles",
+        r.composed_size_delta_pct, r.composed_cycle_delta_pct
+    );
+    write_json("obf_passes", &r);
+    write_bench_json("obf_passes");
+}

@@ -1263,6 +1263,150 @@ crate::impl_json_struct!(SimDispatchReport {
     block_speedup
 });
 
+// ---------------------------------------------------------------------
+// Obfuscation passes — cost/potency with differential verification
+// ---------------------------------------------------------------------
+
+/// One `obf_passes` row: cost and potency of one pass configuration
+/// on one workload, with its differential verdict.
+#[derive(Clone, Debug)]
+pub struct ObfPassRow {
+    /// Workload name.
+    pub workload: String,
+    /// Pass configuration (`shuffle`, `subst`, `opaque`, `composed`).
+    pub pass: String,
+    /// `true` if the transformed image matched the original's
+    /// architectural results (exit code + stdout) in `eric-sim`.
+    pub verified: bool,
+    /// Text bytes before / after.
+    pub text_bytes_before: u64,
+    /// Text bytes after the transformation.
+    pub text_bytes_after: u64,
+    /// Text growth, percent (cost).
+    pub size_delta_pct: f64,
+    /// Modeled cycles before / after.
+    pub cycles_before: u64,
+    /// Modeled cycles after the transformation.
+    pub cycles_after: u64,
+    /// Cycle growth, percent (cost).
+    pub cycle_delta_pct: f64,
+    /// Shannon entropy of the text before, bits/byte.
+    pub entropy_before: f64,
+    /// Shannon entropy of the text after, bits/byte.
+    pub entropy_after: f64,
+    /// Total-variation distance between opcode histograms (potency).
+    pub opcode_shift: f64,
+}
+
+/// The `obf_passes` experiment report.
+#[derive(Clone, Debug)]
+pub struct ObfPassesReport {
+    /// Per-workload × per-pass rows.
+    pub rows: Vec<ObfPassRow>,
+    /// Pipeline seed used for every configuration.
+    pub seed: u64,
+    /// Execution engine both sides of every comparison ran under.
+    pub engine: String,
+    /// `true` if every row verified.
+    pub all_verified: bool,
+    /// Mean text growth of the composed pipeline, percent.
+    pub composed_size_delta_pct: f64,
+    /// Mean cycle growth of the composed pipeline, percent.
+    pub composed_cycle_delta_pct: f64,
+}
+
+/// Measure cost/potency of each obfuscation pass and of the composed
+/// standard pipeline across the workload suite, differentially
+/// verifying every transformed image against its original in the
+/// simulator. Verification is correctness, not performance: a
+/// mismatch panics regardless of smoke mode.
+pub fn obf_passes() -> ObfPassesReport {
+    use eric_obf::{OpaquePredicates, Pipeline, Shuffle, Substitute, VerifyOptions};
+    use eric_sim::EngineKind;
+
+    const SEED: u64 = 0xE51C_0BF0;
+    let smoke = crate::output::smoke_mode();
+    let engine = EngineKind::from_env();
+    let options = VerifyOptions {
+        engine,
+        fuel: FUEL,
+        smoke,
+    };
+    let configs: Vec<(&str, Pipeline)> = vec![
+        ("shuffle", Pipeline::new(SEED).with(Shuffle)),
+        ("subst", Pipeline::new(SEED).with(Substitute::default())),
+        (
+            "opaque",
+            Pipeline::new(SEED).with(OpaquePredicates::default()),
+        ),
+        ("composed", Pipeline::standard(SEED)),
+    ];
+    let mut rows = Vec::new();
+    for (label, pipeline) in &configs {
+        let report = crate::output::record_elapsed(&format!("obf_{label}"), || {
+            eric_obf::verify_pipeline(pipeline, options).unwrap_or_else(|e| panic!("{label}: {e}"))
+        });
+        for r in &report.reports {
+            assert!(
+                r.verdict.is_match(),
+                "{label}/{}: differential verification failed: {:?}",
+                r.workload,
+                r.verdict
+            );
+            let m = r.metrics.expect("matched runs carry metrics");
+            rows.push(ObfPassRow {
+                workload: r.workload.to_string(),
+                pass: label.to_string(),
+                verified: r.verdict.is_match(),
+                text_bytes_before: m.text_bytes_before as u64,
+                text_bytes_after: m.text_bytes_after as u64,
+                size_delta_pct: m.size_delta_pct,
+                cycles_before: m.cycles_before,
+                cycles_after: m.cycles_after,
+                cycle_delta_pct: m.cycle_delta_pct,
+                entropy_before: m.entropy_before,
+                entropy_after: m.entropy_after,
+                opcode_shift: m.opcode_shift,
+            });
+        }
+    }
+    let composed: Vec<&ObfPassRow> = rows.iter().filter(|r| r.pass == "composed").collect();
+    let mean = |f: fn(&ObfPassRow) -> f64| {
+        composed.iter().map(|r| f(r)).sum::<f64>() / composed.len().max(1) as f64
+    };
+    ObfPassesReport {
+        seed: SEED,
+        engine: engine.name().to_string(),
+        all_verified: rows.iter().all(|r| r.verified),
+        composed_size_delta_pct: mean(|r| r.size_delta_pct),
+        composed_cycle_delta_pct: mean(|r| r.cycle_delta_pct),
+        rows,
+    }
+}
+
+crate::impl_json_struct!(ObfPassRow {
+    workload,
+    pass,
+    verified,
+    text_bytes_before,
+    text_bytes_after,
+    size_delta_pct,
+    cycles_before,
+    cycles_after,
+    cycle_delta_pct,
+    entropy_before,
+    entropy_after,
+    opcode_shift
+});
+crate::impl_json_struct!(ObfPassesReport {
+    rows,
+    seed,
+    engine,
+    all_verified,
+    composed_size_delta_pct,
+    composed_cycle_delta_pct
+});
+
 // Foreign struct, local trait: give the PUF report the same structured
 // snapshot as every other experiment.
 crate::impl_json_struct!(PufQualityReport {

@@ -250,6 +250,54 @@ impl SoftwareSource {
         Ok((package, timings))
     }
 
+    /// Compile, run a caller-supplied plaintext transformation over
+    /// the image, then sign, encrypt, and package the *transformed*
+    /// image — the layered-profile entry point.
+    ///
+    /// The transformation typically applies ISA-level obfuscation
+    /// passes (an `eric-obf` pipeline) before the HDE encryption
+    /// layer; [`SoftwareSource::prepare_image`] accepts any image, so
+    /// the two layers compose without special cases. The identity
+    /// closure makes this equivalent to [`SoftwareSource::build`].
+    ///
+    /// # Errors
+    ///
+    /// Compilation or configuration errors, or whatever the transform
+    /// reports.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{Device, EncryptionConfig, SoftwareSource};
+    ///
+    /// let mut device = Device::with_seed(3, "node");
+    /// let cred = device.enroll();
+    /// let source = SoftwareSource::new("vendor");
+    /// let package = source
+    ///     .build_with(
+    ///         "main:\n li a0, 42\n li a7, 93\n ecall\n",
+    ///         &cred,
+    ///         &EncryptionConfig::full(),
+    ///         Ok, // identity transform
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(device.install_and_run(&package).unwrap().exit_code, 42);
+    /// ```
+    pub fn build_with<F>(
+        &self,
+        asm_source: &str,
+        cred: &EnrollmentRecord,
+        config: &EncryptionConfig,
+        transform: F,
+    ) -> Result<Package, EricError>
+    where
+        F: FnOnce(Image) -> Result<Image, EricError>,
+    {
+        config.validate().map_err(EricError::Config)?;
+        let image = transform(self.compile(asm_source, config.compress)?)?;
+        self.package_image(&image, cred, config).map(|(p, _)| p)
+    }
+
     /// Sign/encrypt/package an already-compiled image.
     ///
     /// A batch of one: [`SoftwareSource::prepare_image`] followed by

@@ -35,6 +35,22 @@ pub struct Inst {
     pub len: u8,
 }
 
+/// One architectural register operand slot, tagged with the register
+/// file it names.
+///
+/// The integer and FP files are disjoint namespaces, so `x5` and `f5`
+/// must not alias when computing data dependencies. `Int(0)` (`x0`)
+/// never appears in [`Inst::dest`]/[`Inst::sources`] output: reading it
+/// yields a constant and writing it is a no-op, so it can never carry a
+/// dependency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegSlot {
+    /// An integer register (`x1`–`x31`).
+    Int(u8),
+    /// An FP register (`f0`–`f31`).
+    Fp(u8),
+}
+
 impl Inst {
     /// Build a register-register instruction.
     pub fn r(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Self {
@@ -138,6 +154,49 @@ impl Inst {
     /// `true` if this instruction was decoded from a 16-bit parcel.
     pub fn is_compressed(&self) -> bool {
         self.len == 2
+    }
+
+    /// The architectural register this instruction writes, if any.
+    ///
+    /// `None` for store/branch formats (no `rd`) and for an integer
+    /// `rd` of `x0` (writing `x0` is architecturally a no-op). AMOs and
+    /// CSR reads report their `rd` like any other instruction; their
+    /// memory/CSR side effects are *not* captured here — callers doing
+    /// dependency analysis must order those separately.
+    pub fn dest(&self) -> Option<RegSlot> {
+        match self.op.format() {
+            Format::S | Format::B => None,
+            _ if self.op.rd_is_fp() => Some(RegSlot::Fp(self.rd)),
+            _ if self.rd == 0 => None,
+            _ => Some(RegSlot::Int(self.rd)),
+        }
+    }
+
+    /// The architectural registers this instruction reads, as up to
+    /// three tagged slots (unused slots are `None`).
+    ///
+    /// Uses the same conventions as [`Inst::dest`]: `x0` sources are
+    /// omitted (they read a constant), and the CSR-immediate forms
+    /// (`csrrwi` &c.) omit `rs1` because the field holds `zimm`, not a
+    /// register. FP fused multiply-adds report all three FP sources.
+    pub fn sources(&self) -> [Option<RegSlot>; 3] {
+        let int_src = |n: u8| (n != 0).then_some(RegSlot::Int(n));
+        let rs1 = if self.op.rs1_is_fp() {
+            Some(RegSlot::Fp(self.rs1))
+        } else if self.op.reads_int_rs1() {
+            int_src(self.rs1)
+        } else {
+            None
+        };
+        let rs2 = if self.op.rs2_is_fp() {
+            Some(RegSlot::Fp(self.rs2))
+        } else if self.op.reads_int_rs2() {
+            int_src(self.rs2)
+        } else {
+            None
+        };
+        let rs3 = (self.op.format() == Format::R4).then_some(RegSlot::Fp(self.rs3));
+        [rs1, rs2, rs3]
     }
 
     fn reg_name(num: u8, fp: bool) -> String {
@@ -270,6 +329,71 @@ mod tests {
             len: 4,
         };
         assert_eq!(e.to_string(), "ecall");
+    }
+
+    #[test]
+    fn dest_and_sources_tag_register_files() {
+        // Integer ALU: int dest, int sources, x0 omitted.
+        let add = Inst::r(Op::Add, Reg::A0, Reg::A1, Reg::ZERO);
+        assert_eq!(add.dest(), Some(RegSlot::Int(10)));
+        assert_eq!(add.sources(), [Some(RegSlot::Int(11)), None, None]);
+        // Writing x0 is not a definition.
+        let nop = Inst::i(Op::Addi, Reg::ZERO, Reg::ZERO, 0);
+        assert_eq!(nop.dest(), None);
+        assert_eq!(nop.sources(), [None, None, None]);
+        // Stores have no dest; FP store reads an int base + FP datum.
+        let fsd = Inst::s(Op::Fsd, Reg::SP, Reg::new(3), 8);
+        assert_eq!(fsd.dest(), None);
+        assert_eq!(
+            fsd.sources(),
+            [Some(RegSlot::Int(2)), Some(RegSlot::Fp(3)), None]
+        );
+        // Branches read two ints, define nothing.
+        let beq = Inst::b(Op::Beq, Reg::A0, Reg::A1, 8);
+        assert_eq!(beq.dest(), None);
+        assert_eq!(
+            beq.sources(),
+            [Some(RegSlot::Int(10)), Some(RegSlot::Int(11)), None]
+        );
+        // lui has no sources; jal defines its link register.
+        assert_eq!(Inst::u(Op::Lui, Reg::A0, 0).sources(), [None, None, None]);
+        assert_eq!(Inst::j(Reg::RA, 8).dest(), Some(RegSlot::Int(1)));
+        // FMA reads three FP registers and writes an FP one.
+        let fma = Inst {
+            op: Op::FmaddD,
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+            rs3: 4,
+            imm: 0,
+            rm: 0,
+            len: 4,
+        };
+        assert_eq!(fma.dest(), Some(RegSlot::Fp(1)));
+        assert_eq!(
+            fma.sources(),
+            [
+                Some(RegSlot::Fp(2)),
+                Some(RegSlot::Fp(3)),
+                Some(RegSlot::Fp(4))
+            ]
+        );
+        // fcvt.w.s crosses files: FP source, int dest.
+        let cvt = Inst::r(Op::FcvtWS, Reg::A0, Reg::new(5), Reg::ZERO);
+        assert_eq!(cvt.dest(), Some(RegSlot::Int(10)));
+        assert_eq!(cvt.sources(), [Some(RegSlot::Fp(5)), None, None]);
+        // CSR-immediate forms carry zimm in rs1, not a register.
+        let csr = Inst {
+            op: Op::Csrrwi,
+            rd: 10,
+            rs1: 5,
+            rs2: 0,
+            rs3: 0,
+            imm: 0x300,
+            rm: 0,
+            len: 4,
+        };
+        assert_eq!(csr.sources(), [None, None, None]);
     }
 
     #[test]

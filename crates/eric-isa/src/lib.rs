@@ -43,6 +43,6 @@ pub mod rvc;
 
 pub use decode::{decode, decode_parcel, DecodeError};
 pub use encode::encode;
-pub use inst::Inst;
+pub use inst::{Inst, RegSlot};
 pub use op::{Format, Op};
 pub use reg::Reg;

@@ -1,0 +1,131 @@
+//! Chaotic-map keystream for the shuffle pass.
+//!
+//! The exemplar obfuscators in the related work drive their reorder
+//! decisions from a piecewise-linear chaotic map (PWLCM) rather than a
+//! conventional PRNG: the map's sensitivity to its seed means two
+//! nearby seeds diverge immediately, which is the property those tools
+//! lean on to make per-build layouts unpredictable. This module
+//! reproduces that shape. The orbit is pure IEEE-754 arithmetic
+//! (divide/subtract on normal values), so it is bit-deterministic per
+//! seed across platforms — the whole pass framework's reproducibility
+//! guarantee rests on that.
+//!
+//! The map makes no cryptographic claims (neither do the exemplars);
+//! it exists for determinism + sensitivity, not secrecy.
+
+use rand::RngCore;
+
+/// Piecewise-linear chaotic map over `(0, 1)` with control parameter
+/// `p ∈ (0, 0.5)`:
+///
+/// ```text
+/// x' = x / p              if x < p
+/// x' = (x - p)/(0.5 - p)  if p ≤ x < 0.5
+/// x' = f(1 - x)           otherwise
+/// ```
+///
+/// Implements [`rand::RngCore`], so the pass framework can treat it
+/// like any other deterministic generator.
+#[derive(Clone, Debug)]
+pub struct Pwlcm {
+    x: f64,
+    p: f64,
+}
+
+impl Pwlcm {
+    /// Seed the orbit. The 64 seed bits are split: the low half picks
+    /// the initial point, the high half the control parameter, both
+    /// through SplitMix64 so consecutive seeds land far apart.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let unit = |v: u64| (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Keep both away from the map's fixed points / edges.
+        let x = 0.05 + 0.9 * unit(next());
+        let p = 0.05 + 0.4 * unit(next());
+        Pwlcm { x, p }
+    }
+
+    /// One map iteration; returns the new point in `(0, 1)`.
+    fn step(&mut self) -> f64 {
+        let x = self.x;
+        let y = if x < 0.5 { x } else { 1.0 - x };
+        self.x = if y < self.p {
+            y / self.p
+        } else {
+            (y - self.p) / (0.5 - self.p)
+        };
+        // Chaotic orbits can collapse onto 0/1 in finite float
+        // precision; kick the orbit back into the open interval so the
+        // stream never degenerates.
+        if !(self.x > 1e-12 && self.x < 1.0 - 1e-12) {
+            self.x = 0.314_159_265_358_979_3 + self.p * 0.5;
+        }
+        self.x
+    }
+}
+
+impl RngCore for Pwlcm {
+    /// 64 bits harvested from two iterations (32 mantissa bits each —
+    /// the deepest bits of a chaotic orbit are the most mixed).
+    fn next_u64(&mut self) -> u64 {
+        let hi = (self.step() * (1u64 << 32) as f64) as u64 & 0xFFFF_FFFF;
+        let lo = (self.step() * (1u64 << 32) as f64) as u64 & 0xFFFF_FFFF;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pwlcm::seed_from_u64(42);
+        let mut b = Pwlcm::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = Pwlcm::seed_from_u64(42);
+        let mut b = Pwlcm::seed_from_u64(43);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "orbits failed to diverge ({same}/64 collisions)");
+    }
+
+    #[test]
+    fn orbit_stays_in_unit_interval_and_mixes() {
+        let mut m = Pwlcm::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            let x = m.step();
+            assert!(x > 0.0 && x < 1.0, "orbit escaped: {x}");
+            counts[(x * 8.0) as usize % 8] += 1;
+        }
+        // Every octant of the interval gets visited — crude but enough
+        // to catch a collapsed orbit.
+        assert!(
+            counts.iter().all(|&c| c > 100),
+            "orbit collapsed {counts:?}"
+        );
+    }
+
+    #[test]
+    fn usable_through_the_rng_trait() {
+        let mut m = Pwlcm::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = m.gen_range(0..10usize);
+            assert!(v < 10);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type shared by the IR and the passes.
+
+use eric_isa::decode::DecodeError;
+use eric_isa::encode::EncodeError;
+use std::error::Error;
+use std::fmt;
+
+/// Why decoding, transforming, or re-encoding an image failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObfError {
+    /// The image's text section did not decode as instructions.
+    Decode {
+        /// Byte offset into `.text` of the failing parcel.
+        offset: usize,
+        /// The decoder's error.
+        source: DecodeError,
+    },
+    /// An instruction could not be re-encoded (e.g. a branch
+    /// displacement left its field's range after relayout).
+    Encode {
+        /// Index of the instruction in the transformed program.
+        index: usize,
+        /// The encoder's error.
+        source: EncodeError,
+    },
+    /// The image uses a feature the IR does not model.
+    Unsupported(String),
+    /// The transformed layout is invalid (e.g. text grew into the
+    /// data section's load address).
+    Layout(String),
+    /// The differential verification harness itself failed (e.g. the
+    /// *untransformed* image would not assemble or run) — distinct
+    /// from a behavioral mismatch, which is a verdict, not an error.
+    Verify(String),
+}
+
+impl fmt::Display for ObfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObfError::Decode { offset, source } => {
+                write!(f, "text+{offset:#x} does not decode: {source}")
+            }
+            ObfError::Encode { index, source } => {
+                write!(f, "instruction #{index} does not re-encode: {source}")
+            }
+            ObfError::Unsupported(m) => write!(f, "unsupported image: {m}"),
+            ObfError::Layout(m) => write!(f, "invalid layout: {m}"),
+            ObfError::Verify(m) => write!(f, "verification harness failure: {m}"),
+        }
+    }
+}
+
+impl Error for ObfError {}

@@ -1,0 +1,131 @@
+//! Deliberately broken passes that exercise the verifier's teeth.
+//!
+//! A differential harness that has never caught anything proves
+//! nothing. These passes produce images that decode, encode, and load
+//! cleanly — the breakage is purely *semantic*, exactly the class of
+//! bug the sim-backed comparison exists to catch. They live in the
+//! library (not a test file) so the negative tests, the bench, and any
+//! future fuzzing all share one definition of "plausible-but-wrong".
+
+use crate::error::ObfError;
+use crate::ir::ImageIr;
+use crate::pass::{Pass, PassStats};
+use rand::rngs::StdRng;
+
+/// A shuffle that ignores data dependencies: it reverses each block's
+/// movable window outright. The output is well-formed and usually
+/// still terminates — it just computes the wrong thing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DependencyIgnoringShuffle;
+
+impl Pass for DependencyIgnoringShuffle {
+    fn name(&self) -> &'static str {
+        "fault-shuffle"
+    }
+
+    fn apply(&self, ir: &mut ImageIr, _rng: &mut StdRng) -> Result<PassStats, ObfError> {
+        let mut stats = PassStats::default();
+        for block in ir.basic_blocks() {
+            // Same pinning discipline as the real shuffle — leader
+            // first, terminator last — but no dependency edges at all.
+            let start = block.start + 1;
+            let mut end = block.end;
+            if end > start {
+                let op = ir.insts()[end - 1].inst.op;
+                if op.is_control_flow() || matches!(op, eric_isa::Op::Ecall | eric_isa::Op::Ebreak)
+                {
+                    end -= 1;
+                }
+            }
+            if end.saturating_sub(start) < 2 {
+                continue;
+            }
+            let n = end - start;
+            let perm: Vec<usize> = (0..n).rev().collect();
+            ir.permute(start..end, &perm);
+            stats.sites_changed += 1;
+        }
+        Ok(stats)
+    }
+}
+
+/// A jump "fixup" with an off-by-one: after padding the program with a
+/// leading no-op, every static branch is retargeted to the instruction
+/// *after* its real target — the classic stale-layout
+/// rematerialization bug. Branches now skip the first instruction of
+/// their target block.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BrokenJumpFixup;
+
+impl Pass for BrokenJumpFixup {
+    fn name(&self) -> &'static str {
+        "fault-fixup"
+    }
+
+    fn apply(&self, ir: &mut ImageIr, _rng: &mut StdRng) -> Result<PassStats, ObfError> {
+        let nop = eric_isa::Inst::i(
+            eric_isa::Op::Addi,
+            eric_isa::Reg::ZERO,
+            eric_isa::Reg::ZERO,
+            0,
+        );
+        ir.insert(0, nop, None);
+        let mut stats = PassStats {
+            sites_changed: 0,
+            insts_added: 1,
+        };
+        let retargets: Vec<(usize, crate::ir::InstId)> = ir
+            .insts()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, x)| {
+                let target = x.flow?;
+                let pos = ir.index_of(target)?;
+                // Off by one: aim past the real target.
+                let wrong = ir.insts().get(pos + 1)?;
+                Some((i, wrong.id))
+            })
+            .collect();
+        for (i, wrong) in retargets {
+            ir.insts_mut()[i].flow = Some(wrong);
+            stats.sites_changed += 1;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ImageIr;
+    use eric_asm::{assemble, AsmOptions};
+    use rand::SeedableRng;
+
+    #[test]
+    fn faulty_passes_still_produce_encodable_images() {
+        let src = r#"
+            main:
+                li   s0, 4
+                li   a0, 0
+            loop:
+                beqz s0, done
+                add  a0, a0, s0
+                slli t0, s0, 1
+                add  a0, a0, t0
+                addi s0, s0, -1
+                j    loop
+            done:
+                li   a7, 93
+                ecall
+        "#;
+        let image = assemble(src, &AsmOptions::default()).unwrap();
+        for pass in [&DependencyIgnoringShuffle as &dyn Pass, &BrokenJumpFixup] {
+            let mut ir = ImageIr::from_image(&image).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            let stats = pass.apply(&mut ir, &mut rng).unwrap();
+            assert!(stats.sites_changed > 0, "{} did nothing", pass.name());
+            ir.to_image()
+                .unwrap_or_else(|e| panic!("{}: {e}", pass.name()));
+        }
+    }
+}

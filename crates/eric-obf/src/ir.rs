@@ -1,0 +1,612 @@
+//! A relayout-safe instruction-level IR over assembled [`Image`]s.
+//!
+//! Passes need to reorder, rewrite, and *insert* instructions. All
+//! three invalidate PC-relative material in the raw text bytes:
+//!
+//! * branch/`jal` displacements move with their targets,
+//! * the assembler's `la`/`call` pseudo-instructions expand to fused
+//!   `auipc` + low-12 pairs whose `hi`/`lo` split depends on the
+//!   `auipc`'s own address.
+//!
+//! [`ImageIr`] decodes the text once, resolves every such reference to
+//! a **stable instruction identity** ([`InstId`]) or an absolute
+//! address, lets passes edit the instruction list freely, and
+//! re-materializes all displacements against the new layout in
+//! [`ImageIr::to_image`]. The invariant that makes this sound: an
+//! [`InstId`] names an *instruction*, not a slot, so control-flow
+//! references follow their target through any reorder or insertion —
+//! which is also why the shuffle pass must pin block leaders in place
+//! (a branch lands on the leader instruction, and every instruction of
+//! the block must still execute after it).
+
+use crate::error::ObfError;
+use eric_asm::image::InstBoundary;
+use eric_asm::{Image, ParcelKind};
+use eric_isa::decode::decode_parcel;
+use eric_isa::encode::encode;
+use eric_isa::{Inst, Op};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Stable identity of one instruction across transformations.
+pub type InstId = u32;
+
+/// What an `auipc`'s materialized address points at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PcRelTarget {
+    /// A code address: follows the instruction through relayout.
+    Inst(InstId),
+    /// A non-code address (data, or past the end of text): fixed.
+    Abs(u64),
+}
+
+/// Role of an instruction in a fused PC-relative pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PcRel {
+    /// The `auipc` carrying the high 20 bits; its immediate is
+    /// recomputed from its own (new) address and the target.
+    Hi(PcRelTarget),
+    /// The consumer carrying the low 12 bits; its immediate is
+    /// recomputed from its partner `auipc`'s split.
+    Lo(InstId),
+}
+
+/// One instruction in the IR.
+#[derive(Clone, Debug)]
+pub struct IrInst {
+    /// Stable identity (never reused within one [`ImageIr`]).
+    pub id: InstId,
+    /// The instruction. For branches/`jal` with [`IrInst::flow`] set
+    /// and for PC-relative pair members, `imm` is a placeholder that
+    /// [`ImageIr::to_image`] overwrites from the final layout.
+    pub inst: Inst,
+    /// Static control-flow target (branch or `jal` into text).
+    pub flow: Option<InstId>,
+    /// Fused PC-relative pair membership (`la` / `call` expansions).
+    pub pcrel: Option<PcRel>,
+    /// Byte offset in the *original* text, if this instruction came
+    /// from the source image (synthetic instructions have `None`).
+    /// Drives symbol/entry remapping in [`ImageIr::to_image`].
+    pub orig_offset: Option<u32>,
+}
+
+/// A decoded, transformable program image.
+#[derive(Clone, Debug)]
+pub struct ImageIr {
+    insts: Vec<IrInst>,
+    text_base: u64,
+    data_base: u64,
+    data: Vec<u8>,
+    entry: u64,
+    symbols: HashMap<String, u64>,
+    orig_text_len: usize,
+    next_id: InstId,
+    /// Instructions that must stay first in their block: the entry
+    /// point and every text symbol (branch/pcrel targets are derived
+    /// fresh from the current instruction list instead).
+    anchor_ids: Vec<InstId>,
+}
+
+impl ImageIr {
+    /// Decode an image into the IR.
+    ///
+    /// # Errors
+    ///
+    /// [`ObfError::Unsupported`] for compressed images, unpaired
+    /// `auipc`s, or control transfers that leave the text section;
+    /// [`ObfError::Decode`] if the text does not decode.
+    pub fn from_image(image: &Image) -> Result<Self, ObfError> {
+        if image.has_compressed() {
+            return Err(ObfError::Unsupported(
+                "compressed (RVC) images are not transformable; assemble without compression"
+                    .into(),
+            ));
+        }
+        let mut raw: Vec<(u32, Inst)> = Vec::with_capacity(image.boundaries.len());
+        let mut index_of_offset: HashMap<u32, usize> = HashMap::new();
+        for (i, b) in image.boundaries.iter().enumerate() {
+            let off = b.offset as usize;
+            let inst = decode_parcel(&image.text[off..]).map_err(|source| ObfError::Decode {
+                offset: off,
+                source,
+            })?;
+            index_of_offset.insert(b.offset, i);
+            raw.push((b.offset, inst));
+        }
+        let text_end = image.text_base + image.text.len() as u64;
+        let in_text = |addr: u64| addr >= image.text_base && addr < text_end;
+        let index_at = |addr: u64| -> Result<usize, ObfError> {
+            let off = (addr - image.text_base) as u32;
+            index_of_offset.get(&off).copied().ok_or_else(|| {
+                ObfError::Unsupported(format!(
+                    "reference to {addr:#x}, the middle of an instruction"
+                ))
+            })
+        };
+
+        let mut insts: Vec<IrInst> = Vec::with_capacity(raw.len());
+        let mut pending_lo_of: Option<usize> = None;
+        for (i, &(off, inst)) in raw.iter().enumerate() {
+            let pc = image.text_base + off as u64;
+            let mut ir = IrInst {
+                id: i as InstId,
+                inst,
+                flow: None,
+                pcrel: None,
+                orig_offset: Some(off),
+            };
+            if let Some(hi_index) = pending_lo_of.take() {
+                // The consumer of the preceding auipc.
+                let hi = &raw[hi_index];
+                let consumes = inst.rs1 == hi.1.rd
+                    && matches!(inst.op.format(), eric_isa::Format::I | eric_isa::Format::S)
+                    && !inst.op.is_csr()
+                    && !matches!(inst.op, Op::Ecall | Op::Ebreak | Op::Fence | Op::FenceI);
+                if !consumes {
+                    return Err(ObfError::Unsupported(format!(
+                        "auipc at text+{:#x} is not followed by its pair consumer",
+                        hi.0
+                    )));
+                }
+                let hi_pc = image.text_base + hi.0 as u64;
+                let target = hi_pc
+                    .wrapping_add(hi.1.imm as u64)
+                    .wrapping_add(inst.imm as u64);
+                let target = if in_text(target) {
+                    PcRelTarget::Inst(index_at(target)? as InstId)
+                } else {
+                    PcRelTarget::Abs(target)
+                };
+                insts[hi_index].pcrel = Some(PcRel::Hi(target));
+                ir.pcrel = Some(PcRel::Lo(hi_index as InstId));
+            }
+            if inst.op == Op::Auipc {
+                pending_lo_of = Some(i);
+            }
+            if inst.op.is_branch() || inst.op == Op::Jal {
+                let target = pc.wrapping_add(inst.imm as u64);
+                if !in_text(target) {
+                    return Err(ObfError::Unsupported(format!(
+                        "control transfer from text+{off:#x} to {target:#x}, outside text"
+                    )));
+                }
+                ir.flow = Some(index_at(target)? as InstId);
+            }
+            insts.push(ir);
+        }
+        if pending_lo_of.is_some() {
+            return Err(ObfError::Unsupported(
+                "text ends in the middle of an auipc pair".into(),
+            ));
+        }
+
+        let mut anchor_ids = Vec::new();
+        let mut anchor = |addr: u64| {
+            if in_text(addr) {
+                if let Ok(i) = index_at(addr) {
+                    anchor_ids.push(i as InstId);
+                }
+            }
+        };
+        anchor(image.entry);
+        for &addr in image.symbols.values() {
+            anchor(addr);
+        }
+        anchor_ids.sort_unstable();
+        anchor_ids.dedup();
+
+        Ok(ImageIr {
+            next_id: insts.len() as InstId,
+            insts,
+            text_base: image.text_base,
+            data_base: image.data_base,
+            data: image.data.clone(),
+            entry: image.entry,
+            symbols: image.symbols.clone(),
+            orig_text_len: image.text.len(),
+            anchor_ids,
+        })
+    }
+
+    /// Re-encode the (possibly transformed) program as a loadable
+    /// image: lay instructions out sequentially from the text base,
+    /// re-materialize every branch/`jal` displacement and `auipc`
+    /// `hi`/`lo` split, rebuild the boundary table, and remap symbols
+    /// and the entry point onto the new layout.
+    ///
+    /// # Errors
+    ///
+    /// [`ObfError::Encode`] if a displacement no longer fits its field
+    /// (e.g. an inserted sequence pushed a branch past ±4 KiB);
+    /// [`ObfError::Layout`] if the grown text would overlap the data
+    /// section's load address or a pair reference dangles.
+    pub fn to_image(&self) -> Result<Image, ObfError> {
+        let n = self.insts.len();
+        let addr_of_pos = |pos: usize| self.text_base + 4 * pos as u64;
+        let mut addr_of_id: HashMap<InstId, u64> = HashMap::with_capacity(n);
+        for (pos, ir) in self.insts.iter().enumerate() {
+            addr_of_id.insert(ir.id, addr_of_pos(pos));
+        }
+        let text_end = addr_of_pos(n);
+        if !self.data.is_empty() && text_end > self.data_base {
+            return Err(ObfError::Layout(format!(
+                "text grew to {text_end:#x}, past the data base {:#x}",
+                self.data_base
+            )));
+        }
+        let resolve = |t: PcRelTarget| -> Result<u64, ObfError> {
+            match t {
+                PcRelTarget::Abs(a) => Ok(a),
+                PcRelTarget::Inst(id) => addr_of_id
+                    .get(&id)
+                    .copied()
+                    .ok_or_else(|| ObfError::Layout(format!("pcrel target #{id} was removed"))),
+            }
+        };
+
+        let mut text = Vec::with_capacity(4 * n);
+        let mut boundaries = Vec::with_capacity(n);
+        for (pos, ir) in self.insts.iter().enumerate() {
+            let pc = addr_of_pos(pos);
+            let mut inst = ir.inst;
+            if let Some(target_id) = ir.flow {
+                let target = addr_of_id.get(&target_id).copied().ok_or_else(|| {
+                    ObfError::Layout(format!("branch target #{target_id} was removed"))
+                })?;
+                inst.imm = target.wrapping_sub(pc) as i64;
+            }
+            match ir.pcrel {
+                Some(PcRel::Hi(target)) => {
+                    let delta = resolve(target)?.wrapping_sub(pc) as i64;
+                    inst.imm = (delta + 0x800) & !0xFFF;
+                }
+                Some(PcRel::Lo(hi_id)) => {
+                    let hi_addr = addr_of_id.get(&hi_id).copied().ok_or_else(|| {
+                        ObfError::Layout(format!("auipc partner #{hi_id} was removed"))
+                    })?;
+                    let hi_target = self
+                        .insts
+                        .iter()
+                        .find(|x| x.id == hi_id)
+                        .and_then(|x| match x.pcrel {
+                            Some(PcRel::Hi(t)) => Some(t),
+                            _ => None,
+                        })
+                        .ok_or_else(|| {
+                            ObfError::Layout(format!("auipc partner #{hi_id} lost its target"))
+                        })?;
+                    let delta = resolve(hi_target)?.wrapping_sub(hi_addr) as i64;
+                    let hi = (delta + 0x800) & !0xFFF;
+                    inst.imm = delta - hi;
+                }
+                None => {}
+            }
+            let word = encode(&inst).map_err(|source| ObfError::Encode { index: pos, source })?;
+            text.extend_from_slice(&word.to_le_bytes());
+            boundaries.push(InstBoundary {
+                offset: 4 * pos as u32,
+                kind: ParcelKind::Full,
+            });
+        }
+
+        // Remap original text addresses (symbols, entry) onto the new
+        // layout; addresses outside the original text pass through.
+        let mut new_addr_of_off: HashMap<u32, u64> = HashMap::new();
+        for (pos, ir) in self.insts.iter().enumerate() {
+            if let Some(off) = ir.orig_offset {
+                new_addr_of_off.insert(off, addr_of_pos(pos));
+            }
+        }
+        let orig_end = self.text_base + self.orig_text_len as u64;
+        let remap = |addr: u64| -> u64 {
+            if addr == orig_end {
+                text_end
+            } else if addr >= self.text_base && addr < orig_end {
+                new_addr_of_off
+                    .get(&((addr - self.text_base) as u32))
+                    .copied()
+                    .unwrap_or(addr)
+            } else {
+                addr
+            }
+        };
+
+        Ok(Image {
+            text,
+            data: self.data.clone(),
+            text_base: self.text_base,
+            data_base: self.data_base,
+            entry: remap(self.entry),
+            symbols: self
+                .symbols
+                .iter()
+                .map(|(k, &v)| (k.clone(), remap(v)))
+                .collect(),
+            boundaries,
+        })
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction list, in program order.
+    pub fn insts(&self) -> &[IrInst] {
+        &self.insts
+    }
+
+    /// Mutable access for in-place rewrites (substitution, retargeting).
+    pub fn insts_mut(&mut self) -> &mut [IrInst] {
+        &mut self.insts
+    }
+
+    /// Current position of the instruction with identity `id`.
+    pub fn index_of(&self, id: InstId) -> Option<usize> {
+        self.insts.iter().position(|x| x.id == id)
+    }
+
+    /// Insert a synthetic instruction before position `at`; returns its
+    /// fresh identity. `flow` carries a static branch target for
+    /// synthetic branches.
+    pub fn insert(&mut self, at: usize, inst: Inst, flow: Option<InstId>) -> InstId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.insts.insert(
+            at,
+            IrInst {
+                id,
+                inst,
+                flow,
+                pcrel: None,
+                orig_offset: None,
+            },
+        );
+        id
+    }
+
+    /// Replace the instruction at `at` with a sequence. The first
+    /// replacement inherits the original's identity (and original
+    /// offset), so branches and symbols that pointed at the old
+    /// instruction now execute the whole sequence; the rest get fresh
+    /// identities. Panics if `seq` is empty.
+    pub fn replace(&mut self, at: usize, seq: &[Inst]) {
+        assert!(!seq.is_empty(), "replacement sequence must be non-empty");
+        let old = &mut self.insts[at];
+        old.inst = seq[0];
+        old.flow = None;
+        old.pcrel = None;
+        for (k, &inst) in seq[1..].iter().enumerate() {
+            self.insert(at + 1 + k, inst, None);
+        }
+    }
+
+    /// Apply a permutation to the instructions in `range`: the slot
+    /// `range.start + i` receives the instruction previously at
+    /// `range.start + perm[i]`. `perm` must be a permutation of
+    /// `0..range.len()`.
+    pub fn permute(&mut self, range: Range<usize>, perm: &[usize]) {
+        assert_eq!(perm.len(), range.len(), "permutation length mismatch");
+        let window: Vec<IrInst> = self.insts[range.clone()].to_vec();
+        for (slot, &from) in range.clone().zip(perm.iter()) {
+            self.insts[slot] = window[from].clone();
+        }
+    }
+
+    /// Basic-block partition of the current instruction list: leaders
+    /// are the first instruction, every static control-flow target,
+    /// every `auipc`-materialized code address, the entry/symbol
+    /// anchors, and every instruction following a control transfer or
+    /// environment call. Returns contiguous, covering index ranges.
+    pub fn basic_blocks(&self) -> Vec<Range<usize>> {
+        let n = self.insts.len();
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, ir) in self.insts.iter().enumerate() {
+            if let Some(t) = ir.flow {
+                if let Some(j) = self.index_of(t) {
+                    leader[j] = true;
+                }
+            }
+            if let Some(PcRel::Hi(PcRelTarget::Inst(t))) = ir.pcrel {
+                if let Some(j) = self.index_of(t) {
+                    leader[j] = true;
+                }
+            }
+            let op = ir.inst.op;
+            if (op.is_control_flow() || matches!(op, Op::Ecall | Op::Ebreak)) && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+        for &id in &self.anchor_ids {
+            if let Some(j) = self.index_of(id) {
+                leader[j] = true;
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut start = 0;
+        for (i, &lead) in leader.iter().enumerate().skip(1) {
+            if lead {
+                blocks.push(start..i);
+                start = i;
+            }
+        }
+        if n > 0 {
+            blocks.push(start..n);
+        }
+        blocks
+    }
+
+    /// Load address of the text section.
+    pub fn text_base(&self) -> u64 {
+        self.text_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eric_asm::{assemble, AsmOptions};
+    use eric_isa::Reg;
+    use eric_sim::{run_image, SocConfig};
+
+    const PROGRAM: &str = r#"
+        .data
+    table:
+        .dword 5, 9, 2, 14
+        .text
+    main:
+        la   s0, table
+        li   s1, 4
+        li   a0, 0
+    loop:
+        beqz s1, finish
+        ld   t0, 0(s0)
+        add  a0, a0, t0
+        addi s0, s0, 8
+        addi s1, s1, -1
+        j    loop
+    finish:
+        call double
+        li   a7, 93
+        ecall
+    double:
+        slli a0, a0, 1
+        ret
+    "#;
+
+    fn program_image() -> Image {
+        assemble(PROGRAM, &AsmOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn identity_roundtrip_is_byte_exact() {
+        let image = program_image();
+        let ir = ImageIr::from_image(&image).unwrap();
+        let out = ir.to_image().unwrap();
+        assert_eq!(out.text, image.text);
+        assert_eq!(out.entry, image.entry);
+        assert_eq!(out.symbols, image.symbols);
+        assert_eq!(out.boundaries, image.boundaries);
+    }
+
+    #[test]
+    fn pairs_and_flow_are_resolved() {
+        let ir = ImageIr::from_image(&program_image()).unwrap();
+        let his = ir
+            .insts()
+            .iter()
+            .filter(|x| matches!(x.pcrel, Some(PcRel::Hi(_))))
+            .count();
+        let los = ir
+            .insts()
+            .iter()
+            .filter(|x| matches!(x.pcrel, Some(PcRel::Lo(_))))
+            .count();
+        // `la table` (data target) + `call double` (text target).
+        assert_eq!(his, 2);
+        assert_eq!(los, 2);
+        assert!(ir
+            .insts()
+            .iter()
+            .any(|x| matches!(x.pcrel, Some(PcRel::Hi(PcRelTarget::Abs(_))))));
+        assert!(ir
+            .insts()
+            .iter()
+            .any(|x| matches!(x.pcrel, Some(PcRel::Hi(PcRelTarget::Inst(_))))));
+        let flows = ir.insts().iter().filter(|x| x.flow.is_some()).count();
+        assert_eq!(flows, 2, "beqz + j resolve to static targets");
+    }
+
+    #[test]
+    fn insertion_rematerializes_all_displacements() {
+        let image = program_image();
+        let want = run_image(&image, SocConfig::default(), 1_000_000).unwrap();
+        let mut ir = ImageIr::from_image(&image).unwrap();
+        // Sprinkle no-ops at the front and in the middle of the loop
+        // body: every branch span, the data `la`, and the `call` pair
+        // cross at least one insertion point.
+        let nop = Inst::i(Op::Addi, Reg::ZERO, Reg::ZERO, 0);
+        ir.insert(0, nop, None);
+        ir.insert(5, nop, None);
+        ir.insert(9, nop, None);
+        let out = ir.to_image().unwrap();
+        assert_eq!(out.text.len(), image.text.len() + 12);
+        let got = run_image(&out, SocConfig::default(), 1_000_000).unwrap();
+        assert_eq!(got.exit_code, want.exit_code);
+        assert_eq!(got.exit_code, (5 + 9 + 2 + 14) * 2);
+        assert_eq!(got.stdout, want.stdout);
+    }
+
+    #[test]
+    fn replace_preserves_targets_on_sequence_head() {
+        let image = program_image();
+        let want = run_image(&image, SocConfig::default(), 1_000_000).unwrap();
+        let mut ir = ImageIr::from_image(&image).unwrap();
+        // Replace the loop-head `beqz` predecessor (`li a0, 0` is
+        // index 3 after the 2-inst la pair + li) — pick a branch target
+        // instead: the `beqz` itself is the `loop:` leader.
+        let loop_head = ir
+            .insts()
+            .iter()
+            .position(|x| x.inst.op.is_branch())
+            .unwrap();
+        // Replace the instruction *before* the loop head with an
+        // equivalent 2-inst sequence.
+        let prev = loop_head - 1;
+        let old = ir.insts()[prev].inst;
+        assert_eq!(old.op, Op::Addi);
+        let half = Inst::i(Op::Addi, Reg::new(old.rd), Reg::new(old.rs1), old.imm - 1);
+        let bump = Inst::i(Op::Addi, Reg::new(old.rd), Reg::new(old.rd), 1);
+        ir.replace(prev, &[half, bump]);
+        let out = ir.to_image().unwrap();
+        let got = run_image(&out, SocConfig::default(), 1_000_000).unwrap();
+        assert_eq!(got.exit_code, want.exit_code);
+    }
+
+    #[test]
+    fn basic_blocks_cover_and_split_at_flow() {
+        let ir = ImageIr::from_image(&program_image()).unwrap();
+        let blocks = ir.basic_blocks();
+        let covered: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(covered, ir.len());
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "blocks must tile the program");
+        }
+        // Each control-flow instruction terminates its block.
+        for b in &blocks {
+            for i in b.clone() {
+                if ir.insts()[i].inst.op.is_control_flow() {
+                    assert_eq!(i, b.end - 1, "control flow mid-block");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_images_are_rejected() {
+        let image = assemble(PROGRAM, &AsmOptions::compressed()).unwrap();
+        assert!(matches!(
+            ImageIr::from_image(&image),
+            Err(ObfError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn workload_suite_roundtrips_byte_exact() {
+        for w in eric_workloads::all() {
+            let image = assemble(&(w.source)(w.smoke_scale), &AsmOptions::default()).unwrap();
+            let ir = ImageIr::from_image(&image).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let out = ir.to_image().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(out.text, image.text, "{}", w.name);
+            assert_eq!(out.symbols, image.symbols, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Thomborson-style cost/potency accounting for a transformation.
+//!
+//! *Cost* is what the defender pays — text growth and extra cycles.
+//! *Potency* is what the attacker pays — how far the transformed
+//! artifact drifts from the original statically (entropy, opcode-mix
+//! distance). Both sides are measured, never estimated: cycle figures
+//! come from actual [`eric_sim`] runs and static figures from
+//! [`eric_core::analysis`] over the real text bytes.
+
+use eric_asm::Image;
+use eric_core::analysis;
+use eric_sim::RunOutcome;
+
+/// Measured cost and potency of one transformation on one workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostPotency {
+    /// Text bytes before the transformation.
+    pub text_bytes_before: usize,
+    /// Text bytes after.
+    pub text_bytes_after: usize,
+    /// Text growth in percent (cost).
+    pub size_delta_pct: f64,
+    /// Simulated cycles before.
+    pub cycles_before: u64,
+    /// Simulated cycles after.
+    pub cycles_after: u64,
+    /// Cycle growth in percent (cost).
+    pub cycle_delta_pct: f64,
+    /// Retired instructions before.
+    pub instructions_before: u64,
+    /// Retired instructions after.
+    pub instructions_after: u64,
+    /// Shannon entropy of the original text bytes (bits/byte).
+    pub entropy_before: f64,
+    /// Shannon entropy of the transformed text bytes (bits/byte).
+    pub entropy_after: f64,
+    /// Total-variation distance between the opcode histograms of the
+    /// two texts, in `[0, 1]` (potency).
+    pub opcode_shift: f64,
+    /// `true` if the transformed text is byte-for-byte the original —
+    /// i.e. the transformation achieved nothing.
+    pub bytes_identical: bool,
+}
+
+fn pct(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        0.0
+    } else {
+        100.0 * (after - before) / before
+    }
+}
+
+impl CostPotency {
+    /// Measure the transformation `original -> transformed` given one
+    /// simulated run of each.
+    pub fn measure(
+        original: &Image,
+        transformed: &Image,
+        run_before: &RunOutcome,
+        run_after: &RunOutcome,
+    ) -> Self {
+        let hist_before = analysis::opcode_histogram(&original.text);
+        let hist_after = analysis::opcode_histogram(&transformed.text);
+        CostPotency {
+            text_bytes_before: original.text.len(),
+            text_bytes_after: transformed.text.len(),
+            size_delta_pct: pct(original.text.len() as f64, transformed.text.len() as f64),
+            cycles_before: run_before.cycles,
+            cycles_after: run_after.cycles,
+            cycle_delta_pct: pct(run_before.cycles as f64, run_after.cycles as f64),
+            instructions_before: run_before.instructions,
+            instructions_after: run_after.instructions,
+            entropy_before: analysis::byte_entropy(&original.text),
+            entropy_after: analysis::byte_entropy(&transformed.text),
+            opcode_shift: analysis::histogram_distance(&hist_before, &hist_after),
+            bytes_identical: original.text == transformed.text,
+        }
+    }
+
+    /// `true` if the transformed artifact is not byte-identical to the
+    /// original — the minimum bar for any potency at all.
+    pub fn has_potency(&self) -> bool {
+        !self.bytes_identical
+    }
+}

@@ -1,0 +1,178 @@
+//! The composable pass framework: [`Pass`], [`Pipeline`], and their
+//! deterministic seeding discipline.
+
+use crate::error::ObfError;
+use crate::ir::ImageIr;
+use eric_asm::Image;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What one pass application changed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Sites the pass rewrote, moved, or inserted at.
+    pub sites_changed: usize,
+    /// Instructions added to the program (0 for size-preserving passes).
+    pub insts_added: usize,
+}
+
+impl PassStats {
+    /// Merge another pass's stats into this one.
+    pub fn absorb(&mut self, other: PassStats) {
+        self.sites_changed += other.sites_changed;
+        self.insts_added += other.insts_added;
+    }
+}
+
+/// One obfuscating transformation over the IR.
+///
+/// Passes must be **deterministic in the provided generator**: every
+/// decision (site selection, orderings, junk material) draws from
+/// `rng`, never from ambient state. That is what lets a [`Pipeline`]
+/// guarantee that one seed reproduces one transformed image, byte for
+/// byte — the property the reproducibility tests pin.
+pub trait Pass {
+    /// Stable pass name (used in reports, metrics, and seeding).
+    fn name(&self) -> &'static str;
+
+    /// Transform `ir` in place, drawing all randomness from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Passes should only fail on images they cannot safely transform;
+    /// "nothing to do" is success with zeroed [`PassStats`].
+    fn apply(&self, ir: &mut ImageIr, rng: &mut StdRng) -> Result<PassStats, ObfError>;
+}
+
+/// Per-pass report from one pipeline application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// `(pass name, stats)` in application order.
+    pub passes: Vec<(&'static str, PassStats)>,
+}
+
+impl PipelineStats {
+    /// Total sites changed across all passes.
+    pub fn total_sites(&self) -> usize {
+        self.passes.iter().map(|(_, s)| s.sites_changed).sum()
+    }
+}
+
+/// An ordered, seeded composition of passes.
+///
+/// Each pass gets its own generator derived from the pipeline seed,
+/// its position, and its name, so inserting or reordering passes
+/// changes downstream streams deterministically rather than silently
+/// reusing one stream.
+pub struct Pipeline {
+    seed: u64,
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Pipeline {
+            seed,
+            passes: Vec::new(),
+        }
+    }
+
+    /// Append a pass (builder style).
+    pub fn with(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The canonical three-pass composition: block-local shuffle, then
+    /// opcode substitution, then opaque-predicate insertion.
+    pub fn standard(seed: u64) -> Self {
+        Pipeline::new(seed)
+            .with(crate::passes::Shuffle)
+            .with(crate::passes::Substitute::default())
+            .with(crate::passes::OpaquePredicates::default())
+    }
+
+    /// The pipeline's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Names of the composed passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Apply every pass, in order, to an IR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing pass's [`ObfError`].
+    pub fn apply_ir(&self, ir: &mut ImageIr) -> Result<PipelineStats, ObfError> {
+        let mut stats = Vec::with_capacity(self.passes.len());
+        for (i, pass) in self.passes.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, i, pass.name()));
+            stats.push((pass.name(), pass.apply(ir, &mut rng)?));
+        }
+        Ok(PipelineStats { passes: stats })
+    }
+
+    /// Decode an image, apply the pipeline, and re-encode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IR decode/encode errors and pass failures.
+    pub fn apply_image(&self, image: &Image) -> Result<(Image, PipelineStats), ObfError> {
+        let mut ir = ImageIr::from_image(image)?;
+        let stats = self.apply_ir(&mut ir)?;
+        Ok((ir.to_image()?, stats))
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Pipeline(seed={:#x}, {:?})",
+            self.seed,
+            self.pass_names()
+        )
+    }
+}
+
+/// FNV-1a-folded per-pass seed: position and name both contribute.
+fn derive_seed(seed: u64, index: usize, name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ seed.rotate_left(17);
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for b in name.bytes() {
+        mix(b);
+    }
+    mix(index as u8);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_differ_by_position_and_name() {
+        let a = derive_seed(1, 0, "shuffle");
+        let b = derive_seed(1, 1, "shuffle");
+        let c = derive_seed(1, 0, "subst");
+        let d = derive_seed(2, 0, "shuffle");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn standard_pipeline_lists_three_passes() {
+        let p = Pipeline::standard(7);
+        assert_eq!(p.pass_names(), ["shuffle", "subst", "opaque"]);
+        assert_eq!(p.seed(), 7);
+    }
+}

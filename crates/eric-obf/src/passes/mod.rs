@@ -1,0 +1,9 @@
+//! The built-in obfuscation passes.
+
+mod opaque;
+mod shuffle;
+mod subst;
+
+pub use opaque::OpaquePredicates;
+pub use shuffle::Shuffle;
+pub use subst::Substitute;

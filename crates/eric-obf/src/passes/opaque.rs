@@ -1,0 +1,224 @@
+//! Opaque-predicate bogus-branch insertion.
+//!
+//! Grows the control-flow graph with branches whose outcome is fixed
+//! but not syntactically obvious, plus unreachable junk the dead edge
+//! appears to guard — the ROPfuscator/Collberg "bogus control flow"
+//! shape scaled down to a bare-metal RV64 image:
+//!
+//! * **Form A (always taken):** before a block leader, insert
+//!   `beq rX, rX, leader` followed by 1–2 junk ALU instructions. The
+//!   branch always jumps over the junk, so the junk never executes —
+//!   but a static disassembler sees a conditional edge into garbage.
+//!   Existing branches into the leader are (sometimes) retargeted to
+//!   the new `beq`, threading real control flow through the bogus
+//!   predicate.
+//! * **Form B (never taken):** before a block leader, insert
+//!   `bne rX, rX, elsewhere` targeting a nearby unrelated
+//!   instruction. The edge is dead; the fall-through path is the real
+//!   one.
+//!
+//! All inserted targets are [`crate::ir::InstId`]s, so
+//! [`crate::ir::ImageIr::to_image`] rematerializes every displacement
+//! — including the original branches the insertions pushed apart.
+
+use crate::error::ObfError;
+use crate::ir::ImageIr;
+use crate::pass::{Pass, PassStats};
+use eric_isa::{Inst, Op};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The opaque-predicate insertion pass.
+#[derive(Clone, Copy, Debug)]
+pub struct OpaquePredicates {
+    /// Fraction of basic blocks that receive a bogus branch (0.0–1.0).
+    pub density: f64,
+}
+
+impl Default for OpaquePredicates {
+    fn default() -> Self {
+        OpaquePredicates { density: 0.35 }
+    }
+}
+
+/// Ops junk instructions draw from — anything register-to-register or
+/// small-immediate that encodes unconditionally.
+const JUNK_R: [Op; 8] = [
+    Op::Add,
+    Op::Sub,
+    Op::Xor,
+    Op::Or,
+    Op::And,
+    Op::Sll,
+    Op::Srl,
+    Op::Sltu,
+];
+const JUNK_I: [Op; 4] = [Op::Addi, Op::Xori, Op::Ori, Op::Andi];
+
+fn junk_inst(rng: &mut StdRng) -> Inst {
+    let rd = rng.gen_range(1..32u8);
+    let rs1 = rng.gen_range(0..32u8);
+    if rng.gen_bool(0.5) {
+        Inst {
+            op: JUNK_R[rng.gen_range(0..JUNK_R.len())],
+            rd,
+            rs1,
+            rs2: rng.gen_range(0..32u8),
+            rs3: 0,
+            imm: 0,
+            rm: 0,
+            len: 4,
+        }
+    } else {
+        Inst {
+            op: JUNK_I[rng.gen_range(0..JUNK_I.len())],
+            rd,
+            rs1,
+            rs2: 0,
+            rs3: 0,
+            imm: rng.gen_range(0..1024u32) as i64 - 512,
+            rm: 0,
+            len: 4,
+        }
+    }
+}
+
+impl Pass for OpaquePredicates {
+    fn name(&self) -> &'static str {
+        "opaque"
+    }
+
+    fn apply(&self, ir: &mut ImageIr, rng: &mut StdRng) -> Result<PassStats, ObfError> {
+        let mut stats = PassStats::default();
+        let blocks = ir.basic_blocks();
+        if blocks.is_empty() {
+            return Ok(stats);
+        }
+        // Pick distinct victim blocks, at least one.
+        let want = ((blocks.len() as f64 * self.density).round() as usize).clamp(1, blocks.len());
+        let mut indices: Vec<usize> = (0..blocks.len()).collect();
+        for i in 0..want {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        // Descending leader position: earlier insertions must not shift
+        // sites we have yet to process.
+        let mut sites: Vec<usize> = indices[..want].iter().map(|&b| blocks[b].start).collect();
+        sites.sort_unstable_by(|a, b| b.cmp(a));
+
+        for pos in sites {
+            let leader_id = ir.insts()[pos].id;
+            let reg = rng.gen_range(1..32u8);
+            if rng.gen_bool(0.6) {
+                // Form A: always-taken guard over junk.
+                let taken = Inst {
+                    op: Op::Beq,
+                    rd: 0,
+                    rs1: reg,
+                    rs2: reg,
+                    rs3: 0,
+                    imm: 0,
+                    rm: 0,
+                    len: 4,
+                };
+                // Candidate rethread sites are gathered before the new
+                // branch exists so it never retargets itself.
+                let rethread: Vec<usize> = if rng.gen_bool(0.5) {
+                    ir.insts()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, x)| x.flow == Some(leader_id))
+                        .map(|(i, _)| i)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let beq_id = ir.insert(pos, taken, Some(leader_id));
+                let junk_count = rng.gen_range(1..3usize);
+                for k in 0..junk_count {
+                    let junk = junk_inst(rng);
+                    ir.insert(pos + 1 + k, junk, None);
+                }
+                for i in rethread {
+                    // Positions at or past the insertion point shifted
+                    // by the inserted sequence.
+                    let i = if i >= pos { i + 1 + junk_count } else { i };
+                    ir.insts_mut()[i].flow = Some(beq_id);
+                }
+                stats.insts_added += 1 + junk_count;
+            } else {
+                // Form B: never-taken edge to a nearby decoy target.
+                let lo = pos.saturating_sub(400);
+                let hi = (pos + 400).min(ir.len() - 1);
+                let decoy_pos = rng.gen_range(lo..=hi);
+                let decoy_id = ir.insts()[decoy_pos].id;
+                let dead = Inst {
+                    op: Op::Bne,
+                    rd: 0,
+                    rs1: reg,
+                    rs2: reg,
+                    rs3: 0,
+                    imm: 0,
+                    rm: 0,
+                    len: 4,
+                };
+                ir.insert(pos, dead, Some(decoy_id));
+                stats.insts_added += 1;
+            }
+            stats.sites_changed += 1;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ImageIr;
+    use eric_asm::{assemble, AsmOptions};
+    use eric_sim::{run_image, SocConfig};
+    use rand::SeedableRng;
+
+    const LOOPY: &str = r#"
+        main:
+            li   s0, 6
+            li   a0, 0
+        loop:
+            beqz s0, done
+            add  a0, a0, s0
+            addi s0, s0, -1
+            j    loop
+        done:
+            li   a7, 93
+            ecall
+    "#;
+
+    #[test]
+    fn bogus_branches_grow_text_but_not_results() {
+        let image = assemble(LOOPY, &AsmOptions::default()).unwrap();
+        let want = run_image(&image, SocConfig::default(), 100_000).unwrap();
+        assert_eq!(want.exit_code, 6 + 5 + 4 + 3 + 2 + 1);
+        for seed in 0..12u64 {
+            let mut ir = ImageIr::from_image(&image).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stats = OpaquePredicates { density: 0.8 }
+                .apply(&mut ir, &mut rng)
+                .unwrap();
+            assert!(stats.insts_added > 0, "seed {seed} inserted nothing");
+            let out = ir.to_image().unwrap();
+            assert!(out.text.len() > image.text.len());
+            let got = run_image(&out, SocConfig::default(), 100_000).unwrap();
+            assert_eq!(got.exit_code, want.exit_code, "seed {seed}");
+            assert_eq!(got.stdout, want.stdout, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn junk_material_always_encodes() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let j = junk_inst(&mut rng);
+            eric_isa::encode::encode(&j).expect("junk must encode");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Block-local instruction shuffle.
+//!
+//! Reorders instructions *within* each basic block under the full set
+//! of data/control constraints, choosing among ready instructions with
+//! a chaotic-map keystream (the exemplar obfuscators' shape: a PWLCM
+//! orbit drives the reorder, so the layout is wildly seed-sensitive
+//! while the schedule stays a legal topological order).
+//!
+//! Constraints honored:
+//!
+//! * register RAW/WAR/WAW dependencies, integer and FP files disjoint
+//!   (via [`eric_isa::Inst::dest`]/[`eric_isa::Inst::sources`]),
+//! * loads and stores keep their mutual program order (conservative:
+//!   no alias analysis),
+//! * CSR accesses, fences, AMOs, and environment calls are immovable
+//!   barriers nothing may cross,
+//! * the block leader stays first — branches land on the leader
+//!   *instruction*, so everything in the block must still execute
+//!   after it — and a control-flow terminator stays last.
+//!
+//! FP arithmetic may reorder within a block even though it updates the
+//! sticky `fflags` accumulator: sticky-OR accumulation is commutative,
+//! and any `fflags` *read* is a CSR access, i.e. a barrier.
+
+use crate::chaos::Pwlcm;
+use crate::error::ObfError;
+use crate::ir::ImageIr;
+use crate::pass::{Pass, PassStats};
+use eric_isa::{Inst, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// The block-local dependency-respecting shuffle pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Shuffle;
+
+/// `true` for instructions nothing may move across.
+fn is_barrier(op: Op) -> bool {
+    op.is_csr() || op.is_amo() || matches!(op, Op::Fence | Op::FenceI | Op::Ecall | Op::Ebreak)
+}
+
+/// `true` if `later` must stay after `earlier`.
+fn depends(earlier: &Inst, later: &Inst) -> bool {
+    let e_def = earlier.dest();
+    let l_def = later.dest();
+    // RAW: later reads what earlier writes.
+    if e_def.is_some() && later.sources().iter().flatten().any(|&s| Some(s) == e_def) {
+        return true;
+    }
+    // WAR: later overwrites what earlier reads.
+    if l_def.is_some()
+        && earlier
+            .sources()
+            .iter()
+            .flatten()
+            .any(|&s| Some(s) == l_def)
+    {
+        return true;
+    }
+    // WAW: both write the same register.
+    if e_def.is_some() && e_def == l_def {
+        return true;
+    }
+    // Memory order is preserved conservatively (no alias analysis).
+    let mem = |i: &Inst| i.op.is_load() || i.op.is_store();
+    if mem(earlier) && mem(later) {
+        return true;
+    }
+    // Barriers order against everything.
+    is_barrier(earlier.op) || is_barrier(later.op)
+}
+
+impl Pass for Shuffle {
+    fn name(&self) -> &'static str {
+        "shuffle"
+    }
+
+    fn apply(&self, ir: &mut ImageIr, rng: &mut StdRng) -> Result<PassStats, ObfError> {
+        // The chaotic map is the decision stream; the pass seed only
+        // launches its orbit.
+        let mut chaos = Pwlcm::seed_from_u64(rng.next_u64());
+        let mut stats = PassStats::default();
+        for block in ir.basic_blocks() {
+            // Pin the leader; pin a trailing control transfer or
+            // barrier (barriers cannot move anyway).
+            let start = block.start + 1;
+            let mut end = block.end;
+            if end > start {
+                let last = &ir.insts()[end - 1].inst.op;
+                if last.is_control_flow() || matches!(last, Op::Ecall | Op::Ebreak) {
+                    end -= 1;
+                }
+            }
+            if end.saturating_sub(start) < 2 {
+                continue;
+            }
+            let window: Vec<Inst> = ir.insts()[start..end].iter().map(|x| x.inst).collect();
+            let n = window.len();
+            // preds[j] = indices that must precede j.
+            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for j in 1..n {
+                for i in 0..j {
+                    if depends(&window[i], &window[j]) {
+                        preds[j].push(i);
+                    }
+                }
+            }
+            // Chaos-driven list scheduling over the dependency DAG.
+            let mut emitted = vec![false; n];
+            let mut perm = Vec::with_capacity(n);
+            while perm.len() < n {
+                let ready: Vec<usize> = (0..n)
+                    .filter(|&j| !emitted[j] && preds[j].iter().all(|&i| emitted[i]))
+                    .collect();
+                let pick = ready[chaos.gen_range(0..ready.len())];
+                emitted[pick] = true;
+                perm.push(pick);
+            }
+            if perm.iter().enumerate().any(|(slot, &from)| slot != from) {
+                ir.permute(start..end, &perm);
+                stats.sites_changed += 1;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ImageIr;
+    use eric_asm::{assemble, AsmOptions};
+    use eric_isa::Reg;
+    use eric_sim::{run_image, SocConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn dependency_predicate_basics() {
+        let a = Inst::i(Op::Addi, Reg::A0, Reg::ZERO, 1);
+        let b = Inst::i(Op::Addi, Reg::A1, Reg::A0, 1); // RAW on a0
+        let c = Inst::i(Op::Addi, Reg::A7, Reg::ZERO, 93); // independent
+        assert!(depends(&a, &b));
+        assert!(!depends(&a, &c));
+        assert!(!depends(&b, &c));
+        // WAR: c reads nothing a writes, but d overwrites b's source.
+        let d = Inst::i(Op::Addi, Reg::A0, Reg::ZERO, 5);
+        assert!(depends(&b, &d), "WAR on a0");
+        assert!(depends(&a, &d), "WAW on a0");
+        // Memory order.
+        let ld = Inst::i(Op::Ld, Reg::new(5), Reg::SP, 0);
+        let sd = Inst::s(Op::Sd, Reg::SP, Reg::new(6), 8);
+        assert!(depends(&ld, &sd));
+        // Different files don't alias: f5 vs x5.
+        let fp = Inst::r(Op::FaddD, Reg::new(5), Reg::new(5), Reg::new(5));
+        let int5 = Inst::i(Op::Addi, Reg::new(5), Reg::new(5), 1);
+        assert!(!depends(&fp, &int5));
+    }
+
+    #[test]
+    fn shuffle_preserves_behavior_and_usually_moves_something() {
+        let src = r#"
+            main:
+                li  t0, 3
+                li  t1, 5
+                li  t2, 7
+                li  t3, 11
+                mul t4, t0, t1
+                mul t5, t2, t3
+                add a0, t4, t5
+                li  a7, 93
+                ecall
+        "#;
+        let image = assemble(src, &AsmOptions::default()).unwrap();
+        let want = run_image(&image, SocConfig::default(), 100_000).unwrap();
+        let mut moved_any = false;
+        for seed in 0..8u64 {
+            let mut ir = ImageIr::from_image(&image).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stats = Shuffle.apply(&mut ir, &mut rng).unwrap();
+            let out = ir.to_image().unwrap();
+            assert_eq!(out.text.len(), image.text.len(), "size-preserving");
+            let got = run_image(&out, SocConfig::default(), 100_000).unwrap();
+            assert_eq!(got.exit_code, want.exit_code, "seed {seed}");
+            moved_any |= stats.sites_changed > 0 && out.text != image.text;
+        }
+        assert!(moved_any, "no seed produced a reorder");
+    }
+}

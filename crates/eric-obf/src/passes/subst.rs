@@ -1,0 +1,191 @@
+//! Opcode and idiom substitution.
+//!
+//! Rewrites instructions into semantically identical but differently
+//! encoded forms, the classic MBA-lite catalogue:
+//!
+//! * `mv rd, rs` (`addi rd, rs, 0`) becomes `or`/`add` against `x0`
+//!   or an `ori`/`xori` with a zero immediate,
+//! * `li rd, imm` (`addi rd, zero, imm`) becomes `ori`/`xori` from
+//!   `x0` (bitwise against zero is the identity, sign extension and
+//!   all),
+//! * `addi rd, rs, imm` becomes the two-instruction
+//!   `li rd, -imm; sub rd, rs, rd` when `rd` is a free scratch
+//!   (`rd != rs`), growing the program,
+//! * R-format `add`/`sub`/`or`/`xor` with `rs2 == x0` rotate among
+//!   each other (all four are the identity on `rs1`).
+//!
+//! Every rewritten instruction keeps the destination's final value
+//! bit-identical, so the pass is safe anywhere — it only skips
+//! instructions that carry relocation material (PC-relative pair
+//! members and static branches).
+
+use crate::error::ObfError;
+use crate::ir::ImageIr;
+use crate::pass::{Pass, PassStats};
+use eric_isa::{Inst, Op};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The opcode/idiom substitution pass.
+#[derive(Clone, Copy, Debug)]
+pub struct Substitute {
+    /// Chance of rewriting each eligible site (0.0–1.0).
+    pub probability: f64,
+}
+
+impl Default for Substitute {
+    fn default() -> Self {
+        Substitute { probability: 0.75 }
+    }
+}
+
+/// The R-format ops that reduce to the identity on `rs1` when
+/// `rs2 == x0`.
+const IDENTITY_R: [Op; 4] = [Op::Add, Op::Sub, Op::Or, Op::Xor];
+
+impl Pass for Substitute {
+    fn name(&self) -> &'static str {
+        "subst"
+    }
+
+    fn apply(&self, ir: &mut ImageIr, rng: &mut StdRng) -> Result<PassStats, ObfError> {
+        let mut stats = PassStats::default();
+        // Walk backwards so a 1-to-2 expansion never shifts a position
+        // we have yet to visit.
+        for at in (0..ir.len()).rev() {
+            let x = &ir.insts()[at];
+            if x.pcrel.is_some() || x.flow.is_some() {
+                continue;
+            }
+            let inst = x.inst;
+            if !rng.gen_bool(self.probability) {
+                continue;
+            }
+            match inst.op {
+                Op::Addi if inst.rd != 0 => {
+                    let rd = inst.rd;
+                    let rs1 = inst.rs1;
+                    if inst.imm == 0 {
+                        // mv: four interchangeable identities.
+                        let nu = match rng.gen_range(0..4u32) {
+                            0 => Inst {
+                                op: Op::Or,
+                                rs2: 0,
+                                ..inst
+                            },
+                            1 => Inst {
+                                op: Op::Add,
+                                rs2: 0,
+                                ..inst
+                            },
+                            2 => Inst {
+                                op: Op::Ori,
+                                ..inst
+                            },
+                            _ => Inst {
+                                op: Op::Xori,
+                                ..inst
+                            },
+                        };
+                        ir.insts_mut()[at].inst = nu;
+                        stats.sites_changed += 1;
+                    } else if rs1 == 0 {
+                        // li: bitwise against x0 is the identity.
+                        let op = if rng.gen_bool(0.5) { Op::Ori } else { Op::Xori };
+                        ir.insts_mut()[at].inst = Inst { op, ..inst };
+                        stats.sites_changed += 1;
+                    } else if rd != rs1 && inst.imm != -2048 {
+                        // addi -> li(-imm); sub. `rd` is free scratch
+                        // since the addi was about to clobber it, and
+                        // -imm still fits: imm is in [-2047, 2047].
+                        let load = Inst {
+                            op: Op::Addi,
+                            rs1: 0,
+                            imm: -inst.imm,
+                            ..inst
+                        };
+                        let sub = Inst {
+                            op: Op::Sub,
+                            rs2: rd,
+                            imm: 0,
+                            ..inst
+                        };
+                        ir.replace(at, &[load, sub]);
+                        stats.sites_changed += 1;
+                        stats.insts_added += 1;
+                    }
+                }
+                op if IDENTITY_R.contains(&op) && inst.rs2 == 0 && inst.rd != 0 => {
+                    let others: Vec<Op> = IDENTITY_R.iter().copied().filter(|&o| o != op).collect();
+                    let nu = others[rng.gen_range(0..others.len())];
+                    ir.insts_mut()[at].inst = Inst { op: nu, ..inst };
+                    stats.sites_changed += 1;
+                }
+                _ => {}
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ImageIr;
+    use eric_asm::{assemble, AsmOptions};
+    use eric_sim::{run_image, SocConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn substitution_preserves_exit_code_across_seeds() {
+        let src = r#"
+            main:
+                li   t0, 41
+                mv   t1, t0
+                addi t2, t1, 25
+                addi t3, t2, -9
+                or   a0, t3, zero
+                addi a0, a0, 7
+                li   a7, 93
+                ecall
+        "#;
+        let image = assemble(src, &AsmOptions::default()).unwrap();
+        let want = run_image(&image, SocConfig::default(), 100_000).unwrap();
+        assert_eq!(want.exit_code, 41 + 25 - 9 + 7);
+        let mut any_changed = false;
+        for seed in 0..6u64 {
+            let mut ir = ImageIr::from_image(&image).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stats = Substitute::default().apply(&mut ir, &mut rng).unwrap();
+            let out = ir.to_image().unwrap();
+            let got = run_image(&out, SocConfig::default(), 100_000).unwrap();
+            assert_eq!(got.exit_code, want.exit_code, "seed {seed}");
+            any_changed |= stats.sites_changed > 0;
+            assert_eq!(
+                out.text.len(),
+                image.text.len() + 4 * stats.insts_added,
+                "growth accounting"
+            );
+        }
+        assert!(any_changed);
+    }
+
+    #[test]
+    fn li_negative_immediate_substitutes_correctly() {
+        // Sign-extension identity: ori/xori from x0 with a negative
+        // 12-bit immediate must produce the same sign-extended value.
+        let src = "main:\n li a0, -37\n li a7, 93\n ecall\n";
+        let image = assemble(src, &AsmOptions::default()).unwrap();
+        let want = run_image(&image, SocConfig::default(), 10_000).unwrap();
+        for seed in 0..8u64 {
+            let mut ir = ImageIr::from_image(&image).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            Substitute { probability: 1.0 }
+                .apply(&mut ir, &mut rng)
+                .unwrap();
+            let out = ir.to_image().unwrap();
+            let got = run_image(&out, SocConfig::default(), 10_000).unwrap();
+            assert_eq!(got.exit_code, want.exit_code, "seed {seed}");
+        }
+    }
+}

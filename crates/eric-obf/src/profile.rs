@@ -1,0 +1,66 @@
+//! Layered protection: obfuscation passes composed with ERIC's
+//! HDE encryption.
+//!
+//! The paper's threat model layers defenses — the binary is first
+//! made hard to *understand* (this crate's passes) and then hard to
+//! *read at all* (PUF-keyed encryption from `eric-core`). A
+//! [`ProtectionProfile`] bundles both halves so a vendor builds a
+//! protected package in one call: compile, transform the plaintext
+//! image, then feed the transformed image into the normal
+//! prepare/package path. The device side is unchanged — the
+//! `SecureLoader` decrypts to the *obfuscated* image and runs it.
+
+use crate::pass::Pipeline;
+use eric_core::{EncryptionConfig, EricError, Package, SoftwareSource};
+use eric_puf::crp::EnrollmentRecord;
+
+/// An obfuscation pipeline layered under an encryption configuration.
+#[derive(Debug)]
+pub struct ProtectionProfile {
+    /// The plaintext-level transformation applied before encryption.
+    pub pipeline: Pipeline,
+    /// The encryption applied to the transformed image.
+    pub encryption: EncryptionConfig,
+}
+
+impl ProtectionProfile {
+    /// The canonical layered profile: the standard three-pass pipeline
+    /// under the full ERIC2 scheme.
+    pub fn standard(seed: u64) -> Self {
+        ProtectionProfile {
+            pipeline: Pipeline::standard(seed),
+            encryption: EncryptionConfig::full(),
+        }
+    }
+
+    /// Same pipeline under the ERIC1 (legacy whole-image signature)
+    /// scheme.
+    pub fn standard_eric1(seed: u64) -> Self {
+        ProtectionProfile {
+            pipeline: Pipeline::standard(seed),
+            encryption: EncryptionConfig::full().with_legacy_signature(),
+        }
+    }
+
+    /// Compile `asm_source`, apply the pipeline to the plaintext
+    /// image, and package the result for the enrolled device.
+    ///
+    /// # Errors
+    ///
+    /// Compile/package failures surface as their [`EricError`]s; a
+    /// pass failure surfaces as [`EricError::Config`] carrying the
+    /// [`crate::error::ObfError`] message.
+    pub fn build(
+        &self,
+        source: &SoftwareSource,
+        asm_source: &str,
+        cred: &EnrollmentRecord,
+    ) -> Result<Package, EricError> {
+        source.build_with(asm_source, cred, &self.encryption, |image| {
+            self.pipeline
+                .apply_image(&image)
+                .map(|(transformed, _)| transformed)
+                .map_err(|e| EricError::Config(format!("obfuscation failed: {e}")))
+        })
+    }
+}

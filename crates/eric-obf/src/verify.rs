@@ -1,0 +1,237 @@
+//! Sim-backed differential verification.
+//!
+//! The only trustworthy statement about an obfuscating transform is an
+//! executed one: run the original and the transformed image through
+//! [`eric_sim`] over the whole workload suite and compare
+//! *architectural results* — exit code and stdout. Cycle counts and
+//! text size are allowed (expected!) to differ; they are cost, and the
+//! same harness measures them as [`CostPotency`].
+//!
+//! Failure taxonomy, deliberately split:
+//!
+//! * transformed image diverges (different exit/stdout, crashes, runs
+//!   out of fuel) → [`Verdict::Mismatch`] — the transform is broken
+//!   and the harness **caught** it;
+//! * the *original* image fails to run or misses its golden value →
+//!   [`ObfError::Verify`] — the harness itself is broken and no
+//!   verdict is meaningful.
+
+use crate::error::ObfError;
+use crate::metrics::CostPotency;
+use crate::pass::Pipeline;
+use eric_asm::{assemble, AsmOptions, Image};
+use eric_sim::batch::{BatchJob, BatchRunner};
+use eric_sim::{EngineKind, SocConfig};
+
+/// Fuel budget per differential run — generous for smoke scales,
+/// and a hard stop for transforms that turn a program into a spin.
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// Outcome of comparing one transformed workload against its original.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Architecturally identical: same exit code, same stdout.
+    Match,
+    /// The transformed image diverged; the reason names how.
+    Mismatch(String),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Match`].
+    pub fn is_match(&self) -> bool {
+        matches!(self, Verdict::Match)
+    }
+}
+
+/// Per-workload differential result.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Match / mismatch verdict.
+    pub verdict: Verdict,
+    /// Cost/potency figures — present only when both runs completed
+    /// (a crashed transformed run has no meaningful cycle count).
+    pub metrics: Option<CostPotency>,
+}
+
+/// Differential results across the whole workload suite.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// Engine the suite ran under.
+    pub engine: EngineKind,
+    /// One report per workload, in suite order.
+    pub reports: Vec<WorkloadReport>,
+}
+
+impl SuiteReport {
+    /// `true` if every workload matched.
+    pub fn all_match(&self) -> bool {
+        self.reports.iter().all(|r| r.verdict.is_match())
+    }
+
+    /// The workloads that diverged, with reasons.
+    pub fn mismatches(&self) -> Vec<(&'static str, String)> {
+        self.reports
+            .iter()
+            .filter_map(|r| match &r.verdict {
+                Verdict::Match => None,
+                Verdict::Mismatch(reason) => Some((r.workload, reason.clone())),
+            })
+            .collect()
+    }
+}
+
+/// Knobs for a verification sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyOptions {
+    /// Execution engine for both sides of every comparison.
+    pub engine: EngineKind,
+    /// Instruction budget per run.
+    pub fuel: u64,
+    /// Use each workload's smoke scale instead of its default scale.
+    pub smoke: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            engine: EngineKind::from_env(),
+            fuel: DEFAULT_FUEL,
+            smoke: true,
+        }
+    }
+}
+
+/// Run every workload through `transform` and differentially verify
+/// the result against the untransformed original.
+///
+/// # Errors
+///
+/// [`ObfError::Verify`] if a baseline (untransformed) image fails to
+/// assemble, run, or match its golden value — the harness is then
+/// unsound and no verdict is produced. Transform failures propagate
+/// as-is. Transformed images that *run* incorrectly are not errors:
+/// they come back as [`Verdict::Mismatch`].
+pub fn verify_transform<F>(transform: F, options: VerifyOptions) -> Result<SuiteReport, ObfError>
+where
+    F: Fn(&Image) -> Result<Image, ObfError>,
+{
+    let config = SocConfig {
+        engine: options.engine,
+        ..SocConfig::default()
+    };
+    let mut pairs = Vec::new();
+    let mut jobs = Vec::new();
+    for w in eric_workloads::all() {
+        let scale = if options.smoke {
+            w.smoke_scale
+        } else {
+            w.default_scale
+        };
+        let original = assemble(&(w.source)(scale), &AsmOptions::default()).map_err(|e| {
+            ObfError::Verify(format!("{}: baseline does not assemble: {e}", w.name))
+        })?;
+        let transformed = transform(&original)?;
+        jobs.push(BatchJob {
+            name: format!("{}/orig", w.name),
+            image: original.clone(),
+            config,
+            fuel: options.fuel,
+        });
+        jobs.push(BatchJob {
+            name: format!("{}/obf", w.name),
+            image: transformed.clone(),
+            config,
+            fuel: options.fuel,
+        });
+        pairs.push((w, original, transformed));
+    }
+    let results = BatchRunner::new().run(&jobs);
+
+    let mut reports = Vec::with_capacity(pairs.len());
+    for (i, (w, original, transformed)) in pairs.iter().enumerate() {
+        let orig = results[2 * i]
+            .outcome
+            .as_ref()
+            .map_err(|e| ObfError::Verify(format!("{}: baseline run failed: {e}", w.name)))?;
+        let golden = (w.golden)(if options.smoke {
+            w.smoke_scale
+        } else {
+            w.default_scale
+        });
+        if orig.exit_code != golden {
+            return Err(ObfError::Verify(format!(
+                "{}: baseline exit {} does not match golden {golden}",
+                w.name, orig.exit_code
+            )));
+        }
+        let (verdict, metrics) = match &results[2 * i + 1].outcome {
+            Err(e) => (
+                Verdict::Mismatch(format!("transformed run failed: {e}")),
+                None,
+            ),
+            Ok(obf) => {
+                let verdict = if obf.exit_code != orig.exit_code {
+                    Verdict::Mismatch(format!("exit code {} != {}", obf.exit_code, orig.exit_code))
+                } else if obf.stdout != orig.stdout {
+                    Verdict::Mismatch("stdout diverged".to_string())
+                } else {
+                    Verdict::Match
+                };
+                (
+                    verdict,
+                    Some(CostPotency::measure(original, transformed, orig, obf)),
+                )
+            }
+        };
+        reports.push(WorkloadReport {
+            workload: w.name,
+            verdict,
+            metrics,
+        });
+    }
+    Ok(SuiteReport {
+        engine: options.engine,
+        reports,
+    })
+}
+
+/// Differentially verify a [`Pipeline`] across the workload suite.
+///
+/// # Errors
+///
+/// See [`verify_transform`].
+pub fn verify_pipeline(
+    pipeline: &Pipeline,
+    options: VerifyOptions,
+) -> Result<SuiteReport, ObfError> {
+    verify_transform(
+        |image| pipeline.apply_image(image).map(|(img, _)| img),
+        options,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_transform_matches_everywhere() {
+        let report = verify_transform(
+            |image| Ok(image.clone()),
+            VerifyOptions {
+                fuel: 50_000_000,
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.reports.len(), eric_workloads::all().len());
+        assert!(report.all_match(), "{:?}", report.mismatches());
+        for r in &report.reports {
+            let m = r.metrics.expect("matched runs carry metrics");
+            assert!(m.bytes_identical);
+            assert_eq!(m.cycle_delta_pct, 0.0);
+        }
+    }
+}

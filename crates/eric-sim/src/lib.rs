@@ -63,4 +63,4 @@ pub use cache::{Cache, CacheConfig, CacheStats};
 pub use cpu::{Cpu, ExecError, StepOutcome};
 pub use mem::{MemError, Memory};
 pub use pipeline::TimingConfig;
-pub use soc::{EngineKind, RunOutcome, Soc, SocConfig};
+pub use soc::{run_image, EngineKind, RunOutcome, Soc, SocConfig};

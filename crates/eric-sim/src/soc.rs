@@ -957,6 +957,23 @@ impl Soc {
     }
 }
 
+/// Load `image` into a fresh [`Soc`] and run it to completion — the
+/// one-shot verification driver used by differential harnesses (e.g.
+/// `eric-obf`) that compare two images' behavior under one config.
+///
+/// Equivalent to `Soc::new` + [`Soc::load_image`] + [`Soc::run`];
+/// callers that run many images on one configuration should keep a
+/// `Soc` (or use [`crate::BatchRunner`]) to reuse its allocations.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from loading or execution.
+pub fn run_image(image: &Image, config: SocConfig, fuel: u64) -> Result<RunOutcome, RunError> {
+    let mut soc = Soc::new(config);
+    soc.load_image(image)?;
+    soc.run(fuel)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

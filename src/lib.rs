@@ -19,6 +19,9 @@
 //! * [`rtl`] — structural FPGA resource model (Table II).
 //! * [`core`] — the framework: packages, software source, devices,
 //!   untrusted transport, and static-analysis resistance metrics.
+//! * [`obf`] — composable ISA-level obfuscation passes (shuffle,
+//!   substitution, opaque predicates) with sim-backed differential
+//!   verification.
 //! * [`workloads`] — MiBench-analog benchmark programs.
 //!
 //! # Quickstart
@@ -56,6 +59,7 @@ pub use eric_core as core;
 pub use eric_crypto as crypto;
 pub use eric_hde as hde;
 pub use eric_isa as isa;
+pub use eric_obf as obf;
 pub use eric_puf as puf;
 pub use eric_rtl as rtl;
 pub use eric_sim as sim;

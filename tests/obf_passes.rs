@@ -1,0 +1,223 @@
+//! Obfuscation-pass pipeline: determinism, potency, sim-backed
+//! differential verification, verifier teeth (injected faults), the
+//! layered obfuscate-then-encrypt roundtrip, and a golden cost pin.
+//!
+//! Regenerate the golden metrics (after an *intentional* pass change)
+//! with: `ERIC_UPDATE_GOLDENS=1 cargo test --test obf_passes`.
+
+use eric::asm::{assemble, AsmOptions};
+use eric::core::{Device, SoftwareSource};
+use eric::obf::faults::{BrokenJumpFixup, DependencyIgnoringShuffle};
+use eric::obf::verify_pipeline;
+use eric::obf::{
+    OpaquePredicates, Pipeline, ProtectionProfile, Shuffle, Substitute, VerifyOptions,
+};
+use eric::sim::{run_image, EngineKind, SocConfig};
+use eric::workloads::all;
+use proptest::prelude::*;
+
+const SEED: u64 = 0xE51C_0BF0;
+const FUEL: u64 = 200_000_000;
+/// Tight budget for deliberately broken images, which may spin.
+const FAULT_FUEL: u64 = 2_000_000;
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/obf_metrics.tsv");
+
+fn options(fuel: u64) -> VerifyOptions {
+    VerifyOptions {
+        engine: EngineKind::from_env(),
+        fuel,
+        smoke: true,
+    }
+}
+
+/// The standard pipeline is behaviorally invisible on every workload —
+/// and visibly *present* in the bytes of every workload.
+#[test]
+fn standard_pipeline_verifies_across_suite() {
+    let report = verify_pipeline(&Pipeline::standard(SEED), options(FUEL)).unwrap();
+    assert_eq!(report.reports.len(), all().len());
+    assert!(report.all_match(), "{:?}", report.mismatches());
+    for r in &report.reports {
+        let m = r.metrics.expect("matched runs carry metrics");
+        assert!(m.has_potency(), "{}: transform was a no-op", r.workload);
+        assert!(
+            m.text_bytes_after > m.text_bytes_before,
+            "{}: opaque predicates must grow the text",
+            r.workload
+        );
+    }
+}
+
+/// One seed, one output: applying the same pipeline twice yields
+/// byte-identical images (pinned twice); a different seed diverges.
+#[test]
+fn same_seed_reproduces_byte_identical_output() {
+    for w in all() {
+        let image = assemble(&(w.source)(w.smoke_scale), &AsmOptions::default()).unwrap();
+        let (first, _) = Pipeline::standard(SEED).apply_image(&image).unwrap();
+        let (second, _) = Pipeline::standard(SEED).apply_image(&image).unwrap();
+        assert_eq!(first.text, second.text, "{}: seed is not a pin", w.name);
+        assert_eq!(first.symbols, second.symbols, "{}", w.name);
+        assert_eq!(first.entry, second.entry, "{}", w.name);
+        let (other, _) = Pipeline::standard(SEED ^ 1).apply_image(&image).unwrap();
+        assert_ne!(
+            first.text, other.text,
+            "{}: different seeds produced identical layouts",
+            w.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random seed × workload × pipeline shape: the transform is
+    /// deterministic in its seed and never byte-identity.
+    #[test]
+    fn random_pipelines_are_deterministic_and_potent(
+        seed in any::<u64>(),
+        workload_index in 0usize..10,
+        shape in 0u8..4,
+    ) {
+        let w = &all()[workload_index];
+        let image = assemble(&(w.source)(w.smoke_scale), &AsmOptions::default()).unwrap();
+        let build = |s: u64| match shape {
+            0 => Pipeline::new(s).with(Substitute { probability: 1.0 }),
+            1 => Pipeline::new(s).with(OpaquePredicates::default()),
+            2 => Pipeline::new(s)
+                .with(Shuffle)
+                .with(OpaquePredicates::default()),
+            _ => Pipeline::standard(s),
+        };
+        let (first, stats) = build(seed).apply_image(&image).unwrap();
+        let (second, _) = build(seed).apply_image(&image).unwrap();
+        prop_assert_eq!(&first.text, &second.text);
+        prop_assert!(stats.total_sites() > 0);
+        prop_assert_ne!(&first.text, &image.text);
+    }
+}
+
+/// A sweep of full differential verifications under varying seeds —
+/// the pipeline must be behavior-preserving for *every* seed, not
+/// just the pinned one.
+#[test]
+fn differential_verification_holds_across_seeds() {
+    for seed in [1u64, 0xDEAD_BEEF, u64::MAX] {
+        let report = verify_pipeline(&Pipeline::standard(seed), options(FUEL)).unwrap();
+        assert!(
+            report.all_match(),
+            "seed {seed:#x}: {:?}",
+            report.mismatches()
+        );
+    }
+}
+
+/// Teeth check #1: a shuffle that ignores data dependencies must be
+/// *caught* — reported as a mismatch verdict, not an error, not UB.
+#[test]
+fn verifier_catches_dependency_breaking_shuffle() {
+    let pipeline = Pipeline::new(SEED).with(DependencyIgnoringShuffle);
+    let report = verify_pipeline(&pipeline, options(FAULT_FUEL)).unwrap();
+    assert!(
+        !report.all_match(),
+        "a dependency-ignoring shuffle passed differential verification"
+    );
+    for (name, reason) in report.mismatches() {
+        assert!(!reason.is_empty(), "{name}: empty mismatch reason");
+    }
+}
+
+/// Teeth check #2: an off-by-one jump fixup must be caught the same
+/// way.
+#[test]
+fn verifier_catches_broken_jump_fixup() {
+    let pipeline = Pipeline::new(SEED).with(BrokenJumpFixup);
+    let report = verify_pipeline(&pipeline, options(FAULT_FUEL)).unwrap();
+    assert!(
+        !report.all_match(),
+        "a broken jump fixup passed differential verification"
+    );
+}
+
+/// Layered protection roundtrip: pipeline → prepare → package →
+/// SecureLoader → simulator, under both the ERIC1 (legacy signature)
+/// and ERIC2 (segmented) schemes. The decrypted, obfuscated program
+/// must behave exactly like the untransformed original.
+#[test]
+fn layered_profiles_roundtrip_through_secure_loader() {
+    let source = SoftwareSource::new("obf-vendor");
+    let mut device = Device::with_seed(7, "obf-dev");
+    let cred = device.enroll();
+    for (scheme, profile) in [
+        ("ERIC1", ProtectionProfile::standard_eric1(SEED)),
+        ("ERIC2", ProtectionProfile::standard(SEED)),
+    ] {
+        for w in all().iter().take(3) {
+            let asm = (w.source)(w.smoke_scale);
+            let original = assemble(&asm, &AsmOptions::default()).unwrap();
+            let want = run_image(&original, SocConfig::default(), FUEL).unwrap();
+            assert_eq!(want.exit_code, (w.golden)(w.smoke_scale));
+
+            let package = profile.build(&source, &asm, &cred).unwrap();
+            let got = device.install_and_run(&package).unwrap();
+            assert_eq!(got.exit_code, want.exit_code, "{scheme}/{}", w.name);
+            assert_eq!(got.run.stdout, want.stdout, "{scheme}/{}", w.name);
+            // The loader ran the *obfuscated* image: same results,
+            // different work.
+            assert_ne!(
+                got.run.instructions, want.instructions,
+                "{scheme}/{}: loader appears to have run the untransformed image",
+                w.name
+            );
+        }
+    }
+}
+
+/// Golden pin of per-workload × per-pass cost: text bytes, retired
+/// instructions, and modeled cycles are all integers and all
+/// deterministic (seeded passes, engine-invariant counts), so any
+/// drift in pass behavior or in the cycle model fails loudly here.
+#[test]
+fn obf_metrics_match_pinned_goldens() {
+    let configs: Vec<(&str, Pipeline)> = vec![
+        ("shuffle", Pipeline::new(SEED).with(Shuffle)),
+        ("subst", Pipeline::new(SEED).with(Substitute::default())),
+        (
+            "opaque",
+            Pipeline::new(SEED).with(OpaquePredicates::default()),
+        ),
+        ("composed", Pipeline::standard(SEED)),
+    ];
+    let mut lines = vec![
+        "# workload\tpass\ttext_before\ttext_after\tinstructions\tcycles\tcycle_delta".to_string(),
+    ];
+    for (label, pipeline) in &configs {
+        let report = verify_pipeline(pipeline, options(FUEL)).unwrap();
+        assert!(report.all_match(), "{label}: {:?}", report.mismatches());
+        for r in &report.reports {
+            let m = r.metrics.unwrap();
+            lines.push(format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                r.workload,
+                label,
+                m.text_bytes_before,
+                m.text_bytes_after,
+                m.instructions_after,
+                m.cycles_after,
+                m.cycles_after as i64 - m.cycles_before as i64,
+            ));
+        }
+    }
+    let actual = lines.join("\n") + "\n";
+    if std::env::var_os("ERIC_UPDATE_GOLDENS").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; run with ERIC_UPDATE_GOLDENS=1");
+    assert_eq!(
+        actual, golden,
+        "obfuscation cost drifted from {GOLDEN_PATH}; if intentional, \
+         regenerate with ERIC_UPDATE_GOLDENS=1"
+    );
+}
