@@ -1,17 +1,34 @@
 //! Provisioning fan-out scaling: packages/sec vs worker count for a
 //! 16-device batch off one cached compile (the ROADMAP's
-//! multi-device batching milestone).
+//! multi-device batching milestone), plus the sustained-throughput
+//! comparison of the resident daemon (zero-copy frames + prepared
+//! image cache + buffer recycling) against the clone-per-device
+//! baseline.
 //!
-//! Asserts the scaling floor — ≥ 2× packages/sec at 4 workers vs 1
-//! worker — whenever the host actually has 4 hardware threads to
-//! scale onto.
+//! Asserts two floors, each self-skipping on hosts without the
+//! hardware threads to scale onto:
+//!
+//! * fan-out: ≥ 2× packages/sec at 4 workers vs 1 worker;
+//! * sustained: the daemon pipeline ≥ 2× the clone-per-device baseline
+//!   at ≥ 4 workers (`ERIC_PROVISION_WORKERS` selects the worker
+//!   count, default 4).
 
 use eric_bench::output::{banner, smoke_mode, write_bench_json, write_json};
-use eric_bench::provisioning_fanout;
+use eric_bench::{provisioning_fanout, provisioning_sustained};
 
 const DEVICES: usize = 16;
 const DATA_BYTES: usize = 256 << 10;
 const SMOKE_DATA_BYTES: usize = 16 << 10;
+const WAVES: usize = 6;
+const SMOKE_WAVES: usize = 2;
+
+fn provision_workers() -> usize {
+    std::env::var("ERIC_PROVISION_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(4)
+}
 
 fn main() {
     banner("Provisioning fan-out: packages/sec vs workers (16-device batch)");
@@ -64,6 +81,63 @@ fn main() {
         );
     }
 
+    let workers = provision_workers();
+    let waves = if smoke_mode() { SMOKE_WAVES } else { WAVES };
+    banner(&format!(
+        "Sustained provisioning: daemon vs clone-per-device ({workers} workers, {waves} waves)"
+    ));
+    let sustained = provisioning_sustained(DEVICES, data_bytes, waves, workers);
+    println!(
+        "frame {} KiB/package, {} cache hits, {} transmit buffers ever allocated\n",
+        sustained.frame_bytes >> 10,
+        sustained.cache_hits,
+        sustained.buffers_created
+    );
+    println!(
+        "{:<6} {:>10} {:>16} {:>14} {:>10} {:>6}",
+        "wave", "wave (ms)", "packages/sec", "rolling pps", "MiB/s", "cache"
+    );
+    for r in &sustained.rows {
+        println!(
+            "{:<6} {:>10.2} {:>16.1} {:>14.1} {:>10.1} {:>6}",
+            r.wave,
+            r.wave_ms,
+            r.packages_per_sec,
+            r.rolling_pps,
+            r.mib_s,
+            if r.cache_hit { "hit" } else { "miss" }
+        );
+    }
+    println!(
+        "\nbaseline {:.1} packages/sec, sustained {:.1} packages/sec ({:.1} MiB/s): {:.2}x",
+        sustained.baseline_pps,
+        sustained.sustained_pps,
+        sustained.sustained_mib_s,
+        sustained.speedup
+    );
+
+    if smoke_mode() {
+        println!("smoke mode: sustained floor assertion skipped");
+    } else if workers >= 4 && sustained.host_threads >= 4 {
+        assert!(
+            sustained.speedup >= 2.0,
+            "sustained daemon throughput must be >= 2x the clone-per-device \
+             baseline at {workers} workers, measured {:.2}x",
+            sustained.speedup
+        );
+        println!(
+            "sustained throughput floor OK: {:.2}x >= 2x at {workers} workers",
+            sustained.speedup
+        );
+    } else {
+        println!(
+            "note: floor needs >= 4 workers on >= 4 host threads (have {} on {}), \
+             skipping the assertion (measured {:.2}x)",
+            workers, sustained.host_threads, sustained.speedup
+        );
+    }
+
     write_json("provisioning_fanout", &report);
+    write_json("provisioning_sustained", &sustained);
     write_bench_json("provisioning_fanout");
 }

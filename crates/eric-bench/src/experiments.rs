@@ -798,6 +798,204 @@ pub fn provisioning_fanout(
     }
 }
 
+/// One sustained-provisioning wave: daemon throughput plus the
+/// rolling-window view over the trailing waves.
+#[derive(Clone, Debug)]
+pub struct SustainedRow {
+    /// Wave index (0-based, timed waves only — warm-up is excluded).
+    pub wave: usize,
+    /// Wall clock of this wave, milliseconds.
+    pub wave_ms: f64,
+    /// Packages per second within this wave.
+    pub packages_per_sec: f64,
+    /// Mean packages/sec over the trailing window (up to 3 waves) —
+    /// the sustained-throughput observable.
+    pub rolling_pps: f64,
+    /// Wire bytes emitted per second within this wave, MiB/s.
+    pub mib_s: f64,
+    /// Whether this wave's preparation was a `PreparedImageCache` hit
+    /// (every wave after the first should be).
+    pub cache_hit: bool,
+}
+
+/// Sustained fleet-provisioning report: resident daemon (zero-copy
+/// packaging + prepared-image cache + buffer recycling) vs the
+/// clone-per-device baseline at the same worker count.
+#[derive(Clone, Debug)]
+pub struct SustainedReport {
+    /// Devices per wave.
+    pub devices: usize,
+    /// Timed waves (after one warm-up wave each).
+    pub waves: usize,
+    /// Worker threads in both pipelines.
+    pub workers: usize,
+    /// Plaintext payload bytes per package.
+    pub payload_bytes: usize,
+    /// Wire frame bytes per package.
+    pub frame_bytes: usize,
+    /// Host threads available.
+    pub host_threads: usize,
+    /// Clone-per-device pipeline: aggregate packages/sec over all
+    /// timed waves (`package_prepared` + `to_wire` per device).
+    pub baseline_pps: f64,
+    /// Daemon pipeline: aggregate packages/sec over all timed waves.
+    pub sustained_pps: f64,
+    /// Daemon pipeline: aggregate wire MiB/s over all timed waves.
+    pub sustained_mib_s: f64,
+    /// `sustained_pps / baseline_pps`.
+    pub speedup: f64,
+    /// Prepared-image cache hits across the daemon run (warm-up
+    /// included; every submit after the first should hit).
+    pub cache_hits: u64,
+    /// Transmit buffers the daemon pool ever allocated — flat after
+    /// warm-up when the steady state is allocation-free.
+    pub buffers_created: usize,
+    /// One row per timed daemon wave.
+    pub rows: Vec<SustainedRow>,
+}
+
+/// Sustained-throughput experiment: provision `waves` consecutive
+/// waves of the same `devices`-strong fleet through the resident
+/// [`ProvisioningDaemon`](eric_core::ProvisioningDaemon) and through a
+/// clone-per-device baseline at the same worker count.
+///
+/// The baseline is what a naive sender does per device: build a
+/// [`Package`] (cloning the shared payload into it) and serialize it
+/// into a fresh wire `Vec`. The daemon path instead XORs the keystream
+/// straight into a recycled transmit buffer and serves preparation
+/// from the epoch-keyed cache, so its steady state performs zero
+/// per-device payload-sized allocations — the structural win this
+/// experiment quantifies.
+pub fn provisioning_sustained(
+    devices: usize,
+    data_bytes: usize,
+    waves: usize,
+    workers: usize,
+) -> SustainedReport {
+    use eric_core::ProvisioningDaemon;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let asm =
+        format!(".data\nblob: .zero {data_bytes}\n.text\nmain:\n li a0, 0\n li a7, 93\n ecall\n");
+    let creds: Vec<_> = (0..devices)
+        .map(|i| Device::with_seed(9_500 + i as u64, &format!("fleet/unit-{i}")).enroll())
+        .collect();
+    let config = EncryptionConfig::full();
+
+    // --- Baseline: clone-per-device packaging, same worker count and
+    // the same delivery shape (bounded channel into a consumer), so
+    // the comparison isolates the allocation structure — per-device
+    // payload clone + fresh wire `Vec` vs keystream-into-recycled
+    // buffer — not the pipeline topology.
+    let source = SoftwareSource::new("sustained-bench");
+    let image = source.compile(&asm, config.compress).unwrap();
+    let prepared = source.prepare_image(&image, &config).unwrap();
+    let pool_workers = workers.min(devices).max(1);
+    let run_baseline_wave = || {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(pool_workers);
+            for _ in 0..pool_workers {
+                let tx = tx.clone();
+                let (next, source, prepared, creds) = (&next, &source, &prepared, &creds);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= devices {
+                        break;
+                    }
+                    let (package, _) = source.package_prepared(prepared, &creds[i]).unwrap();
+                    if tx.send(package.to_wire()).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for wire in rx {
+                std::hint::black_box(&wire);
+                drop(wire); // the naive consumer frees every frame
+            }
+        });
+    };
+    run_baseline_wave(); // warm-up (allocator, page cache, thread state)
+    let t0 = Instant::now();
+    for _ in 0..waves {
+        run_baseline_wave();
+    }
+    let baseline_total = t0.elapsed();
+    let baseline_pps = (devices * waves) as f64 / baseline_total.as_secs_f64().max(f64::EPSILON);
+
+    // --- Daemon: cached preparation, zero-copy frames, recycling ---
+    let daemon = ProvisioningDaemon::start(SoftwareSource::new("sustained-bench"), workers);
+    let image = daemon.source().compile(&asm, config.compress).unwrap();
+    let run_daemon_wave = |sink_bytes: &mut usize| -> bool {
+        let handle = daemon.submit(&image, &config, creds.clone()).unwrap();
+        let hit = handle.cache_hit();
+        let mut delivered = 0usize;
+        for outcome in handle.iter() {
+            let frame = outcome.result.unwrap();
+            *sink_bytes += frame.bytes.len();
+            handle.recycle(frame);
+            delivered += 1;
+        }
+        assert_eq!(delivered, devices, "wave must fully succeed");
+        hit
+    };
+    let mut frame_bytes_total = 0usize;
+    run_daemon_wave(&mut frame_bytes_total); // warm-up: populates cache + pool
+    let frame_bytes = frame_bytes_total / devices.max(1);
+
+    let mut rows: Vec<SustainedRow> = Vec::with_capacity(waves);
+    let mut wave_samples: Vec<Duration> = Vec::with_capacity(waves);
+    let t0 = Instant::now();
+    for wave in 0..waves {
+        let mut bytes = 0usize;
+        let w0 = Instant::now();
+        let cache_hit = run_daemon_wave(&mut bytes);
+        let elapsed = w0.elapsed();
+        wave_samples.push(elapsed);
+        let secs = elapsed.as_secs_f64().max(f64::EPSILON);
+        let packages_per_sec = devices as f64 / secs;
+        let window = &wave_samples[wave_samples.len().saturating_sub(3)..];
+        let window_secs: f64 = window.iter().map(Duration::as_secs_f64).sum();
+        rows.push(SustainedRow {
+            wave,
+            wave_ms: secs * 1e3,
+            packages_per_sec,
+            rolling_pps: (devices * window.len()) as f64 / window_secs.max(f64::EPSILON),
+            mib_s: bytes as f64 / (1 << 20) as f64 / secs,
+            cache_hit,
+        });
+    }
+    let sustained_total = t0.elapsed();
+    let sustained_secs = sustained_total.as_secs_f64().max(f64::EPSILON);
+    crate::output::record(
+        &format!("sustained-workers-{workers}"),
+        crate::output::stats_of(&mut wave_samples),
+        None,
+    );
+    let stats = daemon.cache_stats();
+    let buffers_created = daemon.pool().created();
+    let payload_bytes = prepared.payload_len();
+    daemon.shutdown();
+
+    let sustained_pps = (devices * waves) as f64 / sustained_secs;
+    SustainedReport {
+        devices,
+        waves,
+        workers,
+        payload_bytes,
+        frame_bytes,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        baseline_pps,
+        sustained_pps,
+        sustained_mib_s: (frame_bytes * devices * waves) as f64 / (1 << 20) as f64 / sustained_secs,
+        speedup: sustained_pps / baseline_pps.max(f64::EPSILON),
+        cache_hits: stats.hits,
+        buffers_created,
+        rows,
+    }
+}
+
 /// One HDE lane-scaling row: end-to-end `SecureLoader::process`
 /// throughput at a lane count.
 #[derive(Clone, Debug)]
@@ -1448,6 +1646,29 @@ crate::impl_json_struct!(FanoutReport {
     payload_bytes,
     prepare_ms,
     host_threads,
+    rows
+});
+crate::impl_json_struct!(SustainedRow {
+    wave,
+    wave_ms,
+    packages_per_sec,
+    rolling_pps,
+    mib_s,
+    cache_hit
+});
+crate::impl_json_struct!(SustainedReport {
+    devices,
+    waves,
+    workers,
+    payload_bytes,
+    frame_bytes,
+    host_threads,
+    baseline_pps,
+    sustained_pps,
+    sustained_mib_s,
+    speedup,
+    cache_hits,
+    buffers_created,
     rows
 });
 

@@ -9,7 +9,7 @@
 //! exactly what a network adversary can do.
 
 use crate::error::EricError;
-use crate::package::Package;
+use crate::package::{Package, PAYLOAD_LEN_OFFSET};
 
 /// Adversarial actions on in-flight packages.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,7 +71,41 @@ impl Channel {
     /// [`EricError::Package`] when the mutation breaks the framing
     /// itself (detected before the HDE even runs).
     pub fn transmit(&self, package: &Package) -> Result<Package, EricError> {
-        let mut wire = package.to_wire();
+        self.transmit_wire(&package.to_wire())
+    }
+
+    /// Transmit an already-serialized wire frame through the channel —
+    /// the zero-copy provisioning path
+    /// ([`SoftwareSource::package_prepared_into`](crate::SoftwareSource::package_prepared_into),
+    /// the daemon's [`WireFrame`](crate::WireFrame)) hands its bytes
+    /// here without ever materializing a [`Package`] on the sender
+    /// side.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Package`] when the mutation breaks the framing
+    /// itself (detected before the HDE even runs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{Channel, Device, EncryptionConfig, SoftwareSource};
+    ///
+    /// let mut device = Device::with_seed(77, "node");
+    /// let cred = device.enroll();
+    /// let source = SoftwareSource::new("vendor");
+    /// let image = source
+    ///     .compile("main:\n li a0, 5\n li a7, 93\n ecall\n", false)
+    ///     .unwrap();
+    /// let prepared = source.prepare_image(&image, &EncryptionConfig::full()).unwrap();
+    ///
+    /// let mut frame = Vec::new();
+    /// source.package_prepared_into(&prepared, &cred, &mut frame).unwrap();
+    /// let received = Channel::trusted_free().transmit_wire(&frame).unwrap();
+    /// assert_eq!(device.install_and_run(&received).unwrap().exit_code, 5);
+    /// ```
+    pub fn transmit_wire(&self, wire: &[u8]) -> Result<Package, EricError> {
+        let mut wire = wire.to_vec();
         match &self.attacker {
             Attacker::Passive => {}
             Attacker::BitFlip { byte, bit } => {
@@ -83,9 +117,12 @@ impl Channel {
                 wire.truncate(*keep);
             }
             Attacker::SubstitutePayload { filler } => {
-                // Payload occupies the wire tail.
-                let payload_len = package.payload.len();
-                let start = wire.len() - payload_len;
+                // The payload occupies the wire tail; its length is
+                // declared at a fixed header offset.
+                let payload_len = wire
+                    .get(PAYLOAD_LEN_OFFSET..PAYLOAD_LEN_OFFSET + 4)
+                    .map_or(0, |b| u32::from_le_bytes(b.try_into().unwrap()) as usize);
+                let start = wire.len().saturating_sub(payload_len);
                 for b in &mut wire[start..] {
                     *b = *filler;
                 }
@@ -212,6 +249,31 @@ mod tests {
                 7
             );
         }
+    }
+
+    #[test]
+    fn transmit_wire_matches_transmit_for_every_attacker() {
+        let (mut device, pkg) = setup();
+        let wire = pkg.to_wire();
+        let attackers = [
+            Attacker::Passive,
+            Attacker::BitFlip { byte: 61, bit: 3 },
+            Attacker::Truncate { keep: 40 },
+            Attacker::SubstitutePayload { filler: 0xAA },
+        ];
+        for attacker in attackers {
+            let ch = Channel::with_attacker(attacker.clone());
+            let via_package = ch.transmit(&pkg);
+            let via_wire = ch.transmit_wire(&wire);
+            match (via_package, via_wire) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{attacker:?} diverged"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("{attacker:?} diverged: {a:?} vs {b:?}"),
+            }
+        }
+        // And the passive wire path round-trips onto the device.
+        let received = Channel::trusted_free().transmit_wire(&wire).unwrap();
+        assert_eq!(device.install_and_run(&received).unwrap().exit_code, 7);
     }
 
     #[test]

@@ -63,5 +63,9 @@ pub use config::{EncryptionConfig, EncryptionMode, SignatureScheme};
 pub use device::{Device, ExecutionReport};
 pub use error::EricError;
 pub use package::{Package, SizeReport};
-pub use provisioning::{BatchReport, DeviceOutcome, FanoutStats, ProvisioningService};
-pub use source::{BuildTimings, PreparedImage, SoftwareSource};
+pub use provisioning::{
+    BatchHandle, BatchReport, BufferPool, CacheLookup, CacheStats, DeviceOutcome, FanoutStats,
+    PreparedImageCache, ProvisioningDaemon, ProvisioningService, ShardQueue, WireFrame,
+    WireOutcome,
+};
+pub use source::{BuildTimings, PackagedFrame, PreparedImage, SoftwareSource};

@@ -36,10 +36,87 @@ use eric_hde::FieldPolicy;
 use std::fmt;
 
 /// Wire magic: "ERIC" + format version 1 (single-digest signature).
-const MAGIC_V1: &[u8; 5] = b"ERIC1";
+pub(crate) const MAGIC_V1: &[u8; 5] = b"ERIC1";
 
 /// Wire magic: "ERIC" + format version 2 (segment-manifest signature).
-const MAGIC_V2: &[u8; 5] = b"ERIC2";
+pub(crate) const MAGIC_V2: &[u8; 5] = b"ERIC2";
+
+/// Serialized length of the fixed header fields: magic + cipher +
+/// policy + epoch + nonce + text_base + data_base + entry + text_len +
+/// payload_len + challenge_len (the variable-length challenge follows).
+pub(crate) const HEADER_FIXED_LEN: usize = 5 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 2;
+
+/// Byte offset of the `payload_len` field inside the fixed header
+/// (everything before it is fixed-width).
+pub(crate) const PAYLOAD_LEN_OFFSET: usize = 5 + 1 + 1 + 8 * 5 + 4;
+
+/// The cleartext fields every wire frame opens with — and, byte for
+/// byte, the package's additional-authenticated-data encoding.
+///
+/// [`Package::aad`], [`Package::serialize_into`] (and through it
+/// [`Package::to_wire`]), and the zero-copy packager
+/// (`SoftwareSource::package_prepared_into`) all serialize the header
+/// through this one writer, so the bytes the signature covers and the
+/// bytes that hit the wire can never drift apart. That identity is
+/// what lets the zero-copy path sign `&frame[..aad_len]` in place
+/// instead of building a separate AAD scratch buffer.
+pub(crate) struct WireHeader<'a> {
+    pub(crate) magic: &'static [u8; 5],
+    pub(crate) cipher: CipherKind,
+    pub(crate) policy: Option<FieldPolicy>,
+    pub(crate) epoch: u64,
+    pub(crate) nonce: u64,
+    pub(crate) text_base: u64,
+    pub(crate) data_base: u64,
+    pub(crate) entry: u64,
+    pub(crate) text_len: u32,
+    pub(crate) payload_len: u32,
+    pub(crate) challenge: &'a [u8],
+}
+
+impl WireHeader<'_> {
+    /// Serialized header length (fixed fields plus the challenge).
+    pub(crate) fn wire_len(&self) -> usize {
+        HEADER_FIXED_LEN + self.challenge.len()
+    }
+
+    /// Append the canonical header encoding to `out`.
+    pub(crate) fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.magic);
+        out.push(self.cipher.wire_id());
+        out.push(self.policy.map_or(0xFF, FieldPolicy::wire_id));
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.text_base.to_le_bytes());
+        out.extend_from_slice(&self.data_base.to_le_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&self.text_len.to_le_bytes());
+        out.extend_from_slice(&self.payload_len.to_le_bytes());
+        out.extend_from_slice(&(self.challenge.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.challenge);
+    }
+}
+
+/// Append the coverage-map wire block (tag, geometry, bits).
+pub(crate) fn write_map(out: &mut Vec<u8>, map: &CoverageMap) {
+    match map {
+        CoverageMap::Full => out.push(0),
+        CoverageMap::Partial(bm) => {
+            out.push(1);
+            out.push(bm.granularity() as u8);
+            out.extend_from_slice(&(bm.parcels() as u32).to_le_bytes());
+            out.extend_from_slice(bm.to_bytes());
+        }
+    }
+}
+
+/// Serialized size of the coverage-map wire block.
+pub(crate) fn map_wire_len(map: &CoverageMap) -> usize {
+    match map {
+        CoverageMap::Full => 1,
+        CoverageMap::Partial(_) => 1 + 1 + 4 + map.wire_len(),
+    }
+}
 
 /// An encrypted, signed program package.
 #[derive(Clone, PartialEq)]
@@ -95,25 +172,34 @@ impl Package {
         }
     }
 
+    /// This package's header fields, viewed through the shared wire
+    /// writer (see [`WireHeader`]).
+    pub(crate) fn header(&self) -> WireHeader<'_> {
+        WireHeader {
+            magic: self.magic(),
+            cipher: self.cipher,
+            policy: self.policy,
+            epoch: self.epoch,
+            nonce: self.nonce,
+            text_base: self.text_base,
+            data_base: self.data_base,
+            entry: self.entry,
+            text_len: self.text_len,
+            payload_len: self.payload.len() as u32,
+            challenge: &self.challenge,
+        }
+    }
+
     /// The canonical additional-authenticated-data encoding of the
     /// cleartext metadata. Both the packager (when signing) and the
     /// HDE (when validating) hash exactly these bytes before the
     /// payload. The magic is included, so a v1 digest can never be
-    /// replayed as (or confused with) a v2 root.
+    /// replayed as (or confused with) a v2 root. These are exactly the
+    /// header prefix of the wire frame, byte for byte.
     pub fn aad(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.challenge.len());
-        out.extend_from_slice(self.magic());
-        out.push(self.cipher.wire_id());
-        out.push(self.policy.map_or(0xFF, FieldPolicy::wire_id));
-        out.extend_from_slice(&self.epoch.to_le_bytes());
-        out.extend_from_slice(&self.nonce.to_le_bytes());
-        out.extend_from_slice(&self.text_base.to_le_bytes());
-        out.extend_from_slice(&self.data_base.to_le_bytes());
-        out.extend_from_slice(&self.entry.to_le_bytes());
-        out.extend_from_slice(&self.text_len.to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.challenge.len() as u16).to_le_bytes());
-        out.extend_from_slice(&self.challenge);
+        let header = self.header();
+        let mut out = Vec::with_capacity(header.wire_len());
+        header.write(&mut out);
         out
     }
 
@@ -153,58 +239,68 @@ impl Package {
     /// assert_eq!(legacy.wire_len() + 40, package.wire_len());
     /// ```
     pub fn wire_len(&self) -> usize {
-        // MAGIC + cipher + policy + epoch + nonce + text_base +
-        // data_base + entry + text_len + payload_len + challenge_len.
-        let header = 5 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 2;
-        let map = match &self.map {
-            CoverageMap::Full => 1,
-            CoverageMap::Partial(_) => 1 + 1 + 4 + self.map.wire_len(),
-        };
-        header + self.challenge.len() + map + self.signature.wire_len() + self.payload.len()
+        HEADER_FIXED_LEN
+            + self.challenge.len()
+            + map_wire_len(&self.map)
+            + self.signature.wire_len()
+            + self.payload.len()
     }
 
     /// Serialize to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(self.wire_len());
-        buf.extend_from_slice(self.magic());
-        buf.push(self.cipher.wire_id());
-        buf.push(self.policy.map_or(0xFF, FieldPolicy::wire_id));
-        buf.extend_from_slice(&self.epoch.to_le_bytes());
-        buf.extend_from_slice(&self.nonce.to_le_bytes());
-        buf.extend_from_slice(&self.text_base.to_le_bytes());
-        buf.extend_from_slice(&self.data_base.to_le_bytes());
-        buf.extend_from_slice(&self.entry.to_le_bytes());
-        buf.extend_from_slice(&self.text_len.to_le_bytes());
-        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&(self.challenge.len() as u16).to_le_bytes());
-        buf.extend_from_slice(&self.challenge);
-        match &self.map {
-            CoverageMap::Full => buf.push(0),
-            CoverageMap::Partial(bm) => {
-                buf.push(1);
-                buf.push(bm.granularity() as u8);
-                buf.extend_from_slice(&(bm.parcels() as u32).to_le_bytes());
-                buf.extend_from_slice(bm.to_bytes());
-            }
-        }
+        let mut buf = Vec::new();
+        self.serialize_into(&mut buf);
+        buf
+    }
+
+    /// Serialize into a reusable transmit buffer.
+    ///
+    /// The buffer is cleared, then reserved to exactly
+    /// [`Package::wire_len`] — a warm buffer from a previous frame of
+    /// the same geometry is refilled with **zero** allocations, which
+    /// is what keeps steady-state fleet packaging off the allocator.
+    /// The bytes written are identical to [`Package::to_wire`]
+    /// regardless of the buffer's prior contents, length, or capacity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{Device, EncryptionConfig, SoftwareSource};
+    ///
+    /// let mut device = Device::with_seed(1, "node");
+    /// let cred = device.enroll();
+    /// let source = SoftwareSource::new("vendor");
+    /// let package = source
+    ///     .build("main:\n li a0, 0\n li a7, 93\n ecall\n", &cred, &EncryptionConfig::full())
+    ///     .unwrap();
+    ///
+    /// let mut frame = vec![0xFF; 7]; // dirty, undersized: contents never leak
+    /// package.serialize_into(&mut frame);
+    /// assert_eq!(frame, package.to_wire());
+    /// ```
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.wire_len());
+        self.header().write(out);
+        write_map(out, &self.map);
         match &self.signature {
             SignatureBlock::Single { encrypted_digest } => {
-                buf.extend_from_slice(encrypted_digest);
+                out.extend_from_slice(encrypted_digest);
             }
             SignatureBlock::Segmented {
                 encrypted_root,
                 manifest,
             } => {
-                buf.extend_from_slice(encrypted_root);
-                buf.extend_from_slice(&manifest.segment_len().to_le_bytes());
-                buf.extend_from_slice(&(manifest.segments() as u32).to_le_bytes());
+                out.extend_from_slice(encrypted_root);
+                out.extend_from_slice(&manifest.segment_len().to_le_bytes());
+                out.extend_from_slice(&(manifest.segments() as u32).to_le_bytes());
                 for leaf in manifest.leaves() {
-                    buf.extend_from_slice(leaf);
+                    out.extend_from_slice(leaf);
                 }
             }
         }
-        buf.extend_from_slice(&self.payload);
-        buf
+        out.extend_from_slice(&self.payload);
+        debug_assert_eq!(out.len(), self.wire_len());
     }
 
     /// Deserialize from wire bytes.
@@ -551,6 +647,47 @@ mod tests {
         let mut wire = sample(CoverageMap::Full).to_wire();
         wire[6] = 0x7E; // policy id (not 0xFF, not known)
         assert!(Package::from_wire(&wire).is_err());
+    }
+
+    #[test]
+    fn aad_is_exactly_the_wire_header_prefix() {
+        // The zero-copy packager signs `&frame[..aad_len]` in place;
+        // that is only sound while the AAD encoding and the wire
+        // header stay byte-identical.
+        for p in [sample(CoverageMap::Full), sample_v2(CoverageMap::Full)] {
+            let aad = p.aad();
+            let wire = p.to_wire();
+            assert_eq!(&wire[..aad.len()], &aad[..]);
+            assert_eq!(aad.len(), p.header().wire_len());
+        }
+    }
+
+    #[test]
+    fn serialize_into_reused_buffers_matches_to_wire() {
+        let mut bm = ParcelBitmap::new(5);
+        bm.set(2);
+        for p in [
+            sample(CoverageMap::Full),
+            sample(CoverageMap::Partial(bm.clone())),
+            sample_v2(CoverageMap::Full),
+            sample_v2(CoverageMap::Partial(bm)),
+        ] {
+            let want = p.to_wire();
+            for mut buf in [
+                Vec::new(),                  // fresh
+                vec![0xEE; 3],               // dirty, undersized
+                vec![0xEE; want.len() * 3],  // dirty, oversized
+                Vec::with_capacity(1 << 16), // over-reserved
+            ] {
+                p.serialize_into(&mut buf);
+                assert_eq!(buf, want);
+                // A warm same-geometry reuse must not grow the buffer.
+                let cap = buf.capacity();
+                p.serialize_into(&mut buf);
+                assert_eq!(buf, want);
+                assert_eq!(buf.capacity(), cap, "warm reuse reallocated");
+            }
+        }
     }
 
     #[test]

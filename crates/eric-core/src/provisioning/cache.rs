@@ -1,0 +1,391 @@
+//! Epoch-keyed cache of prepared images.
+//!
+//! Fleet provisioning runs in *waves*: the same firmware is packaged
+//! for batch after batch of devices, often interleaved with other
+//! images. [`SoftwareSource::prepare_image`] is the device-independent
+//! half of that work (payload assembly, coverage-map construction,
+//! segment-leaf hashing) — identical for every wave that shares an
+//! image and an [`EncryptionConfig`], so repeating it per wave is pure
+//! waste. [`PreparedImageCache`] memoizes it.
+//!
+//! The cache key is a SHA-256 digest over the **image content** (text,
+//! data, load addresses, entry point, instruction boundaries) and the
+//! **full encryption configuration** — including the key epoch. That
+//! keying gives the two invalidation rules for free:
+//!
+//! * **Source change** — a rebuilt image hashes to a different key, so
+//!   a stale preparation can never be served for new bytes.
+//! * **Credential rotation** — the epoch is part of the key, so a
+//!   rotated fleet naturally misses; [`PreparedImageCache::invalidate_stale_epochs`]
+//!   additionally purges the dead entries so they stop occupying
+//!   capacity (and a stale-epoch credential is still rejected at
+//!   packaging time — the cache can only ever *skip preparation*,
+//!   never widen what a credential can decrypt).
+//!
+//! Entries are `Arc<PreparedImage>`, so a hit is a pointer clone; the
+//! map is guarded by a [`Mutex`] and evicts least-recently-used beyond
+//! a fixed capacity.
+
+use crate::config::{EncryptionConfig, EncryptionMode, SignatureScheme};
+use crate::error::EricError;
+use crate::source::{PreparedImage, SoftwareSource};
+use eric_asm::Image;
+use eric_crypto::sha256::Sha256;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Aggregate counters of one cache's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served without running `prepare_image`.
+    pub hits: u64,
+    /// Lookups that had to prepare (and then populated the cache).
+    pub misses: u64,
+    /// Entries dropped to make room (least-recently-used first).
+    pub evictions: u64,
+    /// Entries purged by explicit epoch invalidation.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// The result of one [`PreparedImageCache::get_or_prepare`] lookup.
+#[derive(Clone, Debug)]
+pub struct CacheLookup {
+    /// The shared, immutable prepared image.
+    pub prepared: Arc<PreparedImage>,
+    /// `true` when the preparation was served from cache — no
+    /// `prepare_image` ran for this lookup.
+    pub hit: bool,
+}
+
+struct Entry {
+    prepared: Arc<PreparedImage>,
+    epoch: u64,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<[u8; 32], Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// A bounded, thread-safe, epoch-keyed memo of
+/// [`SoftwareSource::prepare_image`] results.
+///
+/// # Examples
+///
+/// ```
+/// use eric_core::{EncryptionConfig, PreparedImageCache, SoftwareSource};
+/// use std::sync::Arc;
+///
+/// let source = SoftwareSource::new("vendor");
+/// let cache = PreparedImageCache::new(4);
+/// let image = source
+///     .compile("main:\n li a0, 0\n li a7, 93\n ecall\n", false)
+///     .unwrap();
+///
+/// let config = EncryptionConfig::full();
+/// let miss = cache.get_or_prepare(&source, &image, &config).unwrap();
+/// let hit = cache.get_or_prepare(&source, &image, &config).unwrap();
+/// assert!(!miss.hit);
+/// assert!(hit.hit);
+/// assert!(Arc::ptr_eq(&miss.prepared, &hit.prepared)); // shared, not re-prepared
+///
+/// // Rotating the key epoch changes the cache key: no stale reuse.
+/// let rotated = config.with_epoch(1);
+/// assert!(!cache.get_or_prepare(&source, &image, &rotated).unwrap().hit);
+/// assert_eq!(cache.invalidate_stale_epochs(1), 1); // epoch-0 entry purged
+/// ```
+pub struct PreparedImageCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for PreparedImageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "PreparedImageCache {{ {}/{} entries, {} hits, {} misses }}",
+            s.entries, self.capacity, s.hits, s.misses
+        )
+    }
+}
+
+impl PreparedImageCache {
+    /// A cache holding at most `capacity` prepared images (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        PreparedImageCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up the preparation for `image` × `config`, running
+    /// [`SoftwareSource::prepare_image`] only on a miss.
+    ///
+    /// The lock is **not** held while preparing, so a slow preparation
+    /// never blocks hits on other keys; two threads racing the same
+    /// cold key may both prepare (the results are identical — the last
+    /// insert wins).
+    ///
+    /// # Errors
+    ///
+    /// Whatever `prepare_image` reports (configuration errors).
+    pub fn get_or_prepare(
+        &self,
+        source: &SoftwareSource,
+        image: &Image,
+        config: &EncryptionConfig,
+    ) -> Result<CacheLookup, EricError> {
+        let key = cache_key(image, config);
+        {
+            let mut inner = self.inner.lock().expect("cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let prepared = entry.prepared.clone();
+                inner.hits += 1;
+                return Ok(CacheLookup {
+                    prepared,
+                    hit: true,
+                });
+            }
+            inner.misses += 1;
+        }
+        let prepared = Arc::new(source.prepare_image(image, config)?);
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        while inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
+            let lru = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty at capacity");
+            inner.entries.remove(&lru);
+            inner.evictions += 1;
+        }
+        inner.entries.insert(
+            key,
+            Entry {
+                prepared: prepared.clone(),
+                epoch: config.epoch,
+                last_used: tick,
+            },
+        );
+        Ok(CacheLookup {
+            prepared,
+            hit: false,
+        })
+    }
+
+    /// Purge every entry prepared for a key epoch other than
+    /// `live_epoch` (credential rotation), returning how many were
+    /// dropped.
+    ///
+    /// Stale entries could never be *served* for a rotated
+    /// configuration (the epoch is part of the key); this reclaims
+    /// their capacity and memory.
+    pub fn invalidate_stale_epochs(&self, live_epoch: u64) -> usize {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let before = inner.entries.len();
+        inner.entries.retain(|_, e| e.epoch == live_epoch);
+        let dropped = before - inner.entries.len();
+        inner.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let dropped = inner.entries.len();
+        inner.entries.clear();
+        inner.invalidations += dropped as u64;
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+/// Digest the image content and the full encryption configuration into
+/// the cache key. Everything `prepare_image` reads must be hashed:
+/// payload bytes, geometry, instruction boundaries (partial-map
+/// selection), mode, cipher, epoch, compression, signature scheme.
+fn cache_key(image: &Image, config: &EncryptionConfig) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"eric-prepared-image-v1");
+    h.update(&image.text_base.to_le_bytes());
+    h.update(&image.data_base.to_le_bytes());
+    h.update(&image.entry.to_le_bytes());
+    h.update(&(image.text.len() as u64).to_le_bytes());
+    h.update(&image.text);
+    h.update(&(image.data.len() as u64).to_le_bytes());
+    h.update(&image.data);
+    h.update(&(image.boundaries.len() as u64).to_le_bytes());
+    for b in &image.boundaries {
+        h.update(&b.offset.to_le_bytes());
+        h.update(&(b.kind.len() as u8).to_le_bytes());
+    }
+    h.update(&[config.mode_wire_id()]);
+    match config.mode {
+        EncryptionMode::Full => {}
+        EncryptionMode::PartialRandom { fraction, seed } => {
+            h.update(&fraction.to_bits().to_le_bytes());
+            h.update(&seed.to_le_bytes());
+        }
+        EncryptionMode::FieldLevel(policy) => h.update(&[policy.wire_id()]),
+    }
+    h.update(&[config.cipher.wire_id(), config.compress as u8]);
+    h.update(&config.epoch.to_le_bytes());
+    match config.signature {
+        SignatureScheme::Single => h.update(&[0]),
+        SignatureScheme::Segmented { segment_len } => {
+            h.update(&[1]);
+            h.update(&segment_len.to_le_bytes());
+        }
+    }
+    *h.finalize().as_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = "main:\n li a0, 3\n li a7, 93\n ecall\n";
+
+    fn setup() -> (SoftwareSource, Image) {
+        let source = SoftwareSource::new("vendor");
+        let image = source.compile(PROGRAM, false).unwrap();
+        (source, image)
+    }
+
+    #[test]
+    fn hit_returns_the_same_preparation_without_repreparing() {
+        let (source, image) = setup();
+        let cache = PreparedImageCache::new(4);
+        let config = EncryptionConfig::full();
+        let a = cache.get_or_prepare(&source, &image, &config).unwrap();
+        let b = cache.get_or_prepare(&source, &image, &config).unwrap();
+        assert!(!a.hit);
+        assert!(b.hit);
+        assert!(Arc::ptr_eq(&a.prepared, &b.prepared));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn source_change_invalidates_by_content() {
+        let (source, image) = setup();
+        let changed = source
+            .compile("main:\n li a0, 4\n li a7, 93\n ecall\n", false)
+            .unwrap();
+        let cache = PreparedImageCache::new(4);
+        let config = EncryptionConfig::full();
+        let a = cache.get_or_prepare(&source, &image, &config).unwrap();
+        let b = cache.get_or_prepare(&source, &changed, &config).unwrap();
+        assert!(!b.hit, "changed source must miss");
+        assert!(!Arc::ptr_eq(&a.prepared, &b.prepared));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn config_differences_are_distinct_keys() {
+        let (source, image) = setup();
+        let cache = PreparedImageCache::new(16);
+        let configs = [
+            EncryptionConfig::full(),
+            EncryptionConfig::full().with_legacy_signature(),
+            EncryptionConfig::full().with_segments(8),
+            EncryptionConfig::full().with_epoch(1),
+            EncryptionConfig::partial(0.5, 1),
+            EncryptionConfig::partial(0.5, 2),
+            EncryptionConfig::partial(0.25, 1),
+        ];
+        for c in &configs {
+            assert!(!cache.get_or_prepare(&source, &image, c).unwrap().hit);
+        }
+        assert_eq!(cache.len(), configs.len());
+        // And every one of them hits the second time around.
+        for c in &configs {
+            assert!(cache.get_or_prepare(&source, &image, c).unwrap().hit);
+        }
+    }
+
+    #[test]
+    fn epoch_rotation_misses_and_invalidation_purges() {
+        let (source, image) = setup();
+        let cache = PreparedImageCache::new(4);
+        cache
+            .get_or_prepare(&source, &image, &EncryptionConfig::full())
+            .unwrap();
+        let rotated = EncryptionConfig::full().with_epoch(1);
+        assert!(!cache.get_or_prepare(&source, &image, &rotated).unwrap().hit);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.invalidate_stale_epochs(1), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().invalidations, 1);
+        // The surviving entry is the live-epoch one.
+        assert!(cache.get_or_prepare(&source, &image, &rotated).unwrap().hit);
+    }
+
+    #[test]
+    fn lru_eviction_beyond_capacity() {
+        let (source, image) = setup();
+        let cache = PreparedImageCache::new(2);
+        let c0 = EncryptionConfig::full();
+        let c1 = EncryptionConfig::partial(0.5, 1);
+        let c2 = EncryptionConfig::partial(0.5, 2);
+        cache.get_or_prepare(&source, &image, &c0).unwrap();
+        cache.get_or_prepare(&source, &image, &c1).unwrap();
+        // Touch c0 so c1 is the least recently used, then overflow.
+        cache.get_or_prepare(&source, &image, &c0).unwrap();
+        cache.get_or_prepare(&source, &image, &c2).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get_or_prepare(&source, &image, &c0).unwrap().hit);
+        assert!(!cache.get_or_prepare(&source, &image, &c1).unwrap().hit);
+    }
+
+    #[test]
+    fn invalid_config_is_not_cached() {
+        let (source, image) = setup();
+        let cache = PreparedImageCache::new(4);
+        let bad = EncryptionConfig::partial(0.0, 1);
+        assert!(cache.get_or_prepare(&source, &image, &bad).is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,737 @@
+//! Long-running sharded provisioning daemon.
+//!
+//! [`ProvisioningService`](crate::ProvisioningService) is a one-shot
+//! fan-out: it spawns a worker scope per batch and tears it down when
+//! the batch completes. A provisioning *service* under continuous load
+//! (the ROADMAP's millions-of-devices north star) wants the opposite
+//! shape — a resident pool fed by a queue, so consecutive waves pay
+//! zero thread-spawn cost, share one [`PreparedImageCache`], and
+//! recycle transmit buffers instead of allocating a payload-sized
+//! `Vec` per device.
+//!
+//! [`ProvisioningDaemon`] is that service. Its steady-state loop is
+//! allocation-free per device:
+//!
+//! * **Preparation** is served by the epoch-keyed cache — a repeated
+//!   (image, config) wave never re-runs
+//!   [`SoftwareSource::prepare_image`].
+//! * **Packaging** writes each device's wire frame with
+//!   [`SoftwareSource::package_prepared_into`] into a buffer taken
+//!   from a daemon-wide [`BufferPool`]; consumers hand frames back via
+//!   [`BatchHandle::recycle`], so after warm-up the pool cycles a
+//!   fixed set of buffers.
+//! * **Sharding** splits each batch into per-worker index ranges
+//!   ([`ShardQueue`]); a worker drains its home shard with a relaxed
+//!   atomic cursor and then *steals from the longest* remaining shard,
+//!   so a skewed batch (or a worker stalled on a slow device) never
+//!   idles the pool.
+//! * **Backpressure** is double-bounded: each batch streams outcomes
+//!   over a `sync_channel(workers)` (a slow consumer stalls the
+//!   workers, never buffers unboundedly), and `submit` itself blocks
+//!   once `queue_depth` batches are pending.
+//!
+//! Shutdown is a drain: workers finish every queued batch before
+//! exiting, so no accepted submission is dropped.
+
+use super::cache::{CacheStats, PreparedImageCache};
+use crate::config::EncryptionConfig;
+use crate::error::EricError;
+use crate::source::{PackagedFrame, PreparedImage, SoftwareSource};
+use eric_asm::Image;
+use eric_puf::crp::EnrollmentRecord;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A batch of device indices split into per-worker shards, drained by
+/// relaxed atomic cursors with steal-from-longest work stealing.
+///
+/// Each shard is a half-open index range with its own cursor; a worker
+/// pops its *home* shard until empty, then repeatedly steals from
+/// whichever shard has the most work left. Cursors only ever advance,
+/// so every index is handed out exactly once even under contention
+/// (an over-advanced cursor simply reports the shard empty).
+///
+/// # Examples
+///
+/// ```
+/// use eric_core::ShardQueue;
+///
+/// let q = ShardQueue::new_even(10, 3); // shards [0,4) [4,8) [8,10)
+/// assert_eq!(q.shard_count(), 3);
+/// assert_eq!(q.remaining(), 10);
+/// assert_eq!(q.pop(2), Some(8)); // home shard first
+/// assert_eq!(q.pop(2), Some(9));
+/// assert_eq!(q.pop(2), Some(4)); // then steal from the longest (ties: later shard)
+/// ```
+#[derive(Debug)]
+pub struct ShardQueue {
+    starts: Vec<usize>,
+    ends: Vec<usize>,
+    cursors: Vec<AtomicUsize>,
+}
+
+impl ShardQueue {
+    /// Split `0..total` into `shards` near-even contiguous ranges
+    /// (`shards` is clamped to at least 1).
+    pub fn new_even(total: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let chunk = total.div_ceil(shards).max(1);
+        let ranges: Vec<(usize, usize)> = (0..shards)
+            .map(|s| ((s * chunk).min(total), ((s + 1) * chunk).min(total)))
+            .collect();
+        Self::from_ranges(&ranges)
+    }
+
+    /// Build from explicit half-open `(start, end)` ranges — the hook
+    /// for testing deliberately skewed shard sizes.
+    pub fn from_ranges(ranges: &[(usize, usize)]) -> Self {
+        ShardQueue {
+            starts: ranges.iter().map(|&(s, _)| s).collect(),
+            ends: ranges.iter().map(|&(_, e)| e).collect(),
+            cursors: ranges.iter().map(|&(s, _)| AtomicUsize::new(s)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.ends.len()
+    }
+
+    fn pop_from(&self, shard: usize) -> Option<usize> {
+        // Optimistic claim: overshooting an empty shard is harmless —
+        // the cursor just stays past `end` and the shard reads as
+        // drained.
+        let i = self.cursors[shard].fetch_add(1, Ordering::Relaxed);
+        (i < self.ends[shard]).then_some(i)
+    }
+
+    fn remaining_in(&self, shard: usize) -> usize {
+        self.ends[shard].saturating_sub(
+            self.cursors[shard]
+                .load(Ordering::Relaxed)
+                .max(self.starts[shard]),
+        )
+    }
+
+    /// Claim the next index: from the worker's `home` shard while it
+    /// lasts, then stolen from the shard with the most work remaining.
+    /// Returns `None` only when every shard is drained.
+    pub fn pop(&self, home: usize) -> Option<usize> {
+        let home = home % self.shard_count();
+        if let Some(i) = self.pop_from(home) {
+            return Some(i);
+        }
+        // Steal-from-longest: balances the tail of a skewed batch.
+        // Each failed claim means a rival took that index, so total
+        // remaining strictly decreases and the loop terminates.
+        loop {
+            let victim = (0..self.shard_count()).max_by_key(|&s| self.remaining_in(s))?;
+            if self.remaining_in(victim) == 0 {
+                return None;
+            }
+            if let Some(i) = self.pop_from(victim) {
+                return Some(i);
+            }
+        }
+    }
+
+    /// Indices not yet claimed, across all shards.
+    pub fn remaining(&self) -> usize {
+        (0..self.shard_count()).map(|s| self.remaining_in(s)).sum()
+    }
+
+    /// Whether every index has been claimed.
+    pub fn is_drained(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// A recycling pool of wire-frame buffers.
+///
+/// [`BufferPool::take`] reuses a returned buffer when one is pooled
+/// and allocates an empty `Vec` otherwise; the first packaging pass
+/// grows each buffer to frame size and every later pass reuses that
+/// capacity. [`BufferPool::created`] counts total allocations ever —
+/// the steady-state zero-allocation property is exactly "`created`
+/// stops growing after warm-up".
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    buffers: Mutex<Vec<Vec<u8>>>,
+    created: AtomicUsize,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a cleared buffer: pooled if available, freshly created
+    /// otherwise.
+    pub fn take(&self) -> Vec<u8> {
+        if let Some(buf) = self.buffers.lock().expect("pool poisoned").pop() {
+            return buf;
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+
+    /// Return a buffer for reuse (its capacity is kept, its contents
+    /// cleared).
+    pub fn recycle(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.buffers.lock().expect("pool poisoned").push(buf);
+    }
+
+    /// Buffers ever created (monotone; flat in steady state).
+    pub fn created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently resting in the pool.
+    pub fn pooled(&self) -> usize {
+        self.buffers.lock().expect("pool poisoned").len()
+    }
+}
+
+/// One device's serialized package, in a pool-owned buffer.
+///
+/// Hand it back with [`BatchHandle::recycle`] once transmitted so the
+/// buffer's capacity is reused by the next device.
+#[derive(Debug)]
+pub struct WireFrame {
+    /// Frame metadata (nonce, wire length, signed-header length).
+    pub info: PackagedFrame,
+    /// The full wire frame, parseable by
+    /// [`Package::from_wire`](crate::Package::from_wire).
+    pub bytes: Vec<u8>,
+}
+
+/// What happened to one device of a daemon batch, in completion order.
+#[derive(Debug)]
+pub struct WireOutcome {
+    /// Position of this device in the submitted credential list.
+    pub index: usize,
+    /// The device the frame was built for.
+    pub device_id: String,
+    /// Wall clock the worker spent on this device.
+    pub elapsed: Duration,
+    /// The wire frame, or why this device failed (failures never
+    /// affect sibling devices).
+    pub result: Result<WireFrame, EricError>,
+}
+
+/// The consumer's end of one submitted batch.
+///
+/// Receive outcomes with [`BatchHandle::recv`] (or drain them all via
+/// [`BatchHandle::iter`]); the stream ends after exactly
+/// [`BatchHandle::devices`] outcomes. Dropping the handle abandons the
+/// batch: workers still drain it (frames are recycled unsent), so the
+/// daemon's accounting stays consistent.
+#[derive(Debug)]
+pub struct BatchHandle {
+    rx: Receiver<WireOutcome>,
+    pool: Arc<BufferPool>,
+    devices: usize,
+    cache_hit: bool,
+}
+
+impl BatchHandle {
+    /// Devices in this batch (= outcomes the stream will deliver).
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Whether this batch's preparation was served from the
+    /// [`PreparedImageCache`] (no `prepare_image` ran).
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Next outcome in completion order, `None` when the batch is
+    /// fully delivered.
+    pub fn recv(&self) -> Option<WireOutcome> {
+        self.rx.recv().ok()
+    }
+
+    /// Drain the remaining outcomes as an iterator.
+    pub fn iter(&self) -> impl Iterator<Item = WireOutcome> + '_ {
+        std::iter::from_fn(move || self.recv())
+    }
+
+    /// Return a transmitted frame's buffer to the daemon pool.
+    pub fn recycle(&self, frame: WireFrame) {
+        self.pool.recycle(frame.bytes);
+    }
+}
+
+struct BatchJob {
+    prepared: Arc<PreparedImage>,
+    creds: Vec<EnrollmentRecord>,
+    shards: ShardQueue,
+    // `SyncSender` is `Sync`, so workers share the job's sender
+    // through the `Arc` and the channel closes when the last worker
+    // drops its reference after the final send.
+    tx: SyncSender<WireOutcome>,
+    done: AtomicUsize,
+}
+
+#[derive(Default)]
+struct DaemonQueue {
+    jobs: VecDeque<Arc<BatchJob>>,
+    active: usize,
+}
+
+struct DaemonShared {
+    source: SoftwareSource,
+    cache: PreparedImageCache,
+    pool: Arc<BufferPool>,
+    queue: Mutex<DaemonQueue>,
+    /// Wakes workers: new job, or shutdown.
+    work_cv: Condvar,
+    /// Wakes submitters/drainers: queue slot freed, or a job completed.
+    state_cv: Condvar,
+    shutdown: AtomicBool,
+    queue_depth: usize,
+}
+
+/// A resident, queue-fed, sharded provisioning service.
+///
+/// # Examples
+///
+/// ```
+/// use eric_core::{Device, EncryptionConfig, Package, ProvisioningDaemon, SoftwareSource};
+///
+/// let mut fleet: Vec<Device> = (0..4)
+///     .map(|i| Device::with_seed(4000 + i, &format!("fleet/unit-{i}")))
+///     .collect();
+/// let creds: Vec<_> = fleet.iter_mut().map(Device::enroll).collect();
+///
+/// let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 2);
+/// let image = daemon
+///     .source()
+///     .compile("main:\n li a0, 9\n li a7, 93\n ecall\n", false)
+///     .unwrap();
+///
+/// // Wave 1 prepares and caches; wave 2 is a pure cache hit.
+/// for wave in 0..2 {
+///     let handle = daemon
+///         .submit(&image, &EncryptionConfig::full(), creds.clone())
+///         .unwrap();
+///     assert_eq!(handle.cache_hit(), wave > 0);
+///     for outcome in handle.iter() {
+///         let frame = outcome.result.unwrap();
+///         let package = Package::from_wire(&frame.bytes).unwrap();
+///         let run = fleet[outcome.index].install_and_run(&package).unwrap();
+///         assert_eq!(run.exit_code, 9);
+///         handle.recycle(frame); // buffer goes back to the pool
+///     }
+/// }
+/// daemon.shutdown();
+/// ```
+pub struct ProvisioningDaemon {
+    shared: Arc<DaemonShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for ProvisioningDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ProvisioningDaemon {{ {} workers, {:?} }}",
+            self.workers, self.shared.cache
+        )
+    }
+}
+
+impl ProvisioningDaemon {
+    /// Start a daemon with `workers` resident threads and defaults of
+    /// 8 cached preparations and a 4-batch submission queue.
+    pub fn start(source: SoftwareSource, workers: usize) -> Self {
+        Self::start_with(source, workers, 8, 4)
+    }
+
+    /// Start a daemon with explicit cache capacity and submission
+    /// queue depth (all three knobs clamped to at least 1).
+    pub fn start_with(
+        source: SoftwareSource,
+        workers: usize,
+        cache_capacity: usize,
+        queue_depth: usize,
+    ) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(DaemonShared {
+            source,
+            cache: PreparedImageCache::new(cache_capacity),
+            pool: Arc::new(BufferPool::new()),
+            queue: Mutex::new(DaemonQueue::default()),
+            work_cv: Condvar::new(),
+            state_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_depth: queue_depth.max(1),
+        });
+        let threads = (0..workers)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("eric-provision-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn provisioning worker")
+            })
+            .collect();
+        ProvisioningDaemon {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// Resident worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The wrapped software source.
+    pub fn source(&self) -> &SoftwareSource {
+        &self.shared.source
+    }
+
+    /// The daemon's prepared-image cache (e.g. to
+    /// [`invalidate_stale_epochs`](PreparedImageCache::invalidate_stale_epochs)
+    /// after a credential rotation).
+    pub fn cache(&self) -> &PreparedImageCache {
+        &self.shared.cache
+    }
+
+    /// Cache counters (hits, misses, evictions, invalidations).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The daemon-wide frame-buffer pool (its
+    /// [`created`](BufferPool::created) counter is the steady-state
+    /// allocation observable).
+    pub fn pool(&self) -> &BufferPool {
+        &self.shared.pool
+    }
+
+    /// Queue a batch: prepare (or cache-hit) the image × config, shard
+    /// `creds` across the workers, and return the outcome stream.
+    ///
+    /// Blocks while `queue_depth` batches are already pending
+    /// (submission backpressure). Consume or drop the returned handle
+    /// promptly: outcomes flow over a channel bounded at `workers`, so
+    /// an unconsumed handle stalls the pool by design.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors from preparation, or submission after
+    /// [`ProvisioningDaemon::shutdown`] began. Per-device failures are
+    /// reported in-stream, never here.
+    pub fn submit(
+        &self,
+        image: &Image,
+        config: &EncryptionConfig,
+        creds: Vec<EnrollmentRecord>,
+    ) -> Result<BatchHandle, EricError> {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err(EricError::Config("provisioning daemon is shut down".into()));
+        }
+        let lookup = self
+            .shared
+            .cache
+            .get_or_prepare(&self.shared.source, image, config)?;
+        let devices = creds.len();
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.workers);
+        let handle = BatchHandle {
+            rx,
+            pool: self.shared.pool.clone(),
+            devices,
+            cache_hit: lookup.hit,
+        };
+        if devices == 0 {
+            return Ok(handle); // tx dropped here: the stream is already complete
+        }
+        let job = Arc::new(BatchJob {
+            prepared: lookup.prepared,
+            shards: ShardQueue::new_even(devices, self.workers.min(devices)),
+            creds,
+            tx,
+            done: AtomicUsize::new(0),
+        });
+        let mut queue = self.shared.queue.lock().expect("daemon poisoned");
+        while queue.jobs.len() >= self.shared.queue_depth {
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                return Err(EricError::Config("provisioning daemon is shut down".into()));
+            }
+            queue = self.shared.state_cv.wait(queue).expect("daemon poisoned");
+        }
+        queue.jobs.push_back(job);
+        queue.active += 1;
+        drop(queue);
+        self.shared.work_cv.notify_all();
+        Ok(handle)
+    }
+
+    /// Block until every submitted batch has completed.
+    ///
+    /// Callers must be consuming (or have dropped) the outstanding
+    /// [`BatchHandle`]s — an unconsumed handle stalls its workers on
+    /// the bounded outcome channel, and with them this drain.
+    pub fn drain(&self) {
+        let mut queue = self.shared.queue.lock().expect("daemon poisoned");
+        while queue.active > 0 {
+            queue = self.shared.state_cv.wait(queue).expect("daemon poisoned");
+        }
+    }
+
+    /// Stop accepting submissions, finish every queued batch, and join
+    /// the workers. Dropping the daemon does the same.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.work_cv.notify_all();
+        self.shared.state_cv.notify_all();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ProvisioningDaemon {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(shared: &DaemonShared, worker: usize) {
+    loop {
+        // Claim the oldest job with work left; park when there is
+        // none. Shutdown is checked only when idle, so every accepted
+        // batch drains before the worker exits.
+        let job = {
+            let mut queue = shared.queue.lock().expect("daemon poisoned");
+            loop {
+                while queue.jobs.front().is_some_and(|j| j.shards.is_drained()) {
+                    queue.jobs.pop_front();
+                    shared.state_cv.notify_all();
+                }
+                if let Some(job) = queue.jobs.iter().find(|j| !j.shards.is_drained()) {
+                    break job.clone();
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                queue = shared.work_cv.wait(queue).expect("daemon poisoned");
+            }
+        };
+        let home = worker % job.shards.shard_count();
+        while let Some(index) = job.shards.pop(home) {
+            let cred = &job.creds[index];
+            let t0 = Instant::now();
+            let mut buf = shared.pool.take();
+            let result = match shared
+                .source
+                .package_prepared_into(&job.prepared, cred, &mut buf)
+            {
+                Ok(info) => Ok(WireFrame { info, bytes: buf }),
+                Err(e) => {
+                    shared.pool.recycle(buf);
+                    Err(e)
+                }
+            };
+            let outcome = WireOutcome {
+                index,
+                device_id: cred.device_id.clone(),
+                elapsed: t0.elapsed(),
+                result,
+            };
+            if let Err(undelivered) = job.tx.send(outcome) {
+                // Handle dropped: the batch is abandoned but still
+                // accounted — reclaim the buffer and keep draining.
+                if let Ok(frame) = undelivered.0.result {
+                    shared.pool.recycle(frame.bytes);
+                }
+            }
+            if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.creds.len() {
+                let mut queue = shared.queue.lock().expect("daemon poisoned");
+                queue.active -= 1;
+                drop(queue);
+                shared.state_cv.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::package::Package;
+
+    const PROGRAM: &str = "main:\n li a0, 41\n addi a0, a0, 1\n li a7, 93\n ecall\n";
+
+    fn fleet(n: usize, base_seed: u64) -> (Vec<Device>, Vec<EnrollmentRecord>) {
+        let mut devices: Vec<Device> = (0..n)
+            .map(|i| Device::with_seed(base_seed + i as u64, &format!("unit-{i}")))
+            .collect();
+        let creds = devices.iter_mut().map(Device::enroll).collect();
+        (devices, creds)
+    }
+
+    #[test]
+    fn shard_queue_steals_from_the_longest_shard() {
+        // Deterministic single-threaded walk: home shard 0 has 2, the
+        // middle shard has 10, the last has 3 — after draining home,
+        // every steal must hit the (currently) longest shard.
+        let q = ShardQueue::from_ranges(&[(0, 2), (2, 12), (12, 15)]);
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), Some(1));
+        // First steal: shard 1 (10 left) beats shard 2 (3 left).
+        assert_eq!(q.pop(0), Some(2));
+        // Drain shard 1 down to 3 remaining; still ≥ shard 2, and
+        // max_by_key prefers the later shard on ties, so watch the
+        // crossover exactly.
+        let mut seen = vec![0usize, 1, 2];
+        while let Some(i) = q.pop(0) {
+            seen.push(i);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..15).collect::<Vec<_>>());
+        assert!(q.is_drained());
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn shard_queue_covers_every_index_exactly_once_under_contention() {
+        let q = ShardQueue::new_even(503, 4); // deliberately non-divisible
+        let hits: Vec<AtomicUsize> = (0..503).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let (q, hits) = (&q, &hits);
+                scope.spawn(move || {
+                    while let Some(i) = q.pop(w) {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(q.is_drained());
+    }
+
+    #[test]
+    fn shard_queue_clamps_degenerate_shapes() {
+        let q = ShardQueue::new_even(3, 8); // more shards than work
+        let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop(7)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        let empty = ShardQueue::new_even(0, 0);
+        assert!(empty.is_drained());
+        assert_eq!(empty.pop(0), None);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_capacity() {
+        let pool = BufferPool::new();
+        let mut a = pool.take();
+        assert_eq!(pool.created(), 1);
+        a.extend_from_slice(&[1, 2, 3]);
+        let cap = a.capacity();
+        pool.recycle(a);
+        let b = pool.take();
+        assert_eq!(pool.created(), 1, "reuse, not a new allocation");
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+    }
+
+    #[test]
+    fn daemon_round_trips_frames_and_hits_cache_on_wave_two() {
+        let (mut devices, creds) = fleet(6, 2000);
+        let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 3);
+        let image = daemon.source().compile(PROGRAM, false).unwrap();
+        let config = EncryptionConfig::full();
+        for wave in 0..3 {
+            let handle = daemon.submit(&image, &config, creds.clone()).unwrap();
+            assert_eq!(handle.cache_hit(), wave > 0);
+            assert_eq!(handle.devices(), 6);
+            let mut delivered = 0;
+            for outcome in handle.iter() {
+                let frame = outcome.result.unwrap();
+                assert_eq!(frame.bytes.len(), frame.info.wire_len);
+                let package = Package::from_wire(&frame.bytes).unwrap();
+                assert_eq!(package.nonce, frame.info.nonce);
+                let run = devices[outcome.index].install_and_run(&package).unwrap();
+                assert_eq!(run.exit_code, 42);
+                handle.recycle(frame);
+                delivered += 1;
+            }
+            assert_eq!(delivered, 6);
+        }
+        let stats = daemon.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        // Steady state: no more buffers than could ever be in flight.
+        assert!(daemon.pool().created() <= 2 * daemon.workers() + 2);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 2);
+        let image = daemon.source().compile(PROGRAM, false).unwrap();
+        let handle = daemon
+            .submit(&image, &EncryptionConfig::full(), Vec::new())
+            .unwrap();
+        assert_eq!(handle.devices(), 0);
+        assert!(handle.recv().is_none());
+        daemon.drain(); // nothing active: returns at once
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let (_, creds) = fleet(1, 2100);
+        let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 1);
+        let image = daemon.source().compile(PROGRAM, false).unwrap();
+        let shared = daemon.shared.clone();
+        daemon.shutdown();
+        let daemon = ProvisioningDaemon {
+            shared,
+            threads: Vec::new(),
+            workers: 1,
+        };
+        let err = daemon
+            .submit(&image, &EncryptionConfig::full(), creds)
+            .unwrap_err();
+        assert!(matches!(err, EricError::Config(_)));
+    }
+
+    #[test]
+    fn dropped_handle_abandons_cleanly_and_recycles_frames() {
+        let (_, creds) = fleet(8, 2200);
+        let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 2);
+        let image = daemon.source().compile(PROGRAM, false).unwrap();
+        let handle = daemon
+            .submit(&image, &EncryptionConfig::full(), creds)
+            .unwrap();
+        drop(handle); // abandon before consuming anything
+        daemon.drain(); // workers still drain the batch
+
+        // Frames rejected by the closed channel were recycled; only
+        // outcomes already buffered in the channel when the receiver
+        // dropped are lost with it — at most `workers` (its capacity).
+        let (created, pooled) = (daemon.pool().created(), daemon.pool().pooled());
+        assert!(
+            created - pooled <= daemon.workers(),
+            "lost {} of {created} buffers",
+            created - pooled
+        );
+        daemon.shutdown();
+    }
+}

@@ -25,6 +25,18 @@
 //! [`ProvisioningService::provision_prepared`] is the
 //! collect-into-a-`Vec` wrapper for callers that want the whole
 //! [`BatchReport`] at once.
+//!
+//! For *continuous* load the one-shot service is superseded by the
+//! resident [`daemon::ProvisioningDaemon`], which keeps a worker pool
+//! alive across waves, serves repeated preparations from the
+//! epoch-keyed [`cache::PreparedImageCache`], and recycles transmit
+//! buffers so steady-state packaging allocates nothing per device.
+
+pub mod cache;
+pub mod daemon;
+
+pub use cache::{CacheLookup, CacheStats, PreparedImageCache};
+pub use daemon::{BatchHandle, BufferPool, ProvisioningDaemon, ShardQueue, WireFrame, WireOutcome};
 
 use crate::config::EncryptionConfig;
 use crate::error::EricError;

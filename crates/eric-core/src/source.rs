@@ -11,18 +11,21 @@
 
 use crate::config::{EncryptionConfig, EncryptionMode, SignatureScheme};
 use crate::error::EricError;
-use crate::package::Package;
+use crate::package::{map_wire_len, write_map, Package, WireHeader, MAGIC_V1, MAGIC_V2};
 use eric_asm::{assemble, AsmOptions, Image};
 use eric_crypto::kdf::KeyManagementUnit;
 use eric_crypto::sha256::{tree, Digest, Sha256};
 use eric_hde::manifest::{signed_root, SegmentManifest, SignatureBlock};
 use eric_hde::map::{CoverageMap, ParcelBitmap};
-use eric_hde::transform::{transform_manifest_leaves, transform_payload, transform_signature};
+use eric_hde::transform::{
+    manifest_stream_offset, transform_manifest_leaves, transform_payload, transform_payload_into,
+    transform_signature,
+};
 use eric_puf::crp::EnrollmentRecord;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Wall-clock breakdown of one build (Figure 6's measurement).
@@ -143,12 +146,27 @@ impl PreparedImage {
     }
 }
 
+/// What [`SoftwareSource::package_prepared_into`] wrote into the
+/// caller's transmit buffer: the frame geometry plus the nonce it
+/// drew, for callers that track packages without re-parsing the bytes
+/// they just produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackagedFrame {
+    /// The per-package keystream nonce the frame was encrypted under.
+    pub nonce: u64,
+    /// Total serialized frame length in bytes (== the buffer length).
+    pub wire_len: usize,
+    /// Length of the frame's signed header prefix: `&frame[..aad_len]`
+    /// is byte-identical to [`Package::aad`] for the parsed package.
+    pub aad_len: usize,
+}
+
 /// A software vendor that builds encrypted packages for enrolled
 /// devices.
 pub struct SoftwareSource {
     name: String,
     kmu: KeyManagementUnit,
-    nonce_counter: Mutex<u64>,
+    nonce_counter: AtomicU64,
 }
 
 impl fmt::Debug for SoftwareSource {
@@ -172,13 +190,19 @@ impl SoftwareSource {
         SoftwareSource {
             name: name.to_string(),
             kmu: KeyManagementUnit::new(),
-            nonce_counter: Mutex::new(1),
+            nonce_counter: AtomicU64::new(1),
         }
     }
 
     /// The vendor name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Draw the next package nonce: lock-free, monotone, gap-free —
+    /// provisioning workers hammer this concurrently.
+    fn next_nonce(&self) -> u64 {
+        self.nonce_counter.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Plain compilation (the Figure 6 baseline).
@@ -442,12 +466,7 @@ impl SoftwareSource {
             )));
         }
         let mut timings = BuildTimings::default();
-        let nonce = {
-            let mut c = self.nonce_counter.lock().expect("nonce counter poisoned");
-            let n = *c;
-            *c += 1;
-            n
-        };
+        let nonce = self.next_nonce();
 
         // Construct the package skeleton so the AAD can be signed. The
         // placeholder signature block must already be the right
@@ -531,6 +550,152 @@ impl SoftwareSource {
         timings.encrypt = t.elapsed();
 
         Ok((package, timings))
+    }
+
+    /// Zero-copy variant of [`SoftwareSource::package_prepared`]:
+    /// sign, encrypt, and serialize straight into a reusable transmit
+    /// buffer, with **no payload-sized allocation anywhere on the
+    /// path**.
+    ///
+    /// Where [`SoftwareSource::package_prepared`] clones the shared
+    /// plaintext payload (and the leaf table) into a [`Package`] that
+    /// a caller then serializes with yet another allocation, this
+    /// writes the wire frame directly:
+    ///
+    /// 1. the cleartext header lands in `out` first, and because the
+    ///    header encoding *is* the AAD encoding (one shared writer),
+    ///    the signature is computed over `&out[..aad_len]` in place;
+    /// 2. the shared plaintext payload is keystream-XORed into the
+    ///    frame as it is copied ([`transform_payload_into`]), and the
+    ///    manifest leaves are encrypted in place after being appended.
+    ///
+    /// The buffer is cleared and reserved to the exact frame length,
+    /// so a warm buffer from a previous same-geometry frame is
+    /// refilled allocation-free. The frame parses back with
+    /// [`Package::from_wire`] byte-identical to the clone-and-serialize
+    /// path — the property suite pins the two paths against each
+    /// other.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Config`] when `cred` was enrolled at a different
+    /// key epoch than the preparation targets (same contract as
+    /// [`SoftwareSource::package_prepared`]). On error the buffer is
+    /// left cleared, never with a partial frame.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{Device, EncryptionConfig, Package, SoftwareSource};
+    ///
+    /// let mut device = Device::with_seed(1, "node");
+    /// let cred = device.enroll();
+    /// let source = SoftwareSource::new("vendor");
+    /// let image = source
+    ///     .compile("main:\n li a0, 7\n li a7, 93\n ecall\n", false)
+    ///     .unwrap();
+    /// let prepared = source
+    ///     .prepare_image(&image, &EncryptionConfig::full())
+    ///     .unwrap();
+    ///
+    /// let mut frame = Vec::new(); // reuse this across devices
+    /// let info = source
+    ///     .package_prepared_into(&prepared, &cred, &mut frame)
+    ///     .unwrap();
+    /// assert_eq!(frame.len(), info.wire_len);
+    /// let package = Package::from_wire(&frame).unwrap();
+    /// assert_eq!(package.nonce, info.nonce);
+    /// assert_eq!(device.install_and_run(&package).unwrap().exit_code, 7);
+    /// ```
+    pub fn package_prepared_into(
+        &self,
+        prepared: &PreparedImage,
+        cred: &EnrollmentRecord,
+        out: &mut Vec<u8>,
+    ) -> Result<PackagedFrame, EricError> {
+        out.clear();
+        if cred.epoch != prepared.epoch {
+            return Err(EricError::Config(format!(
+                "credential for {:?} is from epoch {} but the package targets epoch {}",
+                cred.device_id, cred.epoch, prepared.epoch
+            )));
+        }
+        let nonce = self.next_nonce();
+        let payload_len = prepared.payload.len();
+        let (magic, signature_len) = match &prepared.signature_plan {
+            SignaturePlan::Single => (MAGIC_V1, 32),
+            SignaturePlan::Segmented { leaves, .. } => (MAGIC_V2, 32 + 4 + 4 + 32 * leaves.len()),
+        };
+        let header = WireHeader {
+            magic,
+            cipher: prepared.cipher,
+            policy: prepared.policy,
+            epoch: prepared.epoch,
+            nonce,
+            text_base: prepared.text_base,
+            data_base: prepared.data_base,
+            entry: prepared.entry,
+            text_len: prepared.text_len,
+            payload_len: payload_len as u32,
+            challenge: cred.challenge.as_bytes(),
+        };
+        let wire_len =
+            header.wire_len() + map_wire_len(&prepared.map) + signature_len + payload_len;
+        out.reserve(wire_len);
+
+        // Header first: its bytes are the AAD, so signing reads the
+        // frame prefix instead of a separate scratch encoding.
+        header.write(out);
+        let aad_len = out.len();
+        let signature = match &prepared.signature_plan {
+            SignaturePlan::Single => {
+                let mut hasher = Sha256::new();
+                hasher.update(out);
+                hasher.update(&prepared.payload);
+                hasher.finalize()
+            }
+            SignaturePlan::Segmented {
+                segment_len,
+                leaves,
+            } => signed_root(out, *segment_len, leaves),
+        };
+
+        let key = self.kmu.package_key(&cred.key, nonce);
+        let cipher = prepared.cipher.instantiate(key.as_bytes());
+
+        write_map(out, &prepared.map);
+        let mut sig_bytes = *signature.as_bytes();
+        transform_signature(&mut sig_bytes, payload_len, cipher.as_ref());
+        out.extend_from_slice(&sig_bytes);
+        if let SignaturePlan::Segmented {
+            segment_len,
+            leaves,
+        } = &prepared.signature_plan
+        {
+            out.extend_from_slice(&segment_len.to_le_bytes());
+            out.extend_from_slice(&(leaves.len() as u32).to_le_bytes());
+            let leaves_at = out.len();
+            for leaf in leaves {
+                out.extend_from_slice(leaf.as_bytes());
+            }
+            // The appended plaintext leaves form one contiguous
+            // keystream range; encrypt them in place in a single pass.
+            cipher.apply(manifest_stream_offset(payload_len), &mut out[leaves_at..]);
+        }
+        transform_payload_into(
+            &prepared.payload,
+            out,
+            &prepared.map,
+            prepared.policy,
+            prepared.text_len as usize,
+            cipher.as_ref(),
+        );
+        debug_assert_eq!(out.len(), wire_len);
+        Ok(PackagedFrame {
+            nonce,
+            wire_len,
+            aad_len,
+        })
     }
 
     /// Random instruction selection for partial encryption (the paper's
@@ -759,6 +924,64 @@ mod tests {
             panic!("expected v2 blocks");
         };
         assert_ne!(ma.leaves(), mb.leaves());
+    }
+
+    #[test]
+    fn zero_copy_frames_match_clone_path_byte_for_byte() {
+        // Two fresh sources draw the same nonce sequence and the KMU
+        // derivation is deterministic, so the clone-and-serialize path
+        // and the zero-copy path must produce identical wire bytes for
+        // every scheme × mode combination.
+        let program = ".data\nbuf: .zero 100\n.text\nmain:\n li a0, 1\n li a7, 93\n ecall\n";
+        let configs = [
+            EncryptionConfig::full(),
+            EncryptionConfig::full().with_legacy_signature(),
+            EncryptionConfig::partial(0.5, 7),
+            EncryptionConfig::partial(0.5, 7).with_legacy_signature(),
+            EncryptionConfig::field_level(eric_hde::FieldPolicy::MemoryPointers),
+        ];
+        let mut frame = vec![0xA5; 17]; // dirty + reused across configs
+        for config in &configs {
+            let clone_src = SoftwareSource::new("vendor");
+            let zc_src = SoftwareSource::new("vendor");
+            let image = clone_src.compile(program, config.compress).unwrap();
+            let clone_prep = clone_src.prepare_image(&image, config).unwrap();
+            let zc_prep = zc_src.prepare_image(&image, config).unwrap();
+            for seed in [31, 32] {
+                let c = cred(seed);
+                let (pkg, _) = clone_src.package_prepared(&clone_prep, &c).unwrap();
+                let info = zc_src
+                    .package_prepared_into(&zc_prep, &c, &mut frame)
+                    .unwrap();
+                assert_eq!(frame, pkg.to_wire(), "config {config:?}");
+                assert_eq!(info.wire_len, pkg.wire_len());
+                assert_eq!(info.nonce, pkg.nonce);
+                assert_eq!(&frame[..info.aad_len], &pkg.aad()[..], "aad prefix");
+                // And the frame parses back to the identical package.
+                assert_eq!(Package::from_wire(&frame).unwrap(), pkg);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_epoch_mismatch_clears_buffer_and_burns_no_frame() {
+        let src = SoftwareSource::new("vendor");
+        let image = src.compile(PROGRAM, false).unwrap();
+        let prepared = src
+            .prepare_image(&image, &EncryptionConfig::full())
+            .unwrap();
+        let mut stale = cred(7);
+        stale.epoch = 3;
+        let mut frame = vec![0xEE; 64];
+        let err = src.package_prepared_into(&prepared, &stale, &mut frame);
+        assert!(matches!(err, Err(EricError::Config(_))));
+        assert!(frame.is_empty(), "no partial frame on error");
+        // The rejected call must not have drawn a nonce: the next
+        // package still gets nonce 1 (gap-free allocation).
+        let info = src
+            .package_prepared_into(&prepared, &cred(8), &mut frame)
+            .unwrap();
+        assert_eq!(info.nonce, 1);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Fleet provisioning: one source, many devices; one device, many
-//! sources; key-epoch rotation.
+//! sources; key-epoch rotation; sustained provisioning through the
+//! resident daemon (zero-copy frames + prepared-image cache).
 //!
 //! Reproduces §III-1's scaling claims: "ERIC is suitable for compiling
 //! from a single software source for multiple target hardware or
@@ -9,7 +10,9 @@
 //!
 //! Run with: `cargo run --example fleet_provisioning`
 
-use eric::core::{Device, EncryptionConfig, ProvisioningService, SoftwareSource};
+use eric::core::{
+    Device, EncryptionConfig, Package, ProvisioningDaemon, ProvisioningService, SoftwareSource,
+};
 use eric::puf::crp::CrpDatabase;
 
 const FIRMWARE: &str = r#"
@@ -99,5 +102,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     assert_eq!(revoked.install_and_run(&new_pkg)?.exit_code, 42);
     println!("epoch rotation revoked the old package and re-keying restored service");
+
+    // --- Sustained provisioning: the resident daemon. ---
+    // Under continuous load the one-shot service gives way to the
+    // daemon: a resident sharded worker pool fed by a submission
+    // queue, serving repeated preparations from the epoch-keyed cache
+    // and packaging zero-copy into recycled transmit buffers.
+    let daemon = ProvisioningDaemon::start(SoftwareSource::new("fleet-vendor"), 4);
+    let image = daemon.source().compile(FIRMWARE, false)?;
+    let creds: Vec<_> = fleet.iter_mut().map(Device::enroll).collect();
+    for wave in 0..3 {
+        let handle = daemon.submit(&image, &EncryptionConfig::full(), creds.clone())?;
+        let mut delivered = 0;
+        for outcome in handle.iter() {
+            let frame = outcome.result?;
+            let package = Package::from_wire(&frame.bytes)?;
+            assert_eq!(
+                fleet[outcome.index].install_and_run(&package)?.exit_code,
+                42
+            );
+            handle.recycle(frame); // buffer returns to the daemon pool
+            delivered += 1;
+        }
+        println!(
+            "wave {wave}: {delivered} frames delivered ({})",
+            if handle.cache_hit() {
+                "prepared-image cache hit"
+            } else {
+                "cache miss: image prepared once"
+            }
+        );
+    }
+    let stats = daemon.cache_stats();
+    println!(
+        "daemon cache: {} hits / {} misses; {} transmit buffers ever allocated \
+         for {} packages",
+        stats.hits,
+        stats.misses,
+        daemon.pool().created(),
+        3 * fleet.len(),
+    );
+    daemon.shutdown();
     Ok(())
 }

@@ -366,3 +366,103 @@ proptest! {
         prop_assert_eq!(soc.cpu().reg(15) as i64, value);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `serialize_into` a reused, dirty, arbitrarily-sized buffer is
+    /// byte-identical to `to_wire` (the allocating oracle) across
+    /// ERIC1/ERIC2 × full/partial/field-level coverage.
+    #[test]
+    fn serialize_into_dirty_buffer_matches_oracle(mode in 0u8..7,
+                                                  seed in 0u64..200,
+                                                  dirt in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        use eric::core::{Device, EncryptionConfig, SoftwareSource};
+
+        const PROGRAM: &str =
+            ".data\nbuf: .zero 96\n.text\nmain:\n li a0, 5\n li a7, 93\n ecall\n";
+        let config = match mode {
+            0 => EncryptionConfig::full(),
+            1 => EncryptionConfig::partial(0.5, seed.wrapping_add(1)),
+            2 => EncryptionConfig::field_level(eric::hde::FieldPolicy::MemoryPointers),
+            3 => EncryptionConfig::full().with_segments(16),
+            4 => EncryptionConfig::partial(0.5, seed.wrapping_add(1)).with_segments(16),
+            5 => EncryptionConfig::field_level(eric::hde::FieldPolicy::MemoryPointers)
+                .with_segments(16),
+            _ => EncryptionConfig::full().with_legacy_signature(),
+        };
+        let mut device = Device::with_seed(seed.wrapping_add(31), "wire-dev");
+        let cred = device.enroll();
+        let source = SoftwareSource::new("prop-wire");
+        let pkg = source.build(PROGRAM, &cred, &config).unwrap();
+
+        let oracle = pkg.to_wire();
+        // Over-sized, under-sized, and empty reused buffers all end up
+        // byte-identical: stale bytes never leak into the frame.
+        let mut buf = dirt;
+        pkg.serialize_into(&mut buf);
+        prop_assert_eq!(&buf, &oracle, "dirty reuse diverged from to_wire");
+        // Immediate reuse of the now-right-sized buffer stays exact.
+        pkg.serialize_into(&mut buf);
+        prop_assert_eq!(&buf, &oracle, "warm reuse diverged from to_wire");
+    }
+}
+
+/// Cache-hit and cache-miss packaging are indistinguishable to the
+/// device: frames built from a fresh preparation and from the cached
+/// one decrypt to the identical plaintext through
+/// `SecureLoader::process`.
+#[test]
+fn cache_hit_and_miss_packaging_yield_identical_plaintext() {
+    use eric::core::{Device, EncryptionConfig, Package, PreparedImageCache, SoftwareSource};
+    use eric::hde::loader::SecureInput;
+    use eric::puf::crp::Challenge;
+    use std::sync::Arc;
+
+    const PROGRAM: &str = ".data\nbuf: .zero 200\n.text\nmain:\n li a0, 5\n li a7, 93\n ecall\n";
+    let mut device = Device::with_seed(6_000, "cache-dev");
+    let cred = device.enroll();
+    let source = SoftwareSource::new("prop-cache");
+    let config = EncryptionConfig::full();
+    let image = source.compile(PROGRAM, config.compress).unwrap();
+    let cache = PreparedImageCache::new(4);
+
+    let miss = cache.get_or_prepare(&source, &image, &config).unwrap();
+    assert!(!miss.hit);
+    let hit = cache.get_or_prepare(&source, &image, &config).unwrap();
+    assert!(hit.hit, "second lookup must skip prepare_image");
+    assert!(Arc::ptr_eq(&miss.prepared, &hit.prepared));
+
+    let mut expected = image.text.clone();
+    expected.extend_from_slice(&image.data);
+    let mut frame = Vec::new();
+    let plaintext_of = |frame: &[u8]| {
+        let pkg = Package::from_wire(frame).unwrap();
+        let aad = pkg.aad();
+        let challenge = Challenge::from_bytes(&pkg.challenge);
+        let input = SecureInput {
+            payload: &pkg.payload,
+            aad: &aad,
+            text_len: pkg.text_len as usize,
+            map: &pkg.map,
+            policy: pkg.policy,
+            signature: &pkg.signature,
+            cipher: pkg.cipher,
+            challenge: &challenge,
+            epoch: pkg.epoch,
+            nonce: pkg.nonce,
+        };
+        device.loader().process(&input).unwrap().plaintext
+    };
+    source
+        .package_prepared_into(&miss.prepared, &cred, &mut frame)
+        .unwrap();
+    let from_miss = plaintext_of(&frame);
+    source
+        .package_prepared_into(&hit.prepared, &cred, &mut frame)
+        .unwrap();
+    let from_hit = plaintext_of(&frame);
+
+    assert_eq!(from_miss, expected, "miss-path frame corrupted the image");
+    assert_eq!(from_hit, expected, "hit-path frame corrupted the image");
+}

@@ -1,0 +1,229 @@
+//! Lifecycle tests for the resident provisioning daemon: backpressure
+//! bounds, work stealing under skew, cache invalidation across
+//! credential rotation, and clean drain/shutdown.
+//!
+//! The worker count honors `ERIC_PROVISION_WORKERS` (CI runs a small
+//! matrix over it); tests that need a specific shape clamp it locally.
+
+use eric::core::{
+    Channel, Device, EncryptionConfig, EricError, Package, ProvisioningDaemon, ShardQueue,
+    SoftwareSource,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+const PROGRAM: &str = "main:\n li a0, 41\n addi a0, a0, 1\n li a7, 93\n ecall\n";
+
+fn matrix_workers() -> usize {
+    std::env::var("ERIC_PROVISION_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(2)
+}
+
+fn fleet(n: usize, base_seed: u64) -> (Vec<Device>, Vec<eric::puf::crp::EnrollmentRecord>) {
+    let mut devices: Vec<Device> = (0..n)
+        .map(|i| Device::with_seed(base_seed + i as u64, &format!("unit-{i}")))
+        .collect();
+    let creds = devices.iter_mut().map(Device::enroll).collect();
+    (devices, creds)
+}
+
+/// A deliberately slow consumer never sees unbounded buffering: the
+/// daemon's in-flight frames are capped by the worker count plus the
+/// bounded outcome channel, regardless of batch size.
+#[test]
+fn backpressure_bounds_buffers_under_a_slow_consumer() {
+    let workers = matrix_workers();
+    let (_, creds) = fleet(24, 3000);
+    let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), workers);
+    let image = daemon.source().compile(PROGRAM, false).unwrap();
+    let handle = daemon
+        .submit(&image, &EncryptionConfig::full(), creds)
+        .unwrap();
+    let mut delivered = 0;
+    while let Some(outcome) = handle.recv() {
+        // Stall with frames still queued: workers must block on the
+        // bounded channel, not race ahead allocating.
+        std::thread::sleep(Duration::from_millis(2));
+        handle.recycle(outcome.result.unwrap());
+        delivered += 1;
+        // In flight at once: ≤ workers packaging + `workers` channel
+        // slots + the one the consumer holds.
+        assert!(
+            daemon.pool().created() <= 2 * workers + 2,
+            "slow sink let {} buffers pile up (workers = {workers})",
+            daemon.pool().created()
+        );
+    }
+    assert_eq!(delivered, 24);
+    daemon.shutdown();
+}
+
+/// A worker whose home shard is tiny steals from the longest shard
+/// instead of idling: every index is claimed exactly once and the
+/// short-shard worker provably claims work beyond its own range.
+#[test]
+fn work_stealing_rebalances_skewed_shards() {
+    // Shard 0 holds 2 indices, shard 1 holds 198.
+    let queue = ShardQueue::from_ranges(&[(0, 2), (2, 200)]);
+    let claimed_by_zero = AtomicUsize::new(0);
+    let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+    std::thread::scope(|scope| {
+        for home in 0..2 {
+            let (queue, hits, claimed_by_zero) = (&queue, &hits, &claimed_by_zero);
+            scope.spawn(move || {
+                while let Some(i) = queue.pop(home) {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                    if home == 0 {
+                        claimed_by_zero.fetch_add(1, Ordering::Relaxed);
+                        // Slow the thief slightly less than the owner
+                        // would need: keeps both threads in the race.
+                        std::hint::black_box(i);
+                    }
+                }
+            });
+        }
+    });
+    assert!(queue.is_drained());
+    assert!(
+        hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+        "some index claimed zero or multiple times"
+    );
+    assert!(
+        claimed_by_zero.load(Ordering::Relaxed) > 2,
+        "the short-shard worker never stole"
+    );
+}
+
+/// Credential rotation end to end: the rotated config misses the
+/// cache (epoch is part of the key), stale-epoch credentials are
+/// rejected per device without poisoning the batch, and explicit
+/// invalidation purges the dead entries.
+#[test]
+fn epoch_rotation_invalidates_cache_and_rejects_stale_creds() {
+    let (mut devices, old_creds) = fleet(4, 3100);
+    let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), matrix_workers());
+    let image = daemon.source().compile(PROGRAM, false).unwrap();
+    let config = EncryptionConfig::full();
+
+    // Epoch-0 wave provisions and caches.
+    let handle = daemon.submit(&image, &config, old_creds.clone()).unwrap();
+    assert_eq!(handle.iter().filter(|o| o.result.is_ok()).count(), 4);
+    assert!(!daemon.cache().is_empty());
+
+    // Fleet-wide key rotation.
+    for device in &mut devices {
+        device.rotate_epoch();
+    }
+    let new_creds: Vec<_> = devices.iter_mut().map(Device::enroll).collect();
+    let rotated = EncryptionConfig::full().with_epoch(1);
+
+    // Stale-epoch credentials under the rotated config: every device
+    // fails individually (packaging refuses the epoch mismatch), and
+    // the preparation for epoch 1 is a fresh cache entry, not a hit.
+    let handle = daemon.submit(&image, &rotated, old_creds).unwrap();
+    assert!(!handle.cache_hit(), "rotated epoch must not hit the cache");
+    for outcome in handle.iter() {
+        assert!(matches!(outcome.result, Err(EricError::Config(_))));
+    }
+
+    // Rotation invalidation purges exactly the epoch-0 entry.
+    assert_eq!(daemon.cache().invalidate_stale_epochs(1), 1);
+
+    // Fresh credentials at the live epoch provision fine — and hit the
+    // surviving epoch-1 preparation.
+    let handle = daemon.submit(&image, &rotated, new_creds).unwrap();
+    assert!(handle.cache_hit());
+    for outcome in handle.iter() {
+        let frame = outcome.result.unwrap();
+        let package = Package::from_wire(&frame.bytes).unwrap();
+        let run = devices[outcome.index].install_and_run(&package).unwrap();
+        assert_eq!(run.exit_code, 42);
+        handle.recycle(frame);
+    }
+    daemon.shutdown();
+}
+
+/// Source change invalidates by content: a rebuilt image misses even
+/// though config and epoch are unchanged.
+#[test]
+fn source_change_misses_the_cache() {
+    let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), matrix_workers());
+    let (_, creds) = fleet(2, 3200);
+    let config = EncryptionConfig::full();
+    let v1 = daemon.source().compile(PROGRAM, false).unwrap();
+    let v2 = daemon
+        .source()
+        .compile("main:\n li a0, 43\n li a7, 93\n ecall\n", false)
+        .unwrap();
+    let h = daemon.submit(&v1, &config, creds.clone()).unwrap();
+    assert!(!h.cache_hit());
+    h.iter().for_each(drop);
+    let h = daemon.submit(&v2, &config, creds.clone()).unwrap();
+    assert!(!h.cache_hit(), "rebuilt image must miss");
+    h.iter().for_each(drop);
+    let h = daemon.submit(&v1, &config, creds).unwrap();
+    assert!(h.cache_hit(), "unchanged image must hit");
+    h.iter().for_each(drop);
+    daemon.shutdown();
+}
+
+/// Shutdown is a drain: batches already accepted complete in full,
+/// new submissions are refused, and every worker joins.
+#[test]
+fn shutdown_drains_accepted_batches() {
+    let workers = matrix_workers();
+    let (mut devices, creds) = fleet(12, 3300);
+    let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), workers);
+    let image = daemon.source().compile(PROGRAM, false).unwrap();
+    let config = EncryptionConfig::full();
+    // Queue three waves back to back, then shut down while they run.
+    let handles: Vec<_> = (0..3)
+        .map(|_| daemon.submit(&image, &config, creds.clone()).unwrap())
+        .collect();
+    let consumer = std::thread::spawn(move || {
+        let mut total = 0usize;
+        for handle in &handles {
+            for outcome in handle.iter() {
+                let frame = outcome.result.unwrap();
+                let package = Package::from_wire(&frame.bytes).unwrap();
+                assert_eq!(
+                    devices[outcome.index]
+                        .install_and_run(&package)
+                        .unwrap()
+                        .exit_code,
+                    42
+                );
+                handle.recycle(frame);
+                total += 1;
+            }
+        }
+        total
+    });
+    daemon.drain();
+    daemon.shutdown(); // joins workers; accepted waves already done
+    assert_eq!(consumer.join().unwrap(), 36, "a drained wave lost outcomes");
+}
+
+/// Daemon frames interoperate with the untrusted-channel model via
+/// `transmit_wire` — no sender-side `Package` materialization.
+#[test]
+fn daemon_frames_cross_the_untrusted_channel() {
+    let (mut devices, creds) = fleet(3, 3400);
+    let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), matrix_workers());
+    let image = daemon.source().compile(PROGRAM, false).unwrap();
+    let handle = daemon
+        .submit(&image, &EncryptionConfig::full(), creds)
+        .unwrap();
+    let channel = Channel::trusted_free();
+    for outcome in handle.iter() {
+        let frame = outcome.result.unwrap();
+        let received = channel.transmit_wire(&frame.bytes).unwrap();
+        let run = devices[outcome.index].install_and_run(&received).unwrap();
+        assert_eq!(run.exit_code, 42);
+        handle.recycle(frame);
+    }
+    daemon.shutdown();
+}
