@@ -1,0 +1,114 @@
+//! Delivery resilience: goodput vs seeded stochastic fault rate.
+//!
+//! Packages a fleet once through the resident daemon, then delivers
+//! every frame through a seeded `LossyChannel` under the default
+//! retry policy at each swept fault rate — the degradation curve the
+//! chaos soak pins qualitatively, measured quantitatively.
+//!
+//! Knobs: `ERIC_CHAOS_SEED` selects the fault seed (default 7; the
+//! whole sweep replays exactly from it), `ERIC_CHAOS_RATE` appends one
+//! extra rate to the sweep, `ERIC_BENCH_SMOKE=1` shrinks the fleet and
+//! skips the floor assertions.
+//!
+//! Floors (release, non-smoke): the zero-rate row delivers every
+//! device with zero retries and unit wire overhead (the resilience
+//! layer is free when nothing fails), and even the 20% row keeps
+//! goodput ≥ 0.5 (the retry loop actually retries).
+
+use eric_bench::delivery_resilience;
+use eric_bench::output::{banner, smoke_mode, write_bench_json, write_json};
+
+const DEVICES: usize = 64;
+const SMOKE_DEVICES: usize = 16;
+const DATA_BYTES: usize = 32 << 10;
+const SMOKE_DATA_BYTES: usize = 4 << 10;
+
+fn chaos_seed() -> u64 {
+    std::env::var("ERIC_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+fn sweep_rates() -> Vec<f64> {
+    let mut rates = vec![0.0, 0.01, 0.05, 0.20];
+    if let Some(extra) = std::env::var("ERIC_CHAOS_RATE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        rates.push(extra.clamp(0.0, 1.0));
+    }
+    rates
+}
+
+fn main() {
+    let seed = chaos_seed();
+    let (devices, data_bytes) = if smoke_mode() {
+        (SMOKE_DEVICES, SMOKE_DATA_BYTES)
+    } else {
+        (DEVICES, DATA_BYTES)
+    };
+    banner(&format!(
+        "Delivery resilience: goodput vs fault rate ({devices} devices, seed {seed})"
+    ));
+    let report = delivery_resilience(devices, data_bytes, &sweep_rates(), seed);
+    println!(
+        "frame {} KiB, retry budget {} attempts/device, {} retries total\n",
+        report.frame_bytes >> 10,
+        report.max_attempts,
+        report.retries_total
+    );
+    println!(
+        "{:>6} {:>10} {:>8} {:>9} {:>8} {:>8} {:>7} {:>9} {:>11} {:>9}",
+        "rate",
+        "delivered",
+        "goodput",
+        "att/dev",
+        "retries",
+        "dropped",
+        "corrupt",
+        "overhead",
+        "virt ms/dev",
+        "wall ms"
+    );
+    for r in &report.rows {
+        println!(
+            "{:>5.0}% {:>10} {:>8.3} {:>9.2} {:>8} {:>8} {:>7} {:>8.2}x {:>11.3} {:>9.3}",
+            r.rate * 100.0,
+            format!("{}/{}", r.delivered, report.devices),
+            r.goodput,
+            r.attempts_per_device,
+            r.retries,
+            r.dropped,
+            r.corrupted,
+            r.wire_overhead,
+            r.virtual_ms,
+            r.wall_ms
+        );
+    }
+
+    let clean = &report.rows[0];
+    if smoke_mode() {
+        println!("\nsmoke mode: floor assertions skipped");
+    } else {
+        assert!(
+            clean.goodput == 1.0 && clean.retries == 0 && clean.wire_overhead == 1.0,
+            "zero-fault-rate delivery must be free: goodput {} retries {} overhead {}",
+            clean.goodput,
+            clean.retries,
+            clean.wire_overhead
+        );
+        if let Some(worst) = report.rows.iter().find(|r| (r.rate - 0.20).abs() < 1e-12) {
+            assert!(
+                worst.goodput >= 0.5,
+                "20% fault rate collapsed goodput to {:.3} — retries are not retrying",
+                worst.goodput
+            );
+            assert!(worst.retries > 0, "no retries at a 20% fault rate");
+        }
+        println!("\nresilience floors OK: clean path free, 20% rate degrades gracefully");
+    }
+
+    write_json("delivery_resilience", &report);
+    write_bench_json("delivery_resilience");
+}

@@ -26,6 +26,10 @@ pub enum Attacker {
         bit: u8,
     },
     /// Truncate the wire image to `keep` bytes.
+    ///
+    /// `keep` at or beyond the wire length is passive (nothing to
+    /// cut); `keep` below the fixed header length breaks framing and
+    /// surfaces as a clear `truncated at …` parse error.
     Truncate {
         /// Bytes to keep.
         keep: usize,
@@ -35,6 +39,21 @@ pub enum Attacker {
     SubstitutePayload {
         /// The replacement bytes (repeated/truncated to fit).
         filler: u8,
+    },
+    /// Deliver the frame at `index` twice during batch transmission
+    /// (replay within one fan-out wave). Passive on a single-frame
+    /// transmit — there is no second delivery slot.
+    Duplicate {
+        /// Batch position to replay (out of range: passive).
+        index: usize,
+    },
+    /// Swap the delivery order of the frames at positions `a` and `b`
+    /// during batch transmission. Passive on a single-frame transmit.
+    Reorder {
+        /// First batch position.
+        a: usize,
+        /// Second batch position.
+        b: usize,
     },
 }
 
@@ -127,6 +146,8 @@ impl Channel {
                     *b = *filler;
                 }
             }
+            // Batch-order attacks have no effect on a lone frame.
+            Attacker::Duplicate { .. } | Attacker::Reorder { .. } => {}
         }
         Package::from_wire(&wire)
     }
@@ -162,8 +183,36 @@ impl Channel {
     ///     assert_eq!(device.install_and_run(received).unwrap().exit_code, 7);
     /// }
     /// ```
+    /// Results come back in **delivery order**: [`Attacker::Reorder`]
+    /// swaps two delivery slots, and [`Attacker::Duplicate`] appends a
+    /// replayed delivery of one frame (the result vector grows to
+    /// `packages.len() + 1`). Every other attacker — and a passive
+    /// channel — delivers in submission order, one result per package.
     pub fn transmit_batch(&self, packages: &[Package]) -> Vec<Result<Package, EricError>> {
-        packages.iter().map(|p| self.transmit(p)).collect()
+        // Batch-order attacks act on the delivery schedule, not the
+        // bytes; everything else rides the per-frame wire path below.
+        let mut order: Vec<usize> = (0..packages.len()).collect();
+        match &self.attacker {
+            Attacker::Reorder { a, b } if *a < order.len() && *b < order.len() => {
+                order.swap(*a, *b);
+            }
+            Attacker::Duplicate { index } if *index < order.len() => {
+                order.push(*index);
+            }
+            _ => {}
+        }
+        // One serialization buffer for the whole wave — the same
+        // zero-alloc discipline as the daemon's wire path — funneled
+        // through `transmit_wire` so batch and single-frame delivery
+        // cannot drift apart.
+        let mut wire = Vec::new();
+        order
+            .into_iter()
+            .map(|i| {
+                packages[i].serialize_into(&mut wire);
+                self.transmit_wire(&wire)
+            })
+            .collect()
     }
 }
 
@@ -260,6 +309,8 @@ mod tests {
             Attacker::BitFlip { byte: 61, bit: 3 },
             Attacker::Truncate { keep: 40 },
             Attacker::SubstitutePayload { filler: 0xAA },
+            Attacker::Duplicate { index: 0 },
+            Attacker::Reorder { a: 0, b: 1 },
         ];
         for attacker in attackers {
             let ch = Channel::with_attacker(attacker.clone());
@@ -281,6 +332,81 @@ mod tests {
         let (_, pkg) = setup();
         let ch = Channel::with_attacker(Attacker::Truncate { keep: 40 });
         assert!(ch.transmit(&pkg).is_err());
+    }
+
+    /// Truncating to the full wire length or beyond cuts nothing: the
+    /// package must arrive intact and runnable, not error or overread.
+    #[test]
+    fn truncate_at_or_beyond_wire_length_is_passive() {
+        let (mut device, pkg) = setup();
+        let wire_len = pkg.to_wire().len();
+        for keep in [wire_len, wire_len + 1, usize::MAX] {
+            let ch = Channel::with_attacker(Attacker::Truncate { keep });
+            let received = ch.transmit(&pkg).unwrap_or_else(|e| {
+                panic!("keep = {keep} (wire = {wire_len}) must be passive: {e}")
+            });
+            assert_eq!(received, pkg);
+            assert_eq!(device.install_and_run(&received).unwrap().exit_code, 7);
+        }
+    }
+
+    /// Truncating below the fixed header — even to zero bytes — is a
+    /// clean `truncated at …` parse error, never a panic or overread.
+    #[test]
+    fn truncate_below_header_is_a_clear_parse_error() {
+        let (_, pkg) = setup();
+        for keep in [0usize, 1, 4, 5, 16] {
+            let ch = Channel::with_attacker(Attacker::Truncate { keep });
+            match ch.transmit(&pkg) {
+                Err(EricError::Package(msg)) => assert!(
+                    msg.contains("truncated at"),
+                    "keep = {keep}: expected a truncation diagnostic, got {msg:?}"
+                ),
+                other => panic!("keep = {keep}: expected a parse error, got {other:?}"),
+            }
+        }
+    }
+
+    /// `Duplicate` replays one frame: the batch grows by a delivery
+    /// and both copies parse identically (the parse is idempotent).
+    #[test]
+    fn duplicate_replays_one_delivery_slot() {
+        let (_, pkg) = setup();
+        let mut other_device = Device::with_seed(11, "other");
+        let other = SoftwareSource::new("vendor")
+            .build(PROGRAM, &other_device.enroll(), &EncryptionConfig::full())
+            .unwrap();
+        let batch = [pkg.clone(), other];
+        let ch = Channel::with_attacker(Attacker::Duplicate { index: 0 });
+        let delivered = ch.transmit_batch(&batch);
+        assert_eq!(delivered.len(), 3, "replay must add a delivery");
+        assert_eq!(*delivered[0].as_ref().unwrap(), batch[0]);
+        assert_eq!(*delivered[1].as_ref().unwrap(), batch[1]);
+        assert_eq!(*delivered[2].as_ref().unwrap(), batch[0], "replayed copy");
+        // Out-of-range replay target: passive.
+        let ch = Channel::with_attacker(Attacker::Duplicate { index: 9 });
+        assert_eq!(ch.transmit_batch(&batch).len(), 2);
+    }
+
+    /// `Reorder` swaps delivery order without touching bytes; both
+    /// frames still arrive intact.
+    #[test]
+    fn reorder_swaps_delivery_order_intact() {
+        let (_, pkg) = setup();
+        let mut other_device = Device::with_seed(12, "other");
+        let other = SoftwareSource::new("vendor")
+            .build(PROGRAM, &other_device.enroll(), &EncryptionConfig::full())
+            .unwrap();
+        let batch = [pkg, other];
+        let ch = Channel::with_attacker(Attacker::Reorder { a: 0, b: 1 });
+        let delivered = ch.transmit_batch(&batch);
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(*delivered[0].as_ref().unwrap(), batch[1]);
+        assert_eq!(*delivered[1].as_ref().unwrap(), batch[0]);
+        // Out-of-range positions: passive order.
+        let ch = Channel::with_attacker(Attacker::Reorder { a: 0, b: 7 });
+        let delivered = ch.transmit_batch(&batch);
+        assert_eq!(*delivered[0].as_ref().unwrap(), batch[0]);
     }
 
     #[test]

@@ -6,6 +6,40 @@ use eric_sim::soc::RunError;
 use std::error::Error;
 use std::fmt;
 
+/// A transport-level delivery fault: the frame never reached the
+/// receiver's parser at all (as opposed to arriving corrupted, which
+/// surfaces as [`EricError::Package`] or [`EricError::Rejected`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportFault {
+    /// The frame was lost in transit (stochastic drop).
+    Dropped,
+}
+
+impl fmt::Display for TransportFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportFault::Dropped => write!(f, "frame dropped in transit"),
+        }
+    }
+}
+
+/// Whether a failure is worth another delivery attempt.
+///
+/// The split is what keeps retries honest: a retry may only ever paper
+/// over *transit* damage (loss, corruption — a clean resend can
+/// succeed), never over a failure that is a property of the package or
+/// the configuration itself (a stale epoch will be just as stale on
+/// attempt five).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Transient transport damage: a clean retransmission can succeed.
+    Retryable,
+    /// Deterministic failure: retrying can only waste budget and mask
+    /// the real error.
+    Fatal,
+}
+
 /// Any failure along the compile → package → transmit → decrypt →
 /// validate → execute pipeline.
 #[derive(Clone, Debug)]
@@ -22,6 +56,54 @@ pub enum EricError {
     /// Configuration is invalid (e.g. field-level encryption on a
     /// compressed build).
     Config(String),
+    /// The frame was lost at the transport layer (never parsed).
+    Transport(TransportFault),
+    /// A provisioning worker panicked while building this device's
+    /// package; the panic was contained and converted to a failure.
+    Panic(String),
+}
+
+impl EricError {
+    /// Classify this error for the retry policy: transit damage is
+    /// [`FaultClass::Retryable`], everything deterministic is
+    /// [`FaultClass::Fatal`].
+    ///
+    /// * `Transport` (drop), `Package` (framing broken by truncation /
+    ///   bit damage), and `Rejected` (HDE auth failure — in-transit
+    ///   corruption past the framing layer) can all be healed by a
+    ///   clean resend.
+    /// * `Config` (stale epoch, invalid configuration), `Compile`,
+    ///   `Runtime`, and `Panic` are properties of the build or the
+    ///   server, not the wire: retrying them masks real failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{EricError, FaultClass, TransportFault};
+    ///
+    /// let drop = EricError::Transport(TransportFault::Dropped);
+    /// assert_eq!(drop.fault_class(), FaultClass::Retryable);
+    /// let stale = EricError::Config("stale epoch".into());
+    /// assert_eq!(stale.fault_class(), FaultClass::Fatal);
+    /// assert!(!stale.is_retryable());
+    /// ```
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            EricError::Package(_) | EricError::Rejected(_) | EricError::Transport(_) => {
+                FaultClass::Retryable
+            }
+            EricError::Compile(_)
+            | EricError::Runtime(_)
+            | EricError::Config(_)
+            | EricError::Panic(_) => FaultClass::Fatal,
+        }
+    }
+
+    /// `true` when [`EricError::fault_class`] is
+    /// [`FaultClass::Retryable`].
+    pub fn is_retryable(&self) -> bool {
+        self.fault_class() == FaultClass::Retryable
+    }
 }
 
 impl fmt::Display for EricError {
@@ -32,6 +114,8 @@ impl fmt::Display for EricError {
             EricError::Rejected(e) => write!(f, "package rejected: {e}"),
             EricError::Runtime(e) => write!(f, "runtime error: {e}"),
             EricError::Config(m) => write!(f, "configuration error: {m}"),
+            EricError::Transport(t) => write!(f, "transport fault: {t}"),
+            EricError::Panic(m) => write!(f, "worker panic: {m}"),
         }
     }
 }
@@ -82,5 +166,34 @@ mod tests {
         let e = EricError::Rejected(HdeError::Malformed("m".into()));
         assert!(e.source().is_some());
         assert!(EricError::Package("p".into()).source().is_none());
+    }
+
+    #[test]
+    fn fault_classification_splits_transit_from_deterministic() {
+        // Retryable: anything a clean resend can heal.
+        for e in [
+            EricError::Transport(TransportFault::Dropped),
+            EricError::Package("truncated at magic".into()),
+            EricError::Rejected(HdeError::Malformed("bad signature".into())),
+        ] {
+            assert_eq!(e.fault_class(), FaultClass::Retryable, "{e}");
+            assert!(e.is_retryable());
+        }
+        // Fatal: properties of the build/config/server, not the wire.
+        for e in [
+            EricError::Config("stale epoch".into()),
+            EricError::Panic("worker died".into()),
+        ] {
+            assert_eq!(e.fault_class(), FaultClass::Fatal, "{e}");
+            assert!(!e.is_retryable());
+        }
+    }
+
+    #[test]
+    fn transport_and_panic_display() {
+        let e = EricError::Transport(TransportFault::Dropped);
+        assert_eq!(e.to_string(), "transport fault: frame dropped in transit");
+        let e = EricError::Panic("boom".into());
+        assert_eq!(e.to_string(), "worker panic: boom");
     }
 }

@@ -19,6 +19,10 @@
 //! * [`channel`] — the untrusted transport between them (step 4), with
 //!   the threat model's attacker actions (tampering, replay to the
 //!   wrong device, payload substitution).
+//! * [`delivery`] — resilient delivery over that transport: seeded
+//!   stochastic fault injection ([`FaultPlan`]), bounded retry with
+//!   backoff ([`DeliveryPolicy`]), and the retryable/fatal error
+//!   taxonomy ([`FaultClass`]) that keeps retries honest.
 //! * [`analysis`] — static-analysis resistance metrics (entropy,
 //!   disassembly validity, opcode histograms) quantifying the
 //!   obfuscation claim of §I.
@@ -52,6 +56,7 @@
 pub mod analysis;
 pub mod channel;
 pub mod config;
+pub mod delivery;
 pub mod device;
 pub mod error;
 pub mod package;
@@ -60,12 +65,16 @@ pub mod source;
 
 pub use channel::{Attacker, Channel};
 pub use config::{EncryptionConfig, EncryptionMode, SignatureScheme};
+pub use delivery::{
+    DeliveryPolicy, DeliveryReport, DeliveryStatus, ExhaustReason, FaultPlan, LossyChannel,
+    ResilientDelivery, TransitEvents,
+};
 pub use device::{Device, ExecutionReport};
-pub use error::EricError;
+pub use error::{EricError, FaultClass, TransportFault};
 pub use package::{Package, SizeReport};
 pub use provisioning::{
-    BatchHandle, BatchReport, BufferPool, CacheLookup, CacheStats, DeviceOutcome, FanoutStats,
-    PreparedImageCache, ProvisioningDaemon, ProvisioningService, ShardQueue, WireFrame,
-    WireOutcome,
+    BatchHandle, BatchReport, BufferPool, CacheLookup, CacheStats, DaemonHealth, DeviceOutcome,
+    FanoutStats, PackagingHook, PreparedImageCache, ProvisioningDaemon, ProvisioningService,
+    RecvTimeout, ShardQueue, SubmitError, WireFrame, WireOutcome,
 };
 pub use source::{BuildTimings, PackagedFrame, PreparedImage, SoftwareSource};

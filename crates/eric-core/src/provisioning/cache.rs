@@ -26,6 +26,7 @@
 //! map is guarded by a [`Mutex`] and evicts least-recently-used beyond
 //! a fixed capacity.
 
+use super::daemon::lock_clean;
 use crate::config::{EncryptionConfig, EncryptionMode, SignatureScheme};
 use crate::error::EricError;
 use crate::source::{PreparedImage, SoftwareSource};
@@ -152,7 +153,7 @@ impl PreparedImageCache {
     ) -> Result<CacheLookup, EricError> {
         let key = cache_key(image, config);
         {
-            let mut inner = self.inner.lock().expect("cache poisoned");
+            let mut inner = lock_clean(&self.inner);
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.entries.get_mut(&key) {
@@ -167,7 +168,7 @@ impl PreparedImageCache {
             inner.misses += 1;
         }
         let prepared = Arc::new(source.prepare_image(image, config)?);
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = lock_clean(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         while inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
@@ -202,7 +203,7 @@ impl PreparedImageCache {
     /// configuration (the epoch is part of the key); this reclaims
     /// their capacity and memory.
     pub fn invalidate_stale_epochs(&self, live_epoch: u64) -> usize {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = lock_clean(&self.inner);
         let before = inner.entries.len();
         inner.entries.retain(|_, e| e.epoch == live_epoch);
         let dropped = before - inner.entries.len();
@@ -212,7 +213,7 @@ impl PreparedImageCache {
 
     /// Drop every entry.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = lock_clean(&self.inner);
         let dropped = inner.entries.len();
         inner.entries.clear();
         inner.invalidations += dropped as u64;
@@ -220,7 +221,7 @@ impl PreparedImageCache {
 
     /// Entries currently resident.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").entries.len()
+        lock_clean(&self.inner).entries.len()
     }
 
     /// Whether the cache is empty.
@@ -230,7 +231,7 @@ impl PreparedImageCache {
 
     /// Lifetime counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache poisoned");
+        let inner = lock_clean(&self.inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,

@@ -32,6 +32,29 @@
 //!
 //! Shutdown is a drain: workers finish every queued batch before
 //! exiting, so no accepted submission is dropped.
+//!
+//! The daemon is hardened for sustained operation under partial
+//! failure:
+//!
+//! * **Load shedding** — [`ProvisioningDaemon::try_submit`] refuses a
+//!   full queue with [`SubmitError::QueueFull`] instead of blocking
+//!   (counted in [`DaemonHealth::sheds`]), and
+//!   [`ProvisioningDaemon::submit_deadline`] bounds the backpressure
+//!   wait.
+//! * **Panic containment** — a panic while packaging one device is
+//!   caught, converted to a failed [`WireOutcome`]
+//!   ([`EricError::Panic`]), and the worker keeps draining; the
+//!   device's buffer is reclaimed, siblings and later batches are
+//!   untouched.
+//! * **Poison tolerance** — daemon locks ride through a poisoned
+//!   mutex (each critical section leaves the guarded state
+//!   consistent), so one contained panic never cascades into every
+//!   other thread.
+//! * **Observability** — [`ProvisioningDaemon::health`] snapshots the
+//!   terminal-outcome ledger: every submitted device is eventually
+//!   counted completed (and possibly failed), plus sheds, contained
+//!   panics, and delivery retries reported via
+//!   [`ProvisioningDaemon::note_retries`].
 
 use super::cache::{CacheStats, PreparedImageCache};
 use crate::config::EncryptionConfig;
@@ -40,10 +63,20 @@ use crate::source::{PackagedFrame, PreparedImage, SoftwareSource};
 use eric_asm::Image;
 use eric_puf::crp::EnrollmentRecord;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Lock, riding through poison: every daemon critical section leaves
+/// its guarded state consistent (no partial updates survive a panic
+/// inside one), so a poisoned mutex carries usable state and refusing
+/// it would only cascade one contained panic into every other thread.
+pub(crate) fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A batch of device indices split into per-worker shards, drained by
 /// relaxed atomic cursors with steal-from-longest work stealing.
@@ -172,7 +205,7 @@ impl BufferPool {
     /// Take a cleared buffer: pooled if available, freshly created
     /// otherwise.
     pub fn take(&self) -> Vec<u8> {
-        if let Some(buf) = self.buffers.lock().expect("pool poisoned").pop() {
+        if let Some(buf) = lock_clean(&self.buffers).pop() {
             return buf;
         }
         self.created.fetch_add(1, Ordering::Relaxed);
@@ -183,7 +216,7 @@ impl BufferPool {
     /// cleared).
     pub fn recycle(&self, mut buf: Vec<u8>) {
         buf.clear();
-        self.buffers.lock().expect("pool poisoned").push(buf);
+        lock_clean(&self.buffers).push(buf);
     }
 
     /// Buffers ever created (monotone; flat in steady state).
@@ -193,7 +226,7 @@ impl BufferPool {
 
     /// Buffers currently resting in the pool.
     pub fn pooled(&self) -> usize {
-        self.buffers.lock().expect("pool poisoned").len()
+        lock_clean(&self.buffers).len()
     }
 }
 
@@ -257,6 +290,20 @@ impl BatchHandle {
         self.rx.recv().ok()
     }
 
+    /// Like [`BatchHandle::recv`], but bounded: never waits longer
+    /// than `timeout` for the next outcome.
+    ///
+    /// The chaos harness consumes every stream through this method so
+    /// a lost outcome surfaces as a visible
+    /// [`RecvTimeout::TimedOut`] instead of a hung test.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvTimeout {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => RecvTimeout::Outcome(outcome),
+            Err(RecvTimeoutError::Disconnected) => RecvTimeout::Complete,
+            Err(RecvTimeoutError::Timeout) => RecvTimeout::TimedOut,
+        }
+    }
+
     /// Drain the remaining outcomes as an iterator.
     pub fn iter(&self) -> impl Iterator<Item = WireOutcome> + '_ {
         std::iter::from_fn(move || self.recv())
@@ -266,6 +313,119 @@ impl BatchHandle {
     pub fn recycle(&self, frame: WireFrame) {
         self.pool.recycle(frame.bytes);
     }
+}
+
+/// Result of a bounded [`BatchHandle::recv_timeout`] wait.
+#[derive(Debug)]
+pub enum RecvTimeout {
+    /// The next outcome arrived within the timeout.
+    Outcome(WireOutcome),
+    /// The batch is fully delivered; no more outcomes will come.
+    Complete,
+    /// No outcome arrived within the timeout; the batch is still in
+    /// flight — poll again or give up.
+    TimedOut,
+}
+
+/// Why a submission was refused.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The submission queue is at `queue_depth` and the caller asked
+    /// not to wait ([`ProvisioningDaemon::try_submit`]) — the batch
+    /// was shed, counted in [`DaemonHealth::sheds`].
+    QueueFull,
+    /// The queue stayed full past the caller's deadline
+    /// ([`ProvisioningDaemon::submit_deadline`]) — also counted as a
+    /// shed.
+    Timeout,
+    /// The daemon is shutting down and accepts no new batches.
+    ShutDown,
+    /// Preparing the (image, config) pair failed before anything was
+    /// queued (e.g. an invalid configuration).
+    Rejected(EricError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue full (batch shed)"),
+            SubmitError::Timeout => write!(f, "submission queue full past deadline (batch shed)"),
+            SubmitError::ShutDown => write!(f, "provisioning daemon is shut down"),
+            SubmitError::Rejected(e) => write!(f, "batch rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Rejected(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SubmitError> for EricError {
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::Rejected(inner) => inner,
+            other => EricError::Config(other.to_string()),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the daemon's health ledger.
+///
+/// The accounting invariant the chaos soak pins: after a drain, every
+/// submitted device has reached exactly one terminal outcome —
+/// `completed_devices == submitted_devices`, with `failed_devices`
+/// the subset whose outcome was an error (including contained
+/// panics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonHealth {
+    /// Batches waiting in the submission queue right now.
+    pub queued_batches: usize,
+    /// Batches accepted but not yet fully delivered.
+    pub active_batches: usize,
+    /// Devices ever accepted across all submissions.
+    pub submitted_devices: u64,
+    /// Devices that reached a terminal outcome (ok or failed).
+    pub completed_devices: u64,
+    /// Devices whose terminal outcome was an error.
+    pub failed_devices: u64,
+    /// Submissions refused because the queue was full
+    /// ([`ProvisioningDaemon::try_submit`] /
+    /// [`ProvisioningDaemon::submit_deadline`]).
+    pub sheds: u64,
+    /// Worker panics contained into failed outcomes.
+    pub panics: u64,
+    /// Delivery retries reported by external retry loops via
+    /// [`ProvisioningDaemon::note_retries`].
+    pub retries: u64,
+}
+
+#[derive(Default)]
+struct HealthCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    sheds: AtomicU64,
+    panics: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// A chaos-injection probe run for each device inside the worker's
+/// panic-containment region (a panic here is contained exactly like a
+/// packaging panic). Installed via
+/// [`ProvisioningDaemon::set_packaging_hook`]; called with the
+/// device's batch index.
+pub type PackagingHook = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// How long `submit_inner` may wait out a full queue.
+enum Wait {
+    Block,
+    Shed,
+    Deadline(Instant),
 }
 
 struct BatchJob {
@@ -296,6 +456,8 @@ struct DaemonShared {
     state_cv: Condvar,
     shutdown: AtomicBool,
     queue_depth: usize,
+    health: HealthCounters,
+    hook: Mutex<Option<PackagingHook>>,
 }
 
 /// A resident, queue-fed, sharded provisioning service.
@@ -373,6 +535,8 @@ impl ProvisioningDaemon {
             state_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             queue_depth: queue_depth.max(1),
+            health: HealthCounters::default(),
+            hook: Mutex::new(None),
         });
         let threads = (0..workers)
             .map(|w| {
@@ -438,13 +602,57 @@ impl ProvisioningDaemon {
         config: &EncryptionConfig,
         creds: Vec<EnrollmentRecord>,
     ) -> Result<BatchHandle, EricError> {
+        self.submit_inner(image, config, creds, Wait::Block)
+            .map_err(EricError::from)
+    }
+
+    /// Non-blocking [`ProvisioningDaemon::submit`]: a full queue sheds
+    /// the batch with [`SubmitError::QueueFull`] (counted in
+    /// [`DaemonHealth::sheds`]) instead of parking the caller — the
+    /// load-shedding entry point for callers that would rather drop a
+    /// wave than stall their own loop.
+    pub fn try_submit(
+        &self,
+        image: &Image,
+        config: &EncryptionConfig,
+        creds: Vec<EnrollmentRecord>,
+    ) -> Result<BatchHandle, SubmitError> {
+        self.submit_inner(image, config, creds, Wait::Shed)
+    }
+
+    /// Deadline-bounded [`ProvisioningDaemon::submit`]: waits out
+    /// backpressure for at most `timeout`, then sheds the batch with
+    /// [`SubmitError::Timeout`].
+    pub fn submit_deadline(
+        &self,
+        image: &Image,
+        config: &EncryptionConfig,
+        creds: Vec<EnrollmentRecord>,
+        timeout: Duration,
+    ) -> Result<BatchHandle, SubmitError> {
+        self.submit_inner(
+            image,
+            config,
+            creds,
+            Wait::Deadline(Instant::now() + timeout),
+        )
+    }
+
+    fn submit_inner(
+        &self,
+        image: &Image,
+        config: &EncryptionConfig,
+        creds: Vec<EnrollmentRecord>,
+        wait: Wait,
+    ) -> Result<BatchHandle, SubmitError> {
         if self.shared.shutdown.load(Ordering::Relaxed) {
-            return Err(EricError::Config("provisioning daemon is shut down".into()));
+            return Err(SubmitError::ShutDown);
         }
         let lookup = self
             .shared
             .cache
-            .get_or_prepare(&self.shared.source, image, config)?;
+            .get_or_prepare(&self.shared.source, image, config)
+            .map_err(SubmitError::Rejected)?;
         let devices = creds.len();
         let (tx, rx) = std::sync::mpsc::sync_channel(self.workers);
         let handle = BatchHandle {
@@ -463,18 +671,84 @@ impl ProvisioningDaemon {
             tx,
             done: AtomicUsize::new(0),
         });
-        let mut queue = self.shared.queue.lock().expect("daemon poisoned");
+        let mut queue = lock_clean(&self.shared.queue);
         while queue.jobs.len() >= self.shared.queue_depth {
             if self.shared.shutdown.load(Ordering::Relaxed) {
-                return Err(EricError::Config("provisioning daemon is shut down".into()));
+                return Err(SubmitError::ShutDown);
             }
-            queue = self.shared.state_cv.wait(queue).expect("daemon poisoned");
+            queue = match wait {
+                Wait::Block => self
+                    .shared
+                    .state_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner),
+                Wait::Shed => {
+                    self.shared.health.sheds.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::QueueFull);
+                }
+                Wait::Deadline(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.shared.health.sheds.fetch_add(1, Ordering::Relaxed);
+                        return Err(SubmitError::Timeout);
+                    }
+                    self.shared
+                        .state_cv
+                        .wait_timeout(queue, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+            };
         }
         queue.jobs.push_back(job);
         queue.active += 1;
         drop(queue);
+        self.shared
+            .health
+            .submitted
+            .fetch_add(devices as u64, Ordering::Relaxed);
         self.shared.work_cv.notify_all();
         Ok(handle)
+    }
+
+    /// Snapshot the daemon's health ledger: queue occupancy, the
+    /// terminal-outcome accounting, sheds, contained panics, and
+    /// reported retries.
+    pub fn health(&self) -> DaemonHealth {
+        let (queued_batches, active_batches) = {
+            let queue = lock_clean(&self.shared.queue);
+            (queue.jobs.len(), queue.active)
+        };
+        let h = &self.shared.health;
+        DaemonHealth {
+            queued_batches,
+            active_batches,
+            submitted_devices: h.submitted.load(Ordering::Relaxed),
+            completed_devices: h.completed.load(Ordering::Relaxed),
+            failed_devices: h.failed.load(Ordering::Relaxed),
+            sheds: h.sheds.load(Ordering::Relaxed),
+            panics: h.panics.load(Ordering::Relaxed),
+            retries: h.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold `n` delivery retries into [`DaemonHealth::retries`] — the
+    /// reporting hook for retry loops (e.g.
+    /// [`ResilientDelivery`](crate::ResilientDelivery)) driving frames
+    /// this daemon packaged.
+    pub fn note_retries(&self, n: u64) {
+        self.shared.health.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Install (or, with `None`, clear) a probe called with each
+    /// device's batch index inside the worker's panic-containment
+    /// region, before packaging.
+    ///
+    /// This is the chaos harness's fault-injection point: a probe that
+    /// panics exercises exactly the containment path a packaging bug
+    /// would, without needing one.
+    pub fn set_packaging_hook(&self, hook: Option<PackagingHook>) {
+        *lock_clean(&self.shared.hook) = hook;
     }
 
     /// Block until every submitted batch has completed.
@@ -483,9 +757,13 @@ impl ProvisioningDaemon {
     /// [`BatchHandle`]s — an unconsumed handle stalls its workers on
     /// the bounded outcome channel, and with them this drain.
     pub fn drain(&self) {
-        let mut queue = self.shared.queue.lock().expect("daemon poisoned");
+        let mut queue = lock_clean(&self.shared.queue);
         while queue.active > 0 {
-            queue = self.shared.state_cv.wait(queue).expect("daemon poisoned");
+            queue = self
+                .shared
+                .state_cv
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -495,10 +773,20 @@ impl ProvisioningDaemon {
         self.stop_and_join();
     }
 
-    fn stop_and_join(&mut self) {
+    /// Signal shutdown without joining: new submissions start failing
+    /// and producers parked in [`ProvisioningDaemon::submit`]
+    /// backpressure observe it immediately (they return an error, not
+    /// deadlock), while workers still drain every accepted batch.
+    /// Call [`ProvisioningDaemon::shutdown`] — or drop the daemon —
+    /// to join the workers afterwards.
+    pub fn begin_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         self.shared.work_cv.notify_all();
         self.shared.state_cv.notify_all();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.begin_shutdown();
         for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
@@ -511,13 +799,25 @@ impl Drop for ProvisioningDaemon {
     }
 }
 
+/// Render a caught panic payload into the [`EricError::Panic`]
+/// message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 fn worker_loop(shared: &DaemonShared, worker: usize) {
     loop {
         // Claim the oldest job with work left; park when there is
         // none. Shutdown is checked only when idle, so every accepted
         // batch drains before the worker exits.
         let job = {
-            let mut queue = shared.queue.lock().expect("daemon poisoned");
+            let mut queue = lock_clean(&shared.queue);
             loop {
                 while queue.jobs.front().is_some_and(|j| j.shards.is_drained()) {
                     queue.jobs.pop_front();
@@ -529,7 +829,10 @@ fn worker_loop(shared: &DaemonShared, worker: usize) {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
-                queue = shared.work_cv.wait(queue).expect("daemon poisoned");
+                queue = shared
+                    .work_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let home = worker % job.shards.shard_count();
@@ -537,16 +840,35 @@ fn worker_loop(shared: &DaemonShared, worker: usize) {
             let cred = &job.creds[index];
             let t0 = Instant::now();
             let mut buf = shared.pool.take();
-            let result = match shared
-                .source
-                .package_prepared_into(&job.prepared, cred, &mut buf)
-            {
-                Ok(info) => Ok(WireFrame { info, bytes: buf }),
-                Err(e) => {
+            let hook = lock_clean(&shared.hook).clone();
+            // Containment region: a panic in the probe or in packaging
+            // unwinds only to here. `buf` is borrowed, not moved, so
+            // it survives the unwind and goes back to the pool — a
+            // panicking device cannot leak pool buffers.
+            let packaged = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(hook) = &hook {
+                    hook(index);
+                }
+                shared
+                    .source
+                    .package_prepared_into(&job.prepared, cred, &mut buf)
+            }));
+            let result = match packaged {
+                Ok(Ok(info)) => Ok(WireFrame { info, bytes: buf }),
+                Ok(Err(e)) => {
                     shared.pool.recycle(buf);
                     Err(e)
                 }
+                Err(payload) => {
+                    shared.pool.recycle(buf);
+                    shared.health.panics.fetch_add(1, Ordering::Relaxed);
+                    Err(EricError::Panic(panic_message(payload)))
+                }
             };
+            shared.health.completed.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                shared.health.failed.fetch_add(1, Ordering::Relaxed);
+            }
             let outcome = WireOutcome {
                 index,
                 device_id: cred.device_id.clone(),
@@ -561,7 +883,7 @@ fn worker_loop(shared: &DaemonShared, worker: usize) {
                 }
             }
             if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.creds.len() {
-                let mut queue = shared.queue.lock().expect("daemon poisoned");
+                let mut queue = lock_clean(&shared.queue);
                 queue.active -= 1;
                 drop(queue);
                 shared.state_cv.notify_all();
@@ -710,6 +1032,141 @@ mod tests {
             .submit(&image, &EncryptionConfig::full(), creds)
             .unwrap_err();
         assert!(matches!(err, EricError::Config(_)));
+    }
+
+    /// `try_submit` sheds instead of blocking: a depth-1 queue holding
+    /// a stalled batch refuses the next submission with `QueueFull`,
+    /// counts the shed, and accepts a retry once the queue drains.
+    #[test]
+    fn try_submit_sheds_when_the_queue_is_full() {
+        let (_, creds) = fleet(4, 2300);
+        let daemon = ProvisioningDaemon::start_with(SoftwareSource::new("vendor"), 1, 8, 1);
+        let image = daemon.source().compile(PROGRAM, false).unwrap();
+        let config = EncryptionConfig::full();
+        // h1's outcomes are not consumed yet: its job occupies the
+        // single queue slot while the worker stalls on the bounded
+        // outcome channel.
+        let h1 = daemon.try_submit(&image, &config, creds.clone()).unwrap();
+        let shed = daemon.try_submit(&image, &config, creds.clone());
+        assert!(matches!(shed, Err(SubmitError::QueueFull)), "{shed:?}");
+        assert_eq!(daemon.health().sheds, 1);
+        // Draining h1 frees the slot (once the worker retires the
+        // drained job); the shed wave then retries successfully.
+        for outcome in h1.iter() {
+            h1.recycle(outcome.result.unwrap());
+        }
+        let h2 = loop {
+            match daemon.try_submit(&image, &config, creds.clone()) {
+                Ok(h) => break h,
+                Err(SubmitError::QueueFull) => std::thread::sleep(Duration::from_millis(2)),
+                Err(e) => panic!("unexpected refusal: {e}"),
+            }
+        };
+        assert_eq!(h2.iter().count(), 4);
+        let health = daemon.health();
+        assert_eq!(health.submitted_devices, 8);
+        assert_eq!(health.completed_devices, 8);
+        assert_eq!(health.failed_devices, 0);
+        daemon.shutdown();
+    }
+
+    /// `submit_deadline` bounds the backpressure wait and counts the
+    /// timeout as a shed.
+    #[test]
+    fn submit_deadline_times_out_instead_of_parking_forever() {
+        let (_, creds) = fleet(2, 2400);
+        let daemon = ProvisioningDaemon::start_with(SoftwareSource::new("vendor"), 1, 8, 1);
+        let image = daemon.source().compile(PROGRAM, false).unwrap();
+        let config = EncryptionConfig::full();
+        // Unconsumed h1 keeps its job in the queue's only slot.
+        let h1 = daemon.submit(&image, &config, creds.clone()).unwrap();
+        let t0 = Instant::now();
+        let shed = daemon.submit_deadline(&image, &config, creds, Duration::from_millis(50));
+        assert!(matches!(shed, Err(SubmitError::Timeout)), "{shed:?}");
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+        assert_eq!(daemon.health().sheds, 1);
+        drop(h1);
+        daemon.shutdown();
+    }
+
+    /// `recv_timeout` distinguishes a pending stream from a complete
+    /// one and never blocks past its bound.
+    #[test]
+    fn recv_timeout_reports_pending_and_complete() {
+        let (_, creds) = fleet(1, 2500);
+        let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 1);
+        let image = daemon.source().compile(PROGRAM, false).unwrap();
+        let handle = daemon
+            .submit(&image, &EncryptionConfig::full(), creds)
+            .unwrap();
+        let outcome = loop {
+            match handle.recv_timeout(Duration::from_millis(100)) {
+                RecvTimeout::Outcome(o) => break o,
+                RecvTimeout::TimedOut => continue,
+                RecvTimeout::Complete => panic!("stream ended with no outcome"),
+            }
+        };
+        handle.recycle(outcome.result.unwrap());
+        assert!(matches!(
+            handle.recv_timeout(Duration::from_millis(100)),
+            RecvTimeout::Complete
+        ));
+        daemon.shutdown();
+    }
+
+    /// A panic while packaging one device is contained: that device
+    /// fails with `EricError::Panic`, its siblings complete, no pool
+    /// buffer leaks, and the daemon accepts the next batch.
+    #[test]
+    fn worker_panic_is_contained_to_one_device() {
+        let (_, creds) = fleet(6, 2600);
+        let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 2);
+        let image = daemon.source().compile(PROGRAM, false).unwrap();
+        let config = EncryptionConfig::full();
+        daemon.set_packaging_hook(Some(Arc::new(|index| {
+            if index == 3 {
+                panic!("injected chaos panic");
+            }
+        })));
+        let handle = daemon.submit(&image, &config, creds.clone()).unwrap();
+        let mut ok = 0;
+        let mut panicked = 0;
+        for outcome in handle.iter() {
+            match outcome.result {
+                Ok(frame) => {
+                    ok += 1;
+                    handle.recycle(frame);
+                }
+                Err(EricError::Panic(msg)) => {
+                    assert_eq!(outcome.index, 3);
+                    assert!(msg.contains("injected chaos panic"), "{msg}");
+                    panicked += 1;
+                }
+                Err(other) => panic!("unexpected failure: {other}"),
+            }
+        }
+        assert_eq!((ok, panicked), (5, 1));
+        daemon.set_packaging_hook(None);
+        // The panicked device's buffer went back to the pool, and the
+        // daemon still serves clean batches.
+        assert_eq!(daemon.pool().created(), daemon.pool().pooled());
+        let handle = daemon.submit(&image, &config, creds).unwrap();
+        assert_eq!(handle.iter().filter(|o| o.result.is_ok()).count(), 6);
+        let health = daemon.health();
+        assert_eq!(health.panics, 1);
+        assert_eq!(health.failed_devices, 1);
+        assert_eq!(health.completed_devices, 12);
+        daemon.shutdown();
+    }
+
+    /// `note_retries` folds external delivery retries into the ledger.
+    #[test]
+    fn note_retries_accumulates() {
+        let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 1);
+        daemon.note_retries(3);
+        daemon.note_retries(4);
+        assert_eq!(daemon.health().retries, 7);
+        daemon.shutdown();
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub mod cache;
 pub mod daemon;
 
 pub use cache::{CacheLookup, CacheStats, PreparedImageCache};
-pub use daemon::{BatchHandle, BufferPool, ProvisioningDaemon, ShardQueue, WireFrame, WireOutcome};
+pub use daemon::{
+    BatchHandle, BufferPool, DaemonHealth, PackagingHook, ProvisioningDaemon, RecvTimeout,
+    ShardQueue, SubmitError, WireFrame, WireOutcome,
+};
 
 use crate::config::EncryptionConfig;
 use crate::error::EricError;

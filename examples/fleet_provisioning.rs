@@ -11,7 +11,8 @@
 //! Run with: `cargo run --example fleet_provisioning`
 
 use eric::core::{
-    Device, EncryptionConfig, Package, ProvisioningDaemon, ProvisioningService, SoftwareSource,
+    DeliveryPolicy, Device, EncryptionConfig, FaultPlan, LossyChannel, Package, ProvisioningDaemon,
+    ProvisioningService, ResilientDelivery, SoftwareSource, SubmitError,
 };
 use eric::puf::crp::CrpDatabase;
 
@@ -141,6 +142,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.misses,
         daemon.pool().created(),
         3 * fleet.len(),
+    );
+
+    // --- Resilient delivery over a lossy field link. ---
+    // Overload probe first: keep submitting without consuming outcomes
+    // until the bounded queue sheds. `try_submit` refuses immediately
+    // instead of parking the producer.
+    let mut held = Vec::new();
+    let mut shed = false;
+    for _ in 0..32 {
+        match daemon.try_submit(&image, &EncryptionConfig::full(), creds.clone()) {
+            Ok(handle) => held.push(handle),
+            Err(SubmitError::QueueFull) => {
+                shed = true;
+                break;
+            }
+            Err(err) => return Err(err.into()),
+        }
+    }
+    assert!(shed, "bounded queue never shed under the overload probe");
+
+    // Drain the held waves across a seeded stochastic channel: frames
+    // drop, flip bits, or truncate in transit; a bounded retry policy
+    // with exponential backoff recovers what it can. Acceptance is the
+    // SecureLoader itself — a corrupted-but-parseable frame is a
+    // retryable rejection, not a delivery.
+    let chaos = ResilientDelivery::new(
+        LossyChannel::with_plan(FaultPlan::uniform(20220627, 0.10)),
+        DeliveryPolicy::default(),
+    );
+    let (mut delivered, mut exhausted, mut retries) = (0usize, 0usize, 0u64);
+    for handle in &held {
+        for outcome in handle.iter() {
+            let frame = outcome.result?;
+            let report = chaos.deliver_verified(outcome.index as u64, &frame.bytes, |package| {
+                fleet[outcome.index].install_and_run(package).map(|_| ())
+            });
+            retries += u64::from(report.retries);
+            if report.status.is_delivered() {
+                delivered += 1;
+            } else {
+                exhausted += 1;
+            }
+            handle.recycle(frame);
+        }
+    }
+    daemon.note_retries(retries);
+    let health = daemon.health();
+    let total = delivered + exhausted;
+    println!(
+        "lossy link at 10% fault rate: {delivered}/{total} frames delivered \
+         (goodput {:.2}), {} retries, {} exhausted; daemon shed {} overload \
+         submissions and completed {}/{} devices",
+        delivered as f64 / total as f64,
+        health.retries,
+        exhausted,
+        health.sheds,
+        health.completed_devices,
+        health.submitted_devices,
     );
     daemon.shutdown();
     Ok(())

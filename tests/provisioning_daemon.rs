@@ -207,6 +207,44 @@ fn shutdown_drains_accepted_batches() {
     assert_eq!(consumer.join().unwrap(), 36, "a drained wave lost outcomes");
 }
 
+/// A producer parked in `submit` backpressure observes shutdown and
+/// returns an error instead of deadlocking.
+#[test]
+fn producer_blocked_in_submit_observes_shutdown() {
+    let (_, creds) = fleet(4, 3500);
+    // One worker, one queue slot: the first (unconsumed) batch stalls
+    // the worker on the bounded outcome channel and occupies the slot,
+    // so the next blocking submit parks in backpressure.
+    let daemon = ProvisioningDaemon::start_with(SoftwareSource::new("vendor"), 1, 8, 1);
+    let image = daemon.source().compile(PROGRAM, false).unwrap();
+    let config = EncryptionConfig::full();
+    let stalled = daemon.submit(&image, &config, creds.clone()).unwrap();
+
+    std::thread::scope(|scope| {
+        let producer = scope.spawn(|| daemon.submit(&image, &config, creds.clone()));
+        // Give the producer time to reach the backpressure wait; it
+        // must still be parked (nothing frees the queue slot).
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            !producer.is_finished(),
+            "producer returned without a free queue slot"
+        );
+        // Shutdown signalled from another thread wakes the parked
+        // producer, which reports the refusal instead of hanging.
+        daemon.begin_shutdown();
+        let refused = producer.join().unwrap();
+        assert!(
+            matches!(refused, Err(EricError::Config(ref m)) if m.contains("shut down")),
+            "expected a shutdown refusal, got {refused:?}"
+        );
+    });
+
+    // Releasing the stalled handle lets the worker drain the accepted
+    // batch; the join in `shutdown` then completes.
+    drop(stalled);
+    daemon.shutdown();
+}
+
 /// Daemon frames interoperate with the untrusted-channel model via
 /// `transmit_wire` — no sender-side `Package` materialization.
 #[test]
