@@ -8,6 +8,7 @@
 //! lets an [`Attacker`] act on them, and re-parses at the far end —
 //! exactly what a network adversary can do.
 
+use crate::delta::{DeltaPackage, DELTA_PAYLOAD_LEN_OFFSET};
 use crate::error::EricError;
 use crate::package::{Package, PAYLOAD_LEN_OFFSET};
 
@@ -125,6 +126,16 @@ impl Channel {
     /// ```
     pub fn transmit_wire(&self, wire: &[u8]) -> Result<Package, EricError> {
         let mut wire = wire.to_vec();
+        self.damage(&mut wire, PAYLOAD_LEN_OFFSET);
+        Package::from_wire(&wire)
+    }
+
+    /// Apply the attacker's per-frame action to a wire image in place.
+    ///
+    /// Shared by the full-frame and delta-frame transmit paths so the
+    /// two can never drift: only the header offset of the declared
+    /// payload length differs between `ERIC2` and `ERIC2D` framing.
+    fn damage(&self, wire: &mut Vec<u8>, payload_len_offset: usize) {
         match &self.attacker {
             Attacker::Passive => {}
             Attacker::BitFlip { byte, bit } => {
@@ -137,9 +148,14 @@ impl Channel {
             }
             Attacker::SubstitutePayload { filler } => {
                 // The payload occupies the wire tail; its length is
-                // declared at a fixed header offset.
+                // declared at a fixed header offset. A delta frame's
+                // tail (changed segments) is usually *shorter* than
+                // the declared target-image length, so the clamp means
+                // the filler may also smear the leaf/root region —
+                // strictly more damage, which the receiver must still
+                // reject.
                 let payload_len = wire
-                    .get(PAYLOAD_LEN_OFFSET..PAYLOAD_LEN_OFFSET + 4)
+                    .get(payload_len_offset..payload_len_offset + 4)
                     .map_or(0, |b| u32::from_le_bytes(b.try_into().unwrap()) as usize);
                 let start = wire.len().saturating_sub(payload_len);
                 for b in &mut wire[start..] {
@@ -149,7 +165,31 @@ impl Channel {
             // Batch-order attacks have no effect on a lone frame.
             Attacker::Duplicate { .. } | Attacker::Reorder { .. } => {}
         }
-        Package::from_wire(&wire)
+    }
+
+    /// Transmit a delta frame ([`DeltaPackage`]) through the channel,
+    /// applying the attacker's action, and re-parse it at the receiver.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Package`] when the mutation breaks the `ERIC2D`
+    /// framing itself.
+    pub fn transmit_delta(&self, delta: &DeltaPackage) -> Result<DeltaPackage, EricError> {
+        self.transmit_delta_wire(&delta.to_wire())
+    }
+
+    /// Transmit an already-serialized `ERIC2D` frame — the zero-copy
+    /// delta path
+    /// ([`SoftwareSource::package_delta_into`](crate::SoftwareSource::package_delta_into))
+    /// hands its bytes here directly.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Package`] when the mutation breaks the framing.
+    pub fn transmit_delta_wire(&self, wire: &[u8]) -> Result<DeltaPackage, EricError> {
+        let mut wire = wire.to_vec();
+        self.damage(&mut wire, DELTA_PAYLOAD_LEN_OFFSET);
+        DeltaPackage::from_wire(&wire)
     }
 
     /// Transmit a whole provisioning batch, applying the attacker's
@@ -432,5 +472,88 @@ mod tests {
             !wire.windows(image.text.len()).any(|w| w == &image.text[..]),
             "plaintext visible on the wire"
         );
+    }
+
+    /// Build a device, an installed base image, and a delta frame
+    /// taking it to a second program version.
+    fn delta_setup() -> (Device, crate::delta::InstalledImage, crate::DeltaPackage) {
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let mut device = Device::with_seed(30, "node");
+        let cred = device.enroll();
+        let source = SoftwareSource::new("vendor");
+        let base = source
+            .prepare_image(&source.compile(PROGRAM, false).unwrap(), &cfg)
+            .unwrap();
+        let next_img = source
+            .compile("main:\n li a0, 9\n li a7, 93\n ecall\n", false)
+            .unwrap();
+        let next = source.prepare_image(&next_img, &cfg).unwrap();
+        let full = source.package_prepared(&base, &cred).unwrap().0;
+        let installed = device.install(&full).unwrap();
+        let delta = source
+            .package_delta(&source.prepare_delta(&base, &next).unwrap(), &cred)
+            .unwrap();
+        (device, installed, delta)
+    }
+
+    #[test]
+    fn passive_channel_preserves_delta_frames() {
+        let (mut device, installed, delta) = delta_setup();
+        let received = Channel::trusted_free().transmit_delta(&delta).unwrap();
+        assert_eq!(received, delta);
+        let patched = device.apply_delta(&installed, &received).unwrap();
+        assert_eq!(device.run_installed(&patched).unwrap().exit_code, 9);
+    }
+
+    #[test]
+    fn delta_bit_flips_are_rejected_by_device_or_framing() {
+        let (device, installed, delta) = delta_setup();
+        let wire = delta.to_wire();
+        let mut rejected = 0usize;
+        let mut total = 0usize;
+        for byte in (0..wire.len()).step_by(5) {
+            total += 1;
+            let ch = Channel::with_attacker(Attacker::BitFlip {
+                byte,
+                bit: (byte % 8) as u8,
+            });
+            match ch.transmit_delta_wire(&wire) {
+                Err(_) => rejected += 1, // framing caught it
+                Ok(received) => {
+                    if device.apply_delta(&installed, &received).is_err() {
+                        rejected += 1; // HDE caught it
+                    }
+                }
+            }
+        }
+        assert_eq!(rejected, total, "some delta bit flips went undetected");
+    }
+
+    #[test]
+    fn delta_truncation_is_a_clear_parse_error() {
+        let (_, _, delta) = delta_setup();
+        let wire = delta.to_wire();
+        for keep in [0usize, 1, 6, 40, wire.len() - 1] {
+            let ch = Channel::with_attacker(Attacker::Truncate { keep });
+            match ch.transmit_delta_wire(&wire) {
+                Err(EricError::Package(msg)) => assert!(
+                    msg.contains("truncated at"),
+                    "keep = {keep}: expected a truncation diagnostic, got {msg:?}"
+                ),
+                other => panic!("keep = {keep}: expected a parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delta_payload_substitution_rejected() {
+        let (device, installed, delta) = delta_setup();
+        let ch = Channel::with_attacker(Attacker::SubstitutePayload { filler: 0x5A });
+        // The filler smears everything after the delta header — the
+        // receiver must reject at parse or at apply, never accept.
+        match ch.transmit_delta(&delta) {
+            Err(_) => {}
+            Ok(received) => assert!(device.apply_delta(&installed, &received).is_err()),
+        }
     }
 }

@@ -68,6 +68,7 @@
 //! ```
 
 use crate::channel::Channel;
+use crate::delta::DeltaPackage;
 use crate::error::{EricError, FaultClass, TransportFault};
 use crate::package::Package;
 use rand::rngs::StdRng;
@@ -256,6 +257,26 @@ impl LossyChannel {
         }
         (self.channel.transmit_wire(&frame), events)
     }
+
+    /// Transmit one attempt of an `ERIC2D` delta frame identified by
+    /// `key` — [`LossyChannel::transmit_attempt`] for delta updates.
+    ///
+    /// Identical fault model and composition order; the receiver's
+    /// parse is [`DeltaPackage::from_wire`] instead of the full-frame
+    /// parser.
+    pub fn transmit_delta_attempt(
+        &self,
+        key: u64,
+        attempt: u32,
+        wire: &[u8],
+    ) -> (Result<DeltaPackage, EricError>, TransitEvents) {
+        let mut frame = wire.to_vec();
+        let events = self.plan.events(key, attempt, &mut frame);
+        if events.dropped {
+            return (Err(EricError::Transport(TransportFault::Dropped)), events);
+        }
+        (self.channel.transmit_delta_wire(&frame), events)
+    }
 }
 
 /// Bounded-retry policy: attempts, exponential backoff with
@@ -344,11 +365,14 @@ pub enum ExhaustReason {
 }
 
 /// The single terminal state every delivery reaches.
+///
+/// Generic over the parsed frame type: full-image deliveries carry a
+/// [`Package`] (the default), delta deliveries a [`DeltaPackage`].
 #[derive(Debug)]
-pub enum DeliveryStatus {
+pub enum DeliveryStatus<T = Package> {
     /// The frame arrived and parsed; callers verify it through the
     /// `SecureLoader` (and, for byte-identity, against the sent wire).
-    Delivered(Package),
+    Delivered(T),
     /// The retry budget or deadline ran out; the last retryable error
     /// explains what transit kept doing to the frame.
     Exhausted {
@@ -362,7 +386,7 @@ pub enum DeliveryStatus {
     Fatal(EricError),
 }
 
-impl DeliveryStatus {
+impl<T> DeliveryStatus<T> {
     /// `true` for [`DeliveryStatus::Delivered`].
     pub fn is_delivered(&self) -> bool {
         matches!(self, DeliveryStatus::Delivered(_))
@@ -379,8 +403,10 @@ impl DeliveryStatus {
 }
 
 /// Full accounting of one frame's delivery.
+///
+/// Generic over the parsed frame type, like [`DeliveryStatus`].
 #[derive(Debug)]
-pub struct DeliveryReport {
+pub struct DeliveryReport<T = Package> {
     /// The frame key the caller supplied (device index or nonce).
     pub key: u64,
     /// Transmission attempts made (≥ 1).
@@ -401,10 +427,10 @@ pub struct DeliveryReport {
     /// Simulated backoff, summed over retries.
     pub backoff: Duration,
     /// The terminal outcome.
-    pub status: DeliveryStatus,
+    pub status: DeliveryStatus<T>,
 }
 
-impl DeliveryReport {
+impl<T> DeliveryReport<T> {
     /// Virtual wall clock this delivery consumed (transit + backoff).
     pub fn elapsed(&self) -> Duration {
         self.transit + self.backoff
@@ -456,8 +482,56 @@ impl ResilientDelivery {
         &self,
         key: u64,
         wire: &[u8],
-        mut verify: impl FnMut(&Package) -> Result<(), EricError>,
+        verify: impl FnMut(&Package) -> Result<(), EricError>,
     ) -> DeliveryReport {
+        self.drive(
+            key,
+            wire,
+            |attempt| self.channel.transmit_attempt(key, attempt, wire),
+            verify,
+        )
+    }
+
+    /// Deliver an `ERIC2D` delta frame, retrying retryable faults
+    /// within the policy's budget. Equivalent to
+    /// [`ResilientDelivery::deliver_delta_verified`] with a verifier
+    /// that accepts every parsed frame.
+    pub fn deliver_delta(&self, key: u64, wire: &[u8]) -> DeliveryReport<DeltaPackage> {
+        self.deliver_delta_verified(key, wire, |_| Ok(()))
+    }
+
+    /// Deliver an `ERIC2D` delta frame, additionally running `verify`
+    /// on every parsed frame before declaring success.
+    ///
+    /// The natural verifier is the device's
+    /// [`apply_delta`](crate::Device::apply_delta): a corrupted but
+    /// parseable delta is rejected there (retryable), a stale epoch
+    /// terminates delivery immediately — the same taxonomy as
+    /// full-image delivery, so interrupted delta pushes retry instead
+    /// of leaving a device half-patched.
+    pub fn deliver_delta_verified(
+        &self,
+        key: u64,
+        wire: &[u8],
+        verify: impl FnMut(&DeltaPackage) -> Result<(), EricError>,
+    ) -> DeliveryReport<DeltaPackage> {
+        self.drive(
+            key,
+            wire,
+            |attempt| self.channel.transmit_delta_attempt(key, attempt, wire),
+            verify,
+        )
+    }
+
+    /// The attempt loop shared by full-image and delta delivery:
+    /// transmit, classify, back off, repeat until a terminal status.
+    fn drive<T>(
+        &self,
+        key: u64,
+        wire: &[u8],
+        mut transmit: impl FnMut(u32) -> (Result<T, EricError>, TransitEvents),
+        mut verify: impl FnMut(&T) -> Result<(), EricError>,
+    ) -> DeliveryReport<T> {
         let seed = self.channel.plan().seed;
         let mut report = DeliveryReport {
             key,
@@ -478,7 +552,7 @@ impl ResilientDelivery {
         for attempt in 1..=max_attempts {
             report.attempts = attempt;
             report.retries = attempt - 1;
-            let (result, events) = self.channel.transmit_attempt(key, attempt, wire);
+            let (result, events) = transmit(attempt);
             report.transit += events.latency;
             report.wire_bytes += wire.len() as u64 * if events.duplicated { 2 } else { 1 };
             report.dropped += u32::from(events.dropped);
@@ -729,6 +803,70 @@ mod tests {
         );
         let report = ResilientDelivery::new(channel, DeliveryPolicy::default()).deliver(0, &wire);
         assert_eq!(report.attempts, 5);
+        assert!(matches!(
+            report.status,
+            DeliveryStatus::Exhausted {
+                reason: ExhaustReason::Attempts,
+                last_error: EricError::Package(_),
+            }
+        ));
+    }
+
+    #[test]
+    fn delta_frames_survive_a_lossy_wire_and_apply_verified() {
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let mut device = Device::with_seed(60, "node");
+        let cred = device.enroll();
+        let source = SoftwareSource::new("vendor");
+        let base = source
+            .prepare_image(&source.compile(PROGRAM, false).unwrap(), &cfg)
+            .unwrap();
+        let next_img = source
+            .compile("main:\n li a0, 11\n li a7, 93\n ecall\n", false)
+            .unwrap();
+        let next = source.prepare_image(&next_img, &cfg).unwrap();
+        let full = source.package_prepared(&base, &cred).unwrap().0;
+        let installed = device.install(&full).unwrap();
+        let delta = source
+            .package_delta(&source.prepare_delta(&base, &next).unwrap(), &cred)
+            .unwrap();
+        let wire = delta.to_wire();
+
+        // A lossy wire at 15% per-fault rate: the budget absorbs the
+        // damage and the frame that finally lands applies cleanly.
+        let delivery = ResilientDelivery::new(
+            LossyChannel::with_plan(FaultPlan::uniform(11, 0.15)),
+            DeliveryPolicy {
+                max_attempts: 12,
+                ..DeliveryPolicy::default()
+            },
+        );
+        let mut patched = None;
+        let report = delivery.deliver_delta_verified(3, &wire, |frame| {
+            patched = Some(device.apply_delta(&installed, frame)?);
+            Ok(())
+        });
+        let DeliveryStatus::Delivered(received) = &report.status else {
+            panic!("lossy delta delivery failed: {:?}", report.status);
+        };
+        assert_eq!(
+            received.to_wire(),
+            wire,
+            "delivered frame not byte-identical"
+        );
+        let patched = patched.expect("verifier ran");
+        assert_eq!(device.run_installed(&patched).unwrap().exit_code, 11);
+    }
+
+    #[test]
+    fn fatal_delta_errors_are_never_retried() {
+        let delivery = ResilientDelivery::new(
+            LossyChannel::with_plan(FaultPlan::none()),
+            DeliveryPolicy::default(),
+        );
+        // A garbage frame parses to a retryable Package error on every
+        // attempt; the budget exhausts rather than misreporting fatal.
+        let report = delivery.deliver_delta(0, &[0u8; 16]);
         assert!(matches!(
             report.status,
             DeliveryStatus::Exhausted {

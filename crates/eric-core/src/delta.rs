@@ -1,0 +1,1160 @@
+//! Delta OTA updates: ship only the segments that changed.
+//!
+//! A segmented (`ERIC2`) build already digests the payload per segment,
+//! so two prepared images can be diffed at segment granularity by
+//! comparing their plaintext leaf tables. The vendor frames only the
+//! changed segments in an **`ERIC2D`** delta frame; the device patches
+//! its installed plaintext, recomputes the Merkle root from its *cached
+//! sibling digests* plus the shipped replacement leaves, and accepts the
+//! update only after the patched image re-verifies end to end. For a
+//! fleet-wide 1%-of-segments fix this turns a full-image push into a
+//! frame a couple of orders of magnitude smaller.
+//!
+//! # The `ERIC2D` wire frame
+//!
+//! ```text
+//! magic "ERIC2D" ‖ cipher ‖ policy ‖ epoch ‖ nonce ‖
+//! text_base ‖ data_base ‖ entry ‖ text_len ‖ payload_len ‖
+//! base_payload_len ‖ segment_len ‖ changed_count ‖
+//! challenge_len ‖ challenge ‖
+//! encrypted base_digest (32) ‖ changed segment indices (u32 LE each)
+//! ---------------------------- end of AAD ----------------------------
+//! map block ‖ encrypted root (32) ‖ changed leaves (32 each) ‖
+//! changed segments (each encrypted at its absolute payload offset)
+//! ```
+//!
+//! Everything through the index table is the frame's additional
+//! authenticated data. The signed root is
+//! [`signed_root`]`(aad, segment_len, full_new_leaf_table)` — the root
+//! binds the **whole** new table, not just the shipped diff, so a frame
+//! that omits, duplicates, or reorders a changed segment cannot
+//! validate. The *base* fingerprint ships encrypted inside the AAD:
+//! cleartext would hand an eavesdropper a confirmation oracle for the
+//! installed image, and keeping it inside the AAD lets the root bind it.
+//!
+//! # Keystream discipline
+//!
+//! The delta frame consumes the *same* keystream positions the
+//! equivalent full frame would: each changed segment is encrypted at
+//! its absolute payload offset, the root at `payload_len`, and changed
+//! leaf `i` at its natural manifest slot
+//! ([`manifest_stream_offset`]` + 32·i`). The base fingerprint takes
+//! the first position past the full manifest, which no full-frame
+//! component uses. Disjointness is preserved, and a delta never reuses
+//! a full frame's keystream anyway — every frame draws a fresh nonce.
+//!
+//! # Fail-closed patching
+//!
+//! [`Device::apply_delta`](crate::Device::apply_delta) authenticates
+//! the reconstructed manifest *before* decrypting any payload byte,
+//! verifies each patched segment against its authenticated leaf, and
+//! finally re-hashes the **entire** patched image against the signed
+//! root. The installed image is borrowed immutably and a new
+//! [`InstalledImage`] is returned only on full success — there is no
+//! partially-patched state to observe, on any error path.
+
+use crate::error::EricError;
+use crate::package::{map_wire_len, write_map, WireReader};
+use crate::source::{PreparedImage, SignaturePlan, SoftwareSource};
+use crate::PackagedFrame;
+use eric_crypto::cipher::CipherKind;
+use eric_crypto::sha256::{tree, Digest};
+use eric_hde::loader::SecureLoader;
+use eric_hde::manifest::signed_root;
+use eric_hde::map::{CoverageMap, ParcelBitmap};
+use eric_hde::transform::{manifest_stream_offset, transform_region, transform_signature};
+use eric_hde::{FieldPolicy, HdeError};
+use eric_puf::crp::{Challenge, EnrollmentRecord};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wire magic for a delta frame: "ERIC2" + delta marker.
+pub(crate) const DELTA_MAGIC: &[u8; 6] = b"ERIC2D";
+
+/// Fixed-width prefix of the delta header: magic + cipher + policy +
+/// epoch + nonce + text_base + data_base + entry + text_len +
+/// payload_len + base_payload_len + segment_len + changed_count +
+/// challenge_len.
+pub(crate) const DELTA_HEADER_FIXED_LEN: usize =
+    6 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 2;
+
+/// Byte offset of the target-image `payload_len` field inside the
+/// fixed delta header (mirrors
+/// [`PAYLOAD_LEN_OFFSET`](crate::package::PAYLOAD_LEN_OFFSET) for full
+/// frames; the channel's payload-substitution attacker reads it).
+pub(crate) const DELTA_PAYLOAD_LEN_OFFSET: usize = 6 + 1 + 1 + 8 * 5 + 4;
+
+/// Keystream position of the encrypted base fingerprint: the first
+/// position past where a full frame's manifest would end, so payload,
+/// root, leaves, and base digest all draw disjoint ranges.
+pub(crate) fn base_digest_stream_offset(payload_len: usize, leaf_count: usize) -> u64 {
+    manifest_stream_offset(payload_len) + 32 * leaf_count as u64
+}
+
+/// Byte length of the changed-segment region for a given index set.
+fn changed_payload_bytes(changed: &[u32], payload_len: usize, segment_len: usize) -> usize {
+    changed
+        .iter()
+        .map(|&i| segment_len.min(payload_len - i as usize * segment_len))
+        .sum()
+}
+
+/// A segment-granular diff between two prepared images, ready to be
+/// packaged per device.
+///
+/// Device-independent (like [`PreparedImage`]): built once by
+/// [`SoftwareSource::prepare_delta`], then fanned out with
+/// [`SoftwareSource::package_delta`] /
+/// [`SoftwareSource::package_delta_into`] — each call draws a fresh
+/// nonce and encrypts under that device's PUF-derived key.
+#[derive(Clone)]
+pub struct PreparedDelta {
+    pub(crate) cipher: CipherKind,
+    pub(crate) policy: Option<FieldPolicy>,
+    pub(crate) epoch: u64,
+    pub(crate) text_base: u64,
+    pub(crate) data_base: u64,
+    pub(crate) entry: u64,
+    pub(crate) text_len: u32,
+    pub(crate) payload_len: u32,
+    pub(crate) base_payload_len: u32,
+    pub(crate) segment_len: u32,
+    /// Strictly ascending indices of segments that differ.
+    pub(crate) changed: Vec<u32>,
+    /// The target image's coverage map (the patched image is the
+    /// target image, so its map travels with the delta).
+    pub(crate) map: CoverageMap,
+    /// Plaintext bytes of the changed segments, concatenated in index
+    /// order.
+    pub(crate) segments: Vec<u8>,
+    /// The target image's full plaintext leaf table (shared across the
+    /// batch; the signed root folds all of it).
+    pub(crate) new_leaves: Vec<Digest>,
+    /// Merkle root of the *base* image's leaf table: the fingerprint
+    /// the device must match before patching.
+    pub(crate) base_digest: Digest,
+    pub(crate) prepare_time: Duration,
+}
+
+impl fmt::Debug for PreparedDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PreparedDelta {{ {}/{} segments changed, {} bytes, epoch: {} }}",
+            self.changed.len(),
+            self.new_leaves.len(),
+            self.segments.len(),
+            self.epoch
+        )
+    }
+}
+
+impl PreparedDelta {
+    /// Number of segments that differ between base and target.
+    pub fn changed_segments(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// Total segments in the target image.
+    pub fn total_segments(&self) -> usize {
+        self.new_leaves.len()
+    }
+
+    /// Plaintext bytes the delta actually carries.
+    pub fn changed_bytes(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Target image payload size in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload_len as usize
+    }
+
+    /// Key epoch every delta frame from this preparation will target.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` when base and target are segment-identical (the frame
+    /// would carry metadata only).
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+    }
+
+    /// Wall-clock spent diffing the leaf tables.
+    pub fn prepare_time(&self) -> Duration {
+        self.prepare_time
+    }
+}
+
+/// A parsed `ERIC2D` delta frame (the delta analogue of [`crate::Package`]).
+#[derive(Clone, PartialEq)]
+pub struct DeltaPackage {
+    /// Cipher the payload/signature material is encrypted with.
+    pub cipher: CipherKind,
+    /// Field-level policy of the *target* image, when field-level
+    /// encryption was used.
+    pub policy: Option<FieldPolicy>,
+    /// Key epoch the delta targets.
+    pub epoch: u64,
+    /// Per-frame keystream nonce.
+    pub nonce: u64,
+    /// PUF challenge identifying the key (public).
+    pub challenge: Vec<u8>,
+    /// Load address of the target image's text section.
+    pub text_base: u64,
+    /// Load address of the target image's data section.
+    pub data_base: u64,
+    /// Entry point of the target image.
+    pub entry: u64,
+    /// Text length of the target image.
+    pub text_len: u32,
+    /// Payload length of the *target* image.
+    pub payload_len: u32,
+    /// Payload length of the *base* image the delta applies to.
+    pub base_payload_len: u32,
+    /// Segment length shared by base and target manifests.
+    pub segment_len: u32,
+    /// Strictly ascending indices of the segments this delta replaces.
+    pub changed: Vec<u32>,
+    /// The base image's Merkle fingerprint, encrypted (part of the
+    /// AAD, so the signed root binds it).
+    pub encrypted_base_digest: [u8; 32],
+    /// The target image's encryption coverage map.
+    pub map: CoverageMap,
+    /// The signed Merkle root over the full new leaf table, encrypted.
+    pub encrypted_root: [u8; 32],
+    /// Replacement leaf digests for the changed segments, encrypted,
+    /// in index order.
+    pub changed_leaves: Vec<[u8; 32]>,
+    /// Changed-segment ciphertext, concatenated in index order (each
+    /// segment encrypted at its absolute target-payload offset).
+    pub segments: Vec<u8>,
+}
+
+impl fmt::Debug for DeltaPackage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DeltaPackage {{ {} changed segments, {} bytes, {} -> {} byte image, epoch: {}, nonce: {} }}",
+            self.changed.len(),
+            self.segments.len(),
+            self.base_payload_len,
+            self.payload_len,
+            self.epoch,
+            self.nonce
+        )
+    }
+}
+
+impl DeltaPackage {
+    /// The canonical AAD encoding: byte for byte the wire frame's
+    /// header prefix, through the changed-segment index table.
+    pub fn aad(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            DELTA_HEADER_FIXED_LEN + self.challenge.len() + 32 + 4 * self.changed.len(),
+        );
+        self.write_header(&mut out);
+        out
+    }
+
+    fn write_header(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(DELTA_MAGIC);
+        out.push(self.cipher.wire_id());
+        out.push(self.policy.map_or(0xFF, FieldPolicy::wire_id));
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.text_base.to_le_bytes());
+        out.extend_from_slice(&self.data_base.to_le_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&self.text_len.to_le_bytes());
+        out.extend_from_slice(&self.payload_len.to_le_bytes());
+        out.extend_from_slice(&self.base_payload_len.to_le_bytes());
+        out.extend_from_slice(&self.segment_len.to_le_bytes());
+        out.extend_from_slice(&(self.changed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.challenge.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.challenge);
+        out.extend_from_slice(&self.encrypted_base_digest);
+        for &i in &self.changed {
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+
+    /// Serialized size in bytes, without serializing.
+    pub fn wire_len(&self) -> usize {
+        DELTA_HEADER_FIXED_LEN
+            + self.challenge.len()
+            + 32
+            + 4 * self.changed.len()
+            + map_wire_len(&self.map)
+            + 32
+            + 32 * self.changed.len()
+            + self.segments.len()
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.serialize_into(&mut buf);
+        buf
+    }
+
+    /// Serialize into a reusable transmit buffer (cleared first; same
+    /// contract as [`crate::Package::serialize_into`]).
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.wire_len());
+        self.write_header(out);
+        write_map(out, &self.map);
+        out.extend_from_slice(&self.encrypted_root);
+        for leaf in &self.changed_leaves {
+            out.extend_from_slice(leaf);
+        }
+        out.extend_from_slice(&self.segments);
+        debug_assert_eq!(out.len(), self.wire_len());
+    }
+
+    /// Deserialize an `ERIC2D` frame.
+    ///
+    /// Structural validation happens here, in wire order, with the
+    /// same fail-before-allocate discipline as [`crate::Package::from_wire`]:
+    /// geometry claims are checked against bytes actually present
+    /// before any claim-sized allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Package`] naming the offending field for bad
+    /// magic, unknown identifiers, bad geometry, a non-ascending or
+    /// out-of-range index table, or truncation.
+    pub fn from_wire(wire: &[u8]) -> Result<DeltaPackage, EricError> {
+        let err = |m: &str| EricError::Package(m.to_string());
+        let mut wire = WireReader::new(wire);
+        if wire.take(6, "magic")? != DELTA_MAGIC {
+            return Err(err("bad magic"));
+        }
+        let cipher =
+            CipherKind::from_wire_id(wire.u8("cipher")?).ok_or_else(|| err("unknown cipher"))?;
+        let policy_id = wire.u8("policy")?;
+        let policy = if policy_id == 0xFF {
+            None
+        } else {
+            Some(FieldPolicy::from_wire_id(policy_id).ok_or_else(|| err("unknown policy"))?)
+        };
+        let epoch = wire.u64_le("epoch")?;
+        let nonce = wire.u64_le("nonce")?;
+        let text_base = wire.u64_le("text base")?;
+        let data_base = wire.u64_le("data base")?;
+        let entry = wire.u64_le("entry")?;
+        let text_len = wire.u32_le("text length")?;
+        let payload_len = wire.u32_le("payload length")?;
+        let base_payload_len = wire.u32_le("base payload length")?;
+        let segment_len = wire.u32_le("segment length")?;
+        if segment_len == 0 || segment_len % 4 != 0 {
+            return Err(err("bad segment length"));
+        }
+        let changed_count = wire.u32_le("changed count")? as usize;
+        let new_count = (payload_len as usize).div_ceil(segment_len as usize);
+        if changed_count > new_count {
+            return Err(err("delta changes more segments than the image has"));
+        }
+        let challenge_len = wire.u16_le("challenge length")? as usize;
+        let challenge = wire.take(challenge_len, "challenge")?.to_vec();
+        let mut encrypted_base_digest = [0u8; 32];
+        encrypted_base_digest.copy_from_slice(wire.take(32, "base digest")?);
+        // The index table is sized by an attacker-controlled count;
+        // the bytes must be present before the allocation (the count
+        // is already bounded by new_count, itself bounded only by the
+        // forgeable payload_len).
+        if (wire.remaining() as u64) < 4 * changed_count as u64 {
+            return Err(err("truncated at segment index table"));
+        }
+        let mut changed = Vec::with_capacity(changed_count);
+        for _ in 0..changed_count {
+            let i = wire.u32_le("segment index")?;
+            if i as usize >= new_count {
+                return Err(err("segment index out of range"));
+            }
+            if let Some(&last) = changed.last() {
+                if i <= last {
+                    return Err(err("segment index table not strictly ascending"));
+                }
+            }
+            changed.push(i);
+        }
+        let map = match wire.u8("map tag")? {
+            0 => CoverageMap::Full,
+            1 => {
+                let granularity = wire.u8("map granularity")? as u32;
+                if granularity != 2 && granularity != 4 {
+                    return Err(err("bad map granularity"));
+                }
+                let parcels = wire.u32_le("map parcels")? as usize;
+                let bits = wire.take(parcels.div_ceil(8), "map bits")?;
+                CoverageMap::Partial(ParcelBitmap::from_bytes_with_granularity(
+                    bits,
+                    parcels,
+                    granularity,
+                ))
+            }
+            _ => return Err(err("unknown map tag")),
+        };
+        let mut encrypted_root = [0u8; 32];
+        encrypted_root.copy_from_slice(wire.take(32, "signed root")?);
+        let seg_bytes = changed_payload_bytes(&changed, payload_len as usize, segment_len as usize);
+        if (wire.remaining() as u64) < 32 * changed_count as u64 + seg_bytes as u64 {
+            return Err(err("truncated at delta manifest"));
+        }
+        let mut changed_leaves = Vec::with_capacity(changed_count);
+        for _ in 0..changed_count {
+            let mut leaf = [0u8; 32];
+            leaf.copy_from_slice(wire.take(32, "changed leaf")?);
+            changed_leaves.push(leaf);
+        }
+        let segments = wire.take(seg_bytes, "delta payload")?.to_vec();
+        if text_len > payload_len {
+            return Err(err("text length exceeds payload"));
+        }
+        Ok(DeltaPackage {
+            cipher,
+            policy,
+            epoch,
+            nonce,
+            challenge,
+            text_base,
+            data_base,
+            entry,
+            text_len,
+            payload_len,
+            base_payload_len,
+            segment_len,
+            changed,
+            encrypted_base_digest,
+            map,
+            encrypted_root,
+            changed_leaves,
+            segments,
+        })
+    }
+}
+
+/// A verified plaintext image resident on a device, with the cached
+/// per-segment digests that make delta updates possible.
+///
+/// Produced by [`Device::install`](crate::Device::install) (full
+/// frame) or [`Device::apply_delta`](crate::Device::apply_delta)
+/// (patch); run with
+/// [`Device::run_installed`](crate::Device::run_installed). The cached
+/// leaf table is what lets the device verify a delta's Merkle root
+/// without re-hashing the unchanged segments.
+#[derive(Clone)]
+pub struct InstalledImage {
+    pub(crate) payload: Vec<u8>,
+    pub(crate) text_len: usize,
+    pub(crate) text_base: u64,
+    pub(crate) data_base: u64,
+    pub(crate) entry: u64,
+    pub(crate) segment_len: u32,
+    pub(crate) leaves: Vec<Digest>,
+}
+
+impl fmt::Debug for InstalledImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "InstalledImage {{ {} bytes ({} text), {} segments of {} }}",
+            self.payload.len(),
+            self.text_len,
+            self.leaves.len(),
+            self.segment_len
+        )
+    }
+}
+
+impl InstalledImage {
+    /// Merkle fingerprint of the installed plaintext: two devices hold
+    /// the same image iff their fingerprints match, and a delta frame
+    /// names the fingerprint it expects to patch.
+    pub fn fingerprint(&self) -> Digest {
+        tree::merkle_root(&self.leaves)
+    }
+
+    /// Installed plaintext size in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Text-section length in bytes (prefix of the payload).
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    /// Number of cached segment digests.
+    pub fn segments(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Segment length the cached digests were computed at.
+    pub fn segment_len(&self) -> u32 {
+        self.segment_len
+    }
+
+    /// Entry point of the installed program.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+}
+
+impl SoftwareSource {
+    /// Diff two prepared images at segment granularity.
+    ///
+    /// Both images must be segmented (`ERIC2`) builds with the same
+    /// segment length — the diff *is* a leaf-table comparison, so the
+    /// tables must be commensurable. A segment counts as changed when
+    /// its plaintext leaf differs, which covers content edits, image
+    /// growth (new tail segments), shrinkage, and ragged-tail
+    /// resizing (a tail segment that changes length changes its leaf).
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Config`] for v1 builds or mismatched segment
+    /// lengths.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{EncryptionConfig, SoftwareSource};
+    ///
+    /// let source = SoftwareSource::new("vendor");
+    /// let cfg = EncryptionConfig::full().with_segments(8);
+    /// let v1 = source.compile("main:\n li a0, 1\n li a7, 93\n ecall\n", false).unwrap();
+    /// let v2 = source.compile("main:\n li a0, 2\n li a7, 93\n ecall\n", false).unwrap();
+    /// let base = source.prepare_image(&v1, &cfg).unwrap();
+    /// let next = source.prepare_image(&v2, &cfg).unwrap();
+    /// let delta = source.prepare_delta(&base, &next).unwrap();
+    /// // One instruction changed: only that segment ships.
+    /// assert!(delta.changed_segments() < delta.total_segments());
+    /// ```
+    pub fn prepare_delta(
+        &self,
+        base: &PreparedImage,
+        target: &PreparedImage,
+    ) -> Result<PreparedDelta, EricError> {
+        let (
+            SignaturePlan::Segmented {
+                segment_len: base_len,
+                leaves: base_leaves,
+            },
+            SignaturePlan::Segmented {
+                segment_len: target_len,
+                leaves: target_leaves,
+            },
+        ) = (&base.signature_plan, &target.signature_plan)
+        else {
+            return Err(EricError::Config(
+                "delta preparation requires segmented (ERIC2) builds on both sides".into(),
+            ));
+        };
+        if base_len != target_len {
+            return Err(EricError::Config(format!(
+                "base and target segment lengths differ ({base_len} vs {target_len})"
+            )));
+        }
+        let t = Instant::now();
+        let segment_len = *target_len as usize;
+        let payload_len = target.payload.len();
+        let mut changed = Vec::new();
+        let mut segments = Vec::new();
+        for (i, leaf) in target_leaves.iter().enumerate() {
+            if base_leaves.get(i) == Some(leaf) {
+                continue;
+            }
+            changed.push(i as u32);
+            let start = i * segment_len;
+            let end = (start + segment_len).min(payload_len);
+            segments.extend_from_slice(&target.payload[start..end]);
+        }
+        Ok(PreparedDelta {
+            cipher: target.cipher,
+            policy: target.policy,
+            epoch: target.epoch,
+            text_base: target.text_base,
+            data_base: target.data_base,
+            entry: target.entry,
+            text_len: target.text_len,
+            payload_len: payload_len as u32,
+            base_payload_len: base.payload.len() as u32,
+            segment_len: *target_len,
+            changed,
+            map: target.map.clone(),
+            segments,
+            new_leaves: target_leaves.clone(),
+            base_digest: tree::merkle_root(base_leaves),
+            prepare_time: t.elapsed(),
+        })
+    }
+
+    /// Package a prepared delta for one device: draw a nonce, sign the
+    /// full new leaf table into the delta AAD, and encrypt the root,
+    /// replacement leaves, changed segments, and base fingerprint
+    /// under the device's PUF-derived per-frame key.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Config`] when `cred` is from a different key epoch
+    /// than the delta targets.
+    pub fn package_delta(
+        &self,
+        delta: &PreparedDelta,
+        cred: &EnrollmentRecord,
+    ) -> Result<DeltaPackage, EricError> {
+        let mut frame = Vec::new();
+        self.package_delta_into(delta, cred, &mut frame)?;
+        DeltaPackage::from_wire(&frame)
+    }
+
+    /// Zero-copy variant of [`SoftwareSource::package_delta`]: sign,
+    /// encrypt, and serialize the `ERIC2D` frame straight into a
+    /// reusable transmit buffer (the delta analogue of
+    /// [`SoftwareSource::package_prepared_into`], same buffer and
+    /// error contracts).
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Config`] on an epoch mismatch; the buffer is left
+    /// cleared and no nonce is drawn.
+    pub fn package_delta_into(
+        &self,
+        delta: &PreparedDelta,
+        cred: &EnrollmentRecord,
+        out: &mut Vec<u8>,
+    ) -> Result<PackagedFrame, EricError> {
+        out.clear();
+        if cred.epoch != delta.epoch {
+            return Err(EricError::Config(format!(
+                "credential for {:?} is from epoch {} but the delta targets epoch {}",
+                cred.device_id, cred.epoch, delta.epoch
+            )));
+        }
+        let nonce = self.draw_nonce();
+        let payload_len = delta.payload_len as usize;
+        let segment_len = delta.segment_len as usize;
+        let challenge = cred.challenge.as_bytes();
+        let wire_len = DELTA_HEADER_FIXED_LEN
+            + challenge.len()
+            + 32
+            + 4 * delta.changed.len()
+            + map_wire_len(&delta.map)
+            + 32
+            + 32 * delta.changed.len()
+            + delta.segments.len();
+        out.reserve(wire_len);
+
+        // The key is needed *before* the header is written: the base
+        // fingerprint ships encrypted inside the AAD.
+        let key = self.kmu().package_key(&cred.key, nonce);
+        let cipher = delta.cipher.instantiate(key.as_bytes());
+
+        out.extend_from_slice(DELTA_MAGIC);
+        out.push(delta.cipher.wire_id());
+        out.push(delta.policy.map_or(0xFF, FieldPolicy::wire_id));
+        out.extend_from_slice(&delta.epoch.to_le_bytes());
+        out.extend_from_slice(&nonce.to_le_bytes());
+        out.extend_from_slice(&delta.text_base.to_le_bytes());
+        out.extend_from_slice(&delta.data_base.to_le_bytes());
+        out.extend_from_slice(&delta.entry.to_le_bytes());
+        out.extend_from_slice(&delta.text_len.to_le_bytes());
+        out.extend_from_slice(&delta.payload_len.to_le_bytes());
+        out.extend_from_slice(&delta.base_payload_len.to_le_bytes());
+        out.extend_from_slice(&delta.segment_len.to_le_bytes());
+        out.extend_from_slice(&(delta.changed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(challenge.len() as u16).to_le_bytes());
+        out.extend_from_slice(challenge);
+        let mut base_digest = *delta.base_digest.as_bytes();
+        cipher.apply(
+            base_digest_stream_offset(payload_len, delta.new_leaves.len()),
+            &mut base_digest,
+        );
+        out.extend_from_slice(&base_digest);
+        for &i in &delta.changed {
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        let aad_len = out.len();
+
+        // The signed root folds the FULL new leaf table over the delta
+        // AAD: the device reconstructs the same table from its cache
+        // plus the shipped diff, so any omission or substitution in
+        // the diff breaks the root.
+        let signature = signed_root(out, delta.segment_len, &delta.new_leaves);
+
+        write_map(out, &delta.map);
+        let mut sig_bytes = *signature.as_bytes();
+        transform_signature(&mut sig_bytes, payload_len, cipher.as_ref());
+        out.extend_from_slice(&sig_bytes);
+        let manifest_at = manifest_stream_offset(payload_len);
+        for &i in &delta.changed {
+            let mut leaf = *delta.new_leaves[i as usize].as_bytes();
+            cipher.apply(manifest_at + 32 * i as u64, &mut leaf);
+            out.extend_from_slice(&leaf);
+        }
+        let mut cursor = 0usize;
+        for &i in &delta.changed {
+            let start = i as usize * segment_len;
+            let len = segment_len.min(payload_len - start);
+            let at = out.len();
+            out.extend_from_slice(&delta.segments[cursor..cursor + len]);
+            cursor += len;
+            transform_region(
+                &mut out[at..],
+                start,
+                &delta.map,
+                delta.policy,
+                delta.text_len as usize,
+                cipher.as_ref(),
+            );
+        }
+        debug_assert_eq!(out.len(), wire_len);
+        Ok(PackagedFrame {
+            nonce,
+            wire_len,
+            aad_len,
+        })
+    }
+}
+
+/// Apply an authenticated delta to an installed image (the device-side
+/// half; [`Device::apply_delta`](crate::Device::apply_delta) is the
+/// public entry point).
+///
+/// Validation runs strictly before mutation-visible work, in order:
+/// geometry against the installed image, epoch, index-table coverage,
+/// base fingerprint, then the Merkle root over the *reconstructed*
+/// full table (cached siblings + shipped diff). Only then is any
+/// payload byte decrypted, each patched segment re-checked against its
+/// authenticated leaf, and the whole patched image re-hashed against
+/// the signed root before a new [`InstalledImage`] is handed back.
+pub(crate) fn apply(
+    loader: &SecureLoader,
+    installed: &InstalledImage,
+    delta: &DeltaPackage,
+) -> Result<InstalledImage, EricError> {
+    let payload_len = delta.payload_len as usize;
+    let segment_len = delta.segment_len as usize;
+    let text_len = delta.text_len as usize;
+    if delta.segment_len != installed.segment_len {
+        return Err(EricError::Package(format!(
+            "delta segment length {} does not match installed image ({})",
+            delta.segment_len, installed.segment_len
+        )));
+    }
+    if delta.base_payload_len as usize != installed.payload.len() {
+        return Err(EricError::Package(format!(
+            "delta expects a {}-byte base image but {} bytes are installed",
+            delta.base_payload_len,
+            installed.payload.len()
+        )));
+    }
+    let device_epoch = loader.keys().epoch();
+    if delta.epoch != device_epoch {
+        return Err(HdeError::WrongEpoch {
+            package: delta.epoch,
+            device: device_epoch,
+        }
+        .into());
+    }
+    if delta.policy.is_some() && !text_len.is_multiple_of(4) {
+        return Err(HdeError::Malformed(format!(
+            "field-level delta with misaligned text length {text_len}"
+        ))
+        .into());
+    }
+    if let CoverageMap::Partial(bm) = &delta.map {
+        if bm.parcels() < payload_len.div_ceil(bm.granularity() as usize) {
+            return Err(
+                HdeError::Malformed("coverage map does not span the payload".into()).into(),
+            );
+        }
+    }
+    // Every segment past the installed table is new content and must
+    // be shipped — the cache has no digest to stand in for it.
+    let new_count = payload_len.div_ceil(segment_len);
+    for i in installed.leaves.len()..new_count {
+        if delta.changed.binary_search(&(i as u32)).is_err() {
+            return Err(EricError::Package(format!("delta omits new segment {i}")));
+        }
+    }
+
+    let challenge = Challenge::from_bytes(&delta.challenge);
+    let key = loader
+        .keys()
+        .package_key(&challenge, delta.epoch, delta.nonce);
+    let cipher = delta.cipher.instantiate(key.as_bytes());
+
+    // Base gate: this delta must name the image actually installed.
+    let mut base_digest = delta.encrypted_base_digest;
+    cipher.apply(
+        base_digest_stream_offset(payload_len, new_count),
+        &mut base_digest,
+    );
+    if !installed
+        .fingerprint()
+        .ct_eq(&Digest::from_bytes(base_digest))
+    {
+        return Err(EricError::Package(
+            "delta targets a different base image".into(),
+        ));
+    }
+
+    // Reconstruct the full new leaf table from cached siblings plus
+    // the shipped replacements, and authenticate it as a whole before
+    // any payload byte is decrypted.
+    let mut root = delta.encrypted_root;
+    transform_signature(&mut root, payload_len, cipher.as_ref());
+    let shipped_root = Digest::from_bytes(root);
+    let manifest_at = manifest_stream_offset(payload_len);
+    let mut table = Vec::with_capacity(new_count);
+    let mut next = 0usize;
+    for i in 0..new_count {
+        if next < delta.changed.len() && delta.changed[next] as usize == i {
+            let mut leaf = delta.changed_leaves[next];
+            cipher.apply(manifest_at + 32 * i as u64, &mut leaf);
+            table.push(Digest::from_bytes(leaf));
+            next += 1;
+        } else {
+            table.push(installed.leaves[i]);
+        }
+    }
+    let aad = delta.aad();
+    let computed = signed_root(&aad, delta.segment_len, &table);
+    if !computed.ct_eq(&shipped_root) {
+        return Err(HdeError::SignatureMismatch {
+            computed,
+            shipped: shipped_root,
+        }
+        .into());
+    }
+
+    // Patch into a fresh buffer: the installed image is never touched,
+    // so no error path can leave a partially-patched image behind.
+    let mut payload = installed.payload.clone();
+    payload.resize(payload_len, 0);
+    let mut cursor = 0usize;
+    for &i in &delta.changed {
+        let i = i as usize;
+        let start = i * segment_len;
+        let len = segment_len.min(payload_len - start);
+        let segment = &mut payload[start..start + len];
+        segment.copy_from_slice(&delta.segments[cursor..cursor + len]);
+        cursor += len;
+        transform_region(
+            segment,
+            start,
+            &delta.map,
+            delta.policy,
+            text_len,
+            cipher.as_ref(),
+        );
+        if !tree::leaf_digest(i as u64, segment).ct_eq(&table[i]) {
+            return Err(HdeError::SegmentMismatch { segment: i }.into());
+        }
+    }
+
+    // End-to-end re-verification: hash the ENTIRE patched image (not
+    // just the diff) against the signed root, exactly as a full-frame
+    // load would. A stale cache entry for an "unchanged" segment is
+    // caught here rather than silently trusted.
+    let leaves = tree::leaf_digests_batch(0, &payload, segment_len);
+    let full = signed_root(&aad, delta.segment_len, &leaves);
+    if !full.ct_eq(&shipped_root) {
+        return Err(HdeError::SignatureMismatch {
+            computed: full,
+            shipped: shipped_root,
+        }
+        .into());
+    }
+
+    Ok(InstalledImage {
+        payload,
+        text_len,
+        text_base: delta.text_base,
+        data_base: delta.data_base,
+        entry: delta.entry,
+        segment_len: delta.segment_len,
+        leaves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncryptionConfig;
+    use crate::device::Device;
+
+    const BASE: &str = "main:\n li a0, 41\n addi a0, a0, 1\n li a7, 93\n ecall\n";
+    const NEXT: &str = "main:\n li a0, 6\n li a1, 7\n mul a0, a0, a1\n li a7, 93\n ecall\n";
+
+    fn prepared(src: &SoftwareSource, program: &str, cfg: &EncryptionConfig) -> PreparedImage {
+        let image = src.compile(program, false).unwrap();
+        src.prepare_image(&image, cfg).unwrap()
+    }
+
+    #[test]
+    fn delta_roundtrip_patches_and_runs() {
+        let mut device = Device::with_seed(1, "node");
+        let cred = device.enroll();
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let base = prepared(&src, BASE, &cfg);
+        let next = prepared(&src, NEXT, &cfg);
+
+        let pkg = src.package_prepared(&base, &cred).unwrap().0;
+        let installed = device.install(&pkg).unwrap();
+        assert_eq!(device.run_installed(&installed).unwrap().exit_code, 42);
+
+        let delta = src.prepare_delta(&base, &next).unwrap();
+        assert!(delta.changed_segments() > 0);
+        let frame = src.package_delta(&delta, &cred).unwrap();
+        let patched = device.apply_delta(&installed, &frame).unwrap();
+        assert_eq!(device.run_installed(&patched).unwrap().exit_code, 42);
+
+        // The patched image is fingerprint-identical to a clean full
+        // install of the target.
+        let full = src.package_prepared(&next, &cred).unwrap().0;
+        let clean = device.install(&full).unwrap();
+        assert_eq!(patched.fingerprint(), clean.fingerprint());
+        assert_eq!(patched.payload, clean.payload);
+    }
+
+    #[test]
+    fn delta_wire_roundtrip_and_truncations() {
+        let mut device = Device::with_seed(2, "node");
+        let cred = device.enroll();
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let base = prepared(&src, BASE, &cfg);
+        let next = prepared(&src, NEXT, &cfg);
+        let delta = src.prepare_delta(&base, &next).unwrap();
+        let frame = src.package_delta(&delta, &cred).unwrap();
+
+        let wire = frame.to_wire();
+        assert_eq!(&wire[..6], b"ERIC2D");
+        assert_eq!(wire.len(), frame.wire_len());
+        let parsed = DeltaPackage::from_wire(&wire).unwrap();
+        assert_eq!(parsed, frame);
+        assert_eq!(&wire[..frame.aad().len()], &frame.aad()[..]);
+        for len in 0..wire.len() {
+            assert!(
+                DeltaPackage::from_wire(&wire[..len]).is_err(),
+                "truncation to {len} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_copy_delta_matches_parse_reserialize() {
+        let mut device = Device::with_seed(3, "node");
+        let cred = device.enroll();
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::partial(0.5, 7).with_segments(8);
+        let base = prepared(&src, BASE, &cfg);
+        let next = prepared(&src, NEXT, &cfg);
+        let delta = src.prepare_delta(&base, &next).unwrap();
+        let mut frame = vec![0xA5; 11]; // dirty reuse
+        let info = src.package_delta_into(&delta, &cred, &mut frame).unwrap();
+        assert_eq!(info.wire_len, frame.len());
+        let parsed = DeltaPackage::from_wire(&frame).unwrap();
+        assert_eq!(parsed.nonce, info.nonce);
+        assert_eq!(parsed.to_wire(), frame);
+        assert_eq!(&frame[..info.aad_len], &parsed.aad()[..]);
+    }
+
+    #[test]
+    fn identical_images_produce_empty_delta_that_applies() {
+        let mut device = Device::with_seed(4, "node");
+        let cred = device.enroll();
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let base = prepared(&src, BASE, &cfg);
+        let same = prepared(&src, BASE, &cfg);
+        let delta = src.prepare_delta(&base, &same).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.changed_bytes(), 0);
+
+        let pkg = src.package_prepared(&base, &cred).unwrap().0;
+        let installed = device.install(&pkg).unwrap();
+        let frame = src.package_delta(&delta, &cred).unwrap();
+        let patched = device.apply_delta(&installed, &frame).unwrap();
+        assert_eq!(patched.fingerprint(), installed.fingerprint());
+    }
+
+    #[test]
+    fn image_growth_ships_tail_segments() {
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let grown = ".data\nbuf: .zero 200\n.text\nmain:\n li a0, 42\n li a7, 93\n ecall\n";
+        let base = prepared(&src, BASE, &cfg);
+        let next = prepared(&src, grown, &cfg);
+        let delta = src.prepare_delta(&base, &next).unwrap();
+        // All-new tail segments must be in the changed set.
+        let base_count = base.segments();
+        let new_count = next.segments();
+        assert!(new_count > base_count);
+        for i in base_count..new_count {
+            assert!(
+                delta.changed.binary_search(&(i as u32)).is_ok(),
+                "tail segment {i} not shipped"
+            );
+        }
+        // And the patch applies end to end.
+        let mut device = Device::with_seed(5, "node");
+        let cred = device.enroll();
+        let installed = device
+            .install(&src.package_prepared(&base, &cred).unwrap().0)
+            .unwrap();
+        let frame = src.package_delta(&delta, &cred).unwrap();
+        let patched = device.apply_delta(&installed, &frame).unwrap();
+        assert_eq!(patched.payload_len(), next.payload_len());
+        assert_eq!(device.run_installed(&patched).unwrap().exit_code, 42);
+    }
+
+    #[test]
+    fn wrong_base_image_rejected_by_fingerprint_gate() {
+        let mut device = Device::with_seed(6, "node");
+        let cred = device.enroll();
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let base = prepared(&src, BASE, &cfg);
+        let next = prepared(&src, NEXT, &cfg);
+        // Same geometry as `base` (one changed instruction), different
+        // content: the structural checks pass, the fingerprint must
+        // not.
+        let imposter_program = "main:\n li a0, 40\n addi a0, a0, 2\n li a7, 93\n ecall\n";
+        let imposter = prepared(&src, imposter_program, &cfg);
+        assert_eq!(imposter.payload_len(), base.payload_len());
+
+        let installed = device
+            .install(&src.package_prepared(&imposter, &cred).unwrap().0)
+            .unwrap();
+        let delta = src.prepare_delta(&base, &next).unwrap();
+        let frame = src.package_delta(&delta, &cred).unwrap();
+        let err = device.apply_delta(&installed, &frame).unwrap_err();
+        assert!(
+            matches!(&err, EricError::Package(m) if m.contains("different base image")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_device_and_wrong_epoch_rejected() {
+        let mut device = Device::with_seed(7, "node");
+        let cred = device.enroll();
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let base = prepared(&src, BASE, &cfg);
+        let next = prepared(&src, NEXT, &cfg);
+        let installed = device
+            .install(&src.package_prepared(&base, &cred).unwrap().0)
+            .unwrap();
+        let delta = src.prepare_delta(&base, &next).unwrap();
+        let frame = src.package_delta(&delta, &cred).unwrap();
+
+        // A different device derives a different key: the base gate
+        // fails closed (encrypted fingerprint decrypts to noise).
+        let imposter = Device::with_seed(99, "imposter");
+        assert!(imposter.apply_delta(&installed, &frame).is_err());
+
+        // Epoch rotation invalidates outstanding deltas.
+        device.rotate_epoch();
+        let err = device.apply_delta(&installed, &frame).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                EricError::Rejected(HdeError::WrongEpoch {
+                    package: 0,
+                    device: 1
+                })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn v1_builds_and_mismatched_geometry_rejected_at_prepare() {
+        let src = SoftwareSource::new("vendor");
+        let v1 = prepared(
+            &src,
+            BASE,
+            &EncryptionConfig::full().with_legacy_signature(),
+        );
+        let v2 = prepared(&src, NEXT, &EncryptionConfig::full().with_segments(8));
+        assert!(matches!(
+            src.prepare_delta(&v1, &v2),
+            Err(EricError::Config(_))
+        ));
+        let other = prepared(&src, NEXT, &EncryptionConfig::full().with_segments(16));
+        assert!(matches!(
+            src.prepare_delta(&v2, &other),
+            Err(EricError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn delta_is_much_smaller_than_full_frame_for_sparse_change() {
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        // Large data region; flip one byte of it.
+        let base_prog = ".data\nbuf: .zero 4096\n.text\nmain:\n li a0, 42\n li a7, 93\n ecall\n";
+        let base = prepared(&src, base_prog, &cfg);
+        let mut target = base.clone();
+        let len = target.payload.len();
+        target.payload[len - 1] ^= 0xFF;
+        let SignaturePlan::Segmented {
+            segment_len,
+            leaves,
+        } = &mut target.signature_plan
+        else {
+            unreachable!()
+        };
+        *leaves = tree::leaf_digests_batch(0, &target.payload, *segment_len as usize);
+        let delta = src.prepare_delta(&base, &target).unwrap();
+        assert_eq!(delta.changed_segments(), 1);
+
+        let mut device = Device::with_seed(8, "node");
+        let cred = device.enroll();
+        let full_frame = src.package_prepared(&base, &cred).unwrap().0.to_wire();
+        let delta_frame = src.package_delta(&delta, &cred).unwrap().to_wire();
+        assert!(
+            delta_frame.len() * 10 < full_frame.len(),
+            "delta {} vs full {}",
+            delta_frame.len(),
+            full_frame.len()
+        );
+        // And it still applies.
+        let installed = device
+            .install(&src.package_prepared(&base, &cred).unwrap().0)
+            .unwrap();
+        let frame = src.package_delta(&delta, &cred).unwrap();
+        let patched = device.apply_delta(&installed, &frame).unwrap();
+        assert_eq!(patched.payload, target.payload);
+    }
+
+    #[test]
+    fn epoch_mismatch_clears_buffer_and_burns_no_nonce() {
+        let src = SoftwareSource::new("vendor");
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let base = prepared(&src, BASE, &cfg);
+        let next = prepared(&src, NEXT, &cfg);
+        let delta = src.prepare_delta(&base, &next).unwrap();
+        let mut device = Device::with_seed(9, "node");
+        let mut stale = device.enroll();
+        stale.epoch = 3;
+        let mut buf = vec![0xEE; 32];
+        assert!(matches!(
+            src.package_delta_into(&delta, &stale, &mut buf),
+            Err(EricError::Config(_))
+        ));
+        assert!(buf.is_empty());
+        let cred = device.enroll();
+        let info = src.package_delta_into(&delta, &cred, &mut buf).unwrap();
+        assert_eq!(info.nonce, 1, "rejected call must not draw a nonce");
+    }
+}

@@ -1,9 +1,12 @@
 //! A target device: PUF + HDE + SoC.
 
+use crate::delta::{DeltaPackage, InstalledImage};
 use crate::error::EricError;
 use crate::package::Package;
 use eric_asm::Image;
+use eric_crypto::sha256::tree;
 use eric_hde::loader::{SecureInput, SecureLoader};
+use eric_hde::manifest::SignatureBlock;
 use eric_hde::timing::HdeCycles;
 use eric_puf::crp::{respond, Challenge, EnrollmentRecord};
 use eric_puf::device::{PufDevice, PufDeviceConfig};
@@ -187,6 +190,116 @@ impl Device {
             exit_code: run.exit_code,
             load_cycles: loaded.cycles.total(),
             hde: loaded.cycles,
+            run,
+        })
+    }
+
+    /// Receive, verify, and *retain* a package: the full HDE pipeline
+    /// of [`Device::install_and_run`] up to (but not including)
+    /// execution, returning the verified plaintext together with its
+    /// cached per-segment digests — the resident state that later
+    /// delta updates patch against.
+    ///
+    /// Requires a segmented (`ERIC2`) package: the delta machinery is
+    /// built on the per-segment leaf table, which a legacy `ERIC1`
+    /// single-digest frame does not carry.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Config`] for a v1 package; otherwise exactly the
+    /// failures of [`Device::install_and_run`]'s verification phase.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eric_core::{Device, EncryptionConfig, SoftwareSource};
+    ///
+    /// let mut device = Device::with_seed(1, "node");
+    /// let cred = device.enroll();
+    /// let source = SoftwareSource::new("vendor");
+    /// let cfg = EncryptionConfig::full().with_segments(64);
+    /// let pkg = source
+    ///     .build("main:\n li a0, 9\n li a7, 93\n ecall\n", &cred, &cfg)
+    ///     .unwrap();
+    /// let installed = device.install(&pkg).unwrap();
+    /// assert_eq!(device.run_installed(&installed).unwrap().exit_code, 9);
+    /// ```
+    pub fn install(&mut self, package: &Package) -> Result<InstalledImage, EricError> {
+        let SignatureBlock::Segmented { manifest, .. } = &package.signature else {
+            return Err(EricError::Config(
+                "delta-capable install requires a segmented (ERIC2) package".into(),
+            ));
+        };
+        let segment_len = manifest.segment_len();
+        let aad = package.aad();
+        let challenge = Challenge::from_bytes(&package.challenge);
+        let input = SecureInput {
+            payload: &package.payload,
+            aad: &aad,
+            text_len: package.text_len as usize,
+            map: &package.map,
+            policy: package.policy,
+            signature: &package.signature,
+            cipher: package.cipher,
+            challenge: &challenge,
+            epoch: package.epoch,
+            nonce: package.nonce,
+        };
+        let loaded = self.loader.process(&input)?;
+        let leaves = tree::leaf_digests_batch(0, &loaded.plaintext, segment_len as usize);
+        Ok(InstalledImage {
+            payload: loaded.plaintext,
+            text_len: loaded.text_len,
+            text_base: package.text_base,
+            data_base: package.data_base,
+            entry: package.entry,
+            segment_len,
+            leaves,
+        })
+    }
+
+    /// Apply a delta frame to an installed image, producing the patched
+    /// image — or an error and an *untouched* installed image; there is
+    /// no partially-patched state on any path.
+    ///
+    /// The device recomputes the Merkle root from its cached sibling
+    /// digests plus the shipped replacement leaves, authenticates it
+    /// against the frame's AAD-bound signed root before decrypting any
+    /// payload, then re-verifies the entire patched image end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Package`] for geometry/base mismatches (wrong
+    /// segment length, wrong base size, wrong base fingerprint, or a
+    /// delta that omits a brand-new segment); [`EricError::Rejected`]
+    /// for authentication failures (wrong epoch, wrong device, any
+    /// tampering).
+    pub fn apply_delta(
+        &self,
+        installed: &InstalledImage,
+        delta: &DeltaPackage,
+    ) -> Result<InstalledImage, EricError> {
+        crate::delta::apply(&self.loader, installed, delta)
+    }
+
+    /// Load an already-verified installed image into SoC memory and run
+    /// it. Verification happened at [`Device::install`] /
+    /// [`Device::apply_delta`] time, so the load is charged at the
+    /// plain streaming rate with no HDE cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`EricError::Runtime`] for SoC faults.
+    pub fn run_installed(&mut self, image: &InstalledImage) -> Result<ExecutionReport, EricError> {
+        let (text, data) = image.payload.split_at(image.text_len);
+        self.soc
+            .load_raw(image.text_base, text, image.data_base, data, image.entry)?;
+        let run = self.soc.run(self.fuel)?;
+        let load_cycles = self.loader.timing().plain_load_cycles(image.payload.len());
+        Ok(ExecutionReport {
+            exit_code: run.exit_code,
+            load_cycles,
+            hde: HdeCycles::default(),
             run,
         })
     }

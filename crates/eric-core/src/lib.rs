@@ -19,6 +19,9 @@
 //! * [`channel`] — the untrusted transport between them (step 4), with
 //!   the threat model's attacker actions (tampering, replay to the
 //!   wrong device, payload substitution).
+//! * [`delta`] — segment-granular delta OTA updates on top of the v2
+//!   manifest: diff prepared images by leaf table, ship only changed
+//!   segments (`ERIC2D`), patch and re-verify on device.
 //! * [`delivery`] — resilient delivery over that transport: seeded
 //!   stochastic fault injection ([`FaultPlan`]), bounded retry with
 //!   backoff ([`DeliveryPolicy`]), and the retryable/fatal error
@@ -57,6 +60,7 @@ pub mod analysis;
 pub mod channel;
 pub mod config;
 pub mod delivery;
+pub mod delta;
 pub mod device;
 pub mod error;
 pub mod package;
@@ -69,6 +73,7 @@ pub use delivery::{
     DeliveryPolicy, DeliveryReport, DeliveryStatus, ExhaustReason, FaultPlan, LossyChannel,
     ResilientDelivery, TransitEvents,
 };
+pub use delta::{DeltaPackage, InstalledImage, PreparedDelta};
 pub use device::{Device, ExecutionReport};
 pub use error::{EricError, FaultClass, TransportFault};
 pub use package::{Package, SizeReport};

@@ -423,16 +423,17 @@ impl Package {
 
 /// Minimal bounds-checked cursor over wire bytes (keeps the parser
 /// dependency-free; every read reports *where* truncation happened).
-struct WireReader<'a> {
+/// Shared with the `ERIC2D` delta-frame parser in [`crate::delta`].
+pub(crate) struct WireReader<'a> {
     buf: &'a [u8],
 }
 
 impl<'a> WireReader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         WireReader { buf }
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], EricError> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], EricError> {
         if self.buf.len() < n {
             return Err(EricError::Package(format!("truncated at {what}")));
         }
@@ -443,27 +444,27 @@ impl<'a> WireReader<'a> {
 
     /// Bytes left unread (for up-front length checks that must run
     /// before allocating).
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len()
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, EricError> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, EricError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u16_le(&mut self, what: &str) -> Result<u16, EricError> {
+    pub(crate) fn u16_le(&mut self, what: &str) -> Result<u16, EricError> {
         Ok(u16::from_le_bytes(
             self.take(2, what)?.try_into().expect("len checked"),
         ))
     }
 
-    fn u32_le(&mut self, what: &str) -> Result<u32, EricError> {
+    pub(crate) fn u32_le(&mut self, what: &str) -> Result<u32, EricError> {
         Ok(u32::from_le_bytes(
             self.take(4, what)?.try_into().expect("len checked"),
         ))
     }
 
-    fn u64_le(&mut self, what: &str) -> Result<u64, EricError> {
+    pub(crate) fn u64_le(&mut self, what: &str) -> Result<u64, EricError> {
         Ok(u64::from_le_bytes(
             self.take(8, what)?.try_into().expect("len checked"),
         ))

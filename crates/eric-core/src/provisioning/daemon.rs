@@ -58,6 +58,7 @@
 
 use super::cache::{CacheStats, PreparedImageCache};
 use crate::config::EncryptionConfig;
+use crate::delta::PreparedDelta;
 use crate::error::EricError;
 use crate::source::{PackagedFrame, PreparedImage, SoftwareSource};
 use eric_asm::Image;
@@ -239,7 +240,9 @@ pub struct WireFrame {
     /// Frame metadata (nonce, wire length, signed-header length).
     pub info: PackagedFrame,
     /// The full wire frame, parseable by
-    /// [`Package::from_wire`](crate::Package::from_wire).
+    /// [`Package::from_wire`](crate::Package::from_wire) — or, for a
+    /// [`ProvisioningDaemon::submit_delta`] batch, by
+    /// [`DeltaPackage::from_wire`](crate::DeltaPackage::from_wire).
     pub bytes: Vec<u8>,
 }
 
@@ -428,8 +431,15 @@ enum Wait {
     Deadline(Instant),
 }
 
+/// What a batch packages per device: a full prepared image (`ERIC1`/
+/// `ERIC2` frames) or a prepared delta (`ERIC2D` frames).
+enum JobImage {
+    Full(Arc<PreparedImage>),
+    Delta(Arc<PreparedDelta>),
+}
+
 struct BatchJob {
-    prepared: Arc<PreparedImage>,
+    image: JobImage,
     creds: Vec<EnrollmentRecord>,
     shards: ShardQueue,
     // `SyncSender` is `Sync`, so workers share the job's sender
@@ -638,6 +648,35 @@ impl ProvisioningDaemon {
         )
     }
 
+    /// Queue a delta batch: one `ERIC2D` frame per credential for a
+    /// delta already diffed with
+    /// [`SoftwareSource::prepare_delta`](crate::SoftwareSource::prepare_delta).
+    ///
+    /// Delta preparation is the caller's (cheap) diff over two prepared
+    /// images, so there is no cache lookup; the batch rides the same
+    /// shards, buffer pool, backpressure, and panic containment as a
+    /// full-image wave. Each delivered [`WireFrame`] parses with
+    /// [`DeltaPackage::from_wire`](crate::DeltaPackage::from_wire).
+    ///
+    /// # Errors
+    ///
+    /// Submission after [`ProvisioningDaemon::shutdown`] began.
+    /// Per-device failures (wrong epoch, packaging errors) are
+    /// reported in-stream, never here.
+    pub fn submit_delta(
+        &self,
+        delta: &PreparedDelta,
+        creds: Vec<EnrollmentRecord>,
+    ) -> Result<BatchHandle, EricError> {
+        self.enqueue(
+            JobImage::Delta(Arc::new(delta.clone())),
+            creds,
+            Wait::Block,
+            false,
+        )
+        .map_err(EricError::from)
+    }
+
     fn submit_inner(
         &self,
         image: &Image,
@@ -653,19 +692,32 @@ impl ProvisioningDaemon {
             .cache
             .get_or_prepare(&self.shared.source, image, config)
             .map_err(SubmitError::Rejected)?;
+        self.enqueue(JobImage::Full(lookup.prepared), creds, wait, lookup.hit)
+    }
+
+    fn enqueue(
+        &self,
+        image: JobImage,
+        creds: Vec<EnrollmentRecord>,
+        wait: Wait,
+        cache_hit: bool,
+    ) -> Result<BatchHandle, SubmitError> {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err(SubmitError::ShutDown);
+        }
         let devices = creds.len();
         let (tx, rx) = std::sync::mpsc::sync_channel(self.workers);
         let handle = BatchHandle {
             rx,
             pool: self.shared.pool.clone(),
             devices,
-            cache_hit: lookup.hit,
+            cache_hit,
         };
         if devices == 0 {
             return Ok(handle); // tx dropped here: the stream is already complete
         }
         let job = Arc::new(BatchJob {
-            prepared: lookup.prepared,
+            image,
             shards: ShardQueue::new_even(devices, self.workers.min(devices)),
             creds,
             tx,
@@ -849,9 +901,14 @@ fn worker_loop(shared: &DaemonShared, worker: usize) {
                 if let Some(hook) = &hook {
                     hook(index);
                 }
-                shared
-                    .source
-                    .package_prepared_into(&job.prepared, cred, &mut buf)
+                match &job.image {
+                    JobImage::Full(prepared) => shared
+                        .source
+                        .package_prepared_into(prepared, cred, &mut buf),
+                    JobImage::Delta(delta) => {
+                        shared.source.package_delta_into(delta, cred, &mut buf)
+                    }
+                }
             }));
             let result = match packaged {
                 Ok(Ok(info)) => Ok(WireFrame { info, bytes: buf }),
@@ -1156,6 +1213,59 @@ mod tests {
         assert_eq!(health.panics, 1);
         assert_eq!(health.failed_devices, 1);
         assert_eq!(health.completed_devices, 12);
+        daemon.shutdown();
+    }
+
+    /// A delta wave rides the same pool: every device gets an
+    /// `ERIC2D` frame for its own key, applies it over the installed
+    /// base, and runs the new version.
+    #[test]
+    fn daemon_fans_out_delta_frames_per_device() {
+        use crate::delta::DeltaPackage;
+        let (mut devices, creds) = fleet(5, 2700);
+        let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 2);
+        let cfg = EncryptionConfig::full().with_segments(8);
+        let source = daemon.source();
+        let image = source.compile(PROGRAM, false).unwrap();
+        let next_image = source
+            .compile("main:\n li a0, 17\n li a7, 93\n ecall\n", false)
+            .unwrap();
+        let base = source.prepare_image(&image, &cfg).unwrap();
+        let next = source.prepare_image(&next_image, &cfg).unwrap();
+
+        // Wave 1: full install via the daemon.
+        let mut installed: Vec<Option<crate::delta::InstalledImage>> =
+            (0..devices.len()).map(|_| None).collect();
+        let handle = daemon.submit(&image, &cfg, creds.clone()).unwrap();
+        for outcome in handle.iter() {
+            let frame = outcome.result.unwrap();
+            let package = Package::from_wire(&frame.bytes).unwrap();
+            installed[outcome.index] = Some(devices[outcome.index].install(&package).unwrap());
+            handle.recycle(frame);
+        }
+
+        // Wave 2: delta batch, one frame per device key.
+        let delta = source.prepare_delta(&base, &next).unwrap();
+        let handle = daemon.submit_delta(&delta, creds).unwrap();
+        assert!(!handle.cache_hit());
+        let mut patched = 0;
+        for outcome in handle.iter() {
+            let frame = outcome.result.unwrap();
+            assert_eq!(frame.bytes.len(), frame.info.wire_len);
+            let delta_pkg = DeltaPackage::from_wire(&frame.bytes).unwrap();
+            assert_eq!(delta_pkg.nonce, frame.info.nonce);
+            let device = &mut devices[outcome.index];
+            let base_img = installed[outcome.index].as_ref().unwrap();
+            let new_img = device.apply_delta(base_img, &delta_pkg).unwrap();
+            assert_eq!(device.run_installed(&new_img).unwrap().exit_code, 17);
+            handle.recycle(frame);
+            patched += 1;
+        }
+        assert_eq!(patched, 5);
+        let health = daemon.health();
+        assert_eq!(health.submitted_devices, 10);
+        assert_eq!(health.completed_devices, 10);
+        assert_eq!(health.failed_devices, 0);
         daemon.shutdown();
     }
 

@@ -205,6 +205,19 @@ impl SoftwareSource {
         self.nonce_counter.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Crate-internal nonce access for the delta packager
+    /// ([`crate::delta`]): full and delta frames draw from the same
+    /// gap-free counter, so the nonce-sequence invariants tests pin
+    /// hold across both paths.
+    pub(crate) fn draw_nonce(&self) -> u64 {
+        self.next_nonce()
+    }
+
+    /// Crate-internal KMU access for the delta packager.
+    pub(crate) fn kmu(&self) -> &KeyManagementUnit {
+        &self.kmu
+    }
+
     /// Plain compilation (the Figure 6 baseline).
     ///
     /// # Errors

@@ -25,6 +25,11 @@
 //! that makes the signature check parallelizable in the first place —
 //! the paper's monolithic digest (v1) forces one sequential
 //! Merkle–Damgård chain over the whole payload.
+//! [`streaming::StreamingLoader`] is the bounded-memory front end:
+//! it consumes an `ERIC2` wire frame from any [`std::io::Read`]
+//! source, authenticates the manifest up front, and releases verified
+//! plaintext one segment at a time — O(segment) payload working set,
+//! never O(image).
 //!
 //! Crucially, encryption and decryption are the *same* transform (XOR
 //! keystream involution), implemented once in [`transform`] and used by
@@ -37,6 +42,7 @@ pub mod manifest;
 pub mod map;
 pub mod parallel;
 pub mod policy;
+pub mod streaming;
 pub mod timing;
 pub mod transform;
 pub mod units;
@@ -46,4 +52,5 @@ pub use loader::{LoadedProgram, SecureInput, SecureLoader};
 pub use manifest::{SegmentManifest, SignatureBlock, DEFAULT_SEGMENT_LEN};
 pub use map::{CoverageMap, ParcelBitmap};
 pub use policy::FieldPolicy;
+pub use streaming::{StreamReport, StreamingLoader};
 pub use timing::{HdeCycles, HdeTimingConfig};

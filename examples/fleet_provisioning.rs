@@ -11,8 +11,9 @@
 //! Run with: `cargo run --example fleet_provisioning`
 
 use eric::core::{
-    DeliveryPolicy, Device, EncryptionConfig, FaultPlan, LossyChannel, Package, ProvisioningDaemon,
-    ProvisioningService, ResilientDelivery, SoftwareSource, SubmitError,
+    DeliveryPolicy, DeltaPackage, Device, EncryptionConfig, FaultPlan, InstalledImage,
+    LossyChannel, Package, ProvisioningDaemon, ProvisioningService, ResilientDelivery,
+    SoftwareSource, SubmitError,
 };
 use eric::puf::crp::CrpDatabase;
 
@@ -20,6 +21,32 @@ const FIRMWARE: &str = r#"
     main:
         li   t0, 6
         li   t1, 7
+        mul  a0, t0, t1
+        li   a7, 93
+        ecall
+"#;
+
+/// v1 of the OTA demo firmware: a data table plus text computing 6×7.
+const OTA_BASE: &str = r#"
+    .data
+    table: .zero 600
+    .text
+    main:
+        li   t0, 6
+        li   t1, 7
+        mul  a0, t0, t1
+        li   a7, 93
+        ecall
+"#;
+
+/// v2 differs in one constant (6×8): a one-segment diff.
+const OTA_NEXT: &str = r#"
+    .data
+    table: .zero 600
+    .text
+    main:
+        li   t0, 6
+        li   t1, 8
         mul  a0, t0, t1
         li   a7, 93
         ecall
@@ -187,6 +214,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             handle.recycle(frame);
         }
     }
+    // --- Delta OTA: a v2 rollout ships only the segments that changed. ---
+    // The v2 firmware differs from v1 in a single constant, so with
+    // segmented manifests almost every segment of the prepared image is
+    // unchanged. `prepare_delta` diffs the two prepared images once and
+    // `submit_delta` fans per-device `ERIC2D` frames across the same
+    // worker pool; each device re-derives the signed Merkle root from
+    // its cached sibling digests plus the shipped diff, so a delta is
+    // accepted or the base stays untouched — never half-patched.
+    let cfg = EncryptionConfig::full().with_segments(64);
+    let source = daemon.source();
+    let base = source.prepare_image(&source.compile(OTA_BASE, false)?, &cfg)?;
+    let next = source.prepare_image(&source.compile(OTA_NEXT, false)?, &cfg)?;
+    let creds: Vec<_> = fleet.iter_mut().map(Device::enroll).collect();
+
+    // Seed the fleet with the v1 base via ordinary full frames.
+    let handle = daemon.submit(&source.compile(OTA_BASE, false)?, &cfg, creds.clone())?;
+    let mut bases: Vec<Option<InstalledImage>> = (0..fleet.len()).map(|_| None).collect();
+    for outcome in handle.iter() {
+        let frame = outcome.result?;
+        let package = Package::from_wire(&frame.bytes)?;
+        bases[outcome.index] = Some(fleet[outcome.index].install(&package)?);
+        handle.recycle(frame);
+    }
+
+    let delta = source.prepare_delta(&base, &next)?;
+    println!(
+        "v1 -> v2 delta: {}/{} segments changed ({} of {} payload bytes on the wire)",
+        delta.changed_segments(),
+        delta.total_segments(),
+        delta.changed_bytes(),
+        delta.payload_len(),
+    );
+    let handle = daemon.submit_delta(&delta, creds)?;
+    for outcome in handle.iter() {
+        let frame = outcome.result?;
+        let patch = DeltaPackage::from_wire(&frame.bytes)?;
+        let device = &mut fleet[outcome.index];
+        let v2 = device.apply_delta(bases[outcome.index].as_ref().unwrap(), &patch)?;
+        assert_eq!(device.run_installed(&v2)?.exit_code, 48);
+        handle.recycle(frame);
+    }
+    println!(
+        "delta wave: {} devices patched to v2 and verified end-to-end",
+        fleet.len()
+    );
+
     daemon.note_retries(retries);
     let health = daemon.health();
     let total = delivered + exhausted;

@@ -327,6 +327,120 @@ fn injected_panic_fails_one_device_and_daemon_keeps_serving() {
     daemon.shutdown();
 }
 
+/// A delta-update wave through the lossy wire: interrupted and retried
+/// delta pushes converge every device to the *same* image fingerprint
+/// a clean full push of the new version produces — never a
+/// partially-patched survivor.
+#[test]
+fn interrupted_delta_pushes_converge_to_the_clean_fingerprint() {
+    const NEXT_PROGRAM: &str = "main:\n li a0, 4\n li a1, 6\n mul a0, a0, a1\n li a7, 93\n ecall\n";
+    let seed = chaos_seed();
+    let daemon = ProvisioningDaemon::start(SoftwareSource::new("vendor"), 2);
+    let (mut devices, creds) = fleet(FLEET, 9950);
+    let cfg = EncryptionConfig::full();
+    let source = daemon.source();
+    let base_image = source.compile(PROGRAM, false).unwrap();
+    let next_image = source.compile(NEXT_PROGRAM, false).unwrap();
+    let base = source.prepare_image(&base_image, &cfg).unwrap();
+    let next = source.prepare_image(&next_image, &cfg).unwrap();
+
+    // Fleet-wide base install over a clean wire.
+    let frames = provision_wave(&daemon, creds.clone());
+    let mut installed: Vec<eric::core::InstalledImage> = frames
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            devices[i]
+                .install(&Package::from_wire(&f.bytes).unwrap())
+                .unwrap()
+        })
+        .collect();
+
+    // The convergence oracle: a clean *full* push of the new version.
+    // Fingerprints are over verified plaintext, so every correctly
+    // patched device must land on exactly this digest.
+    let mut oracle = Device::with_seed(42424, "oracle");
+    let oracle_cred = oracle.enroll();
+    let full_next = source.package_prepared(&next, &oracle_cred).unwrap().0;
+    let expected = oracle.install(&full_next).unwrap().fingerprint();
+
+    // Push the delta through a 20%-fault wire. Devices whose delivery
+    // exhausts are re-provisioned in the next round (fresh frames,
+    // fresh nonces — an interrupted push retried later), until the
+    // whole fleet converges.
+    let delta = source.prepare_delta(&base, &next).unwrap();
+    let mut pending: Vec<usize> = (0..FLEET).collect();
+    for round in 0..8u64 {
+        if pending.is_empty() {
+            break;
+        }
+        let wave_creds: Vec<_> = pending.iter().map(|&i| creds[i].clone()).collect();
+        let handle = daemon.submit_delta(&delta, wave_creds).unwrap();
+        let mut wave_frames: Vec<Option<WireFrame>> = (0..pending.len()).map(|_| None).collect();
+        loop {
+            match handle.recv_timeout(RECV_BOUND) {
+                RecvTimeout::Outcome(outcome) => {
+                    let frame = outcome.result.unwrap();
+                    assert!(wave_frames[outcome.index].replace(frame).is_none());
+                }
+                RecvTimeout::Complete => break,
+                RecvTimeout::TimedOut => panic!("delta outcome lost (bounded recv expired)"),
+            }
+        }
+        let delivery = ResilientDelivery::new(
+            LossyChannel::with_plan(FaultPlan::uniform(seed ^ (round << 8), 0.20)),
+            DeliveryPolicy::default(),
+        );
+        let mut still_pending = Vec::new();
+        for (slot, frame) in wave_frames.into_iter().enumerate() {
+            let i = pending[slot];
+            let frame = frame.unwrap();
+            let mut patched = None;
+            let report = delivery.deliver_delta_verified(i as u64, &frame.bytes, |d| {
+                patched = Some(devices[i].apply_delta(&installed[i], d)?);
+                Ok(())
+            });
+            match report.status {
+                DeliveryStatus::Delivered(_) => {
+                    let image = patched.expect("verifier ran on the delivered frame");
+                    assert_eq!(
+                        image.fingerprint(),
+                        expected,
+                        "device {i}: converged to a different image"
+                    );
+                    installed[i] = image;
+                }
+                DeliveryStatus::Exhausted { last_error, .. } => {
+                    assert!(last_error.is_retryable(), "device {i}: {last_error}");
+                    // Interrupted: the base must be untouched so the
+                    // retried push still applies.
+                    assert_ne!(installed[i].fingerprint(), expected);
+                    still_pending.push(i);
+                }
+                DeliveryStatus::Fatal(error) => {
+                    panic!("device {i}: fatal error under pure transit chaos: {error}")
+                }
+            }
+            daemon.pool().recycle(frame.bytes);
+        }
+        pending = still_pending;
+    }
+    assert!(
+        pending.is_empty(),
+        "devices never converged after 8 rounds: {pending:?}"
+    );
+    // Every device runs the new version.
+    for (i, image) in installed.iter().enumerate() {
+        assert_eq!(image.fingerprint(), expected);
+        assert_eq!(
+            devices[i].run_installed(image).unwrap().exit_code,
+            24,
+            "device {i} runs the wrong version"
+        );
+    }
+    daemon.shutdown();
+}
+
 /// Goodput degrades with the fault rate but the exhausted remainder is
 /// always fully classified — sanity for the bench's degradation curve.
 #[test]
